@@ -1,0 +1,96 @@
+// A1 — Ablation: how much fresher than the conservative WARS bound do the
+// anti-entropy processes of Section 4.2 make the system? Runs the
+// event-driven cluster with (a) no extra anti-entropy (WARS assumptions),
+// (b) read repair, (c) gossip anti-entropy at several rates, (d) both.
+// The paper deliberately excludes these from WARS ("a conservative
+// assumption ... is that they never occur"); this ablation quantifies what
+// that conservatism leaves on the table.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "dist/primitives.h"
+#include "kvs/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pbs;
+
+kvs::StalenessExperimentOptions BaseOptions() {
+  kvs::StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 1, 1};
+  // Slow writes (mean 20 ms) against fast everything else: plenty of
+  // staleness for the anti-entropy processes to repair.
+  options.cluster.legs =
+      MakeWars("slow-w", Exponential(0.05), Exponential(1.0));
+  options.cluster.request_timeout_ms = 5000.0;
+  options.writes = 8000;
+  options.write_spacing_ms = 500.0;
+  options.read_offsets_ms = {0.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0};
+  options.seed = 1001;
+  return options;
+}
+
+void Run() {
+  std::cout << "=== Ablation: read repair and gossip anti-entropy vs the "
+               "conservative WARS baseline ===\n"
+               "(N=3, R=W=1, W ~ Exp(0.05): mean 20 ms; probes per commit "
+               "at the listed offsets)\n\n";
+
+  struct Variant {
+    std::string name;
+    bool read_repair;
+    double gossip_interval_ms;  // 0 = off
+  };
+  const std::vector<Variant> variants = {
+      {"baseline (WARS assumptions)", false, 0.0},
+      {"read repair", true, 0.0},
+      {"gossip every 100 ms", false, 100.0},
+      {"gossip every 20 ms", false, 20.0},
+      {"read repair + gossip 20 ms", true, 20.0},
+  };
+
+  CsvWriter csv(std::string(bench::kResultsDir) +
+                "/ablation_antientropy.csv");
+  csv.WriteHeader({"variant", "t_ms", "p_consistent"});
+
+  const auto offsets = BaseOptions().read_offsets_ms;
+  std::vector<std::string> header = {"variant"};
+  for (double t : offsets) header.push_back("t=" + FormatDouble(t, 0));
+  header.push_back("repairs");
+  header.push_back("gossip values");
+  TextTable table(std::move(header));
+
+  for (const auto& variant : variants) {
+    auto options = BaseOptions();
+    options.cluster.read_repair = variant.read_repair;
+    options.cluster.anti_entropy_interval_ms = variant.gossip_interval_ms;
+    const auto result = kvs::RunStalenessExperiment(options);
+    std::vector<std::string> row = {variant.name};
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      const double p = result.t_visibility[i].ProbConsistent();
+      row.push_back(FormatDouble(p, 4));
+      csv.WriteRow(variant.name, {offsets[i], p});
+    }
+    row.push_back(std::to_string(result.final_metrics.read_repairs_sent));
+    row.push_back(
+        std::to_string(result.final_metrics.anti_entropy_values_shipped));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nReading: every anti-entropy mechanism can only *raise* "
+               "the curve versus the baseline (WARS is a lower bound on "
+               "freshness, Section 4.2). Gossip helps at larger t once a "
+               "sync interval has elapsed; read repair helps later probes "
+               "of the same key after an early probe pulled the version.\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

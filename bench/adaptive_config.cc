@@ -1,0 +1,80 @@
+// A7 — Section 6 "Variable configurations": the adaptive controller
+// tracking latency-regime shifts. The environment moves through epochs
+// (SSD-era -> disk-era -> heavy-tailed YMMR -> back to SSD); at each epoch
+// the controller re-evaluates (R, W) for fixed N against a 10 ms @ 99.9%
+// staleness SLA and minimizes 99.9th-percentile latency.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/adaptive.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pbs;
+
+void Run() {
+  std::cout << "=== Adaptive (R, W) reconfiguration across latency-regime "
+               "shifts (N=3, SLA: 10 ms @ 99.9%) ===\n\n";
+
+  AdaptiveControllerOptions options;
+  options.consistency_probability = 0.999;
+  options.max_t_visibility_ms = 10.0;
+  options.trials_per_eval = 60000;
+  options.seed = 7007;
+  AdaptiveConfigController controller({3, 1, 1}, options);
+
+  struct Epoch {
+    std::string name;
+    ReplicaLatencyModelPtr model;
+  };
+  const std::vector<Epoch> epochs = {
+      {"SSD fleet", MakeIidModel(LnkdSsd(), 3)},
+      {"SSD fleet (steady)", MakeIidModel(LnkdSsd(), 3)},
+      {"disk fleet (migration)", MakeIidModel(LnkdDisk(), 3)},
+      {"disk fleet (steady)", MakeIidModel(LnkdDisk(), 3)},
+      {"fsync-bound (YMMR)", MakeIidModel(Ymmr(), 3)},
+      {"back to SSD", MakeIidModel(LnkdSsd(), 3)},
+  };
+
+  CsvWriter csv(std::string(bench::kResultsDir) + "/adaptive_config.csv");
+  csv.WriteHeader({"epoch", "environment", "r", "w", "t_visibility_ms",
+                   "objective_ms", "feasible", "switched"});
+
+  TextTable table({"epoch", "environment", "config", "t@99.9% (ms)",
+                   "objective (ms)", "SLA met", "switched"});
+  for (size_t e = 0; e < epochs.size(); ++e) {
+    controller.Update(epochs[e].model);
+    const auto& decision = controller.history().back();
+    table.AddRow({std::to_string(e + 1), epochs[e].name,
+                  decision.chosen.ToString(),
+                  FormatDouble(decision.t_visibility_ms, 2),
+                  FormatDouble(decision.objective_ms, 2),
+                  decision.feasible ? "yes" : "NO",
+                  decision.switched ? "yes" : "-"});
+    csv.WriteRow(epochs[e].name,
+                 {static_cast<double>(e + 1),
+                  static_cast<double>(decision.chosen.r),
+                  static_cast<double>(decision.chosen.w),
+                  decision.t_visibility_ms, decision.objective_ms,
+                  decision.feasible ? 1.0 : 0.0,
+                  decision.switched ? 1.0 : 0.0});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nReading: on SSDs R=W=1 meets the SLA at minimal latency; the "
+         "disk migration blows the 10 ms window and the controller buys "
+         "consistency with a bigger read quorum; under YMMR's fsync tails "
+         "it must go stricter still; returning to SSDs it relaxes again "
+         "(only past the hysteresis margin, so no flapping on noise).\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,36 @@
+#ifndef PBS_BENCH_BENCH_UTIL_H_
+#define PBS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/wars.h"
+#include "dist/production.h"
+
+namespace pbs {
+namespace bench {
+
+/// Where every harness mirrors its printed tables as CSV.
+inline constexpr const char kResultsDir[] = "bench_results";
+
+/// A named latency scenario bound to a replication factor.
+struct Scenario {
+  std::string name;
+  ReplicaLatencyModelPtr model;
+};
+
+/// The paper's four production scenarios (Figures 5-6, Table 4):
+/// LNKD-SSD, LNKD-DISK, YMMR (IID fits) and WAN (per-replica locality).
+inline std::vector<Scenario> ProductionScenarios(int n) {
+  std::vector<Scenario> scenarios;
+  for (const auto& fit : AllIidProductionFits()) {
+    scenarios.push_back({fit.name, MakeIidModel(fit, n)});
+  }
+  scenarios.push_back({"WAN", MakeWanModel(WanLocalBase(), n)});
+  return scenarios;
+}
+
+}  // namespace bench
+}  // namespace pbs
+
+#endif  // PBS_BENCH_BENCH_UTIL_H_

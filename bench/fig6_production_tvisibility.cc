@@ -1,0 +1,67 @@
+// E6 — Figure 6: t-visibility under the production latency fits for the
+// three partial-quorum configurations (R=1,W=1), (R=1,W=2), (R=2,W=1),
+// N=3. Prints P(consistency) at a grid of t values plus the headline
+// "immediately after commit" and "t for 99.9%" numbers.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/tvisibility.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pbs;
+
+void Run() {
+  std::cout << "=== Figure 6: t-visibility for production fits, N=3 ===\n\n";
+  const int trials = 500000;
+  const std::vector<QuorumConfig> configs = {{3, 1, 1}, {3, 1, 2}, {3, 2, 1}};
+  const std::vector<double> ts = {0.0,  0.5,  1.0,  2.0,   5.0,   10.0, 25.0,
+                                  50.0, 75.0, 100.0, 250.0, 500.0, 1500.0};
+  const auto scenarios = bench::ProductionScenarios(3);
+
+  CsvWriter csv(std::string(bench::kResultsDir) +
+                "/fig6_production_tvisibility.csv");
+  csv.WriteHeader({"scenario", "r", "w", "t_ms", "p_consistent"});
+
+  for (const auto& scenario : scenarios) {
+    std::vector<std::string> header = {"config"};
+    for (double t : ts) header.push_back("t=" + FormatDouble(t, 1));
+    header.push_back("t@99.9%");
+    TextTable table(std::move(header));
+    for (const auto& config : configs) {
+      const TVisibilityCurve curve =
+          EstimateTVisibility(config, scenario.model, trials, /*seed=*/66);
+      std::vector<double> row;
+      for (double t : ts) {
+        const double p = curve.ProbConsistent(t);
+        row.push_back(p);
+        csv.WriteRow(scenario.name,
+                     {static_cast<double>(config.r),
+                      static_cast<double>(config.w), t, p});
+      }
+      row.push_back(curve.TimeForConsistency(0.999));
+      table.AddRow("R=" + std::to_string(config.r) +
+                       " W=" + std::to_string(config.w),
+                   row, 4);
+    }
+    std::cout << scenario.name << ":\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Paper anchors (Section 5.6, R=W=1): LNKD-SSD 97.4% at t=0 and "
+         ">99.999% after 5 ms; LNKD-DISK 43.9% at t=0 and 92.5% at 10 ms; "
+         "YMMR 89.3% at t=0, 99.9% only after ~1364 ms; WAN ~33% at t=0, "
+         "consistent only after the 75 ms WAN hop.\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// A4 — <k, t>-staleness under a write arrival process (the Section 5.1
+// extension): probability of reading a value at least k versions stale, as
+// a function of the probe delay t and Poisson write inter-arrival rate.
+// Also prints the Equation 5 closed-form upper bound computed from the
+// empirical write-propagation CDF for comparison.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/predictor.h"
+#include "core/tvisibility.h"
+#include "dist/primitives.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pbs;
+
+void Run() {
+  std::cout << "=== <k,t>-staleness, N=3 R=W=1, LNKD-DISK legs, Poisson "
+               "writes ===\n\n";
+  const QuorumConfig config{3, 1, 1};
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  const std::vector<double> inter_arrival_means = {5.0, 20.0, 100.0};
+  const std::vector<double> ts = {0.0, 5.0, 20.0};
+  const std::vector<int> ks = {1, 2, 3, 5};
+
+  CsvWriter csv(std::string(bench::kResultsDir) + "/kt_staleness.csv");
+  csv.WriteHeader({"mean_interarrival_ms", "t_ms", "k", "p_staler_mc",
+                   "p_bound_eq5"});
+
+  PredictorOptions predictor_options;
+  predictor_options.trials = 300000;
+  predictor_options.seed = 4040;
+  PbsPredictor predictor(config, model, predictor_options);
+
+  for (double mean : inter_arrival_means) {
+    TextTable table({"t \\ k", "k=1 (MC)", "k=1 (Eq.5)", "k=2 (MC)",
+                     "k=2 (Eq.5)", "k=3 (MC)", "k=5 (MC)"});
+    for (double t : ts) {
+      const auto result = EstimateKTStaleness(
+          config, model, Exponential(1.0 / mean), t, /*history=*/40,
+          /*trials=*/40000, /*seed=*/4141);
+      std::vector<double> row;
+      for (int k : ks) {
+        const double mc = result.ProbStalerThan(k);
+        csv.WriteRow("", {mean, t, static_cast<double>(k), mc,
+                          predictor.KTStalenessUpperBound(k, t)});
+        if (k <= 2) {
+          row.push_back(mc);
+          row.push_back(predictor.KTStalenessUpperBound(k, t));
+        } else {
+          row.push_back(mc);
+        }
+      }
+      table.AddRow("t=" + FormatDouble(t, 0), row, 4);
+    }
+    std::cout << "Mean write inter-arrival " << FormatDouble(mean, 0)
+              << " ms:\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Reading: staleness beyond k versions decays rapidly in k "
+         "(Section 3.1's exponential bound), and rapid writes (short "
+         "inter-arrivals) are the regime where multi-version staleness "
+         "appears at all. Equation 5 assumes the pathological case of all "
+         "k writes committing simultaneously, so it sits at or above the "
+         "Monte Carlo for small t but can be undercut when long "
+         "inter-arrival gaps let old versions propagate (individual-t "
+         "refinement, Section 3.5).\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

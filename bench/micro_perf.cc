@@ -1,0 +1,127 @@
+// P1 — Microbenchmarks (google-benchmark): throughput of the components
+// everything else is built on. One WARS trial is a few hundred nanoseconds,
+// which is what makes the 10^6-trial sweeps in the other harnesses cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "core/closed_form.h"
+#include "core/quorum_sampler.h"
+#include "core/tvisibility.h"
+#include "core/wars.h"
+#include "dist/mixture.h"
+#include "dist/primitives.h"
+#include "dist/production.h"
+#include "kvs/experiment.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ExponentialSample(benchmark::State& state) {
+  Rng rng(1);
+  const auto dist = Exponential(0.183);
+  for (auto _ : state) benchmark::DoNotOptimize(dist->Sample(rng));
+}
+BENCHMARK(BM_ExponentialSample);
+
+void BM_MixtureSample(benchmark::State& state) {
+  Rng rng(1);
+  const auto dist = ParetoExponentialMixture(0.9122, 0.235, 10.0, 1.66);
+  for (auto _ : state) benchmark::DoNotOptimize(dist->Sample(rng));
+}
+BENCHMARK(BM_MixtureSample);
+
+void BM_MixtureQuantile(benchmark::State& state) {
+  const auto dist = ParetoExponentialMixture(0.9122, 0.235, 10.0, 1.66);
+  double p = 0.0;
+  for (auto _ : state) {
+    p += 1e-4;
+    if (p >= 0.999) p = 1e-4;
+    benchmark::DoNotOptimize(dist->Quantile(p));
+  }
+}
+BENCHMARK(BM_MixtureQuantile);
+
+void BM_ClosedFormPsk(benchmark::State& state) {
+  const QuorumConfig config{static_cast<int>(state.range(0)), 3, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KStalenessProbability(config, 5));
+  }
+}
+BENCHMARK(BM_ClosedFormPsk)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_WarsTrial(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  WarsSimulator sim({n, 1, 1}, MakeIidModel(LnkdDisk(), n), /*seed=*/1);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.RunTrial());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WarsTrial)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_WarsTrialWithPropagation(benchmark::State& state) {
+  WarsSimulator sim({3, 1, 1}, MakeIidModel(LnkdDisk(), 3), /*seed=*/1);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.RunTrial(true));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WarsTrialWithPropagation);
+
+void BM_TVisibilityCurve100k(benchmark::State& state) {
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateTVisibility({3, 1, 1}, model, 100000, /*seed=*/1));
+  }
+}
+BENCHMARK(BM_TVisibilityCurve100k)->Unit(benchmark::kMillisecond);
+
+void BM_QuorumSamplerTrial(benchmark::State& state) {
+  QuorumSampler sampler({5, 2, 2}, /*seed=*/1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.EstimateMissProbability(1));
+  }
+}
+BENCHMARK(BM_QuorumSamplerTrial);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  // Schedule/fire cost of the discrete-event core.
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = 10000;
+    std::function<void()> tick = [&]() {
+      if (--remaining > 0) sim.Schedule(1.0, tick);
+    };
+    sim.Schedule(1.0, tick);
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventChurn)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterWriteReadCycle(benchmark::State& state) {
+  // End-to-end cost per operation pair in the event-driven KVS.
+  for (auto _ : state) {
+    kvs::StalenessExperimentOptions options;
+    options.cluster.quorum = {3, 1, 1};
+    options.cluster.legs = LnkdSsd();
+    options.cluster.request_timeout_ms = 100.0;
+    options.writes = 500;
+    options.write_spacing_ms = 10.0;
+    options.read_offsets_ms = {1.0};
+    benchmark::DoNotOptimize(kvs::RunStalenessExperiment(options));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // 500 writes + reads
+}
+BENCHMARK(BM_ClusterWriteReadCycle)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pbs
+
+BENCHMARK_MAIN();

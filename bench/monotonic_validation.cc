@@ -1,0 +1,115 @@
+// A10 — Section 3.2: monotonic-reads session guarantee, Equation 3
+// prediction vs event-driven measurement. Sweeps the write/read rate ratio
+// and compares the closed form ps^(1 + gw/cr) (a non-expanding-quorum
+// bound) against violations measured on the cluster, with and without
+// quorum expansion being slowed (fast vs slow write propagation).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/closed_form.h"
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pbs;
+
+struct Measured {
+  double violation_rate = 0.0;
+  double live_prediction = 0.0;  // session's own Equation 3 estimate
+};
+
+Measured MeasureViolations(const WarsDistributions& legs,
+                           double write_interval, double read_interval,
+                           int reads) {
+  kvs::KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = legs;
+  config.request_timeout_ms = 5000.0;
+  config.seed = 1010;
+  kvs::Cluster cluster(config);
+  kvs::ClientSession writer(&cluster, cluster.coordinator(0).id(), 1);
+  kvs::ClientSession reader(&cluster, cluster.coordinator(0).id(), 2);
+
+  const double horizon = reads * read_interval;
+  const int writes = static_cast<int>(horizon / write_interval);
+  for (int i = 0; i < writes; ++i) {
+    cluster.sim().At(i * write_interval,
+                     [&writer]() { writer.Write(1, "v", nullptr); });
+  }
+  for (int i = 0; i < reads; ++i) {
+    cluster.sim().At(i * read_interval,
+                     [&reader]() { reader.Read(1, nullptr); });
+  }
+  Measured out;
+  // Sample the live estimate while traffic still flows (it decays during
+  // the trailing timeout drain).
+  cluster.sim().At(horizon - 1.0, [&]() {
+    out.live_prediction = reader.PredictedMonotonicViolationProbability(1);
+  });
+  cluster.sim().Run();
+  out.violation_rate = static_cast<double>(reader.monotonic_violations()) /
+                       static_cast<double>(reader.reads_issued());
+  return out;
+}
+
+void Run() {
+  std::cout << "=== Monotonic reads (Section 3.2): Equation 3 vs "
+               "measurement, N=3 R=W=1, writes every 20 ms ===\n\n";
+  const double write_interval = 20.0;
+  const int reads = 20000;
+
+  CsvWriter csv(std::string(bench::kResultsDir) +
+                "/monotonic_validation.csv");
+  csv.WriteHeader({"gw_over_cr", "eq3_bound", "measured_slow_propagation",
+                   "measured_fast_propagation", "live_session_estimate"});
+
+  TextTable table({"gw/cr", "Eq.3 bound ps^(1+gw/cr)",
+                   "measured (slow propagation)",
+                   "measured (fast propagation)",
+                   "session's live estimate"});
+  // Slow propagation: heavy-tailed writes keep quorums near size W for a
+  // while (the closed form's regime). Fast propagation: SSD-like legs make
+  // every replica current within ~1 ms, crushing violations.
+  const auto slow = MakeWars("slow", Exponential(0.02), Exponential(2.0));
+  const auto fast = LnkdSsd();
+  for (double ratio : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    // gw/cr = ratio: the session reads every write_interval * ratio ms.
+    const double read_interval = write_interval * ratio;
+    const double bound = MonotonicReadsViolationProbability(
+        {3, 1, 1}, 1.0 / write_interval, 1.0 / read_interval);
+    const Measured measured_slow =
+        MeasureViolations(slow, write_interval, read_interval, reads);
+    const Measured measured_fast =
+        MeasureViolations(fast, write_interval, read_interval, reads);
+    table.AddRow("gw/cr=" + FormatDouble(ratio, 2),
+                 {bound, measured_slow.violation_rate,
+                  measured_fast.violation_rate,
+                  measured_slow.live_prediction},
+                 4);
+    csv.WriteRow("", {ratio, bound, measured_slow.violation_rate,
+                      measured_fast.violation_rate,
+                      measured_slow.live_prediction});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nReading: Equation 3 assumes non-expanding quorums, so it upper-"
+         "bounds every measurement; slow write propagation (mean 50 ms "
+         "writes) approaches the bound for fast re-reads, while SSD-speed "
+         "propagation collapses violations to ~0 — the expansion effect "
+         "the paper credits for eventual consistency being 'good enough'. "
+         "The live estimate column is computed by the session itself from "
+         "its measured rates (the Section 3.2 workflow).\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

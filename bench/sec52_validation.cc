@@ -1,0 +1,123 @@
+// E9 — Section 5.2: experimental validation of the WARS Monte Carlo against
+// a real Dynamo-style implementation. The paper modified Cassandra, drove
+// it with exponential W in {0.05, 0.1, 0.2} x A=R=S in {0.1, 0.2, 0.5}
+// (50,000 writes each), and reported t-visibility prediction RMSE of 0.28%
+// and latency N-RMSE of 0.48%. Our stand-in for the Cassandra cluster is
+// the event-driven KVS in src/kvs (same protocol, same delay
+// distributions); we run the identical 3x3 sweep and report the same error
+// metrics.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/latency.h"
+#include "core/tvisibility.h"
+#include "dist/primitives.h"
+#include "kvs/experiment.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pbs;
+
+void Run() {
+  std::cout << "=== Section 5.2: WARS prediction vs event-driven "
+               "Dynamo-style cluster ===\n\n";
+  const std::vector<double> lambda_ws = {0.05, 0.1, 0.2};
+  const std::vector<double> lambda_arss = {0.1, 0.2, 0.5};
+  const QuorumConfig config{3, 1, 1};
+  const int cluster_writes = 20000;
+  const int wars_trials = 400000;
+
+  // t grid for the RMSE, mirroring the paper's t in {1..199} ms but coarser
+  // to keep the event-driven run tractable; probes are per-write reads.
+  std::vector<double> offsets;
+  for (double t = 0.0; t <= 96.0; t += 8.0) offsets.push_back(t);
+
+  CsvWriter csv(std::string(bench::kResultsDir) + "/sec52_validation.csv");
+  csv.WriteHeader({"lambda_w", "lambda_ars", "tvis_rmse_pct",
+                   "read_latency_nrmse_pct", "write_latency_nrmse_pct"});
+
+  TextTable table({"W lambda (mean ms)", "ARS lambda (mean ms)",
+                   "t-vis RMSE", "read lat N-RMSE", "write lat N-RMSE"});
+
+  RunningStats rmse_stats;
+  for (double lambda_w : lambda_ws) {
+    for (double lambda_ars : lambda_arss) {
+      const auto legs = MakeWars("val", Exponential(lambda_w),
+                                 Exponential(lambda_ars));
+
+      // Event-driven measurement (the "Cassandra" side).
+      kvs::StalenessExperimentOptions options;
+      options.cluster.quorum = config;
+      options.cluster.legs = legs;
+      options.cluster.request_timeout_ms = 5000.0;
+      options.writes = cluster_writes;
+      options.write_spacing_ms = 500.0;
+      options.read_offsets_ms = offsets;
+      options.seed = 520;
+      const auto measured = kvs::RunStalenessExperiment(options);
+
+      // WARS Monte Carlo prediction.
+      const auto model = MakeIidModel(legs, config.n);
+      WarsTrialSet set =
+          RunWarsTrials(config, model, wars_trials, /*seed=*/521);
+      const TVisibilityCurve predicted(std::move(set.staleness_thresholds));
+      const LatencyProfile predicted_reads(std::move(set.read_latencies));
+      const LatencyProfile predicted_writes(std::move(set.write_latencies));
+
+      std::vector<double> observed_curve;
+      std::vector<double> predicted_curve;
+      for (size_t i = 0; i < offsets.size(); ++i) {
+        observed_curve.push_back(
+            measured.t_visibility[i].ProbConsistent());
+        predicted_curve.push_back(predicted.ProbConsistent(offsets[i]));
+      }
+      const double tvis_rmse = Rmse(observed_curve, predicted_curve);
+
+      const LatencyProfile measured_reads(measured.read_latencies);
+      const LatencyProfile measured_writes(measured.write_latencies);
+      std::vector<double> pr;
+      std::vector<double> mr;
+      std::vector<double> pw;
+      std::vector<double> mw;
+      for (double pct = 1.0; pct <= 99.9; pct += 1.0) {
+        pr.push_back(predicted_reads.Percentile(pct));
+        mr.push_back(measured_reads.Percentile(pct));
+        pw.push_back(predicted_writes.Percentile(pct));
+        mw.push_back(measured_writes.Percentile(pct));
+      }
+      const double read_nrmse = NormalizedRmse(mr, pr);
+      const double write_nrmse = NormalizedRmse(mw, pw);
+
+      table.AddRow(
+          {FormatDouble(lambda_w, 2) + " (" +
+               FormatDouble(1.0 / lambda_w, 0) + "ms)",
+           FormatDouble(lambda_ars, 2) + " (" +
+               FormatDouble(1.0 / lambda_ars, 0) + "ms)",
+           FormatDouble(100.0 * tvis_rmse, 2) + "%",
+           FormatDouble(100.0 * read_nrmse, 2) + "%",
+           FormatDouble(100.0 * write_nrmse, 2) + "%"});
+      csv.WriteRow("", {lambda_w, lambda_ars, 100.0 * tvis_rmse,
+                        100.0 * read_nrmse, 100.0 * write_nrmse});
+      rmse_stats.Add(100.0 * tvis_rmse);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nAverage t-visibility RMSE: "
+            << FormatDouble(rmse_stats.mean(), 2) << "% (std dev "
+            << FormatDouble(rmse_stats.stddev(), 2)
+            << "%). Paper: average 0.28% (std dev 0.05%, max 0.53%) with "
+               "50k writes per configuration; our per-point sample "
+               "count is " << cluster_writes << " reads per offset.\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// A13 — Full-stack workload profiles: the YCSB mixes against the
+// event-driven cluster across consistency configurations. Where the other
+// harnesses isolate one mechanism, this one answers the adopter's question:
+// "for my workload, what do the consistency knobs cost and buy?"
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "kvs/cluster.h"
+#include "kvs/workload.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pbs;
+using kvs::WorkloadPreset;
+
+void Run() {
+  std::cout << "=== YCSB workload mixes on the event-driven cluster "
+               "(N=3, LNKD-DISK, zipfian 0.99, 30k ops) ===\n\n";
+
+  CsvWriter csv(std::string(bench::kResultsDir) + "/workload_profiles.csv");
+  csv.WriteHeader({"preset", "r", "w", "read_p50", "read_p999", "write_p50",
+                   "write_p999", "p_stale_ge1", "monotonic_violations"});
+
+  const std::vector<WorkloadPreset> presets = {
+      WorkloadPreset::kYcsbA, WorkloadPreset::kYcsbB,
+      WorkloadPreset::kYcsbC, WorkloadPreset::kYcsbD};
+
+  for (const QuorumConfig quorum :
+       {QuorumConfig{3, 1, 1}, QuorumConfig{3, 2, 2}}) {
+    TextTable table({"preset", "read p50/p99.9 (ms)", "write p50/p99.9 (ms)",
+                     "P(read >=1 version stale)", "monotonic violations"});
+    for (WorkloadPreset preset : presets) {
+      kvs::KvsConfig config;
+      config.quorum = quorum;
+      config.legs = LnkdDisk();
+      config.read_repair = true;
+      config.request_timeout_ms = 5000.0;
+      config.num_coordinators = 4;
+      config.seed = 1300;
+      kvs::Cluster cluster(config);
+      kvs::WorkloadDriver driver(
+          &cluster, kvs::MakePresetOptions(preset, 30000,
+                                           /*mean_interarrival_ms=*/0.5));
+      const kvs::WorkloadResult result = driver.RunToCompletion();
+      const auto& metrics = cluster.metrics();
+      const auto reads = metrics.read_latency.ToProfile();
+      const bool has_writes = metrics.write_latency.count() > 0;
+      const std::string write_cell =
+          has_writes
+              ? FormatDouble(
+                    metrics.write_latency.ToProfile().Percentile(50.0), 2) +
+                    " / " +
+                    FormatDouble(
+                        metrics.write_latency.ToProfile().Percentile(99.9),
+                        2)
+              : "- (no writes)";
+      table.AddRow({PresetName(preset),
+                    FormatDouble(reads.Percentile(50.0), 2) + " / " +
+                        FormatDouble(reads.Percentile(99.9), 2),
+                    write_cell,
+                    FormatDouble(result.staleness.ProbStalerThan(1), 4),
+                    std::to_string(result.monotonic_violations)});
+      csv.WriteRow(PresetName(preset),
+                   {static_cast<double>(quorum.r),
+                    static_cast<double>(quorum.w), reads.Percentile(50.0),
+                    reads.Percentile(99.9),
+                    has_writes
+                        ? metrics.write_latency.ToProfile().Percentile(50.0)
+                        : 0.0,
+                    has_writes
+                        ? metrics.write_latency.ToProfile().Percentile(99.9)
+                        : 0.0,
+                    result.staleness.ProbStalerThan(1),
+                    static_cast<double>(result.monotonic_violations)});
+    }
+    std::cout << quorum.ToString()
+              << (quorum.IsStrict() ? " (strict)" : " (partial)") << ":\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Reading: write-heavy mixes (A) surface the most staleness under "
+         "R=W=1 — hot keys are overwritten while reads race propagation; "
+         "read-mostly mixes (B, D) see less because each version has time "
+         "to spread (and read repair works in their favor); read-only C "
+         "is trivially consistent. The strict table prices the same "
+         "workloads under QUORUM/QUORUM: zero staleness versus the "
+         "committed watermark at ~2x latency. (Strict quorums can still "
+         "log a handful of monotonic-reads 'violations': a session may "
+         "read an in-flight version early — the paper's k-regular "
+         "semantics — and then fail to see it again before it commits.)\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Monotonic reads: the Section 3.2 session guarantee. Computes the
+// closed-form probability that a client session never moves backwards in
+// version history (Equation 3) as a function of the write/read rate ratio,
+// and cross-checks it against the event-driven cluster with sticky vs
+// non-sticky coordinator routing.
+//
+//   $ ./monotonic_reads
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/closed_form.h"
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "util/table.h"
+
+using namespace pbs;
+
+namespace {
+
+void ClosedFormTable() {
+  std::cout << "--- Equation 3: P(monotonic reads violation) = "
+               "ps^(1 + gw/cr) ---\n";
+  TextTable table({"config", "gw/cr=0.1", "gw/cr=1", "gw/cr=10",
+                   "gw/cr=100"});
+  for (const QuorumConfig config :
+       {QuorumConfig{3, 1, 1}, QuorumConfig{3, 2, 1}, QuorumConfig{3, 1, 2},
+        QuorumConfig{5, 1, 1}}) {
+    std::vector<double> row;
+    for (double ratio : {0.1, 1.0, 10.0, 100.0}) {
+      row.push_back(
+          MonotonicReadsViolationProbability(config, ratio, 1.0));
+    }
+    table.AddRow(config.ToString(), row, 5);
+  }
+  table.Print(std::cout);
+  std::cout << "Slow-reading sessions (high gw/cr) are naturally protected: "
+               "many versions land between their reads.\n\n";
+}
+
+// Measures session violations on the simulated cluster. A writer updates
+// one key at `write_interval` while a reader session polls it at
+// `read_interval`, either through one sticky coordinator or hopping
+// between two coordinators per read.
+int64_t MeasureViolations(bool sticky, double write_interval,
+                          double read_interval) {
+  kvs::KvsConfig config;
+  config.quorum = {3, 1, 1};
+  // Slow writes relative to everything else: maximal reordering.
+  config.legs = MakeWars("slow", Exponential(0.05), Exponential(2.0));
+  config.num_coordinators = 2;
+  config.request_timeout_ms = 2000.0;
+  config.seed = 77;
+  kvs::Cluster cluster(config);
+
+  kvs::ClientSession writer(&cluster, cluster.coordinator(0).id(), 1);
+  kvs::ClientSession reader(&cluster, cluster.coordinator(1).id(), 2);
+
+  const int writes = 4000;
+  for (int i = 0; i < writes; ++i) {
+    cluster.sim().At(i * write_interval,
+                     [&writer]() { writer.Write(1, "v", nullptr); });
+  }
+  const int reads = static_cast<int>(writes * write_interval / read_interval);
+  for (int i = 0; i < reads; ++i) {
+    cluster.sim().At(i * read_interval, [&reader, &cluster, sticky, i]() {
+      if (!sticky) {
+        reader.set_coordinator(
+            cluster.coordinator(i % 2).id());
+      }
+      reader.Read(1, nullptr);
+    });
+  }
+  cluster.sim().Run();
+  return reader.monotonic_violations();
+}
+
+}  // namespace
+
+int main() {
+  ClosedFormTable();
+
+  std::cout << "--- Measured on the event-driven cluster (N=3, R=W=1, "
+               "slow writes) ---\n";
+  TextTable table({"read cadence vs writes", "coordinator routing",
+                   "violations / ~4000 reads"});
+  for (double read_interval : {20.0, 100.0}) {
+    for (bool sticky : {true, false}) {
+      const int64_t violations =
+          MeasureViolations(sticky, /*write_interval=*/20.0, read_interval);
+      table.AddRow(
+          {read_interval <= 20.0 ? "reads as fast as writes"
+                                 : "reads 5x slower than writes",
+           sticky ? "sticky" : "alternating",
+           std::to_string(violations)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nFast re-reads risk regression (k = 1 + gw/cr is small); "
+               "slower sessions see monotone data almost surely — exactly "
+               "Equation 3's prediction.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "core/adaptive.h"
+
+#include <cassert>
+
+#include "core/latency.h"
+#include "core/tvisibility.h"
+
+namespace pbs {
+
+AdaptiveConfigController::AdaptiveConfigController(
+    QuorumConfig initial, const AdaptiveControllerOptions& options)
+    : current_(initial), options_(options) {
+  assert(initial.IsValid());
+  assert(options.trials_per_eval > 0);
+  assert(options.switch_improvement_factor > 0.0 &&
+         options.switch_improvement_factor <= 1.0);
+}
+
+AdaptiveConfigController::Evaluation AdaptiveConfigController::Evaluate(
+    const QuorumConfig& config, const ReplicaLatencyModelPtr& model,
+    uint64_t seed) const {
+  WarsTrialSet set =
+      RunWarsTrials(config, model, options_.trials_per_eval, seed);
+  const TVisibilityCurve curve(std::move(set.staleness_thresholds));
+  const LatencyProfile reads(std::move(set.read_latencies));
+  const LatencyProfile writes(std::move(set.write_latencies));
+  Evaluation eval;
+  eval.t_visibility_ms =
+      curve.TimeForConsistency(options_.consistency_probability);
+  eval.objective_ms =
+      options_.read_weight * reads.Percentile(options_.latency_percentile) +
+      options_.write_weight * writes.Percentile(options_.latency_percentile);
+  eval.feasible = eval.t_visibility_ms <= options_.max_t_visibility_ms;
+  return eval;
+}
+
+QuorumConfig AdaptiveConfigController::Update(
+    const ReplicaLatencyModelPtr& model) {
+  assert(model != nullptr);
+  assert(model->num_replicas() == current_.n);
+  ++epoch_;
+
+  // Evaluate the incumbent and every challenger under the current model.
+  const uint64_t base_seed = options_.seed + epoch_ * 1000003ULL;
+  Evaluation incumbent = Evaluate(current_, model, base_seed);
+
+  QuorumConfig best = current_;
+  Evaluation best_eval = incumbent;
+  uint64_t salt = 1;
+  for (int r = 1; r <= current_.n; ++r) {
+    for (int w = 1; w <= current_.n; ++w) {
+      const QuorumConfig candidate{current_.n, r, w};
+      if (candidate == current_) continue;
+      const Evaluation eval = Evaluate(candidate, model, base_seed + salt++);
+      const bool better =
+          (eval.feasible && !best_eval.feasible) ||
+          (eval.feasible == best_eval.feasible &&
+           eval.objective_ms < best_eval.objective_ms);
+      if (better) {
+        best = candidate;
+        best_eval = eval;
+      }
+    }
+  }
+
+  // Hysteresis: keep a feasible incumbent unless the challenger is a clear
+  // win; always leave an infeasible incumbent for the best feasible option.
+  bool switch_now = false;
+  if (!incumbent.feasible && best_eval.feasible) {
+    switch_now = true;
+  } else if (best_eval.feasible == incumbent.feasible &&
+             best_eval.objective_ms <
+                 options_.switch_improvement_factor *
+                     incumbent.objective_ms) {
+    switch_now = true;
+  }
+
+  Decision decision;
+  decision.switched = switch_now && !(best == current_);
+  if (switch_now) current_ = best;
+  decision.chosen = current_;
+  const Evaluation& chosen_eval = switch_now ? best_eval : incumbent;
+  decision.objective_ms = chosen_eval.objective_ms;
+  decision.t_visibility_ms = chosen_eval.t_visibility_ms;
+  decision.feasible = chosen_eval.feasible;
+  history_.push_back(decision);
+  return current_;
+}
+
+}  // namespace pbs

@@ -1,0 +1,80 @@
+#ifndef PBS_CORE_ADAPTIVE_H_
+#define PBS_CORE_ADAPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quorum_config.h"
+#include "core/wars.h"
+
+namespace pbs {
+
+/// Section 6 "Variable configurations": periodically re-pick R and W (N is
+/// fixed by durability/placement) as the environment's latency
+/// distributions drift, keeping a staleness SLA while minimizing latency.
+struct AdaptiveControllerOptions {
+  /// The SLA: reads consistent within `max_t_visibility_ms` of commit with
+  /// probability `consistency_probability`.
+  double consistency_probability = 0.999;
+  double max_t_visibility_ms = 10.0;
+
+  /// Objective: weighted read/write latency at this percentile.
+  double latency_percentile = 99.9;
+  double read_weight = 0.5;
+  double write_weight = 0.5;
+
+  /// Hysteresis: only switch away from the current (still feasible)
+  /// configuration when the challenger's objective is below
+  /// `switch_improvement_factor` times the current one. Prevents flapping
+  /// between near-equivalent configs on Monte Carlo noise.
+  double switch_improvement_factor = 0.9;
+
+  /// Monte Carlo budget per candidate per Update() call.
+  int trials_per_eval = 20000;
+
+  uint64_t seed = 1;
+};
+
+/// Online controller. Feed it the latest latency model (measured online or
+/// assumed) each control epoch; it returns the configuration to run with.
+class AdaptiveConfigController {
+ public:
+  /// One evaluated control decision (also kept in history()).
+  struct Decision {
+    QuorumConfig chosen;
+    double objective_ms = 0.0;
+    double t_visibility_ms = 0.0;
+    bool feasible = false;  // chosen config meets the SLA
+    bool switched = false;  // differs from the previous epoch's config
+  };
+
+  AdaptiveConfigController(QuorumConfig initial,
+                           const AdaptiveControllerOptions& options);
+
+  /// Re-evaluates all (R, W) pairs for the fixed N under `model` and
+  /// returns the recommended configuration. The current configuration is
+  /// retained unless it became infeasible or a challenger beats it by the
+  /// hysteresis margin.
+  QuorumConfig Update(const ReplicaLatencyModelPtr& model);
+
+  const QuorumConfig& current() const { return current_; }
+  const std::vector<Decision>& history() const { return history_; }
+
+ private:
+  struct Evaluation {
+    double objective_ms = 0.0;
+    double t_visibility_ms = 0.0;
+    bool feasible = false;
+  };
+  Evaluation Evaluate(const QuorumConfig& config,
+                      const ReplicaLatencyModelPtr& model, uint64_t seed) const;
+
+  QuorumConfig current_;
+  AdaptiveControllerOptions options_;
+  uint64_t epoch_ = 0;
+  std::vector<Decision> history_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_ADAPTIVE_H_

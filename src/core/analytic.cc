@@ -1,0 +1,181 @@
+#include "core/analytic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace pbs {
+
+DiscretizedDistribution::DiscretizedDistribution(double step,
+                                                 std::vector<double> pmf)
+    : step_(step), pmf_(std::move(pmf)) {
+  assert(step_ > 0.0);
+  assert(!pmf_.empty());
+  cdf_.resize(pmf_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < pmf_.size(); ++i) {
+    total += pmf_[i];
+    cdf_[i] = total;
+  }
+  // Normalize away accumulated rounding (inputs are probability masses).
+  if (total > 0.0 && std::abs(total - 1.0) > 1e-12) {
+    for (auto& m : pmf_) m /= total;
+    for (auto& c : cdf_) c /= total;
+  }
+}
+
+DiscretizedDistribution DiscretizedDistribution::FromDistribution(
+    const Distribution& dist, double max_value, int bins) {
+  assert(max_value > 0.0);
+  assert(bins >= 2);
+  const double step = max_value / bins;
+  std::vector<double> pmf(bins);
+  double prev = dist.Cdf(0.0);
+  for (int i = 0; i < bins; ++i) {
+    const double next = dist.Cdf((i + 1) * step);
+    pmf[i] = std::max(0.0, next - prev);
+    prev = next;
+  }
+  // Lump the tail beyond the grid into the last bin.
+  pmf[bins - 1] += std::max(0.0, 1.0 - prev);
+  // Mass below zero (none for latency distributions) would go to bin 0.
+  pmf[0] += std::max(0.0, dist.Cdf(0.0));
+  return DiscretizedDistribution(step, std::move(pmf));
+}
+
+DiscretizedDistribution DiscretizedDistribution::Convolve(
+    const DiscretizedDistribution& a, const DiscretizedDistribution& b) {
+  assert(std::abs(a.step_ - b.step_) < 1e-12);
+  const int bins = a.bins();
+  std::vector<double> pmf(bins, 0.0);
+  for (int i = 0; i < bins; ++i) {
+    if (a.pmf_[i] == 0.0) continue;
+    for (int j = 0; j < b.bins(); ++j) {
+      if (b.pmf_[j] == 0.0) continue;
+      pmf[std::min(i + j, bins - 1)] += a.pmf_[i] * b.pmf_[j];
+    }
+  }
+  return DiscretizedDistribution(a.step_, std::move(pmf));
+}
+
+DiscretizedDistribution DiscretizedDistribution::OrderStatistic(
+    const DiscretizedDistribution& dist, int n, int k) {
+  assert(n >= 1);
+  assert(k >= 1 && k <= n);
+  const int bins = dist.bins();
+  // G(x) = P(k-th smallest <= x) = sum_{j=k}^{n} C(n,j) F^j (1-F)^(n-j),
+  // evaluated at bin upper edges, then differenced back into masses.
+  std::vector<double> pmf(bins);
+  double prev = 0.0;
+  for (int i = 0; i < bins; ++i) {
+    const double f = dist.cdf_[i];
+    double g = 0.0;
+    for (int j = k; j <= n; ++j) {
+      g += Binomial(n, j) * std::pow(f, j) * std::pow(1.0 - f, n - j);
+    }
+    g = ClampProbability(g);
+    pmf[i] = std::max(0.0, g - prev);
+    prev = g;
+  }
+  return DiscretizedDistribution(dist.step_, std::move(pmf));
+}
+
+double DiscretizedDistribution::Cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  const int idx = static_cast<int>(x / step_);
+  if (idx >= bins()) return 1.0;
+  const double below = idx == 0 ? 0.0 : cdf_[idx - 1];
+  const double frac = (x - idx * step_) / step_;
+  return below + frac * pmf_[idx];
+}
+
+double DiscretizedDistribution::Quantile(double p) const {
+  assert(p >= 0.0 && p <= 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), p);
+  if (it == cdf_.end()) return bins() * step_;
+  const int idx = static_cast<int>(it - cdf_.begin());
+  const double below = idx == 0 ? 0.0 : cdf_[idx - 1];
+  const double frac =
+      pmf_[idx] > 0.0 ? (p - below) / pmf_[idx] : 0.0;
+  return (idx + frac) * step_;
+}
+
+double DiscretizedDistribution::Mean() const {
+  double mean = 0.0;
+  for (int i = 0; i < bins(); ++i) mean += pmf_[i] * value(i);
+  return mean;
+}
+
+namespace {
+
+DiscretizedDistribution LegSum(const Distribution& first,
+                               const Distribution& second, double max_ms,
+                               int bins) {
+  const auto a =
+      DiscretizedDistribution::FromDistribution(first, max_ms, bins);
+  const auto b =
+      DiscretizedDistribution::FromDistribution(second, max_ms, bins);
+  return DiscretizedDistribution::Convolve(a, b);
+}
+
+}  // namespace
+
+AnalyticWars::AnalyticWars(const QuorumConfig& config,
+                           const WarsDistributions& dists, double max_ms,
+                           int bins)
+    : config_(config), step_(max_ms / bins),
+      commit_time_(DiscretizedDistribution::OrderStatistic(
+          LegSum(*dists.w, *dists.a, max_ms, bins), config.n, config.w)),
+      read_latency_(DiscretizedDistribution::OrderStatistic(
+          LegSum(*dists.r, *dists.s, max_ms, bins), config.n, config.r)) {
+  assert(config_.IsValid());
+  // q(u) = P(w > u + r) = sum_r P(r) * (1 - Fw(u + r)), tabulated over
+  // u in [0, 2 * max_ms).
+  const auto w =
+      DiscretizedDistribution::FromDistribution(*dists.w, max_ms, bins);
+  const auto r =
+      DiscretizedDistribution::FromDistribution(*dists.r, max_ms, bins);
+  q_.assign(2 * bins, 0.0);
+  for (int ui = 0; ui < 2 * bins; ++ui) {
+    const double u = (ui + 0.5) * step_;
+    double q = 0.0;
+    for (int rj = 0; rj < r.bins(); ++rj) {
+      const double mass = r.mass(rj);
+      if (mass == 0.0) continue;
+      q += mass * (1.0 - w.Cdf(u + r.value(rj)));
+    }
+    q_[ui] = q;
+  }
+}
+
+double AnalyticWars::ApproxProbConsistent(double t) const {
+  assert(t >= 0.0);
+  // Strict quorums are exactly consistent by intersection; the independence
+  // approximation below only applies to partial quorums.
+  if (config_.IsStrict()) return 1.0;
+  // P(stale | t) = E_wt[ q(wt + t)^R ] under the independence assumptions
+  // documented in the header.
+  double stale = 0.0;
+  for (int i = 0; i < commit_time_.bins(); ++i) {
+    const double mass = commit_time_.mass(i);
+    if (mass == 0.0) continue;
+    const double u = commit_time_.value(i) + t;
+    const int ui =
+        std::min(static_cast<int>(u / step_), static_cast<int>(q_.size()) - 1);
+    stale += mass * std::pow(q_[ui], config_.r);
+  }
+  return ClampProbability(1.0 - stale);
+}
+
+double AnalyticWars::ApproxTimeForConsistency(double p) const {
+  assert(p > 0.0 && p <= 1.0);
+  const double max_t = step_ * static_cast<double>(q_.size());
+  for (double t = 0.0; t < max_t; t += step_) {
+    if (ApproxProbConsistent(t) >= p) return t;
+  }
+  return max_t;
+}
+
+}  // namespace pbs

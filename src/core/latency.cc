@@ -1,0 +1,39 @@
+#include "core/latency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace pbs {
+
+LatencyProfile::LatencyProfile(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  assert(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+          static_cast<double>(sorted_.size());
+}
+
+double LatencyProfile::Percentile(double pct) const {
+  assert(pct >= 0.0 && pct <= 100.0);
+  return QuantileSorted(sorted_, pct / 100.0);
+}
+
+double LatencyProfile::CdfAt(double x) const {
+  return EcdfSorted(sorted_, x);
+}
+
+OperationLatencies MakeOperationLatencies(WarsTrialSet set) {
+  return OperationLatencies{LatencyProfile(std::move(set.read_latencies)),
+                            LatencyProfile(std::move(set.write_latencies))};
+}
+
+OperationLatencies EstimateLatencies(const QuorumConfig& config,
+                                     const ReplicaLatencyModelPtr& model,
+                                     int trials, uint64_t seed) {
+  return MakeOperationLatencies(RunWarsTrials(config, model, trials, seed));
+}
+
+}  // namespace pbs

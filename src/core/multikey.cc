@@ -1,0 +1,48 @@
+#include "core/multikey.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/closed_form.h"
+
+namespace pbs {
+
+double MultiKeyFreshnessProbability(const QuorumConfig& config, int keys,
+                                    int k) {
+  assert(keys >= 1);
+  const double fresh = KFreshnessProbability(config, k);
+  return std::pow(fresh, keys);
+}
+
+int MaxKeysForFreshnessTarget(const QuorumConfig& config, double target,
+                              int k) {
+  assert(target > 0.0 && target < 1.0);
+  const double fresh = KFreshnessProbability(config, k);
+  if (fresh <= target) return -1;
+  if (fresh >= 1.0) return std::numeric_limits<int>::max();
+  // fresh^m >= target  <=>  m <= ln(target) / ln(fresh).
+  const double m = std::log(target) / std::log(fresh);
+  return static_cast<int>(std::floor(m + 1e-12));
+}
+
+TVisibilityCurve EstimateMultiKeyTVisibility(
+    const QuorumConfig& config, const ReplicaLatencyModelPtr& model,
+    int keys, int trials, uint64_t seed) {
+  assert(keys >= 1);
+  assert(trials > 0);
+  WarsSimulator sim(config, model, seed);
+  std::vector<double> thresholds;
+  thresholds.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    double worst = 0.0;
+    for (int key = 0; key < keys; ++key) {
+      worst = std::max(worst, sim.RunTrial().staleness_threshold);
+    }
+    thresholds.push_back(worst);
+  }
+  return TVisibilityCurve(std::move(thresholds));
+}
+
+}  // namespace pbs

@@ -1,0 +1,41 @@
+#ifndef PBS_CORE_MULTIKEY_H_
+#define PBS_CORE_MULTIKEY_H_
+
+#include <cstdint>
+
+#include "core/quorum_config.h"
+#include "core/tvisibility.h"
+#include "core/wars.h"
+
+namespace pbs {
+
+// Section 6 "Multi-key operations": for read-only multi-key operations over
+// randomly distributed keys, each key's quorum system is independent, so
+// staleness probabilities multiply. These helpers quantify the freshness of
+// an m-key read-only transaction.
+
+/// Probability that ALL `keys` values returned by a multi-key read are
+/// within the newest k versions of their respective keys:
+/// (1 - ps^k)^keys (closed form, non-expanding quorums).
+double MultiKeyFreshnessProbability(const QuorumConfig& config, int keys,
+                                    int k = 1);
+
+/// Smallest number of keys at which the transaction's freshness probability
+/// drops below `target` (how large can a read-only transaction get before
+/// its all-fresh guarantee erodes?). Returns -1 if even one key misses the
+/// target.
+int MaxKeysForFreshnessTarget(const QuorumConfig& config, double target,
+                              int k = 1);
+
+/// Monte Carlo multi-key t-visibility: the transaction is consistent at
+/// time t iff EVERY key's read is consistent, so the per-trial transaction
+/// threshold is the max of `keys` independent WARS thresholds. Returns the
+/// transaction-level curve (same API as the single-key one).
+TVisibilityCurve EstimateMultiKeyTVisibility(const QuorumConfig& config,
+                                             const ReplicaLatencyModelPtr& model,
+                                             int keys, int trials,
+                                             uint64_t seed);
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_MULTIKEY_H_

@@ -1,0 +1,47 @@
+#include "core/predictor.h"
+
+#include <cassert>
+
+namespace pbs {
+
+PbsPredictor::PbsPredictor(const QuorumConfig& config,
+                           ReplicaLatencyModelPtr model,
+                           const PredictorOptions& options)
+    : config_(config), model_(std::move(model)) {
+  assert(config_.IsValid());
+  trials_ = RunWarsTrials(config_, model_, options.trials, options.seed,
+                          options.collect_propagation);
+  // The curve/profile constructors sort their inputs; copy the columns the
+  // trial set still needs (thresholds are only used by the curve).
+  t_visibility_ = std::make_unique<TVisibilityCurve>(
+      std::move(trials_.staleness_thresholds));
+  trials_.staleness_thresholds.clear();
+  latencies_ = std::make_unique<OperationLatencies>(OperationLatencies{
+      LatencyProfile(trials_.read_latencies),
+      LatencyProfile(trials_.write_latencies)});
+}
+
+double PbsPredictor::ProbConsistent(double t) const {
+  return t_visibility_->ProbConsistent(t);
+}
+
+double PbsPredictor::TimeForConsistency(double p) const {
+  return t_visibility_->TimeForConsistency(p);
+}
+
+double PbsPredictor::KTStalenessUpperBound(int k, double t) const {
+  assert(!trials_.propagation.empty() &&
+         "PredictorOptions::collect_propagation must be set");
+  const auto pw = EmpiricalPwAt(trials_, config_.n, t);
+  return KTStalenessBound(config_, pw, k);
+}
+
+double PbsPredictor::ReadLatencyPercentile(double pct) const {
+  return latencies_->reads.Percentile(pct);
+}
+
+double PbsPredictor::WriteLatencyPercentile(double pct) const {
+  return latencies_->writes.Percentile(pct);
+}
+
+}  // namespace pbs

@@ -1,0 +1,80 @@
+#ifndef PBS_CORE_PREDICTOR_H_
+#define PBS_CORE_PREDICTOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/closed_form.h"
+#include "core/latency.h"
+#include "core/quorum_config.h"
+#include "core/tvisibility.h"
+#include "core/wars.h"
+
+namespace pbs {
+
+/// Options controlling a PbsPredictor's Monte Carlo run.
+struct PredictorOptions {
+  int trials = 100000;
+  uint64_t seed = 42;
+  /// Collect per-trial write-propagation times (needed for the Equation 4/5
+  /// upper bounds via empirical Pw; slightly slower).
+  bool collect_propagation = true;
+};
+
+/// The library's front door: one object answering every PBS question about a
+/// (quorum configuration, latency model) pair.
+///
+///   auto model = pbs::MakeIidModel(pbs::LnkdDisk(), 3);
+///   pbs::PbsPredictor predictor({.n = 3, .r = 1, .w = 1}, model, {});
+///   predictor.ProbConsistent(10.0);       // P(fresh read 10ms after write)
+///   predictor.TimeForConsistency(0.999);  // t-visibility at 99.9%
+///   predictor.KFreshness(2);              // P(within 2 versions), Eq. 2
+///   predictor.ReadLatencyPercentile(99.9);
+///
+/// The WARS Monte Carlo run happens once, in the constructor; every query is
+/// then O(log trials) or O(1).
+class PbsPredictor {
+ public:
+  PbsPredictor(const QuorumConfig& config, ReplicaLatencyModelPtr model,
+               const PredictorOptions& options);
+
+  const QuorumConfig& config() const { return config_; }
+
+  // --- t-visibility (Definition 3, Monte Carlo over WARS) ---
+  double ProbConsistent(double t) const;
+  double ProbStale(double t) const { return 1.0 - ProbConsistent(t); }
+  double TimeForConsistency(double p) const;
+  const TVisibilityCurve& t_visibility() const { return *t_visibility_; }
+
+  // --- k-staleness (Definitions 1-2, closed form) ---
+  double KStaleness(int k) const {
+    return KStalenessProbability(config_, k);
+  }
+  double KFreshness(int k) const {
+    return KFreshnessProbability(config_, k);
+  }
+  double MonotonicReadsViolation(double gamma_gw, double gamma_cr) const {
+    return MonotonicReadsViolationProbability(config_, gamma_gw, gamma_cr);
+  }
+
+  // --- <k, t>-staleness (Definition 4) ---
+  /// Equation 5 upper bound evaluated with the empirically estimated write
+  /// propagation CDF Pw(·, t). Requires collect_propagation.
+  double KTStalenessUpperBound(int k, double t) const;
+
+  // --- operation latency ---
+  double ReadLatencyPercentile(double pct) const;
+  double WriteLatencyPercentile(double pct) const;
+  const OperationLatencies& latencies() const { return *latencies_; }
+
+ private:
+  QuorumConfig config_;
+  ReplicaLatencyModelPtr model_;
+  WarsTrialSet trials_;  // kept for Pw queries
+  std::unique_ptr<TVisibilityCurve> t_visibility_;
+  std::unique_ptr<OperationLatencies> latencies_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_PREDICTOR_H_

@@ -1,0 +1,27 @@
+#include "core/quorum_config.h"
+
+namespace pbs {
+
+std::string QuorumConfig::ToString() const {
+  return "N=" + std::to_string(n) + " R=" + std::to_string(r) +
+         " W=" + std::to_string(w);
+}
+
+Status ValidateQuorumConfig(const QuorumConfig& config) {
+  if (config.n < 1) {
+    return Status::InvalidArgument("replication factor N must be >= 1");
+  }
+  if (config.r < 1 || config.r > config.n) {
+    return Status::InvalidArgument("read quorum R must be in [1, N]");
+  }
+  if (config.w < 1 || config.w > config.n) {
+    return Status::InvalidArgument("write quorum W must be in [1, N]");
+  }
+  return Status::Ok();
+}
+
+bool operator==(const QuorumConfig& a, const QuorumConfig& b) {
+  return a.n == b.n && a.r == b.r && a.w == b.w;
+}
+
+}  // namespace pbs

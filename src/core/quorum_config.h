@@ -1,0 +1,46 @@
+#ifndef PBS_CORE_QUORUM_CONFIG_H_
+#define PBS_CORE_QUORUM_CONFIG_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace pbs {
+
+/// A Dynamo-style replication configuration: N replicas per key, a write is
+/// acknowledged after W replica responses, a read returns after R replica
+/// responses (Section 2.2 of the paper).
+struct QuorumConfig {
+  int n = 3;
+  int r = 1;
+  int w = 1;
+
+  /// 1 <= R <= N and 1 <= W <= N.
+  bool IsValid() const {
+    return n >= 1 && r >= 1 && r <= n && w >= 1 && w <= n;
+  }
+
+  /// Strict quorum: read and write quorums always intersect (R + W > N), so
+  /// reads are guaranteed to observe the latest committed write under normal
+  /// operation.
+  bool IsStrict() const { return r + w > n; }
+
+  /// Partial (non-strict) quorum: R + W <= N; reads may miss the latest
+  /// write — the regime PBS quantifies.
+  bool IsPartial() const { return !IsStrict(); }
+
+  /// Strict majority of writes (W > N/2), the paper's condition for
+  /// consistency under concurrent writes.
+  bool HasMajorityWrites() const { return 2 * w > n; }
+
+  std::string ToString() const;
+};
+
+/// Validates the configuration, returning an explanatory error if invalid.
+Status ValidateQuorumConfig(const QuorumConfig& config);
+
+bool operator==(const QuorumConfig& a, const QuorumConfig& b);
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_QUORUM_CONFIG_H_

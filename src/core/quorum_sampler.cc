@@ -1,0 +1,110 @@
+#include "core/quorum_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pbs {
+
+QuorumSampler::QuorumSampler(const QuorumConfig& config, uint64_t seed)
+    : config_(config), rng_(seed), scratch_(config.n) {
+  assert(config.IsValid());
+  std::iota(scratch_.begin(), scratch_.end(), 0);
+}
+
+std::vector<int> QuorumSampler::SampleSubset(int size) {
+  assert(size >= 0 && size <= config_.n);
+  // Partial Fisher-Yates over the persistent identity array.
+  for (int i = 0; i < size; ++i) {
+    const int j =
+        i + static_cast<int>(rng_.NextBounded(
+                static_cast<uint64_t>(config_.n - i)));
+    std::swap(scratch_[i], scratch_[j]);
+  }
+  return std::vector<int>(scratch_.begin(), scratch_.begin() + size);
+}
+
+double QuorumSampler::EstimateMissProbability(int trials) {
+  assert(trials > 0);
+  int64_t misses = 0;
+  std::vector<bool> written(config_.n);
+  for (int t = 0; t < trials; ++t) {
+    std::fill(written.begin(), written.end(), false);
+    for (int idx : SampleSubset(config_.w)) written[idx] = true;
+    bool hit = false;
+    for (int idx : SampleSubset(config_.r)) {
+      if (written[idx]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) ++misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(trials);
+}
+
+double QuorumSampler::EstimateKStaleness(int k, int trials) {
+  assert(k >= 1);
+  assert(trials > 0);
+  int64_t misses = 0;
+  // newest_version[i] = highest of the last k versions replica i received,
+  // or 0 if none.
+  std::vector<int> newest_version(config_.n);
+  for (int t = 0; t < trials; ++t) {
+    std::fill(newest_version.begin(), newest_version.end(), 0);
+    for (int v = 1; v <= k; ++v) {
+      for (int idx : SampleSubset(config_.w)) newest_version[idx] = v;
+    }
+    bool hit = false;
+    for (int idx : SampleSubset(config_.r)) {
+      if (newest_version[idx] > 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) ++misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(trials);
+}
+
+std::vector<int64_t> QuorumSampler::StalenessHistogram(
+    int versions, int reads, WritePlacement placement) {
+  assert(versions >= 1);
+  assert(reads >= 1);
+  std::vector<int64_t> histogram(versions, 0);
+  std::vector<int> replica_version(config_.n);
+
+  for (int read = 0; read < reads; ++read) {
+    // Fresh write history per trial (see header).
+    std::fill(replica_version.begin(), replica_version.end(), 0);
+    for (int v = 1; v <= versions; ++v) {
+      switch (placement) {
+        case WritePlacement::kUniformRandom:
+          for (int idx : SampleSubset(config_.w)) replica_version[idx] = v;
+          break;
+        case WritePlacement::kRoundRobin: {
+          // Single-writer k-quorum scheduling: rotate the write set so every
+          // replica is refreshed at least every ceil(N/W) writes.
+          const int start = ((v - 1) * config_.w) % config_.n;
+          for (int i = 0; i < config_.w; ++i) {
+            replica_version[(start + i) % config_.n] = v;
+          }
+          break;
+        }
+      }
+    }
+
+    // One read against this history; staleness = versions - max observed.
+    int best = 0;
+    for (int idx : SampleSubset(config_.r)) {
+      best = std::max(best, replica_version[idx]);
+    }
+    // A replica that never received any write reports version 0; clamp the
+    // staleness into the histogram's last bucket.
+    const int staleness = std::min(versions - best, versions - 1);
+    ++histogram[staleness];
+  }
+  return histogram;
+}
+
+}  // namespace pbs

@@ -1,0 +1,60 @@
+#ifndef PBS_CORE_QUORUM_SAMPLER_H_
+#define PBS_CORE_QUORUM_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quorum_config.h"
+#include "util/rng.h"
+
+namespace pbs {
+
+/// Monte Carlo sampler for classical *non-expanding* probabilistic quorums
+/// (Section 2.1 / 3.1 of the paper): each write lands on a uniformly random
+/// W-subset of the N replicas, each read probes a uniformly random R-subset,
+/// and quorums never grow afterwards. Used to validate the closed forms
+/// (Equations 1-3) and to run versioned-staleness experiments that have no
+/// closed form (multi-writer k-quorums).
+class QuorumSampler {
+ public:
+  /// Write-placement strategies for versioned experiments.
+  enum class WritePlacement {
+    kUniformRandom,  // the probabilistic-quorum model
+    kRoundRobin,     // single-writer k-quorum scheduling (Section 2.1):
+                     // write i goes to a deterministic rotating W-subset
+  };
+
+  QuorumSampler(const QuorumConfig& config, uint64_t seed);
+
+  /// Estimates Equation 1 (single-quorum miss probability) from `trials`
+  /// independent write/read quorum pairs.
+  double EstimateMissProbability(int trials);
+
+  /// Estimates Equation 2: probability that a read misses all of the last k
+  /// independent write quorums.
+  double EstimateKStaleness(int k, int trials);
+
+  /// Versioned-staleness experiment. Each of the `reads` trials applies a
+  /// fresh history of `versions` writes (placement per `placement`), where
+  /// each replica retains the highest version that wrote it, then issues one
+  /// read and records how many versions stale the result is (0 = freshest).
+  /// Regenerating the history per read matters: against a single fixed
+  /// history the tail probabilities are conditioned on one realization of
+  /// the write-quorum union and do not converge to ps^k. Returns the
+  /// histogram of staleness counts indexed by staleness (size = versions).
+  std::vector<int64_t> StalenessHistogram(int versions, int reads,
+                                          WritePlacement placement);
+
+  /// Draws a uniformly random `size`-subset of [0, n); exposed for reuse and
+  /// testing (partial Fisher-Yates, O(size)).
+  std::vector<int> SampleSubset(int size);
+
+ private:
+  QuorumConfig config_;
+  Rng rng_;
+  std::vector<int> scratch_;  // identity permutation reused across draws
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_QUORUM_SAMPLER_H_

@@ -1,0 +1,242 @@
+#include "core/quorum_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pbs {
+namespace {
+
+/// Applies per-member omission: drops each id with probability p.
+void DropMembers(Rng& rng, double p, std::vector<int>* quorum) {
+  if (p <= 0.0) return;
+  auto keep_end = std::remove_if(quorum->begin(), quorum->end(), [&](int) {
+    return rng.NextDouble() < p;
+  });
+  quorum->erase(keep_end, quorum->end());
+}
+
+class SubsetQuorumSystem final : public QuorumSystem {
+ public:
+  SubsetQuorumSystem(int n, int read_size, int write_size)
+      : n_(n), read_size_(read_size), write_size_(write_size) {
+    assert(n >= 1);
+    assert(read_size >= 1 && read_size <= n);
+    assert(write_size >= 1 && write_size <= n);
+  }
+
+  int num_replicas() const override { return n_; }
+
+  std::vector<int> SampleReadQuorum(Rng& rng) const override {
+    return SampleSubset(rng, read_size_);
+  }
+  std::vector<int> SampleWriteQuorum(Rng& rng) const override {
+    return SampleSubset(rng, write_size_);
+  }
+
+  bool IsStrict() const override { return read_size_ + write_size_ > n_; }
+
+  std::string Describe() const override {
+    return "Subset(N=" + std::to_string(n_) +
+           ", R=" + std::to_string(read_size_) +
+           ", W=" + std::to_string(write_size_) + ")";
+  }
+
+ private:
+  std::vector<int> SampleSubset(Rng& rng, int size) const {
+    // Partial Fisher-Yates over a fresh identity vector (the system is
+    // immutable and shared, so no persistent scratch).
+    std::vector<int> ids(n_);
+    std::iota(ids.begin(), ids.end(), 0);
+    for (int i = 0; i < size; ++i) {
+      const int j =
+          i + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(n_ - i)));
+      std::swap(ids[i], ids[j]);
+    }
+    ids.resize(size);
+    return ids;
+  }
+
+  int n_;
+  int read_size_;
+  int write_size_;
+};
+
+class GridQuorumSystem final : public QuorumSystem {
+ public:
+  GridQuorumSystem(int rows, int cols, double miss_probability)
+      : rows_(rows), cols_(cols), miss_probability_(miss_probability) {
+    assert(rows >= 1);
+    assert(cols >= 1);
+    assert(miss_probability >= 0.0 && miss_probability < 1.0);
+  }
+
+  int num_replicas() const override { return rows_ * cols_; }
+
+  std::vector<int> SampleReadQuorum(Rng& rng) const override {
+    // One full row.
+    const int row = static_cast<int>(rng.NextBounded(rows_));
+    std::vector<int> quorum(cols_);
+    for (int c = 0; c < cols_; ++c) quorum[c] = row * cols_ + c;
+    DropMembers(rng, miss_probability_, &quorum);
+    return quorum;
+  }
+
+  std::vector<int> SampleWriteQuorum(Rng& rng) const override {
+    // One full column.
+    const int col = static_cast<int>(rng.NextBounded(cols_));
+    std::vector<int> quorum(rows_);
+    for (int r = 0; r < rows_; ++r) quorum[r] = r * cols_ + col;
+    DropMembers(rng, miss_probability_, &quorum);
+    return quorum;
+  }
+
+  bool IsStrict() const override { return miss_probability_ == 0.0; }
+
+  std::string Describe() const override {
+    return "Grid(" + std::to_string(rows_) + "x" + std::to_string(cols_) +
+           ", miss=" + std::to_string(miss_probability_) + ")";
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  double miss_probability_;
+};
+
+class TreeQuorumSystem final : public QuorumSystem {
+ public:
+  TreeQuorumSystem(int levels, double root_preference,
+                   double miss_probability)
+      : levels_(levels), root_preference_(root_preference),
+        miss_probability_(miss_probability) {
+    assert(levels >= 1);
+    assert(root_preference > 0.0 && root_preference <= 1.0);
+    assert(miss_probability >= 0.0 && miss_probability < 1.0);
+  }
+
+  int num_replicas() const override { return (1 << levels_) - 1; }
+
+  std::vector<int> SampleReadQuorum(Rng& rng) const override {
+    return SampleQuorum(rng);
+  }
+  std::vector<int> SampleWriteQuorum(Rng& rng) const override {
+    return SampleQuorum(rng);
+  }
+
+  bool IsStrict() const override { return miss_probability_ == 0.0; }
+
+  std::string Describe() const override {
+    return "Tree(levels=" + std::to_string(levels_) +
+           ", root_pref=" + std::to_string(root_preference_) +
+           ", miss=" + std::to_string(miss_probability_) + ")";
+  }
+
+ private:
+  // Heap layout: node i has children 2i+1, 2i+2; leaves at the last level.
+  bool IsLeaf(int node) const { return 2 * node + 1 >= num_replicas(); }
+
+  // Agrawal-El Abbadi tree quorum protocol (binary form):
+  //   Q(v) = {v} U Q(one child)         if v is available,
+  //   Q(v) = Q(left) U Q(right)         otherwise.
+  // Intersection by induction: if quorums A and B both contain v, done. If
+  // only A does, then B covers quorums of BOTH children, one of which is
+  // the child A recursed into; induction gives a common member there. If
+  // neither contains v, both cover both children; recurse on the left.
+  // `root_preference` models node availability at each level.
+  void Collect(Rng& rng, int node, std::vector<int>* out) const {
+    if (IsLeaf(node)) {
+      out->push_back(node);
+      return;
+    }
+    if (rng.NextDouble() < root_preference_) {
+      out->push_back(node);
+      const int child =
+          2 * node + 1 + static_cast<int>(rng.NextBounded(2));
+      Collect(rng, child, out);
+    } else {
+      Collect(rng, 2 * node + 1, out);
+      Collect(rng, 2 * node + 2, out);
+    }
+  }
+
+  std::vector<int> SampleQuorum(Rng& rng) const {
+    std::vector<int> quorum;
+    Collect(rng, 0, &quorum);
+    DropMembers(rng, miss_probability_, &quorum);
+    return quorum;
+  }
+
+  int levels_;
+  double root_preference_;
+  double miss_probability_;
+};
+
+}  // namespace
+
+QuorumSystemPtr MakeSubsetQuorumSystem(int n, int read_size, int write_size) {
+  return std::make_shared<SubsetQuorumSystem>(n, read_size, write_size);
+}
+
+QuorumSystemPtr MakeGridQuorumSystem(int rows, int cols,
+                                     double miss_probability) {
+  return std::make_shared<GridQuorumSystem>(rows, cols, miss_probability);
+}
+
+QuorumSystemPtr MakeTreeQuorumSystem(int levels, double root_preference,
+                                     double miss_probability) {
+  return std::make_shared<TreeQuorumSystem>(levels, root_preference,
+                                            miss_probability);
+}
+
+QuorumSystemStats AnalyzeQuorumSystem(const QuorumSystem& system, int trials,
+                                      uint64_t seed) {
+  assert(trials > 0);
+  Rng rng(seed);
+  const int n = system.num_replicas();
+  std::vector<int64_t> touches(n, 0);
+  std::vector<int8_t> holds(n, 0);  // 0: none, 1: v-1 only, 2: v (latest)
+  int64_t misses = 0;
+  int64_t k2_misses = 0;
+  int64_t read_members = 0;
+  int64_t write_members = 0;
+  int64_t accesses = 0;
+
+  for (int t = 0; t < trials; ++t) {
+    std::fill(holds.begin(), holds.end(), 0);
+    const auto write_prev = system.SampleWriteQuorum(rng);
+    const auto write_last = system.SampleWriteQuorum(rng);
+    const auto read = system.SampleReadQuorum(rng);
+    for (int id : write_prev) holds[id] = 1;
+    for (int id : write_last) holds[id] = 2;
+    bool saw_last = false;
+    bool saw_any = false;
+    for (int id : read) {
+      if (holds[id] == 2) saw_last = true;
+      if (holds[id] != 0) saw_any = true;
+    }
+    if (!saw_last) ++misses;
+    if (!saw_any) ++k2_misses;
+    // Load: every quorum member is accessed once per operation; the load of
+    // the system is the max over replicas of (touches / operations)
+    // [Naor & Wool, Definition 3.2].
+    for (int id : read) ++touches[id];
+    for (int id : write_prev) ++touches[id];
+    for (int id : write_last) ++touches[id];
+    accesses += 3;  // three operations per trial
+    read_members += static_cast<int64_t>(read.size());
+    write_members += static_cast<int64_t>(write_last.size());
+  }
+
+  QuorumSystemStats stats;
+  stats.miss_probability = static_cast<double>(misses) / trials;
+  stats.k2_miss_probability = static_cast<double>(k2_misses) / trials;
+  const int64_t busiest =
+      *std::max_element(touches.begin(), touches.end());
+  stats.load = static_cast<double>(busiest) / static_cast<double>(accesses);
+  stats.mean_read_quorum_size = static_cast<double>(read_members) / trials;
+  stats.mean_write_quorum_size = static_cast<double>(write_members) / trials;
+  return stats;
+}
+
+}  // namespace pbs

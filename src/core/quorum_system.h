@@ -1,0 +1,79 @@
+#ifndef PBS_CORE_QUORUM_SYSTEM_H_
+#define PBS_CORE_QUORUM_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pbs {
+
+/// A quorum system: a rule for drawing read and write quorums over a fixed
+/// replica universe [0, num_replicas()). This generalizes the fixed-size
+/// random-subset systems of the paper's running example to the structured
+/// designs its related-work section surveys (tree quorums [Agrawal & El
+/// Abbadi], grid quorums [Naor & Wool]) — and which its Section 7 flags as
+/// promising to revisit under PBS.
+///
+/// Implementations are immutable; callers pass their own Rng.
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  virtual int num_replicas() const = 0;
+
+  /// Draws one read / write quorum (distinct replica ids).
+  virtual std::vector<int> SampleReadQuorum(Rng& rng) const = 0;
+  virtual std::vector<int> SampleWriteQuorum(Rng& rng) const = 0;
+
+  /// True when every read quorum intersects every write quorum (strict
+  /// quorum system).
+  virtual bool IsStrict() const = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+using QuorumSystemPtr = std::shared_ptr<const QuorumSystem>;
+
+/// The paper's running example: uniformly random R-subsets and W-subsets of
+/// N replicas. Strict iff R + W > N.
+QuorumSystemPtr MakeSubsetQuorumSystem(int n, int read_size, int write_size);
+
+/// Grid quorum system (Naor & Wool) over a rows x cols replica grid: a
+/// write quorum is one full column, a read quorum one full row — every
+/// read/write pair intersects in exactly one cell. `miss_probability`
+/// models per-member omission (timeout / failure / partial response): each
+/// quorum member is independently dropped with that probability, turning
+/// the strict system into a probabilistic one whose single-cell
+/// intersection is fragile — the structured analogue of a partial quorum.
+QuorumSystemPtr MakeGridQuorumSystem(int rows, int cols,
+                                     double miss_probability = 0.0);
+
+/// Tree quorum protocol (Agrawal & El Abbadi) over a complete binary tree
+/// with `levels` levels (N = 2^levels - 1 replicas): a quorum for a subtree
+/// is its root (with probability `root_preference`, modeling root
+/// availability) or, recursively, quorums of BOTH children. Read and write
+/// quorums use the same recursion, so any two quorums intersect. With
+/// `miss_probability` > 0 members are dropped after selection, as in the
+/// grid system.
+QuorumSystemPtr MakeTreeQuorumSystem(int levels, double root_preference,
+                                     double miss_probability = 0.0);
+
+/// Monte Carlo analysis of an arbitrary quorum system: staleness (does a
+/// read quorum miss the last k write quorums?) and load (Section 3.3: the
+/// access frequency of the busiest replica).
+struct QuorumSystemStats {
+  double miss_probability = 0.0;      // P(read misses last write), Eq.1 analogue
+  double k2_miss_probability = 0.0;   // P(read misses last 2 writes)
+  double load = 0.0;                  // busiest replica's access frequency
+  double mean_read_quorum_size = 0.0;
+  double mean_write_quorum_size = 0.0;
+};
+
+QuorumSystemStats AnalyzeQuorumSystem(const QuorumSystem& system, int trials,
+                                      uint64_t seed);
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_QUORUM_SYSTEM_H_

@@ -1,0 +1,74 @@
+#include "core/sla.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/latency.h"
+#include "core/tvisibility.h"
+
+namespace pbs {
+
+SlaOptimizer::SlaOptimizer(ModelFactory factory, int trials_per_config,
+                           uint64_t seed)
+    : factory_(std::move(factory)), trials_per_config_(trials_per_config),
+      seed_(seed) {
+  assert(factory_ != nullptr);
+  assert(trials_per_config_ > 0);
+}
+
+std::vector<SlaCandidate> SlaOptimizer::EnumerateAll(
+    const SlaConstraints& constraints, const SlaObjective& objective) const {
+  assert(constraints.min_n >= 1);
+  assert(constraints.max_n >= constraints.min_n);
+  assert(constraints.consistency_probability > 0.0 &&
+         constraints.consistency_probability <= 1.0);
+
+  std::vector<SlaCandidate> candidates;
+  for (int n = constraints.min_n; n <= constraints.max_n; ++n) {
+    const ReplicaLatencyModelPtr model = factory_(n);
+    assert(model->num_replicas() == n);
+    for (int r = 1; r <= n; ++r) {
+      for (int w = std::max(1, constraints.min_write_quorum); w <= n; ++w) {
+        const QuorumConfig config{n, r, w};
+        // One trial set answers both the staleness and latency questions.
+        WarsTrialSet set =
+            RunWarsTrials(config, model, trials_per_config_, seed_);
+        SlaCandidate candidate;
+        candidate.config = config;
+        const TVisibilityCurve curve(std::move(set.staleness_thresholds));
+        candidate.t_visibility_ms =
+            curve.TimeForConsistency(constraints.consistency_probability);
+        const LatencyProfile reads(std::move(set.read_latencies));
+        const LatencyProfile writes(std::move(set.write_latencies));
+        candidate.read_latency_ms =
+            reads.Percentile(objective.latency_percentile);
+        candidate.write_latency_ms =
+            writes.Percentile(objective.latency_percentile);
+        candidate.objective =
+            objective.read_weight * candidate.read_latency_ms +
+            objective.write_weight * candidate.write_latency_ms;
+        candidate.feasible =
+            candidate.t_visibility_ms <= constraints.max_t_visibility_ms;
+        candidates.push_back(candidate);
+      }
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const SlaCandidate& a, const SlaCandidate& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     return a.objective < b.objective;
+                   });
+  return candidates;
+}
+
+StatusOr<SlaCandidate> SlaOptimizer::Optimize(
+    const SlaConstraints& constraints, const SlaObjective& objective) const {
+  const auto candidates = EnumerateAll(constraints, objective);
+  if (candidates.empty() || !candidates.front().feasible) {
+    return Status::NotFound(
+        "no configuration satisfies the staleness SLA within the search box");
+  }
+  return candidates.front();
+}
+
+}  // namespace pbs

@@ -1,0 +1,79 @@
+#ifndef PBS_CORE_SLA_H_
+#define PBS_CORE_SLA_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/quorum_config.h"
+#include "core/wars.h"
+#include "util/status.h"
+
+namespace pbs {
+
+/// Constraints for the Section 6 "Latency/Staleness SLA" optimization:
+/// choose (N, R, W) minimizing operation latency subject to a staleness
+/// bound and a durability floor.
+struct SlaConstraints {
+  /// Configurations with n in [min_n, max_n] are considered (the paper notes
+  /// the search space is only O(N^2) per N).
+  int min_n = 1;
+  int max_n = 5;
+
+  /// Durability/availability floor: at least this many replicas must
+  /// acknowledge every write (operators "specify a minimum replication
+  /// factor for durability").
+  int min_write_quorum = 1;
+
+  /// The staleness SLA: with probability `consistency_probability`, reads
+  /// must be consistent within `max_t_visibility_ms` of a write commit.
+  double consistency_probability = 0.999;
+  double max_t_visibility_ms = 10.0;
+};
+
+/// Objective: minimize a weighted combination of read and write latency at
+/// the given percentile (weights typically reflect the workload's op mix).
+struct SlaObjective {
+  double latency_percentile = 99.9;
+  double read_weight = 0.5;
+  double write_weight = 0.5;
+};
+
+/// One evaluated configuration.
+struct SlaCandidate {
+  QuorumConfig config;
+  double t_visibility_ms = 0.0;   // t at the target consistency probability
+  double read_latency_ms = 0.0;   // at the objective percentile
+  double write_latency_ms = 0.0;  // at the objective percentile
+  double objective = 0.0;
+  bool feasible = false;
+};
+
+/// Enumerates and scores quorum configurations against an SLA via WARS
+/// Monte Carlo. The caller provides a latency-model factory because the
+/// model depends on N (e.g. MakeIidModel(LnkdDisk(), n)).
+class SlaOptimizer {
+ public:
+  using ModelFactory = std::function<ReplicaLatencyModelPtr(int n)>;
+
+  SlaOptimizer(ModelFactory factory, int trials_per_config, uint64_t seed);
+
+  /// Scores every (n, r, w) in the constraint box, sorted by objective
+  /// (feasible first).
+  std::vector<SlaCandidate> EnumerateAll(const SlaConstraints& constraints,
+                                         const SlaObjective& objective) const;
+
+  /// Best feasible configuration, or NotFound if the SLA is unsatisfiable
+  /// within the box.
+  StatusOr<SlaCandidate> Optimize(const SlaConstraints& constraints,
+                                  const SlaObjective& objective) const;
+
+ private:
+  ModelFactory factory_;
+  int trials_per_config_;
+  uint64_t seed_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_SLA_H_

@@ -1,0 +1,53 @@
+#include "core/staleness_detector.h"
+
+#include <algorithm>
+
+namespace pbs {
+
+StalenessDetector::StalenessDetector(CommitOracle commit_time_of)
+    : commit_time_of_(std::move(commit_time_of)) {}
+
+StalenessVerdict StalenessDetector::Observe(
+    const ReadObservation& observation) {
+  ++reads_;
+  int64_t newest_late = observation.returned_version;
+  for (int64_t v : observation.late_response_versions) {
+    newest_late = std::max(newest_late, v);
+  }
+  if (newest_late <= observation.returned_version) {
+    ++consistent_;
+    return StalenessVerdict::kConsistent;
+  }
+  if (!commit_time_of_) {
+    ++flagged_;
+    return StalenessVerdict::kFlagged;
+  }
+  // With the oracle: stale iff some newer version committed before the read
+  // began. Scanning only the newest late version is insufficient — it may be
+  // uncommitted while an intermediate one committed — so check all.
+  bool newer_committed_before_read = false;
+  for (int64_t v : observation.late_response_versions) {
+    if (v <= observation.returned_version) continue;
+    const double commit = commit_time_of_(v);
+    if (commit >= 0.0 && commit <= observation.read_start_time) {
+      newer_committed_before_read = true;
+      break;
+    }
+  }
+  if (newer_committed_before_read) {
+    ++stale_;
+    return StalenessVerdict::kStale;
+  }
+  ++false_positives_;
+  return StalenessVerdict::kFalsePositive;
+}
+
+double StalenessDetector::EmpiricalConsistency() const {
+  if (reads_ == 0) return 1.0;
+  // Heuristic flags are indistinguishable from staleness without an oracle;
+  // count them as potentially stale (conservative).
+  return static_cast<double>(consistent_ + false_positives_) /
+         static_cast<double>(reads_);
+}
+
+}  // namespace pbs

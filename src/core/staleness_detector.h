@@ -1,0 +1,73 @@
+#ifndef PBS_CORE_STALENESS_DETECTOR_H_
+#define PBS_CORE_STALENESS_DETECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pbs {
+
+/// Asynchronous staleness detection (Section 4.3 of the paper).
+///
+/// A Dynamo-style read coordinator waits for R of N replies before
+/// returning, but the remaining N-R replicas still reply afterwards.
+/// Instead of dropping those late messages, the coordinator can compare them
+/// against the version it returned:
+///  * In heuristic mode (no commit-order oracle) any newer late response
+///    raises a flag. The flag may be a false positive: the newer version may
+///    have been in flight (uncommitted) or committed only after the read
+///    began — cases the paper's staleness semantics do not count as stale.
+///  * With a commit-ordering oracle (e.g. a ZooKeeper-style service or
+///    consensus, as the paper suggests), false positives are eliminated:
+///    a read is stale only if some newer version committed before it began.
+struct ReadObservation {
+  /// Version the coordinator returned to the client (its total-order rank;
+  /// larger is newer; 0 = no value).
+  int64_t returned_version = 0;
+  /// Time at which the read began (same clock as the commit oracle).
+  double read_start_time = 0.0;
+  /// Versions reported by the replicas that responded after the first R.
+  std::vector<int64_t> late_response_versions;
+};
+
+enum class StalenessVerdict {
+  kConsistent,      // no late response was newer
+  kStale,           // a newer version committed before the read began
+  kFalsePositive,   // newer-but-uncommitted (or committed after read start)
+  kFlagged,         // heuristic mode: newer version seen, cause unknown
+};
+
+/// Per-read classification plus running counters.
+class StalenessDetector {
+ public:
+  /// `commit_time_of` maps a version to its commit time, or a negative
+  /// value if the version has not (yet) committed. Pass nullptr to run in
+  /// heuristic mode (no oracle): every mismatch is reported as kFlagged.
+  using CommitOracle = std::function<double(int64_t version)>;
+
+  explicit StalenessDetector(CommitOracle commit_time_of = nullptr);
+
+  /// Classifies one read and updates the counters.
+  StalenessVerdict Observe(const ReadObservation& observation);
+
+  int64_t reads() const { return reads_; }
+  int64_t consistent() const { return consistent_; }
+  int64_t stale() const { return stale_; }
+  int64_t false_positives() const { return false_positives_; }
+  int64_t flagged() const { return flagged_; }
+
+  /// Empirical probability of consistent reads as seen by the detector.
+  double EmpiricalConsistency() const;
+
+ private:
+  CommitOracle commit_time_of_;
+  int64_t reads_ = 0;
+  int64_t consistent_ = 0;
+  int64_t stale_ = 0;
+  int64_t false_positives_ = 0;
+  int64_t flagged_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_STALENESS_DETECTOR_H_

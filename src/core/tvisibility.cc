@@ -1,0 +1,164 @@
+#include "core/tvisibility.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace pbs {
+
+TVisibilityCurve::TVisibilityCurve(std::vector<double> thresholds)
+    : sorted_thresholds_(std::move(thresholds)) {
+  assert(!sorted_thresholds_.empty());
+  std::sort(sorted_thresholds_.begin(), sorted_thresholds_.end());
+}
+
+double TVisibilityCurve::ProbConsistent(double t) const {
+  return EcdfSorted(sorted_thresholds_, t);
+}
+
+ProportionInterval TVisibilityCurve::ProbConsistentInterval(
+    double t, double confidence) const {
+  const auto it = std::upper_bound(sorted_thresholds_.begin(),
+                                   sorted_thresholds_.end(), t);
+  const int64_t successes = it - sorted_thresholds_.begin();
+  return WilsonInterval(successes,
+                        static_cast<int64_t>(sorted_thresholds_.size()),
+                        confidence);
+}
+
+double TVisibilityCurve::TimeForConsistency(double p) const {
+  assert(p > 0.0 && p <= 1.0);
+  // Smallest threshold rank covering probability p.
+  const size_t n = sorted_thresholds_.size();
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(n)) - 1.0 + 1e-9);
+  return sorted_thresholds_[std::min(rank, n - 1)];
+}
+
+TVisibilityCurve EstimateTVisibility(const QuorumConfig& config,
+                                     const ReplicaLatencyModelPtr& model,
+                                     int trials, uint64_t seed) {
+  WarsTrialSet set = RunWarsTrials(config, model, trials, seed);
+  return TVisibilityCurve(std::move(set.staleness_thresholds));
+}
+
+std::vector<double> EmpiricalPwAt(const WarsTrialSet& set, int n, double t) {
+  assert(!set.propagation.empty());
+  assert(static_cast<int>(set.propagation.size()) == n);
+  const size_t trials = set.propagation[0].size();
+  assert(trials > 0);
+  std::vector<double> pw(n + 1, 0.0);
+  // Wr(t) <= c  <=>  the (c+1)-th replica (0-indexed column c) receives the
+  // version strictly after t.
+  for (int c = 0; c < n; ++c) {
+    size_t count = 0;
+    for (double arrival : set.propagation[c]) {
+      if (arrival > t) ++count;
+    }
+    pw[c] = static_cast<double>(count) / static_cast<double>(trials);
+  }
+  pw[n] = 1.0;
+  return pw;
+}
+
+double KTStalenessResult::ProbStalerThan(int k) const {
+  assert(k >= 0);
+  int64_t total = 0;
+  int64_t staler = 0;
+  for (size_t d = 0; d < histogram.size(); ++d) {
+    total += histogram[d];
+    if (static_cast<int>(d) >= k) staler += histogram[d];
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(staler) / static_cast<double>(total);
+}
+
+double KTStalenessResult::MeanStaleness() const {
+  int64_t total = 0;
+  double weighted = 0.0;
+  for (size_t d = 0; d < histogram.size(); ++d) {
+    total += histogram[d];
+    weighted += static_cast<double>(d) * static_cast<double>(histogram[d]);
+  }
+  if (total == 0) return 0.0;
+  return weighted / static_cast<double>(total);
+}
+
+KTStalenessResult EstimateKTStaleness(const QuorumConfig& config,
+                                      const ReplicaLatencyModelPtr& model,
+                                      const DistributionPtr& inter_arrival,
+                                      double t, int history, int trials,
+                                      uint64_t seed) {
+  assert(config.IsValid());
+  assert(model != nullptr);
+  assert(model->num_replicas() == config.n);
+  assert(inter_arrival != nullptr);
+  assert(history >= 1);
+  assert(trials > 0);
+
+  Rng rng(seed);
+  const int n = config.n;
+
+  KTStalenessResult result;
+  result.histogram.assign(history + 1, 0);
+
+  std::vector<ReplicaLegSample> legs;
+  std::vector<double> write_arrival(n);
+  std::vector<double> read_round_trip(n);
+  std::vector<int> read_order(n);
+  // Per replica, the initiation + propagation arrival of each version.
+  std::vector<std::vector<double>> version_arrival(history,
+                                                   std::vector<double>(n));
+  std::vector<double> commit_time(history);
+
+  for (int trial = 0; trial < trials; ++trial) {
+    // Write stream: version v (1-indexed as v+1 below) initiated at start_v,
+    // propagating under its own WARS sample.
+    double start = 0.0;
+    for (int v = 0; v < history; ++v) {
+      if (v > 0) start += inter_arrival->Sample(rng);
+      model->SampleTrial(rng, &legs);
+      for (int i = 0; i < n; ++i) {
+        version_arrival[v][i] = start + legs[i].w;
+        write_arrival[i] = legs[i].w + legs[i].a;
+      }
+      std::nth_element(write_arrival.begin(),
+                       write_arrival.begin() + (config.w - 1),
+                       write_arrival.end());
+      commit_time[v] = start + write_arrival[config.w - 1];
+    }
+
+    // The read uses its own fresh R/S legs (sampled with the newest write's
+    // trial legs would correlate them; draw a dedicated sample instead).
+    model->SampleTrial(rng, &legs);
+    const double read_issue = commit_time[history - 1] + t;
+    for (int j = 0; j < n; ++j) read_round_trip[j] = legs[j].r + legs[j].s;
+    std::iota(read_order.begin(), read_order.end(), 0);
+    std::partial_sort(read_order.begin(), read_order.begin() + config.r,
+                      read_order.end(), [&](int a, int b) {
+                        return read_round_trip[a] < read_round_trip[b];
+                      });
+
+    // Each responder returns the newest version that reached it before the
+    // read request arrived; the coordinator keeps the global newest.
+    int newest = 0;  // 0 = no version seen
+    for (int k = 0; k < config.r; ++k) {
+      const int j = read_order[k];
+      const double arrival = read_issue + legs[j].r;
+      for (int v = history - 1; v >= newest; --v) {
+        if (version_arrival[v][j] <= arrival) {
+          newest = std::max(newest, v + 1);
+          break;
+        }
+      }
+    }
+    const int staleness = history - newest;  // 0 = newest version returned
+    ++result.histogram[staleness];
+  }
+  return result;
+}
+
+}  // namespace pbs

@@ -1,0 +1,88 @@
+#ifndef PBS_CORE_TVISIBILITY_H_
+#define PBS_CORE_TVISIBILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wars.h"
+#include "dist/distribution.h"
+#include "util/stats.h"
+
+namespace pbs {
+
+/// The t-visibility curve P(consistent | t) for one (config, latency model)
+/// pair, represented by the sorted per-trial consistency thresholds t*.
+/// Because P(consistent | t) = P(t* <= t), the ECDF of t* is the whole curve
+/// and its quantiles invert it exactly — one Monte Carlo run answers every
+/// t and every target probability.
+class TVisibilityCurve {
+ public:
+  /// Takes ownership of the (unsorted) per-trial thresholds.
+  explicit TVisibilityCurve(std::vector<double> thresholds);
+
+  /// P(read issued t after commit returns the committed version) —
+  /// Definition 3's 1 - pst.
+  double ProbConsistent(double t) const;
+
+  /// pst: probability of a stale read at time t.
+  double ProbStale(double t) const { return 1.0 - ProbConsistent(t); }
+
+  /// Smallest t achieving P(consistent) >= p — the paper's headline metric
+  /// ("t-visibility for pst = .001"). p in (0, 1].
+  double TimeForConsistency(double p) const;
+
+  /// Fraction of trials already consistent at t = 0 (reads that cannot
+  /// observe reordering).
+  double ProbImmediatelyConsistent() const { return ProbConsistent(0.0); }
+
+  /// Wilson confidence interval around ProbConsistent(t) at the given
+  /// confidence level — the Monte Carlo uncertainty of the curve point.
+  ProportionInterval ProbConsistentInterval(double t,
+                                            double confidence = 0.95) const;
+
+  size_t num_trials() const { return sorted_thresholds_.size(); }
+  const std::vector<double>& sorted_thresholds() const {
+    return sorted_thresholds_;
+  }
+
+ private:
+  std::vector<double> sorted_thresholds_;
+};
+
+/// Runs WARS Monte Carlo and returns the t-visibility curve.
+TVisibilityCurve EstimateTVisibility(const QuorumConfig& config,
+                                     const ReplicaLatencyModelPtr& model,
+                                     int trials, uint64_t seed);
+
+/// Estimates the write-propagation CDF at time t after commit from trials
+/// collected with want_propagation=true: result[c] = P(Wr <= c) for
+/// c in [0, N], where Wr is the number of replicas holding the version.
+/// This is the Pw input of Equation 4 (core/closed_form.h).
+std::vector<double> EmpiricalPwAt(const WarsTrialSet& set, int n, double t);
+
+/// <k, t>-staleness Monte Carlo (the Section 5.1 extension): a stream of
+/// writes with the given inter-commit arrival process, each propagating
+/// under the WARS model; a read is issued t after the newest version's
+/// commit and we record how many versions stale its result is.
+struct KTStalenessResult {
+  /// histogram[d] = number of reads that returned a value exactly d versions
+  /// stale (d = 0 means the newest version).
+  std::vector<int64_t> histogram;
+
+  /// P(result is k or more versions stale) — the Monte Carlo analogue of
+  /// Equation 5's pskt with k = `k`.
+  double ProbStalerThan(int k) const;
+
+  /// Expected number of versions stale.
+  double MeanStaleness() const;
+};
+
+KTStalenessResult EstimateKTStaleness(const QuorumConfig& config,
+                                      const ReplicaLatencyModelPtr& model,
+                                      const DistributionPtr& inter_arrival,
+                                      double t, int history, int trials,
+                                      uint64_t seed);
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_TVISIBILITY_H_

@@ -1,0 +1,303 @@
+#include "core/wars.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace pbs {
+namespace {
+
+/// Returns the k-th smallest (1-indexed) element of `values` without fully
+/// sorting; `values` is scratch and may be reordered.
+double KthSmallest(std::vector<double>& values, int k) {
+  assert(k >= 1 && static_cast<size_t>(k) <= values.size());
+  std::nth_element(values.begin(), values.begin() + (k - 1), values.end());
+  return values[k - 1];
+}
+
+class IidReplicaLatencyModel final : public ReplicaLatencyModel {
+ public:
+  IidReplicaLatencyModel(WarsDistributions dists, int n)
+      : dists_(std::move(dists)), n_(n) {
+    assert(n >= 1);
+  }
+
+  int num_replicas() const override { return n_; }
+
+  void SampleTrial(Rng& rng,
+                   std::vector<ReplicaLegSample>* out) const override {
+    out->resize(n_);
+    for (auto& leg : *out) {
+      leg.w = dists_.w->Sample(rng);
+      leg.a = dists_.a->Sample(rng);
+      leg.r = dists_.r->Sample(rng);
+      leg.s = dists_.s->Sample(rng);
+    }
+  }
+
+  std::string Describe() const override { return dists_.name + " (IID)"; }
+
+ private:
+  WarsDistributions dists_;
+  int n_;
+};
+
+class WanReplicaLatencyModel final : public ReplicaLatencyModel {
+ public:
+  WanReplicaLatencyModel(WarsDistributions base, int n, double one_way_ms)
+      : base_(std::move(base)), n_(n), one_way_ms_(one_way_ms) {
+    assert(n >= 1);
+    assert(one_way_ms >= 0.0);
+  }
+
+  int num_replicas() const override { return n_; }
+
+  void SampleTrial(Rng& rng,
+                   std::vector<ReplicaLegSample>* out) const override {
+    out->resize(n_);
+    // The write and read coordinators land in independently random
+    // datacenters; each datacenter hosts exactly one replica.
+    const int write_local = static_cast<int>(rng.NextBounded(n_));
+    const int read_local = static_cast<int>(rng.NextBounded(n_));
+    for (int i = 0; i < n_; ++i) {
+      auto& leg = (*out)[i];
+      leg.w = base_.w->Sample(rng);
+      leg.a = base_.a->Sample(rng);
+      leg.r = base_.r->Sample(rng);
+      leg.s = base_.s->Sample(rng);
+      if (i != write_local) {
+        leg.w += one_way_ms_;
+        leg.a += one_way_ms_;
+      }
+      if (i != read_local) {
+        leg.r += one_way_ms_;
+        leg.s += one_way_ms_;
+      }
+    }
+  }
+
+  std::string Describe() const override {
+    return "WAN(+" + std::to_string(one_way_ms_) + "ms remote legs over " +
+           base_.name + ")";
+  }
+
+ private:
+  WarsDistributions base_;
+  int n_;
+  double one_way_ms_;
+};
+
+class HeterogeneousReplicaLatencyModel final : public ReplicaLatencyModel {
+ public:
+  explicit HeterogeneousReplicaLatencyModel(
+      std::vector<WarsDistributions> dists)
+      : dists_(std::move(dists)) {
+    assert(!dists_.empty());
+  }
+
+  int num_replicas() const override {
+    return static_cast<int>(dists_.size());
+  }
+
+  void SampleTrial(Rng& rng,
+                   std::vector<ReplicaLegSample>* out) const override {
+    out->resize(dists_.size());
+    for (size_t i = 0; i < dists_.size(); ++i) {
+      auto& leg = (*out)[i];
+      leg.w = dists_[i].w->Sample(rng);
+      leg.a = dists_[i].a->Sample(rng);
+      leg.r = dists_[i].r->Sample(rng);
+      leg.s = dists_[i].s->Sample(rng);
+    }
+  }
+
+  std::string Describe() const override {
+    std::string out = "Heterogeneous[";
+    for (size_t i = 0; i < dists_.size(); ++i) {
+      if (i) out += ", ";
+      out += dists_[i].name;
+    }
+    return out + "]";
+  }
+
+ private:
+  std::vector<WarsDistributions> dists_;
+};
+
+class LocalCoordinatorLatencyModel final : public ReplicaLatencyModel {
+ public:
+  LocalCoordinatorLatencyModel(WarsDistributions base, int n,
+                               bool same_coordinator, double local_delay_ms)
+      : base_(std::move(base)), n_(n), same_coordinator_(same_coordinator),
+        local_delay_ms_(local_delay_ms) {
+    assert(n >= 1);
+    assert(local_delay_ms >= 0.0);
+  }
+
+  int num_replicas() const override { return n_; }
+
+  void SampleTrial(Rng& rng,
+                   std::vector<ReplicaLegSample>* out) const override {
+    out->resize(n_);
+    const int write_local = static_cast<int>(rng.NextBounded(n_));
+    const int read_local =
+        same_coordinator_ ? write_local
+                          : static_cast<int>(rng.NextBounded(n_));
+    for (int i = 0; i < n_; ++i) {
+      auto& leg = (*out)[i];
+      if (i == write_local) {
+        leg.w = local_delay_ms_;
+        leg.a = local_delay_ms_;
+      } else {
+        leg.w = base_.w->Sample(rng);
+        leg.a = base_.a->Sample(rng);
+      }
+      if (i == read_local) {
+        leg.r = local_delay_ms_;
+        leg.s = local_delay_ms_;
+      } else {
+        leg.r = base_.r->Sample(rng);
+        leg.s = base_.s->Sample(rng);
+      }
+    }
+  }
+
+  std::string Describe() const override {
+    return std::string("LocalCoordinator(") +
+           (same_coordinator_ ? "same" : "independent") + " over " +
+           base_.name + ")";
+  }
+
+ private:
+  WarsDistributions base_;
+  int n_;
+  bool same_coordinator_;
+  double local_delay_ms_;
+};
+
+}  // namespace
+
+ReplicaLatencyModelPtr MakeLocalCoordinatorModel(const WarsDistributions& base,
+                                                 int n, bool same_coordinator,
+                                                 double local_delay_ms) {
+  return std::make_shared<LocalCoordinatorLatencyModel>(
+      base, n, same_coordinator, local_delay_ms);
+}
+
+ReplicaLatencyModelPtr MakeIidModel(const WarsDistributions& dists, int n) {
+  return std::make_shared<IidReplicaLatencyModel>(dists, n);
+}
+
+ReplicaLatencyModelPtr MakeWanModel(const WarsDistributions& base, int n,
+                                    double one_way_ms) {
+  return std::make_shared<WanReplicaLatencyModel>(base, n, one_way_ms);
+}
+
+ReplicaLatencyModelPtr MakeHeterogeneousModel(
+    std::vector<WarsDistributions> dists) {
+  return std::make_shared<HeterogeneousReplicaLatencyModel>(std::move(dists));
+}
+
+WarsSimulator::WarsSimulator(const QuorumConfig& config,
+                             ReplicaLatencyModelPtr model, uint64_t seed,
+                             ReadFanout read_fanout)
+    : config_(config), model_(std::move(model)), rng_(seed),
+      read_fanout_(read_fanout) {
+  assert(config_.IsValid());
+  assert(model_ != nullptr);
+  assert(model_->num_replicas() == config_.n);
+}
+
+WarsTrial WarsSimulator::RunTrial(bool want_propagation) {
+  const int n = config_.n;
+  model_->SampleTrial(rng_, &legs_);
+
+  // Commit time wt: the coordinator needs W acknowledgments; ack i arrives
+  // at w[i] + a[i].
+  write_arrival_.resize(n);
+  for (int i = 0; i < n; ++i) write_arrival_[i] = legs_[i].w + legs_[i].a;
+  const double wt = KthSmallest(write_arrival_, config_.w);
+
+  // Read side.
+  read_round_trip_.resize(n);
+  for (int j = 0; j < n; ++j) read_round_trip_[j] = legs_[j].r + legs_[j].s;
+  read_order_.resize(n);
+  std::iota(read_order_.begin(), read_order_.end(), 0);
+
+  WarsTrial trial;
+  trial.write_latency = wt;
+  if (read_fanout_ == ReadFanout::kAllN) {
+    // Dynamo: contact all N, return after the R fastest round trips.
+    std::partial_sort(read_order_.begin(), read_order_.begin() + config_.r,
+                      read_order_.end(), [&](int a, int b) {
+                        return read_round_trip_[a] < read_round_trip_[b];
+                      });
+    trial.read_latency = read_round_trip_[read_order_[config_.r - 1]];
+  } else {
+    // Voldemort: contact a uniformly random R-subset, wait for all of it.
+    for (int i = 0; i < config_.r; ++i) {
+      const int j = i + static_cast<int>(rng_.NextBounded(
+                            static_cast<uint64_t>(n - i)));
+      std::swap(read_order_[i], read_order_[j]);
+    }
+    double slowest = 0.0;
+    for (int k = 0; k < config_.r; ++k) {
+      slowest = std::max(slowest, read_round_trip_[read_order_[k]]);
+    }
+    trial.read_latency = slowest;
+  }
+
+  // A responder j is fresh for a read issued t after commit iff the read
+  // request reaches it no earlier than the write did:
+  //   wt + t + r[j] >= w[j]  <=>  t >= w[j] - wt - r[j].
+  // The read is consistent iff ANY of the first R responders is fresh, so
+  // the trial's threshold is the minimum over them.
+  double threshold = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < config_.r; ++k) {
+    const int j = read_order_[k];
+    threshold = std::min(threshold, legs_[j].w - wt - legs_[j].r);
+  }
+  trial.staleness_threshold = std::max(0.0, threshold);
+
+  if (want_propagation) {
+    // Time after commit until the c-th replica holds the version.
+    trial.propagation_times.resize(n);
+    for (int i = 0; i < n; ++i) {
+      trial.propagation_times[i] = std::max(0.0, legs_[i].w - wt);
+    }
+    std::sort(trial.propagation_times.begin(),
+              trial.propagation_times.end());
+  }
+  return trial;
+}
+
+WarsTrialSet RunWarsTrials(const QuorumConfig& config,
+                           const ReplicaLatencyModelPtr& model, int trials,
+                           uint64_t seed, bool want_propagation,
+                           ReadFanout read_fanout) {
+  assert(trials > 0);
+  WarsSimulator sim(config, model, seed, read_fanout);
+  WarsTrialSet set;
+  set.write_latencies.reserve(trials);
+  set.read_latencies.reserve(trials);
+  set.staleness_thresholds.reserve(trials);
+  if (want_propagation) {
+    set.propagation.assign(config.n, {});
+    for (auto& column : set.propagation) column.reserve(trials);
+  }
+  for (int t = 0; t < trials; ++t) {
+    const WarsTrial trial = sim.RunTrial(want_propagation);
+    set.write_latencies.push_back(trial.write_latency);
+    set.read_latencies.push_back(trial.read_latency);
+    set.staleness_thresholds.push_back(trial.staleness_threshold);
+    if (want_propagation) {
+      for (int c = 0; c < config.n; ++c) {
+        set.propagation[c].push_back(trial.propagation_times[c]);
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace pbs

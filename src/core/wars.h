@@ -1,0 +1,154 @@
+#ifndef PBS_CORE_WARS_H_
+#define PBS_CORE_WARS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/quorum_config.h"
+#include "dist/production.h"
+#include "util/rng.h"
+
+namespace pbs {
+
+/// One-way message delays for a single replica within one write-then-read
+/// operation pair (Figure 3 of the paper):
+///   w — write request, coordinator -> replica,
+///   a — write acknowledgment, replica -> coordinator,
+///   r — read request, coordinator -> replica,
+///   s — read response, replica -> coordinator.
+struct ReplicaLegSample {
+  double w = 0.0;
+  double a = 0.0;
+  double r = 0.0;
+  double s = 0.0;
+};
+
+/// Produces per-replica WARS delay samples for one trial. The common case is
+/// IID legs (each replica's delays drawn from shared W/A/R/S distributions);
+/// the WAN model makes one replica local and delays every leg of the others.
+class ReplicaLatencyModel {
+ public:
+  virtual ~ReplicaLatencyModel() = default;
+
+  virtual int num_replicas() const = 0;
+
+  /// Fills `out` (resized to num_replicas()) with fresh delay samples.
+  virtual void SampleTrial(Rng& rng,
+                           std::vector<ReplicaLegSample>* out) const = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+using ReplicaLatencyModelPtr = std::shared_ptr<const ReplicaLatencyModel>;
+
+/// IID model: every replica's (w, a, r, s) drawn independently from the four
+/// distributions in `dists` — the paper's assumption for LNKD-* and YMMR.
+ReplicaLatencyModelPtr MakeIidModel(const WarsDistributions& dists, int n);
+
+/// WAN model (Section 5.5): operations originate in a random datacenter.
+/// The replica co-located with the write coordinator sees plain `base`
+/// delays for its write/ack legs; all other replicas add `one_way_ms` to
+/// each of those legs. The read coordinator's datacenter is drawn
+/// independently (a read may originate anywhere), and its r/s legs are
+/// delayed the same way.
+ReplicaLatencyModelPtr MakeWanModel(const WarsDistributions& base, int n,
+                                    double one_way_ms = kWanOneWayDelayMs);
+
+/// Per-replica heterogeneous model: replica i uses dists[i]; used to model
+/// mixed fleets (e.g. one slow disk node in an SSD cluster).
+ReplicaLatencyModelPtr MakeHeterogeneousModel(
+    std::vector<WarsDistributions> dists);
+
+/// Section 4.2 "Proxying operations": the coordinator is itself one of the
+/// N replicas, so its own request/ack/response legs are local
+/// (`local_delay_ms`, ~0). The write coordinator's replica is drawn
+/// uniformly per operation pair; with `same_coordinator` the read uses the
+/// same replica (a session stuck to one node — the read-your-writes-ish
+/// case), otherwise an independently random one. The paper notes a read or
+/// write to R (W) nodes then "behaves like a read or write to R-1 (W-1)
+/// nodes".
+ReplicaLatencyModelPtr MakeLocalCoordinatorModel(
+    const WarsDistributions& base, int n, bool same_coordinator,
+    double local_delay_ms = 0.0);
+
+/// The outcome of one WARS Monte Carlo trial (Section 5.1).
+struct WarsTrial {
+  /// Write operation latency: the W-th smallest w[i] + a[i] — the commit
+  /// time wt at which the coordinator has W acknowledgments.
+  double write_latency = 0.0;
+
+  /// Read operation latency: the R-th smallest r[j] + s[j].
+  double read_latency = 0.0;
+
+  /// Consistency threshold t*: the smallest t >= 0 such that a read issued
+  /// t after commit returns the committed version. Among the first R
+  /// responders (ordered by r[j] + s[j]), replica j is fresh iff
+  /// wt + t + r[j] >= w[j]; hence t* = max(0, min_j (w[j] - wt - r[j])).
+  /// P(consistent | t) = P(t* <= t), so the ECDF of t* over many trials IS
+  /// the t-visibility curve and its quantiles invert it exactly.
+  double staleness_threshold = 0.0;
+
+  /// Time after commit at which the c-th replica receives the write, for
+  /// c in [1, N]: sorted (w[i] - wt) clamped below at 0. Entry c-1
+  /// corresponds to c replicas holding the version; used to estimate the
+  /// write-propagation CDF Pw(c, t) that feeds Equation 4.
+  std::vector<double> propagation_times;
+};
+
+/// Read fan-out policy (Section 2.3). Dynamo-style coordinators send reads
+/// to all N replicas and keep the first R responses; Voldemort sends to
+/// exactly R replicas and waits for all of them — fewer messages and less
+/// replica load, at the cost of read latency (max instead of R-th order
+/// statistic) and availability. "Provided staleness probabilities are
+/// independent across requests, this does not affect staleness."
+enum class ReadFanout {
+  kAllN,        // Dynamo: N requests, first R responses
+  kQuorumOnly,  // Voldemort: R requests to a random R-subset, wait for all
+};
+
+/// WARS Monte Carlo simulator. Deterministic given (config, model, seed).
+class WarsSimulator {
+ public:
+  WarsSimulator(const QuorumConfig& config, ReplicaLatencyModelPtr model,
+                uint64_t seed, ReadFanout read_fanout = ReadFanout::kAllN);
+
+  /// Runs one trial. Set `want_propagation` to also fill
+  /// WarsTrial::propagation_times (slightly more work per trial).
+  WarsTrial RunTrial(bool want_propagation = false);
+
+  const QuorumConfig& config() const { return config_; }
+  const ReplicaLatencyModel& model() const { return *model_; }
+
+ private:
+  QuorumConfig config_;
+  ReplicaLatencyModelPtr model_;
+  Rng rng_;
+  ReadFanout read_fanout_;
+  std::vector<ReplicaLegSample> legs_;       // reused per trial
+  std::vector<double> write_arrival_;        // w[i] + a[i]
+  std::vector<double> read_round_trip_;      // r[j] + s[j]
+  std::vector<int> read_order_;              // replica indices by r+s
+};
+
+/// A batch of trials, stored as parallel columns for cheap quantile queries.
+struct WarsTrialSet {
+  std::vector<double> write_latencies;
+  std::vector<double> read_latencies;
+  std::vector<double> staleness_thresholds;
+  /// propagation[c-1] holds, across trials, the time after commit until c
+  /// replicas had the version (empty unless requested).
+  std::vector<std::vector<double>> propagation;
+};
+
+/// Runs `trials` WARS trials and collects the columns. The workhorse behind
+/// t-visibility curves, latency percentiles and Pw estimation.
+WarsTrialSet RunWarsTrials(const QuorumConfig& config,
+                           const ReplicaLatencyModelPtr& model, int trials,
+                           uint64_t seed, bool want_propagation = false,
+                           ReadFanout read_fanout = ReadFanout::kAllN);
+
+}  // namespace pbs
+
+#endif  // PBS_CORE_WARS_H_

@@ -1,0 +1,39 @@
+#include "dist/empirical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace pbs {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  assert(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+          static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::Sample(Rng& rng) const {
+  return sorted_[rng.NextBounded(sorted_.size())];
+}
+
+double EmpiricalDistribution::Cdf(double x) const {
+  return EcdfSorted(sorted_, x);
+}
+
+double EmpiricalDistribution::Quantile(double p) const {
+  return QuantileSorted(sorted_, p);
+}
+
+std::string EmpiricalDistribution::Describe() const {
+  return "Empirical(n=" + std::to_string(sorted_.size()) + ")";
+}
+
+DistributionPtr Empirical(std::vector<double> samples) {
+  return std::make_shared<EmpiricalDistribution>(std::move(samples));
+}
+
+}  // namespace pbs

@@ -1,0 +1,37 @@
+#ifndef PBS_DIST_EMPIRICAL_H_
+#define PBS_DIST_EMPIRICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace pbs {
+
+/// Empirical distribution over a sample vector: CDF is the ECDF, quantiles
+/// interpolate between order statistics, and sampling resamples with
+/// replacement. Used to turn measured delays (e.g. from the event-driven
+/// cluster) back into a Distribution that can drive WARS — mirroring the
+/// paper's "measure the WARS distributions, then predict" validation loop.
+class EmpiricalDistribution final : public Distribution {
+ public:
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Mean() const override { return mean_; }
+  std::string Describe() const override;
+
+  size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_;
+};
+
+DistributionPtr Empirical(std::vector<double> samples);
+
+}  // namespace pbs
+
+#endif  // PBS_DIST_EMPIRICAL_H_

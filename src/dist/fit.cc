@@ -1,0 +1,213 @@
+#include "dist/fit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "dist/mixture.h"
+#include "dist/primitives.h"
+
+namespace pbs {
+namespace {
+
+// Unconstrained <-> constrained parameter transforms.
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double Logit(double p) { return std::log(p / (1.0 - p)); }
+
+struct Params {
+  double weight_body;
+  double xm;
+  double alpha;
+  double lambda;
+};
+
+Params Decode(const std::vector<double>& x) {
+  Params p;
+  p.weight_body = Sigmoid(x[0]);
+  p.xm = std::exp(x[1]);
+  p.alpha = std::exp(x[2]);
+  p.lambda = std::exp(x[3]);
+  return p;
+}
+
+std::vector<double> Encode(const Params& p) {
+  return {Logit(p.weight_body), std::log(p.xm), std::log(p.alpha),
+          std::log(p.lambda)};
+}
+
+double Objective(const std::vector<double>& x,
+                 const std::vector<PercentilePoint>& points) {
+  const Params p = Decode(x);
+  if (!std::isfinite(p.xm) || !std::isfinite(p.alpha) ||
+      !std::isfinite(p.lambda) || p.weight_body <= 1e-6 ||
+      p.weight_body >= 1.0 - 1e-6) {
+    return std::numeric_limits<double>::max();
+  }
+  const auto dist =
+      ParetoExponentialMixture(p.weight_body, p.xm, p.alpha, p.lambda);
+  return QuantileNRmse(*dist, points);
+}
+
+}  // namespace
+
+DistributionPtr ParetoExpFit::ToDistribution() const {
+  return ParetoExponentialMixture(weight_body, xm, alpha, lambda);
+}
+
+std::string ParetoExpFit::Describe() const {
+  return FormatDouble(100.0 * weight_body, 2) + "% Pareto(xm=" +
+         FormatDouble(xm, 3) + ", alpha=" + FormatDouble(alpha, 3) + ") + " +
+         FormatDouble(100.0 * (1.0 - weight_body), 2) +
+         "% Exponential(lambda=" + FormatDouble(lambda, 4) +
+         "), N-RMSE=" + FormatDouble(100.0 * n_rmse, 3) + "%";
+}
+
+double QuantileNRmse(const Distribution& dist,
+                     const std::vector<PercentilePoint>& points) {
+  std::vector<double> target;
+  std::vector<double> model;
+  target.reserve(points.size());
+  model.reserve(points.size());
+  for (const auto& pt : points) {
+    target.push_back(pt.value);
+    model.push_back(dist.Quantile(pt.percentile / 100.0));
+  }
+  return NormalizedRmse(target, model);
+}
+
+std::vector<double> NelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, double step, int max_iters) {
+  const size_t n = x0.size();
+  assert(n > 0);
+  // Build the initial simplex.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (size_t i = 0; i < n; ++i) simplex[i + 1][i] += step;
+  std::vector<double> values(n + 1);
+  for (size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Order vertices by objective value.
+    std::vector<size_t> order(n + 1);
+    for (size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    const size_t best = order[0];
+    const size_t worst = order[n];
+    const size_t second_worst = order[n - 1];
+
+    if (std::abs(values[worst] - values[best]) < 1e-14) break;
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](const std::vector<double>& from, double coeff) {
+      std::vector<double> out(n);
+      for (size_t d = 0; d < n; ++d) {
+        out[d] = centroid[d] + coeff * (centroid[d] - from[d]);
+      }
+      return out;
+    };
+
+    // Reflect.
+    const auto reflected = blend(simplex[worst], alpha);
+    const double reflected_value = f(reflected);
+    if (reflected_value < values[best]) {
+      // Expand.
+      const auto expanded = blend(simplex[worst], gamma);
+      const double expanded_value = f(expanded);
+      if (expanded_value < reflected_value) {
+        simplex[worst] = expanded;
+        values[worst] = expanded_value;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = reflected_value;
+      }
+      continue;
+    }
+    if (reflected_value < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = reflected_value;
+      continue;
+    }
+    // Contract.
+    const auto contracted = blend(simplex[worst], -rho);
+    const double contracted_value = f(contracted);
+    if (contracted_value < values[worst]) {
+      simplex[worst] = contracted;
+      values[worst] = contracted_value;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (size_t d = 0; d < n; ++d) {
+        simplex[i][d] =
+            simplex[best][d] + sigma * (simplex[i][d] - simplex[best][d]);
+      }
+      values[i] = f(simplex[i]);
+    }
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  return simplex[best];
+}
+
+ParetoExpFit FitParetoExponential(const std::vector<PercentilePoint>& points,
+                                  uint64_t seed, int restarts) {
+  assert(points.size() >= 4);
+  auto objective = [&points](const std::vector<double>& x) {
+    return Objective(x, points);
+  };
+
+  // Data-driven starting guesses: the body scale near the median, the tail
+  // rate near 1/(99th percentile).
+  double median = points.front().value;
+  double tail = points.back().value;
+  for (const auto& pt : points) {
+    if (pt.percentile <= 50.0) median = pt.value;
+    tail = std::max(tail, pt.value);
+  }
+  median = std::max(median, 1e-6);
+  tail = std::max(tail, median * 2.0);
+
+  Rng rng(seed);
+  std::vector<double> best_x;
+  double best_value = std::numeric_limits<double>::max();
+  for (int r = 0; r < restarts; ++r) {
+    Params start;
+    start.weight_body = 0.5 + 0.45 * (rng.NextDouble() * 2.0 - 1.0);
+    start.xm = median * std::exp((rng.NextDouble() - 0.5) * 3.0);
+    start.alpha = std::exp(rng.NextDouble() * 3.0 - 0.5);  // ~[0.6, 12]
+    start.lambda = (1.0 / tail) * std::exp((rng.NextDouble() - 0.5) * 3.0);
+    const auto x =
+        NelderMead(objective, Encode(start), /*step=*/0.5, /*max_iters=*/600);
+    const double value = objective(x);
+    if (value < best_value) {
+      best_value = value;
+      best_x = x;
+    }
+  }
+
+  const Params p = Decode(best_x);
+  ParetoExpFit fit;
+  fit.weight_body = p.weight_body;
+  fit.xm = p.xm;
+  fit.alpha = p.alpha;
+  fit.lambda = p.lambda;
+  fit.n_rmse = best_value;
+  return fit;
+}
+
+}  // namespace pbs

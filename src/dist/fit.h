@@ -1,0 +1,56 @@
+#ifndef PBS_DIST_FIT_H_
+#define PBS_DIST_FIT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace pbs {
+
+/// Result of fitting a Pareto-body + Exponential-tail mixture to a table of
+/// latency percentiles — the methodology the paper uses to turn the LinkedIn
+/// and Yammer summary statistics (Tables 1-2) into samplable models
+/// (Table 3). The paper reports fit quality as N-RMSE over the percentile
+/// points; so do we.
+struct ParetoExpFit {
+  double weight_body;  // mixture weight of the Pareto component
+  double xm;           // Pareto scale
+  double alpha;        // Pareto shape
+  double lambda;       // Exponential rate of the tail component
+  double n_rmse;       // normalized RMSE of model quantiles vs the table
+
+  DistributionPtr ToDistribution() const;
+  std::string Describe() const;
+};
+
+/// Fits a Pareto+Exponential mixture to (percentile, value) points by
+/// minimizing the normalized RMSE of the model's quantiles at those
+/// percentiles. Uses multi-start Nelder-Mead in a transformed (unconstrained)
+/// parameter space; deterministic given `seed`.
+///
+/// `points` need at least four entries (the model has four parameters);
+/// percentiles are in [0, 100] and values must be positive and
+/// non-decreasing in percentile.
+ParetoExpFit FitParetoExponential(const std::vector<PercentilePoint>& points,
+                                  uint64_t seed = 42,
+                                  int restarts = 24);
+
+/// Normalized RMSE of `dist`'s quantiles against the percentile table;
+/// the paper's fit-quality metric.
+double QuantileNRmse(const Distribution& dist,
+                     const std::vector<PercentilePoint>& points);
+
+/// Generic Nelder-Mead simplex minimizer (exposed for tests and for fitting
+/// other model families). Minimizes `f` starting from `x0` with initial
+/// simplex step `step`; runs at most `max_iters` iterations.
+std::vector<double> NelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, double step, int max_iters);
+
+}  // namespace pbs
+
+#endif  // PBS_DIST_FIT_H_

@@ -1,0 +1,82 @@
+#include "dist/mixture.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "dist/primitives.h"
+#include "util/stats.h"
+
+namespace pbs {
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)) {
+  assert(!components_.empty());
+  double total = 0.0;
+  for (const auto& c : components_) {
+    assert(c.weight > 0.0);
+    assert(c.distribution != nullptr);
+    total += c.weight;
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.distribution->Sample(rng);
+    u -= c.weight;
+  }
+  // Rounding fell off the end; use the last component.
+  return components_.back().distribution->Sample(rng);
+}
+
+double MixtureDistribution::Cdf(double x) const {
+  double cdf = 0.0;
+  for (const auto& c : components_) cdf += c.weight * c.distribution->Cdf(x);
+  return cdf;
+}
+
+double MixtureDistribution::Quantile(double p) const {
+  assert(p >= 0.0 && p <= 1.0);
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  // Bracket with component quantiles to seed bisection.
+  double hi = 0.0;
+  for (const auto& c : components_) {
+    const double q = c.distribution->Quantile(std::min(p, 1.0 - 1e-15));
+    if (std::isfinite(q)) hi = std::max(hi, q);
+  }
+  return QuantileByBisection(*this, p, 0.0, std::max(hi, 1.0));
+}
+
+double MixtureDistribution::Mean() const {
+  double mean = 0.0;
+  for (const auto& c : components_) {
+    mean += c.weight * c.distribution->Mean();
+  }
+  return mean;
+}
+
+std::string MixtureDistribution::Describe() const {
+  std::string out = "Mixture[";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i) out += ", ";
+    out += FormatDouble(100.0 * components_[i].weight, 2) + "% " +
+           components_[i].distribution->Describe();
+  }
+  out += "]";
+  return out;
+}
+
+DistributionPtr Mixture(std::vector<MixtureDistribution::Component> parts) {
+  return std::make_shared<MixtureDistribution>(std::move(parts));
+}
+
+DistributionPtr ParetoExponentialMixture(double weight_body, double xm,
+                                         double alpha, double lambda) {
+  assert(weight_body > 0.0 && weight_body < 1.0);
+  return Mixture({{weight_body, Pareto(xm, alpha)},
+                  {1.0 - weight_body, Exponential(lambda)}});
+}
+
+}  // namespace pbs

@@ -1,0 +1,51 @@
+#ifndef PBS_DIST_MIXTURE_H_
+#define PBS_DIST_MIXTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace pbs {
+
+/// Weighted mixture of component distributions.
+///
+/// Every production latency fit in the paper (Table 3) is a two-component
+/// mixture: a Pareto body plus an exponential tail, e.g. LNKD-SSD is
+/// "91.22% Pareto(xm=.235, alpha=10), 8.78% Exponential(lambda=1.66)".
+class MixtureDistribution final : public Distribution {
+ public:
+  struct Component {
+    double weight;  // > 0; weights are normalized at construction
+    DistributionPtr distribution;
+  };
+
+  explicit MixtureDistribution(std::vector<Component> components);
+
+  /// Samples by first picking a component (probability = weight) and then
+  /// sampling it — the standard composition method.
+  double Sample(Rng& rng) const override;
+
+  double Cdf(double x) const override;
+  /// Inverse CDF by bisection (mixture quantiles have no closed form).
+  double Quantile(double p) const override;
+  double Mean() const override;
+  std::string Describe() const override;
+
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  std::vector<Component> components_;
+};
+
+/// Convenience factory.
+DistributionPtr Mixture(std::vector<MixtureDistribution::Component> parts);
+
+/// The paper's recurring shape: `weight_body` Pareto(xm, alpha) +
+/// (1 - weight_body) Exponential(lambda).
+DistributionPtr ParetoExponentialMixture(double weight_body, double xm,
+                                         double alpha, double lambda);
+
+}  // namespace pbs
+
+#endif  // PBS_DIST_MIXTURE_H_

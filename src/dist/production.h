@@ -1,0 +1,84 @@
+#ifndef PBS_DIST_PRODUCTION_H_
+#define PBS_DIST_PRODUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "util/stats.h"
+
+namespace pbs {
+
+/// The four one-way message delay distributions of the WARS model
+/// (Section 4.1 of the paper):
+///   W — coordinator -> replica write propagation,
+///   A — replica -> coordinator write acknowledgment,
+///   R — coordinator -> replica read request,
+///   S — replica -> coordinator read response.
+/// All delays are in milliseconds throughout the library.
+struct WarsDistributions {
+  std::string name;
+  DistributionPtr w;
+  DistributionPtr a;
+  DistributionPtr r;
+  DistributionPtr s;
+};
+
+/// Convenience: W gets its own distribution, A=R=S share one — the shape the
+/// paper uses for every synthetic sweep ("W = exp(lambda_w), A=R=S =
+/// exp(lambda)").
+WarsDistributions MakeWars(std::string name, DistributionPtr w,
+                           DistributionPtr ars);
+
+// --------------------------------------------------------------------------
+// Production latency fits (Table 3 of the paper).
+
+/// LNKD-SSD: LinkedIn Voldemort on SSDs. W = A = R = S =
+/// 91.22% Pareto(xm=.235, alpha=10) + 8.78% Exponential(lambda=1.66).
+WarsDistributions LnkdSsd();
+
+/// LNKD-DISK: LinkedIn Voldemort on 15k SAS disks. W =
+/// 38% Pareto(xm=1.05, alpha=1.51) + 62% Exponential(lambda=.183);
+/// A = R = S as in LNKD-SSD.
+WarsDistributions LnkdDisk();
+
+/// YMMR: Yammer Riak. W = 93.9% Pareto(xm=3, alpha=3.35) +
+/// 6.1% Exponential(lambda=.0028); A = R = S = 98.2% Pareto(xm=1.5,
+/// alpha=3.8) + 1.8% Exponential(lambda=.0217).
+WarsDistributions Ymmr();
+
+/// One-way inter-datacenter delay used by the paper's WAN scenario
+/// (Section 5.5): remote messages are delayed by 75 ms and then experience
+/// LNKD-DISK delays inside the remote datacenter.
+inline constexpr double kWanOneWayDelayMs = 75.0;
+
+/// The local-datacenter component of the WAN scenario (= LNKD-DISK). The
+/// per-replica WAN latency model lives in core/wars.h; it shifts every
+/// message leg of each remote replica by kWanOneWayDelayMs.
+WarsDistributions WanLocalBase();
+
+/// All four named production scenarios in paper order:
+/// LNKD-SSD, LNKD-DISK, YMMR (WAN is constructed via
+/// MakeWanLatencyModel in core/wars.h because it is per-replica).
+std::vector<WarsDistributions> AllIidProductionFits();
+
+// --------------------------------------------------------------------------
+// Raw published percentile tables (Tables 1-2 of the paper); ground truth
+// for the fitting experiment (bench/table3_fits).
+
+/// Table 1, spinning disk: single-node Voldemort latencies (ms).
+std::vector<PercentilePoint> LinkedInDiskPercentiles();
+
+/// Table 1, commodity SSD.
+std::vector<PercentilePoint> LinkedInSsdPercentiles();
+
+/// Table 2, Riak read latency percentiles (ms).
+std::vector<PercentilePoint> YammerReadPercentiles();
+
+/// Table 2, Riak write latency percentiles (ms). The paper fits the 98th
+/// percentile knee conservatively; the full table is provided here.
+std::vector<PercentilePoint> YammerWritePercentiles();
+
+}  // namespace pbs
+
+#endif  // PBS_DIST_PRODUCTION_H_

@@ -1,0 +1,63 @@
+#include "dist/trace.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "dist/empirical.h"
+#include "util/csv.h"
+
+namespace pbs {
+
+StatusOr<std::vector<double>> LoadLatencyTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open latency trace: " + path);
+  }
+  std::vector<double> samples;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Trim leading whitespace; skip blanks and comments.
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + first, &end);
+    if (end == line.c_str() + first) {
+      return Status::InvalidArgument("unparsable latency at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    if (value < 0.0) {
+      return Status::InvalidArgument("negative latency at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    samples.push_back(value);
+  }
+  if (samples.empty()) {
+    return Status::InvalidArgument("latency trace has no samples: " + path);
+  }
+  return samples;
+}
+
+StatusOr<DistributionPtr> LoadTraceDistribution(const std::string& path) {
+  auto samples = LoadLatencyTrace(path);
+  if (!samples.ok()) return samples.status();
+  return DistributionPtr(Empirical(std::move(samples.value())));
+}
+
+Status SaveLatencyTrace(const std::string& path,
+                        const std::vector<double>& samples) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) EnsureDirectory(parent.string());
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot write latency trace: " + path);
+  }
+  out << "# latency samples (ms), one per line\n";
+  for (double sample : samples) out << sample << '\n';
+  return Status::Ok();
+}
+
+}  // namespace pbs

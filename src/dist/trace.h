@@ -1,0 +1,32 @@
+#ifndef PBS_DIST_TRACE_H_
+#define PBS_DIST_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "util/status.h"
+
+namespace pbs {
+
+/// Latency trace I/O: operators plug their own measured latencies into the
+/// predictors by exporting one sample per line (plain text, milliseconds;
+/// '#'-prefixed lines and blank lines ignored). This is the file-format
+/// counterpart of the paper's "measure the WARS distributions online".
+
+/// Reads a trace file into samples. Fails on unreadable files, files with
+/// no samples, or unparsable/negative values (the offending line is
+/// reported).
+StatusOr<std::vector<double>> LoadLatencyTrace(const std::string& path);
+
+/// Convenience: LoadLatencyTrace + EmpiricalDistribution.
+StatusOr<DistributionPtr> LoadTraceDistribution(const std::string& path);
+
+/// Writes samples, one per line, creating parent directories. Fails if the
+/// file cannot be opened.
+Status SaveLatencyTrace(const std::string& path,
+                        const std::vector<double>& samples);
+
+}  // namespace pbs
+
+#endif  // PBS_DIST_TRACE_H_

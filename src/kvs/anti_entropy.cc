@@ -1,0 +1,68 @@
+#include "kvs/anti_entropy.h"
+
+#include <cassert>
+#include <vector>
+
+#include "kvs/cluster.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+/// Ships every version `from` holds that `to` is missing or holds stale.
+void ShipNewer(Cluster* cluster, Node& from, Node& to, Rng& rng) {
+  const KvsConfig& config = cluster->config();
+  std::vector<std::pair<Key, VersionedValue>> to_ship;
+  from.storage().ForEach([&](Key key, const VersionedValue& value) {
+    const auto peer_value = to.storage().Get(key);
+    if (!peer_value.has_value() || value.NewerThan(*peer_value)) {
+      to_ship.emplace_back(key, value);
+    }
+  });
+  for (auto& [key, value] : to_ship) {
+    const double delay = config.legs.w->Sample(rng);
+    Node* target = &to;
+    ++cluster->metrics().anti_entropy_values_shipped;
+    cluster->network().SendWithDelay(
+        from.id(), to.id(), delay,
+        [target, key, value, from_id = from.id()]() {
+          target->HandleWriteRequest(key, value, from_id, /*request_id=*/0,
+                                     /*is_repair=*/true);
+        });
+  }
+}
+
+}  // namespace
+
+void SyncReplicaPair(Cluster* cluster, NodeId a, NodeId b, Rng& rng) {
+  assert(cluster != nullptr);
+  assert(a != b);
+  Node& node_a = cluster->node(a);
+  Node& node_b = cluster->node(b);
+  if (!node_a.alive() || !node_b.alive()) return;
+  ++cluster->metrics().anti_entropy_rounds;
+  ShipNewer(cluster, node_a, node_b, rng);
+  ShipNewer(cluster, node_b, node_a, rng);
+}
+
+void RunAntiEntropyTick(Cluster* cluster, Rng* rng) {
+  assert(cluster != nullptr);
+  assert(rng != nullptr);
+  const int n = cluster->num_replicas();
+  if (n >= 2) {
+    for (int i = 0; i < n; ++i) {
+      // Pick a uniformly random peer != i.
+      int peer = static_cast<int>(rng->NextBounded(n - 1));
+      if (peer >= i) ++peer;
+      SyncReplicaPair(cluster, i, peer, *rng);
+    }
+  }
+  const double interval = cluster->config().anti_entropy_interval_ms;
+  assert(interval > 0.0);
+  cluster->sim().Schedule(interval, [cluster, rng]() {
+    RunAntiEntropyTick(cluster, rng);
+  });
+}
+
+}  // namespace kvs
+}  // namespace pbs

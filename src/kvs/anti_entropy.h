@@ -1,0 +1,29 @@
+#ifndef PBS_KVS_ANTI_ENTROPY_H_
+#define PBS_KVS_ANTI_ENTROPY_H_
+
+#include "kvs/ring.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace kvs {
+
+class Cluster;
+
+/// One gossip synchronization round between replicas `a` and `b`: each side
+/// ships to the other every version the peer is missing or holds stale
+/// (the observable effect of a Merkle-tree exchange, Section 4.2 of the
+/// paper). Values travel through the network with write-request delays and
+/// apply via the normal last-writer-wins Put, so in-flight operations
+/// interleave correctly. Crashed endpoints skip the round.
+void SyncReplicaPair(Cluster* cluster, NodeId a, NodeId b, Rng& rng);
+
+/// One tick of the periodic process: every live replica syncs with one
+/// uniformly random other replica. Reschedules itself with the cluster's
+/// configured interval (callers start it once via Cluster::StartAntiEntropy).
+void RunAntiEntropyTick(Cluster* cluster, Rng* rng);
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_ANTI_ENTROPY_H_

@@ -1,0 +1,94 @@
+#include "kvs/client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/closed_form.h"
+#include "kvs/cluster.h"
+
+namespace pbs {
+namespace kvs {
+
+ClientSession::ClientSession(Cluster* cluster, NodeId coordinator,
+                             int32_t client_id)
+    : cluster_(cluster), coordinator_(coordinator), client_id_(client_id) {}
+
+void ClientSession::Write(Key key, std::string value, WriteCallback done) {
+  VersionedValue versioned;
+  versioned.sequence = cluster_->NextSequenceFor(key);
+  versioned.stamp.timestamp = cluster_->sim().now();
+  versioned.stamp.writer = client_id_;
+  versioned.value = std::move(value);
+  versioned.clock.Increment(client_id_);
+  cluster_->node(coordinator_)
+      .CoordinateWrite(key, std::move(versioned), std::move(done));
+}
+
+double ClientSession::ReadRatePerMs(Key key) const {
+  const auto it = read_rates_.find(key);
+  return it == read_rates_.end()
+             ? 0.0
+             : it->second.EventsPerMs(cluster_->sim().now());
+}
+
+double ClientSession::PredictedMonotonicViolationProbability(Key key) const {
+  const double gamma_cr = ReadRatePerMs(key);
+  const double gamma_gw = cluster_->WriteRatePerMsFor(key);
+  if (gamma_cr <= 0.0 || gamma_gw < 0.0) return 0.0;
+  return MonotonicReadsViolationProbability(cluster_->config().quorum,
+                                            gamma_gw, gamma_cr);
+}
+
+void ClientSession::MultiRead(const std::vector<Key>& keys,
+                              MultiReadCallback done) {
+  if (keys.empty()) {
+    if (done) done(MultiReadResult{true, 0.0, {}});
+    return;
+  }
+  struct State {
+    size_t outstanding;
+    MultiReadResult result;
+    MultiReadCallback done;
+  };
+  auto state = std::make_shared<State>();
+  state->outstanding = keys.size();
+  state->result.ok = true;
+  state->result.results.resize(keys.size());
+  state->done = std::move(done);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Read(keys[i], [state, i](const ReadResult& r) {
+      state->result.results[i] = r;
+      state->result.ok = state->result.ok && r.ok;
+      state->result.latency_ms =
+          std::max(state->result.latency_ms, r.latency_ms);
+      if (--state->outstanding == 0 && state->done) {
+        state->done(state->result);
+      }
+    });
+  }
+}
+
+void ClientSession::Read(Key key, ReadCallback done) {
+  ++reads_issued_;
+  read_rates_.try_emplace(key).first->second.Record(cluster_->sim().now());
+  cluster_->node(coordinator_)
+      .CoordinateRead(key, [this, key, done = std::move(done)](
+                               const ReadResult& result) {
+        if (result.ok) {
+          const int64_t sequence =
+              result.value.has_value() ? result.value->sequence : 0;
+          auto [it, inserted] = last_read_sequence_.try_emplace(key, 0);
+          if (sequence < it->second) {
+            ++monotonic_violations_;
+            ++cluster_->metrics().monotonic_read_violations;
+          } else {
+            it->second = sequence;
+          }
+          ++cluster_->metrics().session_reads;
+        }
+        if (done) done(result);
+      });
+}
+
+}  // namespace kvs
+}  // namespace pbs

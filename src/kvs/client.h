@@ -1,0 +1,83 @@
+#ifndef PBS_KVS_CLIENT_H_
+#define PBS_KVS_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kvs/node.h"
+#include "kvs/rates.h"
+#include "kvs/ring.h"
+
+namespace pbs {
+namespace kvs {
+
+class Cluster;
+
+/// A client session bound to one coordinator ("sticky" routing unless the
+/// caller rebinds). Sessions assign write version metadata (global per-key
+/// sequence, LWW stamp, vector clock entry) and track the monotonic-reads
+/// session guarantee (Section 3.2): a read that returns an older version
+/// than this session previously saw for the key counts as a violation.
+class ClientSession {
+ public:
+  ClientSession(Cluster* cluster, NodeId coordinator, int32_t client_id);
+
+  /// Issues a write through the session's coordinator. `done` may be null.
+  void Write(Key key, std::string value, WriteCallback done = nullptr);
+
+  /// Issues a read; monotonicity is checked before `done` runs.
+  void Read(Key key, ReadCallback done = nullptr);
+
+  /// Outcome of a multi-key read-only operation (Section 6 "Multi-key
+  /// operations"): per-key results aligned with the requested keys.
+  struct MultiReadResult {
+    bool ok = false;  // every per-key read succeeded
+    double latency_ms = 0.0;  // slowest constituent read
+    std::vector<ReadResult> results;
+  };
+  using MultiReadCallback = std::function<void(const MultiReadResult&)>;
+
+  /// Reads all `keys` in parallel through this session's coordinator and
+  /// invokes `done` once every constituent read finished. Each key hits its
+  /// own independent quorum, so the all-fresh probability follows the
+  /// product rule of core/multikey.h.
+  void MultiRead(const std::vector<Key>& keys, MultiReadCallback done);
+
+  /// Re-binds the session to a different coordinator (breaking stickiness —
+  /// useful to demonstrate why sticky routing helps monotonic reads).
+  void set_coordinator(NodeId coordinator) { coordinator_ = coordinator; }
+  NodeId coordinator() const { return coordinator_; }
+
+  int64_t reads_issued() const { return reads_issued_; }
+  int64_t monotonic_violations() const { return monotonic_violations_; }
+
+  /// This session's measured read rate for `key` in reads/ms (gamma_cr of
+  /// Equation 3); 0 until two reads have been observed.
+  double ReadRatePerMs(Key key) const;
+
+  /// Live Equation 3 prediction: the probability this session's *next*
+  /// read of `key` violates monotonic reads, computed from the measured
+  /// global write rate and this session's measured read rate ("by
+  /// measuring their distribution, we can calculate an expected value" —
+  /// Section 3.2). Conservative for expanding quorums. Returns 0 when
+  /// either rate is still unmeasured.
+  double PredictedMonotonicViolationProbability(Key key) const;
+
+ private:
+  Cluster* cluster_;
+  NodeId coordinator_;
+  int32_t client_id_;
+  int64_t reads_issued_ = 0;
+  int64_t monotonic_violations_ = 0;
+  std::unordered_map<Key, int64_t> last_read_sequence_;
+  std::unordered_map<Key, RateEstimator> read_rates_;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_CLIENT_H_

@@ -1,0 +1,95 @@
+#include "kvs/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "kvs/anti_entropy.h"
+
+namespace pbs {
+namespace kvs {
+
+Cluster::Cluster(const KvsConfig& config)
+    : config_(config),
+      num_storage_nodes_(config.num_storage_nodes > 0
+                             ? config.num_storage_nodes
+                             : config.quorum.n),
+      ring_(num_storage_nodes_, config.vnodes_per_node,
+            config.seed ^ 0x9E37),
+      anti_entropy_rng_(config.seed ^ 0xAE0AE0) {
+  assert(config_.quorum.IsValid());
+  assert(num_storage_nodes_ >= config_.quorum.n);
+  assert(config_.num_coordinators >= 1);
+  assert(config_.legs.w && config_.legs.a && config_.legs.r &&
+         config_.legs.s);
+
+  Rng master(config_.seed);
+  network_ = std::make_unique<Network>(&sim_, master.Next());
+  const int total = num_nodes();
+  nodes_.reserve(total);
+  for (NodeId id = 0; id < total; ++id) {
+    const bool is_replica = id < num_replicas();
+    nodes_.push_back(
+        std::make_unique<Node>(this, id, is_replica, master.Next()));
+  }
+}
+
+std::vector<NodeId> Cluster::ReplicasFor(Key key) const {
+  return ring_.PreferenceList(key, config_.quorum.n);
+}
+
+int64_t Cluster::NextSequenceFor(Key key) {
+  write_rates_.try_emplace(key).first->second.Record(sim_.now());
+  return ++sequence_counters_[key];
+}
+
+double Cluster::WriteRatePerMsFor(Key key) const {
+  const auto it = write_rates_.find(key);
+  return it == write_rates_.end() ? 0.0
+                                  : it->second.EventsPerMs(sim_.now());
+}
+
+int64_t Cluster::LatestSequenceFor(Key key) const {
+  const auto it = sequence_counters_.find(key);
+  return it == sequence_counters_.end() ? 0 : it->second;
+}
+
+std::vector<NodeId> Cluster::ExtendedReplicasFor(Key key) const {
+  const int extended = std::min(
+      num_storage_nodes_, config_.quorum.n + std::max(0, config_.sloppy_extra));
+  return ring_.PreferenceList(key, extended);
+}
+
+Status Cluster::UpdateQuorum(int r, int w) {
+  QuorumConfig updated = config_.quorum;
+  updated.r = r;
+  updated.w = w;
+  const Status valid = ValidateQuorumConfig(updated);
+  if (!valid.ok()) return valid;
+  config_.quorum = updated;
+  return Status::Ok();
+}
+
+void Cluster::UpdateLegs(const WarsDistributions& legs) {
+  assert(legs.w && legs.a && legs.r && legs.s);
+  config_.legs = legs;
+}
+
+void Cluster::StartFailureDetector() {
+  if (failure_detector_ != nullptr) return;
+  HeartbeatFailureDetector::Options options;
+  options.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+  options.suspect_timeout_ms = config_.suspect_timeout_ms;
+  failure_detector_ = std::make_unique<HeartbeatFailureDetector>(
+      this, options, config_.seed ^ 0xFDFDFD);
+  failure_detector_->Start();
+}
+
+void Cluster::StartAntiEntropy() {
+  if (config_.anti_entropy_interval_ms <= 0.0) return;
+  sim_.Schedule(config_.anti_entropy_interval_ms, [this]() {
+    RunAntiEntropyTick(this, &anti_entropy_rng_);
+  });
+}
+
+}  // namespace kvs
+}  // namespace pbs

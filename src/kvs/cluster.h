@@ -1,0 +1,198 @@
+#ifndef PBS_KVS_CLUSTER_H_
+#define PBS_KVS_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/quorum_config.h"
+#include "core/wars.h"
+#include "dist/production.h"
+#include "kvs/failure_detector.h"
+#include "kvs/metrics.h"
+#include "kvs/node.h"
+#include "kvs/profiler.h"
+#include "kvs/rates.h"
+#include "kvs/ring.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pbs {
+namespace kvs {
+
+/// Configuration of a simulated Dynamo-style cluster.
+struct KvsConfig {
+  /// Replication parameters: N storage replicas, first-W-acks commit,
+  /// first-R-responses read.
+  QuorumConfig quorum;
+
+  /// One-way message delay distributions per WARS leg (w: write request,
+  /// a: write ack, r: read request, s: read response).
+  WarsDistributions legs;
+
+  /// Dedicated non-storage coordinator nodes (Dynamo-style proxies). Client
+  /// operations enter through these; ids follow the replica ids.
+  int num_coordinators = 1;
+
+  /// Read repair (Section 4.2): after a read's late responses arrive, the
+  /// coordinator asynchronously rewrites stale replicas with the freshest
+  /// version it saw.
+  bool read_repair = false;
+
+  /// Gossip anti-entropy (Merkle-exchange stand-in): every interval each
+  /// replica syncs with one random peer. 0 disables.
+  double anti_entropy_interval_ms = 0.0;
+
+  /// Hinted handoff: a write coordinator that misses acknowledgments by the
+  /// timeout keeps re-sending the write to the unacknowledged replicas.
+  bool hinted_handoff = false;
+  double hinted_handoff_retry_ms = 50.0;
+  int hinted_handoff_max_retries = 20;
+
+  /// Read fan-out policy (Section 2.3): Dynamo sends reads to all N and
+  /// keeps the first R responses; Voldemort (kQuorumOnly) sends to a random
+  /// R-subset and waits for all of it — fewer messages, no late responses
+  /// (so no read repair or staleness detection), higher read latency.
+  ReadFanout read_fanout = ReadFanout::kAllN;
+
+  /// Coordinator-side operation timeout.
+  double request_timeout_ms = 10000.0;
+
+  /// Virtual tokens per node on the consistent-hash ring.
+  int vnodes_per_node = 16;
+
+  /// Storage nodes in the cluster; each key's home replica set is the
+  /// first N of its ring preference list. 0 means exactly N nodes (the
+  /// minimal deployment used by most experiments). Must be >= quorum.n.
+  int num_storage_nodes = 0;
+
+  /// Dynamo-style sloppy quorums: when the heartbeat detector suspects a
+  /// home replica, the write coordinator substitutes the next healthy node
+  /// from the extended preference list; the substitute holds the write as a
+  /// *hint* and forwards it to the home replica once it looks alive again.
+  /// Requires StartFailureDetector() and extra storage nodes to substitute
+  /// from (num_storage_nodes > quorum.n, or sloppy_extra falls back to
+  /// whatever exists).
+  bool sloppy_quorums = false;
+  int sloppy_extra = 2;            // substitutes considered beyond N
+  double hint_delivery_interval_ms = 100.0;
+
+  /// Heartbeat failure detection (used by sloppy quorums; also available
+  /// standalone via Cluster::StartFailureDetector).
+  double heartbeat_interval_ms = 100.0;
+  double suspect_timeout_ms = 400.0;
+
+  uint64_t seed = 42;
+};
+
+/// A complete simulated cluster: replicas + coordinators + network + ring +
+/// metrics, driven by one discrete-event Simulator. This is the stand-in for
+/// the modified Cassandra deployment of Section 5.2.
+class Cluster {
+ public:
+  explicit Cluster(const KvsConfig& config);
+
+  // Not movable: nodes hold back-pointers.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const KvsConfig& config() const { return config_; }
+  Simulator& sim() { return sim_; }
+  Network& network() { return *network_; }
+  ClusterMetrics& metrics() { return metrics_; }
+  const ClusterMetrics& metrics() const { return metrics_; }
+
+  /// Storage nodes (>= quorum.n; each key is replicated on N of them).
+  int num_replicas() const { return num_storage_nodes_; }
+  int num_coordinators() const { return config_.num_coordinators; }
+  int num_nodes() const { return num_replicas() + num_coordinators(); }
+
+  Node& node(NodeId id) { return *nodes_[id]; }
+  /// i-th storage replica (i in [0, N)).
+  Node& replica(int i) { return *nodes_[i]; }
+  /// i-th dedicated coordinator (i in [0, num_coordinators())).
+  Node& coordinator(int i) { return *nodes_[num_replicas() + i]; }
+
+  /// The key's N-replica home preference list from the consistent-hash
+  /// ring.
+  std::vector<NodeId> ReplicasFor(Key key) const;
+
+  /// The extended preference list (home replicas + up to sloppy_extra
+  /// substitutes), used by sloppy-quorum writes.
+  std::vector<NodeId> ExtendedReplicasFor(Key key) const;
+
+  /// Starts the heartbeat failure detector (idempotent). The detector task
+  /// reschedules itself forever: drive the simulation with RunUntil.
+  void StartFailureDetector();
+  HeartbeatFailureDetector* failure_detector() {
+    return failure_detector_.get();
+  }
+
+  /// Live reconfiguration (Section 6 "Variable configurations"): changes
+  /// the read/write response requirements for operations *started after*
+  /// this call (in-flight operations keep the quorum they began with). N is
+  /// fixed at construction. Returns InvalidArgument for out-of-range sizes.
+  Status UpdateQuorum(int r, int w);
+
+  /// Live latency-regime change: subsequent message legs sample from
+  /// `legs`. Models environment drift (e.g. a disk->SSD migration) for the
+  /// adaptive-controller loop.
+  void UpdateLegs(const WarsDistributions& legs);
+
+  /// Monotonically increasing request identifier.
+  uint64_t NextRequestId() { return next_request_id_++; }
+
+  /// Next version sequence number for `key` (1, 2, 3, ...). Sequences give
+  /// every key a global total version order — the "k versions" axis of the
+  /// staleness metrics. (The simulation is single-threaded, so a cluster-
+  /// side counter stands in for whatever ordering mechanism — coordinator
+  /// designation, consensus — a real deployment would use.) Also feeds the
+  /// per-key write-rate estimator (Section 3.2's gamma_gw).
+  int64_t NextSequenceFor(Key key);
+
+  /// Measured global write rate for `key` in writes/ms (gamma_gw of
+  /// Equation 3); 0 until two writes have been observed.
+  double WriteRatePerMsFor(Key key) const;
+
+  /// Highest sequence handed out for `key` so far.
+  int64_t LatestSequenceFor(Key key) const;
+
+  /// Observer invoked once per read after late responses are collected
+  /// (feeds the Section 4.3 staleness detector). May be null.
+  void set_late_read_hook(LateReadHook hook) {
+    late_read_hook_ = std::move(hook);
+  }
+  const LateReadHook& late_read_hook() const { return late_read_hook_; }
+
+  /// Optional online WARS leg profiler (Section 5.5 "measure online"); the
+  /// cluster records every quorum-operation message delay into it. Not
+  /// owned; must outlive the cluster or be reset to null.
+  void set_leg_profiler(LegProfiler* profiler) { leg_profiler_ = profiler; }
+  LegProfiler* leg_profiler() const { return leg_profiler_; }
+
+  /// Starts the periodic anti-entropy process (no-op when the configured
+  /// interval is 0).
+  void StartAntiEntropy();
+
+ private:
+  KvsConfig config_;
+  int num_storage_nodes_;
+  Simulator sim_;
+  std::unique_ptr<Network> network_;
+  ConsistentHashRing ring_;
+  std::unique_ptr<HeartbeatFailureDetector> failure_detector_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  ClusterMetrics metrics_;
+  LateReadHook late_read_hook_;
+  LegProfiler* leg_profiler_ = nullptr;
+  uint64_t next_request_id_ = 1;
+  std::unordered_map<Key, int64_t> sequence_counters_;
+  std::unordered_map<Key, RateEstimator> write_rates_;
+  Rng anti_entropy_rng_;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_CLUSTER_H_

@@ -1,0 +1,66 @@
+#include "kvs/consistency_level.h"
+
+namespace pbs {
+namespace kvs {
+
+StatusOr<int> ResponsesFor(ConsistencyLevel level, int n) {
+  if (n < 1) return Status::InvalidArgument("replication factor must be >= 1");
+  int required = 0;
+  switch (level) {
+    case ConsistencyLevel::kOne:
+      required = 1;
+      break;
+    case ConsistencyLevel::kTwo:
+      required = 2;
+      break;
+    case ConsistencyLevel::kThree:
+      required = 3;
+      break;
+    case ConsistencyLevel::kQuorum:
+      required = n / 2 + 1;
+      break;
+    case ConsistencyLevel::kAll:
+      required = n;
+      break;
+  }
+  if (required > n) {
+    return Status::InvalidArgument("consistency level " + ToString(level) +
+                                   " requires more than N=" +
+                                   std::to_string(n) + " replicas");
+  }
+  return required;
+}
+
+StatusOr<QuorumConfig> MakeQuorumConfig(int n, ConsistencyLevel read_level,
+                                        ConsistencyLevel write_level) {
+  const auto r = ResponsesFor(read_level, n);
+  if (!r.ok()) return r.status();
+  const auto w = ResponsesFor(write_level, n);
+  if (!w.ok()) return w.status();
+  return QuorumConfig{n, r.value(), w.value()};
+}
+
+std::string ToString(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kOne:
+      return "ONE";
+    case ConsistencyLevel::kTwo:
+      return "TWO";
+    case ConsistencyLevel::kThree:
+      return "THREE";
+    case ConsistencyLevel::kQuorum:
+      return "QUORUM";
+    case ConsistencyLevel::kAll:
+      return "ALL";
+  }
+  return "UNKNOWN";
+}
+
+bool IsStrictCombination(int n, ConsistencyLevel read_level,
+                         ConsistencyLevel write_level) {
+  const auto config = MakeQuorumConfig(n, read_level, write_level);
+  return config.ok() && config.value().IsStrict();
+}
+
+}  // namespace kvs
+}  // namespace pbs

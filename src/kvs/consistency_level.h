@@ -1,0 +1,45 @@
+#ifndef PBS_KVS_CONSISTENCY_LEVEL_H_
+#define PBS_KVS_CONSISTENCY_LEVEL_H_
+
+#include <string>
+
+#include "core/quorum_config.h"
+#include "util/status.h"
+
+namespace pbs {
+namespace kvs {
+
+/// Cassandra-style per-operation consistency levels (Section 2.3 of the
+/// paper surveys these: "a majority of users do writes at consistency level
+/// [W=1]"). Each level resolves to a response count given the replication
+/// factor N.
+enum class ConsistencyLevel {
+  kOne,     // 1 response
+  kTwo,     // 2 responses
+  kThree,   // 3 responses
+  kQuorum,  // floor(N/2) + 1 responses
+  kAll,     // N responses
+};
+
+/// Number of replica responses the level requires at replication factor n.
+/// Fails when the level demands more replicas than exist (e.g. THREE at
+/// N=2).
+StatusOr<int> ResponsesFor(ConsistencyLevel level, int n);
+
+/// Builds the quorum configuration for (read level, write level) at
+/// replication factor n — the bridge from Cassandra-style settings to every
+/// PBS predictor in this library.
+StatusOr<QuorumConfig> MakeQuorumConfig(int n, ConsistencyLevel read_level,
+                                        ConsistencyLevel write_level);
+
+std::string ToString(ConsistencyLevel level);
+
+/// True when the (read, write) level pair guarantees strict quorum
+/// intersection at replication factor n (e.g. QUORUM/QUORUM, ONE/ALL).
+bool IsStrictCombination(int n, ConsistencyLevel read_level,
+                         ConsistencyLevel write_level);
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_CONSISTENCY_LEVEL_H_

@@ -1,0 +1,139 @@
+#include "kvs/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/staleness_detector.h"
+#include "kvs/client.h"
+#include "kvs/failure.h"
+
+namespace pbs {
+namespace kvs {
+
+double StalenessExperimentResult::ProbConsistentAt(double t) const {
+  for (const auto& point : t_visibility) {
+    if (point.t == t) return point.ProbConsistent();
+  }
+  assert(false && "offset was not probed");
+  return 0.0;
+}
+
+namespace {
+
+StalenessExperimentResult RunStalenessExperimentImpl(
+    const StalenessExperimentOptions& options,
+    const FailureSchedule* failures) {
+  assert(options.writes >= 1);
+  assert(!options.read_offsets_ms.empty());
+
+  KvsConfig config = options.cluster;
+  config.num_coordinators = 2;  // [0]: writer proxy, [1]: reader proxy
+  config.seed = options.seed;
+  Cluster cluster(config);
+  cluster.StartAntiEntropy();
+  if (config.sloppy_quorums) cluster.StartFailureDetector();
+  if (failures != nullptr) failures->InstallOn(&cluster);
+
+  const Key key = 0;
+  ClientSession writer(&cluster, cluster.coordinator(0).id(), /*client_id=*/1);
+  ClientSession reader(&cluster, cluster.coordinator(1).id(), /*client_id=*/2);
+
+  StalenessExperimentResult result;
+  ConsistencyByOffset by_offset;
+
+  // Commit-time oracle for the Section 4.3 detector: commit_times[seq-1] is
+  // the absolute commit time of version seq, or a negative sentinel while
+  // uncommitted.
+  std::vector<double> commit_times(options.writes + 1, -1.0);
+  StalenessDetector detector([&commit_times](int64_t version) {
+    if (version <= 0 ||
+        version > static_cast<int64_t>(commit_times.size())) {
+      return -1.0;
+    }
+    return commit_times[version - 1];
+  });
+  cluster.set_late_read_hook([&detector](const LateReadInfo& info) {
+    ReadObservation observation;
+    observation.returned_version = info.returned_sequence;
+    observation.read_start_time = info.read_start_time;
+    observation.late_response_versions = info.late_response_sequences;
+    detector.Observe(observation);
+  });
+
+  // Schedule the write stream. Each commit launches the probe reads.
+  for (int i = 1; i <= options.writes; ++i) {
+    const double start = static_cast<double>(i) * options.write_spacing_ms;
+    cluster.sim().At(start, [&, i]() {
+      writer.Write(key, "v" + std::to_string(i),
+                   [&, i](const WriteResult& write_result) {
+        if (!write_result.ok) return;  // timed out; no probes for it
+        commit_times[i - 1] = write_result.commit_time;
+        result.write_latencies.push_back(write_result.latency_ms);
+        for (double offset : options.read_offsets_ms) {
+          cluster.sim().Schedule(offset, [&, i, offset]() {
+            // Newest version committed by now; scan down from the newest
+            // issued (normally terminates in one or two steps because only
+            // the most recent write can still be in flight).
+            const int64_t latest_committed = [&]() {
+              for (int64_t v = cluster.LatestSequenceFor(key); v >= 1; --v) {
+                if (commit_times[v - 1] >= 0.0 &&
+                    commit_times[v - 1] <= cluster.sim().now()) {
+                  return v;
+                }
+              }
+              return static_cast<int64_t>(0);
+            }();
+            reader.Read(key, [&, i, offset, latest_committed](
+                                 const ReadResult& read_result) {
+              if (!read_result.ok) return;
+              result.read_latencies.push_back(read_result.latency_ms);
+              const int64_t sequence = read_result.value.has_value()
+                                           ? read_result.value->sequence
+                                           : 0;
+              // Consistent for offset t of write i if the read saw version
+              // i or anything newer.
+              by_offset.Record(offset, sequence >= i);
+              result.version_staleness.Record(
+                  std::max<int64_t>(0, latest_committed - sequence));
+            });
+          });
+        }
+      });
+    });
+  }
+
+  // Drain. Anti-entropy reschedules forever, so always bound the run: the
+  // last write starts at writes * spacing; probes finish within the largest
+  // offset + timeout.
+  const double max_offset = *std::max_element(options.read_offsets_ms.begin(),
+                                              options.read_offsets_ms.end());
+  const double horizon = static_cast<double>(options.writes + 1) *
+                             options.write_spacing_ms +
+                         max_offset + 3.0 * config.request_timeout_ms;
+  cluster.sim().RunUntil(horizon);
+
+  result.t_visibility = by_offset.Points();
+  result.detector_stale = detector.stale();
+  result.detector_false_positives = detector.false_positives();
+  result.detector_consistent = detector.consistent();
+  result.final_metrics = cluster.metrics();
+  result.network_messages = cluster.network().messages_sent();
+  return result;
+}
+
+}  // namespace
+
+StalenessExperimentResult RunStalenessExperiment(
+    const StalenessExperimentOptions& options) {
+  return RunStalenessExperimentImpl(options, nullptr);
+}
+
+StalenessExperimentResult RunStalenessExperimentWithFailures(
+    const StalenessExperimentOptions& options,
+    const FailureSchedule& failures) {
+  return RunStalenessExperimentImpl(options, &failures);
+}
+
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,83 @@
+#ifndef PBS_KVS_EXPERIMENT_H_
+#define PBS_KVS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kvs/cluster.h"
+#include "kvs/metrics.h"
+
+namespace pbs {
+namespace kvs {
+
+/// The Section 5.2 measurement harness: "we inserted increasing versions of
+/// a key while concurrently issuing read requests". One writer client
+/// inserts version i at a fixed spacing; each commit triggers probe reads at
+/// the configured offsets t after commit, through a *different* coordinator
+/// (as in WARS, where read and write coordinators are independent). A probe
+/// read is consistent if it returns the committed (or any newer) version.
+struct StalenessExperimentOptions {
+  /// Cluster configuration (quorum, WARS legs, read repair, anti-entropy,
+  /// failures are installed by the caller before running if desired).
+  KvsConfig cluster;
+
+  /// Number of versions written (the paper used 50,000 writes per
+  /// configuration).
+  int writes = 10000;
+
+  /// Time between consecutive write starts; must comfortably exceed typical
+  /// write latency so writes do not overlap (overlapping in-flight writes
+  /// only make data fresher than predicted — Section 4.2).
+  double write_spacing_ms = 250.0;
+
+  /// Probe offsets t (ms after commit) at which reads are issued.
+  std::vector<double> read_offsets_ms = {0.0, 1.0, 2.0, 5.0, 10.0,
+                                         25.0, 50.0, 100.0};
+
+  uint64_t seed = 7;
+};
+
+struct StalenessExperimentResult {
+  /// Empirical t-visibility: P(consistent | t) per probed offset.
+  std::vector<ConsistencyByOffset::Point> t_visibility;
+
+  /// Client-observed operation latencies.
+  std::vector<double> write_latencies;
+  std::vector<double> read_latencies;
+
+  /// Version staleness across all probe reads (0 = fresh).
+  VersionStalenessHistogram version_staleness;
+
+  /// Detector counts (Section 4.3), populated when run with a detector.
+  int64_t detector_stale = 0;
+  int64_t detector_false_positives = 0;
+  int64_t detector_consistent = 0;
+
+  /// Snapshot of cluster counters at the end of the run.
+  ClusterMetrics final_metrics;
+
+  /// Total messages the network delivered (request+response legs of every
+  /// operation, repairs, gossip, handoffs, heartbeats).
+  int64_t network_messages = 0;
+
+  /// P(consistent | t) for a probed offset (asserts the offset was probed).
+  double ProbConsistentAt(double t) const;
+};
+
+/// Builds a cluster per `options.cluster` (forcing two dedicated
+/// coordinators: one for writes, one for reads), runs the harness and
+/// returns the measurements. Deterministic given options.seed.
+StalenessExperimentResult RunStalenessExperiment(
+    const StalenessExperimentOptions& options);
+
+/// As above, but installs the fail-stop schedule on the cluster before
+/// running (Section 6 "Failure modes" experiments).
+class FailureSchedule;
+StalenessExperimentResult RunStalenessExperimentWithFailures(
+    const StalenessExperimentOptions& options,
+    const FailureSchedule& failures);
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_EXPERIMENT_H_

@@ -1,0 +1,62 @@
+#include "kvs/failure.h"
+
+#include <cassert>
+
+#include "dist/primitives.h"
+#include "kvs/cluster.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace kvs {
+
+void FailureSchedule::AddCrash(double time, NodeId node) {
+  events_.push_back({time, node, FailureEvent::Kind::kCrash});
+}
+
+void FailureSchedule::AddRecover(double time, NodeId node) {
+  events_.push_back({time, node, FailureEvent::Kind::kRecover});
+}
+
+void FailureSchedule::InstallOn(Cluster* cluster) const {
+  assert(cluster != nullptr);
+  for (const FailureEvent& event : events_) {
+    Node* node = &cluster->node(event.node);
+    const auto kind = event.kind;
+    cluster->sim().At(event.time, [node, kind]() {
+      if (kind == FailureEvent::Kind::kCrash) {
+        node->Crash();
+      } else {
+        node->Recover();
+      }
+    });
+  }
+}
+
+FailureSchedule FailureSchedule::RandomCrashRecover(int num_replicas,
+                                                    double horizon_ms,
+                                                    double mtbf_ms,
+                                                    double mttr_ms,
+                                                    uint64_t seed) {
+  assert(num_replicas >= 1);
+  assert(horizon_ms > 0.0);
+  assert(mtbf_ms > 0.0);
+  assert(mttr_ms > 0.0);
+  FailureSchedule schedule;
+  Rng rng(seed);
+  const ExponentialDistribution up(1.0 / mtbf_ms);
+  const ExponentialDistribution down(1.0 / mttr_ms);
+  for (int node = 0; node < num_replicas; ++node) {
+    double t = up.Sample(rng);
+    while (t < horizon_ms) {
+      schedule.AddCrash(t, node);
+      t += down.Sample(rng);
+      if (t >= horizon_ms) break;
+      schedule.AddRecover(t, node);
+      t += up.Sample(rng);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace kvs
+}  // namespace pbs

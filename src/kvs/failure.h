@@ -1,0 +1,52 @@
+#ifndef PBS_KVS_FAILURE_H_
+#define PBS_KVS_FAILURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kvs/ring.h"
+#include "sim/network.h"
+
+namespace pbs {
+namespace kvs {
+
+class Cluster;
+
+/// A timed fail-stop event (Section 6 "Failure modes": crashed replicas
+/// behave like an N-F replica set until they recover; staleness shows up in
+/// the tails).
+struct FailureEvent {
+  enum class Kind { kCrash, kRecover };
+
+  double time = 0.0;
+  NodeId node = 0;
+  Kind kind = Kind::kCrash;
+};
+
+/// A deterministic schedule of crash/recover events, installable on a
+/// cluster before (or while) it runs.
+class FailureSchedule {
+ public:
+  void AddCrash(double time, NodeId node);
+  void AddRecover(double time, NodeId node);
+
+  const std::vector<FailureEvent>& events() const { return events_; }
+
+  /// Schedules every event on the cluster's simulator.
+  void InstallOn(Cluster* cluster) const;
+
+  /// Generates an independent crash/repair process per replica over
+  /// [0, horizon): exponential time-to-failure with mean `mtbf_ms`, then
+  /// exponential repair with mean `mttr_ms`, repeating.
+  static FailureSchedule RandomCrashRecover(int num_replicas,
+                                            double horizon_ms, double mtbf_ms,
+                                            double mttr_ms, uint64_t seed);
+
+ private:
+  std::vector<FailureEvent> events_;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_FAILURE_H_

@@ -1,0 +1,64 @@
+#include "kvs/failure_detector.h"
+
+#include <cassert>
+
+#include "kvs/cluster.h"
+
+namespace pbs {
+namespace kvs {
+
+HeartbeatFailureDetector::HeartbeatFailureDetector(Cluster* cluster,
+                                                   const Options& options,
+                                                   uint64_t seed)
+    : cluster_(cluster), options_(options), rng_(seed),
+      last_heard_(cluster->num_replicas(), 0.0) {
+  assert(cluster != nullptr);
+  assert(options.heartbeat_interval_ms > 0.0);
+  assert(options.suspect_timeout_ms > 0.0);
+}
+
+void HeartbeatFailureDetector::Start() {
+  // Give every replica the benefit of the doubt at startup.
+  for (auto& t : last_heard_) t = cluster_->sim().now();
+  Tick();
+}
+
+bool HeartbeatFailureDetector::IsSuspected(NodeId node) const {
+  assert(node >= 0 && node < cluster_->num_replicas());
+  return cluster_->sim().now() - last_heard_[node] >
+         options_.suspect_timeout_ms;
+}
+
+void HeartbeatFailureDetector::OnPong(NodeId node) {
+  ++pongs_received_;
+  last_heard_[node] = cluster_->sim().now();
+}
+
+void HeartbeatFailureDetector::Tick() {
+  const KvsConfig& config = cluster_->config();
+  for (NodeId node = 0; node < cluster_->num_replicas(); ++node) {
+    ++pings_sent_;
+    // Ping travels like a read request; a live replica pongs like a read
+    // response. The detector itself is infrastructure (not a simulated
+    // node), so the monitor endpoint id is -1.
+    const double ping_delay = config.legs.r->Sample(rng_);
+    Node* target = &cluster_->node(node);
+    Cluster* cluster = cluster_;
+    HeartbeatFailureDetector* self = this;
+    Rng* rng = &rng_;
+    cluster_->network().SendWithDelay(
+        /*src=*/-1, node, ping_delay, [target, cluster, self, rng, node]() {
+          if (!target->alive()) return;  // fail-stop: no pong
+          const double pong_delay =
+              cluster->config().legs.s->Sample(*rng);
+          cluster->network().SendWithDelay(
+              node, /*dst=*/-1, pong_delay,
+              [self, node]() { self->OnPong(node); });
+        });
+  }
+  cluster_->sim().Schedule(options_.heartbeat_interval_ms,
+                           [this]() { Tick(); });
+}
+
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,62 @@
+#ifndef PBS_KVS_FAILURE_DETECTOR_H_
+#define PBS_KVS_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace kvs {
+
+class Cluster;
+
+/// Heartbeat-based fail-stop detector. A monitor process pings every
+/// storage replica each `heartbeat_interval_ms` (ping delayed like a read
+/// request, pong like a read response); a replica whose last pong is older
+/// than `suspect_timeout_ms` is *suspected*. Crashed replicas stop ponging
+/// and become suspected within roughly interval + timeout; recovered
+/// replicas are cleared on their next pong.
+///
+/// Dynamo uses detectors like this to drive sloppy quorums and hinted
+/// handoff (write availability under churn) — the "recovery semantics"
+/// the paper's Section 6 points at. Detection is unreliable by nature:
+/// suspicion lags real state by up to a heartbeat cycle, and slow (not
+/// dead) replicas can be falsely suspected; callers must tolerate both.
+class HeartbeatFailureDetector {
+ public:
+  struct Options {
+    double heartbeat_interval_ms = 100.0;
+    double suspect_timeout_ms = 400.0;
+  };
+
+  HeartbeatFailureDetector(Cluster* cluster, const Options& options,
+                           uint64_t seed);
+
+  /// Schedules the periodic ping task. The task reschedules itself forever;
+  /// drive the simulation with RunUntil(...) when a detector is running.
+  void Start();
+
+  /// True when `node` has not answered within the suspicion timeout.
+  bool IsSuspected(NodeId node) const;
+
+  int64_t pings_sent() const { return pings_sent_; }
+  int64_t pongs_received() const { return pongs_received_; }
+
+ private:
+  void Tick();
+  void OnPong(NodeId node);
+
+  Cluster* cluster_;
+  Options options_;
+  Rng rng_;
+  std::vector<double> last_heard_;  // per storage replica
+  int64_t pings_sent_ = 0;
+  int64_t pongs_received_ = 0;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_FAILURE_DETECTOR_H_

@@ -1,0 +1,96 @@
+#ifndef PBS_KVS_METRICS_H_
+#define PBS_KVS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/latency.h"
+#include "util/stats.h"
+
+namespace pbs {
+namespace kvs {
+
+/// Collects raw operation latencies and converts them to a LatencyProfile.
+class LatencyRecorder {
+ public:
+  void Record(double latency_ms) { samples_.push_back(latency_ms); }
+  size_t count() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Sorted percentile view; requires at least one sample.
+  LatencyProfile ToProfile() const { return LatencyProfile(samples_); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Empirical t-visibility: (offset t, consistent?) observations grouped by
+/// the probed offset. The Section 5.2 harness reads at a fixed grid of
+/// offsets after each write commit, so grouping by exact offset is lossless.
+class ConsistencyByOffset {
+ public:
+  struct Point {
+    double t = 0.0;
+    int64_t trials = 0;
+    int64_t consistent = 0;
+
+    double ProbConsistent() const {
+      return trials == 0
+                 ? 1.0
+                 : static_cast<double>(consistent) /
+                       static_cast<double>(trials);
+    }
+  };
+
+  void Record(double t, bool consistent);
+
+  /// Points sorted by t.
+  std::vector<Point> Points() const;
+
+  int64_t total_trials() const { return total_trials_; }
+
+ private:
+  std::map<double, Point> by_offset_;
+  int64_t total_trials_ = 0;
+};
+
+/// Histogram over "how many versions stale was this read" (0 = fresh).
+class VersionStalenessHistogram {
+ public:
+  void Record(int64_t versions_stale);
+
+  int64_t total() const { return total_; }
+  /// P(staleness >= k).
+  double ProbStalerThan(int64_t k) const;
+  /// Observed staleness counts, sparse (staleness -> count).
+  const std::map<int64_t, int64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<int64_t, int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Cluster-wide operation counters and latency recorders.
+struct ClusterMetrics {
+  LatencyRecorder read_latency;
+  LatencyRecorder write_latency;
+  int64_t reads_started = 0;
+  int64_t reads_failed = 0;
+  int64_t writes_started = 0;
+  int64_t writes_failed = 0;
+  int64_t read_repairs_sent = 0;
+  int64_t hinted_handoffs_sent = 0;
+  int64_t sloppy_substitutions = 0;
+  int64_t hints_stored = 0;
+  int64_t hints_delivered = 0;
+  int64_t anti_entropy_rounds = 0;
+  int64_t anti_entropy_values_shipped = 0;
+  int64_t monotonic_read_violations = 0;
+  int64_t session_reads = 0;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_METRICS_H_

@@ -1,0 +1,405 @@
+#include "kvs/node.h"
+
+#include <cassert>
+#include <utility>
+
+#include "kvs/cluster.h"
+#include "kvs/profiler.h"
+
+namespace pbs {
+namespace kvs {
+
+Node::Node(Cluster* cluster, NodeId id, bool is_replica, uint64_t seed)
+    : cluster_(cluster), id_(id), is_replica_(is_replica), rng_(seed) {
+  assert(cluster != nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator: writes
+
+void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done) {
+  const KvsConfig& config = cluster_->config();
+  const uint64_t request_id = cluster_->NextRequestId();
+  ++cluster_->metrics().writes_started;
+
+  PendingWrite pending;
+  pending.key = key;
+  pending.value = std::move(value);
+  pending.replicas = cluster_->ReplicasFor(key);
+  pending.required = config.quorum.w;
+  pending.start_time = cluster_->sim().now();
+  pending.done = std::move(done);
+
+  // Sloppy quorums (Dynamo): replace suspected home replicas with the next
+  // healthy nodes from the extended preference list; substitutes hold the
+  // write as a hint for the home replica.
+  std::vector<NodeId> hint_homes(pending.replicas.size(), kNoHint);
+  const HeartbeatFailureDetector* detector = cluster_->failure_detector();
+  if (config.sloppy_quorums && detector != nullptr) {
+    const std::vector<NodeId> extended = cluster_->ExtendedReplicasFor(key);
+    size_t next_substitute = pending.replicas.size();
+    for (size_t i = 0; i < pending.replicas.size(); ++i) {
+      if (!detector->IsSuspected(pending.replicas[i])) continue;
+      while (next_substitute < extended.size() &&
+             detector->IsSuspected(extended[next_substitute])) {
+        ++next_substitute;
+      }
+      if (next_substitute >= extended.size()) break;  // nobody left to sub
+      ++cluster_->metrics().sloppy_substitutions;
+      hint_homes[i] = pending.replicas[i];
+      pending.replicas[i] = extended[next_substitute++];
+    }
+  }
+
+  pending.acked.assign(pending.replicas.size(), false);
+  // Fan out to all N targets (Figure 1); each request leg draws its own W
+  // delay.
+  for (size_t i = 0; i < pending.replicas.size(); ++i) {
+    const NodeId replica = pending.replicas[i];
+    const NodeId hint_home = hint_homes[i];
+    // A coordinator that is itself the target serves the request locally
+    // (Section 4.2 "Proxying operations").
+    const double delay =
+        replica == id_ ? 0.0 : config.legs.w->Sample(rng_);
+    if (cluster_->leg_profiler() != nullptr && replica != id_) {
+      cluster_->leg_profiler()->Record(LegProfiler::Leg::kWriteRequest,
+                                       delay);
+    }
+    Node* target = &cluster_->node(replica);
+    const VersionedValue& payload = pending.value;
+    cluster_->network().SendWithDelay(
+        id_, replica, delay,
+        [target, key, payload, coordinator = id_, request_id, hint_home]() {
+          target->HandleWriteRequest(key, payload, coordinator, request_id,
+                                     /*is_repair=*/false, hint_home);
+        });
+  }
+  pending_writes_.emplace(request_id, std::move(pending));
+  cluster_->sim().Schedule(config.request_timeout_ms,
+                           [this, request_id]() {
+                             OnWriteTimeout(request_id);
+                           });
+}
+
+void Node::OnWriteAck(uint64_t request_id, NodeId replica) {
+  const auto it = pending_writes_.find(request_id);
+  if (it == pending_writes_.end()) return;  // already cleaned up
+  PendingWrite& pending = it->second;
+  for (size_t i = 0; i < pending.replicas.size(); ++i) {
+    if (pending.replicas[i] == replica && !pending.acked[i]) {
+      pending.acked[i] = true;
+      ++pending.acks;
+      break;
+    }
+  }
+  if (!pending.committed && pending.acks >= pending.required) {
+    pending.committed = true;
+    WriteResult result;
+    result.ok = true;
+    result.sequence = pending.value.sequence;
+    result.commit_time = cluster_->sim().now();
+    result.latency_ms = result.commit_time - pending.start_time;
+    cluster_->metrics().write_latency.Record(result.latency_ms);
+    if (pending.done) pending.done(result);
+  }
+  if (pending.acks == static_cast<int>(pending.replicas.size())) {
+    pending_writes_.erase(it);
+  }
+}
+
+void Node::OnWriteTimeout(uint64_t request_id) {
+  const auto it = pending_writes_.find(request_id);
+  if (it == pending_writes_.end()) return;  // fully acknowledged already
+  PendingWrite& pending = it->second;
+  if (!pending.committed && !pending.timed_out) {
+    pending.timed_out = true;
+    ++cluster_->metrics().writes_failed;
+    WriteResult failed;
+    failed.sequence = pending.value.sequence;
+    if (pending.done) pending.done(failed);
+  }
+  if (cluster_->config().hinted_handoff) {
+    ResendUnacked(request_id);
+  } else {
+    pending_writes_.erase(it);
+  }
+}
+
+void Node::ResendUnacked(uint64_t request_id) {
+  const auto it = pending_writes_.find(request_id);
+  if (it == pending_writes_.end()) return;
+  PendingWrite& pending = it->second;
+  const KvsConfig& config = cluster_->config();
+
+  // Hinted handoff (Section 6 "recovery semantics"): keep re-delivering the
+  // write to unacknowledged replicas until they accept it or the retry
+  // budget runs out.
+  bool any_unacked = false;
+  for (size_t i = 0; i < pending.replicas.size(); ++i) {
+    if (pending.acked[i]) continue;
+    any_unacked = true;
+    const NodeId replica = pending.replicas[i];
+    const double delay = config.legs.w->Sample(rng_);
+    Node* target = &cluster_->node(replica);
+    const Key key = pending.key;
+    const VersionedValue& payload = pending.value;
+    ++cluster_->metrics().hinted_handoffs_sent;
+    cluster_->network().SendWithDelay(
+        id_, replica, delay,
+        [target, key, payload, coordinator = id_, request_id]() {
+          target->HandleWriteRequest(key, payload, coordinator, request_id,
+                                     /*is_repair=*/false);
+        });
+  }
+  if (!any_unacked) {
+    pending_writes_.erase(it);
+    return;
+  }
+  if (++pending.handoff_retries >= config.hinted_handoff_max_retries) {
+    pending_writes_.erase(it);
+    return;
+  }
+  cluster_->sim().Schedule(config.hinted_handoff_retry_ms,
+                           [this, request_id]() {
+                             ResendUnacked(request_id);
+                           });
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator: reads
+
+void Node::CoordinateRead(Key key, ReadCallback done) {
+  const KvsConfig& config = cluster_->config();
+  const uint64_t request_id = cluster_->NextRequestId();
+  ++cluster_->metrics().reads_started;
+
+  PendingRead pending;
+  pending.key = key;
+  pending.replicas = cluster_->ReplicasFor(key);
+  pending.required = config.quorum.r;
+  if (config.read_fanout == ReadFanout::kQuorumOnly) {
+    // Voldemort-style: contact only a uniformly random R-subset.
+    for (int i = 0; i < pending.required; ++i) {
+      const size_t j =
+          i + rng_.NextBounded(pending.replicas.size() - i);
+      std::swap(pending.replicas[i], pending.replicas[j]);
+    }
+    pending.replicas.resize(pending.required);
+  }
+  pending.start_time = cluster_->sim().now();
+  pending.done = std::move(done);
+  for (NodeId replica : pending.replicas) {
+    const double delay =
+        replica == id_ ? 0.0 : config.legs.r->Sample(rng_);
+    if (cluster_->leg_profiler() != nullptr && replica != id_) {
+      cluster_->leg_profiler()->Record(LegProfiler::Leg::kReadRequest,
+                                       delay);
+    }
+    Node* target = &cluster_->node(replica);
+    cluster_->network().SendWithDelay(
+        id_, replica, delay, [target, key, coordinator = id_, request_id]() {
+          target->HandleReadRequest(key, coordinator, request_id);
+        });
+  }
+  pending_reads_.emplace(request_id, std::move(pending));
+  cluster_->sim().Schedule(config.request_timeout_ms,
+                           [this, request_id]() { OnReadTimeout(request_id); });
+}
+
+void Node::OnReadResponse(uint64_t request_id, NodeId replica,
+                          std::optional<VersionedValue> value) {
+  const auto it = pending_reads_.find(request_id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& pending = it->second;
+  ++pending.responses;
+  pending.all.emplace_back(replica, value);
+
+  if (value.has_value()) {
+    if (!pending.best_all.has_value() ||
+        value->NewerThan(*pending.best_all)) {
+      pending.best_all = value;
+    }
+  }
+
+  if (!pending.returned) {
+    // Still assembling the first R responses.
+    if (value.has_value() &&
+        (!pending.best.has_value() || value->NewerThan(*pending.best))) {
+      pending.best = value;
+    }
+    if (pending.responses >= pending.required) {
+      pending.returned = true;
+      ReadResult result;
+      result.ok = true;
+      result.start_time = pending.start_time;
+      result.latency_ms = cluster_->sim().now() - pending.start_time;
+      result.value = pending.best;
+      cluster_->metrics().read_latency.Record(result.latency_ms);
+      if (pending.done) pending.done(result);
+    }
+  } else {
+    // A late response (after the client already got its answer).
+    pending.late_sequences.push_back(value ? value->sequence : 0);
+  }
+
+  MaybeFinishReadCollection(request_id, pending);
+}
+
+void Node::MaybeFinishReadCollection(uint64_t request_id,
+                                     PendingRead& pending) {
+  if (pending.responses < static_cast<int>(pending.replicas.size())) return;
+  // Every replica has answered: fire the detector hook and read repair.
+  if (cluster_->late_read_hook()) {
+    LateReadInfo info;
+    info.returned_sequence =
+        pending.best.has_value() ? pending.best->sequence : 0;
+    info.read_start_time = pending.start_time;
+    info.late_response_sequences = pending.late_sequences;
+    cluster_->late_read_hook()(info);
+  }
+  if (cluster_->config().read_repair) SendReadRepairs(pending);
+  pending_reads_.erase(request_id);
+}
+
+void Node::SendReadRepairs(const PendingRead& pending) {
+  if (!pending.best_all.has_value()) return;
+  const KvsConfig& config = cluster_->config();
+  const VersionedValue& freshest = *pending.best_all;
+  for (const auto& [replica, value] : pending.all) {
+    const bool stale =
+        !value.has_value() || freshest.NewerThan(*value);
+    if (!stale) continue;
+    const double delay = config.legs.w->Sample(rng_);
+    Node* target = &cluster_->node(replica);
+    const Key key = pending.key;
+    ++cluster_->metrics().read_repairs_sent;
+    cluster_->network().SendWithDelay(
+        id_, replica, delay, [target, key, freshest, coordinator = id_]() {
+          target->HandleWriteRequest(key, freshest, coordinator,
+                                     /*request_id=*/0, /*is_repair=*/true);
+        });
+  }
+}
+
+void Node::OnReadTimeout(uint64_t request_id) {
+  const auto it = pending_reads_.find(request_id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& pending = it->second;
+  if (!pending.returned) {
+    pending.returned = true;
+    ++cluster_->metrics().reads_failed;
+    ReadResult result;
+    result.ok = false;
+    result.start_time = pending.start_time;
+    result.latency_ms = cluster_->sim().now() - pending.start_time;
+    if (pending.done) pending.done(result);
+  }
+  // Close the collection window with whatever arrived.
+  if (cluster_->late_read_hook()) {
+    LateReadInfo info;
+    info.returned_sequence =
+        pending.best.has_value() ? pending.best->sequence : 0;
+    info.read_start_time = pending.start_time;
+    info.late_response_sequences = pending.late_sequences;
+    cluster_->late_read_hook()(info);
+  }
+  if (cluster_->config().read_repair) SendReadRepairs(pending);
+  pending_reads_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Replica handlers
+
+void Node::HandleWriteRequest(Key key, const VersionedValue& value,
+                              NodeId coordinator, uint64_t request_id,
+                              bool is_repair, NodeId hint_home) {
+  if (!alive_) return;  // fail-stop: crashed nodes drop everything
+  assert(is_replica_);
+  if (hint_home != kNoHint && hint_home != id_) {
+    // Sloppy-quorum substitute: park the value for the home replica instead
+    // of serving it (hinted values are not in this node's read path).
+    StoreHint(key, hint_home, value);
+  } else {
+    storage_.Put(key, value);
+  }
+  if (is_repair) return;  // repairs are fire-and-forget
+  const double delay =
+      coordinator == id_ ? 0.0 : cluster_->config().legs.a->Sample(rng_);
+  if (cluster_->leg_profiler() != nullptr && coordinator != id_) {
+    cluster_->leg_profiler()->Record(LegProfiler::Leg::kWriteAck, delay);
+  }
+  Node* target = &cluster_->node(coordinator);
+  cluster_->network().SendWithDelay(
+      id_, coordinator, delay, [target, request_id, replica = id_]() {
+        target->OnWriteAck(request_id, replica);
+      });
+}
+
+void Node::StoreHint(Key key, NodeId home, const VersionedValue& value) {
+  hints_.push_back(Hint{key, home, value});
+  ++cluster_->metrics().hints_stored;
+  if (!hint_task_scheduled_) {
+    hint_task_scheduled_ = true;
+    cluster_->sim().Schedule(cluster_->config().hint_delivery_interval_ms,
+                             [this]() { DeliverHints(); });
+  }
+}
+
+void Node::DeliverHints() {
+  hint_task_scheduled_ = false;
+  if (!alive_) {
+    // A crashed substitute retries once it recovers and the task refires.
+    if (!hints_.empty()) {
+      hint_task_scheduled_ = true;
+      cluster_->sim().Schedule(cluster_->config().hint_delivery_interval_ms,
+                               [this]() { DeliverHints(); });
+    }
+    return;
+  }
+  const HeartbeatFailureDetector* detector = cluster_->failure_detector();
+  std::vector<Hint> remaining;
+  for (Hint& hint : hints_) {
+    if (detector != nullptr && detector->IsSuspected(hint.home)) {
+      remaining.push_back(std::move(hint));
+      continue;
+    }
+    // Forward to the home replica as a fire-and-forget replication write.
+    const double delay = cluster_->config().legs.w->Sample(rng_);
+    Node* target = &cluster_->node(hint.home);
+    ++cluster_->metrics().hints_delivered;
+    cluster_->network().SendWithDelay(
+        id_, hint.home, delay,
+        [target, key = hint.key, value = std::move(hint.value),
+         from = id_]() {
+          target->HandleWriteRequest(key, value, from, /*request_id=*/0,
+                                     /*is_repair=*/true);
+        });
+  }
+  hints_ = std::move(remaining);
+  if (!hints_.empty()) {
+    hint_task_scheduled_ = true;
+    cluster_->sim().Schedule(cluster_->config().hint_delivery_interval_ms,
+                             [this]() { DeliverHints(); });
+  }
+}
+
+void Node::HandleReadRequest(Key key, NodeId coordinator,
+                             uint64_t request_id) {
+  if (!alive_) return;
+  assert(is_replica_);
+  std::optional<VersionedValue> value = storage_.Get(key);
+  const double delay =
+      coordinator == id_ ? 0.0 : cluster_->config().legs.s->Sample(rng_);
+  if (cluster_->leg_profiler() != nullptr && coordinator != id_) {
+    cluster_->leg_profiler()->Record(LegProfiler::Leg::kReadResponse, delay);
+  }
+  Node* target = &cluster_->node(coordinator);
+  cluster_->network().SendWithDelay(
+      id_, coordinator, delay,
+      [target, request_id, replica = id_, value = std::move(value)]() {
+        target->OnReadResponse(request_id, replica, value);
+      });
+}
+
+}  // namespace kvs
+}  // namespace pbs

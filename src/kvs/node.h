@@ -1,0 +1,166 @@
+#ifndef PBS_KVS_NODE_H_
+#define PBS_KVS_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "kvs/ring.h"
+#include "kvs/storage.h"
+#include "kvs/version.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace kvs {
+
+class Cluster;
+
+/// Outcome of a coordinated write.
+struct WriteResult {
+  bool ok = false;          // W acknowledgments arrived before the timeout
+  double latency_ms = 0.0;  // client-visible write latency (= commit time)
+  double commit_time = 0.0; // absolute virtual time of commit
+  int64_t sequence = 0;     // the written version's per-key sequence
+};
+
+/// Outcome of a coordinated read.
+struct ReadResult {
+  bool ok = false;          // R responses arrived before the timeout
+  double latency_ms = 0.0;
+  double start_time = 0.0;  // absolute virtual time the read began
+  std::optional<VersionedValue> value;  // freshest among the first R
+};
+
+using WriteCallback = std::function<void(const WriteResult&)>;
+using ReadCallback = std::function<void(const ReadResult&)>;
+
+/// Fired once per read after every replica responded (or the late-response
+/// collection window closed): the returned version, the read start time and
+/// the versions reported by the replicas that answered after the first R —
+/// the input of the Section 4.3 asynchronous staleness detector.
+struct LateReadInfo {
+  int64_t returned_sequence = 0;  // 0 = read returned no value
+  double read_start_time = 0.0;
+  std::vector<int64_t> late_response_sequences;
+};
+using LateReadHook = std::function<void(const LateReadInfo&)>;
+
+/// A cluster member. Every node can act as a *coordinator* (runs the quorum
+/// read/write state machines of Figure 1); nodes constructed as replicas
+/// additionally hold storage and serve replica requests. Dedicated
+/// non-replica coordinators model Dynamo's proxying front-ends and keep the
+/// event-driven cluster aligned with the WARS assumption that the
+/// coordinator is not itself one of the N replicas.
+class Node {
+ public:
+  Node(Cluster* cluster, NodeId id, bool is_replica, uint64_t seed);
+
+  NodeId id() const { return id_; }
+  bool is_replica() const { return is_replica_; }
+  bool alive() const { return alive_; }
+
+  /// Fail-stop crash: the node ignores every message until Recover(). Its
+  /// durable storage survives (process restart semantics).
+  void Crash() { alive_ = false; }
+  void Recover() { alive_ = true; }
+
+  ReplicaStorage& storage() { return storage_; }
+  const ReplicaStorage& storage() const { return storage_; }
+
+  // -- Coordinator API ------------------------------------------------------
+
+  /// Fans the write out to all N replicas in the key's preference list and
+  /// invokes `done` once W acknowledgments arrive (commit) or the request
+  /// times out.
+  void CoordinateWrite(Key key, VersionedValue value, WriteCallback done);
+
+  /// Fans the read out to all N replicas and invokes `done` with the
+  /// freshest of the first R responses (or a timeout failure). Late
+  /// responses feed read repair and the LateReadHook.
+  void CoordinateRead(Key key, ReadCallback done);
+
+  // -- Replica message handlers (invoked via the network) -------------------
+
+  /// Sentinel for `hint_home`: the write targets its home replica.
+  static constexpr NodeId kNoHint = -1;
+
+  /// Applies a replicated write. When `hint_home` names another node, this
+  /// node is acting as a sloppy-quorum substitute: it stores the value as a
+  /// hint for `hint_home` (acknowledging as usual) and forwards it once the
+  /// home replica stops being suspected.
+  void HandleWriteRequest(Key key, const VersionedValue& value,
+                          NodeId coordinator, uint64_t request_id,
+                          bool is_repair, NodeId hint_home = kNoHint);
+  void HandleReadRequest(Key key, NodeId coordinator, uint64_t request_id);
+
+  /// Hints currently parked on this node (sloppy quorums).
+  size_t num_hints() const { return hints_.size(); }
+
+  // -- Coordinator message handlers ------------------------------------------
+
+  void OnWriteAck(uint64_t request_id, NodeId replica);
+  void OnReadResponse(uint64_t request_id, NodeId replica,
+                      std::optional<VersionedValue> value);
+
+ private:
+  struct PendingWrite {
+    Key key = 0;
+    VersionedValue value;
+    std::vector<NodeId> replicas;
+    std::vector<bool> acked;
+    int acks = 0;
+    int required = 1;  // W captured at start (survives live reconfiguration)
+    int handoff_retries = 0;
+    double start_time = 0.0;
+    bool committed = false;
+    bool timed_out = false;
+    WriteCallback done;
+  };
+
+  struct PendingRead {
+    Key key = 0;
+    std::vector<NodeId> replicas;
+    int responses = 0;
+    int required = 1;  // R captured at start (survives live reconfiguration)
+    bool returned = false;
+    double start_time = 0.0;
+    std::optional<VersionedValue> best;       // freshest among first R
+    std::optional<VersionedValue> best_all;   // freshest among all responses
+    std::vector<std::pair<NodeId, std::optional<VersionedValue>>> all;
+    std::vector<int64_t> late_sequences;
+    ReadCallback done;
+  };
+
+  struct Hint {
+    Key key = 0;
+    NodeId home = 0;
+    VersionedValue value;
+  };
+
+  void OnWriteTimeout(uint64_t request_id);
+  void OnReadTimeout(uint64_t request_id);
+  void MaybeFinishReadCollection(uint64_t request_id, PendingRead& pending);
+  void SendReadRepairs(const PendingRead& pending);
+  void ResendUnacked(uint64_t request_id);
+  void StoreHint(Key key, NodeId home, const VersionedValue& value);
+  void DeliverHints();
+
+  Cluster* cluster_;
+  NodeId id_;
+  bool is_replica_;
+  bool alive_ = true;
+  Rng rng_;
+  ReplicaStorage storage_;
+  std::unordered_map<uint64_t, PendingWrite> pending_writes_;
+  std::unordered_map<uint64_t, PendingRead> pending_reads_;
+  std::vector<Hint> hints_;
+  bool hint_task_scheduled_ = false;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_NODE_H_

@@ -1,0 +1,30 @@
+#include "kvs/profiler.h"
+
+#include "dist/empirical.h"
+
+namespace pbs {
+namespace kvs {
+
+void LegProfiler::Record(Leg leg, double delay_ms) {
+  samples_[static_cast<int>(leg)].push_back(delay_ms);
+}
+
+StatusOr<WarsDistributions> LegProfiler::ToWarsDistributions(
+    std::string name) const {
+  for (const auto& leg_samples : samples_) {
+    if (leg_samples.empty()) {
+      return Status::FailedPrecondition(
+          "leg profiler has no samples for at least one WARS leg");
+    }
+  }
+  WarsDistributions dists;
+  dists.name = std::move(name);
+  dists.w = Empirical(samples_[static_cast<int>(Leg::kWriteRequest)]);
+  dists.a = Empirical(samples_[static_cast<int>(Leg::kWriteAck)]);
+  dists.r = Empirical(samples_[static_cast<int>(Leg::kReadRequest)]);
+  dists.s = Empirical(samples_[static_cast<int>(Leg::kReadResponse)]);
+  return dists;
+}
+
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,51 @@
+#ifndef PBS_KVS_PROFILER_H_
+#define PBS_KVS_PROFILER_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dist/production.h"
+#include "util/status.h"
+
+namespace pbs {
+namespace kvs {
+
+/// Online WARS leg profiler (Section 5.5: "these latency distributions are
+/// easily collected, but ... are not currently collected in production").
+/// Attached to a Cluster, it records every one-way message delay on the
+/// four quorum-operation legs; the recorded samples convert into empirical
+/// WARS distributions that drive the predictor — the measure-online,
+/// predict-offline loop the paper proposes for SLA tooling.
+class LegProfiler {
+ public:
+  enum class Leg : int {
+    kWriteRequest = 0,  // W: coordinator -> replica
+    kWriteAck = 1,      // A: replica -> coordinator
+    kReadRequest = 2,   // R: coordinator -> replica
+    kReadResponse = 3,  // S: replica -> coordinator
+  };
+  static constexpr int kNumLegs = 4;
+
+  void Record(Leg leg, double delay_ms);
+
+  size_t count(Leg leg) const {
+    return samples_[static_cast<int>(leg)].size();
+  }
+  const std::vector<double>& samples(Leg leg) const {
+    return samples_[static_cast<int>(leg)];
+  }
+
+  /// Builds samplable WARS distributions (empirical) from the recordings.
+  /// Fails if any leg has no samples yet.
+  StatusOr<WarsDistributions> ToWarsDistributions(std::string name) const;
+
+ private:
+  std::array<std::vector<double>, kNumLegs> samples_;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_PROFILER_H_

@@ -1,0 +1,29 @@
+#include "kvs/rates.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pbs {
+namespace kvs {
+
+RateEstimator::RateEstimator(size_t window_capacity)
+    : capacity_(window_capacity) {
+  assert(window_capacity >= 2);
+}
+
+void RateEstimator::Record(double now) {
+  assert(timestamps_.empty() || now >= timestamps_.back());
+  timestamps_.push_back(now);
+  if (timestamps_.size() > capacity_) timestamps_.pop_front();
+}
+
+double RateEstimator::EventsPerMs(double now) const {
+  if (timestamps_.size() < 2) return 0.0;
+  const double span =
+      std::max(timestamps_.back(), now) - timestamps_.front();
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(timestamps_.size() - 1) / span;
+}
+
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,39 @@
+#ifndef PBS_KVS_RATES_H_
+#define PBS_KVS_RATES_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace pbs {
+namespace kvs {
+
+/// Sliding-window event-rate estimator. Section 3.2 of the paper predicts
+/// monotonic-reads consistency from the global per-key write rate (gamma_gw)
+/// and a client's per-key read rate (gamma_cr): "In practice, we may not
+/// know these exact rates, but, by measuring their distribution, we can
+/// calculate an expected value." This is that measurement: the rate over
+/// the last `window_capacity` events, decaying toward zero when events
+/// stop.
+class RateEstimator {
+ public:
+  explicit RateEstimator(size_t window_capacity = 64);
+
+  /// Records one event at virtual time `now` (ms, non-decreasing).
+  void Record(double now);
+
+  /// Estimated events per millisecond as of `now`: (k-1) events over the
+  /// window span, where the span extends to `now` so the estimate decays
+  /// when the stream goes quiet. 0 with fewer than two events.
+  double EventsPerMs(double now) const;
+
+  size_t count() const { return timestamps_.size(); }
+
+ private:
+  size_t capacity_;
+  std::deque<double> timestamps_;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_RATES_H_

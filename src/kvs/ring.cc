@@ -1,0 +1,80 @@
+#include "kvs/ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace pbs {
+namespace kvs {
+
+uint64_t HashKey(Key key) {
+  // SplitMix64 finalizer: full-avalanche 64-bit mix.
+  uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+ConsistentHashRing::ConsistentHashRing(int num_nodes, int vnodes_per_node,
+                                       uint64_t seed)
+    : num_nodes_(num_nodes) {
+  assert(num_nodes >= 1);
+  assert(vnodes_per_node >= 1);
+  Rng rng(seed);
+  tokens_.reserve(static_cast<size_t>(num_nodes) * vnodes_per_node);
+  for (int node = 0; node < num_nodes; ++node) {
+    for (int v = 0; v < vnodes_per_node; ++v) {
+      tokens_.push_back(Token{rng.Next(), node});
+    }
+  }
+  std::sort(tokens_.begin(), tokens_.end(),
+            [](const Token& a, const Token& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.node < b.node;
+            });
+}
+
+std::vector<int> ConsistentHashRing::PreferenceList(Key key, int n) const {
+  assert(n >= 1 && n <= num_nodes_);
+  const uint64_t h = HashKey(key);
+  // First token at or after h (wrapping).
+  size_t start = std::lower_bound(tokens_.begin(), tokens_.end(), h,
+                                  [](const Token& t, uint64_t value) {
+                                    return t.position < value;
+                                  }) -
+                 tokens_.begin();
+  std::vector<int> result;
+  result.reserve(n);
+  std::vector<bool> seen(num_nodes_, false);
+  for (size_t step = 0; step < tokens_.size() && static_cast<int>(
+                                                     result.size()) < n;
+       ++step) {
+    const Token& token = tokens_[(start + step) % tokens_.size()];
+    if (!seen[token.node]) {
+      seen[token.node] = true;
+      result.push_back(token.node);
+    }
+  }
+  assert(static_cast<int>(result.size()) == n);
+  return result;
+}
+
+std::vector<double> ConsistentHashRing::OwnershipFractions(
+    int samples, uint64_t seed) const {
+  assert(samples > 0);
+  Rng rng(seed);
+  std::vector<int64_t> counts(num_nodes_, 0);
+  for (int i = 0; i < samples; ++i) {
+    ++counts[PreferenceList(rng.Next(), 1).front()];
+  }
+  std::vector<double> fractions(num_nodes_);
+  for (int node = 0; node < num_nodes_; ++node) {
+    fractions[node] =
+        static_cast<double>(counts[node]) / static_cast<double>(samples);
+  }
+  return fractions;
+}
+
+}  // namespace kvs
+}  // namespace pbs

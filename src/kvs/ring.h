@@ -1,0 +1,50 @@
+#ifndef PBS_KVS_RING_H_
+#define PBS_KVS_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pbs {
+namespace kvs {
+
+/// Keys are 64-bit identifiers; string keys hash to one via HashKey below.
+using Key = uint64_t;
+
+/// Stable 64-bit hash for key placement (SplitMix64 finalizer).
+uint64_t HashKey(Key key);
+
+/// Consistent-hash ring with virtual nodes, the Dynamo-style mapping from
+/// keys to their N-replica preference lists (Section 2.2: "typically
+/// maintaining the mapping of keys to quorum systems using a
+/// consistent-hashing scheme"). Node ids are dense: [0, num_nodes).
+class ConsistentHashRing {
+ public:
+  /// `vnodes_per_node` tokens per physical node spread placement load;
+  /// `seed` randomizes token positions deterministically.
+  ConsistentHashRing(int num_nodes, int vnodes_per_node, uint64_t seed);
+
+  /// The first `n` distinct nodes encountered clockwise from the key's hash
+  /// position — the key's replica set, in preference order. n must be
+  /// <= num_nodes().
+  std::vector<int> PreferenceList(Key key, int n) const;
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Fraction of the key space owned (as first preference) by each node;
+  /// sums to 1. Exposed to test placement balance.
+  std::vector<double> OwnershipFractions(int samples, uint64_t seed) const;
+
+ private:
+  struct Token {
+    uint64_t position;
+    int node;
+  };
+
+  int num_nodes_;
+  std::vector<Token> tokens_;  // sorted by position
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_RING_H_

@@ -1,0 +1,73 @@
+#include "kvs/siblings.h"
+
+#include <algorithm>
+
+namespace pbs {
+namespace kvs {
+
+bool SiblingSet::Add(const VersionedValue& incoming) {
+  // Reject if any held version dominates or equals the incoming one.
+  for (const VersionedValue& held : versions_) {
+    const CausalOrder order = incoming.clock.Compare(held.clock);
+    if (order == CausalOrder::kBefore || order == CausalOrder::kEqual) {
+      return false;
+    }
+  }
+  // Prune everything the incoming version dominates.
+  const size_t before = versions_.size();
+  versions_.erase(
+      std::remove_if(versions_.begin(), versions_.end(),
+                     [&incoming](const VersionedValue& held) {
+                       return held.clock.Compare(incoming.clock) ==
+                              CausalOrder::kBefore;
+                     }),
+      versions_.end());
+  versions_.push_back(incoming);
+  (void)before;
+  return true;
+}
+
+VersionedValue SiblingSet::Reconcile(int32_t writer,
+                                     double timestamp) const {
+  VersionedValue merged;
+  merged.stamp = {timestamp, writer};
+  const VersionedValue* newest = nullptr;  // LWW payload among the siblings
+  for (const VersionedValue& held : versions_) {
+    merged.clock = VectorClock::Merge(merged.clock, held.clock);
+    merged.sequence = std::max(merged.sequence, held.sequence);
+    if (newest == nullptr || newest->stamp < held.stamp) newest = &held;
+  }
+  if (newest != nullptr) merged.value = newest->value;
+  // The reconciliation is a new event by `writer`, so it strictly dominates
+  // every sibling.
+  merged.clock.Increment(writer);
+  return merged;
+}
+
+bool SiblingSet::MergeFrom(const SiblingSet& other) {
+  bool changed = false;
+  for (const VersionedValue& version : other.versions_) {
+    changed = Add(version) || changed;
+  }
+  return changed;
+}
+
+bool SiblingStorage::Put(Key key, const VersionedValue& incoming) {
+  return data_[key].Add(incoming);
+}
+
+const SiblingSet* SiblingStorage::Get(Key key) const {
+  const auto it = data_.find(key);
+  return it == data_.end() ? nullptr : &it->second;
+}
+
+int64_t SiblingStorage::num_conflicted_keys() const {
+  int64_t conflicted = 0;
+  for (const auto& [key, set] : data_) {
+    if (set.HasConflict()) ++conflicted;
+  }
+  return conflicted;
+}
+
+}  // namespace kvs
+}  // namespace pbs

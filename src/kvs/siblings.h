@@ -1,0 +1,69 @@
+#ifndef PBS_KVS_SIBLINGS_H_
+#define PBS_KVS_SIBLINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "kvs/ring.h"
+#include "kvs/version.h"
+
+namespace pbs {
+namespace kvs {
+
+/// Dynamo's multi-version register: causally concurrent versions
+/// ("siblings") accumulate until a client reconciles them with a write
+/// whose vector clock dominates all of them. The quorum staleness
+/// machinery in this library uses the simpler last-writer-wins register
+/// (the paper's total-order footnote 2); this module provides the full
+/// causal semantics for applications that need conflict *detection* rather
+/// than silent LWW resolution.
+class SiblingSet {
+ public:
+  /// Incorporates `incoming`: versions that happened-before it are pruned;
+  /// if a held version dominates (or equals) it, the set is unchanged;
+  /// otherwise it joins as a sibling. Returns true if the set changed.
+  bool Add(const VersionedValue& incoming);
+
+  const std::vector<VersionedValue>& versions() const { return versions_; }
+  bool empty() const { return versions_.empty(); }
+  /// More than one causally concurrent version is present.
+  bool HasConflict() const { return versions_.size() > 1; }
+
+  /// Default syntactic reconciliation: the merged vector clock (advanced by
+  /// `writer`) carrying the LWW-newest payload and the max sequence. Real
+  /// applications substitute a semantic merge (e.g. union of cart items);
+  /// any reconciliation must dominate every sibling, which this one does.
+  VersionedValue Reconcile(int32_t writer, double timestamp) const;
+
+  /// Convergence helper: merges another replica's sibling set into this
+  /// one (anti-entropy for causal registers). Returns true if changed.
+  bool MergeFrom(const SiblingSet& other);
+
+ private:
+  std::vector<VersionedValue> versions_;
+};
+
+/// Per-node causal store: one SiblingSet per key.
+class SiblingStorage {
+ public:
+  /// Routes through SiblingSet::Add; returns true if state changed.
+  bool Put(Key key, const VersionedValue& incoming);
+
+  /// The key's sibling set (nullptr if absent). Pointer valid until the
+  /// next mutation of this storage.
+  const SiblingSet* Get(Key key) const;
+
+  size_t num_keys() const { return data_.size(); }
+  /// Keys currently holding more than one sibling.
+  int64_t num_conflicted_keys() const;
+
+ private:
+  std::unordered_map<Key, SiblingSet> data_;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_SIBLINGS_H_

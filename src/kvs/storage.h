@@ -1,0 +1,46 @@
+#ifndef PBS_KVS_STORAGE_H_
+#define PBS_KVS_STORAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "kvs/ring.h"
+#include "kvs/version.h"
+
+namespace pbs {
+namespace kvs {
+
+/// A replica's local versioned store. Writes apply last-writer-wins
+/// supersession: an incoming version replaces the stored one only if it is
+/// newer under the VersionStamp total order, which makes replica state
+/// convergent regardless of message arrival order (the property quorum
+/// expansion and anti-entropy rely on).
+class ReplicaStorage {
+ public:
+  /// Applies `incoming`; returns true if the store changed (the incoming
+  /// version was new or newer).
+  bool Put(Key key, const VersionedValue& incoming);
+
+  /// The stored version, if any.
+  std::optional<VersionedValue> Get(Key key) const;
+
+  size_t num_keys() const { return data_.size(); }
+
+  /// Iterates all (key, version) pairs; used by anti-entropy exchange.
+  void ForEach(
+      const std::function<void(Key, const VersionedValue&)>& fn) const;
+
+  /// Total number of Put calls that changed state (applied writes).
+  int64_t writes_applied() const { return writes_applied_; }
+
+ private:
+  std::unordered_map<Key, VersionedValue> data_;
+  int64_t writes_applied_ = 0;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_STORAGE_H_

@@ -1,0 +1,64 @@
+#include "kvs/version.h"
+
+namespace pbs {
+namespace kvs {
+
+void VectorClock::Increment(int node_id) { ++entries_[node_id]; }
+
+int64_t VectorClock::EntryFor(int node_id) const {
+  const auto it = entries_.find(node_id);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+CausalOrder VectorClock::Compare(const VectorClock& other) const {
+  bool some_less = false;   // some component of *this < other
+  bool some_greater = false;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() || b != other.entries_.end()) {
+    int64_t va = 0;
+    int64_t vb = 0;
+    if (b == other.entries_.end() ||
+        (a != entries_.end() && a->first < b->first)) {
+      va = a->second;
+      ++a;
+    } else if (a == entries_.end() || b->first < a->first) {
+      vb = b->second;
+      ++b;
+    } else {
+      va = a->second;
+      vb = b->second;
+      ++a;
+      ++b;
+    }
+    if (va < vb) some_less = true;
+    if (va > vb) some_greater = true;
+  }
+  if (some_less && some_greater) return CausalOrder::kConcurrent;
+  if (some_less) return CausalOrder::kBefore;
+  if (some_greater) return CausalOrder::kAfter;
+  return CausalOrder::kEqual;
+}
+
+VectorClock VectorClock::Merge(const VectorClock& a, const VectorClock& b) {
+  VectorClock merged = a;
+  for (const auto& [node, count] : b.entries_) {
+    auto& slot = merged.entries_[node];
+    if (count > slot) slot = count;
+  }
+  return merged;
+}
+
+std::string VectorClock::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [node, count] : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(node) + ":" + std::to_string(count);
+  }
+  return out + "}";
+}
+
+}  // namespace kvs
+}  // namespace pbs

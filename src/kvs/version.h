@@ -1,0 +1,80 @@
+#ifndef PBS_KVS_VERSION_H_
+#define PBS_KVS_VERSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pbs {
+namespace kvs {
+
+/// Relationship between two causal histories.
+enum class CausalOrder { kEqual, kBefore, kAfter, kConcurrent };
+
+/// Vector clock (Lamport/Fidge-Mattern), the causal-ordering mechanism the
+/// paper's footnote 2 cites for establishing a total ordering of versions
+/// (combined with a commutative merge). Dynamo attaches one of these to each
+/// object version.
+class VectorClock {
+ public:
+  /// Advances this clock's entry for `node_id` by one.
+  void Increment(int node_id);
+
+  /// Component count (number of nodes that ever incremented).
+  size_t size() const { return entries_.size(); }
+
+  int64_t EntryFor(int node_id) const;
+
+  /// Causal comparison: kBefore means *this happened before* `other`.
+  CausalOrder Compare(const VectorClock& other) const;
+
+  /// Pointwise maximum — the commutative merge for conflict resolution.
+  static VectorClock Merge(const VectorClock& a, const VectorClock& b);
+
+  std::string ToString() const;
+
+  bool operator==(const VectorClock& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::map<int, int64_t> entries_;
+};
+
+/// Last-writer-wins stamp providing the *total* order the quorum read path
+/// needs when picking "the most recent value" among replica responses:
+/// ordered by wall-clock timestamp, writer id breaking ties.
+struct VersionStamp {
+  double timestamp = 0.0;
+  int32_t writer = 0;
+
+  friend bool operator<(const VersionStamp& a, const VersionStamp& b) {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    return a.writer < b.writer;
+  }
+  friend bool operator==(const VersionStamp& a, const VersionStamp& b) {
+    return a.timestamp == b.timestamp && a.writer == b.writer;
+  }
+};
+
+/// A replicated object version. `sequence` is the global total-order rank
+/// assigned by the writing client (1, 2, 3, ...); the staleness metrics are
+/// defined over it ("k versions stale"). `stamp` drives replica-side
+/// supersession and read-side freshest-wins; `clock` carries causal
+/// metadata for conflict detection.
+struct VersionedValue {
+  int64_t sequence = 0;
+  VersionStamp stamp;
+  std::string value;
+  VectorClock clock;
+
+  /// True when this version supersedes `other` under the LWW total order.
+  bool NewerThan(const VersionedValue& other) const {
+    return other.stamp < stamp;
+  }
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_VERSION_H_

@@ -1,0 +1,159 @@
+#include "kvs/workload.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "kvs/cluster.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+double Zeta(int n, double theta) {
+  double sum = 0.0;
+  for (int i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfKeyGenerator::ZipfKeyGenerator(int num_keys, double theta)
+    : num_keys_(num_keys), theta_(theta) {
+  assert(num_keys >= 1);
+  assert(theta >= 0.0 && theta < 1.0);
+  zetan_ = Zeta(num_keys, theta);
+  zeta2_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / num_keys_, 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+Key ZipfKeyGenerator::Next(Rng& rng) const {
+  if (theta_ == 0.0) return rng.NextBounded(num_keys_);
+  // Gray et al.'s quick Zipf sampler, as used by YCSB.
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto key = static_cast<Key>(
+      num_keys_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return key >= static_cast<Key>(num_keys_) ? num_keys_ - 1 : key;
+}
+
+WorkloadOptions MakePresetOptions(WorkloadPreset preset, int operations,
+                                  double mean_interarrival_ms,
+                                  uint64_t seed) {
+  WorkloadOptions options;
+  options.operations = operations;
+  options.mean_interarrival_ms = mean_interarrival_ms;
+  options.num_keys = 1000;
+  options.num_clients = 8;
+  options.seed = seed;
+  options.zipf_theta = 0.99;  // YCSB's default zipfian constant
+  switch (preset) {
+    case WorkloadPreset::kYcsbA:
+      options.read_fraction = 0.5;
+      break;
+    case WorkloadPreset::kYcsbB:
+      options.read_fraction = 0.95;
+      break;
+    case WorkloadPreset::kYcsbC:
+      options.read_fraction = 1.0;
+      break;
+    case WorkloadPreset::kYcsbD:
+      options.read_fraction = 0.95;
+      options.num_keys = 100;  // concentrate on a small "latest" hot set
+      break;
+  }
+  return options;
+}
+
+const char* PresetName(WorkloadPreset preset) {
+  switch (preset) {
+    case WorkloadPreset::kYcsbA:
+      return "YCSB-A (update heavy)";
+    case WorkloadPreset::kYcsbB:
+      return "YCSB-B (read mostly)";
+    case WorkloadPreset::kYcsbC:
+      return "YCSB-C (read only)";
+    case WorkloadPreset::kYcsbD:
+      return "YCSB-D (read latest)";
+  }
+  return "unknown";
+}
+
+WorkloadDriver::WorkloadDriver(Cluster* cluster,
+                               const WorkloadOptions& options)
+    : cluster_(cluster), options_(options), rng_(options.seed),
+      keys_(options.num_keys, options.zipf_theta) {
+  assert(cluster != nullptr);
+  assert(options.operations >= 1);
+  assert(options.num_clients >= 1);
+  assert(options.read_fraction >= 0.0 && options.read_fraction <= 1.0);
+  for (int c = 0; c < options_.num_clients; ++c) {
+    const NodeId coordinator =
+        cluster_->num_replicas() + (c % cluster_->num_coordinators());
+    sessions_.push_back(
+        std::make_unique<ClientSession>(cluster_, coordinator, c + 1));
+  }
+}
+
+void WorkloadDriver::IssueOperation() {
+  const Key key = keys_.Next(rng_);
+  ClientSession& session = *sessions_[rng_.NextBounded(sessions_.size())];
+  const bool is_read = rng_.NextDouble() < options_.read_fraction;
+  ++issued_;
+  if (is_read) {
+    // Staleness is judged against the newest *committed* sequence when the
+    // read began — the paper's semantics: in-flight (uncommitted) newer
+    // versions do not count as missed data (Definition 1's "committed
+    // within k versions").
+    const int64_t latest = latest_committed_[key];
+    session.Read(key, [this, latest](const ReadResult& result) {
+      ++completed_;
+      if (!result.ok) {
+        ++result_.failed_operations;
+        return;
+      }
+      ++result_.reads_completed;
+      const int64_t sequence =
+          result.value.has_value() ? result.value->sequence : 0;
+      result_.staleness.Record(std::max<int64_t>(0, latest - sequence));
+    });
+  } else {
+    session.Write(key, "v", [this, key](const WriteResult& result) {
+      ++completed_;
+      if (!result.ok) {
+        ++result_.failed_operations;
+        return;
+      }
+      ++result_.writes_committed;
+      auto& watermark = latest_committed_[key];
+      watermark = std::max(watermark, result.sequence);
+    });
+  }
+}
+
+WorkloadResult WorkloadDriver::RunToCompletion() {
+  // Schedule all Poisson arrivals up front.
+  double at = 0.0;
+  const double mean = options_.mean_interarrival_ms;
+  for (int op = 0; op < options_.operations; ++op) {
+    at += -std::log(rng_.NextOpenDouble()) * mean;
+    cluster_->sim().At(at, [this]() { IssueOperation(); });
+  }
+  // Drain everything (arrivals, responses, timeouts). Anti-entropy
+  // self-reschedules forever, so bound the run when it is on.
+  if (cluster_->config().anti_entropy_interval_ms > 0.0) {
+    const double horizon =
+        at + cluster_->config().request_timeout_ms * 2.0 + 1000.0;
+    cluster_->sim().RunUntil(horizon);
+  } else {
+    cluster_->sim().Run();
+  }
+  result_.monotonic_violations = cluster_->metrics().monotonic_read_violations;
+  return result_;
+}
+
+}  // namespace kvs
+}  // namespace pbs

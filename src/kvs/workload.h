@@ -1,0 +1,109 @@
+#ifndef PBS_KVS_WORKLOAD_H_
+#define PBS_KVS_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "kvs/client.h"
+#include "kvs/metrics.h"
+#include "kvs/ring.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace kvs {
+
+class Cluster;
+
+/// Zipfian key popularity (YCSB-style): key ranks follow a Zipf law with
+/// parameter theta in [0, 1); theta = 0 degenerates to uniform. The
+/// "hot key" skew matters for staleness because the paper's per-key quorum
+/// systems see per-key write rates (Section 3.2's gamma_gw).
+class ZipfKeyGenerator {
+ public:
+  ZipfKeyGenerator(int num_keys, double theta);
+
+  /// Next key in [0, num_keys); rank 0 is hottest.
+  Key Next(Rng& rng) const;
+
+  int num_keys() const { return num_keys_; }
+
+ private:
+  int num_keys_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+/// Open-loop workload: operations arrive as a Poisson process, each a read
+/// or a write on a Zipf-distributed key, issued through a client session
+/// pinned to a round-robin coordinator.
+struct WorkloadOptions {
+  int num_keys = 100;
+  double zipf_theta = 0.0;       // 0 = uniform
+  double read_fraction = 0.9;    // remainder are writes
+  double mean_interarrival_ms = 1.0;
+  int operations = 10000;
+  int num_clients = 4;
+  uint64_t seed = 1234;
+};
+
+/// Aggregate workload outcome, including empirical version staleness (how
+/// many versions behind the latest issued sequence each read returned).
+struct WorkloadResult {
+  int64_t reads_completed = 0;
+  int64_t writes_committed = 0;
+  int64_t failed_operations = 0;
+  int64_t monotonic_violations = 0;
+  VersionStalenessHistogram staleness;
+};
+
+/// YCSB-style workload presets (Cooper et al.'s benchmark mixes, the
+/// de-facto vocabulary for key-value store evaluation):
+///   A — update heavy (50/50 read/write, zipfian),
+///   B — read mostly (95/5, zipfian),
+///   C — read only (100/0, zipfian),
+///   D — read latest (95/5; approximated here by high skew on a small
+///       hot set, since our generator has no insertion ordering).
+enum class WorkloadPreset { kYcsbA, kYcsbB, kYcsbC, kYcsbD };
+
+/// Builds options for a preset with the given operation count and mean
+/// arrival spacing; all presets use 1000 keys and 8 clients.
+WorkloadOptions MakePresetOptions(WorkloadPreset preset, int operations,
+                                  double mean_interarrival_ms,
+                                  uint64_t seed = 1234);
+
+const char* PresetName(WorkloadPreset preset);
+
+/// Drives a cluster with the configured workload. Schedules every arrival
+/// up front, then the caller runs the simulator (RunToCompletion drives it
+/// and gathers results).
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Cluster* cluster, const WorkloadOptions& options);
+
+  /// Schedules all arrivals, runs the simulation until every scheduled
+  /// operation completed or timed out, and returns the results.
+  WorkloadResult RunToCompletion();
+
+ private:
+  void IssueOperation();
+
+  Cluster* cluster_;
+  WorkloadOptions options_;
+  Rng rng_;
+  ZipfKeyGenerator keys_;
+  std::vector<std::unique_ptr<ClientSession>> sessions_;
+  WorkloadResult result_;
+  std::unordered_map<Key, int64_t> latest_committed_;  // per-key watermark
+  int issued_ = 0;
+  int completed_ = 0;
+};
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_WORKLOAD_H_

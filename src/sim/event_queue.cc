@@ -1,0 +1,29 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pbs {
+
+void EventQueue::Push(double time, EventCallback callback) {
+  assert(callback != nullptr);
+  heap_.push(Entry{time, next_sequence_++, std::move(callback)});
+}
+
+double EventQueue::NextTime() const {
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventCallback EventQueue::Pop(double* time) {
+  assert(!heap_.empty());
+  // priority_queue::top() returns a const ref; the callback must be moved
+  // out via a const_cast-free copy of the entry. std::priority_queue lacks a
+  // mutable pop, so we copy the shared_ptr-backed std::function (cheap).
+  Entry entry = heap_.top();
+  heap_.pop();
+  if (time != nullptr) *time = entry.time;
+  return std::move(entry.callback);
+}
+
+}  // namespace pbs

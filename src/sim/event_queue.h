@@ -1,0 +1,53 @@
+#ifndef PBS_SIM_EVENT_QUEUE_H_
+#define PBS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pbs {
+
+/// Callback executed when a scheduled event fires.
+using EventCallback = std::function<void()>;
+
+/// Time-ordered event queue with deterministic FIFO tie-breaking: events
+/// scheduled for the same virtual time fire in scheduling order, which keeps
+/// whole-simulation runs reproducible across platforms and STL
+/// implementations.
+class EventQueue {
+ public:
+  /// Enqueues `callback` to fire at absolute virtual time `time`.
+  void Push(double time, EventCallback callback);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Virtual time of the next event; queue must be non-empty.
+  double NextTime() const;
+
+  /// Removes and returns the next event's callback (earliest time, FIFO
+  /// among ties); queue must be non-empty. The fire time is written to
+  /// `*time` if non-null.
+  EventCallback Pop(double* time = nullptr);
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t sequence;
+    EventCallback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,77 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dist/primitives.h"
+
+namespace pbs {
+namespace {
+
+std::pair<NodeId, NodeId> Normalize(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+Network::Network(Simulator* sim, uint64_t seed)
+    : sim_(sim), rng_(seed), default_latency_(PointMass(0.0)) {
+  assert(sim != nullptr);
+}
+
+void Network::set_default_latency(DistributionPtr latency) {
+  assert(latency != nullptr);
+  default_latency_ = std::move(latency);
+}
+
+void Network::SetLinkLatency(NodeId src, NodeId dst,
+                             DistributionPtr latency) {
+  assert(latency != nullptr);
+  link_latency_[{src, dst}] = std::move(latency);
+}
+
+void Network::set_drop_probability(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  drop_probability_ = p;
+}
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  if (partitioned) {
+    partitions_.insert(Normalize(a, b));
+  } else {
+    partitions_.erase(Normalize(a, b));
+  }
+}
+
+bool Network::IsPartitioned(NodeId a, NodeId b) const {
+  return partitions_.count(Normalize(a, b)) > 0;
+}
+
+const Distribution* Network::LatencyFor(NodeId src, NodeId dst) const {
+  const auto it = link_latency_.find({src, dst});
+  if (it != link_latency_.end()) return it->second.get();
+  return default_latency_.get();
+}
+
+bool Network::SendWithDelay(NodeId src, NodeId dst, double delay,
+                            EventCallback deliver) {
+  assert(delay >= 0.0);
+  if (IsPartitioned(src, dst)) {
+    ++messages_dropped_;
+    return false;
+  }
+  if (drop_probability_ > 0.0 && rng_.NextDouble() < drop_probability_) {
+    ++messages_dropped_;
+    return false;
+  }
+  ++messages_sent_;
+  sim_->Schedule(delay, std::move(deliver));
+  return true;
+}
+
+bool Network::Send(NodeId src, NodeId dst, EventCallback deliver) {
+  return SendWithDelay(src, dst, LatencyFor(src, dst)->Sample(rng_),
+                       std::move(deliver));
+}
+
+}  // namespace pbs

@@ -1,0 +1,69 @@
+#ifndef PBS_SIM_NETWORK_H_
+#define PBS_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "dist/distribution.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace pbs {
+
+/// Endpoint identifier within a simulated network (node or client).
+using NodeId = int;
+
+/// Message fabric for the discrete-event simulator.
+///
+/// Delivery semantics: a message from src to dst is delayed by an explicit
+/// caller-supplied delay (the KVS samples WARS legs itself) or by the link's
+/// latency distribution, then the delivery callback fires. Messages can be
+/// dropped probabilistically and links can be partitioned; both model the
+/// failure scenarios of Section 6 of the paper.
+class Network {
+ public:
+  Network(Simulator* sim, uint64_t seed);
+
+  /// Default latency distribution for Send() without an explicit delay.
+  void set_default_latency(DistributionPtr latency);
+
+  /// Overrides the latency distribution of the directed link src -> dst.
+  void SetLinkLatency(NodeId src, NodeId dst, DistributionPtr latency);
+
+  /// Probability in [0, 1] that any message is silently dropped.
+  void set_drop_probability(double p);
+
+  /// Cuts (or heals) both directions between a and b.
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  bool IsPartitioned(NodeId a, NodeId b) const;
+
+  /// Sends with an explicit one-way delay (>= 0). Returns false if the
+  /// message was dropped or the link is partitioned (callback never fires).
+  bool SendWithDelay(NodeId src, NodeId dst, double delay,
+                     EventCallback deliver);
+
+  /// Sends with a delay sampled from the link's (or default) latency
+  /// distribution.
+  bool Send(NodeId src, NodeId dst, EventCallback deliver);
+
+  int64_t messages_sent() const { return messages_sent_; }
+  int64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  const Distribution* LatencyFor(NodeId src, NodeId dst) const;
+
+  Simulator* sim_;
+  Rng rng_;
+  DistributionPtr default_latency_;
+  std::map<std::pair<NodeId, NodeId>, DistributionPtr> link_latency_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  double drop_probability_ = 0.0;
+  int64_t messages_sent_ = 0;
+  int64_t messages_dropped_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_SIM_NETWORK_H_

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace pbs {
+
+void Simulator::Schedule(double delay, EventCallback callback) {
+  assert(delay >= 0.0);
+  queue_.Push(now_ + delay, std::move(callback));
+}
+
+void Simulator::At(double time, EventCallback callback) {
+  assert(time >= now_);
+  queue_.Push(time, std::move(callback));
+}
+
+size_t Simulator::Run(size_t max_events) {
+  size_t processed = 0;
+  while (!queue_.empty() && processed < max_events) {
+    double time = 0.0;
+    EventCallback callback = queue_.Pop(&time);
+    now_ = time;
+    callback();
+    ++processed;
+  }
+  events_processed_ += processed;
+  return processed;
+}
+
+size_t Simulator::RunUntil(double end_time) {
+  assert(end_time >= now_);
+  size_t processed = 0;
+  while (!queue_.empty() && queue_.NextTime() <= end_time) {
+    double time = 0.0;
+    EventCallback callback = queue_.Pop(&time);
+    now_ = time;
+    callback();
+    ++processed;
+  }
+  now_ = end_time;
+  events_processed_ += processed;
+  return processed;
+}
+
+}  // namespace pbs

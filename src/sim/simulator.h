@@ -1,0 +1,48 @@
+#ifndef PBS_SIM_SIMULATOR_H_
+#define PBS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.h"
+
+namespace pbs {
+
+/// Single-threaded discrete-event simulator: a virtual clock plus an event
+/// queue. All times are in milliseconds, matching the latency distributions.
+///
+/// The engine is deliberately minimal — actors (KVS nodes, clients, the
+/// network) are plain objects that capture `this` in scheduled callbacks.
+/// Determinism: callbacks fire in (time, scheduling-order) order and all
+/// randomness comes from explicitly seeded Rng streams.
+class Simulator {
+ public:
+  /// Current virtual time.
+  double now() const { return now_; }
+
+  /// Schedules `callback` to fire `delay` >= 0 after now().
+  void Schedule(double delay, EventCallback callback);
+
+  /// Schedules `callback` at absolute time `time` >= now().
+  void At(double time, EventCallback callback);
+
+  /// Runs events until the queue is empty or `max_events` fired.
+  /// Returns the number of events processed.
+  size_t Run(size_t max_events = std::numeric_limits<size_t>::max());
+
+  /// Runs events with fire time <= `end_time` (clock advances to at most
+  /// end_time). Returns the number of events processed.
+  size_t RunUntil(double end_time);
+
+  size_t events_processed() const { return events_processed_; }
+  bool HasPendingEvents() const { return !queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+  size_t events_processed_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_SIM_SIMULATOR_H_

@@ -1,0 +1,58 @@
+#include "util/csv.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "util/stats.h"
+
+namespace pbs {
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+bool EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return !ec;
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) EnsureDirectory(parent.string());
+  out_.open(path);
+}
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  WriteRow(columns);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!ok()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << EscapeCell(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::string& label,
+                         const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  WriteRow(cells);
+}
+
+}  // namespace pbs

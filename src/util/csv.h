@@ -1,0 +1,36 @@
+#ifndef PBS_UTIL_CSV_H_
+#define PBS_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pbs {
+
+/// Minimal CSV writer. Every bench binary mirrors its printed tables into
+/// CSV files (under bench_results/ by default) so downstream plotting or
+/// regression tooling can consume the raw series.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, creating parent directories if needed.
+  /// Check ok() before use; a writer that failed to open drops rows.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.is_open(); }
+
+  void WriteHeader(const std::vector<std::string>& columns);
+  void WriteRow(const std::vector<std::string>& cells);
+  /// Convenience for numeric rows with an optional leading label.
+  void WriteRow(const std::string& label, const std::vector<double>& values,
+                int precision = 6);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Creates `dir` (and parents) if missing; returns false on failure.
+bool EnsureDirectory(const std::string& dir);
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_CSV_H_

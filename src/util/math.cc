@@ -1,0 +1,46 @@
+#include "util/math.h"
+
+#include <cmath>
+#include <limits>
+
+namespace pbs {
+
+double LogFactorial(int64_t n) {
+  if (n < 0) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double Binomial(int64_t n, int64_t k) {
+  const double log_value = LogBinomial(n, k);
+  if (log_value == -std::numeric_limits<double>::infinity()) return 0.0;
+  return std::exp(log_value);
+}
+
+double BinomialRatio(int64_t a, int64_t b, int64_t k) {
+  const double log_num = LogBinomial(a, k);
+  if (log_num == -std::numeric_limits<double>::infinity()) return 0.0;
+  const double log_den = LogBinomial(b, k);
+  return std::exp(log_num - log_den);
+}
+
+double ClampProbability(double p) {
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+void KahanSum::Add(double x) {
+  const double y = x - compensation_;
+  const double t = sum_ + y;
+  compensation_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+}  // namespace pbs

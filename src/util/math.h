@@ -1,0 +1,42 @@
+#ifndef PBS_UTIL_MATH_H_
+#define PBS_UTIL_MATH_H_
+
+#include <cstdint>
+
+namespace pbs {
+
+/// Natural log of n! computed via lgamma; exact to double precision for all
+/// n >= 0.
+double LogFactorial(int64_t n);
+
+/// Natural log of the binomial coefficient C(n, k). Returns -infinity when
+/// the coefficient is zero (k < 0 or k > n).
+double LogBinomial(int64_t n, int64_t k);
+
+/// Binomial coefficient C(n, k) as a double. Values that overflow double
+/// return +infinity; invalid (zero) combinations return 0.
+double Binomial(int64_t n, int64_t k);
+
+/// Ratio C(a, k) / C(b, k) computed in log space; b >= a >= 0, k >= 0.
+/// Returns 0 when C(a, k) == 0. This is the building block of the quorum
+/// non-intersection probability (Equation 1 of the paper).
+double BinomialRatio(int64_t a, int64_t b, int64_t k);
+
+/// Clamps p into [0, 1]; convenience for probability arithmetic that may
+/// accumulate rounding error.
+double ClampProbability(double p);
+
+/// Kahan-compensated accumulator for long probability sums.
+class KahanSum {
+ public:
+  void Add(double x);
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_MATH_H_

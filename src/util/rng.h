@@ -1,0 +1,62 @@
+#ifndef PBS_UTIL_RNG_H_
+#define PBS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace pbs {
+
+/// Deterministic 64-bit pseudo-random number generator.
+///
+/// The generator is xoshiro256++ seeded via SplitMix64, which gives
+/// high-quality streams from arbitrary 64-bit seeds and is fast enough for
+/// Monte Carlo workloads (sub-nanosecond per draw). All randomness in the
+/// library flows through this type so that every experiment is reproducible
+/// from a single seed.
+///
+/// Rng satisfies the C++ UniformRandomBitGenerator concept, so it can also be
+/// used with <random> facilities if desired, though the library provides its
+/// own inverse-CDF samplers in pbs::dist.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed. Identical seeds produce
+  /// identical streams on every platform.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t Next();
+
+  /// Returns a double uniformly distributed in [0, 1) with 53 bits of
+  /// precision.
+  double NextDouble();
+
+  /// Returns a double uniformly distributed in (0, 1]; useful for inverse-CDF
+  /// sampling of distributions with a singularity at 0 (e.g. exponential via
+  /// -log(u)).
+  double NextOpenDouble();
+
+  /// Returns an integer uniformly distributed in [0, bound). `bound` must be
+  /// positive. Uses rejection sampling, so the result is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns an independent generator derived from this one's stream.
+  /// Splitting is the supported way to hand sub-streams to parallel or
+  /// logically separate components (one per replica, per client, ...).
+  Rng Split();
+
+  // UniformRandomBitGenerator interface.
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  uint64_t operator()() { return Next(); }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_RNG_H_

@@ -1,0 +1,105 @@
+#ifndef PBS_UTIL_STATS_H_
+#define PBS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pbs {
+
+/// Streaming univariate summary: count, mean, variance (Welford), min, max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact sample quantile with linear interpolation (type-7, the numpy/R
+/// default). `sorted` must be ascending and non-empty; q in [0, 1].
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Convenience: copies, sorts, and evaluates several quantiles at once.
+std::vector<double> Quantiles(std::vector<double> samples,
+                              const std::vector<double>& qs);
+
+/// Fraction of samples <= x (empirical CDF evaluated at x) over a sorted
+/// ascending vector.
+double EcdfSorted(const std::vector<double>& sorted, double x);
+
+/// Root-mean-square error between two equal-length series.
+double Rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// RMSE normalized by the range (max-min) of `reference`; the paper's
+/// "N-RMSE". Returns RMSE unchanged when the reference range is zero.
+double NormalizedRmse(const std::vector<double>& reference,
+                      const std::vector<double>& estimate);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus underflow and
+/// overflow counters. Used for Pw(c, t) style empirical CDFs and for
+/// latency profiles.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t total() const { return total_; }
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
+  size_t bin_count(size_t i) const { return counts_[i]; }
+  size_t num_bins() const { return counts_.size(); }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+
+  /// Fraction of observations <= x (linear interpolation within bins).
+  double CdfAt(double x) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+/// A (percentile, value) pair, e.g. {99.9, 435.83} for "99.9th pct = 435.83".
+struct PercentilePoint {
+  double percentile;  // in [0, 100]
+  double value;
+};
+
+/// A two-sided confidence interval for a proportion.
+struct ProportionInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials` at confidence `confidence` (e.g. 0.95). Well-behaved for
+/// proportions near 0 or 1, which is exactly where t-visibility estimates
+/// live (P(consistent) ~ 0.999). `trials` must be >= 1.
+ProportionInterval WilsonInterval(int64_t successes, int64_t trials,
+                                  double confidence = 0.95);
+
+/// Formats a double with fixed precision; shared by table/CSV writers.
+std::string FormatDouble(double x, int precision = 3);
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_STATS_H_

@@ -1,0 +1,67 @@
+#ifndef PBS_UTIL_STATUS_H_
+#define PBS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace pbs {
+
+/// Lightweight error-reporting type: the library does not throw, so fallible
+/// operations return Status (or StatusOr<T>) instead.
+class Status {
+ public:
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(Code::kFailedPrecondition, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  const std::string& message() const { return message_; }
+
+ private:
+  enum class Code { kOk, kInvalidArgument, kFailedPrecondition, kNotFound };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Accessing value() on an error aborts in
+/// debug builds; callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)), value_() {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const {
+    assert(ok());
+    return value_;
+  }
+  T& value() {
+    assert(ok());
+    return value_;
+  }
+
+ private:
+  Status status_;
+  T value_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef PBS_UTIL_TABLE_H_
+#define PBS_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pbs {
+
+/// Aligned plain-text table writer used by the benchmark harnesses to print
+/// paper-style tables. Usage:
+///
+///   TextTable t({"config", "Lr", "Lw", "t"});
+///   t.AddRow({"R=1 W=1", "0.66", "0.66", "1.85"});
+///   t.Print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; the row must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Writes the table with column-aligned cells and a header separator.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_TABLE_H_

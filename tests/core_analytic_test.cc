@@ -1,0 +1,147 @@
+#include "core/analytic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/latency.h"
+#include "core/tvisibility.h"
+#include "core/wars.h"
+#include "dist/primitives.h"
+#include "dist/production.h"
+
+namespace pbs {
+namespace {
+
+TEST(DiscretizedDistributionTest, RoundTripsExponentialCdf) {
+  const auto exp = Exponential(0.5);
+  const auto grid =
+      DiscretizedDistribution::FromDistribution(*exp, 100.0, 4000);
+  for (double x : {0.5, 1.0, 2.0, 5.0, 10.0, 30.0}) {
+    EXPECT_NEAR(grid.Cdf(x), exp->Cdf(x), 0.002) << "x=" << x;
+  }
+  EXPECT_NEAR(grid.Mean(), 2.0, 0.02);
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(grid.Quantile(p), exp->Quantile(p), 0.05) << "p=" << p;
+  }
+}
+
+TEST(DiscretizedDistributionTest, TailMassLumpedIntoLastBin) {
+  const auto exp = Exponential(0.01);  // mean 100 >> grid max 10
+  const auto grid = DiscretizedDistribution::FromDistribution(*exp, 10.0, 100);
+  EXPECT_NEAR(grid.Cdf(10.0), 1.0, 1e-12);  // all mass inside the grid
+  EXPECT_GT(grid.mass(99), 0.85);           // most of it in the last bin
+}
+
+TEST(DiscretizedDistributionTest, ConvolutionOfPointMasses) {
+  const auto a = DiscretizedDistribution::FromDistribution(
+      *PointMass(2.0), 10.0, 1000);
+  const auto b = DiscretizedDistribution::FromDistribution(
+      *PointMass(3.0), 10.0, 1000);
+  const auto sum = DiscretizedDistribution::Convolve(a, b);
+  EXPECT_NEAR(sum.Quantile(0.5), 5.0, 0.02);
+  EXPECT_NEAR(sum.Mean(), 5.0, 0.02);
+}
+
+TEST(DiscretizedDistributionTest, ConvolutionMatchesKnownSum) {
+  // Sum of two Exp(1) is Gamma(2,1): CDF = 1 - e^-x (1 + x).
+  const auto e = DiscretizedDistribution::FromDistribution(
+      *Exponential(1.0), 60.0, 6000);
+  const auto sum = DiscretizedDistribution::Convolve(e, e);
+  for (double x : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double expected = 1.0 - std::exp(-x) * (1.0 + x);
+    EXPECT_NEAR(sum.Cdf(x), expected, 0.003) << "x=" << x;
+  }
+}
+
+TEST(DiscretizedDistributionTest, OrderStatisticMinimumOfExponentials) {
+  // Min of n iid Exp(lambda) is Exp(n * lambda).
+  const auto e = DiscretizedDistribution::FromDistribution(
+      *Exponential(0.5), 60.0, 6000);
+  const auto minimum = DiscretizedDistribution::OrderStatistic(e, 3, 1);
+  const auto expected = Exponential(1.5);
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(minimum.Quantile(p), expected->Quantile(p),
+                0.02 + 0.02 * expected->Quantile(p))
+        << "p=" << p;
+  }
+}
+
+TEST(DiscretizedDistributionTest, OrderStatisticMaximum) {
+  // Max of n iid U(0,1): CDF = x^n.
+  const auto u = DiscretizedDistribution::FromDistribution(
+      *Uniform(0.0, 1.0), 1.0, 2000);
+  const auto maximum = DiscretizedDistribution::OrderStatistic(u, 4, 4);
+  for (double x : {0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(maximum.Cdf(x), std::pow(x, 4.0), 0.003) << "x=" << x;
+  }
+}
+
+TEST(AnalyticWarsTest, LatencyQuantilesMatchMonteCarloExactly) {
+  // Operation latencies are pure order statistics: the analytic solver and
+  // the sampler must agree to grid + sampling resolution.
+  const auto dists = LnkdDisk();
+  for (const QuorumConfig config :
+       {QuorumConfig{3, 1, 1}, QuorumConfig{3, 2, 2}, QuorumConfig{3, 3, 1}}) {
+    const AnalyticWars analytic(config, dists, 4000.0, 40000);
+    const auto mc = EstimateLatencies(config, MakeIidModel(dists, config.n),
+                                      300000, /*seed=*/1);
+    for (double pct : {50.0, 90.0, 99.0, 99.9}) {
+      const double expected = mc.writes.Percentile(pct);
+      EXPECT_NEAR(analytic.WriteLatencyQuantile(pct / 100.0), expected,
+                  0.05 * expected + 0.3)
+          << config.ToString() << " write pct=" << pct;
+      const double read_expected = mc.reads.Percentile(pct);
+      EXPECT_NEAR(analytic.ReadLatencyQuantile(pct / 100.0), read_expected,
+                  0.05 * read_expected + 0.3)
+          << config.ToString() << " read pct=" << pct;
+    }
+  }
+}
+
+TEST(AnalyticWarsTest, ApproxTVisibilityTracksMonteCarlo) {
+  // The independence approximation should land within a few points of the
+  // Monte Carlo truth for N=3 partial quorums and converge as t grows.
+  const auto dists = LnkdDisk();
+  const QuorumConfig config{3, 1, 1};
+  const AnalyticWars analytic(config, dists, 2000.0, 20000);
+  const auto mc = EstimateTVisibility(config, MakeIidModel(dists, 3), 300000,
+                                      /*seed=*/2);
+  for (double t : {0.0, 5.0, 20.0, 60.0}) {
+    // The ignored correlations matter most immediately after commit
+    // (~0.07 at t=0 for N=3; see bench/analytic_vs_mc) and wash out as t
+    // grows.
+    const double tolerance = t == 0.0 ? 0.10 : 0.05;
+    EXPECT_NEAR(analytic.ApproxProbConsistent(t), mc.ProbConsistent(t),
+                tolerance)
+        << "t=" << t;
+  }
+  // Convergence at large t.
+  EXPECT_NEAR(analytic.ApproxProbConsistent(500.0), 1.0, 0.005);
+}
+
+TEST(AnalyticWarsTest, ApproxCurveMonotoneInT) {
+  const AnalyticWars analytic({3, 1, 1}, Ymmr(), 4000.0, 8000);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 2000.0; t += 50.0) {
+    const double p = analytic.ApproxProbConsistent(t);
+    EXPECT_GE(p + 1e-9, prev);
+    prev = p;
+  }
+}
+
+TEST(AnalyticWarsTest, StrictQuorumsExactlyConsistent) {
+  const AnalyticWars analytic({3, 2, 2}, LnkdDisk(), 1000.0, 2000);
+  EXPECT_DOUBLE_EQ(analytic.ApproxProbConsistent(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(analytic.ApproxTimeForConsistency(0.9999), 0.0);
+}
+
+TEST(AnalyticWarsTest, TimeForConsistencyInvertsTheCurve) {
+  const AnalyticWars analytic({3, 1, 1}, LnkdDisk(), 2000.0, 8000);
+  const double t = analytic.ApproxTimeForConsistency(0.99);
+  EXPECT_GE(analytic.ApproxProbConsistent(t), 0.99);
+  EXPECT_GT(t, 0.0);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,190 @@
+#include "core/closed_form.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(SingleQuorumMissTest, PaperRunningExample) {
+  // N=3, R=W=1: miss probability C(2,1)/C(3,1) = 2/3.
+  EXPECT_NEAR(SingleQuorumMissProbability({3, 1, 1}), 2.0 / 3.0, 1e-12);
+  // N=3, R=1, W=2 (or R=2, W=1): 1/3.
+  EXPECT_NEAR(SingleQuorumMissProbability({3, 1, 2}), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(SingleQuorumMissProbability({3, 2, 1}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SingleQuorumMissTest, PaperLargeSystemExample) {
+  // Section 2.1: N=100, R=W=30 -> ps = 1.88e-6.
+  EXPECT_NEAR(SingleQuorumMissProbability({100, 30, 30}), 1.88e-6, 0.02e-6);
+}
+
+TEST(SingleQuorumMissTest, StrictQuorumsNeverMiss) {
+  for (int n = 1; n <= 10; ++n) {
+    for (int r = 1; r <= n; ++r) {
+      for (int w = 1; w <= n; ++w) {
+        const QuorumConfig config{n, r, w};
+        if (config.IsStrict()) {
+          EXPECT_EQ(SingleQuorumMissProbability(config), 0.0)
+              << config.ToString();
+        } else {
+          EXPECT_GT(SingleQuorumMissProbability(config), 0.0)
+              << config.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(KStalenessTest, PaperSection31Numbers) {
+  // N=3, R=W=1: P(within k versions) = 1 - (2/3)^k.
+  const QuorumConfig config{3, 1, 1};
+  EXPECT_NEAR(KFreshnessProbability(config, 3), 0.703, 0.001);
+  EXPECT_GT(KFreshnessProbability(config, 5), 0.868);
+  EXPECT_GT(KFreshnessProbability(config, 10), 0.98);
+  // N=3, R=1, W=2: k=5 -> > 0.995.
+  EXPECT_GT(KFreshnessProbability({3, 1, 2}, 5), 0.995);
+}
+
+TEST(KStalenessTest, ExponentialDecayInK) {
+  const QuorumConfig config{3, 1, 1};
+  const double ps = SingleQuorumMissProbability(config);
+  for (int k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(KStalenessProbability(config, k), std::pow(ps, k), 1e-12);
+  }
+}
+
+TEST(KStalenessTest, MonotoneDecreasingInK) {
+  const QuorumConfig config{5, 1, 1};
+  double prev = 1.0;
+  for (int k = 1; k <= 30; ++k) {
+    const double psk = KStalenessProbability(config, k);
+    EXPECT_LT(psk, prev);
+    prev = psk;
+  }
+}
+
+TEST(MinVersionsForToleranceTest, InvertsTheExponent) {
+  const QuorumConfig config{3, 1, 1};  // ps = 2/3
+  // (2/3)^k <= 0.01  =>  k >= 11.36  =>  k = 12.
+  EXPECT_EQ(MinVersionsForTolerance(config, 0.01), 12);
+  // Strict quorum: one version suffices.
+  EXPECT_EQ(MinVersionsForTolerance({3, 2, 2}, 0.01), 1);
+  // ps == 1 is impossible with valid configs (W >= 1 so ps < 1 whenever
+  // R >= 1 ... except R=0 which is invalid), so check a tolerance >= ps.
+  EXPECT_EQ(MinVersionsForTolerance(config, 0.7), 1);
+}
+
+TEST(MonotonicReadsTest, MatchesKStalenessWithRateExponent) {
+  const QuorumConfig config{3, 1, 1};
+  const double ps = SingleQuorumMissProbability(config);
+  // gamma_gw / gamma_cr = 2 writes per client read -> k = 3.
+  EXPECT_NEAR(MonotonicReadsViolationProbability(config, 2.0, 1.0),
+              std::pow(ps, 3.0), 1e-12);
+  // Strict variant drops the +1.
+  EXPECT_NEAR(
+      MonotonicReadsViolationProbability(config, 2.0, 1.0, /*strict=*/true),
+      std::pow(ps, 2.0), 1e-12);
+}
+
+TEST(MonotonicReadsTest, MoreWritesBetweenReadsImproveGuarantee) {
+  // Higher write rate relative to the client's read rate raises the
+  // exponent k = 1 + gw/cr, shrinking the violation probability: a client
+  // that reads rarely has an older "last seen" version, which is easier to
+  // dominate. (Conversely, rapid re-reads are the hard case.)
+  const QuorumConfig config{3, 1, 1};
+  double prev = 1.0;
+  for (double gw : {0.1, 0.5, 1.0, 10.0, 100.0}) {
+    const double p = MonotonicReadsViolationProbability(config, gw, 1.0);
+    EXPECT_LT(p, prev) << "gw=" << gw;
+    prev = p;
+  }
+}
+
+TEST(LoadBoundTest, EpsilonIntersectingFormula) {
+  // load >= (1 - sqrt(eps)) / sqrt(N).
+  EXPECT_NEAR(EpsilonIntersectingLoadLowerBound(100, 0.01), 0.9 / 10.0,
+              1e-12);
+  EXPECT_NEAR(EpsilonIntersectingLoadLowerBound(4, 0.25), 0.5 / 2.0, 1e-12);
+}
+
+TEST(LoadBoundTest, StalenessToleranceLowersLoad) {
+  // Section 3.3: tolerating more versions strictly lowers the bound.
+  double prev = 1.0;
+  for (double k = 1.0; k <= 32.0; k *= 2.0) {
+    const double load = KStalenessLoadLowerBound(9, 0.01, k);
+    EXPECT_LT(load, prev) << "k=" << k;
+    prev = load;
+  }
+}
+
+TEST(LoadBoundTest, KEqualsOneRecoversEpsilonIntersectingBound) {
+  // k = 1: eps = p, so the bound is (1 - sqrt(p)) / sqrt(N).
+  EXPECT_NEAR(KStalenessLoadLowerBound(16, 0.25, 1.0),
+              EpsilonIntersectingLoadLowerBound(16, 0.25), 1e-12);
+  EXPECT_NEAR(KStalenessLoadLowerBound(16, 0.25, 1.0), 0.5 / 4.0, 1e-12);
+}
+
+TEST(TVisibilityBoundTest, AtCommitTimeEqualsClosedFormPs) {
+  // At t=0 exactly W replicas hold the version, so Equation 4 degenerates
+  // to Equation 1.
+  const QuorumConfig config{3, 1, 1};
+  std::vector<double> pw(config.n + 1, 0.0);
+  // P(Wr <= c): all mass at Wr = W = 1.
+  pw[0] = 0.0;
+  pw[1] = 1.0;
+  pw[2] = 1.0;
+  pw[3] = 1.0;
+  EXPECT_NEAR(TVisibilityStalenessBound(config, pw),
+              SingleQuorumMissProbability(config), 1e-12);
+}
+
+TEST(TVisibilityBoundTest, FullPropagationMeansNoStaleness) {
+  const QuorumConfig config{3, 1, 1};
+  // All mass at Wr = N.
+  std::vector<double> pw = {0.0, 0.0, 0.0, 1.0};
+  EXPECT_EQ(TVisibilityStalenessBound(config, pw), 0.0);
+}
+
+TEST(TVisibilityBoundTest, InterpolatesBetweenExtremes) {
+  const QuorumConfig config{3, 1, 1};
+  // Half the trials still at W=1, half fully propagated.
+  std::vector<double> pw = {0.0, 0.5, 0.5, 1.0};
+  const double expected = 0.5 * (2.0 / 3.0) + 0.5 * 0.0;
+  EXPECT_NEAR(TVisibilityStalenessBound(config, pw), expected, 1e-12);
+}
+
+TEST(TVisibilityBoundTest, MorePropagationNeverHurts) {
+  const QuorumConfig config{5, 2, 1};
+  std::vector<double> slow = {0.0, 0.8, 0.9, 0.95, 1.0, 1.0};
+  std::vector<double> fast = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  EXPECT_GT(TVisibilityStalenessBound(config, slow),
+            TVisibilityStalenessBound(config, fast));
+}
+
+TEST(KTStalenessBoundTest, ExponentiatesTheTimeBound) {
+  const QuorumConfig config{3, 1, 1};
+  std::vector<double> pw = {0.0, 1.0, 1.0, 1.0};
+  const double p1 = KTStalenessBound(config, pw, 1);
+  const double p3 = KTStalenessBound(config, pw, 3);
+  EXPECT_NEAR(p3, std::pow(p1, 3.0), 1e-12);
+  EXPECT_LT(p3, p1);
+}
+
+TEST(QuorumConfigTest, Predicates) {
+  EXPECT_TRUE(QuorumConfig({3, 2, 2}).IsStrict());
+  EXPECT_TRUE(QuorumConfig({3, 1, 1}).IsPartial());
+  EXPECT_TRUE(QuorumConfig({3, 1, 3}).IsStrict());
+  EXPECT_TRUE(QuorumConfig({3, 1, 2}).HasMajorityWrites());
+  EXPECT_FALSE(QuorumConfig({3, 1, 1}).HasMajorityWrites());
+  EXPECT_FALSE(QuorumConfig({3, 4, 1}).IsValid());
+  EXPECT_FALSE(QuorumConfig({0, 1, 1}).IsValid());
+  EXPECT_FALSE(ValidateQuorumConfig({3, 0, 1}).ok());
+  EXPECT_TRUE(ValidateQuorumConfig({3, 1, 1}).ok());
+  EXPECT_EQ(QuorumConfig({3, 2, 1}).ToString(), "N=3 R=2 W=1");
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,142 @@
+#include "core/quorum_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+
+namespace pbs {
+namespace {
+
+TEST(SampleSubsetTest, CorrectSizeAndDistinctMembers) {
+  QuorumSampler sampler({10, 3, 4}, /*seed=*/1);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto subset = sampler.SampleSubset(4);
+    EXPECT_EQ(subset.size(), 4u);
+    const std::set<int> unique(subset.begin(), subset.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (int idx : subset) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, 10);
+    }
+  }
+}
+
+TEST(SampleSubsetTest, EveryElementEquallyLikely) {
+  QuorumSampler sampler({10, 1, 1}, /*seed=*/2);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    for (int idx : sampler.SampleSubset(3)) ++counts[idx];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.01);
+  }
+}
+
+struct MissCase {
+  QuorumConfig config;
+};
+
+class MissProbabilityTest : public ::testing::TestWithParam<MissCase> {};
+
+TEST_P(MissProbabilityTest, MonteCarloMatchesEquation1) {
+  const QuorumConfig config = GetParam().config;
+  QuorumSampler sampler(config, /*seed=*/42);
+  const int trials = 200000;
+  const double estimate = sampler.EstimateMissProbability(trials);
+  const double exact = SingleQuorumMissProbability(config);
+  const double sigma = std::sqrt(exact * (1.0 - exact) / trials);
+  EXPECT_NEAR(estimate, exact, std::max(5.0 * sigma, 1e-4))
+      << config.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MissProbabilityTest,
+    ::testing::Values(MissCase{{3, 1, 1}}, MissCase{{3, 1, 2}},
+                      MissCase{{3, 2, 1}}, MissCase{{3, 2, 2}},
+                      MissCase{{5, 1, 1}}, MissCase{{5, 2, 2}},
+                      MissCase{{10, 3, 3}}, MissCase{{2, 1, 1}},
+                      MissCase{{1, 1, 1}}),
+    [](const ::testing::TestParamInfo<MissCase>& info) {
+      const auto& c = info.param.config;
+      return "N" + std::to_string(c.n) + "R" + std::to_string(c.r) + "W" +
+             std::to_string(c.w);
+    });
+
+TEST(KStalenessSamplerTest, MatchesEquation2AcrossK) {
+  const QuorumConfig config{3, 1, 1};
+  QuorumSampler sampler(config, /*seed=*/7);
+  const int trials = 150000;
+  for (int k : {1, 2, 3, 5}) {
+    const double estimate = sampler.EstimateKStaleness(k, trials);
+    const double exact = KStalenessProbability(config, k);
+    const double sigma = std::sqrt(exact * (1.0 - exact) / trials);
+    EXPECT_NEAR(estimate, exact, std::max(5.0 * sigma, 2e-4)) << "k=" << k;
+  }
+}
+
+TEST(KStalenessSamplerTest, StrictQuorumNeverStale) {
+  QuorumSampler sampler({3, 2, 2}, /*seed=*/3);
+  EXPECT_EQ(sampler.EstimateKStaleness(1, 20000), 0.0);
+}
+
+TEST(StalenessHistogramTest, RandomPlacementMatchesGeometricTail) {
+  // P(staleness >= k) = ps^k for uniformly random write quorums.
+  const QuorumConfig config{3, 1, 1};
+  QuorumSampler sampler(config, /*seed=*/11);
+  const int versions = 20;
+  const int reads = 100000;
+  const auto histogram = sampler.StalenessHistogram(
+      versions, reads, QuorumSampler::WritePlacement::kUniformRandom);
+  ASSERT_EQ(histogram.size(), static_cast<size_t>(versions));
+  const double ps = SingleQuorumMissProbability(config);
+  // Tail sums P(staleness >= k).
+  int64_t tail = 0;
+  std::vector<double> tail_prob(versions);
+  for (int k = versions - 1; k >= 0; --k) {
+    tail += histogram[k];
+    tail_prob[k] = static_cast<double>(tail) / reads;
+  }
+  for (int k : {1, 2, 3, 5}) {
+    EXPECT_NEAR(tail_prob[k], std::pow(ps, k), 0.01) << "k=" << k;
+  }
+}
+
+TEST(StalenessHistogramTest, RoundRobinBoundsStaleness) {
+  // Single-writer k-quorum scheduling (Section 2.1): with round-robin write
+  // placement, no replica is ever more than ceil(N/W) versions behind.
+  const QuorumConfig config{6, 1, 2};
+  QuorumSampler sampler(config, /*seed=*/13);
+  const int versions = 50;
+  const auto histogram = sampler.StalenessHistogram(
+      versions, 50000, QuorumSampler::WritePlacement::kRoundRobin);
+  const int bound = (config.n + config.w - 1) / config.w;  // ceil(N/W) = 3
+  for (int k = bound; k < versions; ++k) {
+    EXPECT_EQ(histogram[k], 0) << "k=" << k;
+  }
+  // And the bound is tight: some read is (bound-1) versions stale.
+  EXPECT_GT(histogram[bound - 1], 0);
+}
+
+TEST(StalenessHistogramTest, TotalsAddUp) {
+  QuorumSampler sampler({3, 1, 1}, /*seed=*/17);
+  const auto histogram = sampler.StalenessHistogram(
+      10, 5000, QuorumSampler::WritePlacement::kUniformRandom);
+  EXPECT_EQ(std::accumulate(histogram.begin(), histogram.end(), int64_t{0}),
+            5000);
+}
+
+TEST(SamplerDeterminismTest, SameSeedSameEstimates) {
+  QuorumSampler a({3, 1, 1}, 99);
+  QuorumSampler b({3, 1, 1}, 99);
+  EXPECT_EQ(a.EstimateMissProbability(10000),
+            b.EstimateMissProbability(10000));
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,136 @@
+#include "core/quorum_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+
+namespace pbs {
+namespace {
+
+bool Intersect(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::set<int> sa(a.begin(), a.end());
+  for (int id : b) {
+    if (sa.count(id)) return true;
+  }
+  return false;
+}
+
+TEST(SubsetQuorumSystemTest, MatchesClosedFormMissProbability) {
+  const auto system = MakeSubsetQuorumSystem(3, 1, 1);
+  const auto stats = AnalyzeQuorumSystem(*system, 200000, /*seed=*/1);
+  EXPECT_NEAR(stats.miss_probability,
+              SingleQuorumMissProbability({3, 1, 1}), 0.005);
+  EXPECT_NEAR(stats.k2_miss_probability,
+              KStalenessProbability({3, 1, 1}, 2), 0.005);
+  EXPECT_DOUBLE_EQ(stats.mean_read_quorum_size, 1.0);
+  EXPECT_FALSE(system->IsStrict());
+}
+
+TEST(SubsetQuorumSystemTest, StrictConfigNeverMisses) {
+  const auto system = MakeSubsetQuorumSystem(3, 2, 2);
+  EXPECT_TRUE(system->IsStrict());
+  const auto stats = AnalyzeQuorumSystem(*system, 50000, /*seed=*/2);
+  EXPECT_EQ(stats.miss_probability, 0.0);
+}
+
+TEST(GridQuorumSystemTest, RowAndColumnAlwaysIntersect) {
+  const auto system = MakeGridQuorumSystem(4, 5);
+  EXPECT_TRUE(system->IsStrict());
+  EXPECT_EQ(system->num_replicas(), 20);
+  Rng rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto read = system->SampleReadQuorum(rng);
+    const auto write = system->SampleWriteQuorum(rng);
+    EXPECT_EQ(read.size(), 5u);   // a full row
+    EXPECT_EQ(write.size(), 4u);  // a full column
+    EXPECT_TRUE(Intersect(read, write));
+  }
+  const auto stats = AnalyzeQuorumSystem(*system, 50000, /*seed=*/4);
+  EXPECT_EQ(stats.miss_probability, 0.0);
+}
+
+TEST(GridQuorumSystemTest, MemberOmissionBreaksTheSingleCellIntersection) {
+  // The row/column intersection is exactly one cell; dropping each member
+  // with probability f loses the last write iff either side dropped it:
+  // miss = 1 - (1-f)^2.
+  const double f = 0.2;
+  const auto system = MakeGridQuorumSystem(6, 6, f);
+  EXPECT_FALSE(system->IsStrict());
+  const auto stats = AnalyzeQuorumSystem(*system, 300000, /*seed=*/5);
+  const double expected = 1.0 - (1.0 - f) * (1.0 - f);
+  EXPECT_NEAR(stats.miss_probability, expected, 0.005);
+}
+
+TEST(GridQuorumSystemTest, LoadMatchesTheoryForSquareGrids) {
+  // For a c x c grid, each operation touches c of c^2 replicas uniformly:
+  // load -> 1/c = 1/sqrt(N), the optimal order [Naor & Wool].
+  const auto system = MakeGridQuorumSystem(6, 6);
+  const auto stats = AnalyzeQuorumSystem(*system, 200000, /*seed=*/6);
+  EXPECT_NEAR(stats.load, 1.0 / 6.0, 0.01);
+}
+
+TEST(TreeQuorumSystemTest, AnyTwoQuorumsIntersect) {
+  for (double pref : {0.3, 0.7, 1.0}) {
+    const auto system = MakeTreeQuorumSystem(4, pref);
+    EXPECT_TRUE(system->IsStrict());
+    EXPECT_EQ(system->num_replicas(), 15);
+    Rng rng(7);
+    for (int trial = 0; trial < 3000; ++trial) {
+      const auto a = system->SampleReadQuorum(rng);
+      const auto b = system->SampleWriteQuorum(rng);
+      EXPECT_TRUE(Intersect(a, b)) << "pref=" << pref;
+    }
+  }
+}
+
+TEST(TreeQuorumSystemTest, FullRootPreferenceYieldsRootPaths) {
+  // With root always available the quorum is a root-to-leaf path: size =
+  // number of levels.
+  const auto system = MakeTreeQuorumSystem(4, 1.0);
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto quorum = system->SampleReadQuorum(rng);
+    EXPECT_EQ(quorum.size(), 4u);
+    EXPECT_EQ(quorum.front(), 0);  // starts at the root
+  }
+}
+
+TEST(TreeQuorumSystemTest, MonteCarloConfirmsStrictness) {
+  const auto system = MakeTreeQuorumSystem(3, 0.6);
+  const auto stats = AnalyzeQuorumSystem(*system, 100000, /*seed=*/9);
+  EXPECT_EQ(stats.miss_probability, 0.0);
+  EXPECT_EQ(stats.k2_miss_probability, 0.0);
+}
+
+TEST(TreeQuorumSystemTest, QuorumsAreSmallerThanMajority) {
+  // The selling point of tree quorums: quorum size ~ log N or smaller
+  // vs ceil((N+1)/2) for the majority system.
+  const auto system = MakeTreeQuorumSystem(5, 0.8);  // N = 31
+  const auto stats = AnalyzeQuorumSystem(*system, 50000, /*seed=*/10);
+  EXPECT_LT(stats.mean_read_quorum_size, 16.0);
+  EXPECT_LT(stats.mean_read_quorum_size, 10.0);
+}
+
+TEST(TreeQuorumSystemTest, RootIsTheLoadBottleneck) {
+  // Root-heavy construction concentrates load at the root: load is much
+  // higher than the grid's 1/sqrt(N).
+  const auto tree = MakeTreeQuorumSystem(4, 0.9);
+  const auto stats = AnalyzeQuorumSystem(*tree, 100000, /*seed=*/11);
+  EXPECT_GT(stats.load, 0.5);  // the root appears in ~90% of quorums
+}
+
+TEST(AnalyzeQuorumSystemTest, DescribeMentionsShape) {
+  EXPECT_NE(MakeGridQuorumSystem(3, 4)->Describe().find("3x4"),
+            std::string::npos);
+  EXPECT_NE(MakeTreeQuorumSystem(3, 0.5)->Describe().find("levels=3"),
+            std::string::npos);
+  EXPECT_NE(MakeSubsetQuorumSystem(5, 2, 3)->Describe().find("R=2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,161 @@
+#include "core/tvisibility.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+#include "dist/primitives.h"
+#include "dist/production.h"
+
+namespace pbs {
+namespace {
+
+TEST(TVisibilityCurveTest, EcdfOfThresholds) {
+  TVisibilityCurve curve({0.0, 0.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(curve.ProbConsistent(0.0), 0.4);
+  EXPECT_DOUBLE_EQ(curve.ProbConsistent(1.0), 0.6);
+  EXPECT_DOUBLE_EQ(curve.ProbConsistent(3.0), 0.8);
+  EXPECT_DOUBLE_EQ(curve.ProbConsistent(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.ProbConsistent(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.ProbStale(1.0), 0.4);
+  EXPECT_DOUBLE_EQ(curve.ProbImmediatelyConsistent(), 0.4);
+}
+
+TEST(TVisibilityCurveTest, TimeForConsistencyInvertsTheCurve) {
+  TVisibilityCurve curve({0.0, 0.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(curve.TimeForConsistency(0.4), 0.0);
+  EXPECT_DOUBLE_EQ(curve.TimeForConsistency(0.6), 1.0);
+  EXPECT_DOUBLE_EQ(curve.TimeForConsistency(0.8), 2.0);
+  EXPECT_DOUBLE_EQ(curve.TimeForConsistency(1.0), 4.0);
+  // Just above a step requires the next threshold.
+  EXPECT_DOUBLE_EQ(curve.TimeForConsistency(0.61), 2.0);
+}
+
+TEST(TVisibilityCurveTest, InverseRoundTripProperty) {
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  const TVisibilityCurve curve =
+      EstimateTVisibility({3, 1, 1}, model, 50000, /*seed=*/21);
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    const double t = curve.TimeForConsistency(p);
+    EXPECT_GE(curve.ProbConsistent(t), p) << "p=" << p;
+  }
+}
+
+TEST(TVisibilityCurveTest, CurveIsMonotoneInT) {
+  const auto model = MakeIidModel(Ymmr(), 3);
+  const TVisibilityCurve curve =
+      EstimateTVisibility({3, 1, 1}, model, 20000, /*seed=*/22);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 2000.0; t += 10.0) {
+    const double p = curve.ProbConsistent(t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(TVisibilityCurveTest, ConfidenceIntervalBracketsTheEstimate) {
+  TVisibilityCurve curve({0.0, 0.0, 0.0, 1.0, 2.0});
+  const auto interval = curve.ProbConsistentInterval(0.5, 0.95);
+  EXPECT_LE(interval.lower, 0.6);
+  EXPECT_GE(interval.upper, 0.6);
+  EXPECT_GT(interval.upper - interval.lower, 0.0);
+  // More trials tighten the interval around the same proportion.
+  std::vector<double> many;
+  for (int i = 0; i < 6000; ++i) many.push_back(i % 5 < 3 ? 0.0 : 2.0);
+  TVisibilityCurve big(std::move(many));
+  const auto tight = big.ProbConsistentInterval(0.5, 0.95);
+  EXPECT_LT(tight.upper - tight.lower, interval.upper - interval.lower);
+}
+
+TEST(EmpiricalPwTest, CdfStructure) {
+  // Hand-built propagation columns for N=3, 4 trials. Column c holds the
+  // time until (c+1) replicas have the version.
+  WarsTrialSet set;
+  set.propagation = {{0.0, 0.0, 0.0, 0.0},
+                     {0.0, 1.0, 2.0, 3.0},
+                     {5.0, 5.0, 5.0, 9.0}};
+  // At t=2: Wr<=0 iff prop[0] > 2 (never) -> 0.
+  //         Wr<=1 iff prop[1] > 2 (one trial: 3.0) -> 0.25.
+  //         Wr<=2 iff prop[2] > 2 (all) -> 1.0.
+  const auto pw = EmpiricalPwAt(set, 3, 2.0);
+  ASSERT_EQ(pw.size(), 4u);
+  EXPECT_DOUBLE_EQ(pw[0], 0.0);
+  EXPECT_DOUBLE_EQ(pw[1], 0.25);
+  EXPECT_DOUBLE_EQ(pw[2], 1.0);
+  EXPECT_DOUBLE_EQ(pw[3], 1.0);
+}
+
+TEST(EmpiricalPwTest, FullPropagationAtLargeT) {
+  const auto model = MakeIidModel(LnkdSsd(), 3);
+  const auto set = RunWarsTrials({3, 1, 1}, model, 20000, /*seed=*/23,
+                                 /*want_propagation=*/true);
+  const auto pw = EmpiricalPwAt(set, 3, 1e6);
+  EXPECT_DOUBLE_EQ(pw[0], 0.0);
+  EXPECT_DOUBLE_EQ(pw[1], 0.0);
+  EXPECT_DOUBLE_EQ(pw[2], 0.0);
+  EXPECT_DOUBLE_EQ(pw[3], 1.0);
+}
+
+TEST(EmpiricalPwTest, Equation4BoundsObservedStaleness) {
+  // Equation 4 is a conservative upper bound on pst (it ignores the time
+  // reads spend in flight). Verify bound >= Monte Carlo staleness.
+  const QuorumConfig config{3, 1, 1};
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  const auto set = RunWarsTrials(config, model, 100000, /*seed=*/24,
+                                 /*want_propagation=*/true);
+  const TVisibilityCurve curve{
+      std::vector<double>(set.staleness_thresholds)};
+  for (double t : {0.0, 1.0, 5.0, 10.0, 50.0}) {
+    const auto pw = EmpiricalPwAt(set, 3, t);
+    const double bound = TVisibilityStalenessBound(config, pw);
+    const double actual = curve.ProbStale(t);
+    EXPECT_GE(bound + 1e-9, actual) << "t=" << t;
+  }
+}
+
+TEST(KTStalenessTest, LongSpacingMeansFresh) {
+  // Writes 1000ms apart with millisecond-scale legs: by read time all
+  // versions are everywhere; staleness 0 dominates.
+  const auto model = MakeIidModel(LnkdSsd(), 3);
+  const auto result =
+      EstimateKTStaleness({3, 1, 1}, model, PointMass(1000.0), /*t=*/10.0,
+                          /*history=*/5, /*trials=*/4000, /*seed=*/25);
+  EXPECT_GT(result.histogram[0], 3900);
+  EXPECT_LT(result.MeanStaleness(), 0.05);
+}
+
+TEST(KTStalenessTest, RapidWritesIncreaseVersionStaleness) {
+  // Writes every 1ms under a slow-write distribution: reads observe old
+  // versions several writes back.
+  const auto dists = MakeWars("slow", Exponential(0.05), Exponential(1.0));
+  const auto model = MakeIidModel(dists, 3);
+  const auto slow = EstimateKTStaleness({3, 1, 1}, model, PointMass(1.0),
+                                        /*t=*/0.0, /*history=*/30,
+                                        /*trials=*/4000, /*seed=*/26);
+  const auto spaced = EstimateKTStaleness({3, 1, 1}, model, PointMass(100.0),
+                                          /*t=*/0.0, /*history=*/30,
+                                          /*trials=*/4000, /*seed=*/26);
+  EXPECT_GT(slow.MeanStaleness(), spaced.MeanStaleness());
+  // P(staler than k) decreases in k.
+  double prev = 1.1;
+  for (int k = 0; k <= 5; ++k) {
+    const double p = slow.ProbStalerThan(k);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(KTStalenessTest, StrictQuorumIsNeverStaleEvenUnderChurn) {
+  const auto dists = MakeWars("slow", Exponential(0.05), Exponential(1.0));
+  const auto model = MakeIidModel(dists, 3);
+  const auto result = EstimateKTStaleness({3, 2, 2}, model, PointMass(1.0),
+                                          /*t=*/0.0, /*history=*/10,
+                                          /*trials=*/3000, /*seed=*/27);
+  // In-flight (uncommitted) newer versions do not count as staleness; a
+  // strict quorum always returns at least the newest *committed* version.
+  EXPECT_DOUBLE_EQ(result.ProbStalerThan(1), 0.0);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,116 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/empirical.h"
+#include "dist/fit.h"
+#include "dist/mixture.h"
+#include "dist/primitives.h"
+#include "dist/production.h"
+#include "util/stats.h"
+
+namespace pbs {
+namespace {
+
+TEST(EmpiricalTest, CdfQuantileRoundTrip) {
+  EmpiricalDistribution dist({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_EQ(dist.size(), 5u);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 3.0);
+}
+
+TEST(EmpiricalTest, ResamplesOnlyObservedValues) {
+  EmpiricalDistribution dist({1.0, 2.0, 3.0});
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist.Sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+}
+
+TEST(EmpiricalTest, RoundTripsAnotherDistribution) {
+  auto source = Exponential(0.2);
+  Rng rng(123);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(source->Sample(rng));
+  EmpiricalDistribution dist(std::move(samples));
+  EXPECT_NEAR(dist.Mean(), 5.0, 0.15);
+  EXPECT_NEAR(dist.Quantile(0.5), source->Quantile(0.5), 0.1);
+}
+
+TEST(NelderMeadTest, MinimizesSphereFunction) {
+  auto sphere = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (double v : x) s += (v - 1.0) * (v - 1.0);
+    return s;
+  };
+  const auto x = NelderMead(sphere, {5.0, -3.0, 0.0}, 1.0, 2000);
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrock) {
+  auto rosenbrock = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const auto x = NelderMead(rosenbrock, {-1.2, 1.0}, 0.5, 20000);
+  EXPECT_NEAR(x[0], 1.0, 0.02);
+  EXPECT_NEAR(x[1], 1.0, 0.04);
+}
+
+TEST(QuantileNRmseTest, ZeroForPerfectModel) {
+  auto dist = Exponential(1.0);
+  std::vector<PercentilePoint> points;
+  for (double pct : {10.0, 50.0, 90.0, 99.0}) {
+    points.push_back({pct, dist->Quantile(pct / 100.0)});
+  }
+  EXPECT_NEAR(QuantileNRmse(*dist, points), 0.0, 1e-12);
+}
+
+TEST(FitTest, RecoversSyntheticMixtureQuantiles) {
+  // Generate percentile points from a known Pareto+Exp mixture and check
+  // that the fitted model reproduces them closely (the parameters
+  // themselves may differ -- the objective is quantile agreement, exactly
+  // like the paper's N-RMSE criterion).
+  const auto truth = ParetoExponentialMixture(0.9, 0.5, 4.0, 0.05);
+  std::vector<PercentilePoint> points;
+  for (double pct : {5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    points.push_back({pct, truth->Quantile(pct / 100.0)});
+  }
+  const ParetoExpFit fit = FitParetoExponential(points, /*seed=*/1);
+  EXPECT_LT(fit.n_rmse, 0.02) << fit.Describe();
+  const auto model = fit.ToDistribution();
+  for (const auto& pt : points) {
+    const double got = model->Quantile(pt.percentile / 100.0);
+    EXPECT_NEAR(got, pt.value, 0.15 * pt.value + 0.05)
+        << "pct=" << pt.percentile;
+  }
+}
+
+TEST(FitTest, FitsYammerReadTable) {
+  // Section 5.5 methodology check: a Pareto-body + exponential-tail mixture
+  // fits the published Riak read percentiles with small N-RMSE (the paper
+  // reports .06% for its A=R=S fit; we only require the same order).
+  const ParetoExpFit fit =
+      FitParetoExponential(YammerReadPercentiles(), /*seed=*/2);
+  EXPECT_LT(fit.n_rmse, 0.05) << fit.Describe();
+  EXPECT_GT(fit.weight_body, 0.5);  // body carries most of the mass
+}
+
+TEST(FitTest, DeterministicGivenSeed) {
+  const auto points = YammerReadPercentiles();
+  const ParetoExpFit a = FitParetoExponential(points, 3, 8);
+  const ParetoExpFit b = FitParetoExponential(points, 3, 8);
+  EXPECT_DOUBLE_EQ(a.xm, b.xm);
+  EXPECT_DOUBLE_EQ(a.alpha, b.alpha);
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+  EXPECT_DOUBLE_EQ(a.weight_body, b.weight_body);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,139 @@
+#include "dist/mixture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "dist/production.h"
+#include "util/stats.h"
+
+namespace pbs {
+namespace {
+
+TEST(MixtureTest, CdfIsWeightedSumOfComponents) {
+  auto a = Exponential(1.0);
+  auto b = Uniform(0.0, 10.0);
+  MixtureDistribution mix({{0.3, a}, {0.7, b}});
+  for (double x : {0.5, 1.0, 3.0, 9.0}) {
+    EXPECT_NEAR(mix.Cdf(x), 0.3 * a->Cdf(x) + 0.7 * b->Cdf(x), 1e-12);
+  }
+}
+
+TEST(MixtureTest, WeightsAreNormalized) {
+  auto a = Exponential(1.0);
+  MixtureDistribution mix({{2.0, a}, {6.0, a}});
+  EXPECT_NEAR(mix.components()[0].weight, 0.25, 1e-12);
+  EXPECT_NEAR(mix.components()[1].weight, 0.75, 1e-12);
+}
+
+TEST(MixtureTest, QuantileInvertsCdf) {
+  auto mix = ParetoExponentialMixture(0.9122, 0.235, 10.0, 1.66);
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999}) {
+    const double x = mix->Quantile(p);
+    EXPECT_NEAR(mix->Cdf(x), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(MixtureTest, MeanIsWeightedSum) {
+  auto mix = Mixture({{0.5, PointMass(2.0)}, {0.5, PointMass(4.0)}});
+  EXPECT_DOUBLE_EQ(mix->Mean(), 3.0);
+}
+
+TEST(MixtureTest, SamplingRespectsComponentWeights) {
+  // Components with disjoint supports let us count branch picks exactly.
+  auto mix = Mixture({{0.2, Uniform(0.0, 1.0)}, {0.8, Uniform(10.0, 11.0)}});
+  Rng rng(31);
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (mix->Sample(rng) < 5.0) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.2, 0.006);
+}
+
+TEST(MixtureTest, SampledMomentsMatchAnalytic) {
+  auto mix = ParetoExponentialMixture(0.38, 1.05, 1.51, 0.183);
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) stats.Add(mix->Sample(rng));
+  // Pareto(1.05, 1.51) mean = 1.51*1.05/0.51 = 3.109; Exp(.183) mean = 5.46.
+  const double expected = 0.38 * (1.51 * 1.05 / 0.51) + 0.62 * (1.0 / 0.183);
+  EXPECT_NEAR(mix->Mean(), expected, 1e-9);
+  // Heavy tail (alpha=1.51) converges slowly; allow 5%.
+  EXPECT_NEAR(stats.mean(), expected, 0.05 * expected);
+}
+
+TEST(ProductionFitsTest, AllLegsPresent) {
+  for (const auto& fit : AllIidProductionFits()) {
+    EXPECT_FALSE(fit.name.empty());
+    ASSERT_NE(fit.w, nullptr);
+    ASSERT_NE(fit.a, nullptr);
+    ASSERT_NE(fit.r, nullptr);
+    ASSERT_NE(fit.s, nullptr);
+  }
+}
+
+TEST(ProductionFitsTest, LnkdSsdLegsAreSymmetric) {
+  const auto fit = LnkdSsd();
+  // W = A = R = S: all four share one distribution object.
+  EXPECT_EQ(fit.w, fit.a);
+  EXPECT_EQ(fit.r, fit.s);
+  EXPECT_EQ(fit.w, fit.r);
+}
+
+TEST(ProductionFitsTest, LnkdDiskWritesAreSlowerThanAcks) {
+  const auto fit = LnkdDisk();
+  EXPECT_NE(fit.w, fit.a);
+  EXPECT_GT(fit.w->Mean(), fit.a->Mean());
+  // Spinning-disk one-way writes: milliseconds-scale median with a tail an
+  // order of magnitude longer (Section 5.6's "longer tail": the W=1
+  // *operation* median the paper quotes is the min over N replicas, which
+  // sits below this one-way median).
+  EXPECT_GT(fit.w->Quantile(0.5), 1.0);
+  EXPECT_LT(fit.w->Quantile(0.5), 5.0);
+  EXPECT_GT(fit.w->Quantile(0.999), 5.0 * fit.w->Quantile(0.5));
+}
+
+TEST(ProductionFitsTest, LnkdSsdShortTail) {
+  // Section 5.6: LNKD-SSD 99.9th percentile one-way ~0.66ms and writes
+  // complete quickly across replicas.
+  const auto fit = LnkdSsd();
+  EXPECT_LT(fit.w->Quantile(0.999), 3.0);
+}
+
+TEST(ProductionFitsTest, YmmrWriteTailIsLong) {
+  const auto fit = Ymmr();
+  // The YMMR write fit has a fat exponential tail (lambda=.0028 ->
+  // mean 357ms for 6.1% of writes).
+  EXPECT_GT(fit.w->Quantile(0.999), 100.0);
+  // The body is Pareto(xm=3): essentially no write faster than 3ms (only
+  // the thin exponential tail component has sub-3ms mass).
+  EXPECT_LT(fit.w->Cdf(2.9), 0.001);
+}
+
+TEST(ProductionPercentilesTest, TablesAreMonotone) {
+  for (const auto& table :
+       {LinkedInDiskPercentiles(), LinkedInSsdPercentiles(),
+        YammerReadPercentiles(), YammerWritePercentiles()}) {
+    ASSERT_GE(table.size(), 4u);
+    for (size_t i = 1; i < table.size(); ++i) {
+      EXPECT_GT(table[i].percentile, table[i - 1].percentile);
+      EXPECT_GE(table[i].value, table[i - 1].value);
+    }
+  }
+}
+
+TEST(ProductionPercentilesTest, MatchPublishedAnchors) {
+  const auto yammer_writes = YammerWritePercentiles();
+  // Table 2: 99.9th percentile write latency = 435.83 ms.
+  EXPECT_DOUBLE_EQ(yammer_writes.back().percentile, 99.9);
+  EXPECT_DOUBLE_EQ(yammer_writes.back().value, 435.83);
+  const auto ssd = LinkedInSsdPercentiles();
+  EXPECT_DOUBLE_EQ(ssd[1].value, 1.0);  // 95th = 1 ms
+}
+
+}  // namespace
+}  // namespace pbs

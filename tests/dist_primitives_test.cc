@@ -1,0 +1,174 @@
+#include "dist/primitives.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace pbs {
+namespace {
+
+struct DistCase {
+  std::string name;
+  DistributionPtr dist;
+  double expected_mean;  // NaN if infinite / untested
+};
+
+std::vector<DistCase> AllCases() {
+  return {
+      {"exp_fast", Exponential(2.0), 0.5},
+      {"exp_slow", Exponential(0.1), 10.0},
+      {"pareto_heavy", Pareto(1.0, 3.0), 1.5},
+      {"pareto_light", Pareto(0.235, 10.0), 0.235 * 10.0 / 9.0},
+      {"uniform", Uniform(2.0, 6.0), 4.0},
+      {"trunc_normal", TruncatedNormal(5.0, 1.0),
+       std::numeric_limits<double>::quiet_NaN()},
+      {"lognormal", LogNormal(0.0, 0.5), std::exp(0.125)},
+      {"weibull", Weibull(2.0, 3.0), 3.0 * std::tgamma(1.5)},
+  };
+}
+
+class DistributionPropertyTest
+    : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionPropertyTest, QuantileInvertsCdf) {
+  const auto& dist = *GetParam().dist;
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double x = dist.Quantile(p);
+    EXPECT_NEAR(dist.Cdf(x), p, 1e-6)
+        << GetParam().name << " at p=" << p << " (x=" << x << ")";
+  }
+}
+
+TEST_P(DistributionPropertyTest, CdfIsMonotoneNonDecreasing) {
+  const auto& dist = *GetParam().dist;
+  double prev = -1.0;
+  for (double x = 0.0; x <= 50.0; x += 0.25) {
+    const double c = dist.Cdf(x);
+    EXPECT_GE(c, prev) << GetParam().name << " at x=" << x;
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(DistributionPropertyTest, SamplesMatchAnalyticMean) {
+  if (std::isnan(GetParam().expected_mean)) GTEST_SKIP();
+  const auto& dist = *GetParam().dist;
+  Rng rng(2024);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(dist.Sample(rng));
+  const double tolerance =
+      0.02 * GetParam().expected_mean + 4.0 * stats.stddev() / 447.0;
+  EXPECT_NEAR(stats.mean(), GetParam().expected_mean, tolerance)
+      << GetParam().name;
+  EXPECT_NEAR(dist.Mean(), GetParam().expected_mean, 1e-9);
+}
+
+TEST_P(DistributionPropertyTest, SamplesAreNonNegative) {
+  const auto& dist = *GetParam().dist;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_GE(dist.Sample(rng), 0.0) << GetParam().name;
+  }
+}
+
+TEST_P(DistributionPropertyTest, SampledEcdfMatchesCdf) {
+  const auto& dist = *GetParam().dist;
+  Rng rng(77);
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) samples.push_back(dist.Sample(rng));
+  std::sort(samples.begin(), samples.end());
+  for (double p : {0.1, 0.5, 0.9}) {
+    const double x = dist.Quantile(p);
+    EXPECT_NEAR(EcdfSorted(samples, x), p, 0.01) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionPropertyTest,
+    ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ExponentialTest, CdfClosedForm) {
+  ExponentialDistribution dist(0.5);
+  EXPECT_DOUBLE_EQ(dist.Cdf(0.0), 0.0);
+  EXPECT_NEAR(dist.Cdf(2.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 2.0);
+}
+
+TEST(ParetoTest, SupportStartsAtXm) {
+  ParetoDistribution dist(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(2.9), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(3.0), 0.0);
+  EXPECT_GT(dist.Cdf(3.1), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.0), 3.0);
+}
+
+TEST(ParetoTest, HeavyTailHasInfiniteMean) {
+  ParetoDistribution dist(1.0, 0.9);
+  EXPECT_TRUE(std::isinf(dist.Mean()));
+}
+
+TEST(TruncatedNormalTest, NoMassBelowZero) {
+  TruncatedNormalDistribution dist(0.5, 2.0);  // substantial truncation
+  EXPECT_DOUBLE_EQ(dist.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(-1.0), 0.0);
+  EXPECT_GE(dist.Quantile(0.001), 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(dist.Sample(rng), 0.0);
+}
+
+TEST(TruncatedNormalTest, MeanExceedsMuDueToTruncation) {
+  TruncatedNormalDistribution dist(1.0, 2.0);
+  EXPECT_GT(dist.Mean(), 1.0);
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(dist.Sample(rng));
+  EXPECT_NEAR(stats.mean(), dist.Mean(), 0.02);
+}
+
+TEST(PointMassTest, DegenerateEverything) {
+  PointMassDistribution dist(4.2);
+  EXPECT_DOUBLE_EQ(dist.Cdf(4.1), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(4.2), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.3), 4.2);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 4.2);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(dist.Sample(rng), 4.2);
+}
+
+TEST(ShiftedTest, AddsOffsetEverywhere) {
+  auto base = Exponential(1.0);
+  ShiftedDistribution dist(base, 75.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(74.9), 0.0);
+  EXPECT_NEAR(dist.Quantile(0.5), base->Quantile(0.5) + 75.0, 1e-12);
+  EXPECT_NEAR(dist.Mean(), 76.0, 1e-12);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(dist.Sample(rng), 75.0);
+}
+
+TEST(ScaledTest, MultipliesEverything) {
+  auto base = Uniform(1.0, 3.0);
+  ScaledDistribution dist(base, 10.0);
+  EXPECT_NEAR(dist.Quantile(0.5), 20.0, 1e-12);
+  EXPECT_NEAR(dist.Mean(), 20.0, 1e-12);
+  EXPECT_NEAR(dist.Cdf(15.0), 0.25, 1e-12);
+}
+
+TEST(DescribeTest, MentionsParameters) {
+  EXPECT_NE(Exponential(0.183)->Describe().find("0.183"),
+            std::string::npos);
+  EXPECT_NE(Pareto(1.05, 1.51)->Describe().find("1.05"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbs

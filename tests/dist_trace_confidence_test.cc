@@ -1,0 +1,140 @@
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "dist/trace.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace pbs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "/pbs_trace_" + info->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(TraceTest, SaveLoadRoundTrip) {
+  const std::vector<double> samples = {1.5, 0.25, 100.0, 3.75};
+  const std::string path = dir_ + "/trace.txt";
+  ASSERT_TRUE(SaveLatencyTrace(path, samples).ok());
+  const auto loaded = LoadLatencyTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), samples);
+}
+
+TEST_F(TraceTest, SkipsCommentsAndBlankLines) {
+  const std::string path = dir_ + "/trace.txt";
+  std::ofstream(path) << "# header\n\n 1.0\n\t2.0\n# tail\n3.0\n";
+  const auto loaded = LoadLatencyTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST_F(TraceTest, RejectsGarbageWithLineNumber) {
+  const std::string path = dir_ + "/trace.txt";
+  std::ofstream(path) << "1.0\nnot-a-number\n";
+  const auto loaded = LoadLatencyTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(TraceTest, RejectsNegativeLatencies) {
+  const std::string path = dir_ + "/trace.txt";
+  std::ofstream(path) << "1.0\n-3.0\n";
+  EXPECT_FALSE(LoadLatencyTrace(path).ok());
+}
+
+TEST_F(TraceTest, MissingFileIsNotFound) {
+  EXPECT_FALSE(LoadLatencyTrace(dir_ + "/nope.txt").ok());
+}
+
+TEST_F(TraceTest, EmptyFileRejected) {
+  const std::string path = dir_ + "/trace.txt";
+  std::ofstream(path) << "# only comments\n";
+  EXPECT_FALSE(LoadLatencyTrace(path).ok());
+}
+
+TEST_F(TraceTest, LoadTraceDistributionIsEmpirical) {
+  const std::string path = dir_ + "/trace.txt";
+  ASSERT_TRUE(SaveLatencyTrace(path, {1.0, 2.0, 3.0, 4.0}).ok());
+  const auto dist = LoadTraceDistribution(path);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ(dist.value()->Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(dist.value()->Quantile(1.0), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Wilson confidence intervals
+
+TEST(WilsonIntervalTest, ContainsThePointEstimate) {
+  for (int64_t successes : {0, 1, 500, 999, 1000}) {
+    const auto interval = WilsonInterval(successes, 1000);
+    const double p = static_cast<double>(successes) / 1000.0;
+    EXPECT_LE(interval.lower, p + 1e-12);
+    EXPECT_GE(interval.upper, p - 1e-12);
+    EXPECT_GE(interval.lower, 0.0);
+    EXPECT_LE(interval.upper, 1.0);
+  }
+}
+
+TEST(WilsonIntervalTest, KnownValue) {
+  // 95% Wilson interval for 8/10: approx [0.49, 0.94].
+  const auto interval = WilsonInterval(8, 10, 0.95);
+  EXPECT_NEAR(interval.lower, 0.49, 0.02);
+  EXPECT_NEAR(interval.upper, 0.94, 0.02);
+}
+
+TEST(WilsonIntervalTest, ShrinksWithMoreTrials) {
+  const auto small = WilsonInterval(90, 100);
+  const auto large = WilsonInterval(9000, 10000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(WilsonIntervalTest, WidensWithMoreConfidence) {
+  const auto c90 = WilsonInterval(500, 1000, 0.90);
+  const auto c99 = WilsonInterval(500, 1000, 0.99);
+  EXPECT_GT(c99.upper - c99.lower, c90.upper - c90.lower);
+}
+
+TEST(WilsonIntervalTest, ExtremeProportionsStayInBounds) {
+  const auto zero = WilsonInterval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);
+  const auto all = WilsonInterval(50, 50);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+  EXPECT_LT(all.lower, 1.0);
+}
+
+TEST(WilsonIntervalTest, CoverageIsApproximatelyNominal) {
+  // Simulate binomial experiments and check the 95% interval covers the
+  // true p about 95% of the time.
+  Rng rng(42);
+  const double p = 0.999;  // the regime t-visibility estimates live in
+  const int experiments = 2000;
+  const int n = 5000;
+  int covered = 0;
+  for (int e = 0; e < experiments; ++e) {
+    int successes = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.NextDouble() < p) ++successes;
+    }
+    const auto interval = WilsonInterval(successes, n);
+    if (interval.lower <= p && p <= interval.upper) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / experiments;
+  EXPECT_GT(coverage, 0.92);
+  EXPECT_LE(coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace pbs

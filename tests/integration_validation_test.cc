@@ -1,0 +1,127 @@
+// Integration test reproducing the structure of the paper's Section 5.2
+// validation at reduced scale: the WARS Monte Carlo prediction must match
+// the event-driven Dynamo-style cluster's measured t-visibility and
+// latencies, because both implement the same protocol over the same delay
+// distributions. (The full-scale sweep lives in bench/sec52_validation.)
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/latency.h"
+#include "core/tvisibility.h"
+#include "core/wars.h"
+#include "dist/primitives.h"
+#include "dist/production.h"
+#include "kvs/experiment.h"
+
+namespace pbs {
+namespace {
+
+struct ValidationCase {
+  double lambda_w;
+  double lambda_ars;
+  QuorumConfig config;
+};
+
+class WarsVsClusterTest : public ::testing::TestWithParam<ValidationCase> {};
+
+TEST_P(WarsVsClusterTest, TVisibilityAgrees) {
+  const auto& param = GetParam();
+  const auto legs = MakeWars("exp", Exponential(param.lambda_w),
+                             Exponential(param.lambda_ars));
+  const std::vector<double> offsets = {0.0, 2.0, 5.0, 10.0, 25.0, 60.0};
+
+  // Event-driven measurement.
+  kvs::StalenessExperimentOptions options;
+  options.cluster.quorum = param.config;
+  options.cluster.legs = legs;
+  options.cluster.request_timeout_ms = 2000.0;
+  options.writes = 4000;
+  options.write_spacing_ms = 400.0;  // >> write tail: no overlap
+  options.read_offsets_ms = offsets;
+  options.seed = 99;
+  const auto measured = kvs::RunStalenessExperiment(options);
+
+  // WARS Monte Carlo prediction.
+  const auto model = MakeIidModel(legs, param.config.n);
+  const TVisibilityCurve predicted =
+      EstimateTVisibility(param.config, model, 200000, /*seed=*/100);
+
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    const double observed = measured.t_visibility[i].ProbConsistent();
+    const double expected = predicted.ProbConsistent(offsets[i]);
+    // 4000 trials: binomial noise ~ 0.008; allow 3 sigma + model epsilon.
+    EXPECT_NEAR(observed, expected, 0.03)
+        << "t=" << offsets[i] << " lambda_w=" << param.lambda_w
+        << " config=" << param.config.ToString();
+  }
+}
+
+TEST_P(WarsVsClusterTest, LatenciesAgree) {
+  const auto& param = GetParam();
+  const auto legs = MakeWars("exp", Exponential(param.lambda_w),
+                             Exponential(param.lambda_ars));
+  kvs::StalenessExperimentOptions options;
+  options.cluster.quorum = param.config;
+  options.cluster.legs = legs;
+  options.cluster.request_timeout_ms = 2000.0;
+  options.writes = 4000;
+  options.write_spacing_ms = 400.0;
+  options.read_offsets_ms = {5.0};
+  options.seed = 101;
+  const auto measured = kvs::RunStalenessExperiment(options);
+  const LatencyProfile measured_writes(measured.write_latencies);
+  const LatencyProfile measured_reads(measured.read_latencies);
+
+  const auto model = MakeIidModel(legs, param.config.n);
+  const auto predicted =
+      EstimateLatencies(param.config, model, 200000, /*seed=*/102);
+
+  for (double pct : {50.0, 90.0, 99.0}) {
+    const double write_expected = predicted.writes.Percentile(pct);
+    const double read_expected = predicted.reads.Percentile(pct);
+    EXPECT_NEAR(measured_writes.Percentile(pct), write_expected,
+                0.12 * write_expected + 0.3)
+        << "write pct=" << pct;
+    EXPECT_NEAR(measured_reads.Percentile(pct), read_expected,
+                0.12 * read_expected + 0.3)
+        << "read pct=" << pct;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WarsVsClusterTest,
+    ::testing::Values(ValidationCase{0.1, 0.2, {3, 1, 1}},
+                      ValidationCase{0.05, 0.5, {3, 1, 1}},
+                      ValidationCase{0.2, 0.1, {3, 2, 1}},
+                      ValidationCase{0.1, 0.5, {3, 1, 2}}),
+    [](const ::testing::TestParamInfo<ValidationCase>& info) {
+      const auto& p = info.param;
+      return "lw" + std::to_string(static_cast<int>(p.lambda_w * 100)) +
+             "_lars" + std::to_string(static_cast<int>(p.lambda_ars * 100)) +
+             "_R" + std::to_string(p.config.r) + "W" +
+             std::to_string(p.config.w);
+    });
+
+TEST(WarsVsClusterStrictTest, BothReportPerfectConsistency) {
+  const auto legs = MakeWars("exp", Exponential(0.1), Exponential(0.5));
+  kvs::StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 2, 2};
+  options.cluster.legs = legs;
+  options.cluster.request_timeout_ms = 2000.0;
+  options.writes = 1000;
+  options.write_spacing_ms = 300.0;
+  options.read_offsets_ms = {0.0};
+  const auto measured = kvs::RunStalenessExperiment(options);
+  EXPECT_DOUBLE_EQ(measured.t_visibility[0].ProbConsistent(), 1.0);
+
+  const auto model = MakeIidModel(legs, 3);
+  const TVisibilityCurve predicted =
+      EstimateTVisibility({3, 2, 2}, model, 50000, /*seed=*/5);
+  EXPECT_DOUBLE_EQ(predicted.ProbConsistent(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "kvs/anti_entropy.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/failure.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+WarsDistributions FastLegs() {
+  WarsDistributions legs;
+  legs.name = "fast";
+  legs.w = PointMass(1.0);
+  legs.a = PointMass(1.0);
+  legs.r = PointMass(1.0);
+  legs.s = PointMass(1.0);
+  return legs;
+}
+
+KvsConfig BaseConfig() {
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = FastLegs();
+  config.request_timeout_ms = 100.0;
+  config.seed = 11;
+  return config;
+}
+
+VersionedValue MakeValue(int64_t sequence) {
+  VersionedValue value;
+  value.sequence = sequence;
+  value.stamp = {static_cast<double>(sequence), 0};
+  value.value = "v" + std::to_string(sequence);
+  return value;
+}
+
+TEST(SyncReplicaPairTest, ConvergesBothDirections) {
+  Cluster cluster(BaseConfig());
+  cluster.replica(0).storage().Put(1, MakeValue(3));
+  cluster.replica(1).storage().Put(2, MakeValue(5));
+  Rng rng(1);
+  SyncReplicaPair(&cluster, 0, 1, rng);
+  cluster.sim().Run();
+  EXPECT_EQ(cluster.replica(1).storage().Get(1)->sequence, 3);
+  EXPECT_EQ(cluster.replica(0).storage().Get(2)->sequence, 5);
+  EXPECT_EQ(cluster.metrics().anti_entropy_values_shipped, 2);
+}
+
+TEST(SyncReplicaPairTest, NewerVersionWinsOverStale) {
+  Cluster cluster(BaseConfig());
+  cluster.replica(0).storage().Put(1, MakeValue(7));
+  cluster.replica(1).storage().Put(1, MakeValue(2));
+  Rng rng(2);
+  SyncReplicaPair(&cluster, 0, 1, rng);
+  cluster.sim().Run();
+  EXPECT_EQ(cluster.replica(0).storage().Get(1)->sequence, 7);
+  EXPECT_EQ(cluster.replica(1).storage().Get(1)->sequence, 7);
+}
+
+TEST(SyncReplicaPairTest, SkipsCrashedEndpoints) {
+  Cluster cluster(BaseConfig());
+  cluster.replica(0).storage().Put(1, MakeValue(1));
+  cluster.replica(1).Crash();
+  Rng rng(3);
+  SyncReplicaPair(&cluster, 0, 1, rng);
+  cluster.sim().Run();
+  EXPECT_FALSE(cluster.replica(1).storage().Get(1).has_value());
+  EXPECT_EQ(cluster.metrics().anti_entropy_rounds, 0);
+}
+
+TEST(AntiEntropyProcessTest, PeriodicTicksConvergeAStaleReplica) {
+  KvsConfig config = BaseConfig();
+  config.anti_entropy_interval_ms = 10.0;
+  Cluster cluster(config);
+  cluster.replica(0).storage().Put(1, MakeValue(9));
+  cluster.StartAntiEntropy();
+  cluster.sim().RunUntil(200.0);
+  // With ~20 ticks of random pairings, every replica converged.
+  EXPECT_EQ(cluster.replica(1).storage().Get(1)->sequence, 9);
+  EXPECT_EQ(cluster.replica(2).storage().Get(1)->sequence, 9);
+  EXPECT_GT(cluster.metrics().anti_entropy_rounds, 10);
+}
+
+TEST(AntiEntropyProcessTest, DisabledByZeroInterval) {
+  Cluster cluster(BaseConfig());  // interval = 0
+  cluster.StartAntiEntropy();
+  EXPECT_FALSE(cluster.sim().HasPendingEvents());
+}
+
+TEST(FailureScheduleTest, InstallTogglesLiveness) {
+  Cluster cluster(BaseConfig());
+  FailureSchedule schedule;
+  schedule.AddCrash(10.0, 0);
+  schedule.AddRecover(20.0, 0);
+  schedule.InstallOn(&cluster);
+  EXPECT_TRUE(cluster.replica(0).alive());
+  cluster.sim().RunUntil(15.0);
+  EXPECT_FALSE(cluster.replica(0).alive());
+  cluster.sim().RunUntil(25.0);
+  EXPECT_TRUE(cluster.replica(0).alive());
+}
+
+TEST(FailureScheduleTest, RandomProcessAlternatesPerNode) {
+  const auto schedule =
+      FailureSchedule::RandomCrashRecover(3, 10000.0, 500.0, 100.0, 42);
+  // Per node, events alternate crash/recover in increasing time.
+  for (int node = 0; node < 3; ++node) {
+    double last_time = -1.0;
+    bool expect_crash = true;
+    for (const auto& event : schedule.events()) {
+      if (event.node != node) continue;
+      EXPECT_GT(event.time, last_time);
+      last_time = event.time;
+      EXPECT_EQ(event.kind, expect_crash ? FailureEvent::Kind::kCrash
+                                         : FailureEvent::Kind::kRecover);
+      expect_crash = !expect_crash;
+    }
+  }
+  EXPECT_GT(schedule.events().size(), 10u);  // ~17 crashes expected per node
+}
+
+TEST(FailureScheduleTest, CrashedReplicaMakesDataUnavailableUntilRecovery) {
+  KvsConfig config = BaseConfig();
+  config.quorum = {1, 1, 1};
+  Cluster cluster(config);
+  FailureSchedule schedule;
+  schedule.AddCrash(5.0, 0);
+  schedule.AddRecover(200.0, 0);
+  schedule.InstallOn(&cluster);
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+
+  int failures = 0;
+  int successes = 0;
+  // A write at t=50 (node down) fails; at t=250 (recovered) succeeds.
+  cluster.sim().At(50.0, [&]() {
+    client.Write(1, "a", [&](const WriteResult& r) {
+      r.ok ? ++successes : ++failures;
+    });
+  });
+  cluster.sim().At(250.0, [&]() {
+    client.Write(1, "b", [&](const WriteResult& r) {
+      r.ok ? ++successes : ++failures;
+    });
+  });
+  cluster.sim().Run();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(successes, 1);
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,297 @@
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+WarsDistributions PointMassLegs(double w, double a, double r, double s) {
+  WarsDistributions legs;
+  legs.name = "pm";
+  legs.w = PointMass(w);
+  legs.a = PointMass(a);
+  legs.r = PointMass(r);
+  legs.s = PointMass(s);
+  return legs;
+}
+
+KvsConfig BasicConfig() {
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = PointMassLegs(1.0, 1.0, 1.0, 1.0);
+  config.num_coordinators = 1;
+  config.request_timeout_ms = 100.0;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ClusterTest, TopologyAndAccessors) {
+  Cluster cluster(BasicConfig());
+  EXPECT_EQ(cluster.num_replicas(), 3);
+  EXPECT_EQ(cluster.num_coordinators(), 1);
+  EXPECT_EQ(cluster.num_nodes(), 4);
+  EXPECT_TRUE(cluster.replica(0).is_replica());
+  EXPECT_FALSE(cluster.coordinator(0).is_replica());
+  const auto replicas = cluster.ReplicasFor(42);
+  EXPECT_EQ(replicas.size(), 3u);
+}
+
+TEST(ClusterTest, SequencesAreMonotonePerKey) {
+  Cluster cluster(BasicConfig());
+  EXPECT_EQ(cluster.LatestSequenceFor(1), 0);
+  EXPECT_EQ(cluster.NextSequenceFor(1), 1);
+  EXPECT_EQ(cluster.NextSequenceFor(1), 2);
+  EXPECT_EQ(cluster.NextSequenceFor(2), 1);  // independent per key
+  EXPECT_EQ(cluster.LatestSequenceFor(1), 2);
+}
+
+TEST(WriteTest, CommitsAfterWAcksWithExactLatency) {
+  // w=2ms out, a=3ms back: every ack arrives 5ms after the write starts.
+  KvsConfig config = BasicConfig();
+  config.legs = PointMassLegs(2.0, 3.0, 1.0, 1.0);
+  config.quorum = {3, 1, 2};
+  Cluster cluster(config);
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+
+  std::optional<WriteResult> result;
+  client.Write(5, "value", [&](const WriteResult& r) { result = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_DOUBLE_EQ(result->latency_ms, 5.0);
+  // All three replicas eventually hold the value (quorum expansion).
+  for (int i = 0; i < 3; ++i) {
+    const auto stored = cluster.replica(i).storage().Get(5);
+    ASSERT_TRUE(stored.has_value()) << "replica " << i;
+    EXPECT_EQ(stored->value, "value");
+  }
+  EXPECT_EQ(cluster.metrics().writes_started, 1);
+  EXPECT_EQ(cluster.metrics().writes_failed, 0);
+}
+
+TEST(ReadTest, ReturnsWrittenValueWithExactLatency) {
+  KvsConfig config = BasicConfig();
+  config.legs = PointMassLegs(1.0, 1.0, 2.0, 3.0);
+  Cluster cluster(config);
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+
+  client.Write(9, "payload", nullptr);
+  cluster.sim().Run();  // write fully propagates
+
+  std::optional<ReadResult> result;
+  client.Read(9, [&](const ReadResult& r) { result = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_DOUBLE_EQ(result->latency_ms, 5.0);  // r + s
+  ASSERT_TRUE(result->value.has_value());
+  EXPECT_EQ(result->value->value, "payload");
+}
+
+TEST(ReadTest, MissingKeyReturnsNoValueButSucceeds) {
+  Cluster cluster(BasicConfig());
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<ReadResult> result;
+  client.Read(12345, [&](const ReadResult& r) { result = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_FALSE(result->value.has_value());
+}
+
+TEST(ReadTest, FreshestOfFirstRWins) {
+  // Pre-load replicas with different versions, then read with R=3 so the
+  // coordinator sees them all and must return the newest.
+  Cluster cluster([] {
+    KvsConfig config = BasicConfig();
+    config.quorum = {3, 3, 3};
+    return config;
+  }());
+  for (int i = 0; i < 3; ++i) {
+    VersionedValue value;
+    value.sequence = i + 1;
+    value.stamp = {static_cast<double>(i + 1), 0};
+    value.value = "v" + std::to_string(i + 1);
+    cluster.replica(i).storage().Put(1, value);
+  }
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<ReadResult> result;
+  client.Read(1, [&](const ReadResult& r) { result = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(result->value.has_value());
+  EXPECT_EQ(result->value->sequence, 3);
+}
+
+TEST(TimeoutTest, WriteFailsWhenTooFewReplicasAlive) {
+  KvsConfig config = BasicConfig();
+  config.quorum = {3, 1, 2};
+  Cluster cluster(config);
+  cluster.replica(0).Crash();
+  cluster.replica(1).Crash();
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<WriteResult> result;
+  client.Write(3, "x", [&](const WriteResult& r) { result = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(cluster.metrics().writes_failed, 1);
+  // The lone live replica still applied the write (sloppy durability).
+  EXPECT_TRUE(cluster.replica(2).storage().Get(3).has_value());
+}
+
+TEST(TimeoutTest, ReadFailsWhenQuorumUnreachable) {
+  KvsConfig config = BasicConfig();
+  config.quorum = {3, 2, 1};
+  Cluster cluster(config);
+  cluster.replica(0).Crash();
+  cluster.replica(1).Crash();
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<ReadResult> result;
+  client.Read(3, [&](const ReadResult& r) { result = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(cluster.metrics().reads_failed, 1);
+}
+
+TEST(TimeoutTest, CrashedNodeRecoversAndServesAgain) {
+  KvsConfig config = BasicConfig();
+  config.quorum = {1, 1, 1};
+  Cluster cluster(config);
+  cluster.replica(0).Crash();
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<WriteResult> failed;
+  client.Write(1, "x", [&](const WriteResult& r) { failed = r; });
+  cluster.sim().Run();
+  EXPECT_FALSE(failed->ok);
+
+  cluster.replica(0).Recover();
+  std::optional<WriteResult> succeeded;
+  client.Write(1, "y", [&](const WriteResult& r) { succeeded = r; });
+  cluster.sim().Run();
+  EXPECT_TRUE(succeeded->ok);
+}
+
+TEST(ReadRepairTest, StaleReplicaGetsFixedAfterRead) {
+  KvsConfig config = BasicConfig();
+  config.quorum = {3, 3, 1};  // read contacts everyone
+  config.read_repair = true;
+  Cluster cluster(config);
+  // Replica 0 and 1 have version 2; replica 2 is stale at version 1.
+  for (int i = 0; i < 3; ++i) {
+    VersionedValue value;
+    value.sequence = (i == 2) ? 1 : 2;
+    value.stamp = {static_cast<double>(value.sequence), 0};
+    cluster.replica(i).storage().Put(1, value);
+  }
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Read(1, nullptr);
+  cluster.sim().Run();
+  EXPECT_EQ(cluster.replica(2).storage().Get(1)->sequence, 2);
+  EXPECT_EQ(cluster.metrics().read_repairs_sent, 1);
+}
+
+TEST(ReadRepairTest, DisabledMeansStaleReplicaStaysStale) {
+  KvsConfig config = BasicConfig();
+  config.quorum = {3, 3, 1};
+  config.read_repair = false;
+  Cluster cluster(config);
+  for (int i = 0; i < 3; ++i) {
+    VersionedValue value;
+    value.sequence = (i == 2) ? 1 : 2;
+    value.stamp = {static_cast<double>(value.sequence), 0};
+    cluster.replica(i).storage().Put(1, value);
+  }
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Read(1, nullptr);
+  cluster.sim().Run();
+  EXPECT_EQ(cluster.replica(2).storage().Get(1)->sequence, 1);
+  EXPECT_EQ(cluster.metrics().read_repairs_sent, 0);
+}
+
+TEST(HintedHandoffTest, WriteReachesReplicaAfterRecovery) {
+  KvsConfig config = BasicConfig();
+  config.quorum = {3, 1, 1};
+  config.hinted_handoff = true;
+  config.hinted_handoff_retry_ms = 20.0;
+  config.request_timeout_ms = 50.0;
+  Cluster cluster(config);
+  cluster.replica(1).Crash();
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<WriteResult> result;
+  client.Write(4, "durable", [&](const WriteResult& r) { result = r; });
+  // Recover the replica after the first timeout+retry window.
+  cluster.sim().Schedule(120.0, [&]() { cluster.replica(1).Recover(); });
+  cluster.sim().Run();
+  EXPECT_TRUE(result->ok);  // W=1 committed via live replicas
+  const auto stored = cluster.replica(1).storage().Get(4);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->value, "durable");
+  EXPECT_GT(cluster.metrics().hinted_handoffs_sent, 0);
+}
+
+TEST(LateReadHookTest, FiresOncePerReadWithLateVersions) {
+  KvsConfig config = BasicConfig();
+  config.quorum = {3, 1, 1};
+  Cluster cluster(config);
+  // Preload all replicas.
+  for (int i = 0; i < 3; ++i) {
+    VersionedValue value;
+    value.sequence = 5;
+    value.stamp = {1.0, 0};
+    cluster.replica(i).storage().Put(1, value);
+  }
+  int hook_calls = 0;
+  cluster.set_late_read_hook([&](const LateReadInfo& info) {
+    ++hook_calls;
+    EXPECT_EQ(info.returned_sequence, 5);
+    EXPECT_EQ(info.late_response_sequences.size(), 2u);  // N - R
+  });
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Read(1, nullptr);
+  cluster.sim().Run();
+  EXPECT_EQ(hook_calls, 1);
+}
+
+TEST(MonotonicReadsTest, ViolationCountedWhenSessionSeesOlderData) {
+  // Session reads version 2 from a fresh replica, then version 1 from a
+  // stale replica (forced via direct storage setup and crashing the fresh
+  // ones).
+  KvsConfig config = BasicConfig();
+  config.quorum = {3, 1, 1};
+  Cluster cluster(config);
+  VersionedValue fresh;
+  fresh.sequence = 2;
+  fresh.stamp = {2.0, 0};
+  VersionedValue stale;
+  stale.sequence = 1;
+  stale.stamp = {1.0, 0};
+  cluster.replica(0).storage().Put(1, fresh);
+  cluster.replica(1).storage().Put(1, stale);
+  cluster.replica(2).storage().Put(1, stale);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  // First read: only replica 0 alive -> sees version 2.
+  cluster.replica(1).Crash();
+  cluster.replica(2).Crash();
+  client.Read(1, nullptr);
+  cluster.sim().Run();
+  // Second read: only replica 1 alive -> sees version 1 (older!).
+  cluster.replica(0).Crash();
+  cluster.replica(1).Recover();
+  client.Read(1, nullptr);
+  cluster.sim().Run();
+  EXPECT_EQ(client.monotonic_violations(), 1);
+  EXPECT_EQ(cluster.metrics().monotonic_read_violations, 1);
+  EXPECT_EQ(client.reads_issued(), 2);
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/tvisibility.h"
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/consistency_level.h"
+#include "kvs/profiler.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+TEST(ConsistencyLevelTest, ResponseCounts) {
+  EXPECT_EQ(ResponsesFor(ConsistencyLevel::kOne, 3).value(), 1);
+  EXPECT_EQ(ResponsesFor(ConsistencyLevel::kTwo, 3).value(), 2);
+  EXPECT_EQ(ResponsesFor(ConsistencyLevel::kThree, 3).value(), 3);
+  EXPECT_EQ(ResponsesFor(ConsistencyLevel::kQuorum, 3).value(), 2);
+  EXPECT_EQ(ResponsesFor(ConsistencyLevel::kQuorum, 5).value(), 3);
+  EXPECT_EQ(ResponsesFor(ConsistencyLevel::kQuorum, 4).value(), 3);
+  EXPECT_EQ(ResponsesFor(ConsistencyLevel::kAll, 5).value(), 5);
+}
+
+TEST(ConsistencyLevelTest, RejectsImpossibleLevels) {
+  EXPECT_FALSE(ResponsesFor(ConsistencyLevel::kThree, 2).ok());
+  EXPECT_FALSE(ResponsesFor(ConsistencyLevel::kTwo, 1).ok());
+  EXPECT_FALSE(ResponsesFor(ConsistencyLevel::kOne, 0).ok());
+}
+
+TEST(ConsistencyLevelTest, QuorumQuorumIsStrict) {
+  for (int n : {1, 2, 3, 4, 5, 7}) {
+    EXPECT_TRUE(IsStrictCombination(n, ConsistencyLevel::kQuorum,
+                                    ConsistencyLevel::kQuorum))
+        << "n=" << n;
+  }
+}
+
+TEST(ConsistencyLevelTest, CassandraDefaultIsPartial) {
+  // Cassandra defaults to N=3, R=W=ONE (Section 2.3): partial.
+  EXPECT_FALSE(IsStrictCombination(3, ConsistencyLevel::kOne,
+                                   ConsistencyLevel::kOne));
+  // ONE/ALL and ALL/ONE are strict.
+  EXPECT_TRUE(IsStrictCombination(3, ConsistencyLevel::kOne,
+                                  ConsistencyLevel::kAll));
+  EXPECT_TRUE(IsStrictCombination(3, ConsistencyLevel::kAll,
+                                  ConsistencyLevel::kOne));
+}
+
+TEST(ConsistencyLevelTest, MakeQuorumConfigBridgesToPbs) {
+  const auto config = MakeQuorumConfig(3, ConsistencyLevel::kOne,
+                                       ConsistencyLevel::kQuorum);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value(), (QuorumConfig{3, 1, 2}));
+  EXPECT_EQ(ToString(ConsistencyLevel::kQuorum), "QUORUM");
+}
+
+// ---------------------------------------------------------------------------
+// Leg profiler
+
+WarsDistributions PointMassLegs() {
+  WarsDistributions legs;
+  legs.name = "pm";
+  legs.w = PointMass(4.0);
+  legs.a = PointMass(3.0);
+  legs.r = PointMass(2.0);
+  legs.s = PointMass(1.0);
+  return legs;
+}
+
+TEST(LegProfilerTest, EmptyProfilerFailsConversion) {
+  LegProfiler profiler;
+  EXPECT_FALSE(profiler.ToWarsDistributions("x").ok());
+}
+
+TEST(LegProfilerTest, RecordsEveryQuorumMessageLeg) {
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = PointMassLegs();
+  config.request_timeout_ms = 100.0;
+  Cluster cluster(config);
+  LegProfiler profiler;
+  cluster.set_leg_profiler(&profiler);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Write(1, "v", nullptr);
+  cluster.sim().Run();
+  client.Read(1, nullptr);
+  cluster.sim().Run();
+
+  // One write: 3 W legs + 3 A legs; one read: 3 R legs + 3 S legs.
+  EXPECT_EQ(profiler.count(LegProfiler::Leg::kWriteRequest), 3u);
+  EXPECT_EQ(profiler.count(LegProfiler::Leg::kWriteAck), 3u);
+  EXPECT_EQ(profiler.count(LegProfiler::Leg::kReadRequest), 3u);
+  EXPECT_EQ(profiler.count(LegProfiler::Leg::kReadResponse), 3u);
+  for (double w : profiler.samples(LegProfiler::Leg::kWriteRequest)) {
+    EXPECT_DOUBLE_EQ(w, 4.0);
+  }
+  for (double s : profiler.samples(LegProfiler::Leg::kReadResponse)) {
+    EXPECT_DOUBLE_EQ(s, 1.0);
+  }
+
+  const auto dists = profiler.ToWarsDistributions("profiled");
+  ASSERT_TRUE(dists.ok());
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(dists.value().w->Sample(rng), 4.0);
+  EXPECT_DOUBLE_EQ(dists.value().a->Sample(rng), 3.0);
+}
+
+TEST(LegProfilerTest, ProfiledPredictionMatchesGroundTruthModel) {
+  // The measure-online / predict loop: run traffic through the cluster
+  // with exponential legs, profile the legs, rebuild WARS distributions
+  // from the profile, and check the resulting t-visibility prediction
+  // matches a prediction from the true distributions.
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = MakeWars("exp", Exponential(0.1), Exponential(0.5));
+  config.request_timeout_ms = 1000.0;
+  config.seed = 5;
+  Cluster cluster(config);
+  LegProfiler profiler;
+  cluster.set_leg_profiler(&profiler);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  for (int i = 0; i < 4000; ++i) {
+    cluster.sim().At(i * 50.0, [&client]() {
+      client.Write(1, "v", nullptr);
+      client.Read(1, nullptr);
+    });
+  }
+  cluster.sim().Run();
+  ASSERT_GE(profiler.count(LegProfiler::Leg::kWriteRequest), 12000u);
+
+  const auto profiled = profiler.ToWarsDistributions("profiled");
+  ASSERT_TRUE(profiled.ok());
+  const auto from_profile = EstimateTVisibility(
+      {3, 1, 1}, MakeIidModel(profiled.value(), 3), 100000, /*seed=*/6);
+  const auto from_truth = EstimateTVisibility(
+      {3, 1, 1}, MakeIidModel(config.legs, 3), 100000, /*seed=*/7);
+  for (double t : {0.0, 5.0, 20.0, 60.0}) {
+    EXPECT_NEAR(from_profile.ProbConsistent(t), from_truth.ProbConsistent(t),
+                0.02)
+        << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,137 @@
+#include "kvs/rates.h"
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+TEST(RateEstimatorTest, NeedsTwoEvents) {
+  RateEstimator rate;
+  EXPECT_EQ(rate.EventsPerMs(100.0), 0.0);
+  rate.Record(10.0);
+  EXPECT_EQ(rate.EventsPerMs(100.0), 0.0);
+  rate.Record(20.0);
+  EXPECT_GT(rate.EventsPerMs(100.0), 0.0);
+}
+
+TEST(RateEstimatorTest, SteadyStreamGivesExactRate) {
+  RateEstimator rate;
+  for (int i = 0; i <= 10; ++i) rate.Record(i * 5.0);  // every 5 ms
+  EXPECT_NEAR(rate.EventsPerMs(50.0), 0.2, 1e-12);
+}
+
+TEST(RateEstimatorTest, DecaysWhenStreamStops) {
+  RateEstimator rate;
+  rate.Record(0.0);
+  rate.Record(10.0);  // 0.1 events/ms over the burst
+  EXPECT_NEAR(rate.EventsPerMs(10.0), 0.1, 1e-12);
+  // 990 ms of silence: the window span stretches to now.
+  EXPECT_NEAR(rate.EventsPerMs(1000.0), 1.0 / 1000.0, 1e-12);
+}
+
+TEST(RateEstimatorTest, WindowSlidesOverOldEvents) {
+  RateEstimator rate(/*window_capacity=*/4);
+  // Slow prefix, then a fast burst; the window must forget the prefix.
+  rate.Record(0.0);
+  rate.Record(1000.0);
+  for (int i = 0; i < 4; ++i) rate.Record(2000.0 + i * 1.0);
+  EXPECT_NEAR(rate.EventsPerMs(2003.0), 1.0, 1e-12);
+  EXPECT_EQ(rate.count(), 4u);
+}
+
+WarsDistributions FastLegs() {
+  WarsDistributions legs;
+  legs.name = "fast";
+  legs.w = PointMass(0.5);
+  legs.a = PointMass(0.5);
+  legs.r = PointMass(0.5);
+  legs.s = PointMass(0.5);
+  return legs;
+}
+
+TEST(SessionRatesTest, MeasuredRatesFeedEquation3) {
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = FastLegs();
+  Cluster cluster(config);
+  ClientSession writer(&cluster, cluster.coordinator(0).id(), 1);
+  ClientSession reader(&cluster, cluster.coordinator(0).id(), 2);
+
+  // Writes every 10 ms, session reads every 20 ms: gw/cr = 2.
+  for (int i = 0; i < 200; ++i) {
+    cluster.sim().At(i * 10.0, [&]() { writer.Write(5, "v", nullptr); });
+  }
+  for (int i = 0; i < 100; ++i) {
+    cluster.sim().At(i * 20.0, [&]() { reader.Read(5, nullptr); });
+  }
+  // Sample the rates while the streams are live (the estimator decays
+  // during the trailing request-timeout drain after traffic stops).
+  double measured_gw = 0.0;
+  double measured_cr = 0.0;
+  double predicted = 0.0;
+  cluster.sim().At(1995.0, [&]() {
+    measured_gw = cluster.WriteRatePerMsFor(5);
+    measured_cr = reader.ReadRatePerMs(5);
+    predicted = reader.PredictedMonotonicViolationProbability(5);
+  });
+  cluster.sim().Run();
+
+  EXPECT_NEAR(measured_gw, 0.1, 0.01);
+  EXPECT_NEAR(measured_cr, 0.05, 0.005);
+  const double expected =
+      MonotonicReadsViolationProbability({3, 1, 1}, 0.1, 0.05);
+  EXPECT_NEAR(predicted, expected, 0.05);
+  // gw/cr = 2 -> k = 3 -> ps^3 = (2/3)^3.
+  EXPECT_NEAR(expected, 8.0 / 27.0, 0.02);
+}
+
+TEST(SessionRatesTest, UnmeasuredRatesPredictZero) {
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = FastLegs();
+  Cluster cluster(config);
+  ClientSession session(&cluster, cluster.coordinator(0).id(), 1);
+  EXPECT_EQ(session.PredictedMonotonicViolationProbability(1), 0.0);
+  EXPECT_EQ(session.ReadRatePerMs(1), 0.0);
+  EXPECT_EQ(cluster.WriteRatePerMsFor(1), 0.0);
+}
+
+TEST(SessionRatesTest, MeasuredViolationsBoundedByPrediction) {
+  // Equation 3 assumes non-expanding quorums, so it upper-bounds the
+  // violation rate of the real (expanding) cluster. Use slow writes and
+  // fast re-reads to make violations actually occur.
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = MakeWars("slow", Exponential(0.05), Exponential(2.0));
+  config.request_timeout_ms = 2000.0;
+  config.seed = 99;
+  Cluster cluster(config);
+  ClientSession writer(&cluster, cluster.coordinator(0).id(), 1);
+  ClientSession reader(&cluster, cluster.coordinator(0).id(), 2);
+
+  for (int i = 0; i < 3000; ++i) {
+    cluster.sim().At(i * 20.0, [&]() {
+      writer.Write(9, "v", nullptr);
+      reader.Read(9, nullptr);
+    });
+  }
+  cluster.sim().Run();
+  ASSERT_GT(reader.reads_issued(), 0);
+  const double measured =
+      static_cast<double>(reader.monotonic_violations()) /
+      static_cast<double>(reader.reads_issued());
+  const double predicted = reader.PredictedMonotonicViolationProbability(9);
+  EXPECT_GT(measured, 0.0);
+  EXPECT_LE(measured, predicted + 0.02)
+      << "Equation 3 must be a conservative bound for expanding quorums";
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

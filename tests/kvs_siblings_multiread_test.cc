@@ -1,0 +1,218 @@
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/siblings.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+VersionedValue Versioned(const std::string& value, int32_t writer,
+                         double timestamp,
+                         const std::vector<int>& clock_entries) {
+  VersionedValue v;
+  v.value = value;
+  v.stamp = {timestamp, writer};
+  for (int node : clock_entries) v.clock.Increment(node);
+  return v;
+}
+
+TEST(SiblingSetTest, LinearHistoryKeepsOnlyNewest) {
+  SiblingSet set;
+  EXPECT_TRUE(set.Add(Versioned("v1", 1, 1.0, {1})));
+  EXPECT_TRUE(set.Add(Versioned("v2", 1, 2.0, {1, 1})));
+  EXPECT_EQ(set.versions().size(), 1u);
+  EXPECT_EQ(set.versions()[0].value, "v2");
+  EXPECT_FALSE(set.HasConflict());
+}
+
+TEST(SiblingSetTest, DominatedIncomingRejected) {
+  SiblingSet set;
+  set.Add(Versioned("v2", 1, 2.0, {1, 1}));
+  EXPECT_FALSE(set.Add(Versioned("v1", 1, 1.0, {1})));
+  EXPECT_EQ(set.versions().size(), 1u);
+  // Re-adding the identical clock is also a no-op.
+  EXPECT_FALSE(set.Add(Versioned("v2", 1, 2.0, {1, 1})));
+}
+
+TEST(SiblingSetTest, ConcurrentWritesBecomeSiblings) {
+  SiblingSet set;
+  set.Add(Versioned("alice", 1, 1.0, {1}));
+  EXPECT_TRUE(set.Add(Versioned("bob", 2, 1.5, {2})));
+  EXPECT_TRUE(set.HasConflict());
+  EXPECT_EQ(set.versions().size(), 2u);
+}
+
+TEST(SiblingSetTest, ReconciliationDominatesAllSiblings) {
+  SiblingSet set;
+  set.Add(Versioned("alice", 1, 1.0, {1}));
+  set.Add(Versioned("bob", 2, 1.5, {2}));
+  const VersionedValue merged = set.Reconcile(/*writer=*/3, /*timestamp=*/2.0);
+  for (const VersionedValue& sibling : set.versions()) {
+    EXPECT_EQ(sibling.clock.Compare(merged.clock), CausalOrder::kBefore);
+  }
+  // LWW payload among siblings: bob's (newer stamp).
+  EXPECT_EQ(merged.value, "bob");
+  // Writing the reconciliation back collapses the conflict.
+  SiblingSet after;
+  after.MergeFrom(set);
+  EXPECT_TRUE(after.Add(merged));
+  EXPECT_FALSE(after.HasConflict());
+  EXPECT_EQ(after.versions()[0].value, "bob");
+}
+
+TEST(SiblingSetTest, MergeFromIsIdempotentAndCommutative) {
+  SiblingSet a;
+  a.Add(Versioned("x", 1, 1.0, {1}));
+  SiblingSet b;
+  b.Add(Versioned("y", 2, 2.0, {2}));
+  SiblingSet ab = a;
+  ab.MergeFrom(b);
+  SiblingSet ba = b;
+  ba.MergeFrom(a);
+  EXPECT_EQ(ab.versions().size(), 2u);
+  EXPECT_EQ(ba.versions().size(), 2u);
+  EXPECT_FALSE(ab.MergeFrom(b));  // idempotent
+}
+
+TEST(SiblingSetTest, ThreeWayConcurrencyPrunedByOneDominator) {
+  SiblingSet set;
+  set.Add(Versioned("a", 1, 1.0, {1}));
+  set.Add(Versioned("b", 2, 1.0, {2}));
+  set.Add(Versioned("c", 3, 1.0, {3}));
+  EXPECT_EQ(set.versions().size(), 3u);
+  // A version that saw a and b (but not c) prunes exactly those two.
+  VersionedValue ab = Versioned("ab", 1, 2.0, {1, 2});
+  ab.clock.Increment(1);
+  EXPECT_TRUE(set.Add(ab));
+  EXPECT_EQ(set.versions().size(), 2u);  // {ab, c}
+}
+
+TEST(SiblingStorageTest, TracksConflictedKeys) {
+  SiblingStorage storage;
+  storage.Put(1, Versioned("a", 1, 1.0, {1}));
+  storage.Put(1, Versioned("b", 2, 1.0, {2}));
+  storage.Put(2, Versioned("x", 1, 1.0, {1}));
+  EXPECT_EQ(storage.num_keys(), 2u);
+  EXPECT_EQ(storage.num_conflicted_keys(), 1);
+  ASSERT_NE(storage.Get(1), nullptr);
+  EXPECT_TRUE(storage.Get(1)->HasConflict());
+  EXPECT_EQ(storage.Get(99), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-key reads
+
+WarsDistributions PointMassLegs() {
+  WarsDistributions legs;
+  legs.name = "pm";
+  legs.w = PointMass(1.0);
+  legs.a = PointMass(1.0);
+  legs.r = PointMass(1.0);
+  legs.s = PointMass(1.0);
+  return legs;
+}
+
+TEST(MultiReadTest, ReturnsPerKeyResultsAligned) {
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = PointMassLegs();
+  config.request_timeout_ms = 50.0;
+  Cluster cluster(config);
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Write(10, "ten", nullptr);
+  client.Write(20, "twenty", nullptr);
+  cluster.sim().Run();
+
+  std::optional<ClientSession::MultiReadResult> result;
+  client.MultiRead({10, 20, 30}, [&](const auto& r) { result = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  ASSERT_EQ(result->results.size(), 3u);
+  EXPECT_EQ(result->results[0].value->value, "ten");
+  EXPECT_EQ(result->results[1].value->value, "twenty");
+  EXPECT_FALSE(result->results[2].value.has_value());  // never written
+  EXPECT_DOUBLE_EQ(result->latency_ms, 2.0);  // parallel, not serial
+}
+
+TEST(MultiReadTest, EmptyKeyListCompletesImmediately) {
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = PointMassLegs();
+  Cluster cluster(config);
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  bool called = false;
+  client.MultiRead({}, [&](const auto& r) {
+    called = true;
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.results.empty());
+  });
+  EXPECT_TRUE(called);
+}
+
+TEST(MultiReadTest, AllFreshProbabilityDecaysWithWidth) {
+  // The Section 6 product rule, observed end-to-end: the probability that
+  // EVERY key of a multi-key probe is fresh decays with the key count.
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = MakeWars("slow", Exponential(0.1), Exponential(1.0));
+  config.request_timeout_ms = 1000.0;
+  config.seed = 77;
+  Cluster cluster(config);
+  ClientSession writer(&cluster, cluster.coordinator(0).id(), 1);
+  ClientSession reader(&cluster, cluster.coordinator(0).id(), 2);
+
+  auto measure = [&](const std::vector<Key>& keys) {
+    int64_t probes = 0;
+    int64_t all_fresh = 0;
+    const double start = cluster.sim().now();
+    struct Round {
+      std::vector<int64_t> expected;
+      size_t written = 0;
+    };
+    for (int i = 0; i < 2500; ++i) {
+      cluster.sim().At(start + i * 300.0, [&, keys]() {
+        auto round = std::make_shared<Round>();
+        round->expected.resize(keys.size());
+        for (size_t k = 0; k < keys.size(); ++k) {
+          round->expected[k] = cluster.LatestSequenceFor(keys[k]) + 1;
+          writer.Write(keys[k], "v", [&, keys, round](const WriteResult& w) {
+            if (!w.ok) return;
+            if (++round->written < keys.size()) return;
+            // All writes committed: probe immediately.
+            reader.MultiRead(keys, [&, keys, round](const auto& r) {
+              if (!r.ok) return;
+              ++probes;
+              bool fresh = true;
+              for (size_t j = 0; j < keys.size(); ++j) {
+                const auto& value = r.results[j].value;
+                fresh = fresh && value.has_value() &&
+                        value->sequence >= round->expected[j];
+              }
+              if (fresh) ++all_fresh;
+            });
+          });
+        }
+      });
+    }
+    cluster.sim().Run();
+    return static_cast<double>(all_fresh) / static_cast<double>(probes);
+  };
+
+  const double one_key = measure({101});
+  const double four_keys = measure({201, 202, 203, 204});
+  EXPECT_LT(four_keys, one_key - 0.1);
+  EXPECT_GT(one_key, 0.2);
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,208 @@
+#include <optional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/failure_detector.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+WarsDistributions FastLegs() {
+  WarsDistributions legs;
+  legs.name = "fast";
+  legs.w = PointMass(1.0);
+  legs.a = PointMass(1.0);
+  legs.r = PointMass(1.0);
+  legs.s = PointMass(1.0);
+  return legs;
+}
+
+KvsConfig SloppyConfig() {
+  KvsConfig config;
+  config.quorum = {3, 1, 3};  // W=3: one dead home replica stalls writes
+  config.num_storage_nodes = 5;
+  config.legs = FastLegs();
+  config.sloppy_quorums = true;
+  config.sloppy_extra = 2;
+  config.heartbeat_interval_ms = 10.0;
+  config.suspect_timeout_ms = 30.0;
+  config.hint_delivery_interval_ms = 20.0;
+  config.request_timeout_ms = 100.0;
+  config.seed = 31337;
+  return config;
+}
+
+TEST(FailureDetectorTest, HealthyClusterHasNoSuspects) {
+  KvsConfig config = SloppyConfig();
+  Cluster cluster(config);
+  cluster.StartFailureDetector();
+  cluster.sim().RunUntil(500.0);
+  for (int node = 0; node < cluster.num_replicas(); ++node) {
+    EXPECT_FALSE(cluster.failure_detector()->IsSuspected(node))
+        << "node " << node;
+  }
+  EXPECT_GT(cluster.failure_detector()->pings_sent(), 100);
+  EXPECT_GT(cluster.failure_detector()->pongs_received(), 100);
+}
+
+TEST(FailureDetectorTest, CrashedNodeBecomesSuspectedThenCleared) {
+  Cluster cluster(SloppyConfig());
+  cluster.StartFailureDetector();
+  cluster.sim().RunUntil(100.0);
+  EXPECT_FALSE(cluster.failure_detector()->IsSuspected(2));
+
+  cluster.replica(2).Crash();
+  // Suspicion within timeout + a heartbeat cycle + message legs.
+  cluster.sim().RunUntil(200.0);
+  EXPECT_TRUE(cluster.failure_detector()->IsSuspected(2));
+  // Other nodes stay clear.
+  EXPECT_FALSE(cluster.failure_detector()->IsSuspected(0));
+
+  cluster.replica(2).Recover();
+  cluster.sim().RunUntil(300.0);
+  EXPECT_FALSE(cluster.failure_detector()->IsSuspected(2));
+}
+
+TEST(FailureDetectorTest, StartIsIdempotent) {
+  Cluster cluster(SloppyConfig());
+  cluster.StartFailureDetector();
+  auto* first = cluster.failure_detector();
+  cluster.StartFailureDetector();
+  EXPECT_EQ(cluster.failure_detector(), first);
+}
+
+TEST(ClusterTest, ExtendedPreferenceListCoversSubstitutes) {
+  Cluster cluster(SloppyConfig());
+  const Key key = 7;
+  const auto home = cluster.ReplicasFor(key);
+  const auto extended = cluster.ExtendedReplicasFor(key);
+  EXPECT_EQ(home.size(), 3u);
+  EXPECT_EQ(extended.size(), 5u);  // min(5, 3 + 2)
+  // Extended list starts with the home list.
+  for (size_t i = 0; i < home.size(); ++i) EXPECT_EQ(extended[i], home[i]);
+  const std::set<NodeId> unique(extended.begin(), extended.end());
+  EXPECT_EQ(unique.size(), extended.size());
+}
+
+TEST(SloppyQuorumTest, WriteSucceedsViaSubstituteWhenHomeReplicaDown) {
+  Cluster cluster(SloppyConfig());
+  cluster.StartFailureDetector();
+  const Key key = 7;
+  const auto home = cluster.ReplicasFor(key);
+  const auto extended = cluster.ExtendedReplicasFor(key);
+  const NodeId dead = home[1];
+  const NodeId substitute = extended[3];
+
+  cluster.replica(dead).Crash();
+  cluster.sim().RunUntil(200.0);  // let the detector catch up
+  ASSERT_TRUE(cluster.failure_detector()->IsSuspected(dead));
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<WriteResult> result;
+  client.Write(key, "payload", [&](const WriteResult& r) { result = r; });
+  cluster.sim().RunUntil(400.0);
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok) << "sloppy write should commit with W=3";
+  EXPECT_EQ(cluster.metrics().sloppy_substitutions, 1);
+  EXPECT_EQ(cluster.metrics().hints_stored, 1);
+  // The substitute holds a hint but does NOT serve the key.
+  EXPECT_EQ(cluster.node(substitute).num_hints(), 1u);
+  EXPECT_FALSE(cluster.node(substitute).storage().Get(key).has_value());
+  // The dead home replica obviously has nothing yet.
+  EXPECT_FALSE(cluster.replica(dead).storage().Get(key).has_value());
+}
+
+TEST(SloppyQuorumTest, WithoutSloppyTheSameWriteTimesOut) {
+  KvsConfig config = SloppyConfig();
+  config.sloppy_quorums = false;
+  Cluster cluster(config);
+  cluster.StartFailureDetector();
+  const Key key = 7;
+  cluster.replica(cluster.ReplicasFor(key)[1]).Crash();
+  cluster.sim().RunUntil(200.0);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<WriteResult> result;
+  client.Write(key, "payload", [&](const WriteResult& r) { result = r; });
+  cluster.sim().RunUntil(400.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(cluster.metrics().sloppy_substitutions, 0);
+}
+
+TEST(SloppyQuorumTest, HintDeliveredToRecoveredHomeReplica) {
+  Cluster cluster(SloppyConfig());
+  cluster.StartFailureDetector();
+  const Key key = 7;
+  const NodeId dead = cluster.ReplicasFor(key)[1];
+  cluster.replica(dead).Crash();
+  cluster.sim().RunUntil(200.0);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Write(key, "payload", nullptr);
+  cluster.sim().RunUntil(400.0);
+  ASSERT_EQ(cluster.metrics().hints_stored, 1);
+  EXPECT_EQ(cluster.metrics().hints_delivered, 0);  // home still down
+
+  cluster.replica(dead).Recover();
+  // Recovery -> pong -> unsuspected -> next hint-delivery tick forwards.
+  cluster.sim().RunUntil(800.0);
+  EXPECT_EQ(cluster.metrics().hints_delivered, 1);
+  const auto stored = cluster.replica(dead).storage().Get(key);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->value, "payload");
+}
+
+TEST(SloppyQuorumTest, ReadsStillUseHomeReplicas) {
+  // Sloppy substitution affects the write path only: reads keep fanning to
+  // the home preference list (standard Dynamo behavior), so data parked as
+  // hints is invisible until delivered.
+  Cluster cluster(SloppyConfig());
+  cluster.StartFailureDetector();
+  const Key key = 7;
+  const NodeId dead = cluster.ReplicasFor(key)[1];
+  cluster.replica(dead).Crash();
+  cluster.sim().RunUntil(200.0);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Write(key, "v1", nullptr);
+  cluster.sim().RunUntil(400.0);
+
+  std::optional<ReadResult> read;
+  client.Read(key, [&](const ReadResult& r) { read = r; });
+  cluster.sim().RunUntil(600.0);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_TRUE(read->ok);  // R=1: live home replicas answer
+  ASSERT_TRUE(read->value.has_value());
+  EXPECT_EQ(read->value->value, "v1");  // two live homes applied the write
+}
+
+TEST(SloppyQuorumTest, AllSubstitutesDownFallsBackGracefully) {
+  KvsConfig config = SloppyConfig();
+  Cluster cluster(config);
+  cluster.StartFailureDetector();
+  const Key key = 7;
+  const auto extended = cluster.ExtendedReplicasFor(key);
+  // Kill one home and every substitute: nothing to substitute with.
+  cluster.replica(extended[1]).Crash();
+  cluster.replica(extended[3]).Crash();
+  cluster.replica(extended[4]).Crash();
+  cluster.sim().RunUntil(200.0);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<WriteResult> result;
+  client.Write(key, "x", [&](const WriteResult& r) { result = r; });
+  cluster.sim().RunUntil(500.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);  // W=3 unreachable; fails like strict Dynamo
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

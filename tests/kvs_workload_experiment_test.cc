@@ -1,0 +1,228 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "dist/production.h"
+#include "kvs/cluster.h"
+#include "kvs/experiment.h"
+#include "kvs/workload.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+KvsConfig SsdConfig(QuorumConfig quorum) {
+  KvsConfig config;
+  config.quorum = quorum;
+  config.legs = LnkdSsd();
+  config.request_timeout_ms = 500.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfKeyGenerator gen(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfKeyGenerator gen(1000, 0.99);
+  Rng rng(2);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(rng) < 10) ++hot;
+  }
+  // Under theta=0.99 skew the top-10 of 1000 keys absorb ~39% of accesses
+  // (vs 1% under uniform).
+  EXPECT_GT(static_cast<double>(hot) / n, 0.3);
+}
+
+TEST(ZipfTest, KeysStayInRange) {
+  ZipfKeyGenerator gen(17, 0.8);
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(gen.Next(rng), 17u);
+  }
+}
+
+TEST(WorkloadDriverTest, AllOperationsComplete) {
+  Cluster cluster(SsdConfig({3, 1, 1}));
+  WorkloadOptions options;
+  options.operations = 2000;
+  options.read_fraction = 0.8;
+  options.num_keys = 50;
+  options.seed = 7;
+  WorkloadDriver driver(&cluster, options);
+  const WorkloadResult result = driver.RunToCompletion();
+  EXPECT_EQ(result.reads_completed + result.writes_committed +
+                result.failed_operations,
+            2000);
+  EXPECT_EQ(result.failed_operations, 0);
+  EXPECT_GT(result.reads_completed, 1400);
+  EXPECT_GT(result.writes_committed, 250);
+}
+
+TEST(WorkloadDriverTest, StrictQuorumHasNoMonotonicViolations) {
+  Cluster cluster(SsdConfig({3, 2, 2}));
+  WorkloadOptions options;
+  options.operations = 3000;
+  options.read_fraction = 0.7;
+  options.num_keys = 5;  // hot keys maximize read-your-older-write chances
+  options.zipf_theta = 0.9;
+  options.mean_interarrival_ms = 0.2;
+  options.seed = 8;
+  WorkloadDriver driver(&cluster, options);
+  const WorkloadResult result = driver.RunToCompletion();
+  EXPECT_EQ(result.monotonic_violations, 0);
+  EXPECT_GT(result.staleness.total(), 0);
+  // Strict quorums never return older than the committed watermark
+  // (in-flight newer writes do not count as staleness — Definition 1).
+  EXPECT_DOUBLE_EQ(result.staleness.ProbStalerThan(1), 0.0);
+}
+
+TEST(WorkloadPresetTest, MixesMatchYcsbDefinitions) {
+  const auto a = MakePresetOptions(WorkloadPreset::kYcsbA, 100, 1.0);
+  EXPECT_DOUBLE_EQ(a.read_fraction, 0.5);
+  const auto b = MakePresetOptions(WorkloadPreset::kYcsbB, 100, 1.0);
+  EXPECT_DOUBLE_EQ(b.read_fraction, 0.95);
+  const auto c = MakePresetOptions(WorkloadPreset::kYcsbC, 100, 1.0);
+  EXPECT_DOUBLE_EQ(c.read_fraction, 1.0);
+  const auto d = MakePresetOptions(WorkloadPreset::kYcsbD, 100, 1.0);
+  EXPECT_LT(d.num_keys, a.num_keys);  // read-latest hot set
+  EXPECT_DOUBLE_EQ(a.zipf_theta, 0.99);
+  EXPECT_STREQ(PresetName(WorkloadPreset::kYcsbA), "YCSB-A (update heavy)");
+}
+
+TEST(WorkloadPresetTest, PresetRunsEndToEnd) {
+  Cluster cluster(SsdConfig({3, 1, 1}));
+  WorkloadDriver driver(
+      &cluster, MakePresetOptions(WorkloadPreset::kYcsbB, 2000, 0.5,
+                                  /*seed=*/5));
+  const WorkloadResult result = driver.RunToCompletion();
+  EXPECT_EQ(result.failed_operations, 0);
+  // ~95% reads.
+  EXPECT_NEAR(static_cast<double>(result.reads_completed) / 2000.0, 0.95,
+              0.02);
+}
+
+TEST(WorkloadDriverTest, PartialQuorumShowsVersionStaleness) {
+  // Slow writes + rapid operations on few keys: partial quorums return old
+  // versions measurably often.
+  KvsConfig config;
+  config.quorum = {3, 1, 1};
+  config.legs = MakeWars("slow", Exponential(0.05), Exponential(1.0));
+  config.request_timeout_ms = 2000.0;
+  config.seed = 9;
+  Cluster cluster(config);
+  WorkloadOptions options;
+  options.operations = 4000;
+  options.read_fraction = 0.5;
+  options.num_keys = 3;
+  options.mean_interarrival_ms = 0.5;
+  options.seed = 10;
+  WorkloadDriver driver(&cluster, options);
+  const WorkloadResult result = driver.RunToCompletion();
+  EXPECT_GT(result.staleness.ProbStalerThan(1), 0.05);
+}
+
+TEST(StalenessExperimentTest, StrictQuorumAlwaysConsistent) {
+  StalenessExperimentOptions options;
+  options.cluster = SsdConfig({3, 2, 2});
+  options.writes = 300;
+  options.write_spacing_ms = 50.0;
+  options.read_offsets_ms = {0.0, 1.0, 5.0};
+  const auto result = RunStalenessExperiment(options);
+  for (const auto& point : result.t_visibility) {
+    EXPECT_DOUBLE_EQ(point.ProbConsistent(), 1.0) << "t=" << point.t;
+    EXPECT_EQ(point.trials, 300);
+  }
+  EXPECT_EQ(result.detector_stale, 0);
+}
+
+TEST(StalenessExperimentTest, ConsistencyImprovesWithT) {
+  StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 1, 1};
+  options.cluster.legs =
+      MakeWars("slow", Exponential(0.1), Exponential(0.5));
+  options.cluster.request_timeout_ms = 1000.0;
+  options.writes = 1500;
+  options.write_spacing_ms = 300.0;
+  options.read_offsets_ms = {0.0, 5.0, 20.0, 80.0};
+  const auto result = RunStalenessExperiment(options);
+  ASSERT_EQ(result.t_visibility.size(), 4u);
+  // Monotone non-decreasing in t, and visibly below 1 at t=0.
+  EXPECT_LT(result.t_visibility[0].ProbConsistent(), 0.95);
+  for (size_t i = 1; i < result.t_visibility.size(); ++i) {
+    EXPECT_GE(result.t_visibility[i].ProbConsistent() + 0.04,
+              result.t_visibility[i - 1].ProbConsistent());
+  }
+  EXPECT_GT(result.t_visibility[3].ProbConsistent(),
+            result.t_visibility[0].ProbConsistent());
+}
+
+TEST(StalenessExperimentTest, ReadRepairImprovesConsistency) {
+  StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 1, 1};
+  options.cluster.legs =
+      MakeWars("slow", Exponential(0.05), Exponential(1.0));
+  options.cluster.request_timeout_ms = 2000.0;
+  options.writes = 1200;
+  options.write_spacing_ms = 400.0;
+  options.read_offsets_ms = {0.0, 1.0, 3.0, 10.0, 30.0};
+
+  auto without = RunStalenessExperiment(options);
+  options.cluster.read_repair = true;
+  auto with = RunStalenessExperiment(options);
+  // Probe reads at earlier offsets repair replicas, helping later offsets
+  // of the same version: average consistency should not get worse.
+  double sum_without = 0.0;
+  double sum_with = 0.0;
+  for (size_t i = 0; i < without.t_visibility.size(); ++i) {
+    sum_without += without.t_visibility[i].ProbConsistent();
+    sum_with += with.t_visibility[i].ProbConsistent();
+  }
+  EXPECT_GE(sum_with + 0.05, sum_without);
+  EXPECT_GT(with.final_metrics.read_repairs_sent, 0);
+}
+
+TEST(StalenessExperimentTest, DetectorAccountingIsComplete) {
+  StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 1, 1};
+  options.cluster.legs = LnkdDisk();
+  options.cluster.request_timeout_ms = 1000.0;
+  options.writes = 500;
+  options.write_spacing_ms = 200.0;
+  options.read_offsets_ms = {0.0, 10.0};
+  const auto result = RunStalenessExperiment(options);
+  const int64_t classified = result.detector_consistent +
+                             result.detector_stale +
+                             result.detector_false_positives;
+  // One observation per completed probe read.
+  int64_t probes = 0;
+  for (const auto& point : result.t_visibility) probes += point.trials;
+  EXPECT_EQ(classified, probes);
+}
+
+TEST(StalenessExperimentTest, LatenciesRecorded) {
+  StalenessExperimentOptions options;
+  options.cluster = SsdConfig({3, 1, 1});
+  options.writes = 200;
+  options.write_spacing_ms = 20.0;
+  options.read_offsets_ms = {1.0};
+  const auto result = RunStalenessExperiment(options);
+  EXPECT_EQ(result.write_latencies.size(), 200u);
+  EXPECT_EQ(result.read_latencies.size(), 200u);
+  for (double latency : result.write_latencies) EXPECT_GT(latency, 0.0);
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,159 @@
+// Cross-cutting invariants swept over the configuration space with TEST_P.
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+#include "core/tvisibility.h"
+#include "core/wars.h"
+#include "dist/production.h"
+
+namespace pbs {
+namespace {
+
+std::vector<QuorumConfig> AllConfigsUpToN(int max_n) {
+  std::vector<QuorumConfig> configs;
+  for (int n = 1; n <= max_n; ++n) {
+    for (int r = 1; r <= n; ++r) {
+      for (int w = 1; w <= n; ++w) configs.push_back({n, r, w});
+    }
+  }
+  return configs;
+}
+
+std::string ConfigName(const ::testing::TestParamInfo<QuorumConfig>& info) {
+  return "N" + std::to_string(info.param.n) + "R" +
+         std::to_string(info.param.r) + "W" + std::to_string(info.param.w);
+}
+
+class ClosedFormInvariantTest : public ::testing::TestWithParam<QuorumConfig> {
+};
+
+TEST_P(ClosedFormInvariantTest, MissProbabilityIsAProbability) {
+  const double ps = SingleQuorumMissProbability(GetParam());
+  EXPECT_GE(ps, 0.0);
+  EXPECT_LE(ps, 1.0);
+}
+
+TEST_P(ClosedFormInvariantTest, StrictnessIffZeroMiss) {
+  const double ps = SingleQuorumMissProbability(GetParam());
+  EXPECT_EQ(GetParam().IsStrict(), ps == 0.0);
+}
+
+TEST_P(ClosedFormInvariantTest, FreshnessNonDecreasingInK) {
+  double prev = 0.0;
+  for (int k = 1; k <= 10; ++k) {
+    const double fresh = KFreshnessProbability(GetParam(), k);
+    EXPECT_GE(fresh + 1e-12, prev);
+    prev = fresh;
+  }
+}
+
+TEST_P(ClosedFormInvariantTest, BiggerReadQuorumNeverHurts) {
+  const QuorumConfig config = GetParam();
+  if (config.r >= config.n) GTEST_SKIP();
+  QuorumConfig bigger = config;
+  bigger.r = config.r + 1;
+  EXPECT_LE(SingleQuorumMissProbability(bigger),
+            SingleQuorumMissProbability(config) + 1e-12);
+}
+
+TEST_P(ClosedFormInvariantTest, BiggerWriteQuorumNeverHurts) {
+  const QuorumConfig config = GetParam();
+  if (config.w >= config.n) GTEST_SKIP();
+  QuorumConfig bigger = config;
+  bigger.w = config.w + 1;
+  EXPECT_LE(SingleQuorumMissProbability(bigger),
+            SingleQuorumMissProbability(config) + 1e-12);
+}
+
+TEST_P(ClosedFormInvariantTest, MoreReplicasWithSameQuorumsHurt) {
+  // Growing N while holding R and W fixed dilutes intersection (Figure 7's
+  // "probability of consistency immediately after write commit decreases as
+  // N increases").
+  const QuorumConfig config = GetParam();
+  QuorumConfig bigger = config;
+  bigger.n = config.n + 1;
+  EXPECT_GE(SingleQuorumMissProbability(bigger) + 1e-12,
+            SingleQuorumMissProbability(config));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClosedFormInvariantTest,
+                         ::testing::ValuesIn(AllConfigsUpToN(6)),
+                         ConfigName);
+
+class WarsInvariantTest : public ::testing::TestWithParam<QuorumConfig> {};
+
+TEST_P(WarsInvariantTest, ThresholdsNonNegativeAndFiniteUnderYmmr) {
+  const QuorumConfig config = GetParam();
+  const auto model = MakeIidModel(Ymmr(), config.n);
+  WarsSimulator sim(config, model, /*seed=*/1);
+  for (int i = 0; i < 3000; ++i) {
+    const WarsTrial trial = sim.RunTrial();
+    EXPECT_GE(trial.staleness_threshold, 0.0);
+    EXPECT_TRUE(std::isfinite(trial.staleness_threshold));
+    EXPECT_GT(trial.write_latency, 0.0);
+    EXPECT_GT(trial.read_latency, 0.0);
+  }
+}
+
+TEST_P(WarsInvariantTest, StrictConfigsHaveZeroThresholds) {
+  const QuorumConfig config = GetParam();
+  if (!config.IsStrict()) GTEST_SKIP();
+  const auto model = MakeIidModel(LnkdDisk(), config.n);
+  WarsSimulator sim(config, model, /*seed=*/2);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_DOUBLE_EQ(sim.RunTrial().staleness_threshold, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WarsInvariantTest,
+                         ::testing::ValuesIn(AllConfigsUpToN(4)),
+                         ConfigName);
+
+TEST(WarsStochasticDominanceTest, LargerRShiftsThresholdsDown) {
+  // For fixed N and W, increasing R cannot make staleness worse: mean
+  // threshold decreases (Table 4's R-vs-t trade-off).
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  double prev_mean = 1e18;
+  for (int r = 1; r <= 3; ++r) {
+    const auto set = RunWarsTrials({3, r, 1}, model, 60000, /*seed=*/3);
+    const double mean =
+        std::accumulate(set.staleness_thresholds.begin(),
+                        set.staleness_thresholds.end(), 0.0) /
+        set.staleness_thresholds.size();
+    EXPECT_LT(mean, prev_mean + 1e-12) << "R=" << r;
+    prev_mean = mean;
+  }
+}
+
+TEST(WarsStochasticDominanceTest, LargerWShiftsThresholdsDown) {
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  double prev_mean = 1e18;
+  for (int w = 1; w <= 3; ++w) {
+    const auto set = RunWarsTrials({3, 1, w}, model, 60000, /*seed=*/4);
+    const double mean =
+        std::accumulate(set.staleness_thresholds.begin(),
+                        set.staleness_thresholds.end(), 0.0) /
+        set.staleness_thresholds.size();
+    EXPECT_LT(mean, prev_mean + 1e-12) << "W=" << w;
+    prev_mean = mean;
+  }
+}
+
+TEST(DeterminismTest, WholePipelineReproducible) {
+  const auto model = MakeIidModel(Ymmr(), 3);
+  const auto a = RunWarsTrials({3, 1, 1}, model, 5000, /*seed=*/42,
+                               /*want_propagation=*/true);
+  const auto b = RunWarsTrials({3, 1, 1}, model, 5000, /*seed=*/42,
+                               /*want_propagation=*/true);
+  EXPECT_EQ(a.write_latencies, b.write_latencies);
+  EXPECT_EQ(a.read_latencies, b.read_latencies);
+  EXPECT_EQ(a.staleness_thresholds, b.staleness_thresholds);
+  EXPECT_EQ(a.propagation, b.propagation);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,99 @@
+#include "util/math.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(LogFactorialTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(2), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogFactorialTest, NegativeIsMinusInfinity) {
+  EXPECT_EQ(LogFactorial(-1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BinomialTest, PascalTriangleRow5) {
+  EXPECT_DOUBLE_EQ(Binomial(5, 0), 1.0);
+  EXPECT_NEAR(Binomial(5, 1), 5.0, 1e-9);
+  EXPECT_NEAR(Binomial(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(Binomial(5, 3), 10.0, 1e-9);
+  EXPECT_NEAR(Binomial(5, 4), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Binomial(5, 5), 1.0);
+}
+
+TEST(BinomialTest, InvalidCombinationsAreZero) {
+  EXPECT_EQ(Binomial(3, 4), 0.0);
+  EXPECT_EQ(Binomial(3, -1), 0.0);
+  EXPECT_EQ(Binomial(-2, 1), 0.0);
+}
+
+TEST(BinomialTest, SymmetryHoldsForLargeArguments) {
+  for (int n : {50, 100, 500}) {
+    for (int k : {1, 7, 20}) {
+      EXPECT_NEAR(Binomial(n, k) / Binomial(n, n - k), 1.0, 1e-9)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialTest, PascalRecurrenceHolds) {
+  for (int n = 2; n <= 40; ++n) {
+    for (int k = 1; k < n; ++k) {
+      const double lhs = Binomial(n, k);
+      const double rhs = Binomial(n - 1, k - 1) + Binomial(n - 1, k);
+      EXPECT_NEAR(lhs / rhs, 1.0, 1e-10) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialRatioTest, MatchesDirectComputation) {
+  // C(2,1)/C(3,1) = 2/3: the paper's N=3, R=W=1 miss probability.
+  EXPECT_NEAR(BinomialRatio(2, 3, 1), 2.0 / 3.0, 1e-12);
+  // C(1,1)/C(3,1) = 1/3: N=3, R=1, W=2.
+  EXPECT_NEAR(BinomialRatio(1, 3, 1), 1.0 / 3.0, 1e-12);
+  // C(1,2) = 0.
+  EXPECT_EQ(BinomialRatio(1, 3, 2), 0.0);
+}
+
+TEST(BinomialRatioTest, PaperLargeQuorumExample) {
+  // Section 2.1: N=100, R=W=30 gives ps = 1.88e-6.
+  const double ps = BinomialRatio(70, 100, 30);
+  EXPECT_NEAR(ps, 1.88e-6, 0.02e-6);
+}
+
+TEST(BinomialRatioTest, StableForHugeArguments) {
+  const double ratio = BinomialRatio(900, 1000, 100);
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LT(ratio, 1.0);
+  EXPECT_TRUE(std::isfinite(ratio));
+}
+
+TEST(ClampProbabilityTest, ClampsBothEnds) {
+  EXPECT_EQ(ClampProbability(-0.5), 0.0);
+  EXPECT_EQ(ClampProbability(1.5), 1.0);
+  EXPECT_EQ(ClampProbability(0.25), 0.25);
+}
+
+TEST(KahanSumTest, RecoversSmallTermsNextToLargeOnes) {
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_NEAR(sum.value(), 10000.0, 1e-6);
+}
+
+TEST(KahanSumTest, EmptySumIsZero) {
+  KahanSum sum;
+  EXPECT_EQ(sum.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace pbs

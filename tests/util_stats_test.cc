@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats stats;
+  for (double x : xs) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 6.2);
+  // Sample variance: sum((x-mean)^2)/(n-1) = 37.2.
+  EXPECT_NEAR(stats.variance(), 37.2, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(37.2), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 16.0);
+}
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(stats.min()));
+}
+
+TEST(QuantileSortedTest, EndpointsAndMidpoint) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.5), 3.0);
+  // Type-7 interpolation: q=0.25 -> position 1.0 exactly -> 2.0.
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.25), 2.0);
+  // q=0.1 -> position 0.4 -> 1.4.
+  EXPECT_NEAR(QuantileSorted(sorted, 0.1), 1.4, 1e-12);
+}
+
+TEST(QuantileSortedTest, SingleElement) {
+  const std::vector<double> sorted = {7.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.73), 7.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 1.0), 7.0);
+}
+
+TEST(QuantilesTest, SortsInput) {
+  const auto qs = Quantiles({5.0, 1.0, 3.0, 2.0, 4.0}, {0.0, 0.5, 1.0});
+  ASSERT_EQ(qs.size(), 3u);
+  EXPECT_DOUBLE_EQ(qs[0], 1.0);
+  EXPECT_DOUBLE_EQ(qs[1], 3.0);
+  EXPECT_DOUBLE_EQ(qs[2], 5.0);
+}
+
+TEST(EcdfSortedTest, StepFunction) {
+  const std::vector<double> sorted = {1.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 2.5), 0.75);
+  EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 99.0), 1.0);
+}
+
+TEST(RmseTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_NEAR(Rmse({0.0, 0.0}, {3.0, 4.0}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(NormalizedRmseTest, DividesByReferenceRange) {
+  // reference range = 10, rmse = 1 -> 0.1.
+  const std::vector<double> ref = {0.0, 10.0};
+  const std::vector<double> est = {1.0, 9.0};
+  EXPECT_NEAR(NormalizedRmse(ref, est), 0.1, 1e-12);
+}
+
+TEST(NormalizedRmseTest, ZeroRangeFallsBackToRmse) {
+  const std::vector<double> ref = {5.0, 5.0};
+  const std::vector<double> est = {6.0, 6.0};
+  EXPECT_DOUBLE_EQ(NormalizedRmse(ref, est), 1.0);
+}
+
+TEST(HistogramTest, BinBoundaries) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(9), 9.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(HistogramTest, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);  // underflow
+  h.Add(0.0);
+  h.Add(0.5);
+  h.Add(9.999);
+  h.Add(10.0);  // overflow (half-open upper bound)
+  h.Add(50.0);  // overflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(HistogramTest, CdfInterpolatesWithinBins) {
+  Histogram h(0.0, 4.0, 4);
+  for (int i = 0; i < 4; ++i) h.Add(i + 0.5);  // one per bin
+  EXPECT_DOUBLE_EQ(h.CdfAt(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(4.0), 1.0);
+  EXPECT_NEAR(h.CdfAt(2.0), 0.5, 1e-12);
+  // Halfway through bin 0: 0.5 of that bin's single observation.
+  EXPECT_NEAR(h.CdfAt(0.5), 0.125, 1e-12);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace pbs

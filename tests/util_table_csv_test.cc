@@ -1,0 +1,92 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace pbs {
+namespace {
+
+TEST(TextTableTest, AlignsColumnsAndSeparatesHeader) {
+  TextTable table({"name", "value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-name", "2"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  // Header, separator, two data rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+  TextTable table({"cfg", "x", "y"});
+  table.AddRow("R=1 W=1", {1.23456, 7.0}, 2);
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_NE(out.str().find("7.00"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique directory per test: ctest runs these binaries in parallel.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string dir =
+        ::testing::TempDir() + "/pbs_csv_" + info->name();
+    std::filesystem::remove_all(dir);
+    path_ = dir + "/out.csv";
+  }
+  std::string path_;
+};
+
+TEST_F(CsvWriterTest, WritesRowsAndCreatesDirectories) {
+  {
+    CsvWriter csv(path_);
+    ASSERT_TRUE(csv.ok());
+    csv.WriteHeader({"a", "b"});
+    csv.WriteRow({"1", "2"});
+    csv.WriteRow("label", {3.5}, 1);
+  }
+  std::ifstream in(path_);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "label,3.5");
+}
+
+TEST_F(CsvWriterTest, EscapesCommasAndQuotes) {
+  {
+    CsvWriter csv(path_);
+    ASSERT_TRUE(csv.ok());
+    csv.WriteRow({"a,b", "say \"hi\""});
+  }
+  std::ifstream in(path_);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "\"a,b\",\"say \"\"hi\"\"\"");
+}
+
+TEST(EnsureDirectoryTest, CreatesNestedPath) {
+  const std::string dir = ::testing::TempDir() + "/pbs_dir_test/x/y/z";
+  std::filesystem::remove_all(::testing::TempDir() + "/pbs_dir_test");
+  EXPECT_TRUE(EnsureDirectory(dir));
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  // Idempotent.
+  EXPECT_TRUE(EnsureDirectory(dir));
+}
+
+}  // namespace
+}  // namespace pbs

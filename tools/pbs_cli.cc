@@ -1,0 +1,363 @@
+// pbs — command-line front end to the PBS library.
+//
+//   pbs predict  --n=3 --r=1 --w=1 [--scenario=lnkd-disk] [--trials=200000]
+//   pbs sla      --max-t=15 --prob=0.999 [--min-w=1] [--max-n=5]
+//                [--read-fraction=0.8] [--scenario=...]
+//   pbs levels   --n=3 --read=one --write=quorum [--scenario=...]
+//   pbs fit      --trace=w.txt            (fit Pareto+Exp mixture to samples)
+//   pbs simulate --n=3 --r=1 --w=1 [--writes=5000] [--read-repair]
+//                [--anti-entropy-ms=0] [--scenario=...]
+//   pbs predict-trace --w=w.txt --a=a.txt --rr=r.txt --s=s.txt --n=3 --r=1
+//                --w-quorum=1       (predict from measured leg traces)
+//
+// Scenarios: lnkd-ssd | lnkd-disk | ymmr | wan (Table 3 fits of the paper).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/analytic.h"
+#include "core/predictor.h"
+#include "core/sla.h"
+#include "dist/fit.h"
+#include "dist/trace.h"
+#include "kvs/consistency_level.h"
+#include "kvs/experiment.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pbs;
+
+/// Minimal --key=value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << arg << "\n";
+        ok_ = false;
+        continue;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool GetBool(const std::string& key) const {
+    return values_.count(key) && values_.at(key) != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+WarsDistributions ScenarioLegs(const std::string& name) {
+  if (name == "lnkd-ssd") return LnkdSsd();
+  if (name == "lnkd-disk") return LnkdDisk();
+  if (name == "ymmr") return Ymmr();
+  if (name == "wan") return WanLocalBase();  // per-replica model added below
+  std::cerr << "unknown scenario '" << name
+            << "' (expected lnkd-ssd|lnkd-disk|ymmr|wan); using lnkd-disk\n";
+  return LnkdDisk();
+}
+
+ReplicaLatencyModelPtr ScenarioModel(const std::string& name, int n) {
+  if (name == "wan") return MakeWanModel(WanLocalBase(), n);
+  return MakeIidModel(ScenarioLegs(name), n);
+}
+
+StatusOr<kvs::ConsistencyLevel> ParseLevel(const std::string& text) {
+  if (text == "one") return kvs::ConsistencyLevel::kOne;
+  if (text == "two") return kvs::ConsistencyLevel::kTwo;
+  if (text == "three") return kvs::ConsistencyLevel::kThree;
+  if (text == "quorum") return kvs::ConsistencyLevel::kQuorum;
+  if (text == "all") return kvs::ConsistencyLevel::kAll;
+  return Status::InvalidArgument("unknown consistency level: " + text);
+}
+
+void PrintPrediction(const QuorumConfig& config,
+                     const ReplicaLatencyModelPtr& model, int trials) {
+  PredictorOptions options;
+  options.trials = trials;
+  PbsPredictor predictor(config, model, options);
+  std::printf("%s (%s)\n", config.ToString().c_str(),
+              config.IsStrict() ? "strict" : "partial");
+  TextTable table({"metric", "value"});
+  table.AddRow({"P(consistent, t=0)",
+                FormatDouble(predictor.ProbConsistent(0.0), 4)});
+  table.AddRow({"P(consistent, t=10ms)",
+                FormatDouble(predictor.ProbConsistent(10.0), 4)});
+  table.AddRow({"t-visibility @ 99.9% (ms)",
+                FormatDouble(predictor.TimeForConsistency(0.999), 2)});
+  table.AddRow({"P(within 2 versions)",
+                FormatDouble(predictor.KFreshness(2), 4)});
+  table.AddRow({"read latency p99.9 (ms)",
+                FormatDouble(predictor.ReadLatencyPercentile(99.9), 2)});
+  table.AddRow({"write latency p99.9 (ms)",
+                FormatDouble(predictor.WriteLatencyPercentile(99.9), 2)});
+  table.Print(std::cout);
+}
+
+int CmdPredict(const Args& args) {
+  const QuorumConfig config{args.GetInt("n", 3), args.GetInt("r", 1),
+                            args.GetInt("w", 1)};
+  const Status valid = ValidateQuorumConfig(config);
+  if (!valid.ok()) {
+    std::cerr << valid.message() << "\n";
+    return 1;
+  }
+  const std::string scenario = args.GetString("scenario", "lnkd-disk");
+  PrintPrediction(config, ScenarioModel(scenario, config.n),
+                  args.GetInt("trials", 200000));
+  return 0;
+}
+
+int CmdSla(const Args& args) {
+  const std::string scenario = args.GetString("scenario", "lnkd-disk");
+  SlaOptimizer optimizer(
+      [&scenario](int n) { return ScenarioModel(scenario, n); },
+      args.GetInt("trials", 50000), /*seed=*/42);
+  SlaConstraints constraints;
+  constraints.min_n = args.GetInt("min-n", 2);
+  constraints.max_n = args.GetInt("max-n", 5);
+  constraints.min_write_quorum = args.GetInt("min-w", 1);
+  constraints.consistency_probability = args.GetDouble("prob", 0.999);
+  constraints.max_t_visibility_ms = args.GetDouble("max-t", 10.0);
+  SlaObjective objective;
+  const double read_fraction = args.GetDouble("read-fraction", 0.5);
+  objective.read_weight = read_fraction;
+  objective.write_weight = 1.0 - read_fraction;
+  const auto best = optimizer.Optimize(constraints, objective);
+  if (!best.ok()) {
+    std::cout << "no configuration satisfies the SLA: "
+              << best.status().message() << "\n";
+    return 1;
+  }
+  const auto& c = best.value();
+  std::printf(
+      "best: %s — t@%.2f%%: %.2f ms, Lr %.2f ms, Lw %.2f ms "
+      "(objective %.2f ms)\n",
+      c.config.ToString().c_str(),
+      100.0 * constraints.consistency_probability, c.t_visibility_ms,
+      c.read_latency_ms, c.write_latency_ms, c.objective);
+  return 0;
+}
+
+int CmdLevels(const Args& args) {
+  const int n = args.GetInt("n", 3);
+  const auto read_level = ParseLevel(args.GetString("read", "one"));
+  const auto write_level = ParseLevel(args.GetString("write", "one"));
+  if (!read_level.ok() || !write_level.ok()) {
+    std::cerr << (read_level.ok() ? write_level.status().message()
+                                  : read_level.status().message())
+              << "\n";
+    return 1;
+  }
+  const auto config =
+      kvs::MakeQuorumConfig(n, read_level.value(), write_level.value());
+  if (!config.ok()) {
+    std::cerr << config.status().message() << "\n";
+    return 1;
+  }
+  const std::string scenario = args.GetString("scenario", "lnkd-disk");
+  std::printf("consistency levels %s/%s at N=%d =>\n",
+              kvs::ToString(read_level.value()).c_str(),
+              kvs::ToString(write_level.value()).c_str(), n);
+  PrintPrediction(config.value(), ScenarioModel(scenario, n),
+                  args.GetInt("trials", 200000));
+  return 0;
+}
+
+int CmdFit(const Args& args) {
+  const std::string path = args.GetString("trace", "");
+  if (path.empty()) {
+    std::cerr << "--trace=<file> required (one latency per line)\n";
+    return 1;
+  }
+  const auto samples = LoadLatencyTrace(path);
+  if (!samples.ok()) {
+    std::cerr << samples.status().message() << "\n";
+    return 1;
+  }
+  std::vector<PercentilePoint> points;
+  auto sorted = samples.value();
+  std::sort(sorted.begin(), sorted.end());
+  for (double pct : {5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    points.push_back({pct, QuantileSorted(sorted, pct / 100.0)});
+  }
+  const ParetoExpFit fit = FitParetoExponential(points);
+  std::cout << "fit over " << sorted.size() << " samples:\n  "
+            << fit.Describe() << "\n";
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  kvs::StalenessExperimentOptions options;
+  options.cluster.quorum = {args.GetInt("n", 3), args.GetInt("r", 1),
+                            args.GetInt("w", 1)};
+  const Status valid = ValidateQuorumConfig(options.cluster.quorum);
+  if (!valid.ok()) {
+    std::cerr << valid.message() << "\n";
+    return 1;
+  }
+  options.cluster.legs = ScenarioLegs(args.GetString("scenario", "lnkd-disk"));
+  options.cluster.read_repair = args.GetBool("read-repair");
+  options.cluster.anti_entropy_interval_ms =
+      args.GetDouble("anti-entropy-ms", 0.0);
+  options.cluster.request_timeout_ms = args.GetDouble("timeout-ms", 1000.0);
+  options.writes = args.GetInt("writes", 5000);
+  options.write_spacing_ms = args.GetDouble("spacing-ms", 250.0);
+  const auto result = kvs::RunStalenessExperiment(options);
+  std::printf("event-driven cluster, %d writes, %s:\n", options.writes,
+              options.cluster.quorum.ToString().c_str());
+  TextTable table({"t after commit (ms)", "P(consistent)", "probes"});
+  for (const auto& point : result.t_visibility) {
+    table.AddRow({FormatDouble(point.t, 1),
+                  FormatDouble(point.ProbConsistent(), 4),
+                  std::to_string(point.trials)});
+  }
+  table.Print(std::cout);
+  std::printf("detector: %lld consistent, %lld stale, %lld false-positive\n",
+              static_cast<long long>(result.detector_consistent),
+              static_cast<long long>(result.detector_stale),
+              static_cast<long long>(result.detector_false_positives));
+  return 0;
+}
+
+int CmdAnalytic(const Args& args) {
+  const QuorumConfig config{args.GetInt("n", 3), args.GetInt("r", 1),
+                            args.GetInt("w", 1)};
+  const Status valid = ValidateQuorumConfig(config);
+  if (!valid.ok()) {
+    std::cerr << valid.message() << "\n";
+    return 1;
+  }
+  const std::string scenario = args.GetString("scenario", "lnkd-disk");
+  if (scenario == "wan") {
+    std::cerr << "the analytic solver assumes IID replicas; WAN is "
+                 "per-replica — use `predict --scenario=wan`\n";
+    return 1;
+  }
+  const AnalyticWars analytic(config, ScenarioLegs(scenario),
+                              args.GetDouble("max-ms", 4000.0),
+                              args.GetInt("bins", 20000));
+  std::printf("analytic (grid) WARS for %s over %s:\n",
+              config.ToString().c_str(), scenario.c_str());
+  TextTable table({"metric", "value"});
+  table.AddRow({"write latency p50 (ms, exact)",
+                FormatDouble(analytic.WriteLatencyQuantile(0.5), 3)});
+  table.AddRow({"write latency p99.9 (ms, exact)",
+                FormatDouble(analytic.WriteLatencyQuantile(0.999), 3)});
+  table.AddRow({"read latency p99.9 (ms, exact)",
+                FormatDouble(analytic.ReadLatencyQuantile(0.999), 3)});
+  table.AddRow({"P(consistent, t=0) (approx)",
+                FormatDouble(analytic.ApproxProbConsistent(0.0), 4)});
+  table.AddRow({"P(consistent, t=10ms) (approx)",
+                FormatDouble(analytic.ApproxProbConsistent(10.0), 4)});
+  table.AddRow({"t @ 99.9% (ms, approx)",
+                FormatDouble(analytic.ApproxTimeForConsistency(0.999), 2)});
+  table.Print(std::cout);
+  std::cout << "latencies are exact order statistics; consistency uses the "
+               "documented independence approximation (see "
+               "bench/analytic_vs_mc for its error envelope).\n";
+  return 0;
+}
+
+int CmdPredictTrace(const Args& args) {
+  WarsDistributions legs;
+  legs.name = "trace";
+  struct LegArg {
+    const char* flag;
+    DistributionPtr* slot;
+  };
+  LegArg leg_args[] = {{"w", &legs.w}, {"a", &legs.a},
+                       {"rr", &legs.r}, {"s", &legs.s}};
+  for (auto& leg : leg_args) {
+    const std::string path = args.GetString(leg.flag, "");
+    if (path.empty()) {
+      std::cerr << "--" << leg.flag << "=<trace file> required "
+                << "(legs: --w --a --rr --s)\n";
+      return 1;
+    }
+    auto dist = LoadTraceDistribution(path);
+    if (!dist.ok()) {
+      std::cerr << dist.status().message() << "\n";
+      return 1;
+    }
+    *leg.slot = dist.value();
+  }
+  const QuorumConfig config{args.GetInt("n", 3), args.GetInt("r", 1),
+                            args.GetInt("w-quorum", 1)};
+  const Status valid = ValidateQuorumConfig(config);
+  if (!valid.ok()) {
+    std::cerr << valid.message() << "\n";
+    return 1;
+  }
+  PrintPrediction(config, MakeIidModel(legs, config.n),
+                  args.GetInt("trials", 200000));
+  return 0;
+}
+
+void Usage() {
+  std::cout <<
+      "pbs <command> [--key=value ...]\n"
+      "commands:\n"
+      "  predict        PBS predictions for one (N, R, W) configuration\n"
+      "  analytic       grid-solver predictions (no Monte Carlo)\n"
+      "  sla            cheapest configuration meeting a staleness SLA\n"
+      "  levels         predictions for Cassandra-style consistency levels\n"
+      "  fit            fit a Pareto+Exp mixture to a latency trace file\n"
+      "  simulate       run the event-driven Dynamo-style cluster\n"
+      "  predict-trace  predictions from measured W/A/R/S leg traces\n"
+      "run a command with no flags to use paper defaults; see the header\n"
+      "comment of tools/pbs_cli.cc for the full flag list.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (!args.ok()) return 1;
+  if (command == "predict") return CmdPredict(args);
+  if (command == "analytic") return CmdAnalytic(args);
+  if (command == "sla") return CmdSla(args);
+  if (command == "levels") return CmdLevels(args);
+  if (command == "fit") return CmdFit(args);
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "predict-trace") return CmdPredictTrace(args);
+  Usage();
+  return command == "help" || command == "--help" ? 0 : 1;
+}
