@@ -46,7 +46,9 @@ void Run() {
                      "t @ 99.9% (ms)", "read p50 (ms)", "write p50 (ms)"});
     for (const auto& arch : architectures) {
       WarsTrialSet set =
-          RunWarsTrials(config, arch.model, trials, /*seed=*/121);
+          RunWarsTrials(config, arch.model, trials, /*seed=*/121,
+                        /*want_propagation=*/false, ReadFanout::kAllN,
+                        bench::BenchExecution());
       const TVisibilityCurve curve(std::move(set.staleness_thresholds));
       const LatencyProfile reads(std::move(set.read_latencies));
       const LatencyProfile writes(std::move(set.write_latencies));

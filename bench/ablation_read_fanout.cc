@@ -38,7 +38,8 @@ void Run() {
       for (ReadFanout fanout :
            {ReadFanout::kAllN, ReadFanout::kQuorumOnly}) {
         WarsTrialSet set = RunWarsTrials(config, model, trials, /*seed=*/111,
-                                         false, fanout);
+                                         false, fanout,
+                                         bench::BenchExecution());
         const TVisibilityCurve curve(std::move(set.staleness_thresholds));
         const LatencyProfile reads(std::move(set.read_latencies));
         const std::string fanout_name =

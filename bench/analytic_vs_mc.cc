@@ -34,7 +34,8 @@ void Run() {
     const QuorumConfig config{3, 1, 1};
     const AnalyticWars analytic(config, fit, 4000.0, 40000);
     const auto mc = EstimateLatencies(config, MakeIidModel(fit, 3),
-                                      mc_trials, /*seed=*/801);
+                                      mc_trials, /*seed=*/801,
+                                      bench::BenchExecution());
     for (double pct : {50.0, 99.0, 99.9}) {
       lat.AddRow({fit.name, "R=1 W=1",
                   "write p" + FormatDouble(pct, 1),
@@ -57,7 +58,8 @@ void Run() {
         QuorumConfig{5, 1, 1}, QuorumConfig{10, 1, 1}}) {
     const AnalyticWars analytic(config, dists, 2000.0, 20000);
     const auto mc = EstimateTVisibility(
-        config, MakeIidModel(dists, config.n), mc_trials, /*seed=*/802);
+        config, MakeIidModel(dists, config.n), mc_trials, /*seed=*/802,
+        bench::BenchExecution());
     for (double t : {0.0, 5.0, 20.0, 60.0}) {
       const double approx = analytic.ApproxProbConsistent(t);
       const double truth = mc.ProbConsistent(t);

@@ -1,17 +1,31 @@
 #ifndef PBS_BENCH_BENCH_UTIL_H_
 #define PBS_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/wars.h"
 #include "dist/production.h"
+#include "util/parallel.h"
 
 namespace pbs {
 namespace bench {
 
 /// Where every harness mirrors its printed tables as CSV.
 inline constexpr const char kResultsDir[] = "bench_results";
+
+/// Execution options shared by the figure/validation harnesses: all hardware
+/// threads by default, overridable with PBS_THREADS=n (n = 1 reproduces the
+/// historical serial execution; the numbers are identical either way, only
+/// the wall clock changes).
+inline PbsExecutionOptions BenchExecution() {
+  PbsExecutionOptions exec;
+  if (const char* env = std::getenv("PBS_THREADS")) {
+    exec.threads = std::atoi(env);
+  }
+  return exec;
+}
 
 /// A named latency scenario bound to a replication factor.
 struct Scenario {

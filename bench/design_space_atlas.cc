@@ -63,7 +63,9 @@ void Run() {
         for (int w = 1; w <= n; ++w) {
           const QuorumConfig config{n, r, w};
           WarsTrialSet set =
-              RunWarsTrials(config, model, trials, /*seed=*/1400);
+              RunWarsTrials(config, model, trials, /*seed=*/1400,
+                            /*want_propagation=*/false, ReadFanout::kAllN,
+                            bench::BenchExecution());
           const TVisibilityCurve curve(std::move(set.staleness_thresholds));
           const LatencyProfile reads(std::move(set.read_latencies));
           const LatencyProfile writes(std::move(set.write_latencies));

@@ -37,7 +37,8 @@ void Run() {
         MakeWars("fig4", Exponential(lambda_w), Exponential(1.0));
     const auto model = MakeIidModel(legs, config.n);
     const TVisibilityCurve curve =
-        EstimateTVisibility(config, model, trials, /*seed=*/4242);
+        EstimateTVisibility(config, model, trials, /*seed=*/4242,
+                            bench::BenchExecution());
     std::vector<double> row;
     for (double t : ts) {
       const double p = curve.ProbConsistent(t);

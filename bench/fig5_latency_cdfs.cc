@@ -30,9 +30,11 @@ void Run() {
       // Reads: vary R with W=1; writes: vary W with R=1 (the figure's two
       // rows are independent sweeps).
       const auto read_lat =
-          EstimateLatencies({3, size, 1}, scenario.model, trials, 500 + size);
+          EstimateLatencies({3, size, 1}, scenario.model, trials, 500 + size,
+                            bench::BenchExecution());
       const auto write_lat =
-          EstimateLatencies({3, 1, size}, scenario.model, trials, 600 + size);
+          EstimateLatencies({3, 1, size}, scenario.model, trials, 600 + size,
+                            bench::BenchExecution());
       table.AddRow("read", {static_cast<double>(size),
                             read_lat.reads.Percentile(50.0),
                             read_lat.reads.Percentile(90.0),

@@ -33,7 +33,8 @@ void Run() {
     TextTable table(std::move(header));
     for (const auto& config : configs) {
       const TVisibilityCurve curve =
-          EstimateTVisibility(config, scenario.model, trials, /*seed=*/66);
+          EstimateTVisibility(config, scenario.model, trials, /*seed=*/66,
+                              bench::BenchExecution());
       std::vector<double> row;
       for (double t : ts) {
         const double p = curve.ProbConsistent(t);

@@ -41,7 +41,8 @@ void Run() {
         model = MakeWanModel(WanLocalBase(), n);
       }
       const TVisibilityCurve curve =
-          EstimateTVisibility({n, 1, 1}, model, trials, /*seed=*/77);
+          EstimateTVisibility({n, 1, 1}, model, trials, /*seed=*/77,
+                              bench::BenchExecution());
       std::vector<double> row;
       for (double t : ts) {
         const double p = curve.ProbConsistent(t);

@@ -41,7 +41,7 @@ void Run() {
     for (double t : ts) {
       const auto result = EstimateKTStaleness(
           config, model, Exponential(1.0 / mean), t, /*history=*/40,
-          /*trials=*/40000, /*seed=*/4141);
+          /*trials=*/40000, /*seed=*/4141, bench::BenchExecution());
       std::vector<double> row;
       for (int k : ks) {
         const double mc = result.ProbStalerThan(k);

@@ -13,6 +13,7 @@
 #include "dist/production.h"
 #include "kvs/experiment.h"
 #include "sim/simulator.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace pbs {
@@ -64,6 +65,42 @@ void BM_WarsTrial(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WarsTrial)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_RngJump(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    rng.Jump();
+    benchmark::DoNotOptimize(rng.state());
+  }
+}
+BENCHMARK(BM_RngJump);
+
+// The threads-vs-throughput sweep for the parallel Monte Carlo engine:
+// 10^6 WARS trials per iteration, at 1/2/4/8 requested threads. The output
+// columns are bitwise identical across the sweep (chunk -> jump-stream
+// assignment is thread-count independent); only wall clock should move.
+// items_per_second is the headline: trials/sec at each thread count.
+void BM_RunWarsTrials1M(benchmark::State& state) {
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  PbsExecutionOptions exec;
+  exec.threads = static_cast<int>(state.range(0));
+  constexpr int kTrials = 1000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunWarsTrials({3, 1, 1}, model, kTrials, /*seed=*/1,
+                      /*want_propagation=*/false, ReadFanout::kAllN, exec));
+  }
+  state.SetItemsProcessed(state.iterations() * kTrials);
+  state.counters["threads"] =
+      static_cast<double>(exec.ResolvedThreads());
+}
+BENCHMARK(BM_RunWarsTrials1M)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_WarsTrialWithPropagation(benchmark::State& state) {
   WarsSimulator sim({3, 1, 1}, MakeIidModel(LnkdDisk(), 3), /*seed=*/1);

@@ -64,7 +64,9 @@ void Run() {
       // WARS Monte Carlo prediction.
       const auto model = MakeIidModel(legs, config.n);
       WarsTrialSet set =
-          RunWarsTrials(config, model, wars_trials, /*seed=*/521);
+          RunWarsTrials(config, model, wars_trials, /*seed=*/521,
+                        /*want_propagation=*/false, ReadFanout::kAllN,
+                        bench::BenchExecution());
       const TVisibilityCurve predicted(std::move(set.staleness_thresholds));
       const LatencyProfile predicted_reads(std::move(set.read_latencies));
       const LatencyProfile predicted_writes(std::move(set.write_latencies));

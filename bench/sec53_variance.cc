@@ -45,7 +45,8 @@ void Run() {
   for (const auto& c : cases) {
     const auto model = MakeIidModel(MakeWars("var", c.w, ars), config.n);
     const TVisibilityCurve curve =
-        EstimateTVisibility(config, model, trials, /*seed=*/530);
+        EstimateTVisibility(config, model, trials, /*seed=*/530,
+                            bench::BenchExecution());
     const double p0 = curve.ProbConsistent(0.0);
     const double t99 = curve.TimeForConsistency(0.99);
     const double t999 = curve.TimeForConsistency(0.999);

@@ -48,7 +48,9 @@ std::vector<double> RecomposedQuantiles(const FitTarget& target,
   } else {
     // Yammer client operation: N=3, R=W=2 quorum over the YMMR legs.
     const auto model = MakeIidModel(Ymmr(), 3);
-    const auto set = RunWarsTrials({3, 2, 2}, model, trials, seed);
+    const auto set = RunWarsTrials({3, 2, 2}, model, trials, seed,
+                                   /*want_propagation=*/false,
+                                   ReadFanout::kAllN, bench::BenchExecution());
     samples = target.recompose == FitTarget::Recompose::kQuorumRead
                   ? set.read_latencies
                   : set.write_latencies;

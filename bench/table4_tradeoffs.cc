@@ -35,7 +35,9 @@ void Run() {
                      "t @ 99.9% consistent (ms)"});
     for (const auto& config : configs) {
       WarsTrialSet set =
-          RunWarsTrials(config, scenario.model, trials, /*seed=*/88);
+          RunWarsTrials(config, scenario.model, trials, /*seed=*/88,
+                        /*want_propagation=*/false, ReadFanout::kAllN,
+                        bench::BenchExecution());
       const TVisibilityCurve curve(std::move(set.staleness_thresholds));
       const LatencyProfile reads(std::move(set.read_latencies));
       const LatencyProfile writes(std::move(set.write_latencies));

@@ -20,7 +20,9 @@ AdaptiveConfigController::Evaluation AdaptiveConfigController::Evaluate(
     const QuorumConfig& config, const ReplicaLatencyModelPtr& model,
     uint64_t seed) const {
   WarsTrialSet set =
-      RunWarsTrials(config, model, options_.trials_per_eval, seed);
+      RunWarsTrials(config, model, options_.trials_per_eval, seed,
+                    /*want_propagation=*/false, ReadFanout::kAllN,
+                    options_.exec);
   const TVisibilityCurve curve(std::move(set.staleness_thresholds));
   const LatencyProfile reads(std::move(set.read_latencies));
   const LatencyProfile writes(std::move(set.write_latencies));

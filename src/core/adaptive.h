@@ -33,6 +33,10 @@ struct AdaptiveControllerOptions {
   int trials_per_eval = 20000;
 
   uint64_t seed = 1;
+
+  /// Thread count and chunking for each candidate evaluation; results do
+  /// not depend on the thread count.
+  PbsExecutionOptions exec;
 };
 
 /// Online controller. Feed it the latest latency model (measured online or

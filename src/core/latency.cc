@@ -32,8 +32,11 @@ OperationLatencies MakeOperationLatencies(WarsTrialSet set) {
 
 OperationLatencies EstimateLatencies(const QuorumConfig& config,
                                      const ReplicaLatencyModelPtr& model,
-                                     int trials, uint64_t seed) {
-  return MakeOperationLatencies(RunWarsTrials(config, model, trials, seed));
+                                     int trials, uint64_t seed,
+                                     const PbsExecutionOptions& exec) {
+  return MakeOperationLatencies(RunWarsTrials(config, model, trials, seed,
+                                              /*want_propagation=*/false,
+                                              ReadFanout::kAllN, exec));
 }
 
 }  // namespace pbs

@@ -40,9 +40,12 @@ struct OperationLatencies {
 OperationLatencies MakeOperationLatencies(WarsTrialSet set);
 
 /// Convenience: run `trials` WARS trials and return the latency profiles.
+/// Parallel over `exec.threads` workers with thread-count-independent
+/// results (see RunWarsTrials).
 OperationLatencies EstimateLatencies(const QuorumConfig& config,
                                      const ReplicaLatencyModelPtr& model,
-                                     int trials, uint64_t seed);
+                                     int trials, uint64_t seed,
+                                     const PbsExecutionOptions& exec = {});
 
 }  // namespace pbs
 

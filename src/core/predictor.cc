@@ -10,7 +10,8 @@ PbsPredictor::PbsPredictor(const QuorumConfig& config,
     : config_(config), model_(std::move(model)) {
   assert(config_.IsValid());
   trials_ = RunWarsTrials(config_, model_, options.trials, options.seed,
-                          options.collect_propagation);
+                          options.collect_propagation, ReadFanout::kAllN,
+                          options.exec);
   // The curve/profile constructors sort their inputs; copy the columns the
   // trial set still needs (thresholds are only used by the curve).
   t_visibility_ = std::make_unique<TVisibilityCurve>(

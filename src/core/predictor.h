@@ -19,6 +19,9 @@ struct PredictorOptions {
   /// Collect per-trial write-propagation times (needed for the Equation 4/5
   /// upper bounds via empirical Pw; slightly slower).
   bool collect_propagation = true;
+  /// Thread count and chunking for the constructor's Monte Carlo run;
+  /// results do not depend on the thread count.
+  PbsExecutionOptions exec;
 };
 
 /// The library's front door: one object answering every PBS question about a

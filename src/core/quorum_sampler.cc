@@ -5,11 +5,46 @@
 #include <numeric>
 
 namespace pbs {
+namespace {
+
+/// Chunk-local quorum drawer: its own RNG sub-stream plus a persistent
+/// permutation array for O(size) partial Fisher-Yates draws (the array stays
+/// a permutation of [0, n) across draws, so uniformity is preserved without
+/// re-initializing).
+class SubsetDrawer {
+ public:
+  SubsetDrawer(int n, Rng rng) : n_(n), rng_(rng), perm_(n) {
+    std::iota(perm_.begin(), perm_.end(), 0);
+  }
+
+  /// After the call, perm()[0..size) is a uniformly random size-subset.
+  void Draw(int size) {
+    for (int i = 0; i < size; ++i) {
+      const int j = i + static_cast<int>(rng_.NextBounded(
+                            static_cast<uint64_t>(n_ - i)));
+      std::swap(perm_[i], perm_[j]);
+    }
+  }
+
+  const std::vector<int>& perm() const { return perm_; }
+
+ private:
+  int n_;
+  Rng rng_;
+  std::vector<int> perm_;
+};
+
+}  // namespace
 
 QuorumSampler::QuorumSampler(const QuorumConfig& config, uint64_t seed)
     : config_(config), rng_(seed), scratch_(config.n) {
   assert(config.IsValid());
   std::iota(scratch_.begin(), scratch_.end(), 0);
+}
+
+std::vector<Rng> QuorumSampler::ChunkStreams(int trials,
+                                             const PbsExecutionOptions& exec) {
+  return MakeJumpStreams(rng_.Split(), NumChunks(trials, exec));
 }
 
 std::vector<int> QuorumSampler::SampleSubset(int size) {
@@ -24,85 +59,125 @@ std::vector<int> QuorumSampler::SampleSubset(int size) {
   return std::vector<int>(scratch_.begin(), scratch_.begin() + size);
 }
 
-double QuorumSampler::EstimateMissProbability(int trials) {
+double QuorumSampler::EstimateMissProbability(int trials,
+                                              const PbsExecutionOptions& exec) {
   assert(trials > 0);
-  int64_t misses = 0;
-  std::vector<bool> written(config_.n);
-  for (int t = 0; t < trials; ++t) {
-    std::fill(written.begin(), written.end(), false);
-    for (int idx : SampleSubset(config_.w)) written[idx] = true;
-    bool hit = false;
-    for (int idx : SampleSubset(config_.r)) {
-      if (written[idx]) {
-        hit = true;
-        break;
+  const std::vector<Rng> streams = ChunkStreams(trials, exec);
+  std::vector<int64_t> chunk_misses(streams.size(), 0);
+  ParallelFor(trials, exec, [&](int64_t chunk, int64_t begin, int64_t end) {
+    SubsetDrawer drawer(config_.n, streams[chunk]);
+    std::vector<bool> written(config_.n);
+    int64_t misses = 0;
+    for (int64_t t = begin; t < end; ++t) {
+      std::fill(written.begin(), written.end(), false);
+      drawer.Draw(config_.w);
+      for (int i = 0; i < config_.w; ++i) written[drawer.perm()[i]] = true;
+      drawer.Draw(config_.r);
+      bool hit = false;
+      for (int i = 0; i < config_.r; ++i) {
+        if (written[drawer.perm()[i]]) {
+          hit = true;
+          break;
+        }
       }
+      if (!hit) ++misses;
     }
-    if (!hit) ++misses;
-  }
+    chunk_misses[chunk] = misses;
+  });
+  const int64_t misses =
+      std::accumulate(chunk_misses.begin(), chunk_misses.end(), int64_t{0});
   return static_cast<double>(misses) / static_cast<double>(trials);
 }
 
-double QuorumSampler::EstimateKStaleness(int k, int trials) {
+double QuorumSampler::EstimateKStaleness(int k, int trials,
+                                         const PbsExecutionOptions& exec) {
   assert(k >= 1);
   assert(trials > 0);
-  int64_t misses = 0;
-  // newest_version[i] = highest of the last k versions replica i received,
-  // or 0 if none.
-  std::vector<int> newest_version(config_.n);
-  for (int t = 0; t < trials; ++t) {
-    std::fill(newest_version.begin(), newest_version.end(), 0);
-    for (int v = 1; v <= k; ++v) {
-      for (int idx : SampleSubset(config_.w)) newest_version[idx] = v;
-    }
-    bool hit = false;
-    for (int idx : SampleSubset(config_.r)) {
-      if (newest_version[idx] > 0) {
-        hit = true;
-        break;
+  const std::vector<Rng> streams = ChunkStreams(trials, exec);
+  std::vector<int64_t> chunk_misses(streams.size(), 0);
+  ParallelFor(trials, exec, [&](int64_t chunk, int64_t begin, int64_t end) {
+    SubsetDrawer drawer(config_.n, streams[chunk]);
+    // newest_version[i] = highest of the last k versions replica i received,
+    // or 0 if none.
+    std::vector<int> newest_version(config_.n);
+    int64_t misses = 0;
+    for (int64_t t = begin; t < end; ++t) {
+      std::fill(newest_version.begin(), newest_version.end(), 0);
+      for (int v = 1; v <= k; ++v) {
+        drawer.Draw(config_.w);
+        for (int i = 0; i < config_.w; ++i) {
+          newest_version[drawer.perm()[i]] = v;
+        }
       }
+      drawer.Draw(config_.r);
+      bool hit = false;
+      for (int i = 0; i < config_.r; ++i) {
+        if (newest_version[drawer.perm()[i]] > 0) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) ++misses;
     }
-    if (!hit) ++misses;
-  }
+    chunk_misses[chunk] = misses;
+  });
+  const int64_t misses =
+      std::accumulate(chunk_misses.begin(), chunk_misses.end(), int64_t{0});
   return static_cast<double>(misses) / static_cast<double>(trials);
 }
 
 std::vector<int64_t> QuorumSampler::StalenessHistogram(
-    int versions, int reads, WritePlacement placement) {
+    int versions, int reads, WritePlacement placement,
+    const PbsExecutionOptions& exec) {
   assert(versions >= 1);
   assert(reads >= 1);
-  std::vector<int64_t> histogram(versions, 0);
-  std::vector<int> replica_version(config_.n);
-
-  for (int read = 0; read < reads; ++read) {
-    // Fresh write history per trial (see header).
-    std::fill(replica_version.begin(), replica_version.end(), 0);
-    for (int v = 1; v <= versions; ++v) {
-      switch (placement) {
-        case WritePlacement::kUniformRandom:
-          for (int idx : SampleSubset(config_.w)) replica_version[idx] = v;
-          break;
-        case WritePlacement::kRoundRobin: {
-          // Single-writer k-quorum scheduling: rotate the write set so every
-          // replica is refreshed at least every ceil(N/W) writes.
-          const int start = ((v - 1) * config_.w) % config_.n;
-          for (int i = 0; i < config_.w; ++i) {
-            replica_version[(start + i) % config_.n] = v;
+  const std::vector<Rng> streams = ChunkStreams(reads, exec);
+  std::vector<std::vector<int64_t>> chunk_histograms(
+      streams.size(), std::vector<int64_t>(versions, 0));
+  ParallelFor(reads, exec, [&](int64_t chunk, int64_t begin, int64_t end) {
+    SubsetDrawer drawer(config_.n, streams[chunk]);
+    std::vector<int> replica_version(config_.n);
+    std::vector<int64_t>& histogram = chunk_histograms[chunk];
+    for (int64_t read = begin; read < end; ++read) {
+      // Fresh write history per trial (see header).
+      std::fill(replica_version.begin(), replica_version.end(), 0);
+      for (int v = 1; v <= versions; ++v) {
+        switch (placement) {
+          case WritePlacement::kUniformRandom:
+            drawer.Draw(config_.w);
+            for (int i = 0; i < config_.w; ++i) {
+              replica_version[drawer.perm()[i]] = v;
+            }
+            break;
+          case WritePlacement::kRoundRobin: {
+            // Single-writer k-quorum scheduling: rotate the write set so
+            // every replica is refreshed at least every ceil(N/W) writes.
+            const int start = ((v - 1) * config_.w) % config_.n;
+            for (int i = 0; i < config_.w; ++i) {
+              replica_version[(start + i) % config_.n] = v;
+            }
+            break;
           }
-          break;
         }
       }
-    }
 
-    // One read against this history; staleness = versions - max observed.
-    int best = 0;
-    for (int idx : SampleSubset(config_.r)) {
-      best = std::max(best, replica_version[idx]);
+      // One read against this history; staleness = versions - max observed.
+      drawer.Draw(config_.r);
+      int best = 0;
+      for (int i = 0; i < config_.r; ++i) {
+        best = std::max(best, replica_version[drawer.perm()[i]]);
+      }
+      // A replica that never received any write reports version 0; clamp the
+      // staleness into the histogram's last bucket.
+      const int staleness = std::min(versions - best, versions - 1);
+      ++histogram[staleness];
     }
-    // A replica that never received any write reports version 0; clamp the
-    // staleness into the histogram's last bucket.
-    const int staleness = std::min(versions - best, versions - 1);
-    ++histogram[staleness];
+  });
+  // Merge in chunk order (integer sums, so any order gives the same result;
+  // chunk order keeps the invariant obvious).
+  std::vector<int64_t> histogram(versions, 0);
+  for (const auto& partial : chunk_histograms) {
+    for (int d = 0; d < versions; ++d) histogram[d] += partial[d];
   }
   return histogram;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/quorum_config.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace pbs {
@@ -15,6 +16,12 @@ namespace pbs {
 /// and quorums never grow afterwards. Used to validate the closed forms
 /// (Equations 1-3) and to run versioned-staleness experiments that have no
 /// closed form (multi-writer k-quorums).
+///
+/// The estimators run on `exec.threads` workers (default: all hardware
+/// threads). Trials are split into fixed-size chunks with one Jump()-derived
+/// RNG sub-stream per chunk and the per-chunk tallies merged in chunk order,
+/// so every estimate is a function of (seed, call sequence, exec.chunk_size)
+/// only — never of the thread count.
 class QuorumSampler {
  public:
   /// Write-placement strategies for versioned experiments.
@@ -28,11 +35,13 @@ class QuorumSampler {
 
   /// Estimates Equation 1 (single-quorum miss probability) from `trials`
   /// independent write/read quorum pairs.
-  double EstimateMissProbability(int trials);
+  double EstimateMissProbability(int trials,
+                                 const PbsExecutionOptions& exec = {});
 
   /// Estimates Equation 2: probability that a read misses all of the last k
   /// independent write quorums.
-  double EstimateKStaleness(int k, int trials);
+  double EstimateKStaleness(int k, int trials,
+                            const PbsExecutionOptions& exec = {});
 
   /// Versioned-staleness experiment. Each of the `reads` trials applies a
   /// fresh history of `versions` writes (placement per `placement`), where
@@ -43,13 +52,19 @@ class QuorumSampler {
   /// the write-quorum union and do not converge to ps^k. Returns the
   /// histogram of staleness counts indexed by staleness (size = versions).
   std::vector<int64_t> StalenessHistogram(int versions, int reads,
-                                          WritePlacement placement);
+                                          WritePlacement placement,
+                                          const PbsExecutionOptions& exec = {});
 
   /// Draws a uniformly random `size`-subset of [0, n); exposed for reuse and
   /// testing (partial Fisher-Yates, O(size)).
   std::vector<int> SampleSubset(int size);
 
  private:
+  /// Consumes one Split() from rng_ and fans it out into one sub-stream per
+  /// chunk; the split keeps successive estimator calls independent, the
+  /// jumps keep parallel chunks disjoint.
+  std::vector<Rng> ChunkStreams(int trials, const PbsExecutionOptions& exec);
+
   QuorumConfig config_;
   Rng rng_;
   std::vector<int> scratch_;  // identity permutation reused across draws

@@ -9,9 +9,9 @@
 namespace pbs {
 
 SlaOptimizer::SlaOptimizer(ModelFactory factory, int trials_per_config,
-                           uint64_t seed)
+                           uint64_t seed, const PbsExecutionOptions& exec)
     : factory_(std::move(factory)), trials_per_config_(trials_per_config),
-      seed_(seed) {
+      seed_(seed), exec_(exec) {
   assert(factory_ != nullptr);
   assert(trials_per_config_ > 0);
 }
@@ -32,7 +32,9 @@ std::vector<SlaCandidate> SlaOptimizer::EnumerateAll(
         const QuorumConfig config{n, r, w};
         // One trial set answers both the staleness and latency questions.
         WarsTrialSet set =
-            RunWarsTrials(config, model, trials_per_config_, seed_);
+            RunWarsTrials(config, model, trials_per_config_, seed_,
+                          /*want_propagation=*/false, ReadFanout::kAllN,
+                          exec_);
         SlaCandidate candidate;
         candidate.config = config;
         const TVisibilityCurve curve(std::move(set.staleness_thresholds));

@@ -56,7 +56,8 @@ class SlaOptimizer {
  public:
   using ModelFactory = std::function<ReplicaLatencyModelPtr(int n)>;
 
-  SlaOptimizer(ModelFactory factory, int trials_per_config, uint64_t seed);
+  SlaOptimizer(ModelFactory factory, int trials_per_config, uint64_t seed,
+               const PbsExecutionOptions& exec = {});
 
   /// Scores every (n, r, w) in the constraint box, sorted by objective
   /// (feasible first).
@@ -72,6 +73,7 @@ class SlaOptimizer {
   ModelFactory factory_;
   int trials_per_config_;
   uint64_t seed_;
+  PbsExecutionOptions exec_;
 };
 
 }  // namespace pbs

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/math.h"
 #include "util/stats.h"
 
 namespace pbs {
@@ -31,17 +32,21 @@ ProportionInterval TVisibilityCurve::ProbConsistentInterval(
 
 double TVisibilityCurve::TimeForConsistency(double p) const {
   assert(p > 0.0 && p <= 1.0);
-  // Smallest threshold rank covering probability p.
-  const size_t n = sorted_thresholds_.size();
-  const size_t rank = static_cast<size_t>(
-      std::ceil(p * static_cast<double>(n)) - 1.0 + 1e-9);
-  return sorted_thresholds_[std::min(rank, n - 1)];
+  // Smallest threshold rank covering probability p, computed exactly: the
+  // old ceil(p * n) - 1 + 1e-9 dance was off by one whenever the rounding
+  // of p * n and the epsilon disagreed about which side of an integer the
+  // product fell on.
+  const auto n = static_cast<int64_t>(sorted_thresholds_.size());
+  return sorted_thresholds_[CeilProbabilityRank(p, n) - 1];
 }
 
 TVisibilityCurve EstimateTVisibility(const QuorumConfig& config,
                                      const ReplicaLatencyModelPtr& model,
-                                     int trials, uint64_t seed) {
-  WarsTrialSet set = RunWarsTrials(config, model, trials, seed);
+                                     int trials, uint64_t seed,
+                                     const PbsExecutionOptions& exec) {
+  WarsTrialSet set = RunWarsTrials(config, model, trials, seed,
+                                   /*want_propagation=*/false,
+                                   ReadFanout::kAllN, exec);
   return TVisibilityCurve(std::move(set.staleness_thresholds));
 }
 
@@ -91,7 +96,8 @@ KTStalenessResult EstimateKTStaleness(const QuorumConfig& config,
                                       const ReplicaLatencyModelPtr& model,
                                       const DistributionPtr& inter_arrival,
                                       double t, int history, int trials,
-                                      uint64_t seed) {
+                                      uint64_t seed,
+                                      const PbsExecutionOptions& exec) {
   assert(config.IsValid());
   assert(model != nullptr);
   assert(model->num_replicas() == config.n);
@@ -99,64 +105,76 @@ KTStalenessResult EstimateKTStaleness(const QuorumConfig& config,
   assert(history >= 1);
   assert(trials > 0);
 
-  Rng rng(seed);
   const int n = config.n;
+  const std::vector<Rng> streams =
+      MakeJumpStreams(Rng(seed), NumChunks(trials, exec));
+  std::vector<std::vector<int64_t>> chunk_histograms(
+      streams.size(), std::vector<int64_t>(history + 1, 0));
+
+  ParallelFor(trials, exec, [&](int64_t chunk, int64_t begin, int64_t end) {
+    Rng rng = streams[chunk];
+    std::vector<int64_t>& histogram = chunk_histograms[chunk];
+
+    std::vector<ReplicaLegSample> legs;
+    std::vector<double> write_arrival(n);
+    std::vector<double> read_round_trip(n);
+    std::vector<int> read_order(n);
+    // Per replica, the initiation + propagation arrival of each version.
+    std::vector<std::vector<double>> version_arrival(history,
+                                                     std::vector<double>(n));
+    std::vector<double> commit_time(history);
+
+    for (int64_t trial = begin; trial < end; ++trial) {
+      // Write stream: version v (1-indexed as v+1 below) initiated at
+      // start_v, propagating under its own WARS sample.
+      double start = 0.0;
+      for (int v = 0; v < history; ++v) {
+        if (v > 0) start += inter_arrival->Sample(rng);
+        model->SampleTrial(rng, &legs);
+        for (int i = 0; i < n; ++i) {
+          version_arrival[v][i] = start + legs[i].w;
+          write_arrival[i] = legs[i].w + legs[i].a;
+        }
+        std::nth_element(write_arrival.begin(),
+                         write_arrival.begin() + (config.w - 1),
+                         write_arrival.end());
+        commit_time[v] = start + write_arrival[config.w - 1];
+      }
+
+      // The read uses its own fresh R/S legs (sampling with the newest
+      // write's trial legs would correlate them; draw a dedicated sample
+      // instead).
+      model->SampleTrial(rng, &legs);
+      const double read_issue = commit_time[history - 1] + t;
+      for (int j = 0; j < n; ++j) read_round_trip[j] = legs[j].r + legs[j].s;
+      std::iota(read_order.begin(), read_order.end(), 0);
+      std::partial_sort(read_order.begin(), read_order.begin() + config.r,
+                        read_order.end(), [&](int a, int b) {
+                          return read_round_trip[a] < read_round_trip[b];
+                        });
+
+      // Each responder returns the newest version that reached it before the
+      // read request arrived; the coordinator keeps the global newest.
+      int newest = 0;  // 0 = no version seen
+      for (int k = 0; k < config.r; ++k) {
+        const int j = read_order[k];
+        const double arrival = read_issue + legs[j].r;
+        for (int v = history - 1; v >= newest; --v) {
+          if (version_arrival[v][j] <= arrival) {
+            newest = std::max(newest, v + 1);
+            break;
+          }
+        }
+      }
+      const int staleness = history - newest;  // 0 = newest version returned
+      ++histogram[staleness];
+    }
+  });
 
   KTStalenessResult result;
   result.histogram.assign(history + 1, 0);
-
-  std::vector<ReplicaLegSample> legs;
-  std::vector<double> write_arrival(n);
-  std::vector<double> read_round_trip(n);
-  std::vector<int> read_order(n);
-  // Per replica, the initiation + propagation arrival of each version.
-  std::vector<std::vector<double>> version_arrival(history,
-                                                   std::vector<double>(n));
-  std::vector<double> commit_time(history);
-
-  for (int trial = 0; trial < trials; ++trial) {
-    // Write stream: version v (1-indexed as v+1 below) initiated at start_v,
-    // propagating under its own WARS sample.
-    double start = 0.0;
-    for (int v = 0; v < history; ++v) {
-      if (v > 0) start += inter_arrival->Sample(rng);
-      model->SampleTrial(rng, &legs);
-      for (int i = 0; i < n; ++i) {
-        version_arrival[v][i] = start + legs[i].w;
-        write_arrival[i] = legs[i].w + legs[i].a;
-      }
-      std::nth_element(write_arrival.begin(),
-                       write_arrival.begin() + (config.w - 1),
-                       write_arrival.end());
-      commit_time[v] = start + write_arrival[config.w - 1];
-    }
-
-    // The read uses its own fresh R/S legs (sampled with the newest write's
-    // trial legs would correlate them; draw a dedicated sample instead).
-    model->SampleTrial(rng, &legs);
-    const double read_issue = commit_time[history - 1] + t;
-    for (int j = 0; j < n; ++j) read_round_trip[j] = legs[j].r + legs[j].s;
-    std::iota(read_order.begin(), read_order.end(), 0);
-    std::partial_sort(read_order.begin(), read_order.begin() + config.r,
-                      read_order.end(), [&](int a, int b) {
-                        return read_round_trip[a] < read_round_trip[b];
-                      });
-
-    // Each responder returns the newest version that reached it before the
-    // read request arrived; the coordinator keeps the global newest.
-    int newest = 0;  // 0 = no version seen
-    for (int k = 0; k < config.r; ++k) {
-      const int j = read_order[k];
-      const double arrival = read_issue + legs[j].r;
-      for (int v = history - 1; v >= newest; --v) {
-        if (version_arrival[v][j] <= arrival) {
-          newest = std::max(newest, v + 1);
-          break;
-        }
-      }
-    }
-    const int staleness = history - newest;  // 0 = newest version returned
-    ++result.histogram[staleness];
+  for (const auto& partial : chunk_histograms) {
+    for (int d = 0; d <= history; ++d) result.histogram[d] += partial[d];
   }
   return result;
 }

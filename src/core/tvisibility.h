@@ -6,6 +6,7 @@
 
 #include "core/wars.h"
 #include "dist/distribution.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace pbs {
@@ -28,7 +29,11 @@ class TVisibilityCurve {
   double ProbStale(double t) const { return 1.0 - ProbConsistent(t); }
 
   /// Smallest t achieving P(consistent) >= p — the paper's headline metric
-  /// ("t-visibility for pst = .001"). p in (0, 1].
+  /// ("t-visibility for pst = .001"). p in (0, 1]. The threshold rank is
+  /// computed exactly (util/math.h CeilProbabilityRank), with no
+  /// floating-point epsilon, so boundary probabilities like p = 1/n or
+  /// p = 0.999 with a million trials select the mathematically correct
+  /// order statistic.
   double TimeForConsistency(double p) const;
 
   /// Fraction of trials already consistent at t = 0 (reads that cannot
@@ -49,10 +54,13 @@ class TVisibilityCurve {
   std::vector<double> sorted_thresholds_;
 };
 
-/// Runs WARS Monte Carlo and returns the t-visibility curve.
+/// Runs WARS Monte Carlo and returns the t-visibility curve. Parallel over
+/// `exec.threads` workers with thread-count-independent results (see
+/// RunWarsTrials).
 TVisibilityCurve EstimateTVisibility(const QuorumConfig& config,
                                      const ReplicaLatencyModelPtr& model,
-                                     int trials, uint64_t seed);
+                                     int trials, uint64_t seed,
+                                     const PbsExecutionOptions& exec = {});
 
 /// Estimates the write-propagation CDF at time t after commit from trials
 /// collected with want_propagation=true: result[c] = P(Wr <= c) for
@@ -81,7 +89,8 @@ KTStalenessResult EstimateKTStaleness(const QuorumConfig& config,
                                       const ReplicaLatencyModelPtr& model,
                                       const DistributionPtr& inter_arrival,
                                       double t, int history, int trials,
-                                      uint64_t seed);
+                                      uint64_t seed,
+                                      const PbsExecutionOptions& exec = {});
 
 }  // namespace pbs
 

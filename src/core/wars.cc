@@ -202,7 +202,12 @@ ReplicaLatencyModelPtr MakeHeterogeneousModel(
 WarsSimulator::WarsSimulator(const QuorumConfig& config,
                              ReplicaLatencyModelPtr model, uint64_t seed,
                              ReadFanout read_fanout)
-    : config_(config), model_(std::move(model)), rng_(seed),
+    : WarsSimulator(config, std::move(model), Rng(seed), read_fanout) {}
+
+WarsSimulator::WarsSimulator(const QuorumConfig& config,
+                             ReplicaLatencyModelPtr model, Rng rng,
+                             ReadFanout read_fanout)
+    : config_(config), model_(std::move(model)), rng_(rng),
       read_fanout_(read_fanout) {
   assert(config_.IsValid());
   assert(model_ != nullptr);
@@ -275,28 +280,36 @@ WarsTrial WarsSimulator::RunTrial(bool want_propagation) {
 WarsTrialSet RunWarsTrials(const QuorumConfig& config,
                            const ReplicaLatencyModelPtr& model, int trials,
                            uint64_t seed, bool want_propagation,
-                           ReadFanout read_fanout) {
+                           ReadFanout read_fanout,
+                           const PbsExecutionOptions& exec) {
   assert(trials > 0);
-  WarsSimulator sim(config, model, seed, read_fanout);
   WarsTrialSet set;
-  set.write_latencies.reserve(trials);
-  set.read_latencies.reserve(trials);
-  set.staleness_thresholds.reserve(trials);
+  set.write_latencies.resize(trials);
+  set.read_latencies.resize(trials);
+  set.staleness_thresholds.resize(trials);
   if (want_propagation) {
-    set.propagation.assign(config.n, {});
-    for (auto& column : set.propagation) column.reserve(trials);
+    set.propagation.assign(config.n, std::vector<double>(trials));
   }
-  for (int t = 0; t < trials; ++t) {
-    const WarsTrial trial = sim.RunTrial(want_propagation);
-    set.write_latencies.push_back(trial.write_latency);
-    set.read_latencies.push_back(trial.read_latency);
-    set.staleness_thresholds.push_back(trial.staleness_threshold);
-    if (want_propagation) {
-      for (int c = 0; c < config.n; ++c) {
-        set.propagation[c].push_back(trial.propagation_times[c]);
-      }
-    }
-  }
+  // Chunk c samples the c-th jump sub-stream and fills rows [begin, end) of
+  // the pre-sized columns; no two chunks touch the same row, and neither the
+  // stream layout nor the row layout depends on the thread count.
+  const std::vector<Rng> streams =
+      MakeJumpStreams(Rng(seed), NumChunks(trials, exec));
+  ParallelFor(trials, exec,
+              [&](int64_t chunk, int64_t begin, int64_t end) {
+                WarsSimulator sim(config, model, streams[chunk], read_fanout);
+                for (int64_t t = begin; t < end; ++t) {
+                  const WarsTrial trial = sim.RunTrial(want_propagation);
+                  set.write_latencies[t] = trial.write_latency;
+                  set.read_latencies[t] = trial.read_latency;
+                  set.staleness_thresholds[t] = trial.staleness_threshold;
+                  if (want_propagation) {
+                    for (int c = 0; c < config.n; ++c) {
+                      set.propagation[c][t] = trial.propagation_times[c];
+                    }
+                  }
+                }
+              });
   return set;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/quorum_config.h"
 #include "dist/production.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace pbs {
@@ -114,6 +115,12 @@ class WarsSimulator {
   WarsSimulator(const QuorumConfig& config, ReplicaLatencyModelPtr model,
                 uint64_t seed, ReadFanout read_fanout = ReadFanout::kAllN);
 
+  /// Samples from an explicit RNG stream instead of a fresh seed; this is
+  /// how the parallel engine gives each trial chunk its own Jump()-derived
+  /// sub-stream.
+  WarsSimulator(const QuorumConfig& config, ReplicaLatencyModelPtr model,
+                Rng rng, ReadFanout read_fanout = ReadFanout::kAllN);
+
   /// Runs one trial. Set `want_propagation` to also fill
   /// WarsTrial::propagation_times (slightly more work per trial).
   WarsTrial RunTrial(bool want_propagation = false);
@@ -144,10 +151,17 @@ struct WarsTrialSet {
 
 /// Runs `trials` WARS trials and collects the columns. The workhorse behind
 /// t-visibility curves, latency percentiles and Pw estimation.
+///
+/// Executes on `exec.threads` workers (default: all hardware threads).
+/// Trials are cut into fixed-size chunks, chunk c always draws from the c-th
+/// Jump()-derived sub-stream of `seed`, and every chunk writes its own slice
+/// of the pre-sized columns — so the returned WarsTrialSet is bitwise
+/// identical for a given (seed, exec.chunk_size) at ANY thread count.
 WarsTrialSet RunWarsTrials(const QuorumConfig& config,
                            const ReplicaLatencyModelPtr& model, int trials,
                            uint64_t seed, bool want_propagation = false,
-                           ReadFanout read_fanout = ReadFanout::kAllN);
+                           ReadFanout read_fanout = ReadFanout::kAllN,
+                           const PbsExecutionOptions& exec = {});
 
 }  // namespace pbs
 

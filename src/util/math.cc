@@ -1,5 +1,6 @@
 #include "util/math.h"
 
+#include <cassert>
 #include <cmath>
 #include <limits>
 
@@ -34,6 +35,28 @@ double ClampProbability(double p) {
   if (p < 0.0) return 0.0;
   if (p > 1.0) return 1.0;
   return p;
+}
+
+int64_t CeilProbabilityRank(double p, int64_t n) {
+  assert(p > 0.0 && p <= 1.0);
+  assert(n >= 1);
+  // fl(r / n) is non-decreasing in r (rounding preserves weak order), so the
+  // smallest r whose coverage reaches p is found by binary search on the
+  // very comparison the ECDF makes. This inverts count/n curves exactly;
+  // any formulation via ceil(p * n) instead answers "which rank covers the
+  // exact rational p", which disagrees with the curve whenever the double
+  // product lands on the far side of an integer.
+  int64_t lo = 1;
+  int64_t hi = n;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (static_cast<double>(mid) / static_cast<double>(n) >= p) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
 }
 
 void KahanSum::Add(double x) {

@@ -26,6 +26,15 @@ double BinomialRatio(int64_t a, int64_t b, int64_t k);
 /// accumulate rounding error.
 double ClampProbability(double p);
 
+/// The smallest rank r in [1, n] whose empirical coverage r / n — evaluated
+/// in the same double arithmetic an ECDF uses — reaches p, for p in (0, 1]
+/// and n >= 1. This is the exact inverse of `count / n`-style curves: no
+/// epsilon fudge, and decimal probabilities round-trip (the rank for
+/// p = k/m over n = m samples is exactly k). A naive ceil(p * n) gets these
+/// wrong whenever the product crosses an integer (e.g. p = 0.07, n = 100,
+/// where 0.07 * 100 = 7.000000000000001 and ceil says 8).
+int64_t CeilProbabilityRank(double p, int64_t n);
+
 /// Kahan-compensated accumulator for long probability sums.
 class KahanSum {
  public:

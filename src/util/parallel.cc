@@ -1,0 +1,152 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace pbs {
+namespace {
+
+// Set while a thread is executing inside a parallel region; nested
+// ParallelFor calls (and Run() re-entry) degrade to serial execution instead
+// of deadlocking the pool.
+thread_local bool t_inside_parallel_region = false;
+
+}  // namespace
+
+int PbsExecutionOptions::ResolvedThreads() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int64_t NumChunks(int64_t num_items, const PbsExecutionOptions& options) {
+  assert(num_items >= 0);
+  const int64_t chunk = std::max<int64_t>(1, options.chunk_size);
+  return (num_items + chunk - 1) / chunk;
+}
+
+std::vector<Rng> MakeJumpStreams(Rng base, int64_t count) {
+  assert(count >= 0);
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    streams.push_back(base);
+    base.Jump();
+  }
+  return streams;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(0, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    t_inside_parallel_region = true;
+    task();
+    t_inside_parallel_region = false;
+  }
+}
+
+void ThreadPool::Run(int fanout, const std::function<void(int)>& task) {
+  if (fanout <= 1 || workers_.empty() || t_inside_parallel_region) {
+    // Serial fallback: no helpers available (or already inside a region).
+    // Must not enqueue: with zero workers a queued closure would never run
+    // and the completion wait below would block forever.
+    const bool was_inside = t_inside_parallel_region;
+    t_inside_parallel_region = true;
+    for (int id = 0; id < fanout; ++id) task(id);
+    t_inside_parallel_region = was_inside;
+    return;
+  }
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int remaining = fanout - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int id = 1; id < fanout; ++id) {
+      queue_.push_back([&task, &done_mu, &done_cv, &remaining, id] {
+        task(id);
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+  }
+  work_available_.notify_all();
+
+  t_inside_parallel_region = true;
+  task(0);
+  t_inside_parallel_region = false;
+
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&remaining] { return remaining == 0; });
+}
+
+ThreadPool& SharedThreadPool() {
+  // The calling thread always participates in Run(), so the pool itself only
+  // needs hardware_concurrency - 1 workers to saturate the machine. Keep a
+  // floor of one worker so explicit multi-thread requests exercise the real
+  // cross-thread path (and are TSan-visible) even on single-core hosts;
+  // default (threads = 0) runs there still execute serially because
+  // ParallelFor's fanout is 1.
+  static ThreadPool pool(
+      std::max(1, PbsExecutionOptions{}.ResolvedThreads() - 1));
+  return pool;
+}
+
+void ParallelFor(int64_t num_items, const PbsExecutionOptions& options,
+                 const std::function<void(int64_t, int64_t, int64_t)>& body) {
+  assert(num_items >= 0);
+  if (num_items == 0) return;
+  const int64_t chunk = std::max<int64_t>(1, options.chunk_size);
+  const int64_t num_chunks = NumChunks(num_items, options);
+  const int fanout = static_cast<int>(std::min<int64_t>(
+      std::max(1, options.ResolvedThreads()), num_chunks));
+
+  const auto run_chunk = [&](int64_t c) {
+    const int64_t begin = c * chunk;
+    const int64_t end = std::min(num_items, begin + chunk);
+    body(c, begin, end);
+  };
+
+  if (fanout <= 1 || t_inside_parallel_region) {
+    for (int64_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    return;
+  }
+
+  // Chunk geometry and chunk -> stream mapping are fixed above; the atomic
+  // counter only decides which *thread* executes a chunk.
+  std::atomic<int64_t> next_chunk{0};
+  SharedThreadPool().Run(fanout, [&](int /*worker_id*/) {
+    for (;;) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      run_chunk(c);
+    }
+  });
+}
+
+}  // namespace pbs

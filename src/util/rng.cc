@@ -1,10 +1,12 @@
 #include "util/rng.h"
 
+#include <cassert>
+
 namespace pbs {
 namespace {
 
 // SplitMix64 step; used to expand a 64-bit seed into xoshiro state and to
-// derive split seeds.
+// derive split states.
 uint64_t SplitMix64(uint64_t* x) {
   uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -13,6 +15,16 @@ uint64_t SplitMix64(uint64_t* x) {
 }
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// The xoshiro256 jump polynomials (Blackman & Vigna's reference values,
+// shared by the ++/**/+ output variants): applying them via
+// ApplyJumpPolynomial advances the state by exactly 2^128 / 2^192 steps.
+constexpr uint64_t kJump[4] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                               0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+constexpr uint64_t kLongJump[4] = {0x76e15d3efefdcbbfULL,
+                                   0xc5004e441c522fb3ULL,
+                                   0x77710069854ee241ULL,
+                                   0x39109bb02acbe635ULL};
 
 }  // namespace
 
@@ -44,6 +56,7 @@ double Rng::NextOpenDouble() {
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0 && "NextBounded requires a positive bound");
   // Lemire-style rejection to avoid modulo bias.
   const uint64_t threshold = -bound % bound;
   for (;;) {
@@ -52,6 +65,61 @@ uint64_t Rng::NextBounded(uint64_t bound) {
   }
 }
 
-Rng Rng::Split() { return Rng(Next() ^ 0xA5A5A5A55A5A5A5AULL); }
+void Rng::ApplyJumpPolynomial(const uint64_t (&polynomial)[4]) {
+  // The state transition is linear over GF(2); summing (XOR-ing) the states
+  // visited at the set bits of the polynomial evaluates the transition
+  // matrix raised to the jump distance.
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t word : polynomial) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      Next();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+void Rng::Jump() { ApplyJumpPolynomial(kJump); }
+
+void Rng::LongJump() { ApplyJumpPolynomial(kLongJump); }
+
+Rng Rng::Split() {
+  // Advance the parent so successive splits derive from distinct states.
+  Next();
+  // Chain the full 256-bit parent state through SplitMix64. The old scheme
+  // seeded the child from one 64-bit draw, so two splits anywhere in a
+  // program could hand out identical streams with probability ~2^-64 per
+  // pair — a birthday collision after ~2^32 splits, and a correctness
+  // hazard for sharded tail-probability estimators.
+  Rng child(0);
+  uint64_t s = 0;
+  bool all_zero = true;
+  for (int i = 0; i < 4; ++i) {
+    s ^= state_[i];
+    child.state_[i] = SplitMix64(&s);
+    all_zero = all_zero && child.state_[i] == 0;
+  }
+  if (all_zero) child.state_[0] = 0x9E3779B97F4A7C15ULL;
+  // Long-jump the child 2^192 draws away so its stream cannot brush against
+  // the parent's neighborhood even after astronomically many draws.
+  child.LongJump();
+  return child;
+}
+
+Rng Rng::FromState(const std::array<uint64_t, 4>& state) {
+  assert((state[0] | state[1] | state[2] | state[3]) != 0 &&
+         "the all-zero state is xoshiro's fixed point");
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.state_[i] = state[i];
+  return rng;
+}
 
 }  // namespace pbs

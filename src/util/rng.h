@@ -1,6 +1,7 @@
 #ifndef PBS_UTIL_RNG_H_
 #define PBS_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -13,6 +14,17 @@ namespace pbs {
 /// Monte Carlo workloads (sub-nanosecond per draw). All randomness in the
 /// library flows through this type so that every experiment is reproducible
 /// from a single seed.
+///
+/// Parallel and logically separate consumers get their own streams in one of
+/// two ways:
+///   - Jump()/LongJump() advance the state by exactly 2^128 / 2^192 draws
+///     using the xoshiro256++ jump polynomials. Sub-streams carved out by
+///     successive Jump() calls from one ancestor are provably disjoint as
+///     long as each consumes fewer than 2^128 draws — this is what the
+///     deterministic parallel engine (util/parallel.h) uses for its
+///     chunk -> sub-stream assignment.
+///   - Split() derives an independent child generator for tree-structured
+///     ownership (one per replica, per client, ...).
 ///
 /// Rng satisfies the C++ UniformRandomBitGenerator concept, so it can also be
 /// used with <random> facilities if desired, though the library provides its
@@ -41,10 +53,35 @@ class Rng {
   /// positive. Uses rejection sampling, so the result is exactly uniform.
   uint64_t NextBounded(uint64_t bound);
 
-  /// Returns an independent generator derived from this one's stream.
-  /// Splitting is the supported way to hand sub-streams to parallel or
-  /// logically separate components (one per replica, per client, ...).
+  /// Advances the state by exactly 2^128 Next() calls in O(1): the standard
+  /// xoshiro256++ jump polynomial. 2^128 non-overlapping sub-streams of
+  /// 2^128 draws each can be carved out of one seed this way.
+  void Jump();
+
+  /// Advances the state by exactly 2^192 Next() calls: the long-jump
+  /// polynomial, for coarser partitions (2^64 sub-streams of 2^192 draws).
+  void LongJump();
+
+  /// Returns an independent generator derived from this one. The child's
+  /// 256-bit state is derived by chaining the parent's *entire* state
+  /// through SplitMix64 (not a single 64-bit output, which would collide
+  /// distinct lineages at the 2^32 birthday bound), then LongJump()-ed so
+  /// the child starts 2^192 draws away from anything near the parent.
+  /// Splitting is the supported way to hand sub-streams to logically
+  /// separate components (one per replica, per client, ...); for parallel
+  /// loops prefer the provably disjoint Jump()-derived streams handed out
+  /// by util/parallel.h.
   Rng Split();
+
+  /// The raw 256-bit state, for checkpointing and for tests that verify the
+  /// jump polynomials against the algebraic state-transition matrix.
+  std::array<uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Rebuilds a generator from a state captured with state(). The state must
+  /// not be all-zero (the one fixed point xoshiro cannot leave).
+  static Rng FromState(const std::array<uint64_t, 4>& state);
 
   // UniformRandomBitGenerator interface.
   static constexpr uint64_t min() { return 0; }
@@ -54,6 +91,8 @@ class Rng {
   uint64_t operator()() { return Next(); }
 
  private:
+  void ApplyJumpPolynomial(const uint64_t (&polynomial)[4]);
+
   uint64_t state_[4];
 };
 

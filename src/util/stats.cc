@@ -22,6 +22,10 @@ void RunningStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+double RunningStats::mean() const {
+  return count_ ? mean_ : std::numeric_limits<double>::quiet_NaN();
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -38,7 +42,7 @@ double RunningStats::max() const {
 }
 
 double QuantileSorted(const std::vector<double>& sorted, double q) {
-  assert(!sorted.empty());
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (q <= 0.0) return sorted.front();
   if (q >= 1.0) return sorted.back();
   const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -58,7 +62,7 @@ std::vector<double> Quantiles(std::vector<double> samples,
 }
 
 double EcdfSorted(const std::vector<double>& sorted, double x) {
-  if (sorted.empty()) return 0.0;
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
   return static_cast<double>(it - sorted.begin()) /
          static_cast<double>(sorted.size());

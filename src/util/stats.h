@@ -13,7 +13,8 @@ class RunningStats {
   void Add(double x);
 
   size_t count() const { return count_; }
-  double mean() const { return count_ ? mean_ : 0.0; }
+  /// NaN when empty, like min()/max(): "no observations" is not 0.
+  double mean() const;
   /// Unbiased sample variance; 0 for fewer than two observations.
   double variance() const;
   double stddev() const;
@@ -29,15 +30,18 @@ class RunningStats {
 };
 
 /// Exact sample quantile with linear interpolation (type-7, the numpy/R
-/// default). `sorted` must be ascending and non-empty; q in [0, 1].
+/// default). `sorted` must be ascending; q in [0, 1]. Empty input returns
+/// NaN (previously UB in release builds).
 double QuantileSorted(const std::vector<double>& sorted, double q);
 
 /// Convenience: copies, sorts, and evaluates several quantiles at once.
+/// Empty input yields NaN at every requested quantile.
 std::vector<double> Quantiles(std::vector<double> samples,
                               const std::vector<double>& qs);
 
 /// Fraction of samples <= x (empirical CDF evaluated at x) over a sorted
-/// ascending vector.
+/// ascending vector. Empty input returns NaN, consistent with the quantile
+/// functions: an empty sample has no CDF.
 double EcdfSorted(const std::vector<double>& sorted, double x);
 
 /// Root-mean-square error between two equal-length series.

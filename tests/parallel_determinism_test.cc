@@ -1,0 +1,161 @@
+// The parallel Monte Carlo engine's headline guarantee: results are a
+// function of (seed, chunk_size) only, NEVER of the thread count. These
+// tests pin that down by running every parallelized estimator at several
+// thread counts and demanding bitwise-identical outputs. A small chunk_size
+// is used throughout so even modest trial counts span many chunks (and so
+// the serial run exercises the same chunked stream layout).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/quorum_sampler.h"
+#include "core/tvisibility.h"
+#include "core/wars.h"
+#include "dist/primitives.h"
+#include "dist/production.h"
+#include "util/parallel.h"
+
+namespace pbs {
+namespace {
+
+PbsExecutionOptions Exec(int threads) {
+  PbsExecutionOptions exec;
+  exec.threads = threads;
+  exec.chunk_size = 512;
+  return exec;
+}
+
+TEST(ParallelDeterminismTest, RunWarsTrialsIsBitwiseThreadCountInvariant) {
+  const auto model = MakeIidModel(LnkdSsd(), 3);
+  const WarsTrialSet serial = RunWarsTrials(
+      {3, 1, 2}, model, 20000, /*seed=*/9, /*want_propagation=*/false,
+      ReadFanout::kAllN, Exec(1));
+  for (int threads : {2, 4, 8}) {
+    const WarsTrialSet parallel = RunWarsTrials(
+        {3, 1, 2}, model, 20000, /*seed=*/9, /*want_propagation=*/false,
+        ReadFanout::kAllN, Exec(threads));
+    // Exact double equality on every column entry: the parallel runs must
+    // reproduce the serial draw sequence, not merely agree statistically.
+    EXPECT_EQ(parallel.write_latencies, serial.write_latencies);
+    EXPECT_EQ(parallel.read_latencies, serial.read_latencies);
+    EXPECT_EQ(parallel.staleness_thresholds, serial.staleness_thresholds);
+  }
+}
+
+TEST(ParallelDeterminismTest, RunWarsTrialsPropagationColumnsInvariant) {
+  const auto model = MakeIidModel(LnkdDisk(), 5);
+  const WarsTrialSet serial = RunWarsTrials(
+      {5, 2, 2}, model, 8000, /*seed=*/10, /*want_propagation=*/true,
+      ReadFanout::kAllN, Exec(1));
+  const WarsTrialSet parallel = RunWarsTrials(
+      {5, 2, 2}, model, 8000, /*seed=*/10, /*want_propagation=*/true,
+      ReadFanout::kAllN, Exec(8));
+  ASSERT_EQ(serial.propagation.size(), 5u);
+  EXPECT_EQ(parallel.propagation, serial.propagation);
+}
+
+TEST(ParallelDeterminismTest, QuorumOnlyFanoutInvariant) {
+  // kQuorumOnly draws a random R-subset per trial, consuming a different
+  // amount of randomness than kAllN — the chunked streams must keep that
+  // deterministic too.
+  const auto model = MakeIidModel(LnkdSsd(), 5);
+  const WarsTrialSet serial = RunWarsTrials(
+      {5, 2, 1}, model, 8000, /*seed=*/11, /*want_propagation=*/false,
+      ReadFanout::kQuorumOnly, Exec(1));
+  const WarsTrialSet parallel = RunWarsTrials(
+      {5, 2, 1}, model, 8000, /*seed=*/11, /*want_propagation=*/false,
+      ReadFanout::kQuorumOnly, Exec(4));
+  EXPECT_EQ(parallel.read_latencies, serial.read_latencies);
+  EXPECT_EQ(parallel.staleness_thresholds, serial.staleness_thresholds);
+}
+
+TEST(ParallelDeterminismTest, EstimateTVisibilityInvariant) {
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  const TVisibilityCurve serial =
+      EstimateTVisibility({3, 1, 1}, model, 20000, /*seed=*/12, Exec(1));
+  const TVisibilityCurve parallel =
+      EstimateTVisibility({3, 1, 1}, model, 20000, /*seed=*/12, Exec(8));
+  for (double t : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_EQ(parallel.ProbConsistent(t), serial.ProbConsistent(t)) << t;
+  }
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(parallel.TimeForConsistency(p), serial.TimeForConsistency(p))
+        << p;
+  }
+}
+
+TEST(ParallelDeterminismTest, QuorumSamplerEstimatesInvariant) {
+  // Each estimator call consumes exactly one Split() from the sampler's
+  // base RNG regardless of thread count, so a *sequence* of calls must
+  // agree across thread counts call by call.
+  QuorumSampler serial({5, 2, 2}, /*seed=*/13);
+  QuorumSampler parallel({5, 2, 2}, /*seed=*/13);
+  EXPECT_EQ(parallel.EstimateMissProbability(30000, Exec(8)),
+            serial.EstimateMissProbability(30000, Exec(1)));
+  EXPECT_EQ(parallel.EstimateKStaleness(3, 30000, Exec(4)),
+            serial.EstimateKStaleness(3, 30000, Exec(1)));
+  EXPECT_EQ(parallel.StalenessHistogram(
+                8, 20000, QuorumSampler::WritePlacement::kUniformRandom,
+                Exec(8)),
+            serial.StalenessHistogram(
+                8, 20000, QuorumSampler::WritePlacement::kUniformRandom,
+                Exec(1)));
+  EXPECT_EQ(parallel.StalenessHistogram(
+                8, 20000, QuorumSampler::WritePlacement::kRoundRobin,
+                Exec(2)),
+            serial.StalenessHistogram(
+                8, 20000, QuorumSampler::WritePlacement::kRoundRobin,
+                Exec(1)));
+}
+
+TEST(ParallelDeterminismTest, EstimateKTStalenessInvariant) {
+  const auto model = MakeIidModel(LnkdSsd(), 3);
+  const KTStalenessResult serial = EstimateKTStaleness(
+      {3, 1, 1}, model, Exponential(0.1), /*t=*/1.0, /*history=*/20,
+      /*trials=*/10000, /*seed=*/14, Exec(1));
+  for (int threads : {2, 8}) {
+    const KTStalenessResult parallel = EstimateKTStaleness(
+        {3, 1, 1}, model, Exponential(0.1), /*t=*/1.0, /*history=*/20,
+        /*trials=*/10000, /*seed=*/14, Exec(threads));
+    EXPECT_EQ(parallel.histogram, serial.histogram);
+  }
+}
+
+TEST(ParallelDeterminismTest, ChunkSizeIsPartOfTheContract) {
+  // Changing chunk_size legitimately changes the draws (different stream
+  // layout); this documents that the determinism contract is (seed,
+  // chunk_size), not seed alone. Both runs remain valid estimates.
+  const auto model = MakeIidModel(LnkdSsd(), 3);
+  PbsExecutionOptions coarse = Exec(1);
+  coarse.chunk_size = 1 << 20;  // one chunk: the pre-parallel layout
+  const WarsTrialSet a = RunWarsTrials({3, 1, 1}, model, 4096, /*seed=*/15,
+                                       false, ReadFanout::kAllN, coarse);
+  const WarsTrialSet b = RunWarsTrials({3, 1, 1}, model, 4096, /*seed=*/15,
+                                       false, ReadFanout::kAllN, Exec(1));
+  EXPECT_NE(a.staleness_thresholds, b.staleness_thresholds);
+  // Statistically they still agree: medians within Monte Carlo noise.
+  std::vector<double> sa = a.staleness_thresholds;
+  std::vector<double> sb = b.staleness_thresholds;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_NEAR(sa[sa.size() / 2], sb[sb.size() / 2], 0.5);
+}
+
+TEST(ParallelDeterminismTest, DefaultThreadsMatchesSerial) {
+  // threads = 0 (all hardware threads) must also reproduce the serial run —
+  // this is the configuration every caller gets by default.
+  const auto model = MakeIidModel(LnkdDisk(), 3);
+  const WarsTrialSet serial = RunWarsTrials(
+      {3, 2, 1}, model, 10000, /*seed=*/16, false, ReadFanout::kAllN,
+      Exec(1));
+  const WarsTrialSet defaulted = RunWarsTrials(
+      {3, 2, 1}, model, 10000, /*seed=*/16, false, ReadFanout::kAllN,
+      Exec(0));
+  EXPECT_EQ(defaulted.staleness_thresholds, serial.staleness_thresholds);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -95,5 +95,62 @@ TEST(KahanSumTest, EmptySumIsZero) {
   EXPECT_EQ(sum.value(), 0.0);
 }
 
+TEST(CeilProbabilityRankTest, SmallExactAndDecimalCases) {
+  EXPECT_EQ(CeilProbabilityRank(0.5, 4), 2);
+  EXPECT_EQ(CeilProbabilityRank(0.25, 8), 2);
+  EXPECT_EQ(CeilProbabilityRank(1.0, 7), 7);
+  // Decimal probabilities round-trip even though 0.2 > 1/5 as a double:
+  // the first sample's coverage fl(1/5) equals the double 0.2, so rank 1.
+  EXPECT_EQ(CeilProbabilityRank(0.2, 5), 1);
+  EXPECT_EQ(CeilProbabilityRank(0.25, 4), 1);
+  EXPECT_EQ(CeilProbabilityRank(0.3, 10), 3);
+  // The ceil(p * n) failure mode: 0.07 * 100 = 7.000000000000001, whose
+  // ceil claims rank 8; the curve's coverage fl(7/100) already equals 0.07.
+  EXPECT_EQ(CeilProbabilityRank(0.07, 100), 7);
+  EXPECT_EQ(CeilProbabilityRank(0.999, 1000), 999);
+  EXPECT_EQ(CeilProbabilityRank(0.9995, 1000), 1000);
+}
+
+TEST(CeilProbabilityRankTest, BoundaryRanks) {
+  for (int64_t n : {1LL, 2LL, 3LL, 7LL, 1000LL, 1000000LL, 1LL << 40}) {
+    // p = 1/n: the first sample's coverage is by definition fl(1/n) = p.
+    EXPECT_EQ(CeilProbabilityRank(1.0 / static_cast<double>(n), n), 1) << n;
+    // p = 1.0 demands every sample.
+    EXPECT_EQ(CeilProbabilityRank(1.0, n), n) << n;
+  }
+}
+
+TEST(CeilProbabilityRankTest, TinyProbabilityAlwaysRankOne) {
+  EXPECT_EQ(CeilProbabilityRank(1e-300, 1000000), 1);
+  EXPECT_EQ(CeilProbabilityRank(std::numeric_limits<double>::min(), 5), 1);
+  EXPECT_EQ(CeilProbabilityRank(1e-18, 1000), 1);
+}
+
+TEST(CeilProbabilityRankTest, LargeNBoundaries) {
+  const int64_t n = 1000000;
+  EXPECT_EQ(CeilProbabilityRank(0.999, n), 999000);
+  EXPECT_EQ(CeilProbabilityRank(0.5, n), 500000);
+  // Just above 0.5 must round up to 500001.
+  EXPECT_EQ(CeilProbabilityRank(std::nextafter(0.5, 1.0), n), 500001);
+  // Just below 1.0 stays at n (no rank below n reaches coverage 1 - ulp).
+  EXPECT_EQ(CeilProbabilityRank(std::nextafter(1.0, 0.0), n), n);
+}
+
+TEST(CeilProbabilityRankTest, IsTheExactEcdfInverse) {
+  // Defining property, checked exhaustively for moderate n: the returned
+  // rank's coverage reaches p and the previous rank's does not.
+  for (int64_t n : {1LL, 2LL, 3LL, 5LL, 97LL, 1000LL}) {
+    for (int64_t k = 1; k <= n; ++k) {
+      const double p = static_cast<double>(k) / static_cast<double>(n);
+      const int64_t rank = CeilProbabilityRank(p, n);
+      EXPECT_EQ(rank, k) << k << "/" << n;  // decimal/rational round-trip
+      EXPECT_GE(static_cast<double>(rank) / static_cast<double>(n), p);
+      if (rank > 1) {
+        EXPECT_LT(static_cast<double>(rank - 1) / static_cast<double>(n), p);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pbs

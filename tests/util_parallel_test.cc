@@ -1,0 +1,157 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pbs {
+namespace {
+
+TEST(PbsExecutionOptionsTest, ResolvedThreadsHonorsExplicitCounts) {
+  PbsExecutionOptions exec;
+  exec.threads = 1;
+  EXPECT_EQ(exec.ResolvedThreads(), 1);
+  exec.threads = 7;
+  EXPECT_EQ(exec.ResolvedThreads(), 7);
+}
+
+TEST(PbsExecutionOptionsTest, ZeroResolvesToHardwareConcurrency) {
+  PbsExecutionOptions exec;  // threads = 0
+  EXPECT_GE(exec.ResolvedThreads(), 1);
+}
+
+TEST(NumChunksTest, ChunkGeometry) {
+  PbsExecutionOptions exec;
+  exec.chunk_size = 100;
+  EXPECT_EQ(NumChunks(0, exec), 0);
+  EXPECT_EQ(NumChunks(1, exec), 1);
+  EXPECT_EQ(NumChunks(100, exec), 1);
+  EXPECT_EQ(NumChunks(101, exec), 2);
+  EXPECT_EQ(NumChunks(1000, exec), 10);
+}
+
+TEST(MakeJumpStreamsTest, FirstStreamIsTheBase) {
+  Rng base(55);
+  Rng copy = base;
+  auto streams = MakeJumpStreams(base, 3);
+  ASSERT_EQ(streams.size(), 3u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(streams[0].Next(), copy.Next());
+}
+
+TEST(MakeJumpStreamsTest, StreamsAreDistinctAndDeterministic) {
+  auto a = MakeJumpStreams(Rng(55), 16);
+  auto b = MakeJumpStreams(Rng(55), 16);
+  std::set<uint64_t> first_draws;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const uint64_t draw = a[i].Next();
+    EXPECT_EQ(draw, b[i].Next());
+    first_draws.insert(draw);
+  }
+  EXPECT_EQ(first_draws.size(), a.size());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    PbsExecutionOptions exec;
+    exec.threads = threads;
+    exec.chunk_size = 97;  // deliberately not a divisor of num_items
+    const int64_t num_items = 10000;
+    std::vector<std::atomic<int>> touched(num_items);
+    for (auto& t : touched) t.store(0);
+    ParallelFor(num_items, exec,
+                [&](int64_t /*chunk*/, int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i)
+                    touched[i].fetch_add(1);
+                });
+    for (int64_t i = 0; i < num_items; ++i) {
+      ASSERT_EQ(touched[i].load(), 1) << "index " << i << " with "
+                                      << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkTriplesAreThreadCountInvariant) {
+  auto collect = [](int threads) {
+    PbsExecutionOptions exec;
+    exec.threads = threads;
+    exec.chunk_size = 64;
+    std::mutex mu;
+    std::vector<std::vector<int64_t>> triples;
+    ParallelFor(1000, exec, [&](int64_t chunk, int64_t begin, int64_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      triples.push_back({chunk, begin, end});
+    });
+    std::sort(triples.begin(), triples.end());
+    return triples;
+  };
+  const auto serial = collect(1);
+  ASSERT_EQ(serial.size(), 16u);  // ceil(1000 / 64)
+  EXPECT_EQ(collect(4), serial);
+  EXPECT_EQ(collect(8), serial);
+  // Chunk c covers [c * chunk_size, min((c+1) * chunk_size, n)).
+  for (size_t c = 0; c < serial.size(); ++c) {
+    EXPECT_EQ(serial[c][0], static_cast<int64_t>(c));
+    EXPECT_EQ(serial[c][1], static_cast<int64_t>(c) * 64);
+    EXPECT_EQ(serial[c][2], std::min<int64_t>((c + 1) * 64, 1000));
+  }
+}
+
+TEST(ParallelForTest, ZeroItemsNeverInvokesBody) {
+  PbsExecutionOptions exec;
+  std::atomic<int> calls{0};
+  ParallelFor(0, exec, [&](int64_t, int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, NestedCallsFlattenInsteadOfDeadlocking) {
+  PbsExecutionOptions exec;
+  exec.threads = 4;
+  exec.chunk_size = 1;
+  std::atomic<int> inner_calls{0};
+  ParallelFor(8, exec, [&](int64_t, int64_t, int64_t) {
+    // A nested region must run serially inline rather than re-entering the
+    // shared pool (which would deadlock once all workers are occupied).
+    ParallelFor(4, exec, [&](int64_t, int64_t, int64_t) {
+      inner_calls.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_calls.load(), 8 * 4);
+}
+
+TEST(ThreadPoolTest, RunsEveryWorkerIdAndIsReusable) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  for (int round = 0; round < 50; ++round) {
+    std::mutex mu;
+    std::set<int> ids;
+    pool.Run(4, [&](int id) {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(id);
+    });
+    EXPECT_EQ(ids, (std::set<int>{0, 1, 2, 3}));
+  }
+}
+
+TEST(ThreadPoolTest, ZeroSizePoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  std::set<int> ids;
+  pool.Run(3, [&](int id) { ids.insert(id); });  // all inline on this thread
+  EXPECT_EQ(ids, (std::set<int>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, FanoutLargerThanPoolStillCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.Run(16, [&](int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -33,9 +33,12 @@ TEST(RunningStatsTest, MatchesDirectComputation) {
 TEST(RunningStatsTest, EmptyIsSafe) {
   RunningStats stats;
   EXPECT_EQ(stats.count(), 0u);
-  EXPECT_EQ(stats.mean(), 0.0);
+  // An empty accumulator has no mean; NaN (matching min/max) rather than a
+  // fabricated 0.0 that silently poisons downstream averages.
+  EXPECT_TRUE(std::isnan(stats.mean()));
   EXPECT_EQ(stats.variance(), 0.0);
   EXPECT_TRUE(std::isnan(stats.min()));
+  EXPECT_TRUE(std::isnan(stats.max()));
 }
 
 TEST(QuantileSortedTest, EndpointsAndMidpoint) {
@@ -56,6 +59,21 @@ TEST(QuantileSortedTest, SingleElement) {
   EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 1.0), 7.0);
 }
 
+TEST(QuantileSortedTest, EmptyInputIsNaNNotUndefinedBehavior) {
+  // Quantiles of nothing used to index sorted[0] on an empty vector (UB in
+  // release builds). Now: NaN, for every q including the endpoints.
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(QuantileSorted(empty, 0.0)));
+  EXPECT_TRUE(std::isnan(QuantileSorted(empty, 0.5)));
+  EXPECT_TRUE(std::isnan(QuantileSorted(empty, 1.0)));
+}
+
+TEST(QuantilesTest, EmptyInputYieldsNaNs) {
+  const auto qs = Quantiles({}, {0.0, 0.5, 1.0});
+  ASSERT_EQ(qs.size(), 3u);
+  for (double q : qs) EXPECT_TRUE(std::isnan(q));
+}
+
 TEST(QuantilesTest, SortsInput) {
   const auto qs = Quantiles({5.0, 1.0, 3.0, 2.0, 4.0}, {0.0, 0.5, 1.0});
   ASSERT_EQ(qs.size(), 3u);
@@ -72,6 +90,12 @@ TEST(EcdfSortedTest, StepFunction) {
   EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 2.5), 0.75);
   EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 3.0), 1.0);
   EXPECT_DOUBLE_EQ(EcdfSorted(sorted, 99.0), 1.0);
+}
+
+TEST(EcdfSortedTest, EmptyInputIsNaN) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(EcdfSorted(empty, 0.0)));
+  EXPECT_TRUE(std::isnan(EcdfSorted(empty, 123.0)));
 }
 
 TEST(RmseTest, KnownValues) {
