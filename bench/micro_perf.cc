@@ -1,16 +1,34 @@
-// P1 — Microbenchmarks (google-benchmark): throughput of the components
-// everything else is built on. One WARS trial is a few hundred nanoseconds,
-// which is what makes the 10^6-trial sweeps in the other harnesses cheap.
+// P1 — Microbenchmarks: throughput of the components everything else is
+// built on. One WARS trial is a few hundred nanoseconds, which is what makes
+// the 10^6-trial sweeps in the other harnesses cheap.
+//
+// Self-contained harness (no external benchmark library): each benchmark
+// runs a fixed work budget against a steady-clock timer and reports
+// items/sec. Results go to stdout as a table and to
+// bench_results/BENCH_micro_perf.{json,csv} for machine consumption (the CI
+// quick job uploads the JSON; the perf-regression workflow diffs it).
+//
+// Usage: micro_perf [--trials=small|full] [--out-dir=DIR]
+//   small — CI quick mode, ~100x lighter budgets (smoke + artifact only;
+//           numbers are noisy, do not compare).
+//   full  — default; budgets sized so every benchmark runs >= ~0.2 s.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
 
-#include "core/closed_form.h"
-#include "core/quorum_sampler.h"
-#include "core/tvisibility.h"
 #include "core/wars.h"
 #include "dist/mixture.h"
 #include "dist/primitives.h"
 #include "dist/production.h"
+#include "dist/sampler.h"
 #include "kvs/experiment.h"
 #include "sim/simulator.h"
 #include "util/parallel.h"
@@ -19,146 +37,251 @@
 namespace pbs {
 namespace {
 
-void BM_RngNext(benchmark::State& state) {
-  Rng rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
-}
-BENCHMARK(BM_RngNext);
+struct BenchResult {
+  std::string name;
+  std::string unit;        // what one "item" is: sample, trial, event, op
+  int64_t items = 0;
+  double seconds = 0.0;
 
-void BM_ExponentialSample(benchmark::State& state) {
-  Rng rng(1);
-  const auto dist = Exponential(0.183);
-  for (auto _ : state) benchmark::DoNotOptimize(dist->Sample(rng));
-}
-BENCHMARK(BM_ExponentialSample);
-
-void BM_MixtureSample(benchmark::State& state) {
-  Rng rng(1);
-  const auto dist = ParetoExponentialMixture(0.9122, 0.235, 10.0, 1.66);
-  for (auto _ : state) benchmark::DoNotOptimize(dist->Sample(rng));
-}
-BENCHMARK(BM_MixtureSample);
-
-void BM_MixtureQuantile(benchmark::State& state) {
-  const auto dist = ParetoExponentialMixture(0.9122, 0.235, 10.0, 1.66);
-  double p = 0.0;
-  for (auto _ : state) {
-    p += 1e-4;
-    if (p >= 0.999) p = 1e-4;
-    benchmark::DoNotOptimize(dist->Quantile(p));
+  double ItemsPerSecond() const {
+    return static_cast<double>(items) / seconds;
   }
-}
-BENCHMARK(BM_MixtureQuantile);
-
-void BM_ClosedFormPsk(benchmark::State& state) {
-  const QuorumConfig config{static_cast<int>(state.range(0)), 3, 3};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(KStalenessProbability(config, 5));
+  double NsPerItem() const {
+    return seconds * 1e9 / static_cast<double>(items);
   }
-}
-BENCHMARK(BM_ClosedFormPsk)->Arg(10)->Arg(100)->Arg(1000);
+};
 
-void BM_WarsTrial(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  WarsSimulator sim({n, 1, 1}, MakeIidModel(LnkdDisk(), n), /*seed=*/1);
-  for (auto _ : state) benchmark::DoNotOptimize(sim.RunTrial());
-  state.SetItemsProcessed(state.iterations());
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
-BENCHMARK(BM_WarsTrial)->Arg(3)->Arg(5)->Arg(10);
 
-void BM_RngJump(benchmark::State& state) {
-  Rng rng(1);
-  for (auto _ : state) {
-    rng.Jump();
-    benchmark::DoNotOptimize(rng.state());
-  }
+/// Runs `body(items)` once after a small warmup, timing the main run.
+BenchResult RunBench(const std::string& name, const std::string& unit,
+                     int64_t items,
+                     const std::function<void(int64_t)>& body) {
+  body(items / 16 + 1);  // warmup: touch code + data once
+  const double start = Now();
+  body(items);
+  const double seconds = Now() - start;
+  BenchResult result{name, unit, items, seconds};
+  std::printf("%-34s %12.3e %s/s  (%8.2f ns/%s, %.3f s)\n", name.c_str(),
+              result.ItemsPerSecond(), unit.c_str(), result.NsPerItem(),
+              unit.c_str(), seconds);
+  std::fflush(stdout);
+  return result;
 }
-BENCHMARK(BM_RngJump);
 
-// The threads-vs-throughput sweep for the parallel Monte Carlo engine:
-// 10^6 WARS trials per iteration, at 1/2/4/8 requested threads. The output
-// columns are bitwise identical across the sweep (chunk -> jump-stream
-// assignment is thread-count independent); only wall clock should move.
-// items_per_second is the headline: trials/sec at each thread count.
-void BM_RunWarsTrials1M(benchmark::State& state) {
-  const auto model = MakeIidModel(LnkdDisk(), 3);
+// Optimization sink: accumulate into a volatile so sampling loops cannot be
+// dead-code-eliminated.
+volatile double g_sink = 0.0;
+
+void BenchDistribution(std::vector<BenchResult>* results,
+                       const std::string& label, const DistributionPtr& dist,
+                       int64_t samples) {
+  results->push_back(
+      RunBench("dist_" + label + "_virtual", "sample", samples,
+               [&](int64_t n) {
+                 Rng rng(1);
+                 double acc = 0.0;
+                 for (int64_t i = 0; i < n; ++i) acc += dist->Sample(rng);
+                 g_sink = acc;
+               }));
+  results->push_back(RunBench(
+      "dist_" + label + "_batch", "sample", samples, [&](int64_t n) {
+        Rng rng(1);
+        std::vector<double> buf(4096);
+        double acc = 0.0;
+        for (int64_t i = 0; i < n; i += static_cast<int64_t>(buf.size())) {
+          const auto chunk = std::min<int64_t>(
+              static_cast<int64_t>(buf.size()), n - i);
+          dist->SampleBatch(rng,
+                            std::span<double>(buf.data(),
+                                              static_cast<size_t>(chunk)));
+          acc += buf[0];
+        }
+        g_sink = acc;
+      }));
+  const CompiledSampler compiled(dist);
+  results->push_back(RunBench(
+      "dist_" + label + "_compiled", "sample", samples, [&](int64_t n) {
+        Rng rng(1);
+        std::vector<double> buf(4096);
+        double acc = 0.0;
+        for (int64_t i = 0; i < n; i += static_cast<int64_t>(buf.size())) {
+          const auto chunk = std::min<int64_t>(
+              static_cast<int64_t>(buf.size()), n - i);
+          compiled.SampleBatch(rng, buf.data(), static_cast<int>(chunk));
+          acc += buf[0];
+        }
+        g_sink = acc;
+      }));
+}
+
+BenchResult BenchWars(const std::string& name, const QuorumConfig& config,
+                      const WarsDistributions& legs, int threads,
+                      int64_t trials, bool want_propagation = false) {
+  const auto model = MakeIidModel(legs, config.n);
   PbsExecutionOptions exec;
-  exec.threads = static_cast<int>(state.range(0));
-  constexpr int kTrials = 1000000;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        RunWarsTrials({3, 1, 1}, model, kTrials, /*seed=*/1,
-                      /*want_propagation=*/false, ReadFanout::kAllN, exec));
-  }
-  state.SetItemsProcessed(state.iterations() * kTrials);
-  state.counters["threads"] =
-      static_cast<double>(exec.ResolvedThreads());
+  exec.threads = threads;
+  return RunBench(name, "trial", trials, [&](int64_t n) {
+    const WarsTrialSet set =
+        RunWarsTrials(config, model, static_cast<int>(n), /*seed=*/1,
+                      want_propagation, ReadFanout::kAllN, exec);
+    g_sink = set.staleness_thresholds.back();
+  });
 }
-BENCHMARK(BM_RunWarsTrials1M)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
 
-void BM_WarsTrialWithPropagation(benchmark::State& state) {
-  WarsSimulator sim({3, 1, 1}, MakeIidModel(LnkdDisk(), 3), /*seed=*/1);
-  for (auto _ : state) benchmark::DoNotOptimize(sim.RunTrial(true));
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_WarsTrialWithPropagation);
-
-void BM_TVisibilityCurve100k(benchmark::State& state) {
-  const auto model = MakeIidModel(LnkdDisk(), 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        EstimateTVisibility({3, 1, 1}, model, 100000, /*seed=*/1));
-  }
-}
-BENCHMARK(BM_TVisibilityCurve100k)->Unit(benchmark::kMillisecond);
-
-void BM_QuorumSamplerTrial(benchmark::State& state) {
-  QuorumSampler sampler({5, 2, 2}, /*seed=*/1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.EstimateMissProbability(1));
-  }
-}
-BENCHMARK(BM_QuorumSamplerTrial);
-
-void BM_SimulatorEventChurn(benchmark::State& state) {
-  // Schedule/fire cost of the discrete-event core.
-  for (auto _ : state) {
+BenchResult BenchEventChurn(int64_t events) {
+  // Schedule/fire cost of the discrete-event core: a self-rescheduling tick
+  // plus a fan of same-time events exercising the FIFO tie path.
+  return RunBench("sim_event_churn", "event", events, [&](int64_t n) {
     Simulator sim;
-    int remaining = 10000;
+    int64_t remaining = n;
     std::function<void()> tick = [&]() {
       if (--remaining > 0) sim.Schedule(1.0, tick);
     };
     sim.Schedule(1.0, tick);
     sim.Run();
-    benchmark::DoNotOptimize(sim.events_processed());
-  }
-  state.SetItemsProcessed(state.iterations() * 10000);
+    g_sink = static_cast<double>(sim.events_processed());
+  });
 }
-BENCHMARK(BM_SimulatorEventChurn)->Unit(benchmark::kMillisecond);
 
-void BM_ClusterWriteReadCycle(benchmark::State& state) {
-  // End-to-end cost per operation pair in the event-driven KVS.
-  for (auto _ : state) {
+BenchResult BenchKvs(int64_t ops) {
+  // End-to-end cost per operation in the event-driven KVS (one op = one
+  // write or one read; each write issues one read at +1 ms).
+  return RunBench("kvs_cluster_ops", "op", ops, [&](int64_t n) {
     kvs::StalenessExperimentOptions options;
     options.cluster.quorum = {3, 1, 1};
     options.cluster.legs = LnkdSsd();
     options.cluster.request_timeout_ms = 100.0;
-    options.writes = 500;
+    options.writes = static_cast<int>(n / 2);
     options.write_spacing_ms = 10.0;
     options.read_offsets_ms = {1.0};
-    benchmark::DoNotOptimize(kvs::RunStalenessExperiment(options));
-  }
-  state.SetItemsProcessed(state.iterations() * 1000);  // 500 writes + reads
+    const auto result = kvs::RunStalenessExperiment(options);
+    g_sink = result.read_latencies.empty() ? 0.0
+                                           : result.read_latencies[0];
+  });
 }
-BENCHMARK(BM_ClusterWriteReadCycle)->Unit(benchmark::kMillisecond);
+
+void WriteJson(const std::filesystem::path& path, const std::string& mode,
+               const std::vector<BenchResult>& results) {
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"micro_perf\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n  \"results\": [\n", mode.c_str());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"unit\": \"%s\", \"items\": %lld, "
+                 "\"seconds\": %.6f, \"items_per_second\": %.6e, "
+                 "\"ns_per_item\": %.3f}%s\n",
+                 r.name.c_str(), r.unit.c_str(),
+                 static_cast<long long>(r.items), r.seconds,
+                 r.ItemsPerSecond(), r.NsPerItem(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void WriteCsv(const std::filesystem::path& path,
+              const std::vector<BenchResult>& results) {
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return;
+  }
+  std::fprintf(f, "name,unit,items,seconds,items_per_second,ns_per_item\n");
+  for (const BenchResult& r : results) {
+    std::fprintf(f, "%s,%s,%lld,%.6f,%.6e,%.3f\n", r.name.c_str(),
+                 r.unit.c_str(), static_cast<long long>(r.items), r.seconds,
+                 r.ItemsPerSecond(), r.NsPerItem());
+  }
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  bool small = false;
+  std::string out_dir = "bench_results";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trials=small") {
+      small = true;
+    } else if (arg == "--trials=full") {
+      small = false;
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out-dir="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_perf [--trials=small|full] [--out-dir=DIR]\n");
+      return 2;
+    }
+  }
+  // Budgets: full-mode counts keep each benchmark >= ~0.2 s on a ~3 GHz
+  // core; small mode divides by ~100 for CI smoke runs.
+  const int64_t kSamples = small ? 1 << 16 : 1 << 23;
+  const int64_t kTrials = small ? 10000 : 1000000;
+  const int64_t kEvents = small ? 20000 : 2000000;
+  const int64_t kOps = small ? 200 : 20000;
+
+  std::printf("micro_perf (%s mode)\n", small ? "small" : "full");
+  std::vector<BenchResult> results;
+
+  // RNG floor: one xoshiro256++ step.
+  results.push_back(RunBench("rng_next", "sample", kSamples * 4,
+                             [&](int64_t n) {
+                               Rng rng(1);
+                               uint64_t acc = 0;
+                               for (int64_t i = 0; i < n; ++i)
+                                 acc += rng.Next();
+                               g_sink = static_cast<double>(acc);
+                             }));
+
+  // Primitive + mixture sampling: virtual Sample() loop vs batched virtual
+  // SampleBatch() vs devirtualized CompiledSampler.
+  BenchDistribution(&results, "exponential", Exponential(0.183), kSamples);
+  BenchDistribution(&results, "pareto", Pareto(0.235, 1.66), kSamples);
+  BenchDistribution(&results, "lognormal", LogNormal(1.0, 0.3), kSamples);
+  // The paper's Table 3 LNKD-SSD shape (Pareto body + exponential tail) —
+  // the distribution on the WARS hot path.
+  BenchDistribution(&results, "lnkd_ssd_mixture",
+                    ParetoExponentialMixture(0.9122, 0.235, 10.0, 1.66),
+                    kSamples);
+
+  // WARS Monte Carlo throughput. wars_trials_n5 (LNKD-SSD, {5,2,2}, one
+  // thread) is the headline number tracked in README.md.
+  results.push_back(
+      BenchWars("wars_trials_n3", {3, 1, 1}, LnkdSsd(), 1, kTrials));
+  results.push_back(
+      BenchWars("wars_trials_n5", {5, 2, 2}, LnkdSsd(), 1, kTrials));
+  results.push_back(
+      BenchWars("wars_trials_n10", {10, 3, 3}, LnkdSsd(), 1, kTrials));
+  results.push_back(
+      BenchWars("wars_trials_n5_disk", {5, 2, 2}, LnkdDisk(), 1, kTrials));
+  results.push_back(BenchWars("wars_trials_n5_prop", {5, 2, 2}, LnkdSsd(), 1,
+                              kTrials, /*want_propagation=*/true));
+  results.push_back(
+      BenchWars("wars_trials_n5_threads8", {5, 2, 2}, LnkdSsd(), 8, kTrials));
+
+  // Discrete-event simulator and end-to-end KVS.
+  results.push_back(BenchEventChurn(kEvents));
+  results.push_back(BenchKvs(kOps));
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::filesystem::path dir(out_dir);
+  WriteJson(dir / "BENCH_micro_perf.json", small ? "small" : "full", results);
+  WriteCsv(dir / "BENCH_micro_perf.csv", results);
+  std::printf("wrote %s/BENCH_micro_perf.{json,csv}\n", out_dir.c_str());
+  return 0;
+}
 
 }  // namespace
 }  // namespace pbs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return pbs::Main(argc, argv); }

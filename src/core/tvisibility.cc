@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/math.h"
+#include "util/small_sort.h"
 #include "util/stats.h"
 
 namespace pbs {
@@ -115,14 +116,22 @@ KTStalenessResult EstimateKTStaleness(const QuorumConfig& config,
     Rng rng = streams[chunk];
     std::vector<int64_t>& histogram = chunk_histograms[chunk];
 
-    std::vector<ReplicaLegSample> legs;
+    // SoA leg block [w | a | r | s] plus derived columns; all hoisted out of
+    // the trial loop so steady-state trials are allocation-free.
+    std::vector<double> legs(static_cast<size_t>(4 * n));
     std::vector<double> write_arrival(n);
     std::vector<double> read_round_trip(n);
+    std::vector<double> responder(n);  // replica index payload, co-sorted
     std::vector<int> read_order(n);
     // Per replica, the initiation + propagation arrival of each version.
     std::vector<std::vector<double>> version_arrival(history,
                                                      std::vector<double>(n));
     std::vector<double> commit_time(history);
+
+    const double* w = legs.data();
+    const double* a = w + n;
+    const double* r = w + 2 * n;
+    const double* s = w + 3 * n;
 
     for (int64_t trial = begin; trial < end; ++trial) {
       // Write stream: version v (1-indexed as v+1 below) initiated at
@@ -130,35 +139,39 @@ KTStalenessResult EstimateKTStaleness(const QuorumConfig& config,
       double start = 0.0;
       for (int v = 0; v < history; ++v) {
         if (v > 0) start += inter_arrival->Sample(rng);
-        model->SampleTrial(rng, &legs);
-        for (int i = 0; i < n; ++i) {
-          version_arrival[v][i] = start + legs[i].w;
-          write_arrival[i] = legs[i].w + legs[i].a;
-        }
-        std::nth_element(write_arrival.begin(),
-                         write_arrival.begin() + (config.w - 1),
-                         write_arrival.end());
-        commit_time[v] = start + write_arrival[config.w - 1];
+        model->SampleTrialSoA(rng, legs.data());
+        double* arrivals = version_arrival[v].data();
+        for (int i = 0; i < n; ++i) arrivals[i] = start + w[i];
+        for (int i = 0; i < n; ++i) write_arrival[i] = w[i] + a[i];
+        commit_time[v] =
+            start + SmallKthSmallest(write_arrival.data(), n, config.w);
       }
 
       // The read uses its own fresh R/S legs (sampling with the newest
       // write's trial legs would correlate them; draw a dedicated sample
       // instead).
-      model->SampleTrial(rng, &legs);
+      model->SampleTrialSoA(rng, legs.data());
       const double read_issue = commit_time[history - 1] + t;
-      for (int j = 0; j < n; ++j) read_round_trip[j] = legs[j].r + legs[j].s;
-      std::iota(read_order.begin(), read_order.end(), 0);
-      std::partial_sort(read_order.begin(), read_order.begin() + config.r,
-                        read_order.end(), [&](int a, int b) {
-                          return read_round_trip[a] < read_round_trip[b];
-                        });
+      for (int j = 0; j < n; ++j) read_round_trip[j] = r[j] + s[j];
+      const bool small = n <= 8;
+      if (small) {
+        for (int j = 0; j < n; ++j) responder[j] = static_cast<double>(j);
+        SmallSortPairs(read_round_trip.data(), responder.data(), n);
+      } else {
+        std::iota(read_order.begin(), read_order.end(), 0);
+        std::partial_sort(read_order.begin(), read_order.begin() + config.r,
+                          read_order.end(), [&](int x, int y) {
+                            return read_round_trip[x] < read_round_trip[y];
+                          });
+      }
 
       // Each responder returns the newest version that reached it before the
       // read request arrived; the coordinator keeps the global newest.
       int newest = 0;  // 0 = no version seen
       for (int k = 0; k < config.r; ++k) {
-        const int j = read_order[k];
-        const double arrival = read_issue + legs[j].r;
+        const int j =
+            small ? static_cast<int>(responder[k]) : read_order[k];
+        const double arrival = read_issue + r[j];
         for (int v = history - 1; v >= newest; --v) {
           if (version_arrival[v][j] <= arrival) {
             newest = std::max(newest, v + 1);

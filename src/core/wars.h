@@ -29,15 +29,45 @@ struct ReplicaLegSample {
 /// Produces per-replica WARS delay samples for one trial. The common case is
 /// IID legs (each replica's delays drawn from shared W/A/R/S distributions);
 /// the WAN model makes one replica local and delays every leg of the others.
+///
+/// RNG-consumption contract (v2, see DESIGN.md): models sample leg-major —
+/// all N w legs, then all a, r, s legs — through compiled sampler plans
+/// (dist/sampler.h) that consume exactly one uniform draw per leg value.
+/// Models that pick coordinator replicas draw those *before* the legs, and
+/// the local-coordinator model samples all N replicas' legs then overwrites
+/// the local ones (fixed draw count per trial, so parallel sub-streams stay
+/// deterministic). This replaces the v1 per-replica (w,a,r,s) interleaved
+/// order; results remain bitwise identical at any thread count for a given
+/// seed, but differ from v1 outputs for the same seed.
 class ReplicaLatencyModel {
  public:
   virtual ~ReplicaLatencyModel() = default;
 
   virtual int num_replicas() const = 0;
 
-  /// Fills `out` (resized to num_replicas()) with fresh delay samples.
-  virtual void SampleTrial(Rng& rng,
-                           std::vector<ReplicaLegSample>* out) const = 0;
+  /// Hot path: fills legs[0 .. 4*num_replicas()) with one trial's delays in
+  /// leg-major (structure-of-arrays) order:
+  ///   legs[i] = w_i, legs[n+i] = a_i, legs[2n+i] = r_i, legs[3n+i] = s_i.
+  virtual void SampleTrialSoA(Rng& rng, double* legs) const = 0;
+
+  /// Block variant used by the parallel engine: fills
+  /// legs[0 .. 4*n*trials) with `trials` independent trials in column-major
+  /// layout — leg L of replica i in trial t at legs[(L*n + i)*trials + t],
+  /// i.e. each (leg, replica) pair owns a contiguous column of `trials`
+  /// values. Per-sample batches of 4n values are too small to amortize the
+  /// batched kernels; sampling ~trials*4n values per call restores
+  /// large-batch throughput, and the column layout lets the trial evaluator
+  /// vectorize its sorting networks ACROSS trials. The base implementation
+  /// loops SampleTrialSoA (per-trial draw order), scattering into columns;
+  /// the IID model overrides it with one fused block draw (a different, but
+  /// equally deterministic, draw order; both are fixed functions of the
+  /// stream and block size).
+  virtual void SampleTrialsSoA(Rng& rng, int trials, double* legs) const;
+
+  /// Convenience wrapper: same trial as SampleTrialSoA, transposed into
+  /// per-replica structs. Resizes `out` to num_replicas(). Not for hot
+  /// loops (allocates scratch on first use per call).
+  void SampleTrial(Rng& rng, std::vector<ReplicaLegSample>* out) const;
 
   virtual std::string Describe() const = 0;
 };
@@ -125,18 +155,51 @@ class WarsSimulator {
   /// WarsTrial::propagation_times (slightly more work per trial).
   WarsTrial RunTrial(bool want_propagation = false);
 
+  /// Allocation-free variant for hot loops: overwrites `*trial`, reusing its
+  /// propagation_times capacity. After the constructor warms the per-
+  /// simulator buffers, steady-state trials perform no heap allocation.
+  void RunTrialInto(WarsTrial* trial, bool want_propagation = false);
+
+  /// Engine hot path: runs `count` trials with legs sampled in fixed-size
+  /// blocks through ReplicaLatencyModel::SampleTrialsSoA, writing the
+  /// per-trial scalars into the given column slices (each of length
+  /// `count`). When `prop_cols` is non-null it must point at n column
+  /// slices; propagation_times[c] of trial t goes to prop_cols[c][t].
+  /// Consumes the same RNG stream as repeated RunTrialInto but in block
+  /// draw order (see SampleTrialsSoA).
+  void RunTrialBlock(int count, double* write_latency, double* read_latency,
+                     double* staleness, double* const* prop_cols);
+
   const QuorumConfig& config() const { return config_; }
   const ReplicaLatencyModel& model() const { return *model_; }
 
  private:
+  /// Trials per SampleTrialsSoA block: sized so a block is ~4096 leg values
+  /// (large enough for full batched-kernel throughput, small enough to stay
+  /// in L1/L2). Must depend on nothing but n — the engine's draw order, and
+  /// hence its output, is a fixed function of (seed, chunk layout, n).
+  static int TrialBlock(int n);
+
+  /// Evaluates one trial's order statistics from leg-major SoA pointers
+  /// (w/a/r/s each of length n). Shared by the per-trial and block paths.
+  void ComputeTrialFromLegs(const double* w, const double* a, const double* r,
+                            const double* s, WarsTrial* trial,
+                            bool want_propagation);
+
   QuorumConfig config_;
   ReplicaLatencyModelPtr model_;
   Rng rng_;
   ReadFanout read_fanout_;
-  std::vector<ReplicaLegSample> legs_;       // reused per trial
-  std::vector<double> write_arrival_;        // w[i] + a[i]
-  std::vector<double> read_round_trip_;      // r[j] + s[j]
-  std::vector<int> read_order_;              // replica indices by r+s
+  // Per-simulator scratch, sized once in the constructor. legs_ is the
+  // leg-major SoA block filled by SampleTrialSoA; the others are derived
+  // per-trial columns (order statistics run on these, never on legs_).
+  std::vector<double> legs_;            // 4n: [w | a | r | s]
+  std::vector<double> legs_block_;      // 4n * TrialBlock(n), lazily sized
+  std::vector<double> cols_;            // block-path scratch: wa|rs|gap|prop
+  std::vector<double> write_arrival_;   // w[i] + a[i]
+  std::vector<double> read_round_trip_; // r[j] + s[j]
+  std::vector<double> freshness_gap_;   // w[j] - r[j], co-sorted with r+s
+  std::vector<int> read_order_;         // replica indices (subset draws, n>8)
 };
 
 /// A batch of trials, stored as parallel columns for cheap quantile queries.

@@ -2,11 +2,16 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace pbs {
 
 double Distribution::Sample(Rng& rng) const {
   return Quantile(rng.NextDouble());
+}
+
+void Distribution::SampleBatch(Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = Sample(rng);
 }
 
 double QuantileByBisection(const Distribution& dist, double p, double lo_hint,
@@ -45,7 +50,8 @@ double InverseNormalCdf(double p) {
                              2.445134137142996e+00, 3.754408661907416e+00};
   const double p_low = 0.02425;
   const double p_high = 1.0 - p_low;
-  assert(p > 0.0 && p < 1.0);
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
 
   if (p < p_low) {
     const double q = std::sqrt(-2.0 * std::log(p));

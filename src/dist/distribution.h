@@ -2,6 +2,7 @@
 #define PBS_DIST_DISTRIBUTION_H_
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "util/rng.h"
@@ -24,6 +25,19 @@ class Distribution {
   /// transform to a uniform variate; subclasses may override with a direct
   /// sampler (e.g. mixtures pick a branch first).
   virtual double Sample(Rng& rng) const;
+
+  /// Fills `out` with independent samples distributed like Sample(rng).
+  /// Overrides exist so the per-sample virtual dispatch (and, for the
+  /// primitives, the libm calls) can be hoisted out of Monte Carlo hot loops.
+  /// Two contractual requirements on overrides:
+  ///   - consume exactly the same number of Rng draws per sample as Sample()
+  ///     so interleaved scalar/batch sequences stay deterministic;
+  ///   - match Sample()'s distribution to within the fast-math tolerance of
+  ///     util/fastmath.h (relative error ~4e-6, far below Monte Carlo noise;
+  ///     equivalence is pinned by KS tests in tests/dist_sampler_test.cc).
+  /// Individual values may therefore differ from Sample() in the last few
+  /// digits; batch results remain bit-reproducible run-to-run.
+  virtual void SampleBatch(Rng& rng, std::span<double> out) const;
 
   /// P(X <= x).
   virtual double Cdf(double x) const = 0;
@@ -50,7 +64,10 @@ double QuantileByBisection(const Distribution& dist, double p, double lo_hint,
 
 /// Inverse of the standard normal CDF (Acklam's rational approximation,
 /// |relative error| < 1.15e-9). Exposed for the normal/lognormal primitives
-/// and for confidence-interval computations.
+/// and for confidence-interval computations. Returns -infinity for p <= 0 and
+/// +infinity for p >= 1 so that quantile edge cases degrade gracefully
+/// instead of asserting (p == 1.0 can arise from rounding in truncated
+/// distributions even when the uniform draw is strictly below 1).
 double InverseNormalCdf(double p);
 
 }  // namespace pbs

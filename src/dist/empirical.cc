@@ -20,6 +20,14 @@ double EmpiricalDistribution::Sample(Rng& rng) const {
   return sorted_[rng.NextBounded(sorted_.size())];
 }
 
+void EmpiricalDistribution::SampleBatch(Rng& rng,
+                                        std::span<double> out) const {
+  // Resampling is a bounded-integer draw plus a gather; nothing to fuse, but
+  // the devirtualized loop drops a virtual call per sample.
+  const size_t n = sorted_.size();
+  for (double& x : out) x = sorted_[rng.NextBounded(n)];
+}
+
 double EmpiricalDistribution::Cdf(double x) const {
   return EcdfSorted(sorted_, x);
 }

@@ -18,6 +18,7 @@ class EmpiricalDistribution final : public Distribution {
   explicit EmpiricalDistribution(std::vector<double> samples);
 
   double Sample(Rng& rng) const override;
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override { return mean_; }

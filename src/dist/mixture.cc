@@ -19,16 +19,53 @@ MixtureDistribution::MixtureDistribution(std::vector<Component> components)
     total += c.weight;
   }
   for (auto& c : components_) c.weight /= total;
+
+  // Build the Walker/Vose alias table: O(k) setup for O(1) selection.
+  // Cells with scaled weight < 1 ("small") are topped up by donors with
+  // scaled weight > 1 ("large"); each cell ends up split between at most two
+  // components.
+  const size_t k = components_.size();
+  alias_prob_.assign(k, 1.0);
+  alias_.resize(k);
+  std::vector<double> scaled(k);
+  std::vector<uint32_t> small, large;
+  for (size_t i = 0; i < k; ++i) {
+    alias_[i] = static_cast<uint32_t>(i);
+    scaled[i] = components_[i].weight * static_cast<double>(k);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    const uint32_t l = large.back();
+    small.pop_back();
+    alias_prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (either list) are within rounding of exactly 1.
+  for (const uint32_t i : small) alias_prob_[i] = 1.0;
+  for (const uint32_t i : large) alias_prob_[i] = 1.0;
 }
 
 double MixtureDistribution::Sample(Rng& rng) const {
-  double u = rng.NextDouble();
-  for (const auto& c : components_) {
-    if (u < c.weight) return c.distribution->Sample(rng);
-    u -= c.weight;
+  const size_t k = PickComponent(rng.NextDouble());
+  return components_[k].distribution->Sample(rng);
+}
+
+void MixtureDistribution::SampleBatch(Rng& rng, std::span<double> out) const {
+  // Per-sample order must match Sample() (select draw, then component
+  // draws), so component draws cannot be regrouped into per-component
+  // batches here; the alias select still removes the linear scan, and the
+  // compiled sampler plans (dist/sampler.h) handle the closed-form mixtures
+  // with a genuinely batched kernel.
+  for (double& x : out) {
+    const size_t k = PickComponent(rng.NextDouble());
+    x = components_[k].distribution->Sample(rng);
   }
-  // Rounding fell off the end; use the last component.
-  return components_.back().distribution->Sample(rng);
 }
 
 double MixtureDistribution::Cdf(double x) const {

@@ -1,6 +1,7 @@
 #ifndef PBS_DIST_MIXTURE_H_
 #define PBS_DIST_MIXTURE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,15 @@ class MixtureDistribution final : public Distribution {
   explicit MixtureDistribution(std::vector<Component> components);
 
   /// Samples by first picking a component (probability = weight) and then
-  /// sampling it — the standard composition method.
+  /// sampling it — the standard composition method. Component selection is
+  /// O(1) via a Walker/Vose alias table built once in the constructor; the
+  /// selection consumes exactly one uniform draw, like the linear scan it
+  /// replaced, but maps that draw to components differently, so sampled
+  /// sequences differ from pre-alias-table versions for the same seed (the
+  /// distribution is identical).
   double Sample(Rng& rng) const override;
+
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
 
   double Cdf(double x) const override;
   /// Inverse CDF by bisection (mixture quantiles have no closed form).
@@ -34,8 +42,27 @@ class MixtureDistribution final : public Distribution {
 
   const std::vector<Component>& components() const { return components_; }
 
+  /// Maps one uniform draw in [0, 1) to a component index with probability
+  /// proportional to the component weights (alias method). Exposed so the
+  /// compiled sampler plans can reuse the exact same table.
+  size_t PickComponent(double u) const {
+    const size_t k = components_.size();
+    const double scaled = u * static_cast<double>(k);
+    size_t idx = static_cast<size_t>(scaled);
+    if (idx >= k) idx = k - 1;  // u < 1 always; guards rounding at the edge
+    const double frac = scaled - static_cast<double>(idx);
+    return frac < alias_prob_[idx] ? idx : alias_[idx];
+  }
+
+  const std::vector<double>& alias_prob() const { return alias_prob_; }
+  const std::vector<uint32_t>& alias() const { return alias_; }
+
  private:
   std::vector<Component> components_;
+  // Walker/Vose alias table over components_: cell i holds probability
+  // alias_prob_[i] of choosing i itself and otherwise redirects to alias_[i].
+  std::vector<double> alias_prob_;
+  std::vector<uint32_t> alias_;
 };
 
 /// Convenience factory.

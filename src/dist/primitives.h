@@ -13,6 +13,7 @@ class ExponentialDistribution final : public Distribution {
  public:
   explicit ExponentialDistribution(double lambda);
 
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override { return 1.0 / lambda_; }
@@ -30,6 +31,7 @@ class ParetoDistribution final : public Distribution {
  public:
   ParetoDistribution(double xm, double alpha);
 
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override;
@@ -48,10 +50,14 @@ class UniformDistribution final : public Distribution {
  public:
   UniformDistribution(double lo, double hi);
 
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override { return 0.5 * (lo_ + hi_); }
   std::string Describe() const override;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
 
  private:
   double lo_;
@@ -64,10 +70,14 @@ class TruncatedNormalDistribution final : public Distribution {
  public:
   TruncatedNormalDistribution(double mu, double sigma);
 
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override;
   std::string Describe() const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
 
  private:
   double mu_;
@@ -80,10 +90,14 @@ class LogNormalDistribution final : public Distribution {
  public:
   LogNormalDistribution(double mu, double sigma);
 
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override;
   std::string Describe() const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
 
  private:
   double mu_;
@@ -95,10 +109,14 @@ class WeibullDistribution final : public Distribution {
  public:
   WeibullDistribution(double shape, double scale);
 
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override;
   std::string Describe() const override;
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
 
  private:
   double shape_;
@@ -111,10 +129,13 @@ class PointMassDistribution final : public Distribution {
  public:
   explicit PointMassDistribution(double value);
 
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override { return value_; }
   std::string Describe() const override;
+
+  double value() const { return value_; }
 
  private:
   double value_;
@@ -127,10 +148,14 @@ class ShiftedDistribution final : public Distribution {
   ShiftedDistribution(DistributionPtr base, double offset);
 
   double Sample(Rng& rng) const override;
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override;
   std::string Describe() const override;
+
+  const DistributionPtr& base() const { return base_; }
+  double offset() const { return offset_; }
 
  private:
   DistributionPtr base_;
@@ -143,10 +168,14 @@ class ScaledDistribution final : public Distribution {
   ScaledDistribution(DistributionPtr base, double factor);
 
   double Sample(Rng& rng) const override;
+  void SampleBatch(Rng& rng, std::span<double> out) const override;
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   double Mean() const override;
   std::string Describe() const override;
+
+  const DistributionPtr& base() const { return base_; }
+  double factor() const { return factor_; }
 
  private:
   DistributionPtr base_;

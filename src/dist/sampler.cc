@@ -1,0 +1,377 @@
+#include "dist/sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dist/primitives.h"
+#include "util/fastmath.h"
+
+namespace pbs {
+namespace {
+
+constexpr int kBatchTile = 64;
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kExp2Limit = 1020.0;
+// Smallest admissible 1-u (and largest admissible u) after rescaling a
+// selection draw: keeps log arguments positive and quantiles finite.
+constexpr double kMinOpenComplement = 0x1.0p-53;
+constexpr double kMaxOpenUniform = 0x1.fffffffffffffp-1;  // 1 - 2^-53
+
+double StdNormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace
+
+CompiledSampler::CompiledSampler(DistributionPtr dist)
+    : source_(std::move(dist)) {
+  assert(source_ != nullptr);
+
+  // Fold affine wrappers: X = scale * inner + offset.
+  double scale = 1.0;
+  const Distribution* d = source_.get();
+  while (true) {
+    if (const auto* sh = dynamic_cast<const ShiftedDistribution*>(d)) {
+      offset_ += scale * sh->offset();
+      d = sh->base().get();
+    } else if (const auto* sc = dynamic_cast<const ScaledDistribution*>(d)) {
+      scale *= sc->factor();
+      d = sc->base().get();
+    } else {
+      break;
+    }
+  }
+
+  if (const auto* pm = dynamic_cast<const PointMassDistribution*>(d)) {
+    kind_ = Kind::kPointMass;
+    c0_ = scale * pm->value() + offset_;
+    return;
+  }
+  if (const auto* un = dynamic_cast<const UniformDistribution*>(d)) {
+    kind_ = Kind::kUniform;
+    c0_ = scale * un->lo() + offset_;
+    c1_ = scale * (un->hi() - un->lo());
+    return;
+  }
+  if (const auto* ex = dynamic_cast<const ExponentialDistribution*>(d)) {
+    kind_ = Kind::kExponential;
+    c0_ = -scale * kLn2 / ex->lambda();
+    return;
+  }
+  if (const auto* pa = dynamic_cast<const ParetoDistribution*>(d)) {
+    kind_ = Kind::kPareto;
+    c0_ = scale * pa->xm();
+    c1_ = -1.0 / pa->alpha();
+    return;
+  }
+  if (const auto* wb = dynamic_cast<const WeibullDistribution*>(d)) {
+    kind_ = Kind::kWeibull;
+    c0_ = scale * wb->scale();
+    c1_ = 1.0 / wb->shape();
+    return;
+  }
+  if (const auto* ln = dynamic_cast<const LogNormalDistribution*>(d)) {
+    kind_ = Kind::kLogNormal;
+    // scale * exp(mu + sigma z) = exp(mu + ln(scale) + sigma z).
+    c0_ = ln->mu() + std::log(scale);
+    c1_ = ln->sigma();
+    return;
+  }
+  if (const auto* tn = dynamic_cast<const TruncatedNormalDistribution*>(d)) {
+    kind_ = Kind::kTruncatedNormal;
+    c0_ = tn->mu();
+    c1_ = tn->sigma();
+    c2_ = scale;
+    c3_ = StdNormalCdf(-tn->mu() / tn->sigma());
+    return;
+  }
+  if (const auto* mx = dynamic_cast<const MixtureDistribution*>(d)) {
+    const auto& comps = mx->components();
+    if (comps.size() == 2) {
+      // The paper's production fits: Pareto body + exponential tail, in
+      // either component order.
+      const ParetoDistribution* pareto = nullptr;
+      const ExponentialDistribution* expo = nullptr;
+      double w_pareto = 0.0;
+      for (const auto& c : comps) {
+        if (const auto* p =
+                dynamic_cast<const ParetoDistribution*>(c.distribution.get());
+            p != nullptr && pareto == nullptr) {
+          pareto = p;
+          w_pareto = c.weight;
+        } else if (const auto* e = dynamic_cast<const ExponentialDistribution*>(
+                       c.distribution.get());
+                   e != nullptr && expo == nullptr) {
+          expo = e;
+        }
+      }
+      if (pareto != nullptr && expo != nullptr) {
+        kind_ = Kind::kParetoExpMixture;
+        mix_wp_ = w_pareto;
+        mix_sub_[0] = 0.0;
+        mix_sub_[1] = w_pareto;
+        mix_inv_[0] = 1.0 / w_pareto;
+        mix_inv_[1] = 1.0 / (1.0 - w_pareto);
+        pe_s_ = scale * pareto->xm();
+        pe_c_ = -1.0 / pareto->alpha();
+        pe_e_ = -scale * kLn2 / expo->lambda();
+        return;
+      }
+    }
+    // General mixture: one-draw alias selection + per-component quantile.
+    // Only usable when every component has a closed-form quantile that is
+    // finite on [0, 1) — true for all the primitives; nested mixtures or
+    // empiricals push the whole node to the generic path.
+    bool invertible = true;
+    for (const auto& c : comps) {
+      const Distribution* cd = c.distribution.get();
+      invertible = invertible &&
+                   (dynamic_cast<const PointMassDistribution*>(cd) ||
+                    dynamic_cast<const UniformDistribution*>(cd) ||
+                    dynamic_cast<const ExponentialDistribution*>(cd) ||
+                    dynamic_cast<const ParetoDistribution*>(cd) ||
+                    dynamic_cast<const WeibullDistribution*>(cd) ||
+                    dynamic_cast<const LogNormalDistribution*>(cd) ||
+                    dynamic_cast<const TruncatedNormalDistribution*>(cd));
+    }
+    if (invertible) {
+      kind_ = Kind::kAliasMixture;
+      // Aliasing the source keeps the mixture (and its alias table) alive
+      // even when the caller drops the outer affine wrappers.
+      alias_mix_ = std::shared_ptr<const MixtureDistribution>(source_, mx);
+      alias_scale_ = scale;
+      return;
+    }
+  }
+
+  kind_ = Kind::kGeneric;
+  generic_ = source_;
+  offset_ = 0.0;  // generic path samples the original tree, nothing folded
+}
+
+void CompiledSampler::SampleBatch(Rng& rng, double* out, int n) const {
+  assert(n >= 0);
+  double v[kBatchTile];
+  double msk[kBatchTile];
+  // Hoist member constants into locals: stores through `out` could alias
+  // `this` as far as the compiler knows, and per-element member reloads both
+  // cost cycles and block vectorization of the transform passes.
+  const double c0 = c0_;
+  const double c1 = c1_;
+  const double off = offset_;
+
+  switch (kind_) {
+    case Kind::kPointMass:
+      for (int i = 0; i < n; ++i) {
+        rng.NextDouble();  // burn one draw per sample (see class contract)
+        out[i] = c0;
+      }
+      return;
+
+    case Kind::kUniform:
+      for (int i = 0; i < n; ++i) out[i] = c0 + c1 * rng.NextDouble();
+      return;
+
+    case Kind::kExponential:
+      for (int done = 0; done < n; done += kBatchTile) {
+        const int m = std::min(kBatchTile, n - done);
+        for (int i = 0; i < m; ++i) v[i] = rng.NextDouble();
+        for (int i = 0; i < m; ++i) v[i] = 1.0 - v[i];
+        for (int i = 0; i < m; ++i) v[i] = FastLog2(v[i]);
+        double* o = out + done;
+        for (int i = 0; i < m; ++i) o[i] = c0 * v[i] + off;
+      }
+      return;
+
+    case Kind::kPareto:
+      for (int done = 0; done < n; done += kBatchTile) {
+        const int m = std::min(kBatchTile, n - done);
+        for (int i = 0; i < m; ++i) v[i] = rng.NextDouble();
+        for (int i = 0; i < m; ++i) v[i] = 1.0 - v[i];
+        for (int i = 0; i < m; ++i) v[i] = FastLog2(v[i]);
+        double* o = out + done;
+        for (int i = 0; i < m; ++i) {
+          const double t = std::min(c1 * v[i], kExp2Limit);
+          o[i] = c0 * FastExp2(t) + off;
+        }
+      }
+      return;
+
+    case Kind::kWeibull:
+      for (int done = 0; done < n; done += kBatchTile) {
+        const int m = std::min(kBatchTile, n - done);
+        for (int i = 0; i < m; ++i) v[i] = rng.NextDouble();
+        for (int i = 0; i < m; ++i) v[i] = 1.0 - v[i];
+        for (int i = 0; i < m; ++i) v[i] = FastLog2(v[i]);
+        for (int i = 0; i < m; ++i) {
+          v[i] = FastLog2(std::max(-kLn2 * v[i], 1e-300));
+        }
+        double* o = out + done;
+        for (int i = 0; i < m; ++i) {
+          const double t = std::clamp(c1 * v[i], -kExp2Limit, kExp2Limit);
+          o[i] = c0 * FastExp2(t) + off;
+        }
+      }
+      return;
+
+    case Kind::kLogNormal:
+      for (int i = 0; i < n; ++i) {
+        const double z = InverseNormalCdf(rng.NextDouble());
+        out[i] = std::exp(c0 + c1 * z) + off;
+      }
+      return;
+
+    case Kind::kTruncatedNormal: {
+      const double scale = c2_;
+      const double below_zero = c3_;
+      for (int i = 0; i < n; ++i) {
+        const double p = rng.NextDouble();
+        const double adjusted =
+            std::min(below_zero + p * (1.0 - below_zero), kMaxOpenUniform);
+        const double q =
+            p <= 0.0 ? 0.0 : c0 + c1 * InverseNormalCdf(adjusted);
+        out[i] = scale * q + off;
+      }
+      return;
+    }
+
+    case Kind::kParetoExpMixture: {
+      // Pass 1: fused RNG fill + branch-free threshold select. Pass 2: one
+      // log over the whole tile (autovectorizes). Pass 3: both transforms
+      // computed, arithmetic blend by the selection mask (autovectorizes).
+      const double wp = mix_wp_;
+      const double sub[2] = {mix_sub_[0], mix_sub_[1]};
+      const double inv[2] = {mix_inv_[0], mix_inv_[1]};
+      const double pe_s = pe_s_;
+      const double pe_c = pe_c_;
+      const double pe_e = pe_e_;
+      for (int done = 0; done < n; done += kBatchTile) {
+        const int m = std::min(kBatchTile, n - done);
+        // RNG fill is inherently scalar (sequential state); keeping it in
+        // its own pass leaves the select below branch-free straight-line FP
+        // ops the autovectorizer handles. The ternaries compile to blends
+        // and compute exactly what the sub[b]/inv[b] lookups did.
+        for (int i = 0; i < m; ++i) v[i] = rng.NextDouble();
+        for (int i = 0; i < m; ++i) {
+          const double u = v[i];
+          const bool b = u >= wp;
+          const double uu = (u - (b ? sub[1] : sub[0])) * (b ? inv[1] : inv[0]);
+          v[i] = std::max(1.0 - uu, kMinOpenComplement);
+          msk[i] = b ? 1.0 : 0.0;
+        }
+        for (int i = 0; i < m; ++i) v[i] = FastLog2(v[i]);
+        double* o = out + done;
+        for (int i = 0; i < m; ++i) {
+          const double L = v[i];
+          const double pareto = pe_s * FastExp2(std::min(pe_c * L, kExp2Limit));
+          o[i] = pareto + msk[i] * (pe_e * L - pareto) + off;
+        }
+      }
+      return;
+    }
+
+    case Kind::kAliasMixture: {
+      const auto& comps = alias_mix_->components();
+      for (int i = 0; i < n; ++i) {
+        const double u = rng.NextDouble();
+        const size_t k = alias_mix_->PickComponent(u);
+        // Reuse the fractional bits of the selection draw as the component's
+        // uniform (exact: frac | cell is uniform), clamped inside [0, 1).
+        const size_t kk = comps.size();
+        const double scaled = u * static_cast<double>(kk);
+        const double frac = scaled - std::floor(scaled);
+        const double p = alias_mix_->alias_prob()[std::min(
+            static_cast<size_t>(scaled), kk - 1)];
+        const double uu = frac < p ? frac / p : (frac - p) / (1.0 - p);
+        const double uc = std::min(uu, kMaxOpenUniform);
+        out[i] =
+            alias_scale_ * comps[k].distribution->Quantile(uc) + offset_;
+      }
+      return;
+    }
+
+    case Kind::kGeneric:
+      generic_->SampleBatch(rng, std::span<double>(out, static_cast<size_t>(n)));
+      return;
+  }
+}
+
+std::string CompiledSampler::Describe() const {
+  const char* name = "Generic";
+  switch (kind_) {
+    case Kind::kPointMass: name = "PointMass"; break;
+    case Kind::kUniform: name = "Uniform"; break;
+    case Kind::kExponential: name = "Exponential"; break;
+    case Kind::kPareto: name = "Pareto"; break;
+    case Kind::kWeibull: name = "Weibull"; break;
+    case Kind::kLogNormal: name = "LogNormal"; break;
+    case Kind::kTruncatedNormal: name = "TruncatedNormal"; break;
+    case Kind::kParetoExpMixture: name = "ParetoExpMixture"; break;
+    case Kind::kAliasMixture: name = "AliasMixture"; break;
+    case Kind::kGeneric: name = "Generic"; break;
+  }
+  return std::string(kind_ == Kind::kGeneric ? "virtual(" : "compiled(") +
+         name + ")";
+}
+
+SamplerPlan::SamplerPlan(const WarsDistributions& wars) {
+  const DistributionPtr legs[4] = {wars.w, wars.a, wars.r, wars.s};
+  int leg_sampler[4];
+  for (int leg = 0; leg < 4; ++leg) {
+    assert(legs[leg] != nullptr);
+    int found = -1;
+    for (size_t j = 0; j < samplers_.size(); ++j) {
+      if (samplers_[j].source().get() == legs[leg].get()) {
+        found = static_cast<int>(j);
+        break;
+      }
+    }
+    if (found < 0) {
+      samplers_.emplace_back(legs[leg]);
+      found = static_cast<int>(samplers_.size()) - 1;
+    }
+    leg_sampler[leg] = found;
+  }
+  // Merge consecutive legs sharing a sampler into single runs; with draws
+  // consumed leg-major this is draw-order neutral, and it turns e.g. the
+  // LNKD-SSD fit (one object for all four legs) into one 4n-sample batch.
+  for (int leg = 0; leg < 4;) {
+    int end = leg + 1;
+    while (end < 4 && leg_sampler[end] == leg_sampler[leg]) ++end;
+    runs_.push_back(Run{leg_sampler[leg], leg, end - leg});
+    leg = end;
+  }
+}
+
+void SamplerPlan::SampleLegs(Rng& rng, int n, double* legs) const {
+  assert(!runs_.empty());
+  for (const Run& run : runs_) {
+    samplers_[run.sampler].SampleBatch(rng, legs + run.first_leg * n,
+                                       run.num_legs * n);
+  }
+}
+
+bool SamplerPlan::fully_compiled() const {
+  for (const auto& s : samplers_) {
+    if (!s.is_compiled()) return false;
+  }
+  return true;
+}
+
+std::string SamplerPlan::Describe() const {
+  std::string out = "SamplerPlan[";
+  const char* leg_names = "WARS";
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (i) out += ", ";
+    for (int l = runs_[i].first_leg; l < runs_[i].first_leg + runs_[i].num_legs;
+         ++l) {
+      out += leg_names[l];
+    }
+    out += "=" + samplers_[runs_[i].sampler].Describe();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pbs

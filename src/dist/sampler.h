@@ -1,0 +1,145 @@
+#ifndef PBS_DIST_SAMPLER_H_
+#define PBS_DIST_SAMPLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/mixture.h"
+#include "dist/production.h"
+#include "util/rng.h"
+
+namespace pbs {
+
+/// CompiledSampler: a devirtualized, batch-oriented sampler compiled from a
+/// Distribution tree at construction time.
+///
+/// The WARS Monte Carlo draws 4N leg latencies per trial from a handful of
+/// distribution objects. Going through Distribution::Sample costs a virtual
+/// dispatch, a libm call (log/pow/exp), and — for mixtures — a per-sample
+/// linear scan, per draw. CompiledSampler walks the tree once, folds affine
+/// wrappers (Shifted/Scaled) into precomputed constants, classifies the
+/// terminal node into a small op enum, and emits samples through pass-
+/// structured loops over the fast log2/exp2 kernels in util/fastmath.h that
+/// the autovectorizer can handle.
+///
+/// RNG-consumption contract (v2): every compiled kind consumes exactly ONE
+/// NextDouble() per sample — including point masses (which burn a draw) and
+/// mixtures (component selection reuses fractional bits of the same draw
+/// instead of drawing twice like MixtureDistribution::Sample). kGeneric falls
+/// back to Distribution::SampleBatch and consumes whatever the virtual path
+/// consumes. Sampled values match the virtual path's distribution to within
+/// the fastmath tolerance (~4e-6 relative), verified by KS tests; exact
+/// sequences differ from the virtual path for the same seed.
+class CompiledSampler {
+ public:
+  explicit CompiledSampler(DistributionPtr dist);
+
+  /// Fills out[0..n) with independent samples.
+  void SampleBatch(Rng& rng, double* out, int n) const;
+
+  /// True when the hot path is fully devirtualized (no fallback on the
+  /// virtual Distribution interface per sample).
+  bool is_compiled() const { return kind_ != Kind::kGeneric; }
+
+  /// The distribution this sampler was compiled from.
+  const DistributionPtr& source() const { return source_; }
+
+  /// "compiled(ParetoExpMixture)" etc. — for plan descriptions and tests.
+  std::string Describe() const;
+
+ private:
+  enum class Kind : uint8_t {
+    kPointMass,
+    kUniform,
+    kExponential,
+    kPareto,
+    kWeibull,
+    kLogNormal,
+    kTruncatedNormal,
+    kParetoExpMixture,  // the paper's Table 3 shape: Pareto body + exp tail
+    kAliasMixture,      // general mixture, one-draw alias select
+    kGeneric,           // anything else: defer to Distribution::SampleBatch
+  };
+
+  Kind kind_ = Kind::kGeneric;
+
+  // Affine fold: every compiled kind emits scale * raw + offset, with scale
+  // pre-multiplied into the kind constants below where possible.
+  double offset_ = 0.0;
+
+  // kPointMass: out = c0_. kUniform: out = c0_ + c1_ * u.
+  // kExponential: out = c0_ * log2(1-u) + offset_   (c0_ = -scale*ln2/lambda)
+  // kPareto: out = c0_ * exp2(c1_ * log2(1-u)) + offset_
+  //          (c0_ = scale*xm, c1_ = -1/alpha)
+  // kWeibull: out = c0_ * exp2(c1_ * log2(-ln(1-u))) + offset_
+  //           (c0_ = scale*scale, c1_ = 1/shape)
+  // kLogNormal: out = scale*exp(c0_ + c1_*z) + offset_, z = InvNormCdf(u)
+  //             (c0_ = mu, c1_ = sigma; scale folded via c2_ = scale)
+  // kTruncatedNormal: c0_ = mu, c1_ = sigma, c2_ = scale,
+  //                   c3_ = below-zero mass of the untruncated normal.
+  double c0_ = 0.0;
+  double c1_ = 0.0;
+  double c2_ = 0.0;
+  double c3_ = 0.0;
+
+  // kParetoExpMixture: one-draw threshold select between the Pareto body and
+  // the exponential tail, then the three-pass fused kernel.
+  double mix_wp_ = 0.0;      // probability of the Pareto side
+  double mix_sub_[2] = {0.0, 0.0};
+  double mix_inv_[2] = {0.0, 0.0};
+  double pe_s_ = 0.0;        // scale * xm
+  double pe_c_ = 0.0;        // -1/alpha
+  double pe_e_ = 0.0;        // -scale*ln2/lambda
+
+  // kAliasMixture: alias table + components live in the mixture object.
+  std::shared_ptr<const MixtureDistribution> alias_mix_;
+  double alias_scale_ = 1.0;
+
+  DistributionPtr source_;   // always the original tree
+  DistributionPtr generic_;  // kGeneric fallback target (== source_)
+};
+
+/// SamplerPlan: the four WARS legs compiled into a flat run-length table.
+///
+/// A plan maps each leg (W, A, R, S) to a deduplicated CompiledSampler and
+/// merges consecutive legs that share a distribution object into one run, so
+/// e.g. LNKD-SSD (all four legs share one mixture) samples all 4N leg values
+/// of a trial in a single batched kernel invocation.
+///
+/// SampleLegs fills a leg-major SoA block: legs[0..n) = W, legs[n..2n) = A,
+/// legs[2n..3n) = R, legs[3n..4n) = S. Draws are consumed in exactly that
+/// order (leg-major, one draw per value), regardless of how runs are merged.
+class SamplerPlan {
+ public:
+  SamplerPlan() = default;
+  explicit SamplerPlan(const WarsDistributions& wars);
+
+  /// Fills legs[0..4n) with one trial's leg latencies for n replicas,
+  /// leg-major: [w_0..w_{n-1} | a_* | r_* | s_*].
+  void SampleLegs(Rng& rng, int n, double* legs) const;
+
+  /// True when every leg runs on a devirtualized kernel.
+  bool fully_compiled() const;
+
+  /// Number of batched kernel invocations per trial (1 when all four legs
+  /// share one distribution, up to 4 otherwise).
+  int num_runs() const { return static_cast<int>(runs_.size()); }
+
+  std::string Describe() const;
+
+ private:
+  struct Run {
+    int sampler;    // index into samplers_
+    int first_leg;  // 0 = W, 1 = A, 2 = R, 3 = S
+    int num_legs;   // consecutive legs sharing this sampler
+  };
+
+  std::vector<CompiledSampler> samplers_;  // deduped by source object
+  std::vector<Run> runs_;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_DIST_SAMPLER_H_

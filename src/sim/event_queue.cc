@@ -1,29 +1,87 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace pbs {
 
+namespace {
+// 4-ary layout: children of heap slot i are 4i+1 .. 4i+4, parent is
+// (i-1)/4. Fan-out 4 halves the tree depth versus binary (fewer sift
+// levels per operation) while the 4-child minimum scan stays in one or two
+// cache lines of 4-byte indices.
+constexpr size_t kArity = 4;
+}  // namespace
+
 void EventQueue::Push(double time, EventCallback callback) {
-  assert(callback != nullptr);
-  heap_.push(Entry{time, next_sequence_++, std::move(callback)});
+  assert(callback);
+  uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Event& event = pool_[slot];
+  event.time = time;
+  event.sequence = next_sequence_++;
+  event.callback = std::move(callback);
+
+  heap_.push_back(slot);
+  SiftUp(heap_.size() - 1);
 }
 
 double EventQueue::NextTime() const {
   assert(!heap_.empty());
-  return heap_.top().time;
+  return pool_[heap_[0]].time;
 }
 
 EventCallback EventQueue::Pop(double* time) {
   assert(!heap_.empty());
-  // priority_queue::top() returns a const ref; the callback must be moved
-  // out via a const_cast-free copy of the entry. std::priority_queue lacks a
-  // mutable pop, so we copy the shared_ptr-backed std::function (cheap).
-  Entry entry = heap_.top();
-  heap_.pop();
-  if (time != nullptr) *time = entry.time;
-  return std::move(entry.callback);
+  const uint32_t slot = heap_[0];
+  Event& event = pool_[slot];
+  if (time != nullptr) *time = event.time;
+  EventCallback callback = std::move(event.callback);
+
+  // Recycle the record and re-heapify: last index fills the root hole and
+  // sifts down. The moved-from callback is already empty, so the pooled
+  // record holds no live capture while on the free list.
+  free_.push_back(slot);
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  return callback;
+}
+
+void EventQueue::SiftUp(size_t hole) {
+  const uint32_t moving = heap_[hole];
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / kArity;
+    if (!Earlier(moving, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = moving;
+}
+
+void EventQueue::SiftDown(size_t hole) {
+  const uint32_t moving = heap_[hole];
+  const size_t count = heap_.size();
+  for (;;) {
+    const size_t first_child = kArity * hole + 1;
+    if (first_child >= count) break;
+    const size_t last_child = std::min(first_child + kArity, count);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!Earlier(heap_[best], moving)) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = moving;
 }
 
 }  // namespace pbs

@@ -1,20 +1,31 @@
 #ifndef PBS_SIM_EVENT_QUEUE_H_
 #define PBS_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/function.h"
 
 namespace pbs {
 
-/// Callback executed when a scheduled event fires.
-using EventCallback = std::function<void()>;
+/// Callback executed when a scheduled event fires. Move-only: the queue
+/// never copies a callback (std::function's copyability requirement both
+/// forbade move-only captures and made every heap sift copy heap-allocated
+/// state).
+using EventCallback = UniqueFunction<void()>;
 
 /// Time-ordered event queue with deterministic FIFO tie-breaking: events
 /// scheduled for the same virtual time fire in scheduling order, which keeps
 /// whole-simulation runs reproducible across platforms and STL
 /// implementations.
+///
+/// Implementation (hot path of the discrete-event simulator): event records
+/// live in a slab pool and are addressed by index; a 4-ary implicit min-heap
+/// orders the *indices* by (time, sequence). Sift operations therefore move
+/// 4-byte indices instead of 64+-byte records, popped slots are recycled
+/// through a free list (steady-state Push/Pop performs no allocation), and
+/// callbacks are moved — never copied — in and out of the pool.
 class EventQueue {
  public:
   /// Enqueues `callback` to fire at absolute virtual time `time`.
@@ -32,19 +43,27 @@ class EventQueue {
   EventCallback Pop(double* time = nullptr);
 
  private:
-  struct Entry {
-    double time;
-    uint64_t sequence;
+  struct Event {
+    double time = 0.0;
+    uint64_t sequence = 0;
     EventCallback callback;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.sequence > b.sequence;
-    }
-  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// (time, sequence) lexicographic order; sequence values are unique, so
+  /// the comparison is a strict total order and ties in time resolve FIFO.
+  bool Earlier(uint32_t a, uint32_t b) const {
+    const Event& ea = pool_[a];
+    const Event& eb = pool_[b];
+    if (ea.time != eb.time) return ea.time < eb.time;
+    return ea.sequence < eb.sequence;
+  }
+
+  void SiftUp(size_t hole);
+  void SiftDown(size_t hole);
+
+  std::vector<Event> pool_;       // slab of event records
+  std::vector<uint32_t> free_;    // recycled pool slots (LIFO)
+  std::vector<uint32_t> heap_;    // 4-ary implicit min-heap of pool indices
   uint64_t next_sequence_ = 0;
 };
 

@@ -1,0 +1,69 @@
+#ifndef PBS_UTIL_FASTMATH_H_
+#define PBS_UTIL_FASTMATH_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace pbs {
+
+/// Branch-free, table-free log2/exp2 kernels for the batched samplers.
+///
+/// The compiled sampler plans (dist/sampler.h) spend nearly all of their time
+/// in inverse-CDF transforms of the form xm * (1-u)^(-1/alpha) and
+/// -log(1-u)/lambda. libm's log/exp/pow are correctly rounded but scalar;
+/// these kernels trade accuracy we do not need (Monte Carlo noise at 10^6
+/// trials is ~1e-3) for shapes the autovectorizer handles: no branches, no
+/// table lookups, no libm calls. They are pure integer/FP arithmetic, so
+/// results are bit-reproducible across runs and platforms with IEEE doubles.
+///
+/// Accuracy (validated in tests/dist_sampler_test.cc):
+///   FastLog2: absolute error < 2e-6 over positive normal doubles
+///             (atanh series through z^5 after a sqrt(2) mantissa split).
+///   FastExp2: relative error < 4e-6 for |x| <= 1020 (degree-5 polynomial
+///             on the 2^52+2^51 rounding shift).
+///
+/// Contracts (callers are the compiled samplers, which guarantee them):
+///   FastLog2: x must be positive, finite and normal (x >= 2^-1022).
+///   FastExp2: |x| <= 1020; callers clamp exponents so the biased-exponent
+///             bit trick cannot wrap.
+
+inline double FastLog2(double x) {
+  const uint64_t bits = std::bit_cast<uint64_t>(x);
+  const uint64_t mant = bits & 0xFFFFFFFFFFFFFull;
+  // Split the mantissa at sqrt(2) so m lands in [sqrt(0.5), sqrt(2)) and the
+  // series argument z stays small; integer compare keeps it branchless.
+  const uint64_t adj = mant >= 0x6A09E667F3BCDull;  // mantissa bits of sqrt2
+  const int64_t e =
+      static_cast<int64_t>(bits >> 52) - 1023 + static_cast<int64_t>(adj);
+  const double m = std::bit_cast<double>(mant | ((1023ull - adj) << 52));
+  // ln(m) = 2 atanh(z) with z = (m-1)/(m+1); |z| <= 0.1716 here, so the
+  // series through z^5 leaves < 2e-6 absolute error in log2.
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  double p = 1.0 / 5.0;
+  p = p * z2 + 1.0 / 3.0;
+  p = p * z2 + 1.0;
+  return static_cast<double>(e) + (2.0 * z * p) * 1.4426950408889634;
+}
+
+inline double FastExp2(double x) {
+  // Round x to the nearest integer n via the 2^52+2^51 shift (valid for
+  // |x| < 2^51), evaluate 2^r for the remainder |r| <= 0.5 with a degree-5
+  // polynomial in y = r*ln2, then scale by 2^n through the exponent bits.
+  const double kShift = 6755399441055744.0;  // 2^52 + 2^51
+  const double t = x + kShift;
+  const int64_t n = static_cast<int32_t>(std::bit_cast<int64_t>(t));
+  const double r = x - (t - kShift);
+  const double y = r * 0.6931471805599453;
+  double p = 1.0 / 120.0;
+  p = p * y + 1.0 / 24.0;
+  p = p * y + 1.0 / 6.0;
+  p = p * y + 0.5;
+  p = p * y + 1.0;
+  p = p * y + 1.0;
+  return std::bit_cast<double>(std::bit_cast<int64_t>(p) + (n << 52));
+}
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_FASTMATH_H_

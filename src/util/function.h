@@ -1,0 +1,138 @@
+#ifndef PBS_UTIL_FUNCTION_H_
+#define PBS_UTIL_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pbs {
+
+/// Move-only type-erased callable with small-buffer optimization — a
+/// C++20-compatible stand-in for std::move_only_function (C++23).
+///
+/// The discrete-event simulator stores one callback per pending event;
+/// std::function forces copyability (so move-only captures cannot be
+/// scheduled) and its libstdc++ implementation heap-allocates most lambda
+/// captures. UniqueFunction stores captures up to kInlineSize bytes inline in
+/// the event record and is moved — never copied — through the event pool.
+///
+/// Semantics: default-constructed or moved-from instances are empty
+/// (operator bool() == false); invoking an empty UniqueFunction is undefined
+/// behavior, matching std::move_only_function.
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  /// Captures up to this many bytes live inline in the UniqueFunction itself
+  /// (sized for a handful of pointers plus a double or two — the shape of
+  /// every callback the simulator schedules).
+  static constexpr size_t kInlineSize = 48;
+
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(runtime/explicit)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { MoveFrom(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs the callable at `dst` from `src` and destroys the
+    /// source — relocation, so the event heap can shuffle records freely.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      +[](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(
+            std::forward<Args>(args)...);
+      },
+      +[](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      +[](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      +[](void* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(
+            std::forward<Args>(args)...);
+      },
+      +[](void* dst, void* src) noexcept {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      +[](void* s) noexcept { delete *std::launder(reinterpret_cast<D**>(s)); },
+  };
+
+  void MoveFrom(UniqueFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_FUNCTION_H_

@@ -14,8 +14,6 @@ uint64_t SplitMix64(uint64_t* x) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 // The xoshiro256 jump polynomials (Blackman & Vigna's reference values,
 // shared by the ++/**/+ output variants): applying them via
 // ApplyJumpPolynomial advances the state by exactly 2^128 / 2^192 steps.
@@ -31,28 +29,6 @@ constexpr uint64_t kLongJump[4] = {0x76e15d3efefdcbbfULL,
 Rng::Rng(uint64_t seed) {
   uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64(&s);
-}
-
-uint64_t Rng::Next() {
-  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::NextDouble() {
-  // 53 high bits -> [0, 1).
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::NextOpenDouble() {
-  // (0, 1]: shift the [0, 1) lattice up by one ulp of the 53-bit grid.
-  return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {

@@ -37,17 +37,35 @@ class Rng {
   /// identical streams on every platform.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
-  /// Returns the next 64 uniformly distributed bits.
-  uint64_t Next();
+  /// Returns the next 64 uniformly distributed bits. Defined inline: the
+  /// batched samplers draw tens of millions of uniforms per second and an
+  /// out-of-line call would dominate their cost.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Returns a double uniformly distributed in [0, 1) with 53 bits of
-  /// precision.
-  double NextDouble();
+  /// precision. The maximum representable draw is 1 - 2^-53 (never 1.0).
+  double NextDouble() {
+    // 53 high bits -> [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Returns a double uniformly distributed in (0, 1]; useful for inverse-CDF
   /// sampling of distributions with a singularity at 0 (e.g. exponential via
   /// -log(u)).
-  double NextOpenDouble();
+  double NextOpenDouble() {
+    // (0, 1]: shift the [0, 1) lattice up by one ulp of the 53-bit grid.
+    return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+  }
 
   /// Returns an integer uniformly distributed in [0, bound). `bound` must be
   /// positive. Uses rejection sampling, so the result is exactly uniform.
@@ -91,6 +109,8 @@ class Rng {
   uint64_t operator()() { return Next(); }
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   void ApplyJumpPolynomial(const uint64_t (&polynomial)[4]);
 
   uint64_t state_[4];

@@ -1,0 +1,286 @@
+#ifndef PBS_UTIL_SMALL_SORT_H_
+#define PBS_UTIL_SMALL_SORT_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace pbs {
+
+/// Branch-free sorting networks for the tiny arrays in the WARS trial kernel.
+///
+/// A Monte Carlo trial needs the W-th smallest of N write-ack times and the
+/// first R of N read round trips, with N typically 3–10. nth_element /
+/// partial_sort pay function-call and branch-misprediction costs that dwarf
+/// the work at those sizes; on random data every comparison of an insertion
+/// sort is a coin flip, so mispredictions alone cost more than the whole
+/// network. The networks below compile to cmov/minsd/maxsd chains with no
+/// data-dependent branches.
+///
+/// Correctness of the comparator sequences is proven exhaustively in
+/// tests/util_small_sort_test.cc via the 0-1 principle (a comparator network
+/// that sorts all 2^n binary vectors sorts everything).
+///
+/// All keys must be non-NaN (latencies are finite by construction).
+
+namespace small_sort_internal {
+
+inline void CSwap(double& a, double& b) {
+  const double lo = a < b ? a : b;  // minsd
+  const double hi = a < b ? b : a;  // maxsd
+  a = lo;
+  b = hi;
+}
+
+/// Compare-exchange on (key, payload) pairs. The payload moves with its key
+/// via an exact XOR-mask swap (no floating-point blend, so payloads are
+/// preserved bit-for-bit). Ties keep the original order.
+inline void CSwapPair(double& ka, double& kb, double& va, double& vb) {
+  const bool sw = kb < ka;
+  const double klo = sw ? kb : ka;
+  const double khi = sw ? ka : kb;
+  const uint64_t mask = sw ? ~uint64_t{0} : uint64_t{0};
+  uint64_t x = std::bit_cast<uint64_t>(va);
+  uint64_t y = std::bit_cast<uint64_t>(vb);
+  const uint64_t t = (x ^ y) & mask;
+  ka = klo;
+  kb = khi;
+  va = std::bit_cast<double>(x ^ t);
+  vb = std::bit_cast<double>(y ^ t);
+}
+
+// Optimal-depth comparator sequences (Knuth TAOCP vol. 3 / Bose–Nelson).
+// Each entry is a compare-exchange (i, j) with i < j.
+inline constexpr int kNetwork2[][2] = {{0, 1}};
+inline constexpr int kNetwork3[][2] = {{0, 2}, {0, 1}, {1, 2}};
+inline constexpr int kNetwork4[][2] = {{0, 1}, {2, 3}, {0, 2}, {1, 3}, {1, 2}};
+inline constexpr int kNetwork5[][2] = {{0, 3}, {1, 4}, {0, 2}, {1, 3}, {0, 1},
+                                       {2, 4}, {1, 2}, {3, 4}, {2, 3}};
+inline constexpr int kNetwork6[][2] = {{1, 2}, {4, 5}, {0, 2}, {3, 5},
+                                       {0, 1}, {3, 4}, {2, 5}, {0, 3},
+                                       {1, 4}, {2, 4}, {1, 3}, {2, 3}};
+inline constexpr int kNetwork7[][2] = {{1, 2}, {3, 4}, {5, 6}, {0, 2},
+                                       {3, 5}, {4, 6}, {0, 1}, {4, 5},
+                                       {2, 6}, {0, 4}, {1, 5}, {0, 3},
+                                       {2, 5}, {1, 3}, {2, 4}, {2, 3}};
+inline constexpr int kNetwork8[][2] = {
+    {0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {1, 3}, {4, 6}, {5, 7}, {1, 2},
+    {5, 6}, {0, 4}, {3, 7}, {1, 5}, {2, 6}, {1, 4}, {3, 6}, {2, 4}, {3, 5},
+    {3, 4}};
+
+template <size_t M>
+inline void RunNetwork(const int (&net)[M][2], double* k) {
+  for (size_t c = 0; c < M; ++c) CSwap(k[net[c][0]], k[net[c][1]]);
+}
+
+template <size_t M>
+inline void RunNetworkPairs(const int (&net)[M][2], double* k, double* v) {
+  for (size_t c = 0; c < M; ++c) {
+    CSwapPair(k[net[c][0]], k[net[c][1]], v[net[c][0]], v[net[c][1]]);
+  }
+}
+
+template <size_t M>
+inline void RunColumnNetwork(const int (&net)[M][2], double* k, int stride,
+                             int len) {
+  for (size_t c = 0; c < M; ++c) {
+    double* x = k + net[c][0] * stride;
+    double* y = k + net[c][1] * stride;
+    for (int t = 0; t < len; ++t) {
+      const double lo = x[t] < y[t] ? x[t] : y[t];
+      const double hi = x[t] < y[t] ? y[t] : x[t];
+      x[t] = lo;
+      y[t] = hi;
+    }
+  }
+}
+
+template <size_t M>
+inline void RunColumnNetworkPairs(const int (&net)[M][2], double* k, double* v,
+                                  int stride, int len) {
+  for (size_t c = 0; c < M; ++c) {
+    double* xk = k + net[c][0] * stride;
+    double* yk = k + net[c][1] * stride;
+    double* xv = v + net[c][0] * stride;
+    double* yv = v + net[c][1] * stride;
+    for (int t = 0; t < len; ++t) {
+      // Strict < keeps tie order; the payload moves by mask-select (bit
+      // exact, no FP arithmetic), matching CSwapPair's semantics.
+      const bool sw = yk[t] < xk[t];
+      const double klo = sw ? yk[t] : xk[t];
+      const double khi = sw ? xk[t] : yk[t];
+      const double vlo = sw ? yv[t] : xv[t];
+      const double vhi = sw ? xv[t] : yv[t];
+      xk[t] = klo;
+      yk[t] = khi;
+      xv[t] = vlo;
+      yv[t] = vhi;
+    }
+  }
+}
+
+}  // namespace small_sort_internal
+
+/// Sorts k[0..n) ascending. Networks for n <= 8, std::sort beyond.
+inline void SmallSort(double* k, int n) {
+  using namespace small_sort_internal;
+  switch (n) {
+    case 0:
+    case 1:
+      return;
+    case 2:
+      RunNetwork(kNetwork2, k);
+      return;
+    case 3:
+      RunNetwork(kNetwork3, k);
+      return;
+    case 4:
+      RunNetwork(kNetwork4, k);
+      return;
+    case 5:
+      RunNetwork(kNetwork5, k);
+      return;
+    case 6:
+      RunNetwork(kNetwork6, k);
+      return;
+    case 7:
+      RunNetwork(kNetwork7, k);
+      return;
+    case 8:
+      RunNetwork(kNetwork8, k);
+      return;
+    default:
+      std::sort(k, k + n);
+      return;
+  }
+}
+
+/// Sorts k[0..n) ascending, carrying v[0..n) along (v[i] stays attached to
+/// its key). For ties the relative order of payloads is preserved.
+inline void SmallSortPairs(double* k, double* v, int n) {
+  using namespace small_sort_internal;
+  switch (n) {
+    case 0:
+    case 1:
+      return;
+    case 2:
+      RunNetworkPairs(kNetwork2, k, v);
+      return;
+    case 3:
+      RunNetworkPairs(kNetwork3, k, v);
+      return;
+    case 4:
+      RunNetworkPairs(kNetwork4, k, v);
+      return;
+    case 5:
+      RunNetworkPairs(kNetwork5, k, v);
+      return;
+    case 6:
+      RunNetworkPairs(kNetwork6, k, v);
+      return;
+    case 7:
+      RunNetworkPairs(kNetwork7, k, v);
+      return;
+    case 8:
+      RunNetworkPairs(kNetwork8, k, v);
+      return;
+    default: {
+      // Indirect sort then cycle-gather; n > 8 is rare enough that the
+      // simple insertion variant is fine and keeps tie order stable.
+      for (int i = 1; i < n; ++i) {
+        const double key = k[i];
+        const double val = v[i];
+        int j = i - 1;
+        while (j >= 0 && k[j] > key) {
+          k[j + 1] = k[j];
+          v[j + 1] = v[j];
+          --j;
+        }
+        k[j + 1] = key;
+        v[j + 1] = val;
+      }
+      return;
+    }
+  }
+}
+
+/// Compile-time-size variants: with N fixed the switch dispatch disappears
+/// and the whole network inlines into the caller as a straight-line
+/// cmov/minsd/maxsd chain — the runtime-n entry points above cost several
+/// times the network itself in call + dispatch overhead when invoked once
+/// per Monte Carlo trial. The WARS trial kernel dispatches on n once and
+/// then runs a fully specialized body.
+template <int N>
+inline void SmallSortFixed(double* k) {
+  using namespace small_sort_internal;
+  static_assert(N >= 0 && N <= 8, "networks are defined for n <= 8");
+  if constexpr (N == 2) RunNetwork(kNetwork2, k);
+  if constexpr (N == 3) RunNetwork(kNetwork3, k);
+  if constexpr (N == 4) RunNetwork(kNetwork4, k);
+  if constexpr (N == 5) RunNetwork(kNetwork5, k);
+  if constexpr (N == 6) RunNetwork(kNetwork6, k);
+  if constexpr (N == 7) RunNetwork(kNetwork7, k);
+  if constexpr (N == 8) RunNetwork(kNetwork8, k);
+}
+
+/// Pair variant of SmallSortFixed; same semantics as SmallSortPairs.
+template <int N>
+inline void SmallSortPairsFixed(double* k, double* v) {
+  using namespace small_sort_internal;
+  static_assert(N >= 0 && N <= 8, "networks are defined for n <= 8");
+  if constexpr (N == 2) RunNetworkPairs(kNetwork2, k, v);
+  if constexpr (N == 3) RunNetworkPairs(kNetwork3, k, v);
+  if constexpr (N == 4) RunNetworkPairs(kNetwork4, k, v);
+  if constexpr (N == 5) RunNetworkPairs(kNetwork5, k, v);
+  if constexpr (N == 6) RunNetworkPairs(kNetwork6, k, v);
+  if constexpr (N == 7) RunNetworkPairs(kNetwork7, k, v);
+  if constexpr (N == 8) RunNetworkPairs(kNetwork8, k, v);
+}
+
+/// Column (trial-parallel) variants: cols holds N rows of `len` independent
+/// problems — element t of row i at cols[i*stride + t]. Each comparator
+/// becomes an elementwise min/max pass over `len` values, which the
+/// autovectorizer turns into packed min/max: sorting many small arrays at
+/// once is vectorized across problems instead of within one. Semantics per
+/// problem are identical to SmallSortFixed / SmallSortPairsFixed.
+template <int N>
+inline void ColumnSortFixed(double* cols, int stride, int len) {
+  using namespace small_sort_internal;
+  static_assert(N >= 0 && N <= 8, "networks are defined for n <= 8");
+  if constexpr (N == 2) RunColumnNetwork(kNetwork2, cols, stride, len);
+  if constexpr (N == 3) RunColumnNetwork(kNetwork3, cols, stride, len);
+  if constexpr (N == 4) RunColumnNetwork(kNetwork4, cols, stride, len);
+  if constexpr (N == 5) RunColumnNetwork(kNetwork5, cols, stride, len);
+  if constexpr (N == 6) RunColumnNetwork(kNetwork6, cols, stride, len);
+  if constexpr (N == 7) RunColumnNetwork(kNetwork7, cols, stride, len);
+  if constexpr (N == 8) RunColumnNetwork(kNetwork8, cols, stride, len);
+}
+
+/// Pair variant of ColumnSortFixed: vcols rows move with their kcols keys.
+template <int N>
+inline void ColumnSortPairsFixed(double* kcols, double* vcols, int stride,
+                                 int len) {
+  using namespace small_sort_internal;
+  static_assert(N >= 0 && N <= 8, "networks are defined for n <= 8");
+  if constexpr (N == 2) RunColumnNetworkPairs(kNetwork2, kcols, vcols, stride, len);
+  if constexpr (N == 3) RunColumnNetworkPairs(kNetwork3, kcols, vcols, stride, len);
+  if constexpr (N == 4) RunColumnNetworkPairs(kNetwork4, kcols, vcols, stride, len);
+  if constexpr (N == 5) RunColumnNetworkPairs(kNetwork5, kcols, vcols, stride, len);
+  if constexpr (N == 6) RunColumnNetworkPairs(kNetwork6, kcols, vcols, stride, len);
+  if constexpr (N == 7) RunColumnNetworkPairs(kNetwork7, kcols, vcols, stride, len);
+  if constexpr (N == 8) RunColumnNetworkPairs(kNetwork8, kcols, vcols, stride, len);
+}
+
+/// Returns the kth-smallest (1-indexed) of k[0..n), reordering k arbitrarily.
+inline double SmallKthSmallest(double* k, int n, int kth) {
+  if (n <= 8) {
+    SmallSort(k, n);
+    return k[kth - 1];
+  }
+  std::nth_element(k, k + (kth - 1), k + n);
+  return k[kth - 1];
+}
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_SMALL_SORT_H_

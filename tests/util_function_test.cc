@@ -1,0 +1,102 @@
+#include "util/function.h"
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(UniqueFunctionTest, DefaultConstructedIsEmpty) {
+  UniqueFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  UniqueFunction<void()> g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(UniqueFunctionTest, InvokesCapturedLambda) {
+  int calls = 0;
+  UniqueFunction<void()> f = [&calls] { ++calls; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunctionTest, ReturnsValuesAndForwardsArguments) {
+  UniqueFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+
+  UniqueFunction<int(std::unique_ptr<int>)> take =
+      [](std::unique_ptr<int> p) { return *p; };
+  EXPECT_EQ(take(std::make_unique<int>(7)), 7);
+}
+
+TEST(UniqueFunctionTest, HoldsMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(42);
+  UniqueFunction<int()> f = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(UniqueFunctionTest, MoveTransfersStateAndEmptiesSource) {
+  int calls = 0;
+  UniqueFunction<void()> a = [&calls] { ++calls; };
+  UniqueFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  UniqueFunction<void()> c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunctionTest, DestroysCaptureExactlyOnce) {
+  int live = 0;
+  struct Tracker {
+    int* live;
+    explicit Tracker(int* l) : live(l) { ++*live; }
+    Tracker(Tracker&& o) noexcept : live(o.live) { live = o.live; ++*live; }
+    Tracker(const Tracker& o) : live(o.live) { ++*live; }
+    ~Tracker() { --*live; }
+  };
+  {
+    UniqueFunction<void()> f = [t = Tracker(&live)] { (void)t; };
+    EXPECT_GE(live, 1);
+    UniqueFunction<void()> g = std::move(f);
+    g = nullptr;
+    EXPECT_EQ(live, 0);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(UniqueFunctionTest, LargeCapturesSpillToHeapAndStillMove) {
+  // Larger than kInlineSize, forcing the heap path.
+  std::array<double, 16> big;
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<double>(i);
+  static_assert(sizeof(big) > UniqueFunction<double()>::kInlineSize);
+
+  UniqueFunction<double()> f = [big] {
+    double sum = 0;
+    for (double x : big) sum += x;
+    return sum;
+  };
+  UniqueFunction<double()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(), 120.0);
+}
+
+TEST(UniqueFunctionTest, ReassignmentReplacesCallable) {
+  UniqueFunction<int()> f = [] { return 1; };
+  f = [] { return 2; };
+  EXPECT_EQ(f(), 2);
+}
+
+}  // namespace
+}  // namespace pbs

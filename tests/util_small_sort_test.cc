@@ -1,0 +1,192 @@
+#include "util/small_sort.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pbs {
+namespace {
+
+// The 0-1 principle: a comparison network that sorts every 0/1 input of
+// length n sorts every input of length n. Running all 2^n bit patterns
+// through each network therefore PROVES the networks correct.
+template <int N>
+void CheckAllBitPatterns() {
+  for (unsigned mask = 0; mask < (1u << N); ++mask) {
+    double k[N];
+    for (int i = 0; i < N; ++i) k[i] = (mask >> i) & 1u ? 1.0 : 0.0;
+    SmallSortFixed<N>(k);
+    EXPECT_TRUE(std::is_sorted(k, k + N)) << "N=" << N << " mask=" << mask;
+  }
+}
+
+TEST(SmallSortFixedTest, ZeroOnePrincipleProvesEveryNetwork) {
+  CheckAllBitPatterns<2>();
+  CheckAllBitPatterns<3>();
+  CheckAllBitPatterns<4>();
+  CheckAllBitPatterns<5>();
+  CheckAllBitPatterns<6>();
+  CheckAllBitPatterns<7>();
+  CheckAllBitPatterns<8>();
+}
+
+TEST(SmallSortTest, MatchesStdSortOnRandomInputs) {
+  Rng rng(11);
+  for (int n = 0; n <= 8; ++n) {
+    for (int rep = 0; rep < 500; ++rep) {
+      std::vector<double> k(n);
+      for (auto& x : k) x = rng.NextDouble() * 10.0;
+      std::vector<double> expect = k;
+      std::sort(expect.begin(), expect.end());
+      SmallSort(k.data(), n);
+      EXPECT_EQ(k, expect) << "n=" << n;
+    }
+  }
+}
+
+// Sorting networks are deterministic but NOT stable (non-adjacent
+// comparators may reorder equal keys), so the pairs contract is: keys come
+// out sorted and every payload still rides with its original key.
+template <int N>
+void CheckPairsConsistency(Rng& rng) {
+  for (int rep = 0; rep < 500; ++rep) {
+    double k[N], v[N];
+    std::array<std::pair<double, double>, N> before;
+    for (int i = 0; i < N; ++i) {
+      // Coarse keys force frequent ties.
+      k[i] = static_cast<double>(rng.NextBounded(3));
+      v[i] = static_cast<double>(i);
+      before[i] = {k[i], v[i]};
+    }
+    SmallSortPairsFixed<N>(k, v);
+    EXPECT_TRUE(std::is_sorted(k, k + N)) << "N=" << N;
+    std::array<std::pair<double, double>, N> after;
+    for (int i = 0; i < N; ++i) after[i] = {k[i], v[i]};
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after) << "N=" << N;  // (key, payload) pairs preserved
+  }
+}
+
+TEST(SmallSortPairsTest, KeysSortAndPayloadStaysPaired) {
+  Rng rng(12);
+  CheckPairsConsistency<2>(rng);
+  CheckPairsConsistency<3>(rng);
+  CheckPairsConsistency<4>(rng);
+  CheckPairsConsistency<5>(rng);
+  CheckPairsConsistency<6>(rng);
+  CheckPairsConsistency<7>(rng);
+  CheckPairsConsistency<8>(rng);
+}
+
+TEST(SmallSortPairsTest, RuntimeEntryMatchesFixed) {
+  Rng rng(13);
+  for (int n = 2; n <= 8; ++n) {
+    std::vector<double> k(n), v(n), k2, v2;
+    for (int i = 0; i < n; ++i) {
+      k[i] = rng.NextDouble();
+      v[i] = rng.NextDouble();
+    }
+    k2 = k;
+    v2 = v;
+    SmallSortPairs(k.data(), v.data(), n);
+    std::vector<std::pair<double, double>> expect(n);
+    for (int i = 0; i < n; ++i) expect[i] = {k2[i], v2[i]};
+    std::stable_sort(expect.begin(), expect.end());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(k[i], expect[i].first);
+      EXPECT_EQ(v[i], expect[i].second);
+    }
+  }
+}
+
+// The column (trial-parallel) variants must be bitwise identical to running
+// the scalar network on each column independently.
+template <int N>
+void CheckColumns(Rng& rng) {
+  const int len = 37;  // odd length exercises the vectorizer's tail handling
+  std::vector<double> cols(static_cast<size_t>(N) * len);
+  for (auto& x : cols) x = static_cast<double>(rng.NextBounded(5));
+  std::vector<double> expect = cols;
+
+  ColumnSortFixed<N>(cols.data(), len, len);
+  for (int t = 0; t < len; ++t) {
+    double k[N];
+    for (int i = 0; i < N; ++i) k[i] = expect[i * len + t];
+    SmallSortFixed<N>(k);
+    for (int i = 0; i < N; ++i) {
+      EXPECT_EQ(cols[i * len + t], k[i]) << "N=" << N << " t=" << t;
+    }
+  }
+}
+
+template <int N>
+void CheckColumnPairs(Rng& rng) {
+  const int len = 37;
+  std::vector<double> kc(static_cast<size_t>(N) * len);
+  std::vector<double> vc(static_cast<size_t>(N) * len);
+  for (auto& x : kc) x = static_cast<double>(rng.NextBounded(5));
+  for (size_t i = 0; i < vc.size(); ++i) vc[i] = static_cast<double>(i);
+  std::vector<double> ke = kc, ve = vc;
+
+  ColumnSortPairsFixed<N>(kc.data(), vc.data(), len, len);
+  for (int t = 0; t < len; ++t) {
+    double k[N], v[N];
+    for (int i = 0; i < N; ++i) {
+      k[i] = ke[i * len + t];
+      v[i] = ve[i * len + t];
+    }
+    SmallSortPairsFixed<N>(k, v);
+    for (int i = 0; i < N; ++i) {
+      EXPECT_EQ(kc[i * len + t], k[i]) << "N=" << N << " t=" << t;
+      EXPECT_EQ(vc[i * len + t], v[i]) << "N=" << N << " t=" << t;
+    }
+  }
+}
+
+TEST(ColumnSortTest, MatchesScalarNetworkPerColumn) {
+  Rng rng(14);
+  CheckColumns<2>(rng);
+  CheckColumns<3>(rng);
+  CheckColumns<4>(rng);
+  CheckColumns<5>(rng);
+  CheckColumns<6>(rng);
+  CheckColumns<7>(rng);
+  CheckColumns<8>(rng);
+}
+
+TEST(ColumnSortTest, PairsMatchScalarNetworkPerColumn) {
+  Rng rng(15);
+  CheckColumnPairs<2>(rng);
+  CheckColumnPairs<3>(rng);
+  CheckColumnPairs<4>(rng);
+  CheckColumnPairs<5>(rng);
+  CheckColumnPairs<6>(rng);
+  CheckColumnPairs<7>(rng);
+  CheckColumnPairs<8>(rng);
+}
+
+TEST(SmallKthSmallestTest, MatchesSortedOrderStatistics) {
+  Rng rng(16);
+  for (int n = 1; n <= 12; ++n) {
+    for (int rep = 0; rep < 200; ++rep) {
+      std::vector<double> k(n);
+      for (auto& x : k) x = rng.NextDouble();
+      std::vector<double> sorted = k;
+      std::sort(sorted.begin(), sorted.end());
+      for (int kth = 1; kth <= n; ++kth) {
+        std::vector<double> scratch = k;
+        EXPECT_EQ(SmallKthSmallest(scratch.data(), n, kth), sorted[kth - 1])
+            << "n=" << n << " k=" << kth;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbs
