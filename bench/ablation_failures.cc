@@ -52,7 +52,8 @@ void Run() {
     options.cluster.legs = LnkdDisk();
     options.cluster.request_timeout_ms = 200.0;
     options.cluster.hinted_handoff = variant.hinted_handoff;
-    options.cluster.hinted_handoff_retry_ms = 500.0;
+    options.cluster.hinted_handoff_backoff_base_ms = 500.0;
+    options.cluster.hinted_handoff_backoff_max_ms = 500.0;
     options.cluster.hinted_handoff_max_retries = 100;
     options.writes = 6000;
     options.write_spacing_ms = 250.0;

@@ -23,7 +23,8 @@ void ShipNewer(Cluster* cluster, Node& from, Node& to, Rng& rng) {
     const double delay = config.legs.w->Sample(rng);
     Node* target = &to;
     ++cluster->metrics().anti_entropy_values_shipped;
-    cluster->network().SendWithDelay(
+    // Fire-and-forget: a dropped shipment is retried next sync round.
+    (void)cluster->network().SendWithDelay(
         from.id(), to.id(), delay,
         [target, key, value, from_id = from.id()]() {
           target->HandleWriteRequest(key, value, from_id, /*request_id=*/0,

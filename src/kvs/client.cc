@@ -1,6 +1,7 @@
 #include "kvs/client.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "core/closed_form.h"
@@ -11,7 +12,11 @@ namespace kvs {
 
 ClientSession::ClientSession(Cluster* cluster, NodeId coordinator,
                              int32_t client_id)
-    : cluster_(cluster), coordinator_(coordinator), client_id_(client_id) {}
+    : cluster_(cluster),
+      coordinator_(coordinator),
+      client_id_(client_id),
+      retry_rng_(cluster->config().seed ^ 0xC11E47ULL ^
+                 (static_cast<uint64_t>(client_id) << 32)) {}
 
 void ClientSession::Write(Key key, std::string value, WriteCallback done) {
   VersionedValue versioned;
@@ -20,8 +25,72 @@ void ClientSession::Write(Key key, std::string value, WriteCallback done) {
   versioned.stamp.writer = client_id_;
   versioned.value = std::move(value);
   versioned.clock.Increment(client_id_);
+  StartWriteAttempt(key, std::move(versioned), std::move(done), /*attempt=*/1,
+                    cluster_->sim().now());
+}
+
+double ClientSession::AttemptTimeoutMs(double op_start) const {
+  const KvsConfig::ClientRetryPolicy& policy =
+      cluster_->config().client_retry;
+  if (policy.deadline_ms <= 0.0) return 0.0;  // configured timeout applies
+  const double remaining =
+      policy.deadline_ms - (cluster_->sim().now() - op_start);
+  // Attempts only start with budget left, but clamp anyway so a zero
+  // override never silently falls back to the configured timeout.
+  return std::min(cluster_->config().request_timeout_ms,
+                  std::max(remaining, 1e-9));
+}
+
+double ClientSession::NextRetryDelayMs(int attempt, double op_start) {
+  const KvsConfig::ClientRetryPolicy& policy =
+      cluster_->config().client_retry;
+  if (attempt >= policy.max_attempts) return -1.0;
+  const double backoff =
+      std::min(policy.backoff_max_ms,
+               policy.backoff_base_ms *
+                   std::pow(2.0, static_cast<double>(attempt - 1)));
+  const double delay = backoff * (0.5 + 0.5 * retry_rng_.NextDouble());
+  if (policy.deadline_ms > 0.0) {
+    const double elapsed = cluster_->sim().now() - op_start;
+    if (elapsed + delay >= policy.deadline_ms) {
+      ++cluster_->metrics().client_deadline_misses;
+      return -1.0;  // waiting out the backoff would blow the budget
+    }
+  }
+  return delay;
+}
+
+void ClientSession::StartWriteAttempt(Key key, VersionedValue value,
+                                      WriteCallback done, int attempt,
+                                      double op_start) {
+  // Keep a copy for a potential retry; re-sending the same sequence is
+  // idempotent at the replicas (last-write-wins on the version order).
+  VersionedValue payload = value;
   cluster_->node(coordinator_)
-      .CoordinateWrite(key, std::move(versioned), std::move(done));
+      .CoordinateWrite(
+          key, std::move(payload),
+          [this, key, value = std::move(value), done = std::move(done),
+           attempt, op_start](const WriteResult& r) mutable {
+            WriteResult result = r;
+            result.attempts = attempt;
+            if (!result.ok) {
+              const double delay = NextRetryDelayMs(attempt, op_start);
+              if (delay >= 0.0) {
+                ++cluster_->metrics().client_write_retries;
+                cluster_->sim().Schedule(
+                    delay, [this, key, value = std::move(value),
+                            done = std::move(done), attempt, op_start]() mutable {
+                      StartWriteAttempt(key, std::move(value), std::move(done),
+                                        attempt + 1, op_start);
+                    });
+                return;
+              }
+            }
+            // Client-visible latency spans every attempt and backoff.
+            result.latency_ms = cluster_->sim().now() - op_start;
+            if (done) done(result);
+          },
+          AttemptTimeoutMs(op_start));
 }
 
 double ClientSession::ReadRatePerMs(Key key) const {
@@ -71,23 +140,67 @@ void ClientSession::MultiRead(const std::vector<Key>& keys,
 void ClientSession::Read(Key key, ReadCallback done) {
   ++reads_issued_;
   read_rates_.try_emplace(key).first->second.Record(cluster_->sim().now());
+  StartReadAttempt(key, std::move(done), /*attempt=*/1, cluster_->sim().now());
+}
+
+void ClientSession::StartReadAttempt(Key key, ReadCallback done, int attempt,
+                                     double op_start) {
+  const KvsConfig& config = cluster_->config();
+  int required_override = 0;
+  if (attempt > 1 && config.client_retry.downgrade_reads_on_retry) {
+    // Shed one response requirement per retry (R, R-1, ..., 1): trade
+    // consistency for availability once the full quorum proved unreachable.
+    required_override = std::max(1, config.quorum.r - (attempt - 1));
+  }
   cluster_->node(coordinator_)
-      .CoordinateRead(key, [this, key, done = std::move(done)](
-                               const ReadResult& result) {
-        if (result.ok) {
-          const int64_t sequence =
-              result.value.has_value() ? result.value->sequence : 0;
-          auto [it, inserted] = last_read_sequence_.try_emplace(key, 0);
-          if (sequence < it->second) {
-            ++monotonic_violations_;
-            ++cluster_->metrics().monotonic_read_violations;
-          } else {
-            it->second = sequence;
-          }
-          ++cluster_->metrics().session_reads;
-        }
-        if (done) done(result);
-      });
+      .CoordinateRead(
+          key,
+          [this, key, done = std::move(done), attempt, op_start,
+           required_override](const ReadResult& r) mutable {
+            ReadResult result = r;
+            result.attempts = attempt;
+            if (!result.ok) {
+              const double delay = NextRetryDelayMs(attempt, op_start);
+              if (delay >= 0.0) {
+                ++cluster_->metrics().client_read_retries;
+                cluster_->sim().Schedule(
+                    delay,
+                    [this, key, done = std::move(done), attempt,
+                     op_start]() mutable {
+                      StartReadAttempt(key, std::move(done), attempt + 1,
+                                       op_start);
+                    });
+                return;
+              }
+            }
+            if (result.ok && required_override > 0 &&
+                required_override < cluster_->config().quorum.r) {
+              result.downgraded = true;
+              ++cluster_->metrics().consistency_downgrades;
+            }
+            result.latency_ms = cluster_->sim().now() - op_start;
+            FinishRead(key, result, done);
+          },
+          required_override, AttemptTimeoutMs(op_start));
+}
+
+void ClientSession::FinishRead(Key key, const ReadResult& result,
+                               ReadCallback& done) {
+  if (result.ok) {
+    const int64_t sequence =
+        result.value.has_value() ? result.value->sequence : 0;
+    auto [it, inserted] = last_read_sequence_.try_emplace(key, 0);
+    if (sequence < it->second) {
+      // Downgraded reads are *not* exempt: a stale answer accepted under
+      // R=1 still violates the session guarantee and is counted honestly.
+      ++monotonic_violations_;
+      ++cluster_->metrics().monotonic_read_violations;
+    } else {
+      it->second = sequence;
+    }
+    ++cluster_->metrics().session_reads;
+  }
+  if (done) done(result);
 }
 
 }  // namespace kvs

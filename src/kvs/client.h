@@ -11,6 +11,8 @@
 #include "kvs/node.h"
 #include "kvs/rates.h"
 #include "kvs/ring.h"
+#include "kvs/version.h"
+#include "util/rng.h"
 
 namespace pbs {
 namespace kvs {
@@ -22,6 +24,14 @@ class Cluster;
 /// sequence, LWW stamp, vector clock entry) and track the monotonic-reads
 /// session guarantee (Section 3.2): a read that returns an older version
 /// than this session previously saw for the key counts as a violation.
+///
+/// When KvsConfig::client_retry allows more than one attempt, failed
+/// operations retry with capped exponential backoff and deterministic
+/// jitter until the per-operation deadline budget runs out; each attempt's
+/// coordinator timeout is clipped to the remaining budget. Results carry
+/// the attempt count, client-visible latency spans all attempts, and (for
+/// reads with downgrade_reads_on_retry) a `downgraded` flag when a retry
+/// accepted fewer than the configured R responses.
 class ClientSession {
  public:
   ClientSession(Cluster* cluster, NodeId coordinator, int32_t client_id);
@@ -68,9 +78,26 @@ class ClientSession {
   double PredictedMonotonicViolationProbability(Key key) const;
 
  private:
+  void StartWriteAttempt(Key key, VersionedValue value, WriteCallback done,
+                         int attempt, double op_start);
+  void StartReadAttempt(Key key, ReadCallback done, int attempt,
+                        double op_start);
+  /// Per-attempt coordinator timeout: the configured request timeout
+  /// clipped to the remaining deadline budget (0 = use the configured
+  /// timeout unchanged).
+  double AttemptTimeoutMs(double op_start) const;
+  /// Backoff before the next attempt (capped exponential, jitter in
+  /// [0.5, 1)), or a negative value when the operation must fail now
+  /// (attempts exhausted, or the backoff would blow the deadline — the
+  /// latter counts a client_deadline_miss).
+  double NextRetryDelayMs(int attempt, double op_start);
+  /// Monotonic-reads accounting + the user callback.
+  void FinishRead(Key key, const ReadResult& result, ReadCallback& done);
+
   Cluster* cluster_;
   NodeId coordinator_;
   int32_t client_id_;
+  Rng retry_rng_;
   int64_t reads_issued_ = 0;
   int64_t monotonic_violations_ = 0;
   std::unordered_map<Key, int64_t> last_read_sequence_;

@@ -76,11 +76,21 @@ void Cluster::UpdateLegs(const WarsDistributions& legs) {
 
 void Cluster::StartFailureDetector() {
   if (failure_detector_ != nullptr) return;
-  HeartbeatFailureDetector::Options options;
-  options.heartbeat_interval_ms = config_.heartbeat_interval_ms;
-  options.suspect_timeout_ms = config_.suspect_timeout_ms;
-  failure_detector_ = std::make_unique<HeartbeatFailureDetector>(
-      this, options, config_.seed ^ 0xFDFDFD);
+  if (config_.failure_detector == KvsConfig::FailureDetectorKind::kPhiAccrual) {
+    PhiAccrualFailureDetector::Options options;
+    options.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+    options.threshold = config_.phi_threshold;
+    options.window_size = config_.phi_window_size;
+    options.min_std_ms = config_.phi_min_std_ms;
+    failure_detector_ = std::make_unique<PhiAccrualFailureDetector>(
+        this, options, config_.seed ^ 0xFDFDFD);
+  } else {
+    HeartbeatFailureDetector::Options options;
+    options.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+    options.suspect_timeout_ms = config_.suspect_timeout_ms;
+    failure_detector_ = std::make_unique<HeartbeatFailureDetector>(
+        this, options, config_.seed ^ 0xFDFDFD);
+  }
   failure_detector_->Start();
 }
 

@@ -46,8 +46,14 @@ struct KvsConfig {
 
   /// Hinted handoff: a write coordinator that misses acknowledgments by the
   /// timeout keeps re-sending the write to the unacknowledged replicas.
+  /// Re-sends back off exponentially from `backoff_base` doubling up to
+  /// `backoff_max`, each delay scaled by a deterministic jitter factor in
+  /// [0.5, 1) drawn from the coordinator's seeded stream — so a fleet of
+  /// stalled writes does not re-synchronize into retry storms, and runs
+  /// stay reproducible.
   bool hinted_handoff = false;
-  double hinted_handoff_retry_ms = 50.0;
+  double hinted_handoff_backoff_base_ms = 50.0;
+  double hinted_handoff_backoff_max_ms = 2000.0;
   int hinted_handoff_max_retries = 20;
 
   /// Read fan-out policy (Section 2.3): Dynamo sends reads to all N and
@@ -58,6 +64,36 @@ struct KvsConfig {
 
   /// Coordinator-side operation timeout.
   double request_timeout_ms = 10000.0;
+
+  /// Hedged reads (Cassandra's "rapid read protection"): if a read has not
+  /// assembled R responses within the hedging delay, the coordinator
+  /// re-issues it — to preference-list replicas it has not tried yet
+  /// (kQuorumOnly fan-out), or as a second attempt to the replicas that
+  /// have not answered (kAllN). Responses are deduplicated per replica, so
+  /// R-counting and read repair stay correct. The delay defaults to the
+  /// hedge_quantile of the request+response leg round trip (sum of the two
+  /// legs' quantiles — an upper bound, which only makes hedging slightly
+  /// lazier); set hedge_delay_ms > 0 to pin it explicitly.
+  bool hedged_reads = false;
+  double hedge_quantile = 0.99;
+  double hedge_delay_ms = 0.0;  // 0 = derive from hedge_quantile
+  int max_hedges_per_read = 2;  // extra request legs per hedge wave
+
+  /// Client-side retry policy (consumed by ClientSession): failed
+  /// operations retry with capped exponential backoff and deterministic
+  /// jitter while a per-operation deadline budget lasts.
+  /// `downgrade_reads_on_retry` lets a retried read accept fewer responses
+  /// (R, R-1, ..., 1) — trading consistency for availability under gray
+  /// failures; such results carry ReadResult::downgraded = true so
+  /// staleness accounting stays honest.
+  struct ClientRetryPolicy {
+    int max_attempts = 1;  // 1 = no retries
+    double backoff_base_ms = 10.0;
+    double backoff_max_ms = 1000.0;
+    double deadline_ms = 0.0;  // per-operation budget; 0 = unbounded
+    bool downgrade_reads_on_retry = false;
+  };
+  ClientRetryPolicy client_retry;
 
   /// Virtual tokens per node on the consistent-hash ring.
   int vnodes_per_node = 16;
@@ -78,10 +114,17 @@ struct KvsConfig {
   int sloppy_extra = 2;            // substitutes considered beyond N
   double hint_delivery_interval_ms = 100.0;
 
-  /// Heartbeat failure detection (used by sloppy quorums; also available
-  /// standalone via Cluster::StartFailureDetector).
+  /// Failure detection (used by sloppy quorums; also available standalone
+  /// via Cluster::StartFailureDetector). kHeartbeat suspects after a fixed
+  /// silence; kPhiAccrual accrues suspicion from the empirical pong
+  /// inter-arrival distribution (threshold/window/floor below).
+  enum class FailureDetectorKind { kHeartbeat, kPhiAccrual };
+  FailureDetectorKind failure_detector = FailureDetectorKind::kHeartbeat;
   double heartbeat_interval_ms = 100.0;
-  double suspect_timeout_ms = 400.0;
+  double suspect_timeout_ms = 400.0;   // kHeartbeat
+  double phi_threshold = 8.0;          // kPhiAccrual: suspect at φ >= this
+  int phi_window_size = 128;
+  double phi_min_std_ms = 2.0;
 
   uint64_t seed = 42;
 };
@@ -122,12 +165,12 @@ class Cluster {
   /// substitutes), used by sloppy-quorum writes.
   std::vector<NodeId> ExtendedReplicasFor(Key key) const;
 
-  /// Starts the heartbeat failure detector (idempotent). The detector task
-  /// reschedules itself forever: drive the simulation with RunUntil.
+  /// Starts the configured failure detector (idempotent; see
+  /// KvsConfig::failure_detector for the heartbeat/φ-accrual choice). The
+  /// detector task reschedules itself forever: drive the simulation with
+  /// RunUntil.
   void StartFailureDetector();
-  HeartbeatFailureDetector* failure_detector() {
-    return failure_detector_.get();
-  }
+  FailureDetector* failure_detector() { return failure_detector_.get(); }
 
   /// Live reconfiguration (Section 6 "Variable configurations"): changes
   /// the read/write response requirements for operations *started after*
@@ -181,7 +224,7 @@ class Cluster {
   Simulator sim_;
   std::unique_ptr<Network> network_;
   ConsistentHashRing ring_;
-  std::unique_ptr<HeartbeatFailureDetector> failure_detector_;
+  std::unique_ptr<FailureDetector> failure_detector_;
   std::vector<std::unique_ptr<Node>> nodes_;
   ClusterMetrics metrics_;
   LateReadHook late_read_hook_;

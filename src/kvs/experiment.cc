@@ -23,7 +23,7 @@ namespace {
 
 StalenessExperimentResult RunStalenessExperimentImpl(
     const StalenessExperimentOptions& options,
-    const FailureSchedule* failures) {
+    const FailureSchedule* failures, const FaultSchedule* faults = nullptr) {
   assert(options.writes >= 1);
   assert(!options.read_offsets_ms.empty());
 
@@ -34,6 +34,7 @@ StalenessExperimentResult RunStalenessExperimentImpl(
   cluster.StartAntiEntropy();
   if (config.sloppy_quorums) cluster.StartFailureDetector();
   if (failures != nullptr) failures->InstallOn(&cluster);
+  if (faults != nullptr) faults->InstallOn(&cluster);
 
   const Key key = 0;
   ClientSession writer(&cluster, cluster.coordinator(0).id(), /*client_id=*/1);
@@ -119,6 +120,8 @@ StalenessExperimentResult RunStalenessExperimentImpl(
   result.detector_consistent = detector.consistent();
   result.final_metrics = cluster.metrics();
   result.network_messages = cluster.network().messages_sent();
+  result.network_messages_dropped = cluster.network().messages_dropped();
+  result.network_messages_duplicated = cluster.network().messages_duplicated();
   return result;
 }
 
@@ -133,6 +136,185 @@ StalenessExperimentResult RunStalenessExperimentWithFailures(
     const StalenessExperimentOptions& options,
     const FailureSchedule& failures) {
   return RunStalenessExperimentImpl(options, &failures);
+}
+
+StalenessExperimentResult RunStalenessExperimentWithFaults(
+    const StalenessExperimentOptions& options, const FaultSchedule& faults,
+    const FailureSchedule* failures) {
+  return RunStalenessExperimentImpl(options, failures, &faults);
+}
+
+namespace {
+
+/// Digest of one experiment run; latency pools ride along (outside the
+/// summary) so campaign-level quantiles can be recomputed exactly.
+ChaosSummary Summarize(const StalenessExperimentOptions& options,
+                       const StalenessExperimentResult& run,
+                       std::vector<double>* read_pool,
+                       std::vector<double>* write_pool) {
+  ChaosSummary s;
+  const ClusterMetrics& m = run.final_metrics;
+  s.reads_started = m.reads_started;
+  s.reads_failed = m.reads_failed;
+  s.writes_started = m.writes_started;
+  s.writes_failed = m.writes_failed;
+  s.hedged_reads_sent = m.hedged_reads_sent;
+  s.hedged_reads_won = m.hedged_reads_won;
+  s.duplicate_responses_suppressed = m.duplicate_responses_suppressed;
+  s.duplicate_acks_suppressed = m.duplicate_acks_suppressed;
+  s.client_read_retries = m.client_read_retries;
+  s.client_write_retries = m.client_write_retries;
+  s.client_deadline_misses = m.client_deadline_misses;
+  s.consistency_downgrades = m.consistency_downgrades;
+  s.monotonic_read_violations = m.monotonic_read_violations;
+  s.messages_dropped = run.network_messages_dropped;
+  s.messages_duplicated = run.network_messages_duplicated;
+  s.fault_activations =
+      m.fault_slow_node_activations + m.fault_lossy_link_activations +
+      m.fault_flapping_activations + m.fault_asymmetric_partition_activations;
+
+  std::vector<double> reads = run.read_latencies;
+  std::sort(reads.begin(), reads.end());
+  std::vector<double> writes = run.write_latencies;
+  std::sort(writes.begin(), writes.end());
+  if (!reads.empty()) {
+    s.read_p50 = QuantileSorted(reads, 0.50);
+    s.read_p99 = QuantileSorted(reads, 0.99);
+    s.read_p999 = QuantileSorted(reads, 0.999);
+    s.read_max = reads.back();
+  }
+  if (!writes.empty()) {
+    s.write_p50 = QuantileSorted(writes, 0.50);
+    s.write_p99 = QuantileSorted(writes, 0.99);
+    s.write_p999 = QuantileSorted(writes, 0.999);
+  }
+
+  s.probe_offsets_ms = options.read_offsets_ms;
+  s.probe_trials.assign(s.probe_offsets_ms.size(), 0);
+  s.probe_consistent.assign(s.probe_offsets_ms.size(), 0);
+  for (const auto& point : run.t_visibility) {
+    for (size_t i = 0; i < s.probe_offsets_ms.size(); ++i) {
+      if (point.t == s.probe_offsets_ms[i]) {
+        s.probe_trials[i] = point.trials;
+        s.probe_consistent[i] = point.consistent;
+        break;
+      }
+    }
+  }
+
+  if (read_pool != nullptr) {
+    read_pool->insert(read_pool->end(), run.read_latencies.begin(),
+                      run.read_latencies.end());
+  }
+  if (write_pool != nullptr) {
+    write_pool->insert(write_pool->end(), run.write_latencies.begin(),
+                       run.write_latencies.end());
+  }
+  return s;
+}
+
+}  // namespace
+
+ChaosCampaignResult RunChaosTrials(const ChaosTrialOptions& options,
+                                   const PbsExecutionOptions& exec) {
+  assert(options.trials >= 1);
+  const int64_t trials = options.trials;
+  const int64_t num_chunks = NumChunks(trials, exec);
+  std::vector<Rng> streams = MakeJumpStreams(Rng(options.seed), num_chunks);
+
+  const double max_offset =
+      *std::max_element(options.experiment.read_offsets_ms.begin(),
+                        options.experiment.read_offsets_ms.end());
+  const double horizon =
+      static_cast<double>(options.experiment.writes + 1) *
+          options.experiment.write_spacing_ms +
+      max_offset + 3.0 * options.experiment.cluster.request_timeout_ms;
+
+  struct TrialOutput {
+    ChaosSummary summary;
+    std::vector<double> read_latencies;
+    std::vector<double> write_latencies;
+  };
+  std::vector<TrialOutput> outputs(trials);
+
+  ParallelFor(trials, exec,
+              [&](int64_t chunk_index, int64_t begin, int64_t end) {
+                Rng& stream = streams[chunk_index];
+                for (int64_t t = begin; t < end; ++t) {
+                  // Two sequential draws per trial from the chunk's
+                  // sub-stream: the workload seed and the fault seed.
+                  const uint64_t workload_seed = stream.Next();
+                  const uint64_t fault_seed = stream.Next();
+                  StalenessExperimentOptions experiment = options.experiment;
+                  experiment.seed = workload_seed;
+                  StalenessExperimentResult run;
+                  if (options.inject_faults) {
+                    const FaultSchedule faults =
+                        FaultSchedule::RandomGrayFailures(
+                            experiment.cluster.quorum.n, horizon,
+                            options.fault_mean_interarrival_ms,
+                            options.fault_mean_duration_ms, fault_seed);
+                    run = RunStalenessExperimentWithFaults(experiment, faults);
+                  } else {
+                    run = RunStalenessExperiment(experiment);
+                  }
+                  TrialOutput& out = outputs[t];
+                  out.summary = Summarize(experiment, run,
+                                          &out.read_latencies,
+                                          &out.write_latencies);
+                }
+              });
+
+  ChaosCampaignResult result;
+  result.trials.reserve(trials);
+  std::vector<double> read_pool;
+  std::vector<double> write_pool;
+  ChaosSummary& pooled = result.pooled;
+  pooled.probe_offsets_ms = options.experiment.read_offsets_ms;
+  pooled.probe_trials.assign(pooled.probe_offsets_ms.size(), 0);
+  pooled.probe_consistent.assign(pooled.probe_offsets_ms.size(), 0);
+  for (TrialOutput& out : outputs) {  // trial order: deterministic merge
+    const ChaosSummary& s = out.summary;
+    pooled.reads_started += s.reads_started;
+    pooled.reads_failed += s.reads_failed;
+    pooled.writes_started += s.writes_started;
+    pooled.writes_failed += s.writes_failed;
+    pooled.hedged_reads_sent += s.hedged_reads_sent;
+    pooled.hedged_reads_won += s.hedged_reads_won;
+    pooled.duplicate_responses_suppressed += s.duplicate_responses_suppressed;
+    pooled.duplicate_acks_suppressed += s.duplicate_acks_suppressed;
+    pooled.client_read_retries += s.client_read_retries;
+    pooled.client_write_retries += s.client_write_retries;
+    pooled.client_deadline_misses += s.client_deadline_misses;
+    pooled.consistency_downgrades += s.consistency_downgrades;
+    pooled.monotonic_read_violations += s.monotonic_read_violations;
+    pooled.messages_dropped += s.messages_dropped;
+    pooled.messages_duplicated += s.messages_duplicated;
+    pooled.fault_activations += s.fault_activations;
+    for (size_t i = 0; i < pooled.probe_offsets_ms.size(); ++i) {
+      pooled.probe_trials[i] += s.probe_trials[i];
+      pooled.probe_consistent[i] += s.probe_consistent[i];
+    }
+    read_pool.insert(read_pool.end(), out.read_latencies.begin(),
+                     out.read_latencies.end());
+    write_pool.insert(write_pool.end(), out.write_latencies.begin(),
+                      out.write_latencies.end());
+    result.trials.push_back(std::move(out.summary));
+  }
+  std::sort(read_pool.begin(), read_pool.end());
+  std::sort(write_pool.begin(), write_pool.end());
+  if (!read_pool.empty()) {
+    pooled.read_p50 = QuantileSorted(read_pool, 0.50);
+    pooled.read_p99 = QuantileSorted(read_pool, 0.99);
+    pooled.read_p999 = QuantileSorted(read_pool, 0.999);
+    pooled.read_max = read_pool.back();
+  }
+  if (!write_pool.empty()) {
+    pooled.write_p50 = QuantileSorted(write_pool, 0.50);
+    pooled.write_p99 = QuantileSorted(write_pool, 0.99);
+    pooled.write_p999 = QuantileSorted(write_pool, 0.999);
+  }
+  return result;
 }
 
 }  // namespace kvs

@@ -6,6 +6,7 @@
 
 #include "kvs/cluster.h"
 #include "kvs/metrics.h"
+#include "util/parallel.h"
 
 namespace pbs {
 namespace kvs {
@@ -60,6 +61,11 @@ struct StalenessExperimentResult {
   /// operation, repairs, gossip, handoffs, heartbeats).
   int64_t network_messages = 0;
 
+  /// Messages lost (partitions, global drops, fault-profile loss) and extra
+  /// copies injected by duplicating fault profiles.
+  int64_t network_messages_dropped = 0;
+  int64_t network_messages_duplicated = 0;
+
   /// P(consistent | t) for a probed offset (asserts the offset was probed).
   double ProbConsistentAt(double t) const;
 };
@@ -76,6 +82,94 @@ class FailureSchedule;
 StalenessExperimentResult RunStalenessExperimentWithFailures(
     const StalenessExperimentOptions& options,
     const FailureSchedule& failures);
+
+/// As above, but installs a gray-fault schedule (slow nodes, bursty lossy
+/// links, flapping, one-way partitions) before running. Fail-stop and gray
+/// faults compose: pass both when a scenario needs crashes *and* gray
+/// degradation.
+class FaultSchedule;
+StalenessExperimentResult RunStalenessExperimentWithFaults(
+    const StalenessExperimentOptions& options, const FaultSchedule& faults,
+    const FailureSchedule* failures = nullptr);
+
+/// Scalar digest of one (or a pool of) chaos experiment run(s). Everything
+/// is either an exact integer counter or a quantile of a deterministically
+/// sorted latency pool, so two runs of the same seeded workload compare
+/// bitwise equal — the contract parallel_determinism_test pins across
+/// thread counts.
+struct ChaosSummary {
+  int64_t reads_started = 0;
+  int64_t reads_failed = 0;
+  int64_t writes_started = 0;
+  int64_t writes_failed = 0;
+  int64_t hedged_reads_sent = 0;
+  int64_t hedged_reads_won = 0;
+  int64_t duplicate_responses_suppressed = 0;
+  int64_t duplicate_acks_suppressed = 0;
+  int64_t client_read_retries = 0;
+  int64_t client_write_retries = 0;
+  int64_t client_deadline_misses = 0;
+  int64_t consistency_downgrades = 0;
+  int64_t monotonic_read_violations = 0;
+  int64_t messages_dropped = 0;
+  int64_t messages_duplicated = 0;
+  int64_t fault_activations = 0;
+
+  // Client-visible read/write latency quantiles (ms).
+  double read_p50 = 0.0;
+  double read_p99 = 0.0;
+  double read_p999 = 0.0;
+  double read_max = 0.0;
+  double write_p50 = 0.0;
+  double write_p99 = 0.0;
+  double write_p999 = 0.0;
+
+  // Empirical t-visibility, aligned with the probed read offsets: exact
+  // counts so pooled summaries stay integer-exact.
+  std::vector<double> probe_offsets_ms;
+  std::vector<int64_t> probe_trials;
+  std::vector<int64_t> probe_consistent;
+
+  double ProbConsistentAtIndex(size_t i) const {
+    return probe_trials[i] == 0 ? 1.0
+                                : static_cast<double>(probe_consistent[i]) /
+                                      static_cast<double>(probe_trials[i]);
+  }
+
+  friend bool operator==(const ChaosSummary&, const ChaosSummary&) = default;
+};
+
+/// A chaos campaign: `trials` independent seeded runs of the staleness
+/// harness, each under its own RandomGrayFailures schedule. Trial t derives
+/// its workload and fault seeds from the t-th draws of a Jump()-partitioned
+/// stream, so the campaign is bitwise identical at any thread count (the
+/// (seed, chunk_size) contract of util/parallel.h).
+struct ChaosTrialOptions {
+  StalenessExperimentOptions experiment;  // per-trial seed is overridden
+  int trials = 8;
+
+  /// RandomGrayFailures knobs; inject_faults=false runs the same workload
+  /// fault-free (the hedging on/off baseline).
+  bool inject_faults = true;
+  double fault_mean_interarrival_ms = 4000.0;
+  double fault_mean_duration_ms = 1500.0;
+
+  uint64_t seed = 99;
+};
+
+struct ChaosCampaignResult {
+  /// Per-trial summaries in trial order (index = trial id).
+  std::vector<ChaosSummary> trials;
+  /// Everything pooled: counters added, latency quantiles recomputed over
+  /// the concatenated (trial-ordered, then sorted) latency pools.
+  ChaosSummary pooled;
+
+  friend bool operator==(const ChaosCampaignResult&,
+                         const ChaosCampaignResult&) = default;
+};
+
+ChaosCampaignResult RunChaosTrials(const ChaosTrialOptions& options,
+                                   const PbsExecutionOptions& exec);
 
 }  // namespace kvs
 }  // namespace pbs

@@ -12,19 +12,56 @@ namespace kvs {
 
 class Cluster;
 
-/// Heartbeat-based fail-stop detector. A monitor process pings every
-/// storage replica each `heartbeat_interval_ms` (ping delayed like a read
-/// request, pong like a read response); a replica whose last pong is older
-/// than `suspect_timeout_ms` is *suspected*. Crashed replicas stop ponging
-/// and become suspected within roughly interval + timeout; recovered
-/// replicas are cleared on their next pong.
+/// Common interface of the cluster failure detectors. A monitor process
+/// pings every storage replica each `ping_interval_ms` (ping delayed like a
+/// read request, pong like a read response); subclasses decide what pong
+/// arrival history means for *suspicion*. Hinted handoff and sloppy quorums
+/// consume only IsSuspected(), so either detector can drive them
+/// (KvsConfig::failure_detector selects one).
 ///
-/// Dynamo uses detectors like this to drive sloppy quorums and hinted
-/// handoff (write availability under churn) — the "recovery semantics"
-/// the paper's Section 6 points at. Detection is unreliable by nature:
-/// suspicion lags real state by up to a heartbeat cycle, and slow (not
-/// dead) replicas can be falsely suspected; callers must tolerate both.
-class HeartbeatFailureDetector {
+/// Detection is unreliable by nature: suspicion lags real state by up to a
+/// heartbeat cycle, and slow (not dead) replicas can be falsely suspected;
+/// callers must tolerate both.
+class FailureDetector {
+ public:
+  FailureDetector(Cluster* cluster, double ping_interval_ms, uint64_t seed);
+  virtual ~FailureDetector() = default;
+
+  /// Schedules the periodic ping task. The task reschedules itself forever;
+  /// drive the simulation with RunUntil(...) when a detector is running.
+  void Start();
+
+  /// True when the detector currently suspects `node` of having failed.
+  virtual bool IsSuspected(NodeId node) const = 0;
+
+  int64_t pings_sent() const { return pings_sent_; }
+  int64_t pongs_received() const { return pongs_received_; }
+
+ protected:
+  /// Pong from `node` arrived at virtual time `now`.
+  virtual void RecordArrival(NodeId node, double now) = 0;
+
+  /// Called once by Start() with the start time, before the first ping.
+  virtual void OnStart(double now) = 0;
+
+  Cluster* cluster_;
+
+ private:
+  void Tick();
+  void OnPong(NodeId node);
+
+  double ping_interval_ms_;
+  Rng rng_;
+  int64_t pings_sent_ = 0;
+  int64_t pongs_received_ = 0;
+};
+
+/// Heartbeat (fixed-timeout) fail-stop detector: a replica whose last pong
+/// is older than `suspect_timeout_ms` is suspected. Crashed replicas stop
+/// ponging and become suspected within roughly interval + timeout;
+/// recovered replicas are cleared on their next pong. This is the detector
+/// Dynamo-style stores ship as the conservative default.
+class HeartbeatFailureDetector : public FailureDetector {
  public:
   struct Options {
     double heartbeat_interval_ms = 100.0;
@@ -34,26 +71,61 @@ class HeartbeatFailureDetector {
   HeartbeatFailureDetector(Cluster* cluster, const Options& options,
                            uint64_t seed);
 
-  /// Schedules the periodic ping task. The task reschedules itself forever;
-  /// drive the simulation with RunUntil(...) when a detector is running.
-  void Start();
+  bool IsSuspected(NodeId node) const override;
 
-  /// True when `node` has not answered within the suspicion timeout.
-  bool IsSuspected(NodeId node) const;
-
-  int64_t pings_sent() const { return pings_sent_; }
-  int64_t pongs_received() const { return pongs_received_; }
+ protected:
+  void RecordArrival(NodeId node, double now) override;
+  void OnStart(double now) override;
 
  private:
-  void Tick();
-  void OnPong(NodeId node);
-
-  Cluster* cluster_;
   Options options_;
-  Rng rng_;
   std::vector<double> last_heard_;  // per storage replica
-  int64_t pings_sent_ = 0;
-  int64_t pongs_received_ = 0;
+};
+
+/// φ-accrual failure detector (Hayashibara et al.): instead of a binary
+/// timeout, each replica accrues a *suspicion level*
+///     φ(t) = -log10( P(pong gap > t) )
+/// from the empirical distribution of its recent pong inter-arrival times
+/// (normal approximation over a sliding window). A node is suspected when
+/// φ crosses `threshold` — so the detection delay adapts to the link: a
+/// jittery WAN path needs a long silence before φ = 8, a steady LAN path
+/// only a short one. This is Cassandra's production detector, and the one
+/// that keeps sloppy quorums honest under gray failures: a merely *slow*
+/// node accrues suspicion gradually instead of tripping a fixed timeout.
+class PhiAccrualFailureDetector : public FailureDetector {
+ public:
+  struct Options {
+    double heartbeat_interval_ms = 100.0;
+    double threshold = 8.0;        // suspect at P(gap) < 1e-8
+    int window_size = 128;         // inter-arrival samples kept per node
+    double min_std_ms = 2.0;       // variance floor (deterministic links)
+  };
+
+  PhiAccrualFailureDetector(Cluster* cluster, const Options& options,
+                            uint64_t seed);
+
+  bool IsSuspected(NodeId node) const override;
+
+  /// Current suspicion level of `node`; 0 before any pong arrived twice.
+  double Phi(NodeId node) const;
+
+ protected:
+  void RecordArrival(NodeId node, double now) override;
+  void OnStart(double now) override;
+
+ private:
+  struct NodeState {
+    double last_arrival = 0.0;
+    int64_t arrivals = 0;
+    // Sliding-window sums for mean/stddev of inter-arrival times.
+    std::vector<double> window;  // ring buffer, size <= window_size
+    int next = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+  };
+
+  Options options_;
+  std::vector<NodeState> states_;  // per storage replica
 };
 
 }  // namespace kvs

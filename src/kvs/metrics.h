@@ -88,6 +88,27 @@ struct ClusterMetrics {
   int64_t anti_entropy_values_shipped = 0;
   int64_t monotonic_read_violations = 0;
   int64_t session_reads = 0;
+
+  // Hedged reads (rapid read protection).
+  int64_t hedged_reads_sent = 0;  // hedge request legs dispatched
+  int64_t hedged_reads_won = 0;   // reads completed by a hedge-only replica
+
+  // Response deduplication (duplicate delivery and hedge re-sends must not
+  // double-count one replica toward R / W).
+  int64_t duplicate_responses_suppressed = 0;
+  int64_t duplicate_acks_suppressed = 0;
+
+  // Client-side retry with backoff under a deadline budget.
+  int64_t client_read_retries = 0;
+  int64_t client_write_retries = 0;
+  int64_t client_deadline_misses = 0;
+  int64_t consistency_downgrades = 0;  // reads retried at a reduced R
+
+  // Gray-fault injection: activations per fault kind (FaultSchedule).
+  int64_t fault_slow_node_activations = 0;
+  int64_t fault_lossy_link_activations = 0;
+  int64_t fault_flapping_activations = 0;
+  int64_t fault_asymmetric_partition_activations = 0;
 };
 
 }  // namespace kvs

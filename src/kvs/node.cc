@@ -1,6 +1,8 @@
 #include "kvs/node.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 #include "kvs/cluster.h"
@@ -17,7 +19,8 @@ Node::Node(Cluster* cluster, NodeId id, bool is_replica, uint64_t seed)
 // ---------------------------------------------------------------------------
 // Coordinator: writes
 
-void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done) {
+void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
+                           double timeout_override_ms) {
   const KvsConfig& config = cluster_->config();
   const uint64_t request_id = cluster_->NextRequestId();
   ++cluster_->metrics().writes_started;
@@ -34,7 +37,7 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done) {
   // healthy nodes from the extended preference list; substitutes hold the
   // write as a hint for the home replica.
   std::vector<NodeId> hint_homes(pending.replicas.size(), kNoHint);
-  const HeartbeatFailureDetector* detector = cluster_->failure_detector();
+  const FailureDetector* detector = cluster_->failure_detector();
   if (config.sloppy_quorums && detector != nullptr) {
     const std::vector<NodeId> extended = cluster_->ExtendedReplicasFor(key);
     size_t next_substitute = pending.replicas.size();
@@ -67,7 +70,9 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done) {
     }
     Node* target = &cluster_->node(replica);
     const VersionedValue& payload = pending.value;
-    cluster_->network().SendWithDelay(
+    // A dropped request leaves the timeout armed; hinted handoff (if on)
+    // re-delivers from there.
+    (void)cluster_->network().SendWithDelay(
         id_, replica, delay,
         [target, key, payload, coordinator = id_, request_id, hint_home]() {
           target->HandleWriteRequest(key, payload, coordinator, request_id,
@@ -75,7 +80,9 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done) {
         });
   }
   pending_writes_.emplace(request_id, std::move(pending));
-  cluster_->sim().Schedule(config.request_timeout_ms,
+  const double timeout = timeout_override_ms > 0.0 ? timeout_override_ms
+                                                   : config.request_timeout_ms;
+  cluster_->sim().Schedule(timeout,
                            [this, request_id]() {
                              OnWriteTimeout(request_id);
                            });
@@ -86,11 +93,16 @@ void Node::OnWriteAck(uint64_t request_id, NodeId replica) {
   if (it == pending_writes_.end()) return;  // already cleaned up
   PendingWrite& pending = it->second;
   for (size_t i = 0; i < pending.replicas.size(); ++i) {
-    if (pending.replicas[i] == replica && !pending.acked[i]) {
-      pending.acked[i] = true;
-      ++pending.acks;
-      break;
+    if (pending.replicas[i] != replica) continue;
+    if (pending.acked[i]) {
+      // Duplicate delivery (network duplication or a handoff re-send that
+      // raced the original): never count the same replica toward W twice.
+      ++cluster_->metrics().duplicate_acks_suppressed;
+      return;
     }
+    pending.acked[i] = true;
+    ++pending.acks;
+    break;
   }
   if (!pending.committed && pending.acks >= pending.required) {
     pending.committed = true;
@@ -144,7 +156,7 @@ void Node::ResendUnacked(uint64_t request_id) {
     const Key key = pending.key;
     const VersionedValue& payload = pending.value;
     ++cluster_->metrics().hinted_handoffs_sent;
-    cluster_->network().SendWithDelay(
+    (void)cluster_->network().SendWithDelay(
         id_, replica, delay,
         [target, key, payload, coordinator = id_, request_id]() {
           target->HandleWriteRequest(key, payload, coordinator, request_id,
@@ -155,11 +167,20 @@ void Node::ResendUnacked(uint64_t request_id) {
     pending_writes_.erase(it);
     return;
   }
+  // Capped exponential backoff with deterministic jitter in [0.5, 1): the
+  // first re-send waits ~backoff_base, then doubles up to backoff_max, so a
+  // long outage costs O(log) retries instead of a fixed-rate storm.
+  const int retries = pending.handoff_retries;
   if (++pending.handoff_retries >= config.hinted_handoff_max_retries) {
     pending_writes_.erase(it);
     return;
   }
-  cluster_->sim().Schedule(config.hinted_handoff_retry_ms,
+  const double backoff =
+      std::min(config.hinted_handoff_backoff_max_ms,
+               config.hinted_handoff_backoff_base_ms *
+                   std::pow(2.0, static_cast<double>(retries)));
+  const double jitter = 0.5 + 0.5 * rng_.NextDouble();
+  cluster_->sim().Schedule(backoff * jitter,
                            [this, request_id]() {
                              ResendUnacked(request_id);
                            });
@@ -168,7 +189,8 @@ void Node::ResendUnacked(uint64_t request_id) {
 // ---------------------------------------------------------------------------
 // Coordinator: reads
 
-void Node::CoordinateRead(Key key, ReadCallback done) {
+void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
+                          double timeout_override_ms) {
   const KvsConfig& config = cluster_->config();
   const uint64_t request_id = cluster_->NextRequestId();
   ++cluster_->metrics().reads_started;
@@ -176,34 +198,102 @@ void Node::CoordinateRead(Key key, ReadCallback done) {
   PendingRead pending;
   pending.key = key;
   pending.replicas = cluster_->ReplicasFor(key);
-  pending.required = config.quorum.r;
+  pending.required =
+      required_override > 0
+          ? std::min(required_override,
+                     static_cast<int>(pending.replicas.size()))
+          : config.quorum.r;
   if (config.read_fanout == ReadFanout::kQuorumOnly) {
-    // Voldemort-style: contact only a uniformly random R-subset.
+    // Voldemort-style: contact only a uniformly random R-subset. The
+    // uncontacted remainder becomes the hedge pool.
     for (int i = 0; i < pending.required; ++i) {
       const size_t j =
           i + rng_.NextBounded(pending.replicas.size() - i);
       std::swap(pending.replicas[i], pending.replicas[j]);
     }
+    pending.untried.assign(pending.replicas.begin() + pending.required,
+                           pending.replicas.end());
     pending.replicas.resize(pending.required);
   }
   pending.start_time = cluster_->sim().now();
   pending.done = std::move(done);
   for (NodeId replica : pending.replicas) {
-    const double delay =
-        replica == id_ ? 0.0 : config.legs.r->Sample(rng_);
-    if (cluster_->leg_profiler() != nullptr && replica != id_) {
-      cluster_->leg_profiler()->Record(LegProfiler::Leg::kReadRequest,
-                                       delay);
-    }
-    Node* target = &cluster_->node(replica);
-    cluster_->network().SendWithDelay(
-        id_, replica, delay, [target, key, coordinator = id_, request_id]() {
-          target->HandleReadRequest(key, coordinator, request_id);
-        });
+    SendReadRequest(key, replica, request_id);
   }
   pending_reads_.emplace(request_id, std::move(pending));
-  cluster_->sim().Schedule(config.request_timeout_ms,
+  const double timeout = timeout_override_ms > 0.0 ? timeout_override_ms
+                                                   : config.request_timeout_ms;
+  cluster_->sim().Schedule(timeout,
                            [this, request_id]() { OnReadTimeout(request_id); });
+  if (config.hedged_reads) {
+    // Rapid read protection: if R responses have not assembled by the
+    // hedging delay, re-issue the read (see OnHedgeDeadline). The delay is
+    // either pinned or derived from the per-leg latency quantiles.
+    double hedge_delay = config.hedge_delay_ms;
+    if (hedge_delay <= 0.0) {
+      hedge_delay = config.legs.r->Quantile(config.hedge_quantile) +
+                    config.legs.s->Quantile(config.hedge_quantile);
+    }
+    if (hedge_delay < timeout) {
+      cluster_->sim().Schedule(
+          hedge_delay, [this, request_id]() { OnHedgeDeadline(request_id); });
+    }
+  }
+}
+
+void Node::SendReadRequest(Key key, NodeId replica, uint64_t request_id) {
+  const KvsConfig& config = cluster_->config();
+  const double delay = replica == id_ ? 0.0 : config.legs.r->Sample(rng_);
+  if (cluster_->leg_profiler() != nullptr && replica != id_) {
+    cluster_->leg_profiler()->Record(LegProfiler::Leg::kReadRequest, delay);
+  }
+  Node* target = &cluster_->node(replica);
+  // A dropped request leaves the hedge/timeout timers armed.
+  (void)cluster_->network().SendWithDelay(
+      id_, replica, delay, [target, key, coordinator = id_, request_id]() {
+        target->HandleReadRequest(key, coordinator, request_id);
+      });
+}
+
+void Node::OnHedgeDeadline(uint64_t request_id) {
+  const auto it = pending_reads_.find(request_id);
+  if (it == pending_reads_.end()) return;  // collection already finished
+  PendingRead& pending = it->second;
+  if (pending.returned) return;  // R assembled in time: nothing to protect
+  const KvsConfig& config = cluster_->config();
+  int budget = std::max(1, config.max_hedges_per_read);
+  // Prefer preference-list replicas never contacted (the kQuorumOnly
+  // leftover pool): a fresh replica dodges whatever is slowing the original
+  // targets. Fall back to re-sending to contacted-but-silent replicas,
+  // which only helps when the *message* was lost rather than the replica
+  // slow — both re-issues are deduplicated per replica on response.
+  while (budget > 0 && !pending.untried.empty()) {
+    const NodeId replica = pending.untried.front();
+    pending.untried.erase(pending.untried.begin());
+    pending.replicas.push_back(replica);
+    pending.hedge_only.push_back(replica);
+    ++cluster_->metrics().hedged_reads_sent;
+    SendReadRequest(pending.key, replica, request_id);
+    --budget;
+  }
+  for (size_t i = 0; budget > 0 && i < pending.replicas.size(); ++i) {
+    const NodeId replica = pending.replicas[i];
+    bool responded = false;
+    for (const auto& [r, value] : pending.all) {
+      if (r == replica) {
+        responded = true;
+        break;
+      }
+    }
+    if (responded) continue;
+    if (std::find(pending.hedge_only.begin(), pending.hedge_only.end(),
+                  replica) != pending.hedge_only.end()) {
+      continue;  // just hedged to it above
+    }
+    ++cluster_->metrics().hedged_reads_sent;
+    SendReadRequest(pending.key, replica, request_id);
+    --budget;
+  }
 }
 
 void Node::OnReadResponse(uint64_t request_id, NodeId replica,
@@ -211,6 +301,16 @@ void Node::OnReadResponse(uint64_t request_id, NodeId replica,
   const auto it = pending_reads_.find(request_id);
   if (it == pending_reads_.end()) return;
   PendingRead& pending = it->second;
+  // Dedup by replica: a hedge re-issue or a network-duplicated message can
+  // make the same replica answer twice, and a second response must never
+  // count toward R (or be double-counted by read repair / the staleness
+  // detector).
+  for (const auto& entry : pending.all) {
+    if (entry.first == replica) {
+      ++cluster_->metrics().duplicate_responses_suppressed;
+      return;
+    }
+  }
   ++pending.responses;
   pending.all.emplace_back(replica, value);
 
@@ -229,11 +329,18 @@ void Node::OnReadResponse(uint64_t request_id, NodeId replica,
     }
     if (pending.responses >= pending.required) {
       pending.returned = true;
+      if (std::find(pending.hedge_only.begin(), pending.hedge_only.end(),
+                    replica) != pending.hedge_only.end()) {
+        // The response that completed R came from a replica only a hedge
+        // contacted: the hedge saved this read's latency.
+        ++cluster_->metrics().hedged_reads_won;
+      }
       ReadResult result;
       result.ok = true;
       result.start_time = pending.start_time;
       result.latency_ms = cluster_->sim().now() - pending.start_time;
       result.value = pending.best;
+      result.required = pending.required;
       cluster_->metrics().read_latency.Record(result.latency_ms);
       if (pending.done) pending.done(result);
     }
@@ -273,7 +380,8 @@ void Node::SendReadRepairs(const PendingRead& pending) {
     Node* target = &cluster_->node(replica);
     const Key key = pending.key;
     ++cluster_->metrics().read_repairs_sent;
-    cluster_->network().SendWithDelay(
+    // Fire-and-forget: anti-entropy eventually covers a dropped repair.
+    (void)cluster_->network().SendWithDelay(
         id_, replica, delay, [target, key, freshest, coordinator = id_]() {
           target->HandleWriteRequest(key, freshest, coordinator,
                                      /*request_id=*/0, /*is_repair=*/true);
@@ -292,6 +400,7 @@ void Node::OnReadTimeout(uint64_t request_id) {
     result.ok = false;
     result.start_time = pending.start_time;
     result.latency_ms = cluster_->sim().now() - pending.start_time;
+    result.required = pending.required;
     if (pending.done) pending.done(result);
   }
   // Close the collection window with whatever arrived.
@@ -329,7 +438,8 @@ void Node::HandleWriteRequest(Key key, const VersionedValue& value,
     cluster_->leg_profiler()->Record(LegProfiler::Leg::kWriteAck, delay);
   }
   Node* target = &cluster_->node(coordinator);
-  cluster_->network().SendWithDelay(
+  // A dropped ack leaves the coordinator's write timeout armed.
+  (void)cluster_->network().SendWithDelay(
       id_, coordinator, delay, [target, request_id, replica = id_]() {
         target->OnWriteAck(request_id, replica);
       });
@@ -356,7 +466,7 @@ void Node::DeliverHints() {
     }
     return;
   }
-  const HeartbeatFailureDetector* detector = cluster_->failure_detector();
+  const FailureDetector* detector = cluster_->failure_detector();
   std::vector<Hint> remaining;
   for (Hint& hint : hints_) {
     if (detector != nullptr && detector->IsSuspected(hint.home)) {
@@ -367,7 +477,8 @@ void Node::DeliverHints() {
     const double delay = cluster_->config().legs.w->Sample(rng_);
     Node* target = &cluster_->node(hint.home);
     ++cluster_->metrics().hints_delivered;
-    cluster_->network().SendWithDelay(
+    // Fire-and-forget: an undelivered hint stays queued until the next pass.
+    (void)cluster_->network().SendWithDelay(
         id_, hint.home, delay,
         [target, key = hint.key, value = std::move(hint.value),
          from = id_]() {
@@ -394,7 +505,8 @@ void Node::HandleReadRequest(Key key, NodeId coordinator,
     cluster_->leg_profiler()->Record(LegProfiler::Leg::kReadResponse, delay);
   }
   Node* target = &cluster_->node(coordinator);
-  cluster_->network().SendWithDelay(
+  // A dropped response leaves the coordinator's hedge/timeout timers armed.
+  (void)cluster_->network().SendWithDelay(
       id_, coordinator, delay,
       [target, request_id, replica = id_, value = std::move(value)]() {
         target->OnReadResponse(request_id, replica, value);

@@ -24,6 +24,7 @@ struct WriteResult {
   double latency_ms = 0.0;  // client-visible write latency (= commit time)
   double commit_time = 0.0; // absolute virtual time of commit
   int64_t sequence = 0;     // the written version's per-key sequence
+  int attempts = 1;         // client attempts consumed (1 = no retry)
 };
 
 /// Outcome of a coordinated read.
@@ -32,6 +33,9 @@ struct ReadResult {
   double latency_ms = 0.0;
   double start_time = 0.0;  // absolute virtual time the read began
   std::optional<VersionedValue> value;  // freshest among the first R
+  int required = 0;         // distinct responses this read waited for
+  int attempts = 1;         // client attempts consumed (1 = no retry)
+  bool downgraded = false;  // a retry accepted fewer than the configured R
 };
 
 using WriteCallback = std::function<void(const WriteResult&)>;
@@ -74,13 +78,19 @@ class Node {
 
   /// Fans the write out to all N replicas in the key's preference list and
   /// invokes `done` once W acknowledgments arrive (commit) or the request
-  /// times out.
-  void CoordinateWrite(Key key, VersionedValue value, WriteCallback done);
+  /// times out. `timeout_override_ms` > 0 replaces the configured request
+  /// timeout for this operation (used by deadline-budgeted client retries).
+  void CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
+                       double timeout_override_ms = 0.0);
 
   /// Fans the read out to all N replicas and invokes `done` with the
   /// freshest of the first R responses (or a timeout failure). Late
   /// responses feed read repair and the LateReadHook.
-  void CoordinateRead(Key key, ReadCallback done);
+  /// `required_override` > 0 replaces the configured R for this operation
+  /// (client consistency downgrade on retry); `timeout_override_ms` > 0
+  /// replaces the configured request timeout.
+  void CoordinateRead(Key key, ReadCallback done, int required_override = 0,
+                      double timeout_override_ms = 0.0);
 
   // -- Replica message handlers (invoked via the network) -------------------
 
@@ -122,8 +132,10 @@ class Node {
 
   struct PendingRead {
     Key key = 0;
-    std::vector<NodeId> replicas;
-    int responses = 0;
+    std::vector<NodeId> replicas;   // contacted replicas (grows on hedges)
+    std::vector<NodeId> untried;    // preference-list replicas never tried
+    std::vector<NodeId> hedge_only; // replicas first contacted by a hedge
+    int responses = 0;  // distinct replicas heard from (duplicates dropped)
     int required = 1;  // R captured at start (survives live reconfiguration)
     bool returned = false;
     double start_time = 0.0;
@@ -142,6 +154,8 @@ class Node {
 
   void OnWriteTimeout(uint64_t request_id);
   void OnReadTimeout(uint64_t request_id);
+  void OnHedgeDeadline(uint64_t request_id);
+  void SendReadRequest(Key key, NodeId replica, uint64_t request_id);
   void MaybeFinishReadCollection(uint64_t request_id, PendingRead& pending);
   void SendReadRepairs(const PendingRead& pending);
   void ResendUnacked(uint64_t request_id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "dist/primitives.h"
 
@@ -47,10 +48,70 @@ bool Network::IsPartitioned(NodeId a, NodeId b) const {
   return partitions_.count(Normalize(a, b)) > 0;
 }
 
+void Network::SetOneWayPartitioned(NodeId src, NodeId dst, bool partitioned) {
+  if (partitioned) {
+    one_way_partitions_.insert({src, dst});
+  } else {
+    one_way_partitions_.erase({src, dst});
+  }
+}
+
+bool Network::IsOneWayPartitioned(NodeId src, NodeId dst) const {
+  return one_way_partitions_.count({src, dst}) > 0;
+}
+
+void Network::SetLinkFault(NodeId src, NodeId dst,
+                           const FaultProfile& profile) {
+  link_faults_[{src, dst}] = FaultState{profile, /*bad=*/false};
+}
+
+void Network::ClearLinkFault(NodeId src, NodeId dst) {
+  link_faults_.erase({src, dst});
+}
+
+void Network::SetNodeFault(NodeId node, const FaultProfile& profile) {
+  node_faults_[node] = FaultState{profile, /*bad=*/false};
+}
+
+void Network::ClearNodeFault(NodeId node) { node_faults_.erase(node); }
+
+LinkFaultStats Network::LinkStats(NodeId src, NodeId dst) const {
+  const auto it = link_stats_.find({src, dst});
+  return it == link_stats_.end() ? LinkFaultStats{} : it->second;
+}
+
 const Distribution* Network::LatencyFor(NodeId src, NodeId dst) const {
   const auto it = link_latency_.find({src, dst});
   if (it != link_latency_.end()) return it->second.get();
   return default_latency_.get();
+}
+
+bool Network::ApplyFault(FaultState& state, NodeId src, NodeId dst,
+                         double* delay, bool* duplicate,
+                         double* duplicate_lag) {
+  const FaultProfile& profile = state.profile;
+  if (profile.HasLoss()) {
+    // Advance the Gilbert-Elliott chain once per message, then test loss in
+    // the new state. Exactly two draws whenever loss is configured, so the
+    // consumption is a function of the installed profile, not of the chain
+    // state (determinism contract).
+    const double transition = rng_.NextDouble();
+    state.bad = state.bad ? !(transition < profile.p_bad_to_good)
+                          : transition < profile.p_good_to_bad;
+    const double loss = state.bad ? profile.loss_bad : profile.loss_good;
+    if (rng_.NextDouble() < loss) {
+      ++messages_dropped_;
+      ++link_stats_[{src, dst}].fault_dropped;
+      return false;
+    }
+  }
+  *delay = *delay * profile.delay_mult + profile.delay_add_ms;
+  if (profile.HasDuplication() && !*duplicate &&
+      rng_.NextDouble() < profile.duplicate_probability) {
+    *duplicate = true;
+    *duplicate_lag = profile.duplicate_lag_ms;
+  }
+  return true;
 }
 
 bool Network::SendWithDelay(NodeId src, NodeId dst, double delay,
@@ -60,12 +121,46 @@ bool Network::SendWithDelay(NodeId src, NodeId dst, double delay,
     ++messages_dropped_;
     return false;
   }
+  if (!one_way_partitions_.empty() && IsOneWayPartitioned(src, dst)) {
+    ++messages_dropped_;
+    ++link_stats_[{src, dst}].fault_dropped;
+    return false;
+  }
   if (drop_probability_ > 0.0 && rng_.NextDouble() < drop_probability_) {
     ++messages_dropped_;
     return false;
   }
+  bool duplicate = false;
+  double duplicate_lag = 0.0;
+  if (!node_faults_.empty()) {
+    const auto it = node_faults_.find(src);
+    if (it != node_faults_.end() &&
+        !ApplyFault(it->second, src, dst, &delay, &duplicate,
+                    &duplicate_lag)) {
+      return false;
+    }
+  }
+  if (!link_faults_.empty()) {
+    const auto it = link_faults_.find({src, dst});
+    if (it != link_faults_.end() &&
+        !ApplyFault(it->second, src, dst, &delay, &duplicate,
+                    &duplicate_lag)) {
+      return false;
+    }
+  }
   ++messages_sent_;
-  sim_->Schedule(delay, std::move(deliver));
+  if (duplicate) {
+    // EventCallback is move-only; share one callback between the original
+    // and the lagged copy. Receivers see the same message twice and must
+    // deduplicate (the quorum read/write paths count distinct replicas).
+    ++messages_duplicated_;
+    ++link_stats_[{src, dst}].duplicated;
+    auto shared = std::make_shared<EventCallback>(std::move(deliver));
+    sim_->Schedule(delay, [shared]() { (*shared)(); });
+    sim_->Schedule(delay + duplicate_lag, [shared]() { (*shared)(); });
+  } else {
+    sim_->Schedule(delay, std::move(deliver));
+  }
   return true;
 }
 

@@ -15,13 +15,66 @@ namespace pbs {
 /// Endpoint identifier within a simulated network (node or client).
 using NodeId = int;
 
+/// Gray-failure behavior of a directed link (or of every link out of one
+/// node). Unlike fail-stop crashes and clean partitions, these faults keep
+/// the endpoint *alive* — messages still flow, just late, lossy, or
+/// duplicated — which is where real Dynamo-style deployments spend their
+/// tails.
+///
+/// Applied transforms, in order:
+///   1. Burst loss: a Gilbert-Elliott two-state chain (good/bad) advanced
+///      once per message; the message is dropped with loss_good or loss_bad
+///      depending on the post-transition state.
+///   2. Delay degradation: delay' = delay * delay_mult + delay_add_ms.
+///   3. Duplication: with duplicate_probability the message is delivered
+///      twice, the copy lagging by duplicate_lag_ms (receivers must
+///      deduplicate — the coordinator read path counts distinct replicas).
+struct FaultProfile {
+  double delay_mult = 1.0;
+  double delay_add_ms = 0.0;
+
+  // Gilbert-Elliott burst loss. Defaults model "no loss"; a classic bursty
+  // link is e.g. {p_good_to_bad=0.1, p_bad_to_good=0.3, loss_bad=0.5}.
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 1.0;
+  double loss_good = 0.0;
+  double loss_bad = 0.0;
+
+  double duplicate_probability = 0.0;
+  double duplicate_lag_ms = 0.1;
+
+  /// True when the Gilbert-Elliott chain needs advancing (i.e. the profile
+  /// can drop messages at all).
+  bool HasLoss() const {
+    return loss_good > 0.0 || loss_bad > 0.0 || p_good_to_bad > 0.0;
+  }
+  bool HasDelay() const { return delay_mult != 1.0 || delay_add_ms != 0.0; }
+  bool HasDuplication() const { return duplicate_probability > 0.0; }
+};
+
+/// Per-directed-link fault accounting (drops caused by an installed fault or
+/// a one-way partition, and duplicated deliveries).
+struct LinkFaultStats {
+  int64_t fault_dropped = 0;
+  int64_t duplicated = 0;
+};
+
 /// Message fabric for the discrete-event simulator.
 ///
 /// Delivery semantics: a message from src to dst is delayed by an explicit
 /// caller-supplied delay (the KVS samples WARS legs itself) or by the link's
 /// latency distribution, then the delivery callback fires. Messages can be
-/// dropped probabilistically and links can be partitioned; both model the
-/// failure scenarios of Section 6 of the paper.
+/// dropped probabilistically, links can be partitioned (two-way or one-way),
+/// and per-link / per-node FaultProfiles inject gray failures: delay
+/// degradation, Gilbert-Elliott burst loss, and duplicate delivery. All of
+/// it models the failure scenarios of Section 6 of the paper and beyond.
+///
+/// RNG-consumption contract (determinism): the fault layer draws from the
+/// network's own stream only when a fault can actually fire — a profile
+/// with loss consumes exactly two draws per message (state transition +
+/// loss test), one with duplication one draw; links without installed
+/// profiles consume none. A fault-free configuration therefore reproduces
+/// the exact pre-fault-layer draw sequence.
 class Network {
  public:
   Network(Simulator* sim, uint64_t seed);
@@ -39,29 +92,69 @@ class Network {
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
   bool IsPartitioned(NodeId a, NodeId b) const;
 
+  /// Cuts (or heals) only the src -> dst direction: an *asymmetric*
+  /// partition. dst -> src keeps delivering — the classic gray failure
+  /// where a replica hears requests but its responses vanish.
+  void SetOneWayPartitioned(NodeId src, NodeId dst, bool partitioned);
+  bool IsOneWayPartitioned(NodeId src, NodeId dst) const;
+
+  /// Installs (replacing any previous) a gray-fault profile on the directed
+  /// link src -> dst. The Gilbert-Elliott chain starts in the good state.
+  void SetLinkFault(NodeId src, NodeId dst, const FaultProfile& profile);
+  void ClearLinkFault(NodeId src, NodeId dst);
+
+  /// Installs a gray-fault profile on every message *sent by* `node`
+  /// (models a slow/overloaded process: its responses and acks degrade).
+  /// Node and link profiles compose — both apply when both are installed.
+  void SetNodeFault(NodeId node, const FaultProfile& profile);
+  void ClearNodeFault(NodeId node);
+
   /// Sends with an explicit one-way delay (>= 0). Returns false if the
   /// message was dropped or the link is partitioned (callback never fires).
-  bool SendWithDelay(NodeId src, NodeId dst, double delay,
-                     EventCallback deliver);
+  /// Callers that ignore a drop must have an independent timeout armed —
+  /// the coordinator state machines always do.
+  [[nodiscard]] bool SendWithDelay(NodeId src, NodeId dst, double delay,
+                                   EventCallback deliver);
 
   /// Sends with a delay sampled from the link's (or default) latency
   /// distribution.
-  bool Send(NodeId src, NodeId dst, EventCallback deliver);
+  [[nodiscard]] bool Send(NodeId src, NodeId dst, EventCallback deliver);
 
   int64_t messages_sent() const { return messages_sent_; }
   int64_t messages_dropped() const { return messages_dropped_; }
+  int64_t messages_duplicated() const { return messages_duplicated_; }
+
+  /// Fault accounting for the directed link src -> dst (zeros if the link
+  /// never dropped or duplicated under a fault).
+  LinkFaultStats LinkStats(NodeId src, NodeId dst) const;
 
  private:
+  struct FaultState {
+    FaultProfile profile;
+    bool bad = false;  // Gilbert-Elliott chain state
+  };
+
   const Distribution* LatencyFor(NodeId src, NodeId dst) const;
+
+  /// Applies one fault profile to an in-flight message: advances the loss
+  /// chain (maybe dropping), transforms the delay, and samples duplication.
+  /// Returns false when the message is dropped.
+  bool ApplyFault(FaultState& state, NodeId src, NodeId dst, double* delay,
+                  bool* duplicate, double* duplicate_lag);
 
   Simulator* sim_;
   Rng rng_;
   DistributionPtr default_latency_;
   std::map<std::pair<NodeId, NodeId>, DistributionPtr> link_latency_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  std::set<std::pair<NodeId, NodeId>> one_way_partitions_;  // directed
+  std::map<std::pair<NodeId, NodeId>, FaultState> link_faults_;  // directed
+  std::map<NodeId, FaultState> node_faults_;  // keyed by src
+  std::map<std::pair<NodeId, NodeId>, LinkFaultStats> link_stats_;
   double drop_probability_ = 0.0;
   int64_t messages_sent_ = 0;
   int64_t messages_dropped_ = 0;
+  int64_t messages_duplicated_ = 0;
 };
 
 }  // namespace pbs

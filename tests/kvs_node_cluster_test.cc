@@ -219,7 +219,8 @@ TEST(HintedHandoffTest, WriteReachesReplicaAfterRecovery) {
   KvsConfig config = BasicConfig();
   config.quorum = {3, 1, 1};
   config.hinted_handoff = true;
-  config.hinted_handoff_retry_ms = 20.0;
+  config.hinted_handoff_backoff_base_ms = 20.0;
+  config.hinted_handoff_backoff_max_ms = 40.0;
   config.request_timeout_ms = 50.0;
   Cluster cluster(config);
   cluster.replica(1).Crash();

@@ -103,6 +103,79 @@ TEST(PartitionTest, HealRestoresDirectReplication) {
   EXPECT_EQ(cluster.replica(1).storage().Get(1)->value, "b");
 }
 
+TEST(PartitionTest, AsymmetricPartitionLosesResponsesNotRequests) {
+  // One-way cut replica 1 -> coordinator: requests still reach replica 1
+  // (it applies writes), but its acks/responses vanish — so a strict W=3
+  // write fails at the coordinator even though all three replicas stored
+  // the value. The dual of a clean partition, and invisible to two-way
+  // reachability checks.
+  Cluster cluster(BaseConfig({3, 1, 3}));
+  const NodeId coordinator = cluster.coordinator(0).id();
+  cluster.network().SetOneWayPartitioned(1, coordinator, true);
+
+  ClientSession client(&cluster, coordinator, 1);
+  std::optional<WriteResult> write;
+  client.Write(1, "x", [&](const WriteResult& r) { write = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(write.has_value());
+  EXPECT_FALSE(write->ok);  // ack from replica 1 never arrives
+  for (int i = 0; i < 3; ++i) {
+    const auto stored = cluster.replica(i).storage().Get(1);
+    ASSERT_TRUE(stored.has_value()) << "replica " << i;
+    EXPECT_EQ(stored->value, "x");  // the request direction was open
+  }
+
+  // R=1 reads survive (replicas 0 and 2 answer); healing restores W=3.
+  std::optional<ReadResult> read;
+  client.Read(1, [&](const ReadResult& r) { read = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->ok);
+  EXPECT_EQ(read->value->value, "x");
+
+  cluster.network().SetOneWayPartitioned(1, coordinator, false);
+  std::optional<WriteResult> healed;
+  client.Write(1, "y", [&](const WriteResult& r) { healed = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_TRUE(healed->ok);
+}
+
+TEST(PartitionTest, DuplicateDeliveryIsHarmlessToQuorumCounting) {
+  // Every replica link delivers each message twice. Duplicate write
+  // applications are idempotent (same version) and duplicate acks /
+  // responses are suppressed at the coordinator, so strict quorums behave
+  // exactly as on a clean network.
+  Cluster cluster(BaseConfig({3, 3, 3}));
+  const NodeId coordinator = cluster.coordinator(0).id();
+  FaultProfile dup;
+  dup.duplicate_probability = 1.0;
+  dup.duplicate_lag_ms = 0.0;  // copy races the original into the quorum
+  for (int i = 0; i < 3; ++i) {
+    cluster.network().SetLinkFault(coordinator, i, dup);
+    cluster.network().SetLinkFault(i, coordinator, dup);
+  }
+
+  ClientSession client(&cluster, coordinator, 1);
+  std::optional<WriteResult> write;
+  client.Write(1, "x", [&](const WriteResult& r) { write = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(write.has_value());
+  EXPECT_TRUE(write->ok);
+
+  std::optional<ReadResult> read;
+  client.Read(1, [&](const ReadResult& r) { read = r; });
+  cluster.sim().Run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->ok);
+  EXPECT_EQ(read->value->value, "x");
+  EXPECT_GT(cluster.network().messages_duplicated(), 0);
+  EXPECT_GT(cluster.metrics().duplicate_acks_suppressed +
+                cluster.metrics().duplicate_responses_suppressed,
+            0);
+  EXPECT_EQ(client.monotonic_violations(), 0);
+}
+
 TEST(MessageLossTest, LossyNetworkDegradesIntoTimeoutsNotCorruption) {
   KvsConfig config = BaseConfig({3, 2, 2});
   Cluster cluster(config);
@@ -132,7 +205,8 @@ TEST(MessageLossTest, LossyNetworkDegradesIntoTimeoutsNotCorruption) {
 TEST(MessageLossTest, HintedHandoffRetriesThroughLoss) {
   KvsConfig config = BaseConfig({3, 1, 1});
   config.hinted_handoff = true;
-  config.hinted_handoff_retry_ms = 20.0;
+  config.hinted_handoff_backoff_base_ms = 20.0;
+  config.hinted_handoff_backoff_max_ms = 40.0;
   config.hinted_handoff_max_retries = 200;
   config.request_timeout_ms = 50.0;
   Cluster cluster(config);

@@ -1,0 +1,162 @@
+// φ-accrual failure detection: suspicion accrues from the empirical pong
+// inter-arrival distribution instead of tripping a fixed timeout. The
+// property under test is the gray-failure one: silence drives φ up fast,
+// while a *consistently slow* (but alive) replica keeps ponging regularly
+// and is never suspected.
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/failure_detector.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+WarsDistributions FastLegs() {
+  WarsDistributions legs;
+  legs.name = "fast";
+  legs.w = PointMass(1.0);
+  legs.a = PointMass(1.0);
+  legs.r = PointMass(1.0);
+  legs.s = PointMass(1.0);
+  return legs;
+}
+
+KvsConfig PhiConfig(QuorumConfig quorum) {
+  KvsConfig config;
+  config.quorum = quorum;
+  config.legs = FastLegs();
+  config.failure_detector = KvsConfig::FailureDetectorKind::kPhiAccrual;
+  config.heartbeat_interval_ms = 10.0;
+  config.phi_threshold = 8.0;
+  config.phi_min_std_ms = 2.0;
+  config.request_timeout_ms = 100.0;
+  config.seed = 616;
+  return config;
+}
+
+const PhiAccrualFailureDetector* PhiDetector(Cluster& cluster) {
+  return dynamic_cast<const PhiAccrualFailureDetector*>(
+      cluster.failure_detector());
+}
+
+TEST(PhiAccrualTest, ConfigSelectsTheDetectorKind) {
+  Cluster phi_cluster(PhiConfig({3, 2, 2}));
+  phi_cluster.StartFailureDetector();
+  EXPECT_NE(PhiDetector(phi_cluster), nullptr);
+
+  KvsConfig heartbeat = PhiConfig({3, 2, 2});
+  heartbeat.failure_detector = KvsConfig::FailureDetectorKind::kHeartbeat;
+  Cluster hb_cluster(heartbeat);
+  hb_cluster.StartFailureDetector();
+  EXPECT_NE(dynamic_cast<const HeartbeatFailureDetector*>(
+                hb_cluster.failure_detector()),
+            nullptr);
+  EXPECT_EQ(PhiDetector(hb_cluster), nullptr);
+}
+
+TEST(PhiAccrualTest, SteadyRepliesKeepPhiLow) {
+  Cluster cluster(PhiConfig({3, 2, 2}));
+  cluster.StartFailureDetector();
+  cluster.sim().RunUntil(2000.0);
+  const auto* detector = PhiDetector(cluster);
+  ASSERT_NE(detector, nullptr);
+  for (int node = 0; node < cluster.num_replicas(); ++node) {
+    EXPECT_FALSE(detector->IsSuspected(node)) << "node " << node;
+    EXPECT_LT(detector->Phi(node), 1.0) << "node " << node;
+  }
+  EXPECT_GT(detector->pongs_received(), 100);
+}
+
+TEST(PhiAccrualTest, PhiIsNegligibleBeforeHistoryAccrues) {
+  Cluster cluster(PhiConfig({3, 2, 2}));
+  cluster.StartFailureDetector();
+  cluster.sim().RunUntil(1.0);  // no pong has arrived twice yet
+  const auto* detector = PhiDetector(cluster);
+  ASSERT_NE(detector, nullptr);
+  // Bootstrap regime: suspicion is computed from the configured interval,
+  // so 1ms of silence yields φ ≈ 0 (but detectably growing, not clamped).
+  for (int node = 0; node < cluster.num_replicas(); ++node) {
+    EXPECT_LT(detector->Phi(node), 0.01);
+    EXPECT_FALSE(detector->IsSuspected(node));
+  }
+}
+
+TEST(PhiAccrualTest, SilenceAccruesSuspicionThenRecoveryClearsIt) {
+  Cluster cluster(PhiConfig({3, 2, 2}));
+  cluster.StartFailureDetector();
+  cluster.sim().RunUntil(500.0);
+  const auto* detector = PhiDetector(cluster);
+  ASSERT_NE(detector, nullptr);
+  EXPECT_FALSE(detector->IsSuspected(2));
+
+  cluster.replica(2).Crash();
+  cluster.sim().RunUntil(540.0);
+  const double early = detector->Phi(2);
+  cluster.sim().RunUntil(700.0);
+  const double late = detector->Phi(2);
+  // φ grows monotonically with silence and crosses the threshold.
+  EXPECT_GT(late, early);
+  EXPECT_GE(late, 8.0);
+  EXPECT_TRUE(detector->IsSuspected(2));
+  EXPECT_FALSE(detector->IsSuspected(0));  // the others stay clear
+
+  cluster.replica(2).Recover();
+  cluster.sim().RunUntil(900.0);
+  EXPECT_FALSE(detector->IsSuspected(2));
+  EXPECT_LT(detector->Phi(2), 8.0);
+}
+
+TEST(PhiAccrualTest, ConsistentlySlowReplicaIsNotSuspected) {
+  // A 3x-slow node's pongs arrive late but *regularly* — the inter-arrival
+  // distribution barely changes, so φ stays low. A fixed-timeout detector
+  // with a tight timeout would false-positive here.
+  Cluster cluster(PhiConfig({3, 2, 2}));
+  cluster.StartFailureDetector();
+  cluster.sim().RunUntil(300.0);  // warm up the window at normal speed
+  FaultProfile slow;
+  slow.delay_mult = 3.0;
+  cluster.network().SetNodeFault(2, slow);
+  cluster.sim().RunUntil(2000.0);
+  const auto* detector = PhiDetector(cluster);
+  ASSERT_NE(detector, nullptr);
+  EXPECT_FALSE(detector->IsSuspected(2));
+  EXPECT_LT(detector->Phi(2), 8.0);
+}
+
+TEST(PhiAccrualTest, SloppyQuorumsRouteAroundPhiSuspectedReplica) {
+  // The sloppy-quorum machinery consumes only IsSuspected(), so swapping in
+  // the φ detector keeps hinted writes working: a crashed home replica is
+  // suspected, a substitute takes the write as a hint.
+  KvsConfig config = PhiConfig({3, 1, 3});
+  config.num_storage_nodes = 5;
+  config.sloppy_quorums = true;
+  config.sloppy_extra = 2;
+  config.hint_delivery_interval_ms = 20.0;
+  Cluster cluster(config);
+  cluster.StartFailureDetector();
+
+  const Key key = 7;
+  const auto home = cluster.ReplicasFor(key);
+  const NodeId dead = home[1];
+  cluster.replica(dead).Crash();
+  cluster.sim().RunUntil(400.0);  // let φ cross the threshold
+  ASSERT_TRUE(cluster.failure_detector()->IsSuspected(dead));
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  std::optional<WriteResult> result;
+  client.Write(key, "payload", [&](const WriteResult& r) { result = r; });
+  cluster.sim().RunUntil(800.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);  // W=3 met via a substitute
+  EXPECT_GT(cluster.metrics().sloppy_substitutions, 0);
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

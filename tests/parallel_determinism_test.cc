@@ -16,6 +16,7 @@
 #include "core/wars.h"
 #include "dist/primitives.h"
 #include "dist/production.h"
+#include "kvs/experiment.h"
 #include "util/parallel.h"
 
 namespace pbs {
@@ -142,6 +143,63 @@ TEST(ParallelDeterminismTest, ChunkSizeIsPartOfTheContract) {
   std::sort(sa.begin(), sa.end());
   std::sort(sb.begin(), sb.end());
   EXPECT_NEAR(sa[sa.size() / 2], sb[sb.size() / 2], 0.5);
+}
+
+TEST(ParallelDeterminismTest, ChaosTrialsInvariant) {
+  // The chaos campaign is the stress case for the (seed, chunk_size)
+  // contract: each trial builds its own cluster, injects a seeded random
+  // gray-fault schedule, hedges reads and retries client operations — all
+  // of that must be bitwise identical at 1 vs N threads, down to the exact
+  // counter values and latency quantiles in every per-trial summary.
+  kvs::ChaosTrialOptions options;
+  options.trials = 4;
+  options.seed = 404;
+  options.experiment.writes = 300;
+  options.experiment.write_spacing_ms = 50.0;
+  options.experiment.read_offsets_ms = {1.0, 10.0};
+  options.experiment.cluster.quorum = {3, 2, 2};
+  options.experiment.cluster.legs = LnkdSsd();
+  options.experiment.cluster.request_timeout_ms = 200.0;
+  options.experiment.cluster.read_fanout = ReadFanout::kQuorumOnly;
+  options.experiment.cluster.hedged_reads = true;
+  options.experiment.cluster.hedge_quantile = 0.99;
+  options.experiment.cluster.client_retry.max_attempts = 3;
+  options.experiment.cluster.client_retry.backoff_base_ms = 5.0;
+  options.experiment.cluster.client_retry.deadline_ms = 150.0;
+  options.fault_mean_interarrival_ms = 2000.0;
+  options.fault_mean_duration_ms = 800.0;
+
+  const kvs::ChaosCampaignResult serial = kvs::RunChaosTrials(options, Exec(1));
+  ASSERT_EQ(serial.trials.size(), 4u);
+  EXPECT_GT(serial.pooled.fault_activations, 0);
+  EXPECT_GT(serial.pooled.reads_started, 0);
+  EXPECT_EQ(serial.pooled.monotonic_read_violations, 0);
+  for (int threads : {4, 8}) {
+    const kvs::ChaosCampaignResult parallel =
+        kvs::RunChaosTrials(options, Exec(threads));
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, ChaosTrialsFaultFreeBaselineInvariant) {
+  // inject_faults = false is the hedging-baseline arm of bench/chaos; it
+  // must satisfy the same contract (and draw nothing from the fault layer).
+  kvs::ChaosTrialOptions options;
+  options.trials = 3;
+  options.seed = 405;
+  options.inject_faults = false;
+  options.experiment.writes = 200;
+  options.experiment.write_spacing_ms = 50.0;
+  options.experiment.read_offsets_ms = {1.0, 10.0};
+  options.experiment.cluster.quorum = {3, 2, 2};
+  options.experiment.cluster.legs = LnkdSsd();
+  options.experiment.cluster.request_timeout_ms = 200.0;
+
+  const kvs::ChaosCampaignResult serial = kvs::RunChaosTrials(options, Exec(1));
+  EXPECT_EQ(serial.pooled.fault_activations, 0);
+  const kvs::ChaosCampaignResult parallel =
+      kvs::RunChaosTrials(options, Exec(8));
+  EXPECT_EQ(parallel, serial);
 }
 
 TEST(ParallelDeterminismTest, DefaultThreadsMatchesSerial) {

@@ -1,0 +1,190 @@
+// Gray-failure injection at the network layer: delay degradation,
+// Gilbert-Elliott burst loss, duplicate delivery, one-way partitions, and
+// the RNG-consumption contract (fault-free links draw nothing, so adding a
+// fault elsewhere never perturbs an unrelated link's randomness).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pbs {
+namespace {
+
+TEST(FaultInjectionTest, LinkDelayDegradationTransformsDelay) {
+  Simulator sim;
+  Network net(&sim, 1);
+  FaultProfile slow;
+  slow.delay_mult = 3.0;
+  slow.delay_add_ms = 5.0;
+  net.SetLinkFault(0, 1, slow);
+
+  double delivered_at = -1.0;
+  EXPECT_TRUE(
+      net.SendWithDelay(0, 1, 10.0, [&]() { delivered_at = sim.now(); }));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(delivered_at, 10.0 * 3.0 + 5.0);
+
+  // The reverse direction is untouched.
+  delivered_at = -1.0;
+  const double before = sim.now();
+  EXPECT_TRUE(
+      net.SendWithDelay(1, 0, 10.0, [&]() { delivered_at = sim.now(); }));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(delivered_at, before + 10.0);
+}
+
+TEST(FaultInjectionTest, NodeAndLinkFaultsCompose) {
+  // A node fault degrades every outbound message; a link fault on top of it
+  // applies afterwards (node transform first, then link transform).
+  Simulator sim;
+  Network net(&sim, 1);
+  FaultProfile node_slow;
+  node_slow.delay_mult = 2.0;
+  net.SetNodeFault(0, node_slow);
+  FaultProfile link_slow;
+  link_slow.delay_add_ms = 5.0;
+  net.SetLinkFault(0, 1, link_slow);
+
+  double delivered_at = -1.0;
+  EXPECT_TRUE(
+      net.SendWithDelay(0, 1, 10.0, [&]() { delivered_at = sim.now(); }));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(delivered_at, 10.0 * 2.0 + 5.0);
+
+  net.ClearNodeFault(0);
+  net.ClearLinkFault(0, 1);
+  delivered_at = -1.0;
+  const double before = sim.now();
+  EXPECT_TRUE(
+      net.SendWithDelay(0, 1, 10.0, [&]() { delivered_at = sim.now(); }));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(delivered_at, before + 10.0);
+}
+
+TEST(FaultInjectionTest, GilbertElliottChainDropsInBursts) {
+  // Degenerate chain probabilities make the burst pattern deterministic:
+  // every message flips the state (good->bad, bad->good), loss_bad = 1 and
+  // loss_good = 0, so deliveries alternate drop, deliver, drop, ...
+  Simulator sim;
+  Network net(&sim, 7);
+  FaultProfile bursty;
+  bursty.p_good_to_bad = 1.0;
+  bursty.p_bad_to_good = 1.0;
+  bursty.loss_bad = 1.0;
+  bursty.loss_good = 0.0;
+  net.SetLinkFault(0, 1, bursty);
+
+  std::vector<bool> delivered;
+  for (int i = 0; i < 6; ++i) {
+    delivered.push_back(net.SendWithDelay(0, 1, 1.0, []() {}));
+  }
+  sim.Run();
+  const std::vector<bool> expected = {false, true, false, true, false, true};
+  EXPECT_EQ(delivered, expected);
+  EXPECT_EQ(net.messages_dropped(), 3);
+  EXPECT_EQ(net.LinkStats(0, 1).fault_dropped, 3);
+  EXPECT_EQ(net.LinkStats(1, 0).fault_dropped, 0);
+}
+
+TEST(FaultInjectionTest, AlwaysLossyLinkDropsEverything) {
+  Simulator sim;
+  Network net(&sim, 7);
+  FaultProfile dead;
+  dead.p_good_to_bad = 1.0;
+  dead.p_bad_to_good = 0.0;
+  dead.loss_bad = 1.0;
+  net.SetLinkFault(2, 3, dead);
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(net.SendWithDelay(2, 3, 1.0, []() { FAIL(); }));
+  }
+  sim.Run();
+  EXPECT_EQ(net.LinkStats(2, 3).fault_dropped, 10);
+  EXPECT_EQ(net.messages_sent(), 0);
+}
+
+TEST(FaultInjectionTest, DuplicationDeliversTwiceWithLag) {
+  Simulator sim;
+  Network net(&sim, 3);
+  FaultProfile dup;
+  dup.duplicate_probability = 1.0;
+  dup.duplicate_lag_ms = 2.5;
+  net.SetLinkFault(0, 1, dup);
+
+  std::vector<double> arrivals;
+  EXPECT_TRUE(
+      net.SendWithDelay(0, 1, 1.0, [&]() { arrivals.push_back(sim.now()); }));
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 1.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 1.0 + 2.5);
+  EXPECT_EQ(net.messages_duplicated(), 1);
+  EXPECT_EQ(net.messages_sent(), 1);  // one logical message
+  EXPECT_EQ(net.LinkStats(0, 1).duplicated, 1);
+}
+
+TEST(FaultInjectionTest, OneWayPartitionBlocksOnlyOneDirection) {
+  Simulator sim;
+  Network net(&sim, 11);
+  net.SetOneWayPartitioned(0, 1, true);
+  EXPECT_TRUE(net.IsOneWayPartitioned(0, 1));
+  EXPECT_FALSE(net.IsOneWayPartitioned(1, 0));
+
+  // 0 -> 1 vanishes; 1 -> 0 keeps delivering (the classic gray failure:
+  // the replica hears requests but its responses never come back).
+  bool reverse_delivered = false;
+  EXPECT_FALSE(net.SendWithDelay(0, 1, 1.0, []() { FAIL(); }));
+  EXPECT_TRUE(net.SendWithDelay(1, 0, 1.0, [&]() { reverse_delivered = true; }));
+  sim.Run();
+  EXPECT_TRUE(reverse_delivered);
+  EXPECT_EQ(net.messages_dropped(), 1);
+  EXPECT_EQ(net.LinkStats(0, 1).fault_dropped, 1);
+
+  // Healing restores the direction.
+  net.SetOneWayPartitioned(0, 1, false);
+  bool forward_delivered = false;
+  EXPECT_TRUE(net.SendWithDelay(0, 1, 1.0, [&]() { forward_delivered = true; }));
+  sim.Run();
+  EXPECT_TRUE(forward_delivered);
+}
+
+TEST(FaultInjectionTest, FaultFreeLinksConsumeNoFaultRandomness) {
+  // Determinism contract: the fault layer only draws from the network RNG
+  // for links with an installed profile that can actually fire. Installing
+  // a lossy fault on an unrelated link must not perturb the latency samples
+  // of a clean link, and a pure-delay profile draws nothing at all.
+  auto run = [](bool unrelated_fault, bool delay_fault) {
+    Simulator sim;
+    Network net(&sim, 99);
+    net.set_default_latency(Exponential(0.1));
+    if (unrelated_fault) {
+      FaultProfile lossy;
+      lossy.p_good_to_bad = 0.5;
+      lossy.p_bad_to_good = 0.5;
+      lossy.loss_bad = 0.9;
+      net.SetLinkFault(5, 6, lossy);
+    }
+    if (delay_fault) {
+      FaultProfile slow;
+      slow.delay_add_ms = 0.0;  // identity transform, still "installed"
+      net.SetLinkFault(0, 1, slow);
+    }
+    std::vector<double> arrivals;
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(net.Send(0, 1, [&]() { arrivals.push_back(sim.now()); }));
+      sim.Run();
+    }
+    return arrivals;
+  };
+
+  const auto baseline = run(false, false);
+  EXPECT_EQ(run(true, false), baseline);   // fault on another link
+  EXPECT_EQ(run(false, true), baseline);   // delay-only fault, zero draws
+}
+
+}  // namespace
+}  // namespace pbs

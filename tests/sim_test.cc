@@ -147,7 +147,7 @@ TEST(NetworkTest, DropProbabilityIsRespected) {
   int delivered = 0;
   const int messages = 40000;
   for (int i = 0; i < messages; ++i) {
-    net.SendWithDelay(0, 1, 0.0, [&]() { ++delivered; });
+    (void)net.SendWithDelay(0, 1, 0.0, [&]() { ++delivered; });
   }
   sim.Run();
   EXPECT_NEAR(static_cast<double>(delivered) / messages, 0.75, 0.01);

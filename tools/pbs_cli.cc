@@ -7,11 +7,25 @@
 //   pbs fit      --trace=w.txt            (fit Pareto+Exp mixture to samples)
 //   pbs simulate --n=3 --r=1 --w=1 [--writes=5000] [--read-repair]
 //                [--anti-entropy-ms=0] [--scenario=...]
+//                [--fanout=all|quorum] [--phi-detector]
+//                [--hedge] [--hedge-quantile=0.99] [--hedge-delay-ms=0]
+//                [--deadline-ms=0] [--retries=1] [--downgrade-on-retry]
+//                [--fault=SPEC[;SPEC...]]
 //   pbs predict-trace --w=w.txt --a=a.txt --rr=r.txt --s=s.txt --n=3 --r=1
 //                --w-quorum=1       (predict from measured leg traces)
 //
+// Fault SPECs (gray-failure injection; times default to the whole run):
+//   slow:node=2,factor=10[,add=0]      outbound delays of node scaled/shifted
+//   lossy:src=0,dst=4,loss=0.8[,g2b=0.02,b2g=0.2]   Gilbert-Elliott bursts
+//   dup:src=0,dst=4[,p=1]              duplicate delivery on a link
+//   flap:node=2,up=300,down=200        crash/recover cycling
+//   oneway:src=0,dst=4                 one-way partition (src->dst dropped)
+//   gray:seed=7[,interarrival=4000,duration=1500]   seeded random mix
+// Example: --fault=slow:node=2,factor=10 --hedge --hedge-quantile=0.99
+//
 // Scenarios: lnkd-ssd | lnkd-disk | ymmr | wan (Table 3 fits of the paper).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +41,7 @@
 #include "dist/trace.h"
 #include "kvs/consistency_level.h"
 #include "kvs/experiment.h"
+#include "kvs/failure.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -219,6 +234,72 @@ int CmdFit(const Args& args) {
   return 0;
 }
 
+/// Parses one `kind:key=val,key=val` fault spec into `schedule`. Returns
+/// false (with a message on stderr) on malformed input.
+bool ParseFaultSpec(const std::string& spec, double horizon,
+                    kvs::FaultSchedule* schedule) {
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  std::map<std::string, double> kv;
+  if (colon != std::string::npos) {
+    std::string rest = spec.substr(colon + 1);
+    size_t pos = 0;
+    while (pos < rest.size()) {
+      size_t comma = rest.find(',', pos);
+      if (comma == std::string::npos) comma = rest.size();
+      const std::string item = rest.substr(pos, comma - pos);
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "bad fault parameter '" << item << "' in " << spec
+                  << "\n";
+        return false;
+      }
+      kv[item.substr(0, eq)] = std::atof(item.c_str() + eq + 1);
+      pos = comma + 1;
+    }
+  }
+  const auto get = [&kv](const std::string& key, double fallback) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  };
+  const double start = get("start", 0.0);
+  const double end = get("end", horizon);
+  if (kind == "slow") {
+    schedule->AddSlowNode(start, end, static_cast<NodeId>(get("node", 0)),
+                          get("factor", 10.0), get("add", 0.0));
+  } else if (kind == "lossy") {
+    schedule->AddLossyLink(start, end, static_cast<NodeId>(get("src", 0)),
+                           static_cast<NodeId>(get("dst", 0)),
+                           get("g2b", 0.02), get("b2g", 0.2),
+                           get("loss", 0.8), get("loss-good", 0.0));
+  } else if (kind == "dup") {
+    schedule->AddDuplicatingLink(start, end,
+                                 static_cast<NodeId>(get("src", 0)),
+                                 static_cast<NodeId>(get("dst", 0)),
+                                 get("p", 1.0));
+  } else if (kind == "flap") {
+    schedule->AddFlappingNode(start, end, static_cast<NodeId>(get("node", 0)),
+                              get("up", 300.0), get("down", 200.0));
+  } else if (kind == "oneway") {
+    schedule->AddAsymmetricPartition(start, end,
+                                     static_cast<NodeId>(get("src", 0)),
+                                     static_cast<NodeId>(get("dst", 0)));
+  } else if (kind == "gray") {
+    const kvs::FaultSchedule random = kvs::FaultSchedule::RandomGrayFailures(
+        static_cast<int>(get("replicas", 3)), horizon,
+        get("interarrival", 4000.0), get("duration", 1500.0),
+        static_cast<uint64_t>(get("seed", 7.0)));
+    for (const kvs::GrayFault& fault : random.faults()) {
+      schedule->Add(fault);
+    }
+  } else {
+    std::cerr << "unknown fault kind '" << kind
+              << "' (expected slow|lossy|dup|flap|oneway|gray)\n";
+    return false;
+  }
+  return true;
+}
+
 int CmdSimulate(const Args& args) {
   kvs::StalenessExperimentOptions options;
   options.cluster.quorum = {args.GetInt("n", 3), args.GetInt("r", 1),
@@ -235,7 +316,48 @@ int CmdSimulate(const Args& args) {
   options.cluster.request_timeout_ms = args.GetDouble("timeout-ms", 1000.0);
   options.writes = args.GetInt("writes", 5000);
   options.write_spacing_ms = args.GetDouble("spacing-ms", 250.0);
-  const auto result = kvs::RunStalenessExperiment(options);
+  if (args.GetString("fanout", "all") == "quorum") {
+    options.cluster.read_fanout = ReadFanout::kQuorumOnly;
+  }
+  if (args.GetBool("phi-detector")) {
+    options.cluster.failure_detector =
+        kvs::KvsConfig::FailureDetectorKind::kPhiAccrual;
+  }
+  options.cluster.hedged_reads = args.GetBool("hedge");
+  options.cluster.hedge_quantile = args.GetDouble("hedge-quantile", 0.99);
+  options.cluster.hedge_delay_ms = args.GetDouble("hedge-delay-ms", 0.0);
+  options.cluster.client_retry.max_attempts = args.GetInt("retries", 1);
+  options.cluster.client_retry.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  options.cluster.client_retry.downgrade_reads_on_retry =
+      args.GetBool("downgrade-on-retry");
+
+  // Horizon mirrors the harness drain bound (the fault schedule needs it).
+  double max_offset = 0.0;
+  for (double offset : options.read_offsets_ms) {
+    max_offset = std::max(max_offset, offset);
+  }
+  const double horizon = static_cast<double>(options.writes + 1) *
+                             options.write_spacing_ms +
+                         max_offset + 3.0 * options.cluster.request_timeout_ms;
+  kvs::FaultSchedule faults;
+  const std::string fault_arg = args.GetString("fault", "");
+  if (!fault_arg.empty()) {
+    size_t pos = 0;
+    while (pos < fault_arg.size()) {
+      size_t semi = fault_arg.find(';', pos);
+      if (semi == std::string::npos) semi = fault_arg.size();
+      if (!ParseFaultSpec(fault_arg.substr(pos, semi - pos), horizon,
+                          &faults)) {
+        return 1;
+      }
+      pos = semi + 1;
+    }
+  }
+
+  const auto result =
+      fault_arg.empty() ? kvs::RunStalenessExperiment(options)
+                        : kvs::RunStalenessExperimentWithFaults(options,
+                                                               faults);
   std::printf("event-driven cluster, %d writes, %s:\n", options.writes,
               options.cluster.quorum.ToString().c_str());
   TextTable table({"t after commit (ms)", "P(consistent)", "probes"});
@@ -249,6 +371,31 @@ int CmdSimulate(const Args& args) {
               static_cast<long long>(result.detector_consistent),
               static_cast<long long>(result.detector_stale),
               static_cast<long long>(result.detector_false_positives));
+  const kvs::ClusterMetrics& metrics = result.final_metrics;
+  if (!result.read_latencies.empty()) {
+    const std::vector<double> q =
+        Quantiles(result.read_latencies, {0.5, 0.99, 0.999});
+    std::printf("read latency (ms): p50=%.3f p99=%.3f p99.9=%.3f\n", q[0],
+                q[1], q[2]);
+  }
+  if (!fault_arg.empty() || options.cluster.hedged_reads ||
+      options.cluster.client_retry.max_attempts > 1) {
+    std::printf(
+        "chaos: hedges=%lld won=%lld dup-suppressed=%lld+%lld "
+        "retries=%lld+%lld deadline-misses=%lld downgrades=%lld "
+        "dropped=%lld duplicated=%lld monotonic-violations=%lld\n",
+        static_cast<long long>(metrics.hedged_reads_sent),
+        static_cast<long long>(metrics.hedged_reads_won),
+        static_cast<long long>(metrics.duplicate_responses_suppressed),
+        static_cast<long long>(metrics.duplicate_acks_suppressed),
+        static_cast<long long>(metrics.client_read_retries),
+        static_cast<long long>(metrics.client_write_retries),
+        static_cast<long long>(metrics.client_deadline_misses),
+        static_cast<long long>(metrics.consistency_downgrades),
+        static_cast<long long>(result.network_messages_dropped),
+        static_cast<long long>(result.network_messages_duplicated),
+        static_cast<long long>(metrics.monotonic_read_violations));
+  }
   return 0;
 }
 
