@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "dist/production.h"
 #include "kvs/experiment.h"
 #include "kvs/failure.h"
+#include "obs/exporters.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -56,11 +58,11 @@ kvs::ChaosSummary RunScenario(const Scenario& scenario, bool hedged,
   options.experiment.cluster.request_timeout_ms = 200.0;
   // kQuorumOnly leaves an untried replica for hedges to recruit.
   options.experiment.cluster.read_fanout = ReadFanout::kQuorumOnly;
-  options.experiment.cluster.hedged_reads = hedged;
-  options.experiment.cluster.hedge_quantile = 0.99;
-  options.experiment.cluster.client_retry.max_attempts = 3;
-  options.experiment.cluster.client_retry.backoff_base_ms = 5.0;
-  options.experiment.cluster.client_retry.deadline_ms = 150.0;
+  options.experiment.cluster.hedge.enabled = hedged;
+  options.experiment.cluster.hedge.quantile = 0.99;
+  options.experiment.cluster.retry.max_attempts = 3;
+  options.experiment.cluster.retry.backoff_base_ms = 5.0;
+  options.experiment.cluster.retry.deadline_ms = 150.0;
   options.experiment.writes = writes;
   options.experiment.write_spacing_ms = 50.0;
   options.experiment.read_offsets_ms = {1.0, 10.0, 50.0};
@@ -241,6 +243,46 @@ void WriteCsv(const std::filesystem::path& path,
   std::fclose(f);
 }
 
+/// One fully-traced run under a *partial* quorum (R=W=1) with the 10x slow
+/// replica: stale reads are expected here, and the point of the artifacts is
+/// that each one is explainable offline — the audit line names the read's
+/// trace id, winning replica, returned vs latest-committed sequence; the
+/// Chrome trace shows the same trace id's W/A/R/S spans (the slow replica's
+/// late write leg); the metrics file carries the run's counters. CI uploads
+/// these as the sample observability artifact.
+void WriteTraceArtifacts(const std::filesystem::path& dir, int writes) {
+  kvs::StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 1, 1};  // partial: R + W <= N, staleness real
+  options.cluster.legs = LnkdSsd();
+  options.cluster.request_timeout_ms = 200.0;
+  options.cluster.obs.trace_enabled = true;
+  options.writes = writes;
+  options.write_spacing_ms = 50.0;
+  options.read_offsets_ms = {1.0, 10.0, 50.0};
+  options.seed = 777;
+  const double horizon = static_cast<double>(options.writes + 1) *
+                             options.write_spacing_ms +
+                         50.0 + 3.0 * options.cluster.request_timeout_ms;
+  kvs::FaultSchedule schedule;
+  schedule.AddSlowNode(0.0, horizon, /*node=*/0, /*delay_mult=*/10.0);
+  const kvs::StalenessExperimentResult run =
+      kvs::RunStalenessExperimentWithFaults(options, schedule);
+
+  const std::string audit = obs::StalenessAuditJsonl(run.trace,
+                                                     /*stale_only=*/true);
+  const long long stale_lines =
+      std::count(audit.begin(), audit.end(), '\n');
+  std::ofstream(dir / "BENCH_chaos_trace.json")
+      << obs::ChromeTraceJson(run.trace);
+  std::ofstream(dir / "BENCH_chaos_audit.jsonl") << audit;
+  std::ofstream metrics_out(dir / "BENCH_chaos_metrics.jsonl");
+  obs::WriteMetricsJsonl(run.registry, metrics_out);
+  std::printf(
+      "traced partial-quorum run: %zu trace events, %lld stale reads "
+      "explained -> BENCH_chaos_{trace.json,audit.jsonl,metrics.jsonl}\n",
+      run.trace.size(), stale_lines);
+}
+
 int Main(int argc, char** argv) {
   bool small = false;
   std::string out_dir = "bench_results";
@@ -352,6 +394,7 @@ int Main(int argc, char** argv) {
   WriteJson(dir / "BENCH_chaos.json", small ? "small" : "full", rows);
   WriteCsv(dir / "BENCH_chaos.csv", rows);
   std::printf("wrote %s/BENCH_chaos.{json,csv}\n", out_dir.c_str());
+  WriteTraceArtifacts(dir, writes);
 
   // Acceptance checks. Strict quorums must stay violation-free and dedup
   // must absorb every duplicate under every fault class; under the 10x slow

@@ -30,6 +30,7 @@
 #include "dist/production.h"
 #include "dist/sampler.h"
 #include "kvs/experiment.h"
+#include "obs/registry.h"
 #include "sim/simulator.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -129,6 +130,22 @@ BenchResult BenchWars(const std::string& name, const QuorumConfig& config,
     const WarsTrialSet set =
         RunWarsTrials(config, model, static_cast<int>(n), /*seed=*/1,
                       want_propagation, ReadFanout::kAllN, exec);
+    g_sink = set.staleness_thresholds.back();
+  });
+}
+
+BenchResult BenchWarsObserved(const std::string& name,
+                              const QuorumConfig& config,
+                              const WarsDistributions& legs, int threads,
+                              int64_t trials, obs::Registry* registry) {
+  const auto model = MakeIidModel(legs, config.n);
+  PbsExecutionOptions exec;
+  exec.threads = threads;
+  return RunBench(name, "trial", trials, [&](int64_t n) {
+    if (registry != nullptr) *registry = obs::Registry();
+    const WarsTrialSet set = RunWarsTrialsObserved(
+        config, model, static_cast<int>(n), /*seed=*/1,
+        /*want_propagation=*/false, ReadFanout::kAllN, exec, registry);
     g_sink = set.staleness_thresholds.back();
   });
 }
@@ -257,8 +274,9 @@ int Main(int argc, char** argv) {
   // thread) is the headline number tracked in README.md.
   results.push_back(
       BenchWars("wars_trials_n3", {3, 1, 1}, LnkdSsd(), 1, kTrials));
-  results.push_back(
-      BenchWars("wars_trials_n5", {5, 2, 2}, LnkdSsd(), 1, kTrials));
+  const BenchResult wars_n5 =
+      BenchWars("wars_trials_n5", {5, 2, 2}, LnkdSsd(), 1, kTrials);
+  results.push_back(wars_n5);
   results.push_back(
       BenchWars("wars_trials_n10", {10, 3, 3}, LnkdSsd(), 1, kTrials));
   results.push_back(
@@ -267,6 +285,30 @@ int Main(int argc, char** argv) {
                               kTrials, /*want_propagation=*/true));
   results.push_back(
       BenchWars("wars_trials_n5_threads8", {5, 2, 2}, LnkdSsd(), 8, kTrials));
+
+  // Observability overhead, paired in-process against wars_trials_n5: the
+  // observed entry point with registry == nullptr must not regress the plain
+  // path by more than 3% (tracing compiled in but disabled); with a live
+  // registry it additionally pays for the per-chunk histogram fills.
+  const BenchResult wars_obs_off = BenchWarsObserved(
+      "wars_trials_n5_obs_off", {5, 2, 2}, LnkdSsd(), 1, kTrials, nullptr);
+  results.push_back(wars_obs_off);
+  obs::Registry wars_registry;
+  results.push_back(BenchWarsObserved("wars_trials_n5_obs_on", {5, 2, 2},
+                                      LnkdSsd(), 1, kTrials, &wars_registry));
+  const double obs_off_overhead_pct =
+      100.0 * (wars_obs_off.NsPerItem() / wars_n5.NsPerItem() - 1.0);
+  std::printf("observability-disabled overhead on wars_trials_n5: %+.2f%% "
+              "(budget: +3%%)\n",
+              obs_off_overhead_pct);
+  bool overhead_ok = true;
+  if (!small && obs_off_overhead_pct > 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: tracing-disabled WARS overhead %+.2f%% exceeds the "
+                 "3%% budget\n",
+                 obs_off_overhead_pct);
+    overhead_ok = false;
+  }
 
   // Discrete-event simulator and end-to-end KVS.
   results.push_back(BenchEventChurn(kEvents));
@@ -278,7 +320,7 @@ int Main(int argc, char** argv) {
   WriteJson(dir / "BENCH_micro_perf.json", small ? "small" : "full", results);
   WriteCsv(dir / "BENCH_micro_perf.csv", results);
   std::printf("wrote %s/BENCH_micro_perf.{json,csv}\n", out_dir.c_str());
-  return 0;
+  return overhead_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // distributions); we run the identical 3x3 sweep and report the same error
 // metrics.
 
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "core/tvisibility.h"
 #include "dist/primitives.h"
 #include "kvs/experiment.h"
+#include "obs/exporters.h"
+#include "obs/registry.h"
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -44,6 +47,11 @@ void Run() {
   TextTable table({"W lambda (mean ms)", "ARS lambda (mean ms)",
                    "t-vis RMSE", "read lat N-RMSE", "write lat N-RMSE"});
 
+  // Both sides of the validation feed one instrument registry: the
+  // event-driven runs export their cluster counters plus measured per-leg
+  // delay histograms (LegProfiler), the WARS side its trial histograms.
+  obs::Registry sweep_registry;
+
   RunningStats rmse_stats;
   for (double lambda_w : lambda_ws) {
     for (double lambda_ars : lambda_arss) {
@@ -58,15 +66,17 @@ void Run() {
       options.writes = cluster_writes;
       options.write_spacing_ms = 500.0;
       options.read_offsets_ms = offsets;
+      options.profile_legs = true;
       options.seed = 520;
       const auto measured = kvs::RunStalenessExperiment(options);
+      sweep_registry.Merge(measured.registry);
 
       // WARS Monte Carlo prediction.
       const auto model = MakeIidModel(legs, config.n);
       WarsTrialSet set =
-          RunWarsTrials(config, model, wars_trials, /*seed=*/521,
-                        /*want_propagation=*/false, ReadFanout::kAllN,
-                        bench::BenchExecution());
+          RunWarsTrialsObserved(config, model, wars_trials, /*seed=*/521,
+                                /*want_propagation=*/false, ReadFanout::kAllN,
+                                bench::BenchExecution(), &sweep_registry);
       const TVisibilityCurve predicted(std::move(set.staleness_thresholds));
       const LatencyProfile predicted_reads(std::move(set.read_latencies));
       const LatencyProfile predicted_writes(std::move(set.write_latencies));
@@ -109,6 +119,15 @@ void Run() {
     }
   }
   table.Print(std::cout);
+
+  const std::string metrics_path =
+      std::string(bench::kResultsDir) + "/sec52_metrics.jsonl";
+  std::ofstream metrics_out(metrics_path);
+  obs::WriteMetricsJsonl(sweep_registry, metrics_out);
+  std::cout << "\nSweep instrument registry (cluster counters, measured "
+               "legs/* histograms, wars/* trial histograms) -> "
+            << metrics_path << "\n";
+
   std::cout << "\nAverage t-visibility RMSE: "
             << FormatDouble(rmse_stats.mean(), 2) << "% (std dev "
             << FormatDouble(rmse_stats.stddev(), 2)

@@ -587,4 +587,43 @@ WarsTrialSet RunWarsTrials(const QuorumConfig& config,
   return set;
 }
 
+WarsTrialSet RunWarsTrialsObserved(const QuorumConfig& config,
+                                   const ReplicaLatencyModelPtr& model,
+                                   int trials, uint64_t seed,
+                                   bool want_propagation,
+                                   ReadFanout read_fanout,
+                                   const PbsExecutionOptions& exec,
+                                   obs::Registry* registry) {
+  if (registry == nullptr) {
+    // Null observer: identical to the plain entry point, no extra work in
+    // or after the trial loop.
+    return RunWarsTrials(config, model, trials, seed, want_propagation,
+                         read_fanout, exec);
+  }
+  WarsTrialSet set = RunWarsTrials(config, model, trials, seed,
+                                   want_propagation, read_fanout, exec);
+  // Instrument from the finished columns, chunk by chunk in chunk order.
+  // The trial outputs are untouched (recording consumes zero RNG draws) and
+  // the merge order is a function of (trials, chunk_size) only, so the
+  // merged registry is bitwise identical at any thread count.
+  const int64_t num_chunks = NumChunks(trials, exec);
+  std::vector<obs::Registry> chunk_registries(num_chunks);
+  ParallelFor(trials, exec,
+              [&](int64_t chunk, int64_t begin, int64_t end) {
+                obs::Registry& local = chunk_registries[chunk];
+                obs::LogHistogram& w = local.histogram("wars/write_latency_ms");
+                obs::LogHistogram& r = local.histogram("wars/read_latency_ms");
+                obs::LogHistogram& t =
+                    local.histogram("wars/staleness_threshold_ms");
+                for (int64_t i = begin; i < end; ++i) {
+                  w.Record(set.write_latencies[i]);
+                  r.Record(set.read_latencies[i]);
+                  t.Record(set.staleness_thresholds[i]);
+                }
+                local.counter("wars/trials").Add(end - begin);
+              });
+  for (const obs::Registry& local : chunk_registries) registry->Merge(local);
+  return set;
+}
+
 }  // namespace pbs

@@ -8,6 +8,7 @@
 
 #include "core/quorum_config.h"
 #include "dist/production.h"
+#include "obs/registry.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -225,6 +226,23 @@ WarsTrialSet RunWarsTrials(const QuorumConfig& config,
                            uint64_t seed, bool want_propagation = false,
                            ReadFanout read_fanout = ReadFanout::kAllN,
                            const PbsExecutionOptions& exec = {});
+
+/// RunWarsTrials plus instrumentation: each chunk fills a chunk-local
+/// registry ("wars/write_latency_ms", "wars/read_latency_ms",
+/// "wars/staleness_threshold_ms" histograms and a "wars/trials" counter)
+/// from its finished trial columns, and the chunk registries are merged
+/// into `*registry` in chunk order — bitwise identical at any thread count,
+/// like the trial columns themselves. Recording happens after the RNG work
+/// of a chunk, so the trial outputs are bitwise identical to RunWarsTrials.
+/// `registry == nullptr` skips all instrumentation; bench/micro_perf uses
+/// that to assert the observed entry point adds <3% when observation is off.
+WarsTrialSet RunWarsTrialsObserved(const QuorumConfig& config,
+                                   const ReplicaLatencyModelPtr& model,
+                                   int trials, uint64_t seed,
+                                   bool want_propagation,
+                                   ReadFanout read_fanout,
+                                   const PbsExecutionOptions& exec,
+                                   obs::Registry* registry);
 
 }  // namespace pbs
 

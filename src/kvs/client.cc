@@ -25,13 +25,15 @@ void ClientSession::Write(Key key, std::string value, WriteCallback done) {
   versioned.stamp.writer = client_id_;
   versioned.value = std::move(value);
   versioned.clock.Increment(client_id_);
+  const double now = cluster_->sim().now();
+  const uint64_t trace_id =
+      cluster_->tracer().StartOp(/*is_write=*/true, key, coordinator_, now);
   StartWriteAttempt(key, std::move(versioned), std::move(done), /*attempt=*/1,
-                    cluster_->sim().now());
+                    now, trace_id);
 }
 
 double ClientSession::AttemptTimeoutMs(double op_start) const {
-  const KvsConfig::ClientRetryPolicy& policy =
-      cluster_->config().client_retry;
+  const RetryOptions& policy = cluster_->config().retry;
   if (policy.deadline_ms <= 0.0) return 0.0;  // configured timeout applies
   const double remaining =
       policy.deadline_ms - (cluster_->sim().now() - op_start);
@@ -41,9 +43,9 @@ double ClientSession::AttemptTimeoutMs(double op_start) const {
                   std::max(remaining, 1e-9));
 }
 
-double ClientSession::NextRetryDelayMs(int attempt, double op_start) {
-  const KvsConfig::ClientRetryPolicy& policy =
-      cluster_->config().client_retry;
+double ClientSession::NextRetryDelayMs(int attempt, double op_start,
+                                       bool* deadline_limited) {
+  const RetryOptions& policy = cluster_->config().retry;
   if (attempt >= policy.max_attempts) return -1.0;
   const double backoff =
       std::min(policy.backoff_max_ms,
@@ -54,6 +56,7 @@ double ClientSession::NextRetryDelayMs(int attempt, double op_start) {
     const double elapsed = cluster_->sim().now() - op_start;
     if (elapsed + delay >= policy.deadline_ms) {
       ++cluster_->metrics().client_deadline_misses;
+      if (deadline_limited != nullptr) *deadline_limited = true;
       return -1.0;  // waiting out the backoff would blow the budget
     }
   }
@@ -62,7 +65,17 @@ double ClientSession::NextRetryDelayMs(int attempt, double op_start) {
 
 void ClientSession::StartWriteAttempt(Key key, VersionedValue value,
                                       WriteCallback done, int attempt,
-                                      double op_start) {
+                                      double op_start, uint64_t trace_id) {
+  if (trace_id != 0) {
+    const double now = cluster_->sim().now();
+    cluster_->tracer().Record(obs::TraceEvent{
+        .trace_id = trace_id,
+        .kind = obs::TraceEventKind::kAttempt,
+        .src = coordinator_,
+        .t_start = now,
+        .t_end = now,
+        .a = attempt});
+  }
   // Keep a copy for a potential retry; re-sending the same sequence is
   // idempotent at the replicas (last-write-wins on the version order).
   VersionedValue payload = value;
@@ -70,27 +83,56 @@ void ClientSession::StartWriteAttempt(Key key, VersionedValue value,
       .CoordinateWrite(
           key, std::move(payload),
           [this, key, value = std::move(value), done = std::move(done),
-           attempt, op_start](const WriteResult& r) mutable {
+           attempt, op_start, trace_id](const WriteResult& r) mutable {
             WriteResult result = r;
             result.attempts = attempt;
+            result.trace_id = trace_id;
             if (!result.ok) {
-              const double delay = NextRetryDelayMs(attempt, op_start);
+              bool deadline_limited = false;
+              const double delay =
+                  NextRetryDelayMs(attempt, op_start, &deadline_limited);
               if (delay >= 0.0) {
                 ++cluster_->metrics().client_write_retries;
+                if (trace_id != 0) {
+                  const double now = cluster_->sim().now();
+                  cluster_->tracer().Record(obs::TraceEvent{
+                      .trace_id = trace_id,
+                      .kind = obs::TraceEventKind::kBackoff,
+                      .src = coordinator_,
+                      .t_start = now,
+                      .t_end = now + delay,
+                      .a = attempt});
+                }
                 cluster_->sim().Schedule(
                     delay, [this, key, value = std::move(value),
-                            done = std::move(done), attempt, op_start]() mutable {
+                            done = std::move(done), attempt, op_start,
+                            trace_id]() mutable {
                       StartWriteAttempt(key, std::move(value), std::move(done),
-                                        attempt + 1, op_start);
+                                        attempt + 1, op_start, trace_id);
                     });
                 return;
+              }
+              if (deadline_limited) {
+                result.status = Status::DeadlineExceeded(
+                    "write: retry deadline budget exhausted");
               }
             }
             // Client-visible latency spans every attempt and backoff.
             result.latency_ms = cluster_->sim().now() - op_start;
+            if (trace_id != 0) {
+              const double now = cluster_->sim().now();
+              cluster_->tracer().Record(obs::TraceEvent{
+                  .trace_id = trace_id,
+                  .kind = obs::TraceEventKind::kOpEnd,
+                  .src = coordinator_,
+                  .t_start = op_start,
+                  .t_end = now,
+                  .a = static_cast<int64_t>(result.status.code()),
+                  .b = result.sequence});
+            }
             if (done) done(result);
           },
-          AttemptTimeoutMs(op_start));
+          AttemptTimeoutMs(op_start), trace_id);
 }
 
 double ClientSession::ReadRatePerMs(Key key) const {
@@ -139,49 +181,93 @@ void ClientSession::MultiRead(const std::vector<Key>& keys,
 
 void ClientSession::Read(Key key, ReadCallback done) {
   ++reads_issued_;
-  read_rates_.try_emplace(key).first->second.Record(cluster_->sim().now());
-  StartReadAttempt(key, std::move(done), /*attempt=*/1, cluster_->sim().now());
+  const double now = cluster_->sim().now();
+  read_rates_.try_emplace(key).first->second.Record(now);
+  const uint64_t trace_id =
+      cluster_->tracer().StartOp(/*is_write=*/false, key, coordinator_, now);
+  StartReadAttempt(key, std::move(done), /*attempt=*/1, now, trace_id);
 }
 
 void ClientSession::StartReadAttempt(Key key, ReadCallback done, int attempt,
-                                     double op_start) {
+                                     double op_start, uint64_t trace_id) {
   const KvsConfig& config = cluster_->config();
   int required_override = 0;
-  if (attempt > 1 && config.client_retry.downgrade_reads_on_retry) {
+  if (attempt > 1 && config.retry.downgrade_reads) {
     // Shed one response requirement per retry (R, R-1, ..., 1): trade
     // consistency for availability once the full quorum proved unreachable.
     required_override = std::max(1, config.quorum.r - (attempt - 1));
+  }
+  if (trace_id != 0) {
+    const double now = cluster_->sim().now();
+    cluster_->tracer().Record(obs::TraceEvent{
+        .trace_id = trace_id,
+        .kind = obs::TraceEventKind::kAttempt,
+        .src = coordinator_,
+        .t_start = now,
+        .t_end = now,
+        .a = attempt,
+        .b = required_override});
   }
   cluster_->node(coordinator_)
       .CoordinateRead(
           key,
           [this, key, done = std::move(done), attempt, op_start,
-           required_override](const ReadResult& r) mutable {
+           required_override, trace_id](const ReadResult& r) mutable {
             ReadResult result = r;
             result.attempts = attempt;
+            result.trace_id = trace_id;
             if (!result.ok) {
-              const double delay = NextRetryDelayMs(attempt, op_start);
+              bool deadline_limited = false;
+              const double delay =
+                  NextRetryDelayMs(attempt, op_start, &deadline_limited);
               if (delay >= 0.0) {
                 ++cluster_->metrics().client_read_retries;
+                if (trace_id != 0) {
+                  const double now = cluster_->sim().now();
+                  cluster_->tracer().Record(obs::TraceEvent{
+                      .trace_id = trace_id,
+                      .kind = obs::TraceEventKind::kBackoff,
+                      .src = coordinator_,
+                      .t_start = now,
+                      .t_end = now + delay,
+                      .a = attempt});
+                }
                 cluster_->sim().Schedule(
                     delay,
-                    [this, key, done = std::move(done), attempt,
-                     op_start]() mutable {
+                    [this, key, done = std::move(done), attempt, op_start,
+                     trace_id]() mutable {
                       StartReadAttempt(key, std::move(done), attempt + 1,
-                                       op_start);
+                                       op_start, trace_id);
                     });
                 return;
+              }
+              if (deadline_limited) {
+                result.status = Status::DeadlineExceeded(
+                    "read: retry deadline budget exhausted");
               }
             }
             if (result.ok && required_override > 0 &&
                 required_override < cluster_->config().quorum.r) {
               result.downgraded = true;
+              result.status = Status::Downgraded(
+                  "read: retry accepted fewer than the configured R");
               ++cluster_->metrics().consistency_downgrades;
             }
             result.latency_ms = cluster_->sim().now() - op_start;
+            if (trace_id != 0) {
+              const double now = cluster_->sim().now();
+              cluster_->tracer().Record(obs::TraceEvent{
+                  .trace_id = trace_id,
+                  .kind = obs::TraceEventKind::kOpEnd,
+                  .src = coordinator_,
+                  .t_start = op_start,
+                  .t_end = now,
+                  .a = static_cast<int64_t>(result.status.code()),
+                  .b = cluster_->LatestSequenceFor(key)});
+            }
             FinishRead(key, result, done);
           },
-          required_override, AttemptTimeoutMs(op_start));
+          required_override, AttemptTimeoutMs(op_start), trace_id);
 }
 
 void ClientSession::FinishRead(Key key, const ReadResult& result,

@@ -25,13 +25,20 @@ class Cluster;
 /// session guarantee (Section 3.2): a read that returns an older version
 /// than this session previously saw for the key counts as a violation.
 ///
-/// When KvsConfig::client_retry allows more than one attempt, failed
-/// operations retry with capped exponential backoff and deterministic
-/// jitter until the per-operation deadline budget runs out; each attempt's
-/// coordinator timeout is clipped to the remaining budget. Results carry
-/// the attempt count, client-visible latency spans all attempts, and (for
-/// reads with downgrade_reads_on_retry) a `downgraded` flag when a retry
-/// accepted fewer than the configured R responses.
+/// When KvsConfig::retry allows more than one attempt, failed operations
+/// retry with capped exponential backoff and deterministic jitter until the
+/// per-operation deadline budget runs out; each attempt's coordinator
+/// timeout is clipped to the remaining budget. Results carry the attempt
+/// count, client-visible latency spans all attempts, and (for reads with
+/// RetryOptions::downgrade_reads) a `downgraded` flag plus a kDowngraded
+/// status when a retry accepted fewer than the configured R responses.
+/// Exhausting the deadline yields kDeadlineExceeded; a plain quorum miss
+/// yields kTimedOut.
+///
+/// The session is the tracing entry point: each operation consults the
+/// cluster's Tracer (counter-based sampling, zero RNG draws) and threads
+/// the resulting trace id through every coordinator attempt, so hedges,
+/// retries and repairs all attribute to one causal trace.
 class ClientSession {
  public:
   ClientSession(Cluster* cluster, NodeId coordinator, int32_t client_id);
@@ -79,9 +86,9 @@ class ClientSession {
 
  private:
   void StartWriteAttempt(Key key, VersionedValue value, WriteCallback done,
-                         int attempt, double op_start);
+                         int attempt, double op_start, uint64_t trace_id);
   void StartReadAttempt(Key key, ReadCallback done, int attempt,
-                        double op_start);
+                        double op_start, uint64_t trace_id);
   /// Per-attempt coordinator timeout: the configured request timeout
   /// clipped to the remaining deadline budget (0 = use the configured
   /// timeout unchanged).
@@ -89,8 +96,10 @@ class ClientSession {
   /// Backoff before the next attempt (capped exponential, jitter in
   /// [0.5, 1)), or a negative value when the operation must fail now
   /// (attempts exhausted, or the backoff would blow the deadline — the
-  /// latter counts a client_deadline_miss).
-  double NextRetryDelayMs(int attempt, double op_start);
+  /// latter counts a client_deadline_miss and sets *deadline_limited so
+  /// the caller reports kDeadlineExceeded instead of kTimedOut).
+  double NextRetryDelayMs(int attempt, double op_start,
+                          bool* deadline_limited);
   /// Monotonic-reads accounting + the user callback.
   void FinishRead(Key key, const ReadResult& result, ReadCallback& done);
 

@@ -8,6 +8,36 @@
 namespace pbs {
 namespace kvs {
 
+Status KvsConfig::Validate() const {
+  const Status quorum_status = ValidateQuorumConfig(quorum);
+  if (!quorum_status.ok()) return quorum_status;
+  if (!legs.w || !legs.a || !legs.r || !legs.s) {
+    return Status::InvalidArgument(
+        "all four WARS leg distributions must be set (legs.w/a/r/s)");
+  }
+  if (num_coordinators < 1) {
+    return Status::InvalidArgument("num_coordinators must be >= 1");
+  }
+  if (num_storage_nodes != 0 && num_storage_nodes < quorum.n) {
+    return Status::InvalidArgument(
+        "num_storage_nodes must be 0 (= N) or >= quorum.n");
+  }
+  if (vnodes_per_node < 1) {
+    return Status::InvalidArgument("vnodes_per_node must be >= 1");
+  }
+  if (request_timeout_ms <= 0.0) {
+    return Status::InvalidArgument("request_timeout_ms must be > 0");
+  }
+  if (anti_entropy_interval_ms < 0.0) {
+    return Status::InvalidArgument("anti_entropy_interval_ms must be >= 0");
+  }
+  const Status hedge_status = hedge.Validate();
+  if (!hedge_status.ok()) return hedge_status;
+  const Status retry_status = retry.Validate();
+  if (!retry_status.ok()) return retry_status;
+  return obs.Validate();
+}
+
 Cluster::Cluster(const KvsConfig& config)
     : config_(config),
       num_storage_nodes_(config.num_storage_nodes > 0
@@ -22,6 +52,7 @@ Cluster::Cluster(const KvsConfig& config)
   assert(config_.legs.w && config_.legs.a && config_.legs.r &&
          config_.legs.s);
 
+  tracer_.Configure(config_.obs);
   Rng master(config_.seed);
   network_ = std::make_unique<Network>(&sim_, master.Next());
   const int total = num_nodes();
@@ -92,6 +123,60 @@ void Cluster::StartFailureDetector() {
         this, options, config_.seed ^ 0xFDFDFD);
   }
   failure_detector_->Start();
+}
+
+void Cluster::ExportMetrics(obs::Registry* out) const {
+  assert(out != nullptr);
+  const ClusterMetrics& m = metrics_;
+  const struct {
+    const char* name;
+    int64_t value;
+  } counters[] = {
+      {"kvs/reads_started", m.reads_started},
+      {"kvs/reads_failed", m.reads_failed},
+      {"kvs/writes_started", m.writes_started},
+      {"kvs/writes_failed", m.writes_failed},
+      {"kvs/read_repairs_sent", m.read_repairs_sent},
+      {"kvs/hinted_handoffs_sent", m.hinted_handoffs_sent},
+      {"kvs/sloppy_substitutions", m.sloppy_substitutions},
+      {"kvs/hints_stored", m.hints_stored},
+      {"kvs/hints_delivered", m.hints_delivered},
+      {"kvs/anti_entropy_rounds", m.anti_entropy_rounds},
+      {"kvs/anti_entropy_values_shipped", m.anti_entropy_values_shipped},
+      {"kvs/monotonic_read_violations", m.monotonic_read_violations},
+      {"kvs/session_reads", m.session_reads},
+      {"kvs/hedged_reads_sent", m.hedged_reads_sent},
+      {"kvs/hedged_reads_won", m.hedged_reads_won},
+      {"kvs/duplicate_responses_suppressed", m.duplicate_responses_suppressed},
+      {"kvs/duplicate_acks_suppressed", m.duplicate_acks_suppressed},
+      {"kvs/client_read_retries", m.client_read_retries},
+      {"kvs/client_write_retries", m.client_write_retries},
+      {"kvs/client_deadline_misses", m.client_deadline_misses},
+      {"kvs/consistency_downgrades", m.consistency_downgrades},
+      {"kvs/fault_slow_node_activations", m.fault_slow_node_activations},
+      {"kvs/fault_lossy_link_activations", m.fault_lossy_link_activations},
+      {"kvs/fault_flapping_activations", m.fault_flapping_activations},
+      {"kvs/fault_asymmetric_partition_activations",
+       m.fault_asymmetric_partition_activations},
+      {"net/messages_sent", network_->messages_sent()},
+      {"net/messages_dropped", network_->messages_dropped()},
+      {"net/messages_duplicated", network_->messages_duplicated()},
+      {"sim/events_processed",
+       static_cast<int64_t>(sim_.events_processed())},
+      {"sim/max_queue_depth", static_cast<int64_t>(sim_.max_queue_depth())},
+      {"obs/ops_seen", static_cast<int64_t>(tracer_.ops_seen())},
+      {"obs/ops_sampled", static_cast<int64_t>(tracer_.ops_sampled())},
+      {"obs/trace_events_overwritten",
+       static_cast<int64_t>(tracer_.events_overwritten())},
+  };
+  for (const auto& counter : counters) {
+    out->counter(counter.name).Add(counter.value);
+  }
+  obs::LogHistogram& reads = out->histogram("kvs/read_latency_ms");
+  for (double sample : m.read_latency.samples()) reads.Record(sample);
+  obs::LogHistogram& writes = out->histogram("kvs/write_latency_ms");
+  for (double sample : m.write_latency.samples()) writes.Record(sample);
+  if (leg_profiler_ != nullptr) leg_profiler_->ExportTo(out);
 }
 
 void Cluster::StartAntiEntropy() {

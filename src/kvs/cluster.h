@@ -12,9 +12,13 @@
 #include "kvs/failure_detector.h"
 #include "kvs/metrics.h"
 #include "kvs/node.h"
+#include "kvs/options.h"
 #include "kvs/profiler.h"
 #include "kvs/rates.h"
 #include "kvs/ring.h"
+#include "obs/options.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -65,35 +69,20 @@ struct KvsConfig {
   /// Coordinator-side operation timeout.
   double request_timeout_ms = 10000.0;
 
-  /// Hedged reads (Cassandra's "rapid read protection"): if a read has not
-  /// assembled R responses within the hedging delay, the coordinator
-  /// re-issues it — to preference-list replicas it has not tried yet
-  /// (kQuorumOnly fan-out), or as a second attempt to the replicas that
-  /// have not answered (kAllN). Responses are deduplicated per replica, so
-  /// R-counting and read repair stay correct. The delay defaults to the
-  /// hedge_quantile of the request+response leg round trip (sum of the two
-  /// legs' quantiles — an upper bound, which only makes hedging slightly
-  /// lazier); set hedge_delay_ms > 0 to pin it explicitly.
-  bool hedged_reads = false;
-  double hedge_quantile = 0.99;
-  double hedge_delay_ms = 0.0;  // 0 = derive from hedge_quantile
-  int max_hedges_per_read = 2;  // extra request legs per hedge wave
+  /// Hedged reads (rapid read protection); see pbs::HedgeOptions.
+  HedgeOptions hedge;
 
-  /// Client-side retry policy (consumed by ClientSession): failed
-  /// operations retry with capped exponential backoff and deterministic
-  /// jitter while a per-operation deadline budget lasts.
-  /// `downgrade_reads_on_retry` lets a retried read accept fewer responses
-  /// (R, R-1, ..., 1) — trading consistency for availability under gray
-  /// failures; such results carry ReadResult::downgraded = true so
-  /// staleness accounting stays honest.
-  struct ClientRetryPolicy {
-    int max_attempts = 1;  // 1 = no retries
-    double backoff_base_ms = 10.0;
-    double backoff_max_ms = 1000.0;
-    double deadline_ms = 0.0;  // per-operation budget; 0 = unbounded
-    bool downgrade_reads_on_retry = false;
-  };
-  ClientRetryPolicy client_retry;
+  /// Client-side retry policy (consumed by ClientSession); see
+  /// pbs::RetryOptions.
+  RetryOptions retry;
+
+  /// Deprecated alias for the pre-Config nested policy name; new code
+  /// should spell pbs::RetryOptions.
+  using ClientRetryPolicy = RetryOptions;
+
+  /// Observability: causal op tracing policy (see obs/options.h). RNG
+  /// neutral — enabling tracing never changes a seeded run's results.
+  ObsOptions obs;
 
   /// Virtual tokens per node on the consistent-hash ring.
   int vnodes_per_node = 16;
@@ -127,6 +116,12 @@ struct KvsConfig {
   double phi_min_std_ms = 2.0;
 
   uint64_t seed = 42;
+
+  /// Full structural validation, Status-returning (the pbs::Config path to
+  /// constructing clusters without tripping the constructor asserts):
+  /// quorum shape, leg distributions present, node counts, hedge/retry/obs
+  /// sub-options.
+  Status Validate() const;
 };
 
 /// A complete simulated cluster: replicas + coordinators + network + ring +
@@ -218,6 +213,18 @@ class Cluster {
   /// interval is 0).
   void StartAntiEntropy();
 
+  /// The cluster's causal operation tracer (configured from config.obs at
+  /// construction; disabled tracers cost one branch per record site).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
+  /// Exports every cluster-level instrument into `out` under stable names:
+  /// ClusterMetrics counters ("kvs/..."), operation latency histograms,
+  /// network traffic ("net/..."), simulator progress ("sim/...") and, when
+  /// a LegProfiler is attached, per-leg delay histograms ("legs/...").
+  /// Deterministic given a deterministic run.
+  void ExportMetrics(obs::Registry* out) const;
+
  private:
   KvsConfig config_;
   int num_storage_nodes_;
@@ -227,6 +234,7 @@ class Cluster {
   std::unique_ptr<FailureDetector> failure_detector_;
   std::vector<std::unique_ptr<Node>> nodes_;
   ClusterMetrics metrics_;
+  obs::Tracer tracer_;
   LateReadHook late_read_hook_;
   LegProfiler* leg_profiler_ = nullptr;
   uint64_t next_request_id_ = 1;

@@ -7,6 +7,8 @@
 #include "core/staleness_detector.h"
 #include "kvs/client.h"
 #include "kvs/failure.h"
+#include "kvs/profiler.h"
+#include "obs/exporters.h"
 
 namespace pbs {
 namespace kvs {
@@ -31,6 +33,8 @@ StalenessExperimentResult RunStalenessExperimentImpl(
   config.num_coordinators = 2;  // [0]: writer proxy, [1]: reader proxy
   config.seed = options.seed;
   Cluster cluster(config);
+  LegProfiler leg_profiler;
+  if (options.profile_legs) cluster.set_leg_profiler(&leg_profiler);
   cluster.StartAntiEntropy();
   if (config.sloppy_quorums) cluster.StartFailureDetector();
   if (failures != nullptr) failures->InstallOn(&cluster);
@@ -122,6 +126,8 @@ StalenessExperimentResult RunStalenessExperimentImpl(
   result.network_messages = cluster.network().messages_sent();
   result.network_messages_dropped = cluster.network().messages_dropped();
   result.network_messages_duplicated = cluster.network().messages_duplicated();
+  cluster.ExportMetrics(&result.registry);
+  if (cluster.tracer().enabled()) result.trace = cluster.tracer().Snapshot();
   return result;
 }
 
@@ -234,6 +240,7 @@ ChaosCampaignResult RunChaosTrials(const ChaosTrialOptions& options,
     ChaosSummary summary;
     std::vector<double> read_latencies;
     std::vector<double> write_latencies;
+    obs::Registry registry;
   };
   std::vector<TrialOutput> outputs(trials);
 
@@ -262,6 +269,7 @@ ChaosCampaignResult RunChaosTrials(const ChaosTrialOptions& options,
                   out.summary = Summarize(experiment, run,
                                           &out.read_latencies,
                                           &out.write_latencies);
+                  out.registry = std::move(run.registry);
                 }
               });
 
@@ -269,6 +277,7 @@ ChaosCampaignResult RunChaosTrials(const ChaosTrialOptions& options,
   result.trials.reserve(trials);
   std::vector<double> read_pool;
   std::vector<double> write_pool;
+  obs::Registry campaign_registry;
   ChaosSummary& pooled = result.pooled;
   pooled.probe_offsets_ms = options.experiment.read_offsets_ms;
   pooled.probe_trials.assign(pooled.probe_offsets_ms.size(), 0);
@@ -299,8 +308,10 @@ ChaosCampaignResult RunChaosTrials(const ChaosTrialOptions& options,
                      out.read_latencies.end());
     write_pool.insert(write_pool.end(), out.write_latencies.begin(),
                       out.write_latencies.end());
+    campaign_registry.Merge(out.registry);
     result.trials.push_back(std::move(out.summary));
   }
+  result.metrics_jsonl = obs::MetricsJsonl(campaign_registry);
   std::sort(read_pool.begin(), read_pool.end());
   std::sort(write_pool.begin(), write_pool.end());
   if (!read_pool.empty()) {

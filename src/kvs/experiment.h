@@ -2,10 +2,13 @@
 #define PBS_KVS_EXPERIMENT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "kvs/cluster.h"
 #include "kvs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace pbs {
@@ -34,6 +37,10 @@ struct StalenessExperimentOptions {
   /// Probe offsets t (ms after commit) at which reads are issued.
   std::vector<double> read_offsets_ms = {0.0, 1.0, 2.0, 5.0, 10.0,
                                          25.0, 50.0, 100.0};
+
+  /// Attach a LegProfiler for the run so the result registry carries the
+  /// measured per-leg delay histograms ("legs/w_ms" ... "legs/s_ms").
+  bool profile_legs = false;
 
   uint64_t seed = 7;
 };
@@ -65,6 +72,14 @@ struct StalenessExperimentResult {
   /// copies injected by duplicating fault profiles.
   int64_t network_messages_dropped = 0;
   int64_t network_messages_duplicated = 0;
+
+  /// Every named instrument the run produced (cluster counters, latency
+  /// histograms, per-leg profiles when attached) — feed to MetricsJsonl().
+  obs::Registry registry;
+
+  /// Retained trace events when options.cluster.obs.trace_enabled — feed to
+  /// ChromeTraceJson() / StalenessAuditJsonl(). Empty when tracing is off.
+  std::vector<obs::TraceEvent> trace;
 
   /// P(consistent | t) for a probed offset (asserts the offset was probed).
   double ProbConsistentAt(double t) const;
@@ -163,6 +178,11 @@ struct ChaosCampaignResult {
   /// Everything pooled: counters added, latency quantiles recomputed over
   /// the concatenated (trial-ordered, then sorted) latency pools.
   ChaosSummary pooled;
+  /// The campaign's merged instrument registry (per-trial registries merged
+  /// in trial order), serialized as JSON lines. A string rather than a live
+  /// Registry so the defaulted operator== makes thread-count determinism of
+  /// the merge directly assertable (and the artifact directly uploadable).
+  std::string metrics_jsonl;
 
   friend bool operator==(const ChaosCampaignResult&,
                          const ChaosCampaignResult&) = default;

@@ -20,7 +20,7 @@ Node::Node(Cluster* cluster, NodeId id, bool is_replica, uint64_t seed)
 // Coordinator: writes
 
 void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
-                           double timeout_override_ms) {
+                           double timeout_override_ms, uint64_t trace_id) {
   const KvsConfig& config = cluster_->config();
   const uint64_t request_id = cluster_->NextRequestId();
   ++cluster_->metrics().writes_started;
@@ -31,6 +31,7 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
   pending.replicas = cluster_->ReplicasFor(key);
   pending.required = config.quorum.w;
   pending.start_time = cluster_->sim().now();
+  pending.trace_id = trace_id;
   pending.done = std::move(done);
 
   // Sloppy quorums (Dynamo): replace suspected home replicas with the next
@@ -57,6 +58,7 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
   pending.acked.assign(pending.replicas.size(), false);
   // Fan out to all N targets (Figure 1); each request leg draws its own W
   // delay.
+  const double now = pending.start_time;
   for (size_t i = 0; i < pending.replicas.size(); ++i) {
     const NodeId replica = pending.replicas[i];
     const NodeId hint_home = hint_homes[i];
@@ -72,12 +74,27 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
     const VersionedValue& payload = pending.value;
     // A dropped request leaves the timeout armed; hinted handoff (if on)
     // re-delivers from there.
-    (void)cluster_->network().SendWithDelay(
+    double effective_delay = delay;
+    const bool delivered = cluster_->network().SendWithDelay(
         id_, replica, delay,
-        [target, key, payload, coordinator = id_, request_id, hint_home]() {
+        [target, key, payload, coordinator = id_, request_id, hint_home,
+         trace_id]() {
           target->HandleWriteRequest(key, payload, coordinator, request_id,
-                                     /*is_repair=*/false, hint_home);
-        });
+                                     /*is_repair=*/false, hint_home, trace_id);
+        },
+        &effective_delay);
+    if (trace_id != 0) {
+      cluster_->tracer().Record(obs::TraceEvent{
+          .trace_id = trace_id,
+          .kind = delivered ? obs::TraceEventKind::kLegSend
+                            : obs::TraceEventKind::kLegDrop,
+          .leg = obs::WarsLeg::kW,
+          .src = id_,
+          .dst = replica,
+          .t_start = now,
+          .t_end = delivered ? now + effective_delay : now,
+          .a = pending.value.sequence});
+    }
   }
   pending_writes_.emplace(request_id, std::move(pending));
   const double timeout = timeout_override_ms > 0.0 ? timeout_override_ms
@@ -104,14 +121,40 @@ void Node::OnWriteAck(uint64_t request_id, NodeId replica) {
     ++pending.acks;
     break;
   }
+  const double now = cluster_->sim().now();
+  if (pending.trace_id != 0) {
+    cluster_->tracer().Record(obs::TraceEvent{
+        .trace_id = pending.trace_id,
+        .kind = obs::TraceEventKind::kAck,
+        .leg = obs::WarsLeg::kA,
+        .src = replica,
+        .dst = id_,
+        .t_start = now,
+        .t_end = now,
+        .a = pending.acks});
+  }
   if (!pending.committed && pending.acks >= pending.required) {
     pending.committed = true;
     WriteResult result;
     result.ok = true;
+    result.status = Status::Ok();
+    result.trace_id = pending.trace_id;
     result.sequence = pending.value.sequence;
-    result.commit_time = cluster_->sim().now();
+    result.commit_time = now;
     result.latency_ms = result.commit_time - pending.start_time;
     cluster_->metrics().write_latency.Record(result.latency_ms);
+    if (pending.trace_id != 0) {
+      cluster_->tracer().Record(obs::TraceEvent{
+          .trace_id = pending.trace_id,
+          .kind = obs::TraceEventKind::kReturn,
+          .leg = obs::WarsLeg::kA,
+          .src = replica,
+          .dst = id_,
+          .t_start = now,
+          .t_end = now,
+          .a = result.sequence,
+          .b = pending.required});
+    }
     if (pending.done) pending.done(result);
   }
   if (pending.acks == static_cast<int>(pending.replicas.size())) {
@@ -126,7 +169,21 @@ void Node::OnWriteTimeout(uint64_t request_id) {
   if (!pending.committed && !pending.timed_out) {
     pending.timed_out = true;
     ++cluster_->metrics().writes_failed;
+    if (pending.trace_id != 0) {
+      const double now = cluster_->sim().now();
+      cluster_->tracer().Record(obs::TraceEvent{
+          .trace_id = pending.trace_id,
+          .kind = obs::TraceEventKind::kTimeout,
+          .leg = obs::WarsLeg::kA,
+          .src = id_,
+          .t_start = now,
+          .t_end = now,
+          .a = pending.acks,
+          .b = pending.required});
+    }
     WriteResult failed;
+    failed.status = Status::TimedOut("write: no W acks before the timeout");
+    failed.trace_id = pending.trace_id;
     failed.sequence = pending.value.sequence;
     if (pending.done) pending.done(failed);
   }
@@ -147,6 +204,7 @@ void Node::ResendUnacked(uint64_t request_id) {
   // write to unacknowledged replicas until they accept it or the retry
   // budget runs out.
   bool any_unacked = false;
+  const double now = cluster_->sim().now();
   for (size_t i = 0; i < pending.replicas.size(); ++i) {
     if (pending.acked[i]) continue;
     any_unacked = true;
@@ -156,12 +214,28 @@ void Node::ResendUnacked(uint64_t request_id) {
     const Key key = pending.key;
     const VersionedValue& payload = pending.value;
     ++cluster_->metrics().hinted_handoffs_sent;
-    (void)cluster_->network().SendWithDelay(
+    double effective_delay = delay;
+    const bool delivered = cluster_->network().SendWithDelay(
         id_, replica, delay,
-        [target, key, payload, coordinator = id_, request_id]() {
+        [target, key, payload, coordinator = id_, request_id,
+         trace_id = pending.trace_id]() {
           target->HandleWriteRequest(key, payload, coordinator, request_id,
-                                     /*is_repair=*/false);
-        });
+                                     /*is_repair=*/false, Node::kNoHint,
+                                     trace_id);
+        },
+        &effective_delay);
+    if (pending.trace_id != 0) {
+      cluster_->tracer().Record(obs::TraceEvent{
+          .trace_id = pending.trace_id,
+          .kind = delivered ? obs::TraceEventKind::kLegSend
+                            : obs::TraceEventKind::kLegDrop,
+          .leg = obs::WarsLeg::kW,
+          .src = id_,
+          .dst = replica,
+          .t_start = now,
+          .t_end = delivered ? now + effective_delay : now,
+          .a = payload.sequence});
+    }
   }
   if (!any_unacked) {
     pending_writes_.erase(it);
@@ -190,7 +264,7 @@ void Node::ResendUnacked(uint64_t request_id) {
 // Coordinator: reads
 
 void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
-                          double timeout_override_ms) {
+                          double timeout_override_ms, uint64_t trace_id) {
   const KvsConfig& config = cluster_->config();
   const uint64_t request_id = cluster_->NextRequestId();
   ++cluster_->metrics().reads_started;
@@ -216,23 +290,24 @@ void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
     pending.replicas.resize(pending.required);
   }
   pending.start_time = cluster_->sim().now();
+  pending.trace_id = trace_id;
   pending.done = std::move(done);
   for (NodeId replica : pending.replicas) {
-    SendReadRequest(key, replica, request_id);
+    SendReadRequest(key, replica, request_id, trace_id, /*is_hedge=*/false);
   }
   pending_reads_.emplace(request_id, std::move(pending));
   const double timeout = timeout_override_ms > 0.0 ? timeout_override_ms
                                                    : config.request_timeout_ms;
   cluster_->sim().Schedule(timeout,
                            [this, request_id]() { OnReadTimeout(request_id); });
-  if (config.hedged_reads) {
+  if (config.hedge.enabled) {
     // Rapid read protection: if R responses have not assembled by the
     // hedging delay, re-issue the read (see OnHedgeDeadline). The delay is
     // either pinned or derived from the per-leg latency quantiles.
-    double hedge_delay = config.hedge_delay_ms;
+    double hedge_delay = config.hedge.delay_ms;
     if (hedge_delay <= 0.0) {
-      hedge_delay = config.legs.r->Quantile(config.hedge_quantile) +
-                    config.legs.s->Quantile(config.hedge_quantile);
+      hedge_delay = config.legs.r->Quantile(config.hedge.quantile) +
+                    config.legs.s->Quantile(config.hedge.quantile);
     }
     if (hedge_delay < timeout) {
       cluster_->sim().Schedule(
@@ -241,7 +316,8 @@ void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
   }
 }
 
-void Node::SendReadRequest(Key key, NodeId replica, uint64_t request_id) {
+void Node::SendReadRequest(Key key, NodeId replica, uint64_t request_id,
+                           uint64_t trace_id, bool is_hedge) {
   const KvsConfig& config = cluster_->config();
   const double delay = replica == id_ ? 0.0 : config.legs.r->Sample(rng_);
   if (cluster_->leg_profiler() != nullptr && replica != id_) {
@@ -249,10 +325,26 @@ void Node::SendReadRequest(Key key, NodeId replica, uint64_t request_id) {
   }
   Node* target = &cluster_->node(replica);
   // A dropped request leaves the hedge/timeout timers armed.
-  (void)cluster_->network().SendWithDelay(
-      id_, replica, delay, [target, key, coordinator = id_, request_id]() {
-        target->HandleReadRequest(key, coordinator, request_id);
-      });
+  double effective_delay = delay;
+  const bool delivered = cluster_->network().SendWithDelay(
+      id_, replica, delay,
+      [target, key, coordinator = id_, request_id, trace_id]() {
+        target->HandleReadRequest(key, coordinator, request_id, trace_id);
+      },
+      &effective_delay);
+  if (trace_id != 0) {
+    const double now = cluster_->sim().now();
+    cluster_->tracer().Record(obs::TraceEvent{
+        .trace_id = trace_id,
+        .kind = delivered ? obs::TraceEventKind::kLegSend
+                          : obs::TraceEventKind::kLegDrop,
+        .leg = obs::WarsLeg::kR,
+        .src = id_,
+        .dst = replica,
+        .t_start = now,
+        .t_end = delivered ? now + effective_delay : now,
+        .b = is_hedge ? 1 : 0});
+  }
 }
 
 void Node::OnHedgeDeadline(uint64_t request_id) {
@@ -261,7 +353,8 @@ void Node::OnHedgeDeadline(uint64_t request_id) {
   PendingRead& pending = it->second;
   if (pending.returned) return;  // R assembled in time: nothing to protect
   const KvsConfig& config = cluster_->config();
-  int budget = std::max(1, config.max_hedges_per_read);
+  const double now = cluster_->sim().now();
+  int budget = std::max(1, config.hedge.max_per_read);
   // Prefer preference-list replicas never contacted (the kQuorumOnly
   // leftover pool): a fresh replica dodges whatever is slowing the original
   // targets. Fall back to re-sending to contacted-but-silent replicas,
@@ -273,7 +366,19 @@ void Node::OnHedgeDeadline(uint64_t request_id) {
     pending.replicas.push_back(replica);
     pending.hedge_only.push_back(replica);
     ++cluster_->metrics().hedged_reads_sent;
-    SendReadRequest(pending.key, replica, request_id);
+    if (pending.trace_id != 0) {
+      cluster_->tracer().Record(obs::TraceEvent{
+          .trace_id = pending.trace_id,
+          .kind = obs::TraceEventKind::kHedge,
+          .leg = obs::WarsLeg::kR,
+          .src = id_,
+          .dst = replica,
+          .t_start = now,
+          .t_end = now,
+          .a = 1});
+    }
+    SendReadRequest(pending.key, replica, request_id, pending.trace_id,
+                    /*is_hedge=*/true);
     --budget;
   }
   for (size_t i = 0; budget > 0 && i < pending.replicas.size(); ++i) {
@@ -291,7 +396,19 @@ void Node::OnHedgeDeadline(uint64_t request_id) {
       continue;  // just hedged to it above
     }
     ++cluster_->metrics().hedged_reads_sent;
-    SendReadRequest(pending.key, replica, request_id);
+    if (pending.trace_id != 0) {
+      cluster_->tracer().Record(obs::TraceEvent{
+          .trace_id = pending.trace_id,
+          .kind = obs::TraceEventKind::kHedge,
+          .leg = obs::WarsLeg::kR,
+          .src = id_,
+          .dst = replica,
+          .t_start = now,
+          .t_end = now,
+          .a = 0});
+    }
+    SendReadRequest(pending.key, replica, request_id, pending.trace_id,
+                    /*is_hedge=*/true);
     --budget;
   }
 }
@@ -313,6 +430,20 @@ void Node::OnReadResponse(uint64_t request_id, NodeId replica,
   }
   ++pending.responses;
   pending.all.emplace_back(replica, value);
+
+  if (pending.trace_id != 0) {
+    const double now = cluster_->sim().now();
+    cluster_->tracer().Record(obs::TraceEvent{
+        .trace_id = pending.trace_id,
+        .kind = obs::TraceEventKind::kResponse,
+        .leg = obs::WarsLeg::kS,
+        .src = replica,
+        .dst = id_,
+        .t_start = now,
+        .t_end = now,
+        .a = value.has_value() ? value->sequence : 0,
+        .b = value.has_value() ? 1 : 0});
+  }
 
   if (value.has_value()) {
     if (!pending.best_all.has_value() ||
@@ -337,11 +468,26 @@ void Node::OnReadResponse(uint64_t request_id, NodeId replica,
       }
       ReadResult result;
       result.ok = true;
+      result.status = Status::Ok();
+      result.trace_id = pending.trace_id;
       result.start_time = pending.start_time;
       result.latency_ms = cluster_->sim().now() - pending.start_time;
       result.value = pending.best;
       result.required = pending.required;
       cluster_->metrics().read_latency.Record(result.latency_ms);
+      if (pending.trace_id != 0) {
+        const double now = cluster_->sim().now();
+        cluster_->tracer().Record(obs::TraceEvent{
+            .trace_id = pending.trace_id,
+            .kind = obs::TraceEventKind::kReturn,
+            .leg = obs::WarsLeg::kS,
+            .src = replica,
+            .dst = id_,
+            .t_start = now,
+            .t_end = now,
+            .a = pending.best.has_value() ? pending.best->sequence : 0,
+            .b = pending.required});
+      }
       if (pending.done) pending.done(result);
     }
   } else {
@@ -372,6 +518,7 @@ void Node::SendReadRepairs(const PendingRead& pending) {
   if (!pending.best_all.has_value()) return;
   const KvsConfig& config = cluster_->config();
   const VersionedValue& freshest = *pending.best_all;
+  const double now = cluster_->sim().now();
   for (const auto& [replica, value] : pending.all) {
     const bool stale =
         !value.has_value() || freshest.NewerThan(*value);
@@ -381,11 +528,40 @@ void Node::SendReadRepairs(const PendingRead& pending) {
     const Key key = pending.key;
     ++cluster_->metrics().read_repairs_sent;
     // Fire-and-forget: anti-entropy eventually covers a dropped repair.
-    (void)cluster_->network().SendWithDelay(
-        id_, replica, delay, [target, key, freshest, coordinator = id_]() {
+    double effective_delay = delay;
+    const bool delivered = cluster_->network().SendWithDelay(
+        id_, replica, delay,
+        [target, key, freshest, coordinator = id_,
+         trace_id = pending.trace_id]() {
           target->HandleWriteRequest(key, freshest, coordinator,
-                                     /*request_id=*/0, /*is_repair=*/true);
-        });
+                                     /*request_id=*/0, /*is_repair=*/true,
+                                     Node::kNoHint, trace_id);
+        },
+        &effective_delay);
+    if (pending.trace_id != 0) {
+      obs::Tracer& tracer = cluster_->tracer();
+      tracer.Record(obs::TraceEvent{
+          .trace_id = pending.trace_id,
+          .kind = obs::TraceEventKind::kRepair,
+          .leg = obs::WarsLeg::kW,
+          .src = id_,
+          .dst = replica,
+          .t_start = now,
+          .t_end = now,
+          .a = freshest.sequence,
+          .b = value.has_value() ? value->sequence : 0});
+      tracer.Record(obs::TraceEvent{
+          .trace_id = pending.trace_id,
+          .kind = delivered ? obs::TraceEventKind::kLegSend
+                            : obs::TraceEventKind::kLegDrop,
+          .leg = obs::WarsLeg::kW,
+          .src = id_,
+          .dst = replica,
+          .t_start = now,
+          .t_end = delivered ? now + effective_delay : now,
+          .a = freshest.sequence,
+          .b = 1});
+    }
   }
 }
 
@@ -396,8 +572,22 @@ void Node::OnReadTimeout(uint64_t request_id) {
   if (!pending.returned) {
     pending.returned = true;
     ++cluster_->metrics().reads_failed;
+    if (pending.trace_id != 0) {
+      const double now = cluster_->sim().now();
+      cluster_->tracer().Record(obs::TraceEvent{
+          .trace_id = pending.trace_id,
+          .kind = obs::TraceEventKind::kTimeout,
+          .leg = obs::WarsLeg::kS,
+          .src = id_,
+          .t_start = now,
+          .t_end = now,
+          .a = pending.responses,
+          .b = pending.required});
+    }
     ReadResult result;
     result.ok = false;
+    result.status = Status::TimedOut("read: fewer than R responses");
+    result.trace_id = pending.trace_id;
     result.start_time = pending.start_time;
     result.latency_ms = cluster_->sim().now() - pending.start_time;
     result.required = pending.required;
@@ -421,7 +611,8 @@ void Node::OnReadTimeout(uint64_t request_id) {
 
 void Node::HandleWriteRequest(Key key, const VersionedValue& value,
                               NodeId coordinator, uint64_t request_id,
-                              bool is_repair, NodeId hint_home) {
+                              bool is_repair, NodeId hint_home,
+                              uint64_t trace_id) {
   if (!alive_) return;  // fail-stop: crashed nodes drop everything
   assert(is_replica_);
   if (hint_home != kNoHint && hint_home != id_) {
@@ -431,6 +622,18 @@ void Node::HandleWriteRequest(Key key, const VersionedValue& value,
   } else {
     storage_.Put(key, value);
   }
+  if (trace_id != 0) {
+    const double now = cluster_->sim().now();
+    cluster_->tracer().Record(obs::TraceEvent{
+        .trace_id = trace_id,
+        .kind = obs::TraceEventKind::kReplicaServe,
+        .leg = obs::WarsLeg::kW,
+        .src = id_,
+        .t_start = now,
+        .t_end = now,
+        .a = value.sequence,
+        .b = is_repair ? 1 : 0});
+  }
   if (is_repair) return;  // repairs are fire-and-forget
   const double delay =
       coordinator == id_ ? 0.0 : cluster_->config().legs.a->Sample(rng_);
@@ -439,10 +642,26 @@ void Node::HandleWriteRequest(Key key, const VersionedValue& value,
   }
   Node* target = &cluster_->node(coordinator);
   // A dropped ack leaves the coordinator's write timeout armed.
-  (void)cluster_->network().SendWithDelay(
-      id_, coordinator, delay, [target, request_id, replica = id_]() {
+  double effective_delay = delay;
+  const bool delivered = cluster_->network().SendWithDelay(
+      id_, coordinator, delay,
+      [target, request_id, replica = id_]() {
         target->OnWriteAck(request_id, replica);
-      });
+      },
+      &effective_delay);
+  if (trace_id != 0) {
+    const double now = cluster_->sim().now();
+    cluster_->tracer().Record(obs::TraceEvent{
+        .trace_id = trace_id,
+        .kind = delivered ? obs::TraceEventKind::kLegSend
+                          : obs::TraceEventKind::kLegDrop,
+        .leg = obs::WarsLeg::kA,
+        .src = id_,
+        .dst = coordinator,
+        .t_start = now,
+        .t_end = delivered ? now + effective_delay : now,
+        .a = value.sequence});
+  }
 }
 
 void Node::StoreHint(Key key, NodeId home, const VersionedValue& value) {
@@ -494,11 +713,12 @@ void Node::DeliverHints() {
   }
 }
 
-void Node::HandleReadRequest(Key key, NodeId coordinator,
-                             uint64_t request_id) {
+void Node::HandleReadRequest(Key key, NodeId coordinator, uint64_t request_id,
+                             uint64_t trace_id) {
   if (!alive_) return;
   assert(is_replica_);
   std::optional<VersionedValue> value = storage_.Get(key);
+  const int64_t held_sequence = value.has_value() ? value->sequence : 0;
   const double delay =
       coordinator == id_ ? 0.0 : cluster_->config().legs.s->Sample(rng_);
   if (cluster_->leg_profiler() != nullptr && coordinator != id_) {
@@ -506,11 +726,35 @@ void Node::HandleReadRequest(Key key, NodeId coordinator,
   }
   Node* target = &cluster_->node(coordinator);
   // A dropped response leaves the coordinator's hedge/timeout timers armed.
-  (void)cluster_->network().SendWithDelay(
+  double effective_delay = delay;
+  const bool delivered = cluster_->network().SendWithDelay(
       id_, coordinator, delay,
       [target, request_id, replica = id_, value = std::move(value)]() {
         target->OnReadResponse(request_id, replica, value);
-      });
+      },
+      &effective_delay);
+  if (trace_id != 0) {
+    const double now = cluster_->sim().now();
+    obs::Tracer& tracer = cluster_->tracer();
+    tracer.Record(obs::TraceEvent{
+        .trace_id = trace_id,
+        .kind = obs::TraceEventKind::kReplicaServe,
+        .leg = obs::WarsLeg::kR,
+        .src = id_,
+        .t_start = now,
+        .t_end = now,
+        .a = held_sequence});
+    tracer.Record(obs::TraceEvent{
+        .trace_id = trace_id,
+        .kind = delivered ? obs::TraceEventKind::kLegSend
+                          : obs::TraceEventKind::kLegDrop,
+        .leg = obs::WarsLeg::kS,
+        .src = id_,
+        .dst = coordinator,
+        .t_start = now,
+        .t_end = delivered ? now + effective_delay : now,
+        .a = held_sequence});
+  }
 }
 
 }  // namespace kvs

@@ -12,6 +12,7 @@
 #include "kvs/version.h"
 #include "sim/network.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace pbs {
 namespace kvs {
@@ -19,23 +20,33 @@ namespace kvs {
 class Cluster;
 
 /// Outcome of a coordinated write.
+///
+/// `ok` answers "did the operation return data / commit?" while `status`
+/// carries the typed contract verdict: kOk, kTimedOut (no quorum before the
+/// per-attempt timeout), kDeadlineExceeded (the client's retry deadline ran
+/// out), or kDowngraded (a read retry accepted fewer than the configured R —
+/// note ok stays true in that case since data *was* returned).
 struct WriteResult {
   bool ok = false;          // W acknowledgments arrived before the timeout
+  Status status;            // typed outcome (defaults to Ok; see above)
   double latency_ms = 0.0;  // client-visible write latency (= commit time)
   double commit_time = 0.0; // absolute virtual time of commit
   int64_t sequence = 0;     // the written version's per-key sequence
   int attempts = 1;         // client attempts consumed (1 = no retry)
+  uint64_t trace_id = 0;    // causal trace id (0 = op not sampled)
 };
 
-/// Outcome of a coordinated read.
+/// Outcome of a coordinated read. See WriteResult for ok/status semantics.
 struct ReadResult {
   bool ok = false;          // R responses arrived before the timeout
+  Status status;            // typed outcome (kDowngraded keeps ok == true)
   double latency_ms = 0.0;
   double start_time = 0.0;  // absolute virtual time the read began
   std::optional<VersionedValue> value;  // freshest among the first R
   int required = 0;         // distinct responses this read waited for
   int attempts = 1;         // client attempts consumed (1 = no retry)
   bool downgraded = false;  // a retry accepted fewer than the configured R
+  uint64_t trace_id = 0;    // causal trace id (0 = op not sampled)
 };
 
 using WriteCallback = std::function<void(const WriteResult&)>;
@@ -80,17 +91,21 @@ class Node {
   /// invokes `done` once W acknowledgments arrive (commit) or the request
   /// times out. `timeout_override_ms` > 0 replaces the configured request
   /// timeout for this operation (used by deadline-budgeted client retries).
+  /// `trace_id` != 0 attributes every leg of the fan-out to a sampled causal
+  /// trace (see obs/trace.h); tracing consumes zero RNG draws.
   void CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
-                       double timeout_override_ms = 0.0);
+                       double timeout_override_ms = 0.0,
+                       uint64_t trace_id = 0);
 
   /// Fans the read out to all N replicas and invokes `done` with the
   /// freshest of the first R responses (or a timeout failure). Late
   /// responses feed read repair and the LateReadHook.
   /// `required_override` > 0 replaces the configured R for this operation
   /// (client consistency downgrade on retry); `timeout_override_ms` > 0
-  /// replaces the configured request timeout.
+  /// replaces the configured request timeout; `trace_id` != 0 attributes
+  /// the fan-out (including hedges and repairs) to a sampled causal trace.
   void CoordinateRead(Key key, ReadCallback done, int required_override = 0,
-                      double timeout_override_ms = 0.0);
+                      double timeout_override_ms = 0.0, uint64_t trace_id = 0);
 
   // -- Replica message handlers (invoked via the network) -------------------
 
@@ -103,8 +118,10 @@ class Node {
   /// home replica stops being suspected.
   void HandleWriteRequest(Key key, const VersionedValue& value,
                           NodeId coordinator, uint64_t request_id,
-                          bool is_repair, NodeId hint_home = kNoHint);
-  void HandleReadRequest(Key key, NodeId coordinator, uint64_t request_id);
+                          bool is_repair, NodeId hint_home = kNoHint,
+                          uint64_t trace_id = 0);
+  void HandleReadRequest(Key key, NodeId coordinator, uint64_t request_id,
+                         uint64_t trace_id = 0);
 
   /// Hints currently parked on this node (sloppy quorums).
   size_t num_hints() const { return hints_.size(); }
@@ -127,6 +144,7 @@ class Node {
     double start_time = 0.0;
     bool committed = false;
     bool timed_out = false;
+    uint64_t trace_id = 0;  // 0 = op not sampled, tracing a no-op
     WriteCallback done;
   };
 
@@ -143,6 +161,7 @@ class Node {
     std::optional<VersionedValue> best_all;   // freshest among all responses
     std::vector<std::pair<NodeId, std::optional<VersionedValue>>> all;
     std::vector<int64_t> late_sequences;
+    uint64_t trace_id = 0;  // 0 = op not sampled, tracing a no-op
     ReadCallback done;
   };
 
@@ -155,7 +174,8 @@ class Node {
   void OnWriteTimeout(uint64_t request_id);
   void OnReadTimeout(uint64_t request_id);
   void OnHedgeDeadline(uint64_t request_id);
-  void SendReadRequest(Key key, NodeId replica, uint64_t request_id);
+  void SendReadRequest(Key key, NodeId replica, uint64_t request_id,
+                       uint64_t trace_id, bool is_hedge);
   void MaybeFinishReadCollection(uint64_t request_id, PendingRead& pending);
   void SendReadRepairs(const PendingRead& pending);
   void ResendUnacked(uint64_t request_id);

@@ -1,0 +1,73 @@
+#ifndef PBS_KVS_OPTIONS_H_
+#define PBS_KVS_OPTIONS_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace pbs {
+
+/// Hedged reads (Cassandra's "rapid read protection"): if a read has not
+/// assembled R responses within the hedging delay, the coordinator re-issues
+/// it — to preference-list replicas it has not tried yet (kQuorumOnly
+/// fan-out), or as a second attempt to the replicas that have not answered
+/// (kAllN). Responses are deduplicated per replica, so R-counting and read
+/// repair stay correct. The delay defaults to the `quantile` of the
+/// request+response leg round trip (sum of the two legs' quantiles — an
+/// upper bound, which only makes hedging slightly lazier); set delay_ms > 0
+/// to pin it explicitly.
+struct HedgeOptions {
+  bool enabled = false;
+  double quantile = 0.99;
+  double delay_ms = 0.0;   // 0 = derive from `quantile`
+  int max_per_read = 2;    // extra request legs per hedge wave
+
+  Status Validate() const {
+    if (quantile <= 0.0 || quantile >= 1.0) {
+      return Status::InvalidArgument(
+          "hedge.quantile must be in (0, 1), got " + std::to_string(quantile));
+    }
+    if (delay_ms < 0.0) {
+      return Status::InvalidArgument("hedge.delay_ms must be >= 0");
+    }
+    if (max_per_read < 1) {
+      return Status::InvalidArgument("hedge.max_per_read must be >= 1");
+    }
+    return Status::Ok();
+  }
+};
+
+/// Client-side retry policy (consumed by ClientSession): failed operations
+/// retry with capped exponential backoff and deterministic jitter while a
+/// per-operation deadline budget lasts. `downgrade_reads` lets a retried
+/// read accept fewer responses (R, R-1, ..., 1) — trading consistency for
+/// availability under gray failures; such results carry
+/// StatusCode::kDowngraded so staleness accounting stays honest.
+struct RetryOptions {
+  int max_attempts = 1;  // 1 = no retries
+  double backoff_base_ms = 10.0;
+  double backoff_max_ms = 1000.0;
+  double deadline_ms = 0.0;  // per-operation budget; 0 = unbounded
+  bool downgrade_reads = false;
+
+  Status Validate() const {
+    if (max_attempts < 1) {
+      return Status::InvalidArgument("retry.max_attempts must be >= 1");
+    }
+    if (backoff_base_ms < 0.0 || backoff_max_ms < 0.0) {
+      return Status::InvalidArgument("retry backoff must be >= 0");
+    }
+    if (backoff_max_ms < backoff_base_ms) {
+      return Status::InvalidArgument(
+          "retry.backoff_max_ms must be >= retry.backoff_base_ms");
+    }
+    if (deadline_ms < 0.0) {
+      return Status::InvalidArgument("retry.deadline_ms must be >= 0");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace pbs
+
+#endif  // PBS_KVS_OPTIONS_H_

@@ -26,5 +26,18 @@ StatusOr<WarsDistributions> LegProfiler::ToWarsDistributions(
   return dists;
 }
 
+void LegProfiler::ExportTo(obs::Registry* out) const {
+  static constexpr const char* kHistogramNames[kNumLegs] = {
+      "legs/w_ms", "legs/a_ms", "legs/r_ms", "legs/s_ms"};
+  static constexpr const char* kCounterNames[kNumLegs] = {
+      "legs/w_samples", "legs/a_samples", "legs/r_samples", "legs/s_samples"};
+  for (int leg = 0; leg < kNumLegs; ++leg) {
+    obs::LogHistogram& histogram = out->histogram(kHistogramNames[leg]);
+    for (double sample : samples_[leg]) histogram.Record(sample);
+    out->counter(kCounterNames[leg])
+        .Add(static_cast<int64_t>(samples_[leg].size()));
+  }
+}
+
 }  // namespace kvs
 }  // namespace pbs

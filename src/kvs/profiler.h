@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dist/production.h"
+#include "obs/registry.h"
 #include "util/status.h"
 
 namespace pbs {
@@ -40,6 +41,12 @@ class LegProfiler {
   /// Builds samplable WARS distributions (empirical) from the recordings.
   /// Fails if any leg has no samples yet.
   StatusOr<WarsDistributions> ToWarsDistributions(std::string name) const;
+
+  /// Exports per-leg delay histograms ("legs/w_ms", "legs/a_ms",
+  /// "legs/r_ms", "legs/s_ms") and sample counters into `out` — the
+  /// cluster-measured side of the leg-by-leg WARS attribution in
+  /// bench/sec52_validation.
+  void ExportTo(obs::Registry* out) const;
 
  private:
   std::array<std::vector<double>, kNumLegs> samples_;

@@ -1,0 +1,331 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace pbs {
+namespace obs {
+
+namespace {
+
+/// Shortest round-trippable-enough representation, deterministic across
+/// runs in one build (all exports compare byte-for-byte in tests).
+std::string JsonNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void WriteMetricsJsonl(const Registry& registry, std::ostream& out) {
+  for (const auto& [name, counter] : registry.counters()) {
+    out << "{\"instrument\":\"counter\",\"name\":" << JsonString(name)
+        << ",\"value\":" << counter.value << "}\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    out << "{\"instrument\":\"histogram\",\"name\":" << JsonString(name)
+        << ",\"count\":" << histogram.count();
+    if (histogram.count() > 0) {
+      out << ",\"min\":" << JsonNumber(histogram.min())
+          << ",\"max\":" << JsonNumber(histogram.max())
+          << ",\"mean\":" << JsonNumber(histogram.mean())
+          << ",\"p50\":" << JsonNumber(histogram.Quantile(0.50))
+          << ",\"p90\":" << JsonNumber(histogram.Quantile(0.90))
+          << ",\"p99\":" << JsonNumber(histogram.Quantile(0.99))
+          << ",\"p999\":" << JsonNumber(histogram.Quantile(0.999));
+      out << ",\"buckets\":[";
+      bool first = true;
+      histogram.ForEachNonEmptyBucket(
+          [&](double low, double high, int64_t count) {
+            if (!first) out << ",";
+            first = false;
+            out << "[" << JsonNumber(low) << "," << JsonNumber(high) << ","
+                << count << "]";
+          });
+      out << "]";
+    }
+    out << "}\n";
+  }
+}
+
+std::string MetricsJsonl(const Registry& registry) {
+  std::ostringstream out;
+  WriteMetricsJsonl(registry, out);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event
+
+namespace {
+
+/// Emits one trace_event object. Durations/timestamps are microseconds.
+void EmitChromeEvent(std::ostream& out, bool* first, const char* phase,
+                     const std::string& name, const char* category,
+                     uint64_t pid, int32_t tid, double ts_ms, double dur_ms,
+                     const std::string& args_json) {
+  if (!*first) out << ",\n";
+  *first = false;
+  out << "{\"name\":" << JsonString(name) << ",\"cat\":\"" << category
+      << "\",\"ph\":\"" << phase << "\",\"ts\":" << JsonNumber(ts_ms * 1000.0)
+      << ",\"pid\":" << pid << ",\"tid\":" << tid;
+  if (phase[0] == 'X') {
+    out << ",\"dur\":" << JsonNumber(dur_ms * 1000.0);
+  }
+  if (phase[0] == 'i') {
+    out << ",\"s\":\"p\"";  // process-scoped instant marker
+  }
+  if (!args_json.empty()) {
+    out << ",\"args\":{" << args_json << "}";
+  }
+  out << "}";
+}
+
+std::string OpName(const TraceEvent& begin) {
+  std::string name = begin.a == 1 ? "write" : "read";
+  name += " key=" + std::to_string(begin.b);
+  return name;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& out) {
+  // Group by trace id (sorted: deterministic output), remembering each
+  // op's begin/end so the op span can be emitted as one complete event.
+  std::map<uint64_t, std::vector<const TraceEvent*>> by_trace;
+  for (const TraceEvent& event : events) {
+    by_trace[event.trace_id].push_back(&event);
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [trace_id, trace] : by_trace) {
+    const TraceEvent* begin = nullptr;
+    const TraceEvent* end = nullptr;
+    for (const TraceEvent* event : trace) {
+      if (event->kind == TraceEventKind::kOpBegin) begin = event;
+      if (event->kind == TraceEventKind::kOpEnd) end = event;
+    }
+    if (begin != nullptr) {
+      // kOpEnd spans carry (t_start=op start, t_end=op end).
+      const double t_end = end != nullptr ? end->t_end : begin->t_start;
+      EmitChromeEvent(
+          out, &first, "X", OpName(*begin), "op", trace_id, begin->src,
+          begin->t_start, t_end - begin->t_start,
+          "\"trace_id\":" + std::to_string(trace_id) +
+              (end != nullptr
+                   ? ",\"status\":" +
+                         JsonString(StatusCodeName(
+                             static_cast<StatusCode>(end->a)))
+                   : ""));
+    }
+    for (const TraceEvent* event : trace) {
+      switch (event->kind) {
+        case TraceEventKind::kOpBegin:
+        case TraceEventKind::kOpEnd:
+          break;  // folded into the op span above
+        case TraceEventKind::kLegSend:
+          EmitChromeEvent(out, &first, "X",
+                          std::string(WarsLegName(event->leg)) +
+                              (event->b == 1 ? " leg (repair)" : " leg"),
+                          "leg", trace_id, event->dst, event->t_start,
+                          event->t_end - event->t_start,
+                          "\"from\":" + std::to_string(event->src) +
+                              ",\"to\":" + std::to_string(event->dst));
+          break;
+        case TraceEventKind::kLegDrop:
+          EmitChromeEvent(out, &first, "i",
+                          std::string("dropped ") + WarsLegName(event->leg) +
+                              " leg",
+                          "leg", trace_id, event->src, event->t_start, 0.0,
+                          "\"from\":" + std::to_string(event->src) +
+                              ",\"to\":" + std::to_string(event->dst));
+          break;
+        case TraceEventKind::kReplicaServe:
+          EmitChromeEvent(out, &first, "i",
+                          event->leg == WarsLeg::kW ? "serve write"
+                                                    : "serve read",
+                          "replica", trace_id, event->src, event->t_start,
+                          0.0, "\"seq\":" + std::to_string(event->a));
+          break;
+        case TraceEventKind::kResponse:
+          EmitChromeEvent(out, &first, "i", "response", "coord", trace_id,
+                          event->dst, event->t_start, 0.0,
+                          "\"replica\":" + std::to_string(event->src) +
+                              ",\"seq\":" + std::to_string(event->a));
+          break;
+        case TraceEventKind::kAck:
+          EmitChromeEvent(out, &first, "i", "ack", "coord", trace_id,
+                          event->dst, event->t_start, 0.0,
+                          "\"replica\":" + std::to_string(event->src));
+          break;
+        case TraceEventKind::kHedge:
+          EmitChromeEvent(out, &first, "i",
+                          event->a == 1 ? "hedge (fresh replica)"
+                                        : "hedge (re-send)",
+                          "coord", trace_id, event->src, event->t_start, 0.0,
+                          "\"to\":" + std::to_string(event->dst));
+          break;
+        case TraceEventKind::kBackoff:
+          EmitChromeEvent(out, &first, "X", "retry backoff", "client",
+                          trace_id, event->src, event->t_start,
+                          event->t_end - event->t_start,
+                          "\"attempt\":" + std::to_string(event->a));
+          break;
+        case TraceEventKind::kTimeout:
+          EmitChromeEvent(out, &first, "i", "timeout", "coord", trace_id,
+                          event->src, event->t_start, 0.0, "");
+          break;
+        case TraceEventKind::kReturn:
+          EmitChromeEvent(out, &first, "i", "return", "coord", trace_id,
+                          event->src, event->t_start, 0.0,
+                          "\"replica\":" + std::to_string(event->src) +
+                              ",\"seq\":" + std::to_string(event->a) +
+                              ",\"required\":" + std::to_string(event->b));
+          break;
+        case TraceEventKind::kAttempt:
+          EmitChromeEvent(out, &first, "i",
+                          "attempt " + std::to_string(event->a), "client",
+                          trace_id, event->src, event->t_start, 0.0,
+                          event->b > 0
+                              ? "\"required_override\":" +
+                                    std::to_string(event->b)
+                              : "");
+          break;
+        case TraceEventKind::kRepair:
+          EmitChromeEvent(out, &first, "X", "read repair", "repair",
+                          trace_id, event->dst, event->t_start,
+                          event->t_end - event->t_start,
+                          "\"seq\":" + std::to_string(event->a));
+          break;
+      }
+    }
+  }
+  out << "\n]}\n";
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  WriteChromeTrace(events, out);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Staleness audit
+
+void WriteStalenessAudit(const std::vector<TraceEvent>& events,
+                         std::ostream& out, bool stale_only) {
+  std::map<uint64_t, std::vector<const TraceEvent*>> by_trace;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id != 0) by_trace[event.trace_id].push_back(&event);
+  }
+  for (const auto& [trace_id, trace] : by_trace) {
+    const TraceEvent* begin = nullptr;
+    const TraceEvent* end = nullptr;
+    const TraceEvent* winner = nullptr;
+    int64_t attempts = 1;
+    int64_t hedges = 0;
+    int64_t timeouts = 0;
+    for (const TraceEvent* event : trace) {
+      switch (event->kind) {
+        case TraceEventKind::kOpBegin: begin = event; break;
+        case TraceEventKind::kOpEnd: end = event; break;
+        case TraceEventKind::kReturn: winner = event; break;
+        case TraceEventKind::kAttempt:
+          attempts = std::max(attempts, event->a);
+          break;
+        case TraceEventKind::kHedge: ++hedges; break;
+        case TraceEventKind::kTimeout: ++timeouts; break;
+        default: break;
+      }
+    }
+    // Audit reads only: begin.a == 0 marks a read op. Incomplete traces
+    // (begin or end overwritten by the ring) are skipped.
+    if (begin == nullptr || end == nullptr || begin->a != 0) continue;
+    const int64_t returned_seq = winner != nullptr ? winner->a : 0;
+    const int64_t latest_seq = end->b;
+    const int64_t gap = latest_seq > returned_seq ? latest_seq - returned_seq
+                                                  : 0;
+    const StatusCode status = static_cast<StatusCode>(end->a);
+    const bool stale = gap > 0 && status != StatusCode::kTimedOut &&
+                       status != StatusCode::kDeadlineExceeded;
+    if (stale_only && !stale) continue;
+    out << "{\"trace_id\":" << trace_id << ",\"key\":" << begin->b
+        << ",\"t_start\":" << JsonNumber(begin->t_start)
+        << ",\"t_end\":" << JsonNumber(end->t_end)
+        << ",\"status\":" << JsonString(StatusCodeName(status))
+        << ",\"stale\":" << (stale ? "true" : "false")
+        << ",\"returned_seq\":" << returned_seq
+        << ",\"latest_seq\":" << latest_seq << ",\"version_gap\":" << gap;
+    if (winner != nullptr) {
+      out << ",\"responding_replica\":" << winner->src
+          << ",\"required\":" << winner->b;
+    }
+    out << ",\"attempts\":" << attempts << ",\"hedges\":" << hedges
+        << ",\"timeouts\":" << timeouts;
+    out << ",\"legs\":[";
+    bool first = true;
+    for (const TraceEvent* event : trace) {
+      if (event->kind != TraceEventKind::kLegSend &&
+          event->kind != TraceEventKind::kLegDrop) {
+        continue;
+      }
+      if (!first) out << ",";
+      first = false;
+      out << "{\"leg\":\"" << WarsLegName(event->leg)
+          << "\",\"from\":" << event->src << ",\"to\":" << event->dst
+          << ",\"t_send\":" << JsonNumber(event->t_start);
+      if (event->kind == TraceEventKind::kLegSend) {
+        out << ",\"t_arrive\":" << JsonNumber(event->t_end);
+        if (event->b == 1) out << ",\"repair\":true";
+      } else {
+        out << ",\"dropped\":true";
+      }
+      out << "}";
+    }
+    out << "],\"responses\":[";
+    first = true;
+    for (const TraceEvent* event : trace) {
+      if (event->kind != TraceEventKind::kResponse) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "{\"replica\":" << event->src
+          << ",\"t\":" << JsonNumber(event->t_start)
+          << ",\"seq\":" << event->a << "}";
+    }
+    out << "]}\n";
+  }
+}
+
+std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
+                                bool stale_only) {
+  std::ostringstream out;
+  WriteStalenessAudit(events, out, stale_only);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace pbs

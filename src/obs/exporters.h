@@ -1,0 +1,43 @@
+#ifndef PBS_OBS_EXPORTERS_H_
+#define PBS_OBS_EXPORTERS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace pbs {
+namespace obs {
+
+/// JSON-lines metrics export: one object per instrument, counters first
+/// then histograms, each group sorted by name. Histogram lines carry the
+/// moment summary, the standard quantiles, and the non-empty buckets.
+/// Deterministic byte-for-byte given equal registries.
+void WriteMetricsJsonl(const Registry& registry, std::ostream& out);
+std::string MetricsJsonl(const Registry& registry);
+
+/// Chrome trace_event export (load via chrome://tracing or
+/// https://ui.perfetto.dev): each trace id becomes a process group, node
+/// ids become threads, message legs become complete ("X") spans on the
+/// destination row and everything else instant ("i") markers. Timestamps
+/// convert sim milliseconds to trace microseconds.
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& out);
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Staleness audit: one JSON line per traced *read*, reconstructing why it
+/// returned what it did — the WARS leg timeline, every replica response
+/// (and the one that completed R), hedges/retries/timeouts along the way,
+/// the returned sequence vs. the latest committed sequence (the version
+/// gap). `stale_only` keeps only reads with a positive version gap.
+void WriteStalenessAudit(const std::vector<TraceEvent>& events,
+                         std::ostream& out, bool stale_only = true);
+std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
+                                bool stale_only = true);
+
+}  // namespace obs
+}  // namespace pbs
+
+#endif  // PBS_OBS_EXPORTERS_H_

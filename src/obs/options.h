@@ -1,0 +1,46 @@
+#ifndef PBS_OBS_OPTIONS_H_
+#define PBS_OBS_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace pbs {
+
+/// Observability knobs, embedded in KvsConfig (and pbs::Config) so every
+/// cluster carries its tracing policy alongside its quorum and legs.
+///
+/// RNG-neutrality guarantee: nothing here consumes random draws. Trace
+/// sampling is counter-based (every `trace_sample_every`-th client
+/// operation), so enabling or disabling tracing never perturbs a seeded
+/// run — all benches produce bitwise-identical results either way.
+struct ObsOptions {
+  /// Master switch for causal operation tracing. Off by default: the hot
+  /// path then costs one predicted branch per instrumentation point.
+  bool trace_enabled = false;
+
+  /// Sample every k-th client operation (1 = trace everything). Counter
+  /// based, never probabilistic, to preserve RNG neutrality.
+  int64_t trace_sample_every = 1;
+
+  /// Ring-buffer retention: the newest `trace_ring_capacity` events are
+  /// kept; older events are overwritten (allocation-free steady state).
+  size_t trace_ring_capacity = 1 << 16;
+
+  Status Validate() const {
+    if (trace_sample_every < 1) {
+      return Status::InvalidArgument(
+          "obs.trace_sample_every must be >= 1 (counter-based sampling)");
+    }
+    if (trace_enabled && trace_ring_capacity < 1) {
+      return Status::InvalidArgument(
+          "obs.trace_ring_capacity must be >= 1 when tracing is enabled");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace pbs
+
+#endif  // PBS_OBS_OPTIONS_H_

@@ -1,0 +1,70 @@
+#ifndef PBS_OBS_REGISTRY_H_
+#define PBS_OBS_REGISTRY_H_
+
+#include <map>
+#include <string>
+
+#include "obs/instruments.h"
+
+namespace pbs {
+namespace obs {
+
+/// A namespace of named instruments (counters and log-bucketed histograms).
+/// The registry is the merge/export surface of the observability layer:
+/// each cluster (or each parallel chunk) fills its own registry, and the
+/// harness merges them in a fixed order — name-keyed and order-independent
+/// for counters/buckets, chunk-ordered for the floating-point histogram
+/// sums — so a merged registry serializes bitwise identically at any
+/// thread count.
+///
+/// Not thread-safe by design: one registry per single-threaded cluster (or
+/// per worker chunk), merged afterwards. Name iteration is sorted
+/// (std::map), so exports are deterministic.
+class Registry {
+ public:
+  /// Finds or creates the named counter.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+
+  /// Finds or creates the named histogram.
+  LogHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  const Counter* FindCounter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+  const LogHistogram* FindHistogram(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  /// Name-wise merge; instruments missing on this side are created.
+  void Merge(const Registry& other) {
+    for (const auto& [name, counter] : other.counters_) {
+      counters_[name].Merge(counter);
+    }
+    for (const auto& [name, histogram] : other.histograms_) {
+      histograms_[name].Merge(histogram);
+    }
+  }
+
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+
+  /// Sorted-by-name views for exporters.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, LogHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  friend bool operator==(const Registry&, const Registry&) = default;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, LogHistogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace pbs
+
+#endif  // PBS_OBS_REGISTRY_H_

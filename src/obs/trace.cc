@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+namespace pbs {
+namespace obs {
+
+const char* WarsLegName(WarsLeg leg) {
+  switch (leg) {
+    case WarsLeg::kNone: return "-";
+    case WarsLeg::kW: return "W";
+    case WarsLeg::kA: return "A";
+    case WarsLeg::kR: return "R";
+    case WarsLeg::kS: return "S";
+  }
+  return "?";
+}
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kOpBegin: return "op_begin";
+    case TraceEventKind::kAttempt: return "attempt";
+    case TraceEventKind::kLegSend: return "leg_send";
+    case TraceEventKind::kLegDrop: return "leg_drop";
+    case TraceEventKind::kReplicaServe: return "replica_serve";
+    case TraceEventKind::kResponse: return "response";
+    case TraceEventKind::kAck: return "ack";
+    case TraceEventKind::kHedge: return "hedge";
+    case TraceEventKind::kBackoff: return "backoff";
+    case TraceEventKind::kTimeout: return "timeout";
+    case TraceEventKind::kReturn: return "return";
+    case TraceEventKind::kRepair: return "repair";
+    case TraceEventKind::kOpEnd: return "op_end";
+  }
+  return "?";
+}
+
+void Tracer::Configure(const ObsOptions& options) {
+  enabled_ = options.trace_enabled;
+  sample_every_ = options.trace_sample_every < 1 ? 1
+                                                 : options.trace_sample_every;
+  ops_seen_ = 0;
+  next_trace_id_ = 1;
+  total_recorded_ = 0;
+  ring_.clear();
+  if (enabled_) {
+    ring_.resize(options.trace_ring_capacity < 1 ? 1
+                                                 : options.trace_ring_capacity);
+  }
+}
+
+uint64_t Tracer::StartOp(bool is_write, int64_t key, int32_t coordinator,
+                         double now) {
+  if (!enabled_) return 0;
+  const bool sampled = (ops_seen_ % static_cast<uint64_t>(sample_every_)) == 0;
+  ++ops_seen_;
+  if (!sampled) return 0;
+  const uint64_t trace_id = next_trace_id_++;
+  TraceEvent begin;
+  begin.trace_id = trace_id;
+  begin.kind = TraceEventKind::kOpBegin;
+  begin.src = coordinator;
+  begin.t_start = now;
+  begin.t_end = now;
+  begin.a = is_write ? 1 : 0;
+  begin.b = key;
+  Record(begin);
+  return trace_id;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> events;
+  if (ring_.empty() || total_recorded_ == 0) return events;
+  const uint64_t retained =
+      total_recorded_ < ring_.size() ? total_recorded_ : ring_.size();
+  events.reserve(retained);
+  const uint64_t first = total_recorded_ - retained;
+  for (uint64_t i = first; i < total_recorded_; ++i) {
+    events.push_back(ring_[i % ring_.size()]);
+  }
+  return events;
+}
+
+}  // namespace obs
+}  // namespace pbs

@@ -1,0 +1,112 @@
+#ifndef PBS_OBS_TRACE_H_
+#define PBS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/options.h"
+
+namespace pbs {
+namespace obs {
+
+/// WARS leg attribution for message-level trace events (W: write request,
+/// A: write ack, R: read request, S: read response — the four one-way legs
+/// of the paper's latency model).
+enum class WarsLeg : uint8_t { kNone = 0, kW, kA, kR, kS };
+
+const char* WarsLegName(WarsLeg leg);
+
+/// What a trace event records. The `a` / `b` payload fields are
+/// kind-specific (documented per enumerator).
+enum class TraceEventKind : uint8_t {
+  kOpBegin,       // src=coordinator, a=0 read / 1 write, b=key
+  kAttempt,       // a=attempt number (1-based), b=required override (0=none)
+  kLegSend,       // leg, src->dst, t_start=send, t_end=arrival;
+                  //   b=1 marks repair (W legs) / hedge re-issue (R legs)
+  kLegDrop,       // leg, src->dst, t_start=send; message never arrives
+  kReplicaServe,  // src=replica, leg=kW write / kR read, a=stored/held seq
+  kResponse,      // src=replica, dst=coordinator, a=seq (0=none), b=1 value
+  kAck,           // src=replica, dst=coordinator (write ack arrival)
+  kHedge,         // dst=hedged replica, a=1 fresh replica / 0 re-send
+  kBackoff,       // t_start..t_end = client retry backoff, a=attempt
+  kTimeout,       // src=coordinator (request timeout fired)
+  kReturn,        // src=replica completing R/W, a=returned seq, b=required
+  kRepair,        // src=coordinator, dst=replica, a=repaired-to seq
+  kOpEnd,         // a=StatusCode, b=latest committed seq (reads) / seq
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One fixed-size trace event (POD: the ring buffer never allocates while
+/// recording). Timestamps are simulator milliseconds.
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  TraceEventKind kind = TraceEventKind::kOpBegin;
+  WarsLeg leg = WarsLeg::kNone;
+  int32_t src = -1;
+  int32_t dst = -1;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  int64_t a = 0;
+  int64_t b = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Causal operation tracer: assigns trace ids to sampled client operations
+/// and records their events into a pre-allocated ring buffer.
+///
+/// Determinism / RNG neutrality: sampling is counter-based (every k-th
+/// operation), never drawn from an Rng — tracing consumes zero random
+/// draws, so a traced run replays the exact event sequence of an untraced
+/// one. The tracer is single-threaded, like the cluster that owns it;
+/// parallel campaigns give each trial cluster its own tracer.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  /// Applies options (enables/disables, sets sampling and retention) and
+  /// resets all state. The ring is allocated here, once.
+  void Configure(const ObsOptions& options);
+
+  bool enabled() const { return enabled_; }
+
+  /// Starts a client operation: returns its trace id, or 0 when tracing is
+  /// disabled or the op falls outside the sampling stride. Records the
+  /// kOpBegin event for sampled ops.
+  uint64_t StartOp(bool is_write, int64_t key, int32_t coordinator,
+                   double now);
+
+  /// Records one event. No-op when disabled or event.trace_id == 0, so
+  /// instrumentation points can call unconditionally at the cost of one
+  /// predicted branch.
+  void Record(const TraceEvent& event) {
+    if (!enabled_ || event.trace_id == 0) return;
+    ring_[total_recorded_ % ring_.size()] = event;
+    ++total_recorded_;
+  }
+
+  /// The retained events, oldest first (ring order).
+  std::vector<TraceEvent> Snapshot() const;
+
+  uint64_t ops_seen() const { return ops_seen_; }
+  uint64_t ops_sampled() const { return next_trace_id_ - 1; }
+  /// Events lost to ring overwrite.
+  uint64_t events_overwritten() const {
+    return total_recorded_ <= ring_.size() ? 0
+                                           : total_recorded_ - ring_.size();
+  }
+
+ private:
+  bool enabled_ = false;
+  int64_t sample_every_ = 1;
+  uint64_t ops_seen_ = 0;
+  uint64_t next_trace_id_ = 1;
+  uint64_t total_recorded_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+}  // namespace obs
+}  // namespace pbs
+
+#endif  // PBS_OBS_TRACE_H_

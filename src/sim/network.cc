@@ -115,7 +115,7 @@ bool Network::ApplyFault(FaultState& state, NodeId src, NodeId dst,
 }
 
 bool Network::SendWithDelay(NodeId src, NodeId dst, double delay,
-                            EventCallback deliver) {
+                            EventCallback deliver, double* effective_delay) {
   assert(delay >= 0.0);
   if (IsPartitioned(src, dst)) {
     ++messages_dropped_;
@@ -149,6 +149,7 @@ bool Network::SendWithDelay(NodeId src, NodeId dst, double delay,
     }
   }
   ++messages_sent_;
+  if (effective_delay != nullptr) *effective_delay = delay;
   if (duplicate) {
     // EventCallback is move-only; share one callback between the original
     // and the lagged copy. Receivers see the same message twice and must

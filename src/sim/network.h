@@ -113,8 +113,14 @@ class Network {
   /// message was dropped or the link is partitioned (callback never fires).
   /// Callers that ignore a drop must have an independent timeout armed —
   /// the coordinator state machines always do.
+  ///
+  /// When `effective_delay` is non-null and the message is delivered, it
+  /// receives the post-fault-transform delay (delay_mult / delay_add_ms
+  /// applied) — the *actual* in-flight time, which the observability layer
+  /// records so trace timelines stay truthful under gray faults.
   [[nodiscard]] bool SendWithDelay(NodeId src, NodeId dst, double delay,
-                                   EventCallback deliver);
+                                   EventCallback deliver,
+                                   double* effective_delay = nullptr);
 
   /// Sends with a delay sampled from the link's (or default) latency
   /// distribution.

@@ -7,11 +7,13 @@ namespace pbs {
 void Simulator::Schedule(double delay, EventCallback callback) {
   assert(delay >= 0.0);
   queue_.Push(now_ + delay, std::move(callback));
+  NoteQueueDepth();
 }
 
 void Simulator::At(double time, EventCallback callback) {
   assert(time >= now_);
   queue_.Push(time, std::move(callback));
+  NoteQueueDepth();
 }
 
 size_t Simulator::Run(size_t max_events) {

@@ -37,10 +37,20 @@ class Simulator {
   size_t events_processed() const { return events_processed_; }
   bool HasPendingEvents() const { return !queue_.empty(); }
 
+  /// High-water mark of the event queue over the simulator's lifetime — an
+  /// observability instrument (exported as "sim/max_queue_depth"): retry
+  /// storms and hedge floods show up here before they show up in latency.
+  size_t max_queue_depth() const { return max_queue_depth_; }
+
  private:
+  void NoteQueueDepth() {
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  }
+
   EventQueue queue_;
   double now_ = 0.0;
   size_t events_processed_ = 0;
+  size_t max_queue_depth_ = 0;
 };
 
 }  // namespace pbs

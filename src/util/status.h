@@ -7,32 +7,69 @@
 
 namespace pbs {
 
+/// Canonical error codes carried by Status. Public so callers can dispatch
+/// on *why* an operation failed (the KVS client surfaces kTimedOut /
+/// kDeadlineExceeded / kDowngraded as typed results instead of bool flags).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kTimedOut,           // coordinator request timeout elapsed
+  kDeadlineExceeded,   // client per-operation deadline budget exhausted
+  kDowngraded,         // read succeeded, but under a reduced R requirement
+};
+
+/// Stable lower-snake name for a code ("ok", "timed_out", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kTimedOut: return "timed_out";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kDowngraded: return "downgraded";
+  }
+  return "unknown";
+}
+
 /// Lightweight error-reporting type: the library does not throw, so fallible
-/// operations return Status (or StatusOr<T>) instead.
+/// operations return Status (or StatusOr<T>) instead. Default-constructed
+/// Status is Ok, so result structs can hold one by value.
 class Status {
  public:
+  Status() : code_(StatusCode::kOk) {}
+
   static Status Ok() { return Status(); }
   static Status InvalidArgument(std::string message) {
-    return Status(Code::kInvalidArgument, std::move(message));
+    return Status(StatusCode::kInvalidArgument, std::move(message));
   }
   static Status FailedPrecondition(std::string message) {
-    return Status(Code::kFailedPrecondition, std::move(message));
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
   }
   static Status NotFound(std::string message) {
-    return Status(Code::kNotFound, std::move(message));
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status TimedOut(std::string message) {
+    return Status(StatusCode::kTimedOut, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Downgraded(std::string message) {
+    return Status(StatusCode::kDowngraded, std::move(message));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
  private:
-  enum class Code { kOk, kInvalidArgument, kFailedPrecondition, kNotFound };
-
-  Status() : code_(Code::kOk) {}
-  Status(Code code, std::string message)
+  Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  Code code_;
+  StatusCode code_;
   std::string message_;
 };
 

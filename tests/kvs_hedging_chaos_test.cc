@@ -44,8 +44,8 @@ TEST(HedgedReadTest, HedgeRescuesReadsFromASlowReplica) {
   KvsConfig config = BaseConfig({3, 2, 2});
   config.read_fanout = ReadFanout::kQuorumOnly;
   config.request_timeout_ms = 1000.0;
-  config.hedged_reads = true;
-  config.hedge_delay_ms = 5.0;
+  config.hedge.enabled = true;
+  config.hedge.delay_ms = 5.0;
   Cluster cluster(config);
   FaultProfile slow;
   slow.delay_mult = 50.0;
@@ -145,9 +145,9 @@ TEST(DeduplicationTest, DuplicatedAcksNeverDoubleCountTowardW) {
 
 TEST(ClientRetryTest, RetrySucceedsAfterTransientPartition) {
   KvsConfig config = BaseConfig({3, 1, 3});
-  config.client_retry.max_attempts = 4;
-  config.client_retry.backoff_base_ms = 100.0;
-  config.client_retry.backoff_max_ms = 400.0;
+  config.retry.max_attempts = 4;
+  config.retry.backoff_base_ms = 100.0;
+  config.retry.backoff_max_ms = 400.0;
   Cluster cluster(config);
   const NodeId coordinator = cluster.coordinator(0).id();
   cluster.network().SetPartitioned(coordinator, 1, true);
@@ -171,9 +171,9 @@ TEST(ClientRetryTest, RetrySucceedsAfterTransientPartition) {
 
 TEST(ClientRetryTest, DeadlineBudgetBoundsTheRetryLoop) {
   KvsConfig config = BaseConfig({3, 2, 2});
-  config.client_retry.max_attempts = 10;
-  config.client_retry.backoff_base_ms = 10.0;
-  config.client_retry.deadline_ms = 120.0;
+  config.retry.max_attempts = 10;
+  config.retry.backoff_base_ms = 10.0;
+  config.retry.deadline_ms = 120.0;
   Cluster cluster(config);
   const NodeId coordinator = cluster.coordinator(0).id();
   cluster.network().SetPartitioned(coordinator, 1, true);
@@ -194,9 +194,9 @@ TEST(ClientRetryTest, DeadlineBudgetBoundsTheRetryLoop) {
 
 TEST(ClientRetryTest, DowngradeOnRetryTradesConsistencyForAvailability) {
   KvsConfig config = BaseConfig({3, 2, 2});
-  config.client_retry.max_attempts = 3;
-  config.client_retry.backoff_base_ms = 10.0;
-  config.client_retry.downgrade_reads_on_retry = true;
+  config.retry.max_attempts = 3;
+  config.retry.backoff_base_ms = 10.0;
+  config.retry.downgrade_reads = true;
   Cluster cluster(config);
   const NodeId coordinator = cluster.coordinator(0).id();
   ClientSession client(&cluster, coordinator, 1);

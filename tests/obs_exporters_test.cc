@@ -1,0 +1,149 @@
+// Exporters: golden-string tests. The JSON emitters promise byte-exact
+// deterministic output for equal inputs — these tests pin the exact bytes
+// for small hand-built registries/traces, so any format drift is loud.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exporters.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace pbs {
+namespace obs {
+namespace {
+
+using Kind = TraceEventKind;
+
+TEST(MetricsJsonlTest, GoldenCountersThenHistogramsSortedByName) {
+  Registry registry;
+  registry.counter("ops").Add(7);
+  registry.histogram("lat").Record(2.0);
+  // 2.0 sits at the bottom of its octave: bucket [2, 2 * (1 + 1/64)).
+  // A single-sample histogram clamps every quantile to the one value.
+  const std::string expected =
+      "{\"instrument\":\"counter\",\"name\":\"ops\",\"value\":7}\n"
+      "{\"instrument\":\"histogram\",\"name\":\"lat\",\"count\":1,"
+      "\"min\":2,\"max\":2,\"mean\":2,\"p50\":2,\"p90\":2,\"p99\":2,"
+      "\"p999\":2,\"buckets\":[[2,2.03125,1]]}\n";
+  EXPECT_EQ(MetricsJsonl(registry), expected);
+}
+
+TEST(MetricsJsonlTest, EmptyHistogramOmitsMomentsAndBuckets) {
+  Registry registry;
+  registry.histogram("empty");
+  EXPECT_EQ(MetricsJsonl(registry),
+            "{\"instrument\":\"histogram\",\"name\":\"empty\",\"count\":0}\n");
+}
+
+TEST(MetricsJsonlTest, SerializationIsDeterministic) {
+  Registry registry;
+  registry.counter("b").Add(1);
+  registry.counter("a").Add(2);
+  for (int i = 1; i <= 100; ++i) {
+    registry.histogram("h").Record(0.37 * i);
+  }
+  const std::string once = MetricsJsonl(registry);
+  EXPECT_EQ(once, MetricsJsonl(registry));
+  // Names iterate sorted: "a" precedes "b" regardless of creation order.
+  EXPECT_LT(once.find("\"name\":\"a\""), once.find("\"name\":\"b\""));
+}
+
+/// One complete single-attempt read trace: begin, R leg, response, return,
+/// end. Returned seq 3, latest committed 5 -> version gap 2 (stale).
+std::vector<TraceEvent> StaleReadTrace() {
+  return {
+      {.trace_id = 1, .kind = Kind::kOpBegin, .src = 4, .t_start = 10.0,
+       .t_end = 10.0, .a = 0, .b = 7},
+      {.trace_id = 1, .kind = Kind::kLegSend, .leg = WarsLeg::kR, .src = 4,
+       .dst = 0, .t_start = 10.0, .t_end = 11.5},
+      {.trace_id = 1, .kind = Kind::kResponse, .leg = WarsLeg::kS, .src = 0,
+       .dst = 4, .t_start = 11.5, .t_end = 11.5, .a = 3, .b = 1},
+      {.trace_id = 1, .kind = Kind::kReturn, .leg = WarsLeg::kS, .src = 0,
+       .t_start = 11.5, .t_end = 11.5, .a = 3, .b = 1},
+      {.trace_id = 1, .kind = Kind::kOpEnd, .src = 4, .t_start = 10.0,
+       .t_end = 11.5, .a = 0, .b = 5},
+  };
+}
+
+TEST(ChromeTraceTest, GoldenReadSpan) {
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"read key=7\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":10000,"
+      "\"pid\":1,\"tid\":4,\"dur\":1500,"
+      "\"args\":{\"trace_id\":1,\"status\":\"ok\"}},\n"
+      "{\"name\":\"R leg\",\"cat\":\"leg\",\"ph\":\"X\",\"ts\":10000,"
+      "\"pid\":1,\"tid\":0,\"dur\":1500,\"args\":{\"from\":4,\"to\":0}},\n"
+      "{\"name\":\"response\",\"cat\":\"coord\",\"ph\":\"i\",\"ts\":11500,"
+      "\"pid\":1,\"tid\":4,\"s\":\"p\",\"args\":{\"replica\":0,\"seq\":3}},\n"
+      "{\"name\":\"return\",\"cat\":\"coord\",\"ph\":\"i\",\"ts\":11500,"
+      "\"pid\":1,\"tid\":0,\"s\":\"p\","
+      "\"args\":{\"replica\":0,\"seq\":3,\"required\":1}}\n"
+      "]}\n";
+  EXPECT_EQ(ChromeTraceJson(StaleReadTrace()), expected);
+}
+
+TEST(StalenessAuditTest, GoldenStaleReadLine) {
+  const std::string expected =
+      "{\"trace_id\":1,\"key\":7,\"t_start\":10,\"t_end\":11.5,"
+      "\"status\":\"ok\",\"stale\":true,\"returned_seq\":3,\"latest_seq\":5,"
+      "\"version_gap\":2,\"responding_replica\":0,\"required\":1,"
+      "\"attempts\":1,\"hedges\":0,\"timeouts\":0,"
+      "\"legs\":[{\"leg\":\"R\",\"from\":4,\"to\":0,\"t_send\":10,"
+      "\"t_arrive\":11.5}],"
+      "\"responses\":[{\"replica\":0,\"t\":11.5,\"seq\":3}]}\n";
+  EXPECT_EQ(StalenessAuditJsonl(StaleReadTrace(), /*stale_only=*/true),
+            expected);
+  EXPECT_EQ(StalenessAuditJsonl(StaleReadTrace(), /*stale_only=*/false),
+            expected);
+}
+
+TEST(StalenessAuditTest, FreshReadsAndWritesAreFilteredOut) {
+  std::vector<TraceEvent> events = StaleReadTrace();
+  // Trace 2: a fresh read (returned == latest committed).
+  events.push_back({.trace_id = 2, .kind = Kind::kOpBegin, .src = 4,
+                    .t_start = 20.0, .t_end = 20.0, .a = 0, .b = 7});
+  events.push_back({.trace_id = 2, .kind = Kind::kReturn, .src = 1,
+                    .t_start = 21.0, .t_end = 21.0, .a = 5, .b = 1});
+  events.push_back({.trace_id = 2, .kind = Kind::kOpEnd, .src = 4,
+                    .t_start = 20.0, .t_end = 21.0, .a = 0, .b = 5});
+  // Trace 3: a write (audit covers reads only).
+  events.push_back({.trace_id = 3, .kind = Kind::kOpBegin, .src = 3,
+                    .t_start = 30.0, .t_end = 30.0, .a = 1, .b = 7});
+  events.push_back({.trace_id = 3, .kind = Kind::kOpEnd, .src = 3,
+                    .t_start = 30.0, .t_end = 31.0, .a = 0, .b = 6});
+
+  const std::string stale_only = StalenessAuditJsonl(events, true);
+  EXPECT_NE(stale_only.find("\"trace_id\":1"), std::string::npos);
+  EXPECT_EQ(stale_only.find("\"trace_id\":2"), std::string::npos);
+  EXPECT_EQ(stale_only.find("\"trace_id\":3"), std::string::npos);
+
+  const std::string all_reads = StalenessAuditJsonl(events, false);
+  EXPECT_NE(all_reads.find("\"trace_id\":2"), std::string::npos);
+  EXPECT_NE(all_reads.find("\"stale\":false"), std::string::npos);
+  EXPECT_EQ(all_reads.find("\"trace_id\":3"), std::string::npos);
+}
+
+TEST(StalenessAuditTest, TimedOutReadsAreNotCalledStale) {
+  // A read that timed out returned nothing; gap > 0 but status != ok, so
+  // the audit reports it (stale_only=false) as not-stale.
+  std::vector<TraceEvent> events = {
+      {.trace_id = 9, .kind = Kind::kOpBegin, .src = 4, .t_start = 1.0,
+       .t_end = 1.0, .a = 0, .b = 7},
+      {.trace_id = 9, .kind = Kind::kTimeout, .leg = WarsLeg::kS, .src = 4,
+       .t_start = 2.0, .t_end = 2.0},
+      {.trace_id = 9, .kind = Kind::kOpEnd, .src = 4, .t_start = 1.0,
+       .t_end = 2.0, .a = 4 /* kTimedOut */, .b = 5},
+  };
+  EXPECT_EQ(StalenessAuditJsonl(events, true), "");
+  const std::string line = StalenessAuditJsonl(events, false);
+  EXPECT_NE(line.find("\"status\":\"timed_out\""), std::string::npos);
+  EXPECT_NE(line.find("\"stale\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"timeouts\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pbs

@@ -1,0 +1,187 @@
+// Instruments: HDR-style log-bucketed histogram semantics (quantiles vs the
+// repo-standard QuantileSorted, bounded relative error), registry merges,
+// and the thread-count determinism of the observed WARS entry point.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wars.h"
+#include "dist/production.h"
+#include "obs/exporters.h"
+#include "obs/instruments.h"
+#include "obs/registry.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace pbs {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddsAndMerges) {
+  Counter a;
+  a.Add();
+  a.Add(41);
+  EXPECT_EQ(a.value, 42);
+  Counter b;
+  b.Add(8);
+  a.Merge(b);
+  EXPECT_EQ(a.value, 50);
+}
+
+TEST(LogHistogramTest, MomentsAreExact) {
+  LogHistogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(4.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0 / 3.0);
+}
+
+TEST(LogHistogramTest, EmptyHistogramIsInert) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, BucketIndexIsMonotoneAndBoundsContainValues) {
+  double previous = -1.0;
+  for (double v = 1e-6; v < 1e6; v *= 1.37) {
+    const int index = LogHistogram::BucketIndex(v);
+    EXPECT_GE(index, static_cast<int>(previous));
+    previous = index;
+    EXPECT_GE(v, LogHistogram::BucketLow(index) * (1.0 - 1e-12));
+    EXPECT_LE(v, LogHistogram::BucketHigh(index) * (1.0 + 1e-12));
+  }
+  // Bucket 0 absorbs zero and negatives.
+  EXPECT_EQ(LogHistogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(LogHistogram::BucketIndex(-5.0), 0);
+}
+
+TEST(LogHistogramTest, QuantilesTrackQuantileSortedWithinBucketResolution) {
+  // 64 sub-buckets per octave bound the relative error of any in-bucket
+  // position at ~1/64; interpolation halves typical error. Assert 3%.
+  Rng rng(7);
+  LogHistogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = -10.0 * std::log(rng.NextDouble());  // Exp(mean 10)
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const double exact = QuantileSorted(samples, q);
+    const double approx = h.Quantile(q);
+    EXPECT_NEAR(approx, exact, 0.03 * exact) << "q=" << q;
+  }
+  // Quantiles never escape the observed range.
+  EXPECT_GE(h.Quantile(0.0), h.min());
+  EXPECT_LE(h.Quantile(1.0), h.max());
+}
+
+TEST(LogHistogramTest, ChunkOrderedMergeIsExactlyReproducible) {
+  // Recording split across chunk-local histograms, merged in chunk order,
+  // must give bit-identical state no matter how many "threads" filled the
+  // chunks — the merge order, not the fill schedule, defines the result.
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 4096; ++i) values.push_back(rng.NextDouble() * 100.0);
+
+  const auto merge_in_chunks = [&values](int chunks) {
+    std::vector<LogHistogram> locals(chunks);
+    for (size_t i = 0; i < values.size(); ++i) {
+      locals[i * chunks / values.size()].Record(values[i]);
+    }
+    LogHistogram merged;
+    for (const LogHistogram& local : locals) merged.Merge(local);
+    return merged;
+  };
+  // Same chunking, computed twice: bitwise identical (defaulted ==).
+  EXPECT_EQ(merge_in_chunks(8), merge_in_chunks(8));
+  // Counts agree across chunkings even though FP sums may not be bitwise.
+  EXPECT_EQ(merge_in_chunks(1).count(), merge_in_chunks(8).count());
+}
+
+TEST(RegistryTest, MergeCreatesMissingInstruments) {
+  Registry a;
+  a.counter("x").Add(1);
+  Registry b;
+  b.counter("x").Add(2);
+  b.counter("y").Add(5);
+  b.histogram("h").Record(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.FindCounter("x")->value, 3);
+  EXPECT_EQ(a.FindCounter("y")->value, 5);
+  ASSERT_NE(a.FindHistogram("h"), nullptr);
+  EXPECT_EQ(a.FindHistogram("h")->count(), 1);
+  EXPECT_EQ(a.FindCounter("absent"), nullptr);
+}
+
+TEST(ObservedWarsTest, NullRegistryMatchesPlainRunBitwise) {
+  const QuorumConfig config{3, 1, 2};
+  const auto model = MakeIidModel(LnkdSsd(), config.n);
+  PbsExecutionOptions exec;
+  exec.threads = 2;
+  const WarsTrialSet plain =
+      RunWarsTrials(config, model, 20000, /*seed=*/5, false,
+                    ReadFanout::kAllN, exec);
+  const WarsTrialSet observed = RunWarsTrialsObserved(
+      config, model, 20000, /*seed=*/5, false, ReadFanout::kAllN, exec,
+      /*registry=*/nullptr);
+  EXPECT_EQ(plain.write_latencies, observed.write_latencies);
+  EXPECT_EQ(plain.read_latencies, observed.read_latencies);
+  EXPECT_EQ(plain.staleness_thresholds, observed.staleness_thresholds);
+}
+
+TEST(ObservedWarsTest, RegistryDoesNotPerturbTrialsAndCountsThem) {
+  const QuorumConfig config{5, 2, 2};
+  const auto model = MakeIidModel(LnkdDisk(), config.n);
+  PbsExecutionOptions exec;
+  Registry registry;
+  const WarsTrialSet observed = RunWarsTrialsObserved(
+      config, model, 30000, /*seed=*/9, false, ReadFanout::kAllN, exec,
+      &registry);
+  const WarsTrialSet plain = RunWarsTrials(config, model, 30000, /*seed=*/9,
+                                           false, ReadFanout::kAllN, exec);
+  EXPECT_EQ(plain.staleness_thresholds, observed.staleness_thresholds);
+  EXPECT_EQ(registry.FindCounter("wars/trials")->value, 30000);
+  const LogHistogram* reads = registry.FindHistogram("wars/read_latency_ms");
+  ASSERT_NE(reads, nullptr);
+  EXPECT_EQ(reads->count(), 30000);
+  std::vector<double> sorted = plain.read_latencies;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(reads->Quantile(0.99), QuantileSorted(sorted, 0.99),
+              0.03 * QuantileSorted(sorted, 0.99));
+}
+
+TEST(ObservedWarsTest, MergedRegistryIsThreadCountInvariant) {
+  // The (seed, chunk_size) contract extended to instruments: chunk-local
+  // registries merged in chunk order serialize bitwise identically at any
+  // thread count.
+  const QuorumConfig config{3, 1, 1};
+  const auto model = MakeIidModel(LnkdSsd(), config.n);
+  std::vector<std::string> exports;
+  for (int threads : {1, 4, 8}) {
+    PbsExecutionOptions exec;
+    exec.threads = threads;
+    Registry registry;
+    RunWarsTrialsObserved(config, model, 60000, /*seed=*/3, false,
+                          ReadFanout::kAllN, exec, &registry);
+    exports.push_back(MetricsJsonl(registry));
+  }
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_EQ(exports[0], exports[2]);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pbs

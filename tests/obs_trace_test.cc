@@ -1,0 +1,232 @@
+// Causal op tracing: sampling, ring retention, trace-id propagation through
+// the full coordinator/replica path (hedges, retries, timeouts), and the
+// RNG-neutrality guarantee that a traced run replays an untraced one.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/experiment.h"
+#include "obs/trace.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+WarsDistributions FastLegs() {
+  WarsDistributions legs;
+  legs.name = "fast";
+  legs.w = PointMass(1.0);
+  legs.a = PointMass(1.0);
+  legs.r = PointMass(1.0);
+  legs.s = PointMass(1.0);
+  return legs;
+}
+
+KvsConfig TracedConfig(QuorumConfig quorum) {
+  KvsConfig config;
+  config.quorum = quorum;
+  config.legs = FastLegs();
+  config.request_timeout_ms = 100.0;
+  config.seed = 808;
+  config.obs.trace_enabled = true;
+  return config;
+}
+
+std::map<uint64_t, std::vector<obs::TraceEvent>> GroupByTrace(
+    const std::vector<obs::TraceEvent>& events) {
+  std::map<uint64_t, std::vector<obs::TraceEvent>> by_trace;
+  for (const obs::TraceEvent& event : events) {
+    by_trace[event.trace_id].push_back(event);
+  }
+  return by_trace;
+}
+
+bool HasKind(const std::vector<obs::TraceEvent>& trace,
+             obs::TraceEventKind kind) {
+  return std::any_of(trace.begin(), trace.end(),
+                     [kind](const obs::TraceEvent& e) {
+                       return e.kind == kind;
+                     });
+}
+
+TEST(TracerTest, CounterBasedSamplingNeverDrawsRandomness) {
+  obs::Tracer tracer;
+  ObsOptions options;
+  options.trace_enabled = true;
+  options.trace_sample_every = 3;
+  tracer.Configure(options);
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (tracer.StartOp(/*is_write=*/false, /*key=*/1, /*coordinator=*/0,
+                       /*now=*/0.0) != 0) {
+      ++sampled;
+    }
+  }
+  EXPECT_EQ(sampled, 3);
+  EXPECT_EQ(tracer.ops_seen(), 9u);
+  EXPECT_EQ(tracer.ops_sampled(), 3u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer;  // default: disabled
+  EXPECT_EQ(tracer.StartOp(true, 1, 0, 0.0), 0u);
+  tracer.Record(obs::TraceEvent{.trace_id = 1});
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TracerTest, RingOverwriteIsAccounted) {
+  obs::Tracer tracer;
+  ObsOptions options;
+  options.trace_enabled = true;
+  options.trace_ring_capacity = 4;
+  tracer.Configure(options);
+  const uint64_t id = tracer.StartOp(true, 1, 0, 0.0);  // records kOpBegin
+  ASSERT_NE(id, 0u);
+  for (int i = 0; i < 6; ++i) {
+    tracer.Record(obs::TraceEvent{.trace_id = id, .a = i});
+  }
+  EXPECT_EQ(tracer.Snapshot().size(), 4u);
+  EXPECT_EQ(tracer.events_overwritten(), 3u);  // 7 recorded, 4 retained
+}
+
+TEST(TraceePropagationTest, HedgedReadCarriesOneTraceIdEndToEnd) {
+  KvsConfig config = TracedConfig({3, 2, 2});
+  config.read_fanout = ReadFanout::kQuorumOnly;
+  config.hedge.enabled = true;
+  config.hedge.delay_ms = 5.0;
+  Cluster cluster(config);
+  FaultProfile slow;
+  slow.delay_mult = 50.0;
+  cluster.network().SetNodeFault(0, slow);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Write(1, "v", nullptr);
+  std::vector<uint64_t> read_trace_ids;
+  for (int i = 0; i < 40; ++i) {
+    cluster.sim().At(100.0 + i * 100.0, [&]() {
+      client.Read(1, [&](const ReadResult& r) {
+        ASSERT_TRUE(r.ok);
+        EXPECT_TRUE(r.status.ok());
+        read_trace_ids.push_back(r.trace_id);
+      });
+    });
+  }
+  cluster.sim().Run();
+  ASSERT_EQ(read_trace_ids.size(), 40u);
+  // Every sampled op returned its trace id (sample_every=1: all of them).
+  for (uint64_t id : read_trace_ids) EXPECT_NE(id, 0u);
+
+  const auto by_trace = GroupByTrace(cluster.tracer().Snapshot());
+  int hedged_traces = 0;
+  for (uint64_t id : read_trace_ids) {
+    const auto it = by_trace.find(id);
+    ASSERT_NE(it, by_trace.end()) << "trace " << id << " not retained";
+    const auto& trace = it->second;
+    EXPECT_TRUE(HasKind(trace, obs::TraceEventKind::kOpBegin));
+    EXPECT_TRUE(HasKind(trace, obs::TraceEventKind::kAttempt));
+    EXPECT_TRUE(HasKind(trace, obs::TraceEventKind::kReturn));
+    EXPECT_TRUE(HasKind(trace, obs::TraceEventKind::kOpEnd));
+    if (!HasKind(trace, obs::TraceEventKind::kHedge)) continue;
+    ++hedged_traces;
+    // The hedge re-issued an R leg: at least R+1 read-request sends, the
+    // re-issue marked b=1, and the replica service + response all under the
+    // same trace id.
+    int r_sends = 0;
+    int hedge_marked = 0;
+    for (const obs::TraceEvent& event : trace) {
+      if (event.kind == obs::TraceEventKind::kLegSend &&
+          event.leg == obs::WarsLeg::kR) {
+        ++r_sends;
+        if (event.b == 1) ++hedge_marked;
+      }
+    }
+    EXPECT_GE(r_sends, 3);
+    EXPECT_GE(hedge_marked, 1);
+    EXPECT_TRUE(HasKind(trace, obs::TraceEventKind::kResponse));
+  }
+  EXPECT_GT(hedged_traces, 0) << "slow replica never triggered a hedge";
+  EXPECT_GT(cluster.metrics().hedged_reads_won, 0);
+}
+
+TEST(TraceePropagationTest, RetriedReadRecordsTimeoutBackoffAndNewAttempt) {
+  KvsConfig config = TracedConfig({3, 2, 2});
+  config.read_fanout = ReadFanout::kQuorumOnly;
+  config.request_timeout_ms = 20.0;  // node 0's 50 ms responses time out
+  config.retry.max_attempts = 5;
+  config.retry.backoff_base_ms = 5.0;
+  Cluster cluster(config);
+  FaultProfile slow;
+  slow.delay_mult = 50.0;
+  cluster.network().SetNodeFault(0, slow);
+
+  ClientSession client(&cluster, cluster.coordinator(0).id(), 1);
+  client.Write(1, "v", nullptr);
+  int ok_reads = 0;
+  for (int i = 0; i < 40; ++i) {
+    cluster.sim().At(200.0 + i * 200.0, [&]() {
+      client.Read(1, [&](const ReadResult& r) {
+        if (r.ok) ++ok_reads;
+      });
+    });
+  }
+  cluster.sim().Run();
+  EXPECT_GT(ok_reads, 0);
+  ASSERT_GT(cluster.metrics().client_read_retries, 0)
+      << "scenario produced no retries";
+
+  bool found_retried_trace = false;
+  for (const auto& [id, trace] : GroupByTrace(cluster.tracer().Snapshot())) {
+    if (id == 0) continue;
+    if (!HasKind(trace, obs::TraceEventKind::kTimeout)) continue;
+    if (!HasKind(trace, obs::TraceEventKind::kBackoff)) continue;
+    int64_t max_attempt = 0;
+    for (const obs::TraceEvent& event : trace) {
+      if (event.kind == obs::TraceEventKind::kAttempt) {
+        max_attempt = std::max(max_attempt, event.a);
+      }
+    }
+    if (max_attempt < 2) continue;
+    found_retried_trace = true;
+    break;
+  }
+  EXPECT_TRUE(found_retried_trace)
+      << "no trace shows timeout -> backoff -> second attempt";
+}
+
+TEST(RngNeutralityTest, TracedExperimentReplaysUntracedBitwise) {
+  StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 1, 1};
+  options.cluster.legs = LnkdSsd();
+  options.cluster.request_timeout_ms = 200.0;
+  options.writes = 300;
+  options.write_spacing_ms = 20.0;
+  options.read_offsets_ms = {1.0, 10.0};
+  options.seed = 606;
+
+  const StalenessExperimentResult untraced = RunStalenessExperiment(options);
+  options.cluster.obs.trace_enabled = true;
+  const StalenessExperimentResult traced = RunStalenessExperiment(options);
+
+  // Tracing draws zero randomness, so the workload replays exactly.
+  EXPECT_EQ(untraced.read_latencies, traced.read_latencies);
+  EXPECT_EQ(untraced.write_latencies, traced.write_latencies);
+  ASSERT_EQ(untraced.t_visibility.size(), traced.t_visibility.size());
+  for (size_t i = 0; i < untraced.t_visibility.size(); ++i) {
+    EXPECT_EQ(untraced.t_visibility[i].consistent,
+              traced.t_visibility[i].consistent);
+    EXPECT_EQ(untraced.t_visibility[i].trials,
+              traced.t_visibility[i].trials);
+  }
+  EXPECT_TRUE(untraced.trace.empty());
+  EXPECT_FALSE(traced.trace.empty());
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -161,11 +161,11 @@ TEST(ParallelDeterminismTest, ChaosTrialsInvariant) {
   options.experiment.cluster.legs = LnkdSsd();
   options.experiment.cluster.request_timeout_ms = 200.0;
   options.experiment.cluster.read_fanout = ReadFanout::kQuorumOnly;
-  options.experiment.cluster.hedged_reads = true;
-  options.experiment.cluster.hedge_quantile = 0.99;
-  options.experiment.cluster.client_retry.max_attempts = 3;
-  options.experiment.cluster.client_retry.backoff_base_ms = 5.0;
-  options.experiment.cluster.client_retry.deadline_ms = 150.0;
+  options.experiment.cluster.hedge.enabled = true;
+  options.experiment.cluster.hedge.quantile = 0.99;
+  options.experiment.cluster.retry.max_attempts = 3;
+  options.experiment.cluster.retry.backoff_base_ms = 5.0;
+  options.experiment.cluster.retry.deadline_ms = 150.0;
   options.fault_mean_interarrival_ms = 2000.0;
   options.fault_mean_duration_ms = 800.0;
 

@@ -6,11 +6,13 @@
 //   pbs levels   --n=3 --read=one --write=quorum [--scenario=...]
 //   pbs fit      --trace=w.txt            (fit Pareto+Exp mixture to samples)
 //   pbs simulate --n=3 --r=1 --w=1 [--writes=5000] [--read-repair]
-//                [--anti-entropy-ms=0] [--scenario=...]
+//                [--anti-entropy-ms=0] [--scenario=...] [--seed=7]
 //                [--fanout=all|quorum] [--phi-detector]
 //                [--hedge] [--hedge-quantile=0.99] [--hedge-delay-ms=0]
 //                [--deadline-ms=0] [--retries=1] [--downgrade-on-retry]
 //                [--fault=SPEC[;SPEC...]]
+//                [--trace[=trace.json]] [--audit[=audit.jsonl]]
+//                [--metrics-out[=metrics.jsonl]] [--trace-sample-every=1]
 //   pbs predict-trace --w=w.txt --a=a.txt --rr=r.txt --s=s.txt --n=3 --r=1
 //                --w-quorum=1       (predict from measured leg traces)
 //
@@ -23,12 +25,18 @@
 //   gray:seed=7[,interarrival=4000,duration=1500]   seeded random mix
 // Example: --fault=slow:node=2,factor=10 --hedge --hedge-quantile=0.99
 //
+// Observability (simulate): --trace writes a Chrome trace_event file
+// (load via chrome://tracing or ui.perfetto.dev), --audit a per-stale-read
+// JSONL explanation, --metrics-out the run's instrument registry as JSONL.
+// Bare flags pick default file names; --flag=path overrides.
+//
 // Scenarios: lnkd-ssd | lnkd-disk | ymmr | wan (Table 3 fits of the paper).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -42,6 +50,8 @@
 #include "kvs/consistency_level.h"
 #include "kvs/experiment.h"
 #include "kvs/failure.h"
+#include "obs/exporters.h"
+#include "pbs/config.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -94,19 +104,20 @@ class Args {
   bool ok_ = true;
 };
 
-WarsDistributions ScenarioLegs(const std::string& name) {
-  if (name == "lnkd-ssd") return LnkdSsd();
-  if (name == "lnkd-disk") return LnkdDisk();
-  if (name == "ymmr") return Ymmr();
-  if (name == "wan") return WanLocalBase();  // per-replica model added below
-  std::cerr << "unknown scenario '" << name
-            << "' (expected lnkd-ssd|lnkd-disk|ymmr|wan); using lnkd-disk\n";
+// Library scenario lookup (pbs/config.h), CLI-flavored: warn and fall back
+// to the paper's LNKD-DISK fits on an unknown name.
+WarsDistributions ScenarioLegsOrDefault(const std::string& name) {
+  const StatusOr<WarsDistributions> legs = pbs::ScenarioLegs(name);
+  if (legs.ok()) return legs.value();
+  std::cerr << legs.status().message() << "; using lnkd-disk\n";
   return LnkdDisk();
 }
 
-ReplicaLatencyModelPtr ScenarioModel(const std::string& name, int n) {
-  if (name == "wan") return MakeWanModel(WanLocalBase(), n);
-  return MakeIidModel(ScenarioLegs(name), n);
+ReplicaLatencyModelPtr ScenarioModelOrDefault(const std::string& name, int n) {
+  const StatusOr<ReplicaLatencyModelPtr> model = pbs::ScenarioModel(name, n);
+  if (model.ok()) return model.value();
+  std::cerr << model.status().message() << "; using lnkd-disk\n";
+  return pbs::ScenarioModel("lnkd-disk", n).value();
 }
 
 StatusOr<kvs::ConsistencyLevel> ParseLevel(const std::string& text) {
@@ -150,7 +161,7 @@ int CmdPredict(const Args& args) {
     return 1;
   }
   const std::string scenario = args.GetString("scenario", "lnkd-disk");
-  PrintPrediction(config, ScenarioModel(scenario, config.n),
+  PrintPrediction(config, ScenarioModelOrDefault(scenario, config.n),
                   args.GetInt("trials", 200000));
   return 0;
 }
@@ -158,7 +169,7 @@ int CmdPredict(const Args& args) {
 int CmdSla(const Args& args) {
   const std::string scenario = args.GetString("scenario", "lnkd-disk");
   SlaOptimizer optimizer(
-      [&scenario](int n) { return ScenarioModel(scenario, n); },
+      [&scenario](int n) { return ScenarioModelOrDefault(scenario, n); },
       args.GetInt("trials", 50000), /*seed=*/42);
   SlaConstraints constraints;
   constraints.min_n = args.GetInt("min-n", 2);
@@ -206,7 +217,7 @@ int CmdLevels(const Args& args) {
   std::printf("consistency levels %s/%s at N=%d =>\n",
               kvs::ToString(read_level.value()).c_str(),
               kvs::ToString(write_level.value()).c_str(), n);
-  PrintPrediction(config.value(), ScenarioModel(scenario, n),
+  PrintPrediction(config.value(), ScenarioModelOrDefault(scenario, n),
                   args.GetInt("trials", 200000));
   return 0;
 }
@@ -234,130 +245,71 @@ int CmdFit(const Args& args) {
   return 0;
 }
 
-/// Parses one `kind:key=val,key=val` fault spec into `schedule`. Returns
-/// false (with a message on stderr) on malformed input.
-bool ParseFaultSpec(const std::string& spec, double horizon,
-                    kvs::FaultSchedule* schedule) {
-  const size_t colon = spec.find(':');
-  const std::string kind = spec.substr(0, colon);
-  std::map<std::string, double> kv;
-  if (colon != std::string::npos) {
-    std::string rest = spec.substr(colon + 1);
-    size_t pos = 0;
-    while (pos < rest.size()) {
-      size_t comma = rest.find(',', pos);
-      if (comma == std::string::npos) comma = rest.size();
-      const std::string item = rest.substr(pos, comma - pos);
-      const size_t eq = item.find('=');
-      if (eq == std::string::npos) {
-        std::cerr << "bad fault parameter '" << item << "' in " << spec
-                  << "\n";
-        return false;
-      }
-      kv[item.substr(0, eq)] = std::atof(item.c_str() + eq + 1);
-      pos = comma + 1;
-    }
-  }
-  const auto get = [&kv](const std::string& key, double fallback) {
-    const auto it = kv.find(key);
-    return it == kv.end() ? fallback : it->second;
-  };
-  const double start = get("start", 0.0);
-  const double end = get("end", horizon);
-  if (kind == "slow") {
-    schedule->AddSlowNode(start, end, static_cast<NodeId>(get("node", 0)),
-                          get("factor", 10.0), get("add", 0.0));
-  } else if (kind == "lossy") {
-    schedule->AddLossyLink(start, end, static_cast<NodeId>(get("src", 0)),
-                           static_cast<NodeId>(get("dst", 0)),
-                           get("g2b", 0.02), get("b2g", 0.2),
-                           get("loss", 0.8), get("loss-good", 0.0));
-  } else if (kind == "dup") {
-    schedule->AddDuplicatingLink(start, end,
-                                 static_cast<NodeId>(get("src", 0)),
-                                 static_cast<NodeId>(get("dst", 0)),
-                                 get("p", 1.0));
-  } else if (kind == "flap") {
-    schedule->AddFlappingNode(start, end, static_cast<NodeId>(get("node", 0)),
-                              get("up", 300.0), get("down", 200.0));
-  } else if (kind == "oneway") {
-    schedule->AddAsymmetricPartition(start, end,
-                                     static_cast<NodeId>(get("src", 0)),
-                                     static_cast<NodeId>(get("dst", 0)));
-  } else if (kind == "gray") {
-    const kvs::FaultSchedule random = kvs::FaultSchedule::RandomGrayFailures(
-        static_cast<int>(get("replicas", 3)), horizon,
-        get("interarrival", 4000.0), get("duration", 1500.0),
-        static_cast<uint64_t>(get("seed", 7.0)));
-    for (const kvs::GrayFault& fault : random.faults()) {
-      schedule->Add(fault);
-    }
-  } else {
-    std::cerr << "unknown fault kind '" << kind
-              << "' (expected slow|lossy|dup|flap|oneway|gray)\n";
+/// Resolves a path-valued flag that may also be passed bare: absent -> "",
+/// bare `--flag` -> `fallback`, `--flag=path` -> path.
+std::string PathFlag(const Args& args, const std::string& key,
+                     const std::string& fallback) {
+  const std::string value = args.GetString(key, "");
+  return value == "true" ? fallback : value;
+}
+
+/// Writes an exporter artifact, echoing where it went.
+bool WriteArtifact(const std::string& path, const std::string& payload,
+                   const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
     return false;
   }
+  out << payload;
+  std::printf("%s -> %s\n", what, path.c_str());
   return true;
 }
 
 int CmdSimulate(const Args& args) {
-  kvs::StalenessExperimentOptions options;
-  options.cluster.quorum = {args.GetInt("n", 3), args.GetInt("r", 1),
-                            args.GetInt("w", 1)};
-  const Status valid = ValidateQuorumConfig(options.cluster.quorum);
+  Config config;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  config.scenario = args.GetString("scenario", "lnkd-disk");
+  config.quorum.n = args.GetInt("n", 3);
+  config.quorum.r = args.GetInt("r", 1);
+  config.quorum.w = args.GetInt("w", 1);
+  if (args.GetString("fanout", "all") == "quorum") {
+    config.quorum.fanout = ReadFanout::kQuorumOnly;
+  }
+  config.workload.writes = args.GetInt("writes", 5000);
+  config.workload.write_spacing_ms = args.GetDouble("spacing-ms", 250.0);
+  config.read_repair = args.GetBool("read-repair");
+  config.anti_entropy_interval_ms = args.GetDouble("anti-entropy-ms", 0.0);
+  config.request_timeout_ms = args.GetDouble("timeout-ms", 1000.0);
+  config.phi_detector = args.GetBool("phi-detector");
+  config.hedge.enabled = args.GetBool("hedge");
+  config.hedge.quantile = args.GetDouble("hedge-quantile", 0.99);
+  config.hedge.delay_ms = args.GetDouble("hedge-delay-ms", 0.0);
+  config.retry.max_attempts = args.GetInt("retries", 1);
+  config.retry.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  config.retry.downgrade_reads = args.GetBool("downgrade-on-retry");
+  config.faults.specs = args.GetString("fault", "");
+
+  const std::string trace_out = PathFlag(args, "trace", "pbs_trace.json");
+  const std::string audit_out = PathFlag(args, "audit", "pbs_audit.jsonl");
+  const std::string metrics_out =
+      PathFlag(args, "metrics-out", "pbs_metrics.jsonl");
+  config.obs.trace_enabled = !trace_out.empty() || !audit_out.empty();
+  config.obs.trace_sample_every = args.GetInt("trace-sample-every", 1);
+
+  const Status valid = config.Validate();
   if (!valid.ok()) {
     std::cerr << valid.message() << "\n";
     return 1;
   }
-  options.cluster.legs = ScenarioLegs(args.GetString("scenario", "lnkd-disk"));
-  options.cluster.read_repair = args.GetBool("read-repair");
-  options.cluster.anti_entropy_interval_ms =
-      args.GetDouble("anti-entropy-ms", 0.0);
-  options.cluster.request_timeout_ms = args.GetDouble("timeout-ms", 1000.0);
-  options.writes = args.GetInt("writes", 5000);
-  options.write_spacing_ms = args.GetDouble("spacing-ms", 250.0);
-  if (args.GetString("fanout", "all") == "quorum") {
-    options.cluster.read_fanout = ReadFanout::kQuorumOnly;
-  }
-  if (args.GetBool("phi-detector")) {
-    options.cluster.failure_detector =
-        kvs::KvsConfig::FailureDetectorKind::kPhiAccrual;
-  }
-  options.cluster.hedged_reads = args.GetBool("hedge");
-  options.cluster.hedge_quantile = args.GetDouble("hedge-quantile", 0.99);
-  options.cluster.hedge_delay_ms = args.GetDouble("hedge-delay-ms", 0.0);
-  options.cluster.client_retry.max_attempts = args.GetInt("retries", 1);
-  options.cluster.client_retry.deadline_ms = args.GetDouble("deadline-ms", 0.0);
-  options.cluster.client_retry.downgrade_reads_on_retry =
-      args.GetBool("downgrade-on-retry");
-
-  // Horizon mirrors the harness drain bound (the fault schedule needs it).
-  double max_offset = 0.0;
-  for (double offset : options.read_offsets_ms) {
-    max_offset = std::max(max_offset, offset);
-  }
-  const double horizon = static_cast<double>(options.writes + 1) *
-                             options.write_spacing_ms +
-                         max_offset + 3.0 * options.cluster.request_timeout_ms;
-  kvs::FaultSchedule faults;
-  const std::string fault_arg = args.GetString("fault", "");
-  if (!fault_arg.empty()) {
-    size_t pos = 0;
-    while (pos < fault_arg.size()) {
-      size_t semi = fault_arg.find(';', pos);
-      if (semi == std::string::npos) semi = fault_arg.size();
-      if (!ParseFaultSpec(fault_arg.substr(pos, semi - pos), horizon,
-                          &faults)) {
-        return 1;
-      }
-      pos = semi + 1;
-    }
-  }
+  const kvs::StalenessExperimentOptions options =
+      config.BuildExperiment().value();
+  const kvs::FaultSchedule faults = config.BuildFaultSchedule().value();
 
   const auto result =
-      fault_arg.empty() ? kvs::RunStalenessExperiment(options)
-                        : kvs::RunStalenessExperimentWithFaults(options,
-                                                               faults);
+      config.faults.any()
+          ? kvs::RunStalenessExperimentWithFaults(options, faults)
+          : kvs::RunStalenessExperiment(options);
   std::printf("event-driven cluster, %d writes, %s:\n", options.writes,
               options.cluster.quorum.ToString().c_str());
   TextTable table({"t after commit (ms)", "P(consistent)", "probes"});
@@ -378,8 +330,8 @@ int CmdSimulate(const Args& args) {
     std::printf("read latency (ms): p50=%.3f p99=%.3f p99.9=%.3f\n", q[0],
                 q[1], q[2]);
   }
-  if (!fault_arg.empty() || options.cluster.hedged_reads ||
-      options.cluster.client_retry.max_attempts > 1) {
+  if (config.faults.any() || config.hedge.enabled ||
+      config.retry.max_attempts > 1) {
     std::printf(
         "chaos: hedges=%lld won=%lld dup-suppressed=%lld+%lld "
         "retries=%lld+%lld deadline-misses=%lld downgrades=%lld "
@@ -396,7 +348,22 @@ int CmdSimulate(const Args& args) {
         static_cast<long long>(result.network_messages_duplicated),
         static_cast<long long>(metrics.monotonic_read_violations));
   }
-  return 0;
+
+  bool exported_ok = true;
+  if (!metrics_out.empty()) {
+    exported_ok &= WriteArtifact(metrics_out, obs::MetricsJsonl(result.registry),
+                                 "metrics (jsonl)");
+  }
+  if (!trace_out.empty()) {
+    exported_ok &= WriteArtifact(trace_out, obs::ChromeTraceJson(result.trace),
+                                 "chrome trace");
+  }
+  if (!audit_out.empty()) {
+    exported_ok &= WriteArtifact(
+        audit_out, obs::StalenessAuditJsonl(result.trace, /*stale_only=*/true),
+        "staleness audit (jsonl)");
+  }
+  return exported_ok ? 0 : 1;
 }
 
 int CmdAnalytic(const Args& args) {
@@ -413,7 +380,7 @@ int CmdAnalytic(const Args& args) {
                  "per-replica — use `predict --scenario=wan`\n";
     return 1;
   }
-  const AnalyticWars analytic(config, ScenarioLegs(scenario),
+  const AnalyticWars analytic(config, ScenarioLegsOrDefault(scenario),
                               args.GetDouble("max-ms", 4000.0),
                               args.GetInt("bins", 20000));
   std::printf("analytic (grid) WARS for %s over %s:\n",
