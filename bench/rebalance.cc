@@ -1,0 +1,291 @@
+// Elastic-rebalance harness: a 64-node, 32-vnode sharded cluster takes a
+// steady write/probe workload while storage nodes join and leave the ring
+// mid-run, and the harness reports client-observed <k,t>-staleness split
+// into before / during / after rebalance phases — fleet-wide and per shard
+// — alongside the migration counters and the key-movement economics.
+//
+// Acceptance checks (nonzero exit on failure):
+//   * zero lost acknowledged writes in every scenario and trial,
+//   * key movement within 1.5x the consistent-hashing minimum for the
+//     membership delta,
+//   * post-churn placement bit-identical to a fresh ring built from the
+//     final membership (deterministic rebuild),
+//   * every started rebalance drains to completion.
+//
+// Self-contained harness in the chaos mold: paper-style table on stdout,
+// machine-readable bench_results/BENCH_rebalance.{json,csv} plus the
+// per-shard staleness attribution in BENCH_rebalance_shards.csv.
+//
+// Usage: rebalance [--trials=small|full] [--out-dir=DIR] [--threads=N]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/production.h"
+#include "kvs/rebalance_experiment.h"
+#include "util/parallel.h"
+
+namespace pbs {
+namespace {
+
+struct ScenarioRow {
+  std::string scenario;
+  int join_nodes = 0;
+  int remove_nodes = 0;
+  kvs::RebalanceCampaignResult campaign;
+  // Trial means for the movement economics.
+  double moved_fraction = 0.0;
+  double theoretical_min_fraction = 0.0;
+  int64_t writes_acked = 0;
+  int64_t transfers_delivered = 0;
+  int64_t transfers_dropped = 0;
+  int64_t stale_routes = 0;
+  std::map<NodeId, kvs::RebalancePhaseStats> per_shard;
+};
+
+ScenarioRow RunScenario(const std::string& name, int join_nodes,
+                        int remove_nodes, int trials, int writes, int keys,
+                        const PbsExecutionOptions& exec) {
+  kvs::RebalanceTrialOptions options;
+  options.run.cluster.quorum = {3, 2, 2};
+  options.run.cluster.legs = LnkdSsd();
+  options.run.cluster.num_storage_nodes = 64;
+  options.run.cluster.vnodes_per_node = 32;
+  options.run.cluster.request_timeout_ms = 200.0;
+  options.run.keys = keys;
+  options.run.writes = writes;
+  options.run.write_spacing_ms = 5.0;
+  options.run.read_offset_ms = 10.0;
+  options.run.join_nodes = join_nodes;
+  options.run.remove_nodes = remove_nodes;
+  options.trials = trials;
+  options.seed = 6464;
+
+  ScenarioRow row;
+  row.scenario = name;
+  row.join_nodes = join_nodes;
+  row.remove_nodes = remove_nodes;
+  row.campaign = kvs::RunRebalanceTrials(options, exec);
+  for (const kvs::RebalanceRunSummary& trial : row.campaign.trials) {
+    row.moved_fraction += trial.moved_fraction;
+    row.theoretical_min_fraction += trial.theoretical_min_fraction;
+    row.writes_acked += trial.writes_acked;
+    row.transfers_delivered += trial.migration_transfers_delivered;
+    row.transfers_dropped += trial.migration_transfers_dropped;
+    row.stale_routes += trial.stale_routes_forwarded;
+    for (const auto& [shard, stats] : trial.per_shard) {
+      kvs::RebalancePhaseStats& pooled = row.per_shard[shard];
+      pooled.reads += stats.reads;
+      pooled.stale_reads += stats.stale_reads;
+      pooled.version_lag += stats.version_lag;
+    }
+  }
+  const double n = static_cast<double>(row.campaign.trials.size());
+  if (n > 0) {
+    row.moved_fraction /= n;
+    row.theoretical_min_fraction /= n;
+  }
+  return row;
+}
+
+void WriteJson(const std::filesystem::path& path, const std::string& mode,
+               const std::vector<ScenarioRow>& rows) {
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"rebalance\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n  \"results\": [\n", mode.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioRow& row = rows[i];
+    const kvs::RebalanceCampaignResult& c = row.campaign;
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"join\": %d, \"remove\": %d, "
+        "\"trials\": %zu, \"writes_acked\": %lld, "
+        "\"lost_acked_writes\": %lld, "
+        "\"stale_before\": %.6f, \"stale_during\": %.6f, "
+        "\"stale_after\": %.6f, "
+        "\"version_lag_during\": %lld, "
+        "\"moved_fraction\": %.6f, \"theoretical_min_fraction\": %.6f, "
+        "\"transfers_delivered\": %lld, \"transfers_dropped\": %lld, "
+        "\"stale_routes_forwarded\": %lld, \"shards_observed\": %zu}%s\n",
+        row.scenario.c_str(), row.join_nodes, row.remove_nodes,
+        c.trials.size(), static_cast<long long>(row.writes_acked),
+        static_cast<long long>(c.lost_acked_writes),
+        c.before.StaleFraction(), c.during.StaleFraction(),
+        c.after.StaleFraction(), static_cast<long long>(c.during.version_lag),
+        row.moved_fraction, row.theoretical_min_fraction,
+        static_cast<long long>(row.transfers_delivered),
+        static_cast<long long>(row.transfers_dropped),
+        static_cast<long long>(row.stale_routes),
+        row.per_shard.size(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void WriteCsv(const std::filesystem::path& path,
+              const std::vector<ScenarioRow>& rows) {
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return;
+  }
+  std::fprintf(f,
+               "scenario,join,remove,trials,writes_acked,lost_acked_writes,"
+               "stale_before,stale_during,stale_after,version_lag_during,"
+               "moved_fraction,theoretical_min_fraction,transfers_delivered,"
+               "transfers_dropped,stale_routes_forwarded\n");
+  for (const ScenarioRow& row : rows) {
+    const kvs::RebalanceCampaignResult& c = row.campaign;
+    std::fprintf(f, "%s,%d,%d,%zu,%lld,%lld,%.6f,%.6f,%.6f,%lld,%.6f,%.6f,"
+                    "%lld,%lld,%lld\n",
+                 row.scenario.c_str(), row.join_nodes, row.remove_nodes,
+                 c.trials.size(), static_cast<long long>(row.writes_acked),
+                 static_cast<long long>(c.lost_acked_writes),
+                 c.before.StaleFraction(), c.during.StaleFraction(),
+                 c.after.StaleFraction(),
+                 static_cast<long long>(c.during.version_lag),
+                 row.moved_fraction, row.theoretical_min_fraction,
+                 static_cast<long long>(row.transfers_delivered),
+                 static_cast<long long>(row.transfers_dropped),
+                 static_cast<long long>(row.stale_routes));
+  }
+  std::fclose(f);
+}
+
+void WriteShardCsv(const std::filesystem::path& path,
+                   const std::vector<ScenarioRow>& rows) {
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return;
+  }
+  std::fprintf(f, "scenario,shard,reads,stale_reads,version_lag\n");
+  for (const ScenarioRow& row : rows) {
+    for (const auto& [shard, stats] : row.per_shard) {
+      std::fprintf(f, "%s,%d,%lld,%lld,%lld\n", row.scenario.c_str(), shard,
+                   static_cast<long long>(stats.reads),
+                   static_cast<long long>(stats.stale_reads),
+                   static_cast<long long>(stats.version_lag));
+    }
+  }
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  bool small = false;
+  std::string out_dir = "bench_results";
+  PbsExecutionOptions exec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trials=small") {
+      small = true;
+    } else if (arg == "--trials=full") {
+      small = false;
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out-dir="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      exec.threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: rebalance [--trials=small|full] [--out-dir=DIR] "
+                   "[--threads=N]\n");
+      return 2;
+    }
+  }
+  const int trials = small ? 2 : 4;
+  const int writes = small ? 400 : 2000;
+  const int keys = small ? 128 : 256;
+
+  std::printf(
+      "rebalance (%s mode): 64 storage nodes x 32 vnodes, %d trials x %d "
+      "writes per scenario\n",
+      small ? "small" : "full", trials, writes);
+  std::printf("%-18s %5s %5s %8s %6s %9s %9s %9s %8s %8s\n", "scenario",
+              "join", "rm", "acked", "lost", "st-before", "st-during",
+              "st-after", "moved", "theo-min");
+
+  std::vector<ScenarioRow> rows;
+  struct Spec {
+    const char* name;
+    int join, remove;
+  };
+  for (const Spec& spec : {Spec{"join_only", 2, 0}, Spec{"remove_only", 0, 2},
+                           Spec{"concurrent_churn", 2, 2}}) {
+    ScenarioRow row = RunScenario(spec.name, spec.join, spec.remove, trials,
+                                  writes, keys, exec);
+    const kvs::RebalanceCampaignResult& c = row.campaign;
+    std::printf("%-18s %5d %5d %8lld %6lld %9.4f %9.4f %9.4f %8.4f %8.4f\n",
+                row.scenario.c_str(), row.join_nodes, row.remove_nodes,
+                static_cast<long long>(row.writes_acked),
+                static_cast<long long>(c.lost_acked_writes),
+                c.before.StaleFraction(), c.during.StaleFraction(),
+                c.after.StaleFraction(), row.moved_fraction,
+                row.theoretical_min_fraction);
+    std::fflush(stdout);
+    rows.push_back(std::move(row));
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::filesystem::path dir(out_dir);
+  WriteJson(dir / "BENCH_rebalance.json", small ? "small" : "full", rows);
+  WriteCsv(dir / "BENCH_rebalance.csv", rows);
+  WriteShardCsv(dir / "BENCH_rebalance_shards.csv", rows);
+  std::printf("wrote %s/BENCH_rebalance.{json,csv} and "
+              "%s/BENCH_rebalance_shards.csv\n",
+              out_dir.c_str(), out_dir.c_str());
+
+  int failures = 0;
+  for (const ScenarioRow& row : rows) {
+    if (row.campaign.lost_acked_writes != 0) {
+      std::printf("CHECK FAIL: %s lost %lld acknowledged writes\n",
+                  row.scenario.c_str(),
+                  static_cast<long long>(row.campaign.lost_acked_writes));
+      ++failures;
+    }
+    for (size_t t = 0; t < row.campaign.trials.size(); ++t) {
+      const kvs::RebalanceRunSummary& trial = row.campaign.trials[t];
+      if (trial.moved_fraction > 1.5 * trial.theoretical_min_fraction) {
+        std::printf(
+            "CHECK FAIL: %s trial %zu moved %.4f of the key space "
+            "(theoretical minimum %.4f, limit 1.5x)\n",
+            row.scenario.c_str(), t, trial.moved_fraction,
+            trial.theoretical_min_fraction);
+        ++failures;
+      }
+      if (!trial.placement_matches_fresh_ring) {
+        std::printf("CHECK FAIL: %s trial %zu placement diverges from a "
+                    "fresh ring over the final membership\n",
+                    row.scenario.c_str(), t);
+        ++failures;
+      }
+      if (trial.rebalances_completed != trial.rebalances_started) {
+        std::printf("CHECK FAIL: %s trial %zu: %lld rebalances started, "
+                    "%lld completed\n",
+                    row.scenario.c_str(), t,
+                    static_cast<long long>(trial.rebalances_started),
+                    static_cast<long long>(trial.rebalances_completed));
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("all rebalance checks passed: zero lost acked writes, "
+                "movement within 1.5x minimum, deterministic placement\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pbs
+
+int main(int argc, char** argv) { return pbs::Main(argc, argv); }

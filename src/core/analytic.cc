@@ -54,7 +54,14 @@ DiscretizedDistribution DiscretizedDistribution::Convolve(
     if (a.pmf_[i] == 0.0) continue;
     for (int j = 0; j < b.bins(); ++j) {
       if (b.pmf_[j] == 0.0) continue;
-      pmf[std::min(i + j, bins - 1)] += a.pmf_[i] * b.pmf_[j];
+      // Bin centers sum to (i+0.5)+(j+0.5) = (i+j+1)*step — exactly the
+      // *edge* between bins i+j and i+j+1. Putting all the mass into i+j
+      // (the old behavior) biases every convolution's mean low by step/2;
+      // splitting it evenly across the two straddled bins keeps the mean
+      // exact: ((i+j+0.5) + (i+j+1+0.5))/2 = i+j+1.
+      const double mass = a.pmf_[i] * b.pmf_[j];
+      pmf[std::min(i + j, bins - 1)] += 0.5 * mass;
+      pmf[std::min(i + j + 1, bins - 1)] += 0.5 * mass;
     }
   }
   return DiscretizedDistribution(a.step_, std::move(pmf));

@@ -40,6 +40,11 @@ double MonotonicReadsViolationProbability(const QuorumConfig& config,
   assert(gamma_gw >= 0.0);
   assert(gamma_cr > 0.0);
   const double ps = SingleQuorumMissProbability(config);
+  // Order matters: a strict quorum (R + W > N) has ps == 0 and can never
+  // violate monotonic reads, whatever the exponent — checking the
+  // "exponent == 0 => certain violation" edge first used to return 1.0 for
+  // exactly the configurations that are provably safe.
+  if (ps <= 0.0) return 0.0;
   const double exponent =
       (strict ? 0.0 : 1.0) + gamma_gw / gamma_cr;  // k = 1 + gw/cr (Eq. 3)
   if (exponent == 0.0) return 1.0;  // strict monotonicity with no new writes

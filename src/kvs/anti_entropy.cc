@@ -1,5 +1,6 @@
 #include "kvs/anti_entropy.h"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -9,15 +10,28 @@ namespace pbs {
 namespace kvs {
 namespace {
 
-/// Ships every version `from` holds that `to` is missing or holds stale.
+/// Ships every version `from` holds that `to` is missing or holds stale —
+/// scoped to keys `to` actually replicates: on an elastic ring a peer is
+/// only responsible for the keys whose current preference list contains it,
+/// so shipping anything else would spread data outside its shard. (In the
+/// minimal deployment where every node replicates every key, the scope
+/// check passes for all keys and behavior is unchanged.)
 void ShipNewer(Cluster* cluster, Node& from, Node& to, Rng& rng) {
   const KvsConfig& config = cluster->config();
+  const int n = config.quorum.n;
+  std::vector<int> preference;
   std::vector<std::pair<Key, VersionedValue>> to_ship;
   from.storage().ForEach([&](Key key, const VersionedValue& value) {
     const auto peer_value = to.storage().Get(key);
-    if (!peer_value.has_value() || value.NewerThan(*peer_value)) {
-      to_ship.emplace_back(key, value);
+    if (peer_value.has_value() && !value.NewerThan(*peer_value)) return;
+    if (!cluster->ring().AppendPreferenceList(key, n, &preference).ok()) {
+      return;
     }
+    if (std::find(preference.begin(), preference.end(), to.id()) ==
+        preference.end()) {
+      return;  // `to` is not a replica of this key's shard
+    }
+    to_ship.emplace_back(key, value);
   });
   for (auto& [key, value] : to_ship) {
     const double delay = config.legs.w->Sample(rng);
@@ -49,13 +63,19 @@ void SyncReplicaPair(Cluster* cluster, NodeId a, NodeId b, Rng& rng) {
 void RunAntiEntropyTick(Cluster* cluster, Rng* rng) {
   assert(cluster != nullptr);
   assert(rng != nullptr);
-  const int n = cluster->num_replicas();
+  // Current ring membership (not the construction-time node count): joined
+  // nodes take part in gossip, removed nodes stop being picked. On a static
+  // ring members() is exactly [0, num_replicas()), so the draw sequence is
+  // unchanged from the fixed-membership implementation.
+  const std::vector<int>& members = cluster->StorageMembers();
+  const int n = static_cast<int>(members.size());
   if (n >= 2) {
     for (int i = 0; i < n; ++i) {
-      // Pick a uniformly random peer != i.
+      // Pick a uniformly random peer != i (one NextBounded draw per member
+      // per tick — fixed RNG consumption given the membership log).
       int peer = static_cast<int>(rng->NextBounded(n - 1));
       if (peer >= i) ++peer;
-      SyncReplicaPair(cluster, i, peer, *rng);
+      SyncReplicaPair(cluster, members[i], members[peer], *rng);
     }
   }
   const double interval = cluster->config().anti_entropy_interval_ms;

@@ -18,9 +18,11 @@ class Cluster;
 /// interleave correctly. Crashed endpoints skip the round.
 void SyncReplicaPair(Cluster* cluster, NodeId a, NodeId b, Rng& rng);
 
-/// One tick of the periodic process: every live replica syncs with one
-/// uniformly random other replica. Reschedules itself with the cluster's
-/// configured interval (callers start it once via Cluster::StartAntiEntropy).
+/// One tick of the periodic process: every live *current ring member* syncs
+/// with one uniformly random other member, and only values whose current
+/// preference list contains the receiver are shipped (per-shard scoping on
+/// the elastic ring). Reschedules itself with the cluster's configured
+/// interval (callers start it once via Cluster::StartAntiEntropy).
 void RunAntiEntropyTick(Cluster* cluster, Rng* rng);
 
 }  // namespace kvs

@@ -130,9 +130,12 @@ void ClientSession::StartWriteAttempt(Key key, VersionedValue value,
                   .a = static_cast<int64_t>(result.status.code()),
                   .b = result.sequence});
             }
+            if (result.ring_version > known_ring_version_) {
+              known_ring_version_ = result.ring_version;
+            }
             if (done) done(result);
           },
-          AttemptTimeoutMs(op_start), trace_id);
+          AttemptTimeoutMs(op_start), trace_id, known_ring_version_);
 }
 
 double ClientSession::ReadRatePerMs(Key key) const {
@@ -267,11 +270,15 @@ void ClientSession::StartReadAttempt(Key key, ReadCallback done, int attempt,
             }
             FinishRead(key, result, done);
           },
-          required_override, AttemptTimeoutMs(op_start), trace_id);
+          required_override, AttemptTimeoutMs(op_start), trace_id,
+          known_ring_version_);
 }
 
 void ClientSession::FinishRead(Key key, const ReadResult& result,
                                ReadCallback& done) {
+  if (result.ring_version > known_ring_version_) {
+    known_ring_version_ = result.ring_version;
+  }
   if (result.ok) {
     const int64_t sequence =
         result.value.has_value() ? result.value->sequence : 0;

@@ -72,6 +72,12 @@ class ClientSession {
   int64_t reads_issued() const { return reads_issued_; }
   int64_t monotonic_violations() const { return monotonic_violations_; }
 
+  /// Latest cluster ring version this session has observed (0 until a first
+  /// operation completes). Every operation carries it to the coordinator,
+  /// which counts ops routed with an out-of-date version as
+  /// stale_routes_forwarded — the ring-version-aware routing handshake.
+  uint64_t known_ring_version() const { return known_ring_version_; }
+
   /// This session's measured read rate for `key` in reads/ms (gamma_cr of
   /// Equation 3); 0 until two reads have been observed.
   double ReadRatePerMs(Key key) const;
@@ -107,6 +113,7 @@ class ClientSession {
   NodeId coordinator_;
   int32_t client_id_;
   Rng retry_rng_;
+  uint64_t known_ring_version_ = 0;
   int64_t reads_issued_ = 0;
   int64_t monotonic_violations_ = 0;
   std::unordered_map<Key, int64_t> last_read_sequence_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+#include <utility>
 
 #include "kvs/anti_entropy.h"
+#include "kvs/migration.h"
 
 namespace pbs {
 namespace kvs {
@@ -35,6 +38,8 @@ Status KvsConfig::Validate() const {
   if (!hedge_status.ok()) return hedge_status;
   const Status retry_status = retry.Validate();
   if (!retry_status.ok()) return retry_status;
+  const Status rebalance_status = rebalance.Validate();
+  if (!rebalance_status.ok()) return rebalance_status;
   return obs.Validate();
 }
 
@@ -45,7 +50,8 @@ Cluster::Cluster(const KvsConfig& config)
                              : config.quorum.n),
       ring_(num_storage_nodes_, config.vnodes_per_node,
             config.seed ^ 0x9E37),
-      anti_entropy_rng_(config.seed ^ 0xAE0AE0) {
+      anti_entropy_rng_(config.seed ^ 0xAE0AE0),
+      membership_rng_(config.seed ^ 0xE1A57C) {
   assert(config_.quorum.IsValid());
   assert(num_storage_nodes_ >= config_.quorum.n);
   assert(config_.num_coordinators >= 1);
@@ -55,7 +61,7 @@ Cluster::Cluster(const KvsConfig& config)
   tracer_.Configure(config_.obs);
   Rng master(config_.seed);
   network_ = std::make_unique<Network>(&sim_, master.Next());
-  const int total = num_nodes();
+  const int total = num_replicas() + num_coordinators();
   nodes_.reserve(total);
   for (NodeId id = 0; id < total; ++id) {
     const bool is_replica = id < num_replicas();
@@ -64,8 +70,109 @@ Cluster::Cluster(const KvsConfig& config)
   }
 }
 
+Cluster::~Cluster() = default;
+
 std::vector<NodeId> Cluster::ReplicasFor(Key key) const {
-  return ring_.PreferenceList(key, config_.quorum.n);
+  StatusOr<std::vector<int>> list =
+      ring_.PreferenceList(key, config_.quorum.n);
+  // Membership operations refuse to shrink the ring below quorum.n, so the
+  // checked ring path cannot fail here; the guard keeps a Release build
+  // from ever routing to a short replica set if that invariant breaks.
+  assert(list.ok());
+  if (!list.ok()) return {};
+  return std::move(list.value());
+}
+
+std::vector<NodeId> Cluster::RoutingReplicasFor(Key key) const {
+  std::vector<NodeId> out = ReplicasFor(key);
+  if (previous_rings_.empty()) return out;
+  std::vector<int> prev;
+  for (const ConsistentHashRing& old_ring : previous_rings_) {
+    if (!old_ring.AppendPreferenceList(key, config_.quorum.n, &prev).ok()) {
+      continue;
+    }
+    for (int node : prev) {
+      if (std::find(out.begin(), out.end(), node) == out.end()) {
+        out.push_back(node);
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<NodeId> Cluster::AddStorageNode() {
+  ConsistentHashRing snapshot = ring_;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const Status added = ring_.AddNode(id);
+  if (!added.ok()) return added;
+  nodes_.push_back(std::make_unique<Node>(this, id, /*is_replica=*/true,
+                                          membership_rng_.Next()));
+  ++metrics_.nodes_joined;
+  joining_.push_back(id);
+  LogMembership(id, NodeState::kJoining);
+  BeginRebalance(std::move(snapshot));
+  return id;
+}
+
+Status Cluster::RemoveStorageNode(NodeId id) {
+  if (!ring_.IsMember(id)) {
+    return Status::NotFound("cluster: node " + std::to_string(id) +
+                            " is not a storage member");
+  }
+  if (ring_.num_nodes() - 1 < config_.quorum.n) {
+    return Status::FailedPrecondition(
+        "cluster: removing node " + std::to_string(id) + " would leave " +
+        std::to_string(ring_.num_nodes() - 1) +
+        " storage members, fewer than N=" +
+        std::to_string(config_.quorum.n));
+  }
+  ConsistentHashRing snapshot = ring_;
+  const Status removed = ring_.RemoveNode(id);
+  if (!removed.ok()) return removed;
+  ++metrics_.nodes_removed;
+  leaving_.push_back(id);
+  LogMembership(id, NodeState::kLeaving);
+  BeginRebalance(std::move(snapshot));
+  return Status::Ok();
+}
+
+void Cluster::BeginRebalance(ConsistentHashRing snapshot) {
+  ++metrics_.rebalances_started;
+  previous_rings_.push_back(std::move(snapshot));
+  if (migrator_ == nullptr) {
+    migrator_ = std::make_unique<Migrator>(this, config_.seed ^ 0x316A70);
+  }
+  migrator_->OnMembershipChange(previous_rings_.back());
+}
+
+void Cluster::OnMigrationDelivered(NodeId dst) {
+  ++metrics_.migration_transfers_delivered;
+  ++metrics_.shards[dst].migration_keys_received;
+}
+
+void Cluster::OnRebalanceDrained() {
+  if (previous_rings_.empty()) return;  // already settled
+  // Overlapping membership changes drain together: completions match starts.
+  metrics_.rebalances_completed +=
+      static_cast<int64_t>(previous_rings_.size());
+  previous_rings_.clear();
+  for (NodeId id : joining_) LogMembership(id, NodeState::kActive);
+  joining_.clear();
+  for (NodeId id : leaving_) {
+    LogMembership(id, NodeState::kRemoved);
+    if (config_.rebalance.decommission_removed) nodes_[id]->Crash();
+  }
+  leaving_.clear();
+}
+
+void Cluster::LogMembership(NodeId node, NodeState state) {
+  MembershipEvent event;
+  event.time_ms = sim_.now();
+  event.node = node;
+  event.state = state;
+  event.ring_version = ring_.version();
+  membership_log_.push_back(event);
+  if (membership_hook_) membership_hook_(event);
 }
 
 int64_t Cluster::NextSequenceFor(Key key) {
@@ -85,9 +192,13 @@ int64_t Cluster::LatestSequenceFor(Key key) const {
 }
 
 std::vector<NodeId> Cluster::ExtendedReplicasFor(Key key) const {
-  const int extended = std::min(
-      num_storage_nodes_, config_.quorum.n + std::max(0, config_.sloppy_extra));
-  return ring_.PreferenceList(key, extended);
+  const int extended =
+      std::min(ring_.num_nodes(),
+               config_.quorum.n + std::max(0, config_.sloppy_extra));
+  StatusOr<std::vector<int>> list = ring_.PreferenceList(key, extended);
+  assert(list.ok());
+  if (!list.ok()) return {};
+  return std::move(list.value());
 }
 
 Status Cluster::UpdateQuorum(int r, int w) {
@@ -158,6 +269,18 @@ void Cluster::ExportMetrics(obs::Registry* out) const {
       {"kvs/fault_flapping_activations", m.fault_flapping_activations},
       {"kvs/fault_asymmetric_partition_activations",
        m.fault_asymmetric_partition_activations},
+      {"kvs/nodes_joined", m.nodes_joined},
+      {"kvs/nodes_removed", m.nodes_removed},
+      {"kvs/rebalances_started", m.rebalances_started},
+      {"kvs/rebalances_completed", m.rebalances_completed},
+      {"kvs/migration_keys_examined", m.migration_keys_examined},
+      {"kvs/migration_transfers_sent", m.migration_transfers_sent},
+      {"kvs/migration_transfers_delivered", m.migration_transfers_delivered},
+      {"kvs/migration_transfers_dropped", m.migration_transfers_dropped},
+      {"kvs/migration_transfer_retries", m.migration_transfer_retries},
+      {"kvs/stale_routes_forwarded", m.stale_routes_forwarded},
+      {"kvs/ring_version", static_cast<int64_t>(ring_.version())},
+      {"kvs/storage_members", static_cast<int64_t>(ring_.num_nodes())},
       {"net/messages_sent", network_->messages_sent()},
       {"net/messages_dropped", network_->messages_dropped()},
       {"net/messages_duplicated", network_->messages_duplicated()},
@@ -176,6 +299,22 @@ void Cluster::ExportMetrics(obs::Registry* out) const {
   for (double sample : m.read_latency.samples()) reads.Record(sample);
   obs::LogHistogram& writes = out->histogram("kvs/write_latency_ms");
   for (double sample : m.write_latency.samples()) writes.Record(sample);
+  // Per-shard attribution, keyed by primary owner: "kvs/shard/<id>/...".
+  // m.shards is an ordered map, so export order is deterministic.
+  for (const auto& [shard, sm] : m.shards) {
+    const std::string prefix = "kvs/shard/" + std::to_string(shard) + "/";
+    out->counter(prefix + "reads").Add(sm.reads);
+    out->counter(prefix + "writes").Add(sm.writes);
+    out->counter(prefix + "migration_keys_received")
+        .Add(sm.migration_keys_received);
+    obs::LogHistogram& shard_reads = out->histogram(prefix + "read_latency_ms");
+    for (double sample : sm.read_latency.samples()) shard_reads.Record(sample);
+    obs::LogHistogram& shard_writes =
+        out->histogram(prefix + "write_latency_ms");
+    for (double sample : sm.write_latency.samples()) {
+      shard_writes.Record(sample);
+    }
+  }
   if (leg_profiler_ != nullptr) leg_profiler_->ExportTo(out);
 }
 

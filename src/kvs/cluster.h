@@ -2,6 +2,7 @@
 #define PBS_KVS_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,8 @@
 
 namespace pbs {
 namespace kvs {
+
+class Migrator;
 
 /// Configuration of a simulated Dynamo-style cluster.
 struct KvsConfig {
@@ -84,6 +87,10 @@ struct KvsConfig {
   /// neutral — enabling tracing never changes a seeded run's results.
   ObsOptions obs;
 
+  /// Elastic-membership rebalancing policy (migration pacing, transfer
+  /// retries, decommission-on-drain); see pbs::RebalanceOptions.
+  RebalanceOptions rebalance;
+
   /// Virtual tokens per node on the consistent-hash ring.
   int vnodes_per_node = 16;
 
@@ -129,7 +136,24 @@ struct KvsConfig {
 /// the modified Cassandra deployment of Section 5.2.
 class Cluster {
  public:
+  /// Lifecycle of a storage node on the elastic ring. Joining/leaving nodes
+  /// are ring members/ex-members with a rebalance still draining; kActive /
+  /// kRemoved are the settled states.
+  enum class NodeState { kJoining, kActive, kLeaving, kRemoved };
+
+  /// One entry of the membership log: (virtual time, node, new state, ring
+  /// version after the change). Replaying the log's member set through
+  /// ConsistentHashRing::CreateFromMembers rebuilds placement bit-exactly.
+  struct MembershipEvent {
+    double time_ms = 0.0;
+    NodeId node = 0;
+    NodeState state = NodeState::kActive;
+    uint64_t ring_version = 0;
+  };
+  using MembershipHook = std::function<void(const MembershipEvent&)>;
+
   explicit Cluster(const KvsConfig& config);
+  ~Cluster();
 
   // Not movable: nodes hold back-pointers.
   Cluster(const Cluster&) = delete;
@@ -141,10 +165,14 @@ class Cluster {
   ClusterMetrics& metrics() { return metrics_; }
   const ClusterMetrics& metrics() const { return metrics_; }
 
-  /// Storage nodes (>= quorum.n; each key is replicated on N of them).
+  /// Storage nodes the cluster *started* with (>= quorum.n). Fixed for the
+  /// cluster's lifetime: node ids [0, num_replicas()) are the initial
+  /// replicas and coordinator ids follow them, so this anchors the id
+  /// layout even after elastic joins/removals. For the current ring
+  /// membership use StorageMembers().
   int num_replicas() const { return num_storage_nodes_; }
   int num_coordinators() const { return config_.num_coordinators; }
-  int num_nodes() const { return num_replicas() + num_coordinators(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
 
   Node& node(NodeId id) { return *nodes_[id]; }
   /// i-th storage replica (i in [0, N)).
@@ -159,6 +187,67 @@ class Cluster {
   /// The extended preference list (home replicas + up to sloppy_extra
   /// substitutes), used by sloppy-quorum writes.
   std::vector<NodeId> ExtendedReplicasFor(Key key) const;
+
+  /// Replica set coordinators fan out to: the current-ring preference list
+  /// (always the prefix, so `[0]` is the key's primary/shard owner),
+  /// extended with old-epoch replicas while any rebalance is draining.
+  /// Routing through the *union* of epochs is what keeps every acknowledged
+  /// write readable mid-rebalance: a write lands on enough of both replica
+  /// sets, and a read quorum over the union must intersect it.
+  std::vector<NodeId> RoutingReplicasFor(Key key) const;
+
+  // -- Elastic membership (ROADMAP item 1) ----------------------------------
+
+  /// Adds a brand-new storage node to the ring and starts a background
+  /// rebalance streaming its newly owned ranges to it. Returns the new
+  /// node's id (ids continue past the coordinators; the initial id layout
+  /// is untouched). The node starts in NodeState::kJoining and becomes
+  /// kActive once the rebalance drains.
+  StatusOr<NodeId> AddStorageNode();
+
+  /// Removes a storage node from the ring and starts a background rebalance
+  /// draining its ranges to their new owners. The node keeps serving
+  /// (NodeState::kLeaving) until the drain completes, then is marked
+  /// kRemoved — and decommissioned (fail-stop) when
+  /// rebalance.decommission_removed is set. Errors: NotFound for a node
+  /// that is not a current ring member (coordinators included),
+  /// FailedPrecondition when removal would leave fewer members than
+  /// quorum.n.
+  Status RemoveStorageNode(NodeId id);
+
+  /// Current storage membership of the ring, sorted ascending.
+  const std::vector<int>& StorageMembers() const { return ring_.members(); }
+  int num_storage_members() const { return ring_.num_nodes(); }
+
+  /// Current ring version (1 at construction, +1 per membership change; 0
+  /// is the wire sentinel for "client has not observed a version yet").
+  /// Clients cache it; coordinators count ops carrying an older version as
+  /// stale_routes_forwarded.
+  uint64_t ring_version() const { return ring_.version(); }
+
+  /// True while at least one membership change is still migrating data
+  /// (union routing in effect).
+  bool rebalance_active() const { return !previous_rings_.empty(); }
+
+  /// Read-only view of the ring (placement policy inspection).
+  const ConsistentHashRing& ring() const { return ring_; }
+
+  /// Every membership transition so far, in virtual-time order.
+  const std::vector<MembershipEvent>& membership_log() const {
+    return membership_log_;
+  }
+
+  /// Observer invoked synchronously on each membership transition (node
+  /// state events). May be null.
+  void set_membership_hook(MembershipHook hook) {
+    membership_hook_ = std::move(hook);
+  }
+
+  /// @internal Migration bookkeeping (called by Migrator): a transfer was
+  /// applied at `dst` / the active rebalance fully drained.
+  void OnMigrationDelivered(NodeId dst);
+  void OnRebalanceDrained();
+  Migrator* migrator() { return migrator_.get(); }
 
   /// Starts the configured failure detector (idempotent; see
   /// KvsConfig::failure_detector for the heartbeat/φ-accrual choice). The
@@ -226,6 +315,12 @@ class Cluster {
   void ExportMetrics(obs::Registry* out) const;
 
  private:
+  /// Appends `state` for `node` to the membership log and fires the hook.
+  void LogMembership(NodeId node, NodeState state);
+
+  /// Records the pre-change ring snapshot and kicks the migrator.
+  void BeginRebalance(ConsistentHashRing snapshot);
+
   KvsConfig config_;
   int num_storage_nodes_;
   Simulator sim_;
@@ -241,6 +336,20 @@ class Cluster {
   std::unordered_map<Key, int64_t> sequence_counters_;
   std::unordered_map<Key, RateEstimator> write_rates_;
   Rng anti_entropy_rng_;
+
+  // Elastic membership state. `previous_rings_` holds the pre-change
+  // snapshot of every membership change whose migration is still draining
+  // (overlapping changes stack; all cleared together when the migrator runs
+  // dry). Seeds for nodes created after construction come from
+  // membership_rng_, so elastic runs stay deterministic in (seed,
+  // membership-op order) without perturbing the construction-time draws.
+  std::unique_ptr<Migrator> migrator_;
+  std::vector<ConsistentHashRing> previous_rings_;
+  std::vector<NodeId> joining_;
+  std::vector<NodeId> leaving_;
+  std::vector<MembershipEvent> membership_log_;
+  MembershipHook membership_hook_;
+  Rng membership_rng_;
 };
 
 }  // namespace kvs

@@ -28,7 +28,12 @@ void FailureDetector::OnPong(NodeId node) {
 
 void FailureDetector::Tick() {
   const KvsConfig& config = cluster_->config();
-  for (NodeId node = 0; node < cluster_->num_replicas(); ++node) {
+  // Monitor the *current* ring membership: joined nodes start being pinged
+  // (tracked from this tick with the benefit of the doubt), removed nodes
+  // stop. On a static ring this is exactly [0, num_replicas()).
+  const double now = cluster_->sim().now();
+  for (NodeId node : cluster_->StorageMembers()) {
+    EnsureTracked(node, now);
     ++pings_sent_;
     // Ping travels like a read request; a live replica pongs like a read
     // response. The detector itself is infrastructure (not a simulated
@@ -72,13 +77,23 @@ void HeartbeatFailureDetector::OnStart(double now) {
 }
 
 bool HeartbeatFailureDetector::IsSuspected(NodeId node) const {
-  assert(node >= 0 && node < cluster_->num_replicas());
+  assert(node >= 0);
+  if (node < 0 || node >= static_cast<NodeId>(last_heard_.size())) {
+    return false;  // untracked (just joined): benefit of the doubt
+  }
   return cluster_->sim().now() - last_heard_[node] >
          options_.suspect_timeout_ms;
 }
 
 void HeartbeatFailureDetector::RecordArrival(NodeId node, double now) {
+  EnsureTracked(node, now);
   last_heard_[node] = now;
+}
+
+void HeartbeatFailureDetector::EnsureTracked(NodeId node, double now) {
+  if (node >= static_cast<NodeId>(last_heard_.size())) {
+    last_heard_.resize(node + 1, now);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -102,7 +117,18 @@ void PhiAccrualFailureDetector::OnStart(double now) {
   }
 }
 
+void PhiAccrualFailureDetector::EnsureTracked(NodeId node, double now) {
+  if (node >= static_cast<NodeId>(states_.size())) {
+    const size_t old_size = states_.size();
+    states_.resize(node + 1);
+    for (size_t i = old_size; i < states_.size(); ++i) {
+      states_[i].last_arrival = now;
+    }
+  }
+}
+
 void PhiAccrualFailureDetector::RecordArrival(NodeId node, double now) {
+  EnsureTracked(node, now);
   NodeState& state = states_[node];
   if (state.arrivals > 0) {
     const double interval = now - state.last_arrival;
@@ -123,7 +149,10 @@ void PhiAccrualFailureDetector::RecordArrival(NodeId node, double now) {
 }
 
 double PhiAccrualFailureDetector::Phi(NodeId node) const {
-  assert(node >= 0 && node < static_cast<NodeId>(states_.size()));
+  assert(node >= 0);
+  if (node < 0 || node >= static_cast<NodeId>(states_.size())) {
+    return 0.0;  // untracked (just joined): no accrued suspicion yet
+  }
   const NodeState& state = states_[node];
   // Bootstrap: before two inter-arrival samples exist, assume the
   // configured heartbeat interval with the floor deviation so a node that

@@ -44,6 +44,11 @@ class FailureDetector {
   /// Called once by Start() with the start time, before the first ping.
   virtual void OnStart(double now) = 0;
 
+  /// Grows per-node state to cover `node` (elastic membership: nodes that
+  /// joined after construction), initializing fresh entries with the
+  /// benefit of the doubt at `now`. Existing entries are untouched.
+  virtual void EnsureTracked(NodeId node, double now) = 0;
+
   Cluster* cluster_;
 
  private:
@@ -76,10 +81,11 @@ class HeartbeatFailureDetector : public FailureDetector {
  protected:
   void RecordArrival(NodeId node, double now) override;
   void OnStart(double now) override;
+  void EnsureTracked(NodeId node, double now) override;
 
  private:
   Options options_;
-  std::vector<double> last_heard_;  // per storage replica
+  std::vector<double> last_heard_;  // indexed by node id (grows on joins)
 };
 
 /// φ-accrual failure detector (Hayashibara et al.): instead of a binary
@@ -112,6 +118,7 @@ class PhiAccrualFailureDetector : public FailureDetector {
  protected:
   void RecordArrival(NodeId node, double now) override;
   void OnStart(double now) override;
+  void EnsureTracked(NodeId node, double now) override;
 
  private:
   struct NodeState {
@@ -125,7 +132,7 @@ class PhiAccrualFailureDetector : public FailureDetector {
   };
 
   Options options_;
-  std::vector<NodeState> states_;  // per storage replica
+  std::vector<NodeState> states_;  // indexed by node id (grows on joins)
 };
 
 }  // namespace kvs

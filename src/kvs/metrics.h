@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/latency.h"
+#include "sim/network.h"
 #include "util/stats.h"
 
 namespace pbs {
@@ -80,6 +81,19 @@ class VersionStalenessHistogram {
   int64_t total_ = 0;
 };
 
+/// Per-shard operation counters, keyed by the shard's primary owner (the
+/// first node of the key's current-ring preference list). Shards are the
+/// unit the elastic cluster measures PBS at: during a rebalance the set of
+/// primaries changes, and these counters attribute traffic — and staleness,
+/// via the audit path — to the shard that served it.
+struct ShardMetrics {
+  int64_t reads = 0;               // coordinated reads routed to this shard
+  int64_t writes = 0;              // coordinated writes routed to this shard
+  int64_t migration_keys_received = 0;  // values applied from migration
+  LatencyRecorder read_latency;
+  LatencyRecorder write_latency;
+};
+
 /// Cluster-wide operation counters and latency recorders.
 struct ClusterMetrics {
   LatencyRecorder read_latency;
@@ -118,6 +132,22 @@ struct ClusterMetrics {
   int64_t fault_lossy_link_activations = 0;
   int64_t fault_flapping_activations = 0;
   int64_t fault_asymmetric_partition_activations = 0;
+
+  // Elastic membership and data migration (ring rebalances).
+  int64_t nodes_joined = 0;
+  int64_t nodes_removed = 0;
+  int64_t rebalances_started = 0;
+  int64_t rebalances_completed = 0;
+  int64_t migration_keys_examined = 0;   // (key, source) pairs scanned
+  int64_t migration_transfers_sent = 0;  // transfer messages dispatched
+  int64_t migration_transfers_delivered = 0;
+  int64_t migration_transfers_dropped = 0;  // gave up after retries
+  int64_t migration_transfer_retries = 0;
+  int64_t stale_routes_forwarded = 0;  // ops carrying an old ring version
+
+  // Per-shard attribution, keyed by primary owner node id (ordered map so
+  // exports and merges are deterministic).
+  std::map<NodeId, ShardMetrics> shards;
 };
 
 }  // namespace kvs

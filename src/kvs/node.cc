@@ -20,19 +20,37 @@ Node::Node(Cluster* cluster, NodeId id, bool is_replica, uint64_t seed)
 // Coordinator: writes
 
 void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
-                           double timeout_override_ms, uint64_t trace_id) {
+                           double timeout_override_ms, uint64_t trace_id,
+                           uint64_t client_ring_version) {
   const KvsConfig& config = cluster_->config();
   const uint64_t request_id = cluster_->NextRequestId();
   ++cluster_->metrics().writes_started;
+  if (client_ring_version != 0 &&
+      client_ring_version != cluster_->ring_version()) {
+    // The client routed with an out-of-date ring; the coordinator serves it
+    // against current placement (forwarding) and counts the stale route.
+    ++cluster_->metrics().stale_routes_forwarded;
+  }
 
   PendingWrite pending;
   pending.key = key;
   pending.value = std::move(value);
-  pending.replicas = cluster_->ReplicasFor(key);
-  pending.required = config.quorum.w;
+  // Union of old- and new-epoch replica sets while a rebalance drains; the
+  // current-ring preference list is always the prefix, so [0] is the key's
+  // shard primary.
+  pending.replicas = cluster_->RoutingReplicasFor(key);
+  // Pad W by the number of extra (old-epoch) targets: W + (U - N) acks out
+  // of U union targets intersect every R-of-U read quorum whenever
+  // R + W > N, which is what makes acknowledged writes durable across the
+  // epoch switch.
+  pending.required =
+      config.quorum.w +
+      std::max(0, static_cast<int>(pending.replicas.size()) - config.quorum.n);
+  pending.shard = pending.replicas.empty() ? 0 : pending.replicas.front();
   pending.start_time = cluster_->sim().now();
   pending.trace_id = trace_id;
   pending.done = std::move(done);
+  ++cluster_->metrics().shards[pending.shard].writes;
 
   // Sloppy quorums (Dynamo): replace suspected home replicas with the next
   // healthy nodes from the extended preference list; substitutes hold the
@@ -142,7 +160,10 @@ void Node::OnWriteAck(uint64_t request_id, NodeId replica) {
     result.sequence = pending.value.sequence;
     result.commit_time = now;
     result.latency_ms = result.commit_time - pending.start_time;
+    result.ring_version = cluster_->ring_version();
     cluster_->metrics().write_latency.Record(result.latency_ms);
+    cluster_->metrics().shards[pending.shard].write_latency.Record(
+        result.latency_ms);
     if (pending.trace_id != 0) {
       cluster_->tracer().Record(obs::TraceEvent{
           .trace_id = pending.trace_id,
@@ -185,6 +206,7 @@ void Node::OnWriteTimeout(uint64_t request_id) {
     failed.status = Status::TimedOut("write: no W acks before the timeout");
     failed.trace_id = pending.trace_id;
     failed.sequence = pending.value.sequence;
+    failed.ring_version = cluster_->ring_version();
     if (pending.done) pending.done(failed);
   }
   if (cluster_->config().hinted_handoff) {
@@ -264,14 +286,22 @@ void Node::ResendUnacked(uint64_t request_id) {
 // Coordinator: reads
 
 void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
-                          double timeout_override_ms, uint64_t trace_id) {
+                          double timeout_override_ms, uint64_t trace_id,
+                          uint64_t client_ring_version) {
   const KvsConfig& config = cluster_->config();
   const uint64_t request_id = cluster_->NextRequestId();
   ++cluster_->metrics().reads_started;
+  if (client_ring_version != 0 &&
+      client_ring_version != cluster_->ring_version()) {
+    ++cluster_->metrics().stale_routes_forwarded;
+  }
 
   PendingRead pending;
   pending.key = key;
-  pending.replicas = cluster_->ReplicasFor(key);
+  // Union routing during rebalance; current-ring prefix, [0] = primary.
+  pending.replicas = cluster_->RoutingReplicasFor(key);
+  pending.shard = pending.replicas.empty() ? 0 : pending.replicas.front();
+  ++cluster_->metrics().shards[pending.shard].reads;
   pending.required =
       required_override > 0
           ? std::min(required_override,
@@ -474,7 +504,10 @@ void Node::OnReadResponse(uint64_t request_id, NodeId replica,
       result.latency_ms = cluster_->sim().now() - pending.start_time;
       result.value = pending.best;
       result.required = pending.required;
+      result.ring_version = cluster_->ring_version();
       cluster_->metrics().read_latency.Record(result.latency_ms);
+      cluster_->metrics().shards[pending.shard].read_latency.Record(
+          result.latency_ms);
       if (pending.trace_id != 0) {
         const double now = cluster_->sim().now();
         cluster_->tracer().Record(obs::TraceEvent{
@@ -508,6 +541,8 @@ void Node::MaybeFinishReadCollection(uint64_t request_id,
         pending.best.has_value() ? pending.best->sequence : 0;
     info.read_start_time = pending.start_time;
     info.late_response_sequences = pending.late_sequences;
+    info.key = pending.key;
+    info.shard = pending.shard;
     cluster_->late_read_hook()(info);
   }
   if (cluster_->config().read_repair) SendReadRepairs(pending);
@@ -591,6 +626,7 @@ void Node::OnReadTimeout(uint64_t request_id) {
     result.start_time = pending.start_time;
     result.latency_ms = cluster_->sim().now() - pending.start_time;
     result.required = pending.required;
+    result.ring_version = cluster_->ring_version();
     if (pending.done) pending.done(result);
   }
   // Close the collection window with whatever arrived.
@@ -600,6 +636,8 @@ void Node::OnReadTimeout(uint64_t request_id) {
         pending.best.has_value() ? pending.best->sequence : 0;
     info.read_start_time = pending.start_time;
     info.late_response_sequences = pending.late_sequences;
+    info.key = pending.key;
+    info.shard = pending.shard;
     cluster_->late_read_hook()(info);
   }
   if (cluster_->config().read_repair) SendReadRepairs(pending);

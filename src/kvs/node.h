@@ -34,6 +34,7 @@ struct WriteResult {
   int64_t sequence = 0;     // the written version's per-key sequence
   int attempts = 1;         // client attempts consumed (1 = no retry)
   uint64_t trace_id = 0;    // causal trace id (0 = op not sampled)
+  uint64_t ring_version = 0;  // cluster ring version when the op resolved
 };
 
 /// Outcome of a coordinated read. See WriteResult for ok/status semantics.
@@ -47,6 +48,7 @@ struct ReadResult {
   int attempts = 1;         // client attempts consumed (1 = no retry)
   bool downgraded = false;  // a retry accepted fewer than the configured R
   uint64_t trace_id = 0;    // causal trace id (0 = op not sampled)
+  uint64_t ring_version = 0;  // cluster ring version when the op resolved
 };
 
 using WriteCallback = std::function<void(const WriteResult&)>;
@@ -60,6 +62,8 @@ struct LateReadInfo {
   int64_t returned_sequence = 0;  // 0 = read returned no value
   double read_start_time = 0.0;
   std::vector<int64_t> late_response_sequences;
+  Key key = 0;        // the key the read targeted
+  NodeId shard = 0;   // primary owner at read time (per-shard attribution)
 };
 using LateReadHook = std::function<void(const LateReadInfo&)>;
 
@@ -93,9 +97,19 @@ class Node {
   /// timeout for this operation (used by deadline-budgeted client retries).
   /// `trace_id` != 0 attributes every leg of the fan-out to a sampled causal
   /// trace (see obs/trace.h); tracing consumes zero RNG draws.
+  ///
+  /// During an active rebalance the fan-out covers the union of old- and
+  /// new-epoch replica sets and the commit requirement is padded by the
+  /// number of extra targets, so a committed write always intersects any
+  /// R-quorum over the union (no acknowledged write is lost mid-rebalance).
+  /// `client_ring_version` != 0 is the ring version the client last
+  /// observed; an op routed with an older version is still served (the
+  /// coordinator always routes by the current ring) and counted in
+  /// stale_routes_forwarded.
   void CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
                        double timeout_override_ms = 0.0,
-                       uint64_t trace_id = 0);
+                       uint64_t trace_id = 0,
+                       uint64_t client_ring_version = 0);
 
   /// Fans the read out to all N replicas and invokes `done` with the
   /// freshest of the first R responses (or a timeout failure). Late
@@ -105,7 +119,8 @@ class Node {
   /// replaces the configured request timeout; `trace_id` != 0 attributes
   /// the fan-out (including hedges and repairs) to a sampled causal trace.
   void CoordinateRead(Key key, ReadCallback done, int required_override = 0,
-                      double timeout_override_ms = 0.0, uint64_t trace_id = 0);
+                      double timeout_override_ms = 0.0, uint64_t trace_id = 0,
+                      uint64_t client_ring_version = 0);
 
   // -- Replica message handlers (invoked via the network) -------------------
 
@@ -145,6 +160,7 @@ class Node {
     bool committed = false;
     bool timed_out = false;
     uint64_t trace_id = 0;  // 0 = op not sampled, tracing a no-op
+    NodeId shard = 0;       // primary owner at start (per-shard metrics)
     WriteCallback done;
   };
 
@@ -162,6 +178,7 @@ class Node {
     std::vector<std::pair<NodeId, std::optional<VersionedValue>>> all;
     std::vector<int64_t> late_sequences;
     uint64_t trace_id = 0;  // 0 = op not sampled, tracing a no-op
+    NodeId shard = 0;       // primary owner at start (per-shard metrics)
     ReadCallback done;
   };
 

@@ -68,6 +68,47 @@ struct RetryOptions {
   }
 };
 
+/// Elastic-membership rebalancing: when a storage node joins or leaves the
+/// consistent-hash ring, background migration streams transfer the affected
+/// key ranges from their old owners to their new owners in paced batches,
+/// while coordinators fan operations out to the *union* of old- and
+/// new-epoch replica sets so no acknowledged write becomes unreadable
+/// mid-rebalance. Transfers travel as write-request legs; a dropped
+/// transfer retries up to `max_transfer_retries` times before being left to
+/// preference-list-scoped anti-entropy.
+struct RebalanceOptions {
+  /// Pause between consecutive migration batches from one source node.
+  double stream_interval_ms = 25.0;
+
+  /// Values shipped per batch per source node (paces migration load
+  /// against foreground traffic).
+  int max_keys_per_batch = 64;
+
+  /// Re-sends for transfers the network dropped before handing the range
+  /// over to anti-entropy repair.
+  int max_transfer_retries = 3;
+
+  /// Crash removed nodes once their data has fully drained (process
+  /// decommission). Leave false to keep them around as cold spares.
+  bool decommission_removed = true;
+
+  Status Validate() const {
+    if (stream_interval_ms <= 0.0) {
+      return Status::InvalidArgument(
+          "rebalance.stream_interval_ms must be > 0");
+    }
+    if (max_keys_per_batch < 1) {
+      return Status::InvalidArgument(
+          "rebalance.max_keys_per_batch must be >= 1");
+    }
+    if (max_transfer_retries < 0) {
+      return Status::InvalidArgument(
+          "rebalance.max_transfer_retries must be >= 0");
+    }
+    return Status::Ok();
+  }
+};
+
 }  // namespace pbs
 
 #endif  // PBS_KVS_OPTIONS_H_

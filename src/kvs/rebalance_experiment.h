@@ -1,0 +1,166 @@
+#ifndef PBS_KVS_REBALANCE_EXPERIMENT_H_
+#define PBS_KVS_REBALANCE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kvs/cluster.h"
+#include "obs/registry.h"
+#include "util/parallel.h"
+
+namespace pbs {
+namespace kvs {
+
+/// One elastic-rebalance experiment: a sharded cluster takes a steady
+/// write-then-probe workload while storage nodes join and leave the ring
+/// mid-run (concurrent churn), and the harness measures
+///
+///   * client-observed <k,t>-staleness split into before / during / after
+///     rebalance phases, fleet-wide and per shard,
+///   * whether any *acknowledged* write became unreadable (the zero-loss
+///     criterion: every key is read back after the churn settles and its
+///     returned version is compared against the highest acked sequence),
+///   * how much of the key space actually moved vs. the theoretical
+///     minimum for the membership delta, and
+///   * migration-equivalence: post-rebalance placement must be bit-identical
+///     to a fresh ring built from the final membership.
+struct RebalanceRunOptions {
+  /// Cluster configuration; num_storage_nodes is the pre-churn ring size.
+  KvsConfig cluster;
+
+  /// Distinct keys in the workload (keys are 1..keys).
+  int keys = 128;
+
+  /// Total writes, issued round-robin over the keys.
+  int writes = 600;
+
+  /// Time between consecutive write starts.
+  double write_spacing_ms = 5.0;
+
+  /// Probe read issued this long after each write commits.
+  double read_offset_ms = 10.0;
+
+  /// Nodes added / removed when the churn point is reached. Both fire at
+  /// the same instant, so the join's and the removal's rebalances overlap
+  /// (concurrent churn on purpose).
+  int join_nodes = 1;
+  int remove_nodes = 1;
+
+  /// Churn fires when this fraction of the writes has been issued.
+  double churn_at_fraction = 0.4;
+
+  uint64_t seed = 99;
+
+  Status Validate() const;
+};
+
+/// <k,t>-staleness counters for one phase (or one shard within a phase).
+/// A probe read is stale when it returns a version older than the highest
+/// sequence acknowledged for its key at read start; version_lag sums how
+/// many versions behind the stale reads were (the k axis).
+struct RebalancePhaseStats {
+  int64_t reads = 0;
+  int64_t stale_reads = 0;
+  int64_t version_lag = 0;
+
+  double StaleFraction() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(stale_reads) /
+                            static_cast<double>(reads);
+  }
+
+  friend bool operator==(const RebalancePhaseStats&,
+                         const RebalancePhaseStats&) = default;
+};
+
+/// Deterministic summary of one rebalance run (defaulted operator== pins
+/// bitwise thread-count determinism in tests).
+struct RebalanceRunSummary {
+  int64_t writes_acked = 0;
+  int64_t writes_failed = 0;
+  int64_t probe_reads_failed = 0;
+
+  /// Acked writes whose final verification read returned an older version
+  /// (the acceptance criterion demands 0).
+  int64_t lost_acked_writes = 0;
+
+  /// Fleet-wide staleness by phase (during = rebalance_active() at the
+  /// probe's completion).
+  RebalancePhaseStats before;
+  RebalancePhaseStats during;
+  RebalancePhaseStats after;
+
+  /// Per-shard staleness, keyed by the shard's primary owner at probe time.
+  std::map<NodeId, RebalancePhaseStats> per_shard;
+
+  // Membership / migration counters (from ClusterMetrics).
+  int64_t nodes_joined = 0;
+  int64_t nodes_removed = 0;
+  int64_t rebalances_started = 0;
+  int64_t rebalances_completed = 0;
+  int64_t migration_transfers_sent = 0;
+  int64_t migration_transfers_delivered = 0;
+  int64_t migration_transfers_dropped = 0;
+  int64_t stale_routes_forwarded = 0;
+  uint64_t final_ring_version = 0;
+  int final_storage_members = 0;
+
+  /// Fraction of (key, replica-slot) assignments that changed across the
+  /// churn, and the theoretical minimum fraction for that membership delta
+  /// (added/S_after + removed/S_before). Minimal-movement acceptance:
+  /// moved_fraction <= 1.5 * theoretical_min_fraction.
+  double moved_fraction = 0.0;
+  double theoretical_min_fraction = 0.0;
+
+  /// Post-churn placement equals a fresh ring built from the final
+  /// membership (deterministic rebuild from seed + membership log).
+  bool placement_matches_fresh_ring = false;
+
+  friend bool operator==(const RebalanceRunSummary&,
+                         const RebalanceRunSummary&) = default;
+};
+
+/// Runs one seeded rebalance experiment (terminates the process on invalid
+/// options via assert; Validate() first on untrusted input). When `registry`
+/// is non-null the cluster's full instrument export (including the per-shard
+/// "kvs/shard/..." series) is written into it.
+RebalanceRunSummary RunRebalanceExperiment(const RebalanceRunOptions& options,
+                                           obs::Registry* registry = nullptr);
+
+/// A campaign of independent seeded trials.
+struct RebalanceTrialOptions {
+  RebalanceRunOptions run;
+  int64_t trials = 4;
+  uint64_t seed = 1234;  // campaign seed (per-trial seeds derive from it)
+};
+
+struct RebalanceCampaignResult {
+  std::vector<RebalanceRunSummary> trials;
+
+  /// Trial-order pooled phase stats.
+  RebalancePhaseStats before;
+  RebalancePhaseStats during;
+  RebalancePhaseStats after;
+  int64_t lost_acked_writes = 0;
+
+  /// Deterministic JSONL export of the pooled per-trial metrics registries.
+  std::string metrics_jsonl;
+
+  friend bool operator==(const RebalanceCampaignResult&,
+                         const RebalanceCampaignResult&) = default;
+};
+
+/// Runs `options.trials` independent rebalance experiments under the
+/// (seed, chunk_size) parallel determinism contract: results are bitwise
+/// identical for any thread count at a fixed chunk_size (each trial draws a
+/// fixed number of values from its chunk's jump stream and trials merge in
+/// trial order).
+RebalanceCampaignResult RunRebalanceTrials(const RebalanceTrialOptions& options,
+                                           const PbsExecutionOptions& exec);
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_REBALANCE_EXPERIMENT_H_

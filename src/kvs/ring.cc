@@ -16,16 +16,39 @@ uint64_t HashKey(Key key) {
   return z ^ (z >> 31);
 }
 
+uint64_t ConsistentHashRing::TokenPosition(int node, int v) const {
+  // Two chained avalanche mixes over (seed, node, vnode). Pure function:
+  // the same (seed, node, v) always lands on the same position, whatever
+  // the membership history — the property minimal movement rests on.
+  const uint64_t a = HashKey(seed_ ^ (static_cast<uint64_t>(node) *
+                                      0xD6E8FEB86659FD93ULL));
+  return HashKey(a + 0x2545F4914F6CDD1DULL * (static_cast<uint64_t>(v) + 1));
+}
+
+void ConsistentHashRing::InsertTokensFor(int node) {
+  for (int v = 0; v < vnodes_per_node_; ++v) {
+    tokens_.push_back(Token{TokenPosition(node, v), node});
+  }
+  std::sort(tokens_.begin(), tokens_.end(),
+            [](const Token& a, const Token& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.node < b.node;
+            });
+}
+
 ConsistentHashRing::ConsistentHashRing(int num_nodes, int vnodes_per_node,
-                                       uint64_t seed)
-    : num_nodes_(num_nodes) {
+                                       uint64_t seed) {
   assert(num_nodes >= 1);
   assert(vnodes_per_node >= 1);
-  Rng rng(seed);
-  tokens_.reserve(static_cast<size_t>(num_nodes) * vnodes_per_node);
-  for (int node = 0; node < num_nodes; ++node) {
-    for (int v = 0; v < vnodes_per_node; ++v) {
-      tokens_.push_back(Token{rng.Next(), node});
+  vnodes_per_node_ = vnodes_per_node < 1 ? 1 : vnodes_per_node;
+  seed_ = seed;
+  members_.reserve(num_nodes < 1 ? 1 : num_nodes);
+  for (int node = 0; node < num_nodes; ++node) members_.push_back(node);
+  if (members_.empty()) members_.push_back(0);  // release-mode safety net
+  tokens_.reserve(members_.size() * static_cast<size_t>(vnodes_per_node_));
+  for (int node : members_) {
+    for (int v = 0; v < vnodes_per_node_; ++v) {
+      tokens_.push_back(Token{TokenPosition(node, v), node});
     }
   }
   std::sort(tokens_.begin(), tokens_.end(),
@@ -35,8 +58,107 @@ ConsistentHashRing::ConsistentHashRing(int num_nodes, int vnodes_per_node,
             });
 }
 
-std::vector<int> ConsistentHashRing::PreferenceList(Key key, int n) const {
-  assert(n >= 1 && n <= num_nodes_);
+StatusOr<ConsistentHashRing> ConsistentHashRing::Create(int num_nodes,
+                                                        int vnodes_per_node,
+                                                        uint64_t seed) {
+  if (num_nodes < 1) {
+    return Status::InvalidArgument("ring: num_nodes must be >= 1, got " +
+                                   std::to_string(num_nodes));
+  }
+  if (vnodes_per_node < 1) {
+    return Status::InvalidArgument(
+        "ring: vnodes_per_node must be >= 1, got " +
+        std::to_string(vnodes_per_node));
+  }
+  return ConsistentHashRing(num_nodes, vnodes_per_node, seed);
+}
+
+StatusOr<ConsistentHashRing> ConsistentHashRing::CreateFromMembers(
+    const std::vector<int>& members, int vnodes_per_node, uint64_t seed) {
+  if (members.empty()) {
+    return Status::InvalidArgument("ring: member set must not be empty");
+  }
+  if (vnodes_per_node < 1) {
+    return Status::InvalidArgument(
+        "ring: vnodes_per_node must be >= 1, got " +
+        std::to_string(vnodes_per_node));
+  }
+  std::vector<int> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() < 0) {
+    return Status::InvalidArgument("ring: node ids must be >= 0");
+  }
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("ring: duplicate node id in member set");
+  }
+  ConsistentHashRing ring;
+  ring.vnodes_per_node_ = vnodes_per_node;
+  ring.seed_ = seed;
+  ring.members_ = std::move(sorted);
+  ring.tokens_.reserve(ring.members_.size() *
+                       static_cast<size_t>(vnodes_per_node));
+  for (int node : ring.members_) {
+    for (int v = 0; v < vnodes_per_node; ++v) {
+      ring.tokens_.push_back(Token{ring.TokenPosition(node, v), node});
+    }
+  }
+  std::sort(ring.tokens_.begin(), ring.tokens_.end(),
+            [](const Token& a, const Token& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.node < b.node;
+            });
+  return ring;
+}
+
+bool ConsistentHashRing::IsMember(int node) const {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+Status ConsistentHashRing::AddNode(int node) {
+  if (node < 0) {
+    return Status::InvalidArgument("ring: node ids must be >= 0, got " +
+                                   std::to_string(node));
+  }
+  if (IsMember(node)) {
+    return Status::FailedPrecondition("ring: node " + std::to_string(node) +
+                                      " is already a member");
+  }
+  members_.insert(std::lower_bound(members_.begin(), members_.end(), node),
+                  node);
+  InsertTokensFor(node);
+  ++version_;
+  return Status::Ok();
+}
+
+Status ConsistentHashRing::RemoveNode(int node) {
+  if (!IsMember(node)) {
+    return Status::NotFound("ring: node " + std::to_string(node) +
+                            " is not a member");
+  }
+  if (members_.size() == 1) {
+    return Status::FailedPrecondition(
+        "ring: cannot remove the last member (node " + std::to_string(node) +
+        ")");
+  }
+  members_.erase(std::lower_bound(members_.begin(), members_.end(), node));
+  tokens_.erase(std::remove_if(tokens_.begin(), tokens_.end(),
+                               [node](const Token& t) {
+                                 return t.node == node;
+                               }),
+                tokens_.end());
+  ++version_;
+  return Status::Ok();
+}
+
+Status ConsistentHashRing::AppendPreferenceList(Key key, int n,
+                                                std::vector<int>* out) const {
+  assert(out != nullptr);
+  out->clear();
+  if (n < 1 || n > num_nodes()) {
+    return Status::InvalidArgument(
+        "ring: preference list size " + std::to_string(n) +
+        " out of range [1, " + std::to_string(num_nodes()) + "]");
+  }
   const uint64_t h = HashKey(key);
   // First token at or after h (wrapping).
   size_t start = std::lower_bound(tokens_.begin(), tokens_.end(), h,
@@ -44,34 +166,54 @@ std::vector<int> ConsistentHashRing::PreferenceList(Key key, int n) const {
                                     return t.position < value;
                                   }) -
                  tokens_.begin();
-  std::vector<int> result;
-  result.reserve(n);
-  std::vector<bool> seen(num_nodes_, false);
-  for (size_t step = 0; step < tokens_.size() && static_cast<int>(
-                                                     result.size()) < n;
-       ++step) {
+  out->reserve(n);
+  for (size_t step = 0;
+       step < tokens_.size() && static_cast<int>(out->size()) < n; ++step) {
     const Token& token = tokens_[(start + step) % tokens_.size()];
-    if (!seen[token.node]) {
-      seen[token.node] = true;
-      result.push_back(token.node);
+    // n is a small replication factor: a linear containment scan beats a
+    // membership bitmap over arbitrary node ids.
+    if (std::find(out->begin(), out->end(), token.node) == out->end()) {
+      out->push_back(token.node);
     }
   }
-  assert(static_cast<int>(result.size()) == n);
+  if (static_cast<int>(out->size()) != n) {
+    // Unreachable while every member holds >= 1 token; checked (not
+    // asserted) so a release build can never hand out a short replica set.
+    out->clear();
+    return Status::FailedPrecondition(
+        "ring: walk produced fewer than n distinct members");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<int>> ConsistentHashRing::PreferenceList(Key key,
+                                                              int n) const {
+  std::vector<int> result;
+  const Status status = AppendPreferenceList(key, n, &result);
+  if (!status.ok()) return status;
   return result;
 }
 
-std::vector<double> ConsistentHashRing::OwnershipFractions(
+StatusOr<std::vector<double>> ConsistentHashRing::OwnershipFractions(
     int samples, uint64_t seed) const {
-  assert(samples > 0);
-  Rng rng(seed);
-  std::vector<int64_t> counts(num_nodes_, 0);
-  for (int i = 0; i < samples; ++i) {
-    ++counts[PreferenceList(rng.Next(), 1).front()];
+  if (samples <= 0) {
+    return Status::InvalidArgument("ring: samples must be > 0, got " +
+                                   std::to_string(samples));
   }
-  std::vector<double> fractions(num_nodes_);
-  for (int node = 0; node < num_nodes_; ++node) {
-    fractions[node] =
-        static_cast<double>(counts[node]) / static_cast<double>(samples);
+  Rng rng(seed);
+  std::vector<int64_t> counts(members_.size(), 0);
+  std::vector<int> primary;
+  for (int i = 0; i < samples; ++i) {
+    const Status status = AppendPreferenceList(rng.Next(), 1, &primary);
+    if (!status.ok()) return status;
+    const auto it = std::lower_bound(members_.begin(), members_.end(),
+                                     primary.front());
+    ++counts[it - members_.begin()];
+  }
+  std::vector<double> fractions(members_.size());
+  for (size_t i = 0; i < members_.size(); ++i) {
+    fractions[i] =
+        static_cast<double>(counts[i]) / static_cast<double>(samples);
   }
   return fractions;
 }

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace pbs {
 namespace kvs {
 
@@ -16,23 +18,80 @@ uint64_t HashKey(Key key);
 /// Consistent-hash ring with virtual nodes, the Dynamo-style mapping from
 /// keys to their N-replica preference lists (Section 2.2: "typically
 /// maintaining the mapping of keys to quorum systems using a
-/// consistent-hashing scheme"). Node ids are dense: [0, num_nodes).
+/// consistent-hashing scheme").
+///
+/// The ring is *elastic*: AddNode/RemoveNode change membership in place.
+/// Every member owns `vnodes_per_node` tokens whose positions are pure
+/// hashes of (seed, node, vnode index) — not draws from a sequential RNG —
+/// so the token layout is a function of (seed, member set) alone:
+///
+///   * rebuilding a ring from the final membership of any add/remove
+///     sequence yields bit-identical placement (deterministic from seed +
+///     membership log, no RNG consumption),
+///   * membership changes move the minimum of the key space: adding a node
+///     only claims the ranges adjacent to its own tokens, removing a node
+///     only reassigns the ranges it owned.
+///
+/// Node ids are arbitrary non-negative ints (the seed constructor produces
+/// the dense set [0, num_nodes)). All fallible operations are Status-typed
+/// and behave identically in Release builds — no assert-only validation on
+/// any public path.
 class ConsistentHashRing {
  public:
   /// `vnodes_per_node` tokens per physical node spread placement load;
-  /// `seed` randomizes token positions deterministically.
+  /// `seed` randomizes token positions deterministically. Terminates the
+  /// process on invalid arguments (internal path); prefer Create() where
+  /// the inputs are not already validated.
   ConsistentHashRing(int num_nodes, int vnodes_per_node, uint64_t seed);
 
-  /// The first `n` distinct nodes encountered clockwise from the key's hash
-  /// position — the key's replica set, in preference order. n must be
-  /// <= num_nodes().
-  std::vector<int> PreferenceList(Key key, int n) const;
+  /// Checked construction of the dense-membership ring [0, num_nodes):
+  /// InvalidArgument instead of an assert for non-positive sizes.
+  static StatusOr<ConsistentHashRing> Create(int num_nodes,
+                                             int vnodes_per_node,
+                                             uint64_t seed);
 
-  int num_nodes() const { return num_nodes_; }
+  /// Checked construction over an explicit member set (the "replay the
+  /// membership log" path). Rejects empty sets, negative ids, duplicates.
+  static StatusOr<ConsistentHashRing> CreateFromMembers(
+      const std::vector<int>& members, int vnodes_per_node, uint64_t seed);
 
-  /// Fraction of the key space owned (as first preference) by each node;
-  /// sums to 1. Exposed to test placement balance.
-  std::vector<double> OwnershipFractions(int samples, uint64_t seed) const;
+  /// The first `n` distinct member nodes encountered clockwise from the
+  /// key's hash position — the key's replica set, in preference order.
+  /// InvalidArgument unless 1 <= n <= num_nodes() (checked in every build
+  /// mode: a shrunken cluster returns an error, never a short replica set).
+  StatusOr<std::vector<int>> PreferenceList(Key key, int n) const;
+
+  /// Appends the preference list to `out` (cleared first) without
+  /// allocating a fresh vector — the coordinator hot path.
+  Status AppendPreferenceList(Key key, int n, std::vector<int>* out) const;
+
+  /// Adds `node` (>= 0, not already a member) to the ring, inserting its
+  /// tokens. O(tokens) for the merge.
+  Status AddNode(int node);
+
+  /// Removes a current member and its tokens. FailedPrecondition when it
+  /// is the last member (an empty ring routes nothing).
+  Status RemoveNode(int node);
+
+  int num_nodes() const { return static_cast<int>(members_.size()); }
+  int vnodes_per_node() const { return vnodes_per_node_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Monotonically increasing membership version: 1 at construction, +1
+  /// per successful AddNode/RemoveNode. Routing layers compare versions to
+  /// detect stale placement decisions; starting at 1 keeps 0 free as the
+  /// wire sentinel for "no version observed yet".
+  uint64_t version() const { return version_; }
+
+  /// Current members, sorted ascending.
+  const std::vector<int>& members() const { return members_; }
+  bool IsMember(int node) const;
+
+  /// Fraction of the key space owned (as first preference) by each member,
+  /// aligned with members(); sums to 1. Exposed to test placement balance.
+  /// InvalidArgument for samples <= 0.
+  StatusOr<std::vector<double>> OwnershipFractions(int samples,
+                                                   uint64_t seed) const;
 
  private:
   struct Token {
@@ -40,8 +99,19 @@ class ConsistentHashRing {
     int node;
   };
 
-  int num_nodes_;
-  std::vector<Token> tokens_;  // sorted by position
+  // StatusOr<T> default-constructs its payload on the error path.
+  friend class StatusOr<ConsistentHashRing>;
+  ConsistentHashRing() = default;
+
+  /// Token `v` of `node`: a pure hash, independent of membership order.
+  uint64_t TokenPosition(int node, int v) const;
+  void InsertTokensFor(int node);
+
+  int vnodes_per_node_ = 1;
+  uint64_t seed_ = 0;
+  uint64_t version_ = 1;
+  std::vector<int> members_;   // sorted ascending
+  std::vector<Token> tokens_;  // sorted by (position, node)
 };
 
 }  // namespace kvs

@@ -165,6 +165,12 @@ Status Config::Validate() const {
   if (!status.ok()) return status;
   status = faults.Validate();
   if (!status.ok()) return status;
+  status = cluster.Validate();
+  if (!status.ok()) return status;
+  if (cluster.num_nodes != 0 && cluster.num_nodes < quorum.n) {
+    return Status::InvalidArgument(
+        "cluster.num_nodes must be 0 (= N) or >= quorum.n");
+  }
   return obs.Validate();
 }
 
@@ -191,6 +197,9 @@ StatusOr<kvs::KvsConfig> Config::BuildKvsConfig() const {
   config.hedge = hedge;
   config.retry = retry;
   config.obs = obs;
+  config.num_storage_nodes = cluster.num_nodes;
+  config.vnodes_per_node = cluster.vnodes;
+  config.rebalance = cluster.rebalance;
   config.seed = seed;
   if (phi_detector) {
     config.failure_detector = kvs::KvsConfig::FailureDetectorKind::kPhiAccrual;

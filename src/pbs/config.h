@@ -74,6 +74,31 @@ struct FaultOptions {
                                      int default_gray_replicas = 3) const;
 };
 
+/// Elastic-cluster shape: how many storage nodes sit on the consistent-hash
+/// ring, how many virtual tokens each owns, and how rebalances behave.
+struct ClusterOptions {
+  /// Storage nodes on the ring. 0 = exactly N (the minimal single-shard
+  /// deployment most experiments use); larger values shard the key space.
+  int num_nodes = 0;
+
+  /// Virtual tokens per node (placement smoothness; balance error shrinks
+  /// roughly as 1/sqrt(vnodes)).
+  int vnodes = 16;
+
+  /// Migration pacing / retry / decommission policy for membership changes.
+  RebalanceOptions rebalance;
+
+  Status Validate() const {
+    if (num_nodes < 0) {
+      return Status::InvalidArgument("cluster.num_nodes must be >= 0");
+    }
+    if (vnodes < 1) {
+      return Status::InvalidArgument("cluster.vnodes must be >= 1");
+    }
+    return rebalance.Validate();
+  }
+};
+
 /// Parses one `kind:key=val,...` fault spec into `schedule`.
 Status ParseFaultSpec(const std::string& spec, double horizon_ms,
                       kvs::FaultSchedule* schedule,
@@ -97,6 +122,7 @@ StatusOr<ReplicaLatencyModelPtr> ScenarioModel(const std::string& name, int n);
 ///   retry      — client backoff/deadline policy    (RetryOptions)
 ///   faults     — gray-failure spec strings         (FaultOptions)
 ///   obs        — causal tracing policy             (ObsOptions)
+///   cluster    — ring nodes / vnodes / rebalance   (ClusterOptions)
 ///
 /// Everything validates through Status (no constructor asserts on the public
 /// path) and lowers onto the internal structs via the Build* methods. The
@@ -118,6 +144,7 @@ struct Config {
   RetryOptions retry;
   FaultOptions faults;
   ObsOptions obs;
+  ClusterOptions cluster;
 
   /// Cluster mechanics (KvsConfig passthroughs).
   bool read_repair = false;
@@ -168,6 +195,15 @@ struct Config {
   }
   Config& WithObs(const ObsOptions& options) {
     obs = options;
+    return *this;
+  }
+  Config& WithCluster(int num_nodes, int vnodes = 16) {
+    cluster.num_nodes = num_nodes;
+    cluster.vnodes = vnodes;
+    return *this;
+  }
+  Config& WithRebalance(const RebalanceOptions& options) {
+    cluster.rebalance = options;
     return *this;
   }
 

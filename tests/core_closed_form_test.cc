@@ -103,6 +103,39 @@ TEST(MonotonicReadsTest, MoreWritesBetweenReadsImproveGuarantee) {
   }
 }
 
+TEST(MonotonicReadsTest, StrictQuorumsNeverViolateWhateverTheExponent) {
+  // Regression: the exponent == 0 edge ("strict monotonicity, no new
+  // writes") was checked before the ps == 0 short-circuit, returning a
+  // certain violation (1.0) for exactly the R + W > N configurations that
+  // are provably safe. Cover the full ps {0, >0} x strict {false, true}
+  // matrix, including the gamma_gw == 0 corner in every cell.
+  const QuorumConfig safe{3, 2, 2};    // ps == 0
+  const QuorumConfig leaky{3, 1, 1};   // ps == 2/3
+  const double ps = SingleQuorumMissProbability(leaky);
+
+  // ps == 0: never a violation, in either session mode, with or without
+  // interleaved writes.
+  for (bool strict : {false, true}) {
+    EXPECT_DOUBLE_EQ(
+        MonotonicReadsViolationProbability(safe, 0.0, 1.0, strict), 0.0);
+    EXPECT_DOUBLE_EQ(
+        MonotonicReadsViolationProbability(safe, 2.0, 1.0, strict), 0.0);
+  }
+
+  // ps > 0, relaxed sessions: k = 1 + gw/cr.
+  EXPECT_NEAR(MonotonicReadsViolationProbability(leaky, 0.0, 1.0, false), ps,
+              1e-12);
+  EXPECT_NEAR(MonotonicReadsViolationProbability(leaky, 2.0, 1.0, false),
+              std::pow(ps, 3.0), 1e-12);
+
+  // ps > 0, strict sessions: k = gw/cr; no writes between reads means the
+  // same stale quorum can be re-drawn — a certain violation.
+  EXPECT_DOUBLE_EQ(
+      MonotonicReadsViolationProbability(leaky, 0.0, 1.0, true), 1.0);
+  EXPECT_NEAR(MonotonicReadsViolationProbability(leaky, 2.0, 1.0, true),
+              std::pow(ps, 2.0), 1e-12);
+}
+
 TEST(LoadBoundTest, EpsilonIntersectingFormula) {
   // load >= (1 - sqrt(eps)) / sqrt(N).
   EXPECT_NEAR(EpsilonIntersectingLoadLowerBound(100, 0.01), 0.9 / 10.0,

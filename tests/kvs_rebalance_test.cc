@@ -1,0 +1,226 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/primitives.h"
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/rebalance_experiment.h"
+#include "obs/exporters.h"
+#include "obs/registry.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+WarsDistributions PointMassLegs(double ms) {
+  WarsDistributions legs;
+  legs.name = "pm";
+  legs.w = PointMass(ms);
+  legs.a = PointMass(ms);
+  legs.r = PointMass(ms);
+  legs.s = PointMass(ms);
+  return legs;
+}
+
+KvsConfig ShardedConfig(int storage_nodes) {
+  KvsConfig config;
+  config.quorum = {3, 2, 2};
+  config.legs = PointMassLegs(1.0);
+  config.num_coordinators = 1;
+  config.num_storage_nodes = storage_nodes;
+  config.vnodes_per_node = 16;
+  config.request_timeout_ms = 100.0;
+  config.seed = 7;
+  return config;
+}
+
+RebalanceRunOptions SmallRun() {
+  RebalanceRunOptions options;
+  options.cluster = ShardedConfig(8);
+  options.keys = 48;
+  options.writes = 240;
+  options.write_spacing_ms = 4.0;
+  options.read_offset_ms = 6.0;
+  options.join_nodes = 1;
+  options.remove_nodes = 1;
+  options.seed = 11;
+  return options;
+}
+
+TEST(ClusterMembershipTest, AddStorageNodeJoinsRingAndEventuallyActivates) {
+  Cluster cluster(ShardedConfig(6));
+  EXPECT_EQ(cluster.num_storage_members(), 6);
+  EXPECT_EQ(cluster.ring_version(), 1u);  // 1-based (0 = "never observed")
+
+  const StatusOr<NodeId> added = cluster.AddStorageNode();
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(cluster.num_storage_members(), 7);
+  EXPECT_EQ(cluster.ring_version(), 2u);
+  EXPECT_TRUE(cluster.ring().IsMember(added.value()));
+
+  // An empty cluster has nothing to migrate: the rebalance drains on the
+  // migrator's immediate pass and the joiner activates synchronously.
+  EXPECT_FALSE(cluster.rebalance_active());
+  ASSERT_EQ(cluster.membership_log().size(), 2u);
+  EXPECT_EQ(cluster.membership_log()[0].state, Cluster::NodeState::kJoining);
+  EXPECT_EQ(cluster.membership_log()[1].node, added.value());
+  EXPECT_EQ(cluster.membership_log()[1].state, Cluster::NodeState::kActive);
+  EXPECT_EQ(cluster.metrics().rebalances_started, 1);
+  EXPECT_EQ(cluster.metrics().rebalances_completed, 1);
+}
+
+TEST(ClusterMembershipTest, RebalanceStaysActiveWhileDataDrains) {
+  Cluster cluster(ShardedConfig(6));
+  ClientSession writer(&cluster, cluster.coordinator(0).id(), 1);
+  for (int i = 1; i <= 30; ++i) {
+    cluster.sim().At(static_cast<double>(i) * 5.0, [&, i]() {
+      writer.Write(static_cast<Key>(i), "v" + std::to_string(i));
+    });
+  }
+  cluster.sim().RunUntil(500.0);
+
+  ASSERT_TRUE(cluster.AddStorageNode().ok());
+  EXPECT_TRUE(cluster.rebalance_active());  // data to move: drain is async
+  EXPECT_EQ(cluster.membership_log().back().state,
+            Cluster::NodeState::kJoining);
+  cluster.sim().RunUntil(5000.0);
+  EXPECT_FALSE(cluster.rebalance_active());
+  EXPECT_EQ(cluster.membership_log().back().state,
+            Cluster::NodeState::kActive);
+  EXPECT_GT(cluster.metrics().migration_transfers_delivered, 0);
+}
+
+TEST(ClusterMembershipTest, RemoveErrorsAreStatusTyped) {
+  Cluster cluster(ShardedConfig(0));  // minimal deployment: exactly N = 3
+  // A coordinator is not a ring member.
+  EXPECT_EQ(cluster.RemoveStorageNode(cluster.coordinator(0).id()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cluster.RemoveStorageNode(999).code(), StatusCode::kNotFound);
+  // Removal below quorum.n is refused.
+  EXPECT_EQ(cluster.RemoveStorageNode(0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.num_storage_members(), 3);
+}
+
+TEST(ClusterMembershipTest, MembershipHookSeesEveryTransition) {
+  Cluster cluster(ShardedConfig(6));
+  std::vector<Cluster::MembershipEvent> seen;
+  cluster.set_membership_hook(
+      [&](const Cluster::MembershipEvent& event) { seen.push_back(event); });
+
+  ASSERT_TRUE(cluster.AddStorageNode().ok());
+  ASSERT_TRUE(cluster.RemoveStorageNode(0).ok());
+  cluster.sim().RunUntil(2000.0);
+
+  // Both changes hit an empty cluster, so each drains synchronously:
+  // joining->active, then leaving->removed.
+  ASSERT_EQ(seen.size(), cluster.membership_log().size());
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0].state, Cluster::NodeState::kJoining);
+  EXPECT_EQ(seen[1].state, Cluster::NodeState::kActive);
+  EXPECT_EQ(seen[1].node, seen[0].node);
+  EXPECT_EQ(seen[2].state, Cluster::NodeState::kLeaving);
+  EXPECT_EQ(seen[2].node, 0);
+  EXPECT_EQ(seen[3].state, Cluster::NodeState::kRemoved);
+  EXPECT_EQ(seen[3].node, 0);
+  // The ring version recorded with each event is monotone.
+  EXPECT_LE(seen[0].ring_version, seen[2].ring_version);
+}
+
+TEST(ClusterMembershipTest, RemovedNodeIsDecommissionedAfterDrain) {
+  KvsConfig config = ShardedConfig(6);
+  Cluster cluster(config);
+  // Seed some data so the removal actually migrates keys off the victim.
+  ClientSession writer(&cluster, cluster.coordinator(0).id(), 1);
+  for (int i = 1; i <= 20; ++i) {
+    cluster.sim().At(static_cast<double>(i) * 5.0, [&, i]() {
+      writer.Write(static_cast<Key>(i), "v" + std::to_string(i));
+    });
+  }
+  cluster.sim().RunUntil(500.0);
+
+  ASSERT_TRUE(cluster.RemoveStorageNode(2).ok());
+  EXPECT_TRUE(cluster.node(2).alive());  // keeps serving while draining
+  cluster.sim().RunUntil(5000.0);
+  EXPECT_FALSE(cluster.rebalance_active());
+  EXPECT_FALSE(cluster.node(2).alive());  // decommissioned on drain
+  EXPECT_EQ(cluster.metrics().nodes_removed, 1);
+}
+
+TEST(ClusterMembershipTest, DecommissionCanBeDisabled) {
+  KvsConfig config = ShardedConfig(6);
+  config.rebalance.decommission_removed = false;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.RemoveStorageNode(1).ok());
+  cluster.sim().RunUntil(2000.0);
+  EXPECT_FALSE(cluster.rebalance_active());
+  EXPECT_TRUE(cluster.node(1).alive());
+}
+
+TEST(RebalanceExperimentTest, ConcurrentChurnLosesNoAcknowledgedWrites) {
+  const RebalanceRunSummary summary = RunRebalanceExperiment(SmallRun());
+
+  EXPECT_GT(summary.writes_acked, 0);
+  EXPECT_EQ(summary.lost_acked_writes, 0);
+  EXPECT_EQ(summary.nodes_joined, 1);
+  EXPECT_EQ(summary.nodes_removed, 1);
+  EXPECT_EQ(summary.rebalances_started, 2);
+  EXPECT_EQ(summary.rebalances_completed, 2);
+  EXPECT_GT(summary.migration_transfers_delivered, 0);
+  EXPECT_EQ(summary.final_ring_version, 3u);  // 1 at construction + 2 changes
+  EXPECT_EQ(summary.final_storage_members, 8);
+
+  // Probes ran in every phase and per-shard attribution saw traffic.
+  EXPECT_GT(summary.before.reads, 0);
+  EXPECT_GT(summary.after.reads, 0);
+  EXPECT_FALSE(summary.per_shard.empty());
+
+  // Union routing keeps the client's stale ring version observable.
+  EXPECT_GT(summary.stale_routes_forwarded, 0);
+
+  // Key movement stays within 1.5x the consistent-hashing minimum, and the
+  // mutated ring equals a fresh rebuild from the final membership.
+  EXPECT_GT(summary.moved_fraction, 0.0);
+  EXPECT_LE(summary.moved_fraction, 1.5 * summary.theoretical_min_fraction);
+  EXPECT_TRUE(summary.placement_matches_fresh_ring);
+}
+
+TEST(RebalanceExperimentTest, RunsAreDeterministicAndSeedSensitive) {
+  const RebalanceRunSummary a = RunRebalanceExperiment(SmallRun());
+  const RebalanceRunSummary b = RunRebalanceExperiment(SmallRun());
+  EXPECT_TRUE(a == b);
+
+  RebalanceRunOptions other = SmallRun();
+  other.seed = 12;
+  const RebalanceRunSummary c = RunRebalanceExperiment(other);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RebalanceExperimentTest, ExportsPerShardMetricsThroughRegistry) {
+  obs::Registry registry;
+  (void)RunRebalanceExperiment(SmallRun(), &registry);
+  const std::string jsonl = obs::MetricsJsonl(registry);
+  EXPECT_NE(jsonl.find("kvs/shard/"), std::string::npos);
+  EXPECT_NE(jsonl.find("kvs/migration_transfers_delivered"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("kvs/ring_version"), std::string::npos);
+}
+
+TEST(RebalanceExperimentTest, OptionsValidate) {
+  RebalanceRunOptions options = SmallRun();
+  EXPECT_TRUE(options.Validate().ok());
+  options.churn_at_fraction = 1.5;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = SmallRun();
+  options.keys = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = SmallRun();
+  options.cluster.rebalance.stream_interval_ms = -1.0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,205 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kvs/ring.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+// Property-based churn suite for the elastic ring: random membership
+// sequences, checked against the consistent-hashing invariants (minimal
+// movement, preference-list continuity, balance, deterministic rebuild).
+
+std::vector<int> MustList(const ConsistentHashRing& ring, Key key, int n) {
+  StatusOr<std::vector<int>> list = ring.PreferenceList(key, n);
+  EXPECT_TRUE(list.ok()) << list.status().message();
+  return list.ok() ? list.value() : std::vector<int>{};
+}
+
+TEST(RingChurnTest, AddMovesKeysOnlyToTheNewNode) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ConsistentHashRing ring(6, 32, seed);
+    std::vector<std::vector<int>> old_lists;
+    for (Key key = 0; key < 400; ++key) {
+      old_lists.push_back(MustList(ring, key, 3));
+    }
+    ASSERT_TRUE(ring.AddNode(6).ok());
+    for (Key key = 0; key < 400; ++key) {
+      const std::vector<int> now = MustList(ring, key, 3);
+      for (int node : now) {
+        const auto& before = old_lists[key];
+        const bool was_there =
+            std::find(before.begin(), before.end(), node) != before.end();
+        // Minimal movement: any replica slot that changed hands moved to
+        // the joining node, never between pre-existing members.
+        if (!was_there) {
+          EXPECT_EQ(node, 6) << "key " << key << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(RingChurnTest, RemoveOnlyAffectsListsContainingTheVictim) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ConsistentHashRing ring(8, 32, seed);
+    const int victim = 3;
+    std::vector<std::vector<int>> old_lists;
+    for (Key key = 0; key < 400; ++key) {
+      old_lists.push_back(MustList(ring, key, 3));
+    }
+    ASSERT_TRUE(ring.RemoveNode(victim).ok());
+    for (Key key = 0; key < 400; ++key) {
+      const auto& before = old_lists[key];
+      const std::vector<int> now = MustList(ring, key, 3);
+      const bool had_victim =
+          std::find(before.begin(), before.end(), victim) != before.end();
+      if (!had_victim) {
+        EXPECT_EQ(now, before) << "key " << key << " seed " << seed;
+      } else {
+        EXPECT_EQ(std::find(now.begin(), now.end(), victim), now.end());
+      }
+    }
+  }
+}
+
+TEST(RingChurnTest, SurvivorsKeepTheirRelativeOrder) {
+  // Preference-list continuity: churn may insert or delete members, but the
+  // clockwise walk never *reorders* the survivors of a list.
+  Rng rng(77);
+  ConsistentHashRing ring(10, 16, /*seed=*/9);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<std::vector<int>> old_lists;
+    for (Key key = 0; key < 200; ++key) {
+      old_lists.push_back(MustList(ring, key, 4));
+    }
+    const bool add = (round % 2 == 0);
+    if (add) {
+      ASSERT_TRUE(ring.AddNode(100 + round).ok());
+    } else {
+      ASSERT_TRUE(ring.RemoveNode(ring.members()[rng.NextBounded(
+                                      ring.members().size())])
+                      .ok());
+    }
+    for (Key key = 0; key < 200; ++key) {
+      const std::vector<int> now = MustList(ring, key, 4);
+      // Project both lists onto the common survivors; projections must be
+      // equal prefixes of one another (the shorter bounds the comparison).
+      std::vector<int> old_common;
+      for (int node : old_lists[key]) {
+        if (std::find(now.begin(), now.end(), node) != now.end()) {
+          old_common.push_back(node);
+        }
+      }
+      std::vector<int> new_common;
+      for (int node : now) {
+        if (std::find(old_lists[key].begin(), old_lists[key].end(), node) !=
+            old_lists[key].end()) {
+          new_common.push_back(node);
+        }
+      }
+      const size_t common = std::min(old_common.size(), new_common.size());
+      for (size_t i = 0; i < common; ++i) {
+        EXPECT_EQ(old_common[i], new_common[i]) << "key " << key;
+      }
+    }
+  }
+}
+
+TEST(RingChurnTest, OwnershipStaysBalancedThroughChurn) {
+  ConsistentHashRing ring(4, 256, /*seed=*/11);
+  ASSERT_TRUE(ring.AddNode(4).ok());
+  ASSERT_TRUE(ring.AddNode(5).ok());
+  ASSERT_TRUE(ring.RemoveNode(0).ok());
+  // 5 members remain; each should own roughly 1/5 of the key space.
+  const StatusOr<std::vector<double>> fractions =
+      ring.OwnershipFractions(100000, /*seed=*/12);
+  ASSERT_TRUE(fractions.ok());
+  double total = 0.0;
+  for (double f : fractions.value()) {
+    EXPECT_NEAR(f, 0.2, 0.08);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RingChurnTest, ChurnedRingMatchesFreshRingFromSameMembers) {
+  // Migration equivalence at the placement layer: any add/remove sequence
+  // ends bit-identical to a fresh ring built from the final membership.
+  Rng rng(123);
+  ConsistentHashRing ring(5, 32, /*seed=*/21);
+  int next_id = 5;
+  for (int round = 0; round < 12; ++round) {
+    if (ring.num_nodes() <= 3 || rng.NextBounded(2) == 0) {
+      ASSERT_TRUE(ring.AddNode(next_id++).ok());
+    } else {
+      const int victim =
+          ring.members()[rng.NextBounded(ring.members().size())];
+      ASSERT_TRUE(ring.RemoveNode(victim).ok());
+    }
+  }
+  const StatusOr<ConsistentHashRing> fresh =
+      ConsistentHashRing::CreateFromMembers(ring.members(),
+                                            ring.vnodes_per_node(),
+                                            ring.seed());
+  ASSERT_TRUE(fresh.ok());
+  for (Key key = 0; key < 500; ++key) {
+    EXPECT_EQ(MustList(ring, key, 3), MustList(fresh.value(), key, 3));
+  }
+}
+
+TEST(RingChurnTest, VersionCountsEveryMembershipChange) {
+  ConsistentHashRing ring(3, 8, /*seed=*/1);
+  EXPECT_EQ(ring.version(), 1u);  // 1-based: 0 means "version never seen"
+  ASSERT_TRUE(ring.AddNode(3).ok());
+  EXPECT_EQ(ring.version(), 2u);
+  ASSERT_TRUE(ring.RemoveNode(0).ok());
+  EXPECT_EQ(ring.version(), 3u);
+  // Failed operations do not bump the version.
+  EXPECT_FALSE(ring.AddNode(3).ok());
+  EXPECT_EQ(ring.version(), 3u);
+}
+
+TEST(RingChurnTest, ErrorPathsAreStatusTypedInEveryBuildMode) {
+  ConsistentHashRing ring(3, 8, /*seed=*/2);
+
+  EXPECT_EQ(ring.AddNode(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ring.AddNode(1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ring.RemoveNode(9).code(), StatusCode::kNotFound);
+
+  // Shrink to one member: removing the last member must fail, and asking
+  // for more replicas than members must return an error (not a short or
+  // garbage list) — this is the Release-build regression the assert-only
+  // validation used to hide.
+  ASSERT_TRUE(ring.RemoveNode(0).ok());
+  ASSERT_TRUE(ring.RemoveNode(1).ok());
+  EXPECT_EQ(ring.RemoveNode(2).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ring.PreferenceList(7, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ring.PreferenceList(7, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<int> out = {42};
+  EXPECT_FALSE(ring.AppendPreferenceList(7, 2, &out).ok());
+  EXPECT_TRUE(out.empty());  // error path clears, never leaves stale routing
+
+  EXPECT_EQ(ConsistentHashRing::Create(0, 8, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ConsistentHashRing::CreateFromMembers({}, 8, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ConsistentHashRing::CreateFromMembers({1, 1}, 8, 1).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ConsistentHashRing::CreateFromMembers({1, -2}, 8, 1).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -14,10 +14,11 @@ TEST(RingTest, PreferenceListSizeAndDistinctness) {
   ConsistentHashRing ring(5, 16, /*seed=*/1);
   for (Key key = 0; key < 200; ++key) {
     const auto list = ring.PreferenceList(key, 3);
-    EXPECT_EQ(list.size(), 3u);
-    const std::set<int> unique(list.begin(), list.end());
+    ASSERT_TRUE(list.ok());
+    EXPECT_EQ(list.value().size(), 3u);
+    const std::set<int> unique(list.value().begin(), list.value().end());
     EXPECT_EQ(unique.size(), 3u);
-    for (int node : list) {
+    for (int node : list.value()) {
       EXPECT_GE(node, 0);
       EXPECT_LT(node, 5);
     }
@@ -27,7 +28,8 @@ TEST(RingTest, PreferenceListSizeAndDistinctness) {
 TEST(RingTest, FullMembershipWhenNEqualsClusterSize) {
   ConsistentHashRing ring(3, 8, /*seed=*/2);
   const auto list = ring.PreferenceList(12345, 3);
-  std::set<int> unique(list.begin(), list.end());
+  ASSERT_TRUE(list.ok());
+  std::set<int> unique(list.value().begin(), list.value().end());
   EXPECT_EQ(unique, (std::set<int>{0, 1, 2}));
 }
 
@@ -35,7 +37,7 @@ TEST(RingTest, DeterministicPlacement) {
   ConsistentHashRing a(5, 16, /*seed=*/3);
   ConsistentHashRing b(5, 16, /*seed=*/3);
   for (Key key = 0; key < 100; ++key) {
-    EXPECT_EQ(a.PreferenceList(key, 3), b.PreferenceList(key, 3));
+    EXPECT_EQ(a.PreferenceList(key, 3).value(), b.PreferenceList(key, 3).value());
   }
 }
 
@@ -43,7 +45,7 @@ TEST(RingTest, DifferentKeysLandOnDifferentPrimaries) {
   ConsistentHashRing ring(10, 32, /*seed=*/4);
   std::set<int> primaries;
   for (Key key = 0; key < 100; ++key) {
-    primaries.insert(ring.PreferenceList(key, 1).front());
+    primaries.insert(ring.PreferenceList(key, 1).value().front());
   }
   EXPECT_GT(primaries.size(), 5u);
 }
@@ -51,8 +53,9 @@ TEST(RingTest, DifferentKeysLandOnDifferentPrimaries) {
 TEST(RingTest, OwnershipRoughlyBalancedWithManyVnodes) {
   ConsistentHashRing ring(4, 256, /*seed=*/5);
   const auto fractions = ring.OwnershipFractions(100000, /*seed=*/6);
+  ASSERT_TRUE(fractions.ok());
   double total = 0.0;
-  for (double f : fractions) {
+  for (double f : fractions.value()) {
     EXPECT_NEAR(f, 0.25, 0.08);
     total += f;
   }

@@ -17,6 +17,7 @@
 #include "dist/primitives.h"
 #include "dist/production.h"
 #include "kvs/experiment.h"
+#include "kvs/rebalance_experiment.h"
 #include "util/parallel.h"
 
 namespace pbs {
@@ -200,6 +201,38 @@ TEST(ParallelDeterminismTest, ChaosTrialsFaultFreeBaselineInvariant) {
   const kvs::ChaosCampaignResult parallel =
       kvs::RunChaosTrials(options, Exec(8));
   EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelDeterminismTest, RebalanceTrialsInvariant) {
+  // Elastic-membership campaigns: every trial runs concurrent join +
+  // removal under load — ring rebuilds, migration streams, union routing,
+  // per-shard staleness attribution. All of it must be bitwise identical
+  // at 1 vs N threads, down to the per-phase probe counters, the merged
+  // metrics JSONL, and the zero-lost-acked-writes tally.
+  kvs::RebalanceTrialOptions options;
+  options.trials = 3;
+  options.seed = 515;
+  options.run.cluster.quorum = {3, 2, 2};
+  options.run.cluster.legs = LnkdSsd();
+  options.run.cluster.num_storage_nodes = 8;
+  options.run.cluster.vnodes_per_node = 16;
+  options.run.cluster.request_timeout_ms = 200.0;
+  options.run.keys = 32;
+  options.run.writes = 160;
+  options.run.write_spacing_ms = 5.0;
+  options.run.join_nodes = 1;
+  options.run.remove_nodes = 1;
+
+  const kvs::RebalanceCampaignResult serial =
+      kvs::RunRebalanceTrials(options, Exec(1));
+  ASSERT_EQ(serial.trials.size(), 3u);
+  EXPECT_EQ(serial.lost_acked_writes, 0);
+  EXPECT_GT(serial.before.reads, 0);
+  for (int threads : {4, 8}) {
+    const kvs::RebalanceCampaignResult parallel =
+        kvs::RunRebalanceTrials(options, Exec(threads));
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
 }
 
 TEST(ParallelDeterminismTest, DefaultThreadsMatchesSerial) {
