@@ -17,6 +17,7 @@
 // Usage: chaos [--trials=small|full] [--out-dir=DIR] [--threads=N]
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -185,28 +186,28 @@ void WriteJson(const std::filesystem::path& path, const std::string& mode,
     std::fprintf(
         f,
         "    {\"scenario\": \"%s\", \"hedged\": %s, "
-        "\"reads\": %lld, \"reads_failed\": %lld, "
+        "\"reads\": %" PRId64 ", \"reads_failed\": %" PRId64 ", "
         "\"read_p50_ms\": %.6f, \"read_p99_ms\": %.6f, "
         "\"read_p999_ms\": %.6f, \"read_max_ms\": %.6f, "
-        "\"hedges_sent\": %lld, \"hedges_won\": %lld, "
-        "\"dup_responses_suppressed\": %lld, \"dup_acks_suppressed\": %lld, "
-        "\"read_retries\": %lld, \"deadline_misses\": %lld, "
-        "\"monotonic_violations\": %lld, \"dropped\": %lld, "
-        "\"duplicated\": %lld, \"fault_activations\": %lld, "
+        "\"hedges_sent\": %" PRId64 ", \"hedges_won\": %" PRId64 ", "
+        "\"dup_responses_suppressed\": %" PRId64 ", \"dup_acks_suppressed\": %" PRId64 ", "
+        "\"read_retries\": %" PRId64 ", \"deadline_misses\": %" PRId64 ", "
+        "\"monotonic_violations\": %" PRId64 ", \"dropped\": %" PRId64 ", "
+        "\"duplicated\": %" PRId64 ", \"fault_activations\": %" PRId64 ", "
         "\"p_consistent_1ms\": %.6f, \"p_consistent_50ms\": %.6f}%s\n",
         rows[i].scenario.c_str(), rows[i].hedged ? "true" : "false",
-        static_cast<long long>(s.reads_started),
-        static_cast<long long>(s.reads_failed), s.read_p50, s.read_p99,
-        s.read_p999, s.read_max, static_cast<long long>(s.hedged_reads_sent),
-        static_cast<long long>(s.hedged_reads_won),
-        static_cast<long long>(s.duplicate_responses_suppressed),
-        static_cast<long long>(s.duplicate_acks_suppressed),
-        static_cast<long long>(s.client_read_retries),
-        static_cast<long long>(s.client_deadline_misses),
-        static_cast<long long>(s.monotonic_read_violations),
-        static_cast<long long>(s.messages_dropped),
-        static_cast<long long>(s.messages_duplicated),
-        static_cast<long long>(s.fault_activations),
+        s.reads_started,
+        s.reads_failed, s.read_p50, s.read_p99,
+        s.read_p999, s.read_max, s.hedged_reads_sent,
+        s.hedged_reads_won,
+        s.duplicate_responses_suppressed,
+        s.duplicate_acks_suppressed,
+        s.client_read_retries,
+        s.client_deadline_misses,
+        s.monotonic_read_violations,
+        s.messages_dropped,
+        s.messages_duplicated,
+        s.fault_activations,
         s.ProbConsistentAtIndex(0), s.ProbConsistentAtIndex(2),
         i + 1 < rows.size() ? "," : "");
   }
@@ -228,16 +229,16 @@ void WriteCsv(const std::filesystem::path& path,
                "p_consistent_1ms,p_consistent_50ms\n");
   for (const ScenarioRow& row : rows) {
     const kvs::ChaosSummary& s = row.summary;
-    std::fprintf(f, "%s,%d,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%lld,%lld,%lld,"
-                    "%lld,%.6f,%.6f\n",
+    std::fprintf(f, "%s,%d,%" PRId64 ",%" PRId64 ",%.6f,%.6f,%.6f,%.6f,%" PRId64 ",%" PRId64 ",%" PRId64 ","
+                    "%" PRId64 ",%.6f,%.6f\n",
                  row.scenario.c_str(), row.hedged ? 1 : 0,
-                 static_cast<long long>(s.reads_started),
-                 static_cast<long long>(s.reads_failed), s.read_p50,
+                 s.reads_started,
+                 s.reads_failed, s.read_p50,
                  s.read_p99, s.read_p999, s.read_max,
-                 static_cast<long long>(s.hedged_reads_sent),
-                 static_cast<long long>(s.hedged_reads_won),
-                 static_cast<long long>(s.duplicate_responses_suppressed),
-                 static_cast<long long>(s.monotonic_read_violations),
+                 s.hedged_reads_sent,
+                 s.hedged_reads_won,
+                 s.duplicate_responses_suppressed,
+                 s.monotonic_read_violations,
                  s.ProbConsistentAtIndex(0), s.ProbConsistentAtIndex(2));
   }
   std::fclose(f);
@@ -270,7 +271,7 @@ void WriteTraceArtifacts(const std::filesystem::path& dir, int writes) {
 
   const std::string audit = obs::StalenessAuditJsonl(run.trace,
                                                      /*stale_only=*/true);
-  const long long stale_lines =
+  const int64_t stale_lines =
       std::count(audit.begin(), audit.end(), '\n');
   std::ofstream(dir / "BENCH_chaos_trace.json")
       << obs::ChromeTraceJson(run.trace);
@@ -278,7 +279,7 @@ void WriteTraceArtifacts(const std::filesystem::path& dir, int writes) {
   std::ofstream metrics_out(dir / "BENCH_chaos_metrics.jsonl");
   obs::WriteMetricsJsonl(run.registry, metrics_out);
   std::printf(
-      "traced partial-quorum run: %zu trace events, %lld stale reads "
+      "traced partial-quorum run: %zu trace events, %" PRId64 " stale reads "
       "explained -> BENCH_chaos_{trace.json,audit.jsonl,metrics.jsonl}\n",
       run.trace.size(), stale_lines);
 }
@@ -374,15 +375,13 @@ int Main(int argc, char** argv) {
       row.scenario = scenario.name;
       row.hedged = hedged;
       row.summary = RunScenario(scenario, hedged, trials, writes, exec);
-      std::printf("%-22s %-6s %10.3f %10.3f %10.3f %8lld %8lld %6lld\n",
+      std::printf("%-22s %-6s %10.3f %10.3f %10.3f %8" PRId64 " %8" PRId64 " %6" PRId64 "\n",
                   row.scenario.c_str(), hedged ? "on" : "off",
                   row.summary.read_p50, row.summary.read_p99,
                   row.summary.read_p999,
-                  static_cast<long long>(row.summary.hedged_reads_won),
-                  static_cast<long long>(
-                      row.summary.duplicate_responses_suppressed),
-                  static_cast<long long>(
-                      row.summary.monotonic_read_violations));
+                  row.summary.hedged_reads_won,
+                  row.summary.duplicate_responses_suppressed,
+                  row.summary.monotonic_read_violations);
       std::fflush(stdout);
       rows.push_back(std::move(row));
     }
@@ -403,10 +402,9 @@ int Main(int argc, char** argv) {
   double slow_off_p999 = 0.0, slow_on_p999 = 0.0;
   for (const ScenarioRow& row : rows) {
     if (row.summary.monotonic_read_violations != 0) {
-      std::printf("CHECK FAIL: %s hedged=%d saw %lld monotonic violations\n",
+      std::printf("CHECK FAIL: %s hedged=%d saw %" PRId64 " monotonic violations\n",
                   row.scenario.c_str(), row.hedged ? 1 : 0,
-                  static_cast<long long>(
-                      row.summary.monotonic_read_violations));
+                  row.summary.monotonic_read_violations);
       ++failures;
     }
     if (row.scenario == "slow_replica_10x") {

@@ -15,11 +15,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,6 +32,7 @@
 #include "dist/production.h"
 #include "dist/sampler.h"
 #include "kvs/experiment.h"
+#include "kvs/hotpath.h"
 #include "obs/registry.h"
 #include "sim/simulator.h"
 #include "util/parallel.h"
@@ -58,14 +61,24 @@ double Now() {
       .count();
 }
 
-/// Runs `body(items)` once after a small warmup, timing the main run.
+// Timed repetitions per benchmark; the reported time is the minimum.
+// Shared-runner noise is multiplicative (preemption, frequency scaling),
+// so min-of-N is a far stabler cost estimate than any single run — the
+// bench-regress gate depends on that stability. Small mode keeps one
+// repetition; its numbers are smoke-only.
+int g_timed_repeats = 3;
+
+/// Runs `body(items)` after a small warmup; times the best repetition.
 BenchResult RunBench(const std::string& name, const std::string& unit,
                      int64_t items,
                      const std::function<void(int64_t)>& body) {
   body(items / 16 + 1);  // warmup: touch code + data once
-  const double start = Now();
-  body(items);
-  const double seconds = Now() - start;
+  double seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < g_timed_repeats; ++rep) {
+    const double start = Now();
+    body(items);
+    seconds = std::min(seconds, Now() - start);
+  }
   BenchResult result{name, unit, items, seconds};
   std::printf("%-34s %12.3e %s/s  (%8.2f ns/%s, %.3f s)\n", name.c_str(),
               result.ItemsPerSecond(), unit.c_str(), result.NsPerItem(),
@@ -150,25 +163,50 @@ BenchResult BenchWarsObserved(const std::string& name,
   });
 }
 
+// Self-rescheduling tick as a 16-byte POD callable: it moves into the
+// EventCallback's (UniqueFunction) inline buffer, so each reschedule is
+// allocation-free. The previous std::function version paid a heap-backed
+// copy of the std::function into the UniqueFunction wrapper per event, so
+// this benchmark measures the event queue — not the wrapper.
+struct ChurnTick {
+  Simulator* sim;
+  int64_t* remaining;
+  void operator()() const {
+    if (--*remaining > 0) sim->Schedule(1.0, ChurnTick{sim, remaining});
+  }
+};
+
 BenchResult BenchEventChurn(int64_t events) {
   // Schedule/fire cost of the discrete-event core: a self-rescheduling tick
-  // plus a fan of same-time events exercising the FIFO tie path.
+  // exercising the pop/push steady state.
   return RunBench("sim_event_churn", "event", events, [&](int64_t n) {
     Simulator sim;
     int64_t remaining = n;
-    std::function<void()> tick = [&]() {
-      if (--remaining > 0) sim.Schedule(1.0, tick);
-    };
-    sim.Schedule(1.0, tick);
+    sim.Schedule(1.0, ChurnTick{&sim, &remaining});
     sim.Run();
     g_sink = static_cast<double>(sim.events_processed());
   });
 }
 
-BenchResult BenchKvs(int64_t ops) {
-  // End-to-end cost per operation in the event-driven KVS (one op = one
-  // write or one read; each write issues one read at +1 ms).
+BenchResult BenchKvsHotPath(int64_t ops) {
+  // Headline: the compiled quorum hot path (kvs/hotpath.h) — the
+  // pass-structured, sharded engine. One op = one committed write or one
+  // probe read, same WARS legs and quorum as kvs_cluster_ops_legacy below.
   return RunBench("kvs_cluster_ops", "op", ops, [&](int64_t n) {
+    kvs::HotPathOptions options;
+    options.num_streams = 128;
+    options.writes_per_stream =
+        std::max<int64_t>(1, n / (2 * options.num_streams));
+    const kvs::HotPathResult result = kvs::RunHotPath(options);
+    g_sink = result.consistency();
+  });
+}
+
+BenchResult BenchKvsLegacy(int64_t ops) {
+  // End-to-end cost per operation in the general per-message KVS engine
+  // (one op = one write or one read; each write issues one read at +1 ms).
+  // Kept as the baseline the hot path is measured against.
+  return RunBench("kvs_cluster_ops_legacy", "op", ops, [&](int64_t n) {
     kvs::StalenessExperimentOptions options;
     options.cluster.quorum = {3, 1, 1};
     options.cluster.legs = LnkdSsd();
@@ -194,11 +232,11 @@ void WriteJson(const std::filesystem::path& path, const std::string& mode,
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"unit\": \"%s\", \"items\": %lld, "
+                 "    {\"name\": \"%s\", \"unit\": \"%s\", \"items\": %" PRId64 ", "
                  "\"seconds\": %.6f, \"items_per_second\": %.6e, "
                  "\"ns_per_item\": %.3f}%s\n",
                  r.name.c_str(), r.unit.c_str(),
-                 static_cast<long long>(r.items), r.seconds,
+                 r.items, r.seconds,
                  r.ItemsPerSecond(), r.NsPerItem(),
                  i + 1 < results.size() ? "," : "");
   }
@@ -215,8 +253,8 @@ void WriteCsv(const std::filesystem::path& path,
   }
   std::fprintf(f, "name,unit,items,seconds,items_per_second,ns_per_item\n");
   for (const BenchResult& r : results) {
-    std::fprintf(f, "%s,%s,%lld,%.6f,%.6e,%.3f\n", r.name.c_str(),
-                 r.unit.c_str(), static_cast<long long>(r.items), r.seconds,
+    std::fprintf(f, "%s,%s,%" PRId64 ",%.6f,%.6e,%.3f\n", r.name.c_str(),
+                 r.unit.c_str(), r.items, r.seconds,
                  r.ItemsPerSecond(), r.NsPerItem());
   }
   std::fclose(f);
@@ -239,12 +277,17 @@ int Main(int argc, char** argv) {
       return 2;
     }
   }
+  g_timed_repeats = small ? 1 : 3;
   // Budgets: full-mode counts keep each benchmark >= ~0.2 s on a ~3 GHz
   // core; small mode divides by ~100 for CI smoke runs.
   const int64_t kSamples = small ? 1 << 16 : 1 << 23;
   const int64_t kTrials = small ? 10000 : 1000000;
   const int64_t kEvents = small ? 20000 : 2000000;
-  const int64_t kOps = small ? 200 : 20000;
+  // Full-mode legacy run is sized for ~0.5s of work: at ~2.7 us/op a 20k-op
+  // run finishes in ~50 ms, which is inside this box's timer noise and made
+  // the bench-regress gate flap.
+  const int64_t kOps = small ? 200 : 200000;
+  const int64_t kHotOps = small ? 1 << 17 : 1 << 24;
 
   std::printf("micro_perf (%s mode)\n", small ? "small" : "full");
   std::vector<BenchResult> results;
@@ -312,7 +355,21 @@ int Main(int argc, char** argv) {
 
   // Discrete-event simulator and end-to-end KVS.
   results.push_back(BenchEventChurn(kEvents));
-  results.push_back(BenchKvs(kOps));
+  const BenchResult kvs_hot = BenchKvsHotPath(kHotOps);
+  results.push_back(kvs_hot);
+  results.push_back(BenchKvsLegacy(kOps));
+
+  // Throughput gate: the compiled hot path must sustain >= 5M simulated
+  // ops/s in full mode (the "close the 70x gap" target; the legacy
+  // per-message engine runs ~100 Kops/s on the same hardware).
+  bool hotpath_ok = true;
+  if (!small && kvs_hot.ItemsPerSecond() < 5e6) {
+    std::fprintf(stderr,
+                 "FAIL: kvs_cluster_ops %.3e ops/s is below the 5e6 ops/s "
+                 "gate\n",
+                 kvs_hot.ItemsPerSecond());
+    hotpath_ok = false;
+  }
 
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
@@ -320,7 +377,7 @@ int Main(int argc, char** argv) {
   WriteJson(dir / "BENCH_micro_perf.json", small ? "small" : "full", results);
   WriteCsv(dir / "BENCH_micro_perf.csv", results);
   std::printf("wrote %s/BENCH_micro_perf.{json,csv}\n", out_dir.c_str());
-  return overhead_ok ? 0 : 1;
+  return overhead_ok && hotpath_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 //
 // Usage: rebalance [--trials=small|full] [--out-dir=DIR] [--threads=N]
 
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -108,23 +109,23 @@ void WriteJson(const std::filesystem::path& path, const std::string& mode,
     std::fprintf(
         f,
         "    {\"scenario\": \"%s\", \"join\": %d, \"remove\": %d, "
-        "\"trials\": %zu, \"writes_acked\": %lld, "
-        "\"lost_acked_writes\": %lld, "
+        "\"trials\": %zu, \"writes_acked\": %" PRId64 ", "
+        "\"lost_acked_writes\": %" PRId64 ", "
         "\"stale_before\": %.6f, \"stale_during\": %.6f, "
         "\"stale_after\": %.6f, "
-        "\"version_lag_during\": %lld, "
+        "\"version_lag_during\": %" PRId64 ", "
         "\"moved_fraction\": %.6f, \"theoretical_min_fraction\": %.6f, "
-        "\"transfers_delivered\": %lld, \"transfers_dropped\": %lld, "
-        "\"stale_routes_forwarded\": %lld, \"shards_observed\": %zu}%s\n",
+        "\"transfers_delivered\": %" PRId64 ", \"transfers_dropped\": %" PRId64 ", "
+        "\"stale_routes_forwarded\": %" PRId64 ", \"shards_observed\": %zu}%s\n",
         row.scenario.c_str(), row.join_nodes, row.remove_nodes,
-        c.trials.size(), static_cast<long long>(row.writes_acked),
-        static_cast<long long>(c.lost_acked_writes),
+        c.trials.size(), row.writes_acked,
+        c.lost_acked_writes,
         c.before.StaleFraction(), c.during.StaleFraction(),
-        c.after.StaleFraction(), static_cast<long long>(c.during.version_lag),
+        c.after.StaleFraction(), c.during.version_lag,
         row.moved_fraction, row.theoretical_min_fraction,
-        static_cast<long long>(row.transfers_delivered),
-        static_cast<long long>(row.transfers_dropped),
-        static_cast<long long>(row.stale_routes),
+        row.transfers_delivered,
+        row.transfers_dropped,
+        row.stale_routes,
         row.per_shard.size(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -145,18 +146,18 @@ void WriteCsv(const std::filesystem::path& path,
                "transfers_dropped,stale_routes_forwarded\n");
   for (const ScenarioRow& row : rows) {
     const kvs::RebalanceCampaignResult& c = row.campaign;
-    std::fprintf(f, "%s,%d,%d,%zu,%lld,%lld,%.6f,%.6f,%.6f,%lld,%.6f,%.6f,"
-                    "%lld,%lld,%lld\n",
+    std::fprintf(f, "%s,%d,%d,%zu,%" PRId64 ",%" PRId64 ",%.6f,%.6f,%.6f,%" PRId64 ",%.6f,%.6f,"
+                    "%" PRId64 ",%" PRId64 ",%" PRId64 "\n",
                  row.scenario.c_str(), row.join_nodes, row.remove_nodes,
-                 c.trials.size(), static_cast<long long>(row.writes_acked),
-                 static_cast<long long>(c.lost_acked_writes),
+                 c.trials.size(), row.writes_acked,
+                 c.lost_acked_writes,
                  c.before.StaleFraction(), c.during.StaleFraction(),
                  c.after.StaleFraction(),
-                 static_cast<long long>(c.during.version_lag),
+                 c.during.version_lag,
                  row.moved_fraction, row.theoretical_min_fraction,
-                 static_cast<long long>(row.transfers_delivered),
-                 static_cast<long long>(row.transfers_dropped),
-                 static_cast<long long>(row.stale_routes));
+                 row.transfers_delivered,
+                 row.transfers_dropped,
+                 row.stale_routes);
   }
   std::fclose(f);
 }
@@ -171,10 +172,10 @@ void WriteShardCsv(const std::filesystem::path& path,
   std::fprintf(f, "scenario,shard,reads,stale_reads,version_lag\n");
   for (const ScenarioRow& row : rows) {
     for (const auto& [shard, stats] : row.per_shard) {
-      std::fprintf(f, "%s,%d,%lld,%lld,%lld\n", row.scenario.c_str(), shard,
-                   static_cast<long long>(stats.reads),
-                   static_cast<long long>(stats.stale_reads),
-                   static_cast<long long>(stats.version_lag));
+      std::fprintf(f, "%s,%d,%" PRId64 ",%" PRId64 ",%" PRId64 "\n", row.scenario.c_str(), shard,
+                   stats.reads,
+                   stats.stale_reads,
+                   stats.version_lag);
     }
   }
   std::fclose(f);
@@ -223,10 +224,10 @@ int Main(int argc, char** argv) {
     ScenarioRow row = RunScenario(spec.name, spec.join, spec.remove, trials,
                                   writes, keys, exec);
     const kvs::RebalanceCampaignResult& c = row.campaign;
-    std::printf("%-18s %5d %5d %8lld %6lld %9.4f %9.4f %9.4f %8.4f %8.4f\n",
+    std::printf("%-18s %5d %5d %8" PRId64 " %6" PRId64 " %9.4f %9.4f %9.4f %8.4f %8.4f\n",
                 row.scenario.c_str(), row.join_nodes, row.remove_nodes,
-                static_cast<long long>(row.writes_acked),
-                static_cast<long long>(c.lost_acked_writes),
+                row.writes_acked,
+                c.lost_acked_writes,
                 c.before.StaleFraction(), c.during.StaleFraction(),
                 c.after.StaleFraction(), row.moved_fraction,
                 row.theoretical_min_fraction);
@@ -247,9 +248,9 @@ int Main(int argc, char** argv) {
   int failures = 0;
   for (const ScenarioRow& row : rows) {
     if (row.campaign.lost_acked_writes != 0) {
-      std::printf("CHECK FAIL: %s lost %lld acknowledged writes\n",
+      std::printf("CHECK FAIL: %s lost %" PRId64 " acknowledged writes\n",
                   row.scenario.c_str(),
-                  static_cast<long long>(row.campaign.lost_acked_writes));
+                  row.campaign.lost_acked_writes);
       ++failures;
     }
     for (size_t t = 0; t < row.campaign.trials.size(); ++t) {
@@ -269,11 +270,11 @@ int Main(int argc, char** argv) {
         ++failures;
       }
       if (trial.rebalances_completed != trial.rebalances_started) {
-        std::printf("CHECK FAIL: %s trial %zu: %lld rebalances started, "
-                    "%lld completed\n",
+        std::printf("CHECK FAIL: %s trial %zu: %" PRId64 " rebalances started, "
+                    "%" PRId64 " completed\n",
                     row.scenario.c_str(), t,
-                    static_cast<long long>(trial.rebalances_started),
-                    static_cast<long long>(trial.rebalances_completed));
+                    trial.rebalances_started,
+                    trial.rebalances_completed);
         ++failures;
       }
     }

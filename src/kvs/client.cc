@@ -103,7 +103,7 @@ void ClientSession::StartWriteAttempt(Key key, VersionedValue value,
                       .t_end = now + delay,
                       .a = attempt});
                 }
-                cluster_->sim().Schedule(
+                (void)cluster_->sim().ScheduleTimer(
                     delay, [this, key, value = std::move(value),
                             done = std::move(done), attempt, op_start,
                             trace_id]() mutable {
@@ -235,7 +235,7 @@ void ClientSession::StartReadAttempt(Key key, ReadCallback done, int attempt,
                       .t_end = now + delay,
                       .a = attempt});
                 }
-                cluster_->sim().Schedule(
+                (void)cluster_->sim().ScheduleTimer(
                     delay,
                     [this, key, done = std::move(done), attempt, op_start,
                      trace_id]() mutable {

@@ -84,20 +84,28 @@ std::vector<NodeId> Cluster::ReplicasFor(Key key) const {
 }
 
 std::vector<NodeId> Cluster::RoutingReplicasFor(Key key) const {
-  std::vector<NodeId> out = ReplicasFor(key);
-  if (previous_rings_.empty()) return out;
-  std::vector<int> prev;
+  std::vector<NodeId> out;
+  RoutingReplicasForInto(key, &out);
+  return out;
+}
+
+void Cluster::RoutingReplicasForInto(Key key, std::vector<NodeId>* out) const {
+  const Status current = ring_.AppendPreferenceList(key, config_.quorum.n, out);
+  assert(current.ok());
+  if (!current.ok()) out->clear();
+  if (previous_rings_.empty()) return;
   for (const ConsistentHashRing& old_ring : previous_rings_) {
-    if (!old_ring.AppendPreferenceList(key, config_.quorum.n, &prev).ok()) {
+    if (!old_ring.AppendPreferenceList(key, config_.quorum.n,
+                                       &routing_scratch_)
+             .ok()) {
       continue;
     }
-    for (int node : prev) {
-      if (std::find(out.begin(), out.end(), node) == out.end()) {
-        out.push_back(node);
+    for (int node : routing_scratch_) {
+      if (std::find(out->begin(), out->end(), node) == out->end()) {
+        out->push_back(node);
       }
     }
   }
-  return out;
 }
 
 StatusOr<NodeId> Cluster::AddStorageNode() {
@@ -192,13 +200,19 @@ int64_t Cluster::LatestSequenceFor(Key key) const {
 }
 
 std::vector<NodeId> Cluster::ExtendedReplicasFor(Key key) const {
+  std::vector<NodeId> out;
+  ExtendedReplicasForInto(key, &out);
+  return out;
+}
+
+void Cluster::ExtendedReplicasForInto(Key key,
+                                      std::vector<NodeId>* out) const {
   const int extended =
       std::min(ring_.num_nodes(),
                config_.quorum.n + std::max(0, config_.sloppy_extra));
-  StatusOr<std::vector<int>> list = ring_.PreferenceList(key, extended);
-  assert(list.ok());
-  if (!list.ok()) return {};
-  return std::move(list.value());
+  const Status status = ring_.AppendPreferenceList(key, extended, out);
+  assert(status.ok());
+  if (!status.ok()) out->clear();
 }
 
 Status Cluster::UpdateQuorum(int r, int w) {

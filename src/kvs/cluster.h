@@ -17,6 +17,7 @@
 #include "kvs/profiler.h"
 #include "kvs/rates.h"
 #include "kvs/ring.h"
+#include "kvs/version_arena.h"
 #include "obs/options.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -196,6 +197,19 @@ class Cluster {
   /// sets, and a read quorum over the union must intersect it.
   std::vector<NodeId> RoutingReplicasFor(Key key) const;
 
+  /// Allocation-free variants of the replica-list queries: `out` is cleared
+  /// and refilled, so a caller that reuses the same vector (the coordinator
+  /// hot path keeps one per pooled operation slot) pays no allocation once
+  /// its capacity has warmed up.
+  void RoutingReplicasForInto(Key key, std::vector<NodeId>* out) const;
+  void ExtendedReplicasForInto(Key key, std::vector<NodeId>* out) const;
+
+  /// Pooled payload slots shared by every coordinator on this cluster: write
+  /// fan-out, read responses and read repair carry VersionRef handles
+  /// through their message closures instead of copying VersionedValue into
+  /// each capture. See kvs/version_arena.h for the lifetime rules.
+  VersionArena& version_arena() { return version_arena_; }
+
   // -- Elastic membership (ROADMAP item 1) ----------------------------------
 
   /// Adds a brand-new storage node to the ring and starts a background
@@ -333,6 +347,10 @@ class Cluster {
   LateReadHook late_read_hook_;
   LegProfiler* leg_profiler_ = nullptr;
   uint64_t next_request_id_ = 1;
+  VersionArena version_arena_;
+  // Scratch for RoutingReplicasForInto's previous-ring walk; mutable because
+  // the query is logically const and the simulation is single-threaded.
+  mutable std::vector<int> routing_scratch_;
   std::unordered_map<Key, int64_t> sequence_counters_;
   std::unordered_map<Key, RateEstimator> write_rates_;
   Rng anti_entropy_rng_;

@@ -56,7 +56,10 @@ void FailureDetector::Tick() {
               [self, node]() { self->OnPong(node); });
         });
   }
-  cluster_->sim().Schedule(ping_interval_ms_, [this]() { Tick(); });
+  // Heartbeats ride the timer wheel with every other periodic timer; the
+  // shared sequence counter keeps firing order identical to Schedule().
+  (void)cluster_->sim().ScheduleTimer(ping_interval_ms_,
+                                      [this]() { Tick(); });
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,408 @@
+#include "kvs/hotpath.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "dist/sampler.h"
+#include "kvs/ring.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+constexpr int kMaxN = 8;      // replica fan-out cap (fixed per-stream arrays)
+constexpr int kLogSize = 8;   // apply-log ring entries per (stream, replica)
+constexpr int kBatch = 4096;  // leg samples drawn per refill
+
+// -- Event plumbing ---------------------------------------------------------
+//
+// Two event kinds per operation pair: kTick issues a write (and samples its
+// probe read), kResolve retires the probe. Events order by (time, sequence)
+// with a per-shard sequence counter, matching the simulator's FIFO
+// tie-break.
+
+enum Kind : uint32_t { kTick = 0, kResolve = 1 };
+
+struct Event {
+  double time;
+  uint32_t seq;
+  uint32_t packed;  // kind in the low 4 bits, local stream index above
+};
+
+constexpr uint32_t Pack(Kind kind, uint32_t stream) {
+  return static_cast<uint32_t>(kind) | (stream << 4);
+}
+
+/// 4-ary implicit min-heap over (time, seq) — flatter than binary, so the
+/// pop path touches ~half the cache lines. Capacity is reserved at setup;
+/// steady state never allocates.
+class EventHeap {
+ public:
+  void Reserve(size_t n) { heap_.reserve(n); }
+  bool empty() const { return heap_.empty(); }
+  const Event& Top() const { return heap_[0]; }
+
+  void Push(double time, uint32_t seq, uint32_t packed) {
+    heap_.push_back(Event{time, seq, packed});
+    size_t i = heap_.size() - 1;
+    const Event e = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) >> 2;
+      if (Less(heap_[parent], e)) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  Event Pop() {
+    const Event top = heap_[0];
+    const Event last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      size_t i = 0;
+      const size_t n = heap_.size();
+      for (;;) {
+        const size_t child = (i << 2) + 1;
+        if (child >= n) break;
+        size_t best = child;
+        const size_t end = std::min(child + 4, n);
+        for (size_t j = child + 1; j < end; ++j) {
+          if (Less(heap_[j], heap_[best])) best = j;
+        }
+        if (!Less(heap_[best], last)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+ private:
+  static bool Less(const Event& a, const Event& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  std::vector<Event> heap_;
+};
+
+/// Batched leg sampler: refills kBatch draws at a time through the
+/// devirtualized CompiledSampler kernels instead of one virtual call per
+/// message leg.
+struct LegBuffer {
+  const CompiledSampler* sampler = nullptr;
+  std::vector<double> buf;
+  size_t pos = 0;
+
+  void Init(const CompiledSampler* s) {
+    sampler = s;
+    buf.resize(kBatch);
+    pos = buf.size();
+  }
+
+  double Draw(Rng& rng) {
+    if (pos == buf.size()) {
+      sampler->SampleBatch(rng, buf.data(), static_cast<int>(buf.size()));
+      pos = 0;
+    }
+    return buf[pos++];
+  }
+};
+
+/// Per-(stream, replica) apply log: the pending (apply time, sequence)
+/// entries not yet folded into `base`. The probe read resolves "what had
+/// this replica applied at snapshot time t" retroactively against this ring
+/// — the trick that removes per-message replica events entirely.
+struct ApplyLog {
+  double t[kLogSize];
+  int64_t q[kLogSize];
+  int64_t base = 0;  // max sequence known applied before every t[] entry
+  int n = 0;
+};
+
+struct Stream {
+  uint32_t gid = 0;  // global stream id (shard-layout independent)
+  int64_t write_idx = 0;
+  int64_t writes_left = 0;
+  double read_start = 0.0;
+  double snap_time[kMaxN];
+  double resp_arr[kMaxN];
+  ApplyLog log[kMaxN];
+};
+
+/// One logical shard of the event loop: its own heap, sequence counter,
+/// RNG sub-stream, sample buffers, and the streams the ring assigned to it.
+/// Shards share nothing mutable, which is what makes the conservative
+/// barrier synchronization below trivially correct and the whole run
+/// bitwise independent of the thread count.
+struct Shard {
+  EventHeap heap;
+  uint32_t seq = 0;
+  Rng rng{1};
+  LegBuffer leg_w, leg_a, leg_r, leg_s;
+  std::vector<Stream> streams;
+
+  int64_t writes_started = 0;
+  int64_t writes_committed = 0;
+  int64_t writes_timed_out = 0;
+  int64_t reads = 0;
+  int64_t consistent_reads = 0;
+  int64_t events = 0;
+  double write_latency_sum = 0.0;
+  double read_latency_sum = 0.0;
+  uint64_t digest = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+};
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ull;  // FNV-1a prime
+  return h;
+}
+
+uint64_t Bits(double d) { return std::bit_cast<uint64_t>(d); }
+
+/// Folds every apply-log entry with apply time <= `now` into `base`, then —
+/// if the ring is still full — conservatively folds the oldest pending
+/// entry (a write whose apply time is in the future gets treated as
+/// applied; with kLogSize=8 and closed-loop spacing this is vanishingly
+/// rare and biases *toward* consistency by at most one probe).
+void CompactLog(ApplyLog& log, double now) {
+  int kept = 0;
+  for (int j = 0; j < log.n; ++j) {
+    if (log.t[j] <= now) {
+      if (log.q[j] > log.base) log.base = log.q[j];
+    } else {
+      log.t[kept] = log.t[j];
+      log.q[kept] = log.q[j];
+      ++kept;
+    }
+  }
+  log.n = kept;
+  if (log.n == kLogSize) {
+    if (log.q[0] > log.base) log.base = log.q[0];
+    for (int j = 1; j < log.n; ++j) {
+      log.t[j - 1] = log.t[j];
+      log.q[j - 1] = log.q[j];
+    }
+    --log.n;
+  }
+}
+
+/// kTick pass: issue stream's next write — sample all N (W, A) legs at
+/// once, commit at the W-th smallest round trip, and when the write
+/// commits, sample the probe read's N (R, S) legs and schedule its resolve.
+void TickPass(Shard& shard, Stream& st, double now,
+              const HotPathOptions& options, uint32_t local) {
+  ++shard.writes_started;
+  ++st.write_idx;
+
+  double ack[kMaxN];
+  for (int i = 0; i < options.n; ++i) {
+    const double wd = shard.leg_w.Draw(shard.rng);
+    const double ad = shard.leg_a.Draw(shard.rng);
+    ApplyLog& log = st.log[i];
+    if (log.n == kLogSize) CompactLog(log, now);
+    log.t[log.n] = now + wd;
+    log.q[log.n] = st.write_idx;
+    ++log.n;
+    ack[i] = wd + ad;
+  }
+  // W-th smallest acknowledgment round trip = commit latency.
+  double sorted[kMaxN];
+  std::copy(ack, ack + options.n, sorted);
+  std::sort(sorted, sorted + options.n);
+  const double commit_delta = sorted[options.w - 1];
+
+  double resolve_time = -1.0;
+  if (commit_delta <= options.timeout_ms) {
+    ++shard.writes_committed;
+    shard.write_latency_sum += commit_delta;
+    st.read_start = now + commit_delta + options.read_offset_ms;
+    for (int i = 0; i < options.n; ++i) {
+      const double rd = shard.leg_r.Draw(shard.rng);
+      const double sd = shard.leg_s.Draw(shard.rng);
+      st.snap_time[i] = st.read_start + rd;  // replica snapshot instant
+      st.resp_arr[i] = rd + sd;
+      sorted[i] = rd + sd;
+    }
+    std::sort(sorted, sorted + options.n);
+    resolve_time = st.read_start + sorted[options.r - 1];
+    shard.heap.Push(resolve_time, shard.seq++, Pack(kResolve, local));
+  } else {
+    ++shard.writes_timed_out;
+  }
+
+  if (--st.writes_left > 0) {
+    // Closed-loop pacing: fixed spacing, but never lap an unresolved probe
+    // (its per-stream snapshot state is single-buffered).
+    double next = now + options.write_spacing_ms;
+    if (resolve_time > next) next = resolve_time;
+    shard.heap.Push(next, shard.seq++, Pack(kTick, local));
+  }
+  shard.digest = Mix(shard.digest, Pack(kTick, st.gid));
+  shard.digest = Mix(shard.digest, Bits(now));
+  shard.digest = Mix(shard.digest, Bits(commit_delta));
+}
+
+/// kResolve pass: the probe read returns. Its answer is the freshest
+/// version among the R fastest responders, each resolved retroactively
+/// against that replica's apply log at the replica's snapshot instant.
+void ResolvePass(Shard& shard, Stream& st, double now,
+                 const HotPathOptions& options) {
+  uint32_t taken = 0;
+  int64_t got = 0;
+  for (int k = 0; k < options.r; ++k) {
+    int best = -1;
+    for (int i = 0; i < options.n; ++i) {
+      if ((taken >> i) & 1u) continue;
+      if (best < 0 || st.resp_arr[i] < st.resp_arr[best]) best = i;
+    }
+    taken |= 1u << best;
+    const ApplyLog& log = st.log[best];
+    int64_t seen = log.base;
+    for (int j = 0; j < log.n; ++j) {
+      if (log.t[j] <= st.snap_time[best] && log.q[j] > seen) seen = log.q[j];
+    }
+    if (seen > got) got = seen;
+  }
+  ++shard.reads;
+  shard.read_latency_sum += now - st.read_start;
+  if (got >= st.write_idx) ++shard.consistent_reads;
+  shard.digest = Mix(shard.digest, Pack(kResolve, st.gid));
+  shard.digest = Mix(shard.digest, Bits(now));
+  shard.digest = Mix(shard.digest, static_cast<uint64_t>(got));
+}
+
+/// Runs one shard's loop up to the conservative-sync barrier: every event
+/// with time <= `window_end` fires, in (time, seq) order.
+void RunShardUntil(Shard& shard, double window_end,
+                   const HotPathOptions& options) {
+  while (!shard.heap.empty() && shard.heap.Top().time <= window_end) {
+    const Event e = shard.heap.Pop();
+    ++shard.events;
+    Stream& st = shard.streams[e.packed >> 4];
+    if ((e.packed & 0xFu) == kTick) {
+      TickPass(shard, st, e.time, options, e.packed >> 4);
+    } else {
+      ResolvePass(shard, st, e.time, options);
+    }
+  }
+}
+
+}  // namespace
+
+HotPathResult RunHotPath(const HotPathOptions& options) {
+  HotPathOptions opt = options;
+  opt.n = std::clamp(opt.n, 1, kMaxN);
+  opt.r = std::clamp(opt.r, 1, opt.n);
+  opt.w = std::clamp(opt.w, 1, opt.n);
+  opt.num_streams = std::max(1, opt.num_streams);
+  opt.writes_per_stream = std::max<int64_t>(1, opt.writes_per_stream);
+  opt.num_shards = std::max(1, opt.num_shards);
+  opt.sync_window_ms = std::max(1.0, opt.sync_window_ms);
+
+  // Shared compiled samplers (read-only after construction; each shard
+  // draws through its own buffer and RNG).
+  const CompiledSampler sampler_w(opt.legs.w);
+  const CompiledSampler sampler_a(opt.legs.a);
+  const CompiledSampler sampler_r(opt.legs.r);
+  const CompiledSampler sampler_s(opt.legs.s);
+
+  // Streams -> shards through the same consistent-hash placement the
+  // cluster uses for keys, so the shard layout is a property of the key
+  // space (seed, num_shards) — not of execution order or thread count.
+  std::vector<Shard> shards(static_cast<size_t>(opt.num_shards));
+  {
+    std::vector<Rng> rngs = MakeJumpStreams(Rng(opt.seed),
+                                            opt.num_shards);
+    const ConsistentHashRing ring(opt.num_shards, /*vnodes_per_node=*/16,
+                                  opt.seed ^ 0x9E3779B97F4A7C15ull);
+    for (int s = 0; s < opt.num_shards; ++s) {
+      Shard& shard = shards[s];
+      shard.rng = rngs[s];
+      shard.leg_w.Init(&sampler_w);
+      shard.leg_a.Init(&sampler_a);
+      shard.leg_r.Init(&sampler_r);
+      shard.leg_s.Init(&sampler_s);
+    }
+    for (int gid = 0; gid < opt.num_streams; ++gid) {
+      const StatusOr<std::vector<int>> owner =
+          ring.PreferenceList(static_cast<Key>(gid), 1);
+      assert(owner.ok());
+      Shard& shard = shards[owner.ok() ? owner.value()[0] : 0];
+      Stream st;
+      st.gid = static_cast<uint32_t>(gid);
+      st.writes_left = opt.writes_per_stream;
+      shard.streams.push_back(st);
+    }
+    for (Shard& shard : shards) {
+      // At most one tick + one resolve in flight per stream.
+      shard.heap.Reserve(2 * shard.streams.size() + 4);
+      for (uint32_t local = 0; local < shard.streams.size(); ++local) {
+        // Stagger stream starts by global id so the initial event pattern
+        // is independent of the shard layout.
+        shard.heap.Push(0.1 * shard.streams[local].gid, shard.seq++,
+                        Pack(kTick, local));
+      }
+    }
+  }
+
+  // Conservative synchronization: every shard runs to the window barrier,
+  // then all advance together. Shards share no mutable state, so the
+  // barrier is the *only* ordering constraint — and chunk_size=1 hands each
+  // shard to exactly one worker per round, making the computation a
+  // function of (seed, num_shards) alone.
+  const PbsExecutionOptions exec{.threads = opt.threads, .chunk_size = 1};
+  double window_end = opt.sync_window_ms;
+  for (;;) {
+    bool any_pending = false;
+    for (const Shard& shard : shards) {
+      if (!shard.heap.empty()) {
+        any_pending = true;
+        break;
+      }
+    }
+    if (!any_pending) break;
+    ParallelFor(opt.num_shards, exec,
+                [&shards, window_end, &opt](int64_t /*chunk*/, int64_t begin,
+                                            int64_t end) {
+                  for (int64_t s = begin; s < end; ++s) {
+                    RunShardUntil(shards[s], window_end, opt);
+                  }
+                });
+    window_end += opt.sync_window_ms;
+  }
+
+  // Merge in shard-id order (deterministic, thread-count independent).
+  HotPathResult result;
+  uint64_t digest = 0xcbf29ce484222325ull;
+  for (const Shard& shard : shards) {
+    result.writes_started += shard.writes_started;
+    result.writes_committed += shard.writes_committed;
+    result.writes_timed_out += shard.writes_timed_out;
+    result.reads += shard.reads;
+    result.consistent_reads += shard.consistent_reads;
+    result.events += shard.events;
+    result.mean_write_latency_ms += shard.write_latency_sum;
+    result.mean_read_latency_ms += shard.read_latency_sum;
+    digest = Mix(digest, shard.digest);
+  }
+  if (result.writes_committed > 0) {
+    result.mean_write_latency_ms /=
+        static_cast<double>(result.writes_committed);
+  }
+  if (result.reads > 0) {
+    result.mean_read_latency_ms /= static_cast<double>(result.reads);
+  }
+  result.digest = digest;
+  return result;
+}
+
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,106 @@
+#ifndef PBS_KVS_HOTPATH_H_
+#define PBS_KVS_HOTPATH_H_
+
+#include <cstdint>
+
+#include "dist/production.h"
+
+namespace pbs {
+namespace kvs {
+
+/// Options for the compiled quorum hot path (RunHotPath below).
+///
+/// The engine reproduces the WARS quorum protocol of the per-message KVS —
+/// N-replica write fan-out, commit on the W-th acknowledgment, a read probe
+/// `read_offset_ms` after each commit returning the freshest of the R
+/// fastest responses — as a *pass-structured* simulation: one kTick event
+/// per write (which batch-samples every leg of the write AND its probe
+/// read) and one kResolve event per read, instead of the 2N+2 message
+/// events the general engine pays. Replica state is an apply-log ring per
+/// (stream, replica) resolved retroactively against the probe's snapshot
+/// times, so staleness statistics match the message-level engine while the
+/// event count drops by an order of magnitude.
+struct HotPathOptions {
+  // Quorum configuration (paper notation): N replicas, R read / W write
+  // response requirements. N is capped at 8 (per-replica state lives in
+  // fixed arrays).
+  int n = 3;
+  int r = 1;
+  int w = 1;
+
+  /// Per-leg latency distributions (W/A/R/S). Compiled into batch samplers
+  /// at startup; defaults to the paper's LNKD-SSD production fit.
+  WarsDistributions legs = LnkdSsd();
+
+  /// Closed-loop writer streams. Each stream owns one key and issues
+  /// `writes_per_stream` writes `write_spacing_ms` apart (the next write
+  /// additionally waits for the previous probe read to resolve).
+  int num_streams = 64;
+  int64_t writes_per_stream = 1000;
+  double write_spacing_ms = 10.0;
+
+  /// Probe offset after commit — the "t" of t-visibility — and the write
+  /// commit timeout.
+  double read_offset_ms = 1.0;
+  double timeout_ms = 100.0;
+
+  uint64_t seed = 1;
+
+  /// Logical shards of the event loop. Streams map to shards through a
+  /// consistent-hash ring over the shard ids (the same placement policy the
+  /// cluster uses for keys), each shard runs its own event heap and
+  /// Jump()-derived RNG sub-stream, and shards synchronize conservatively
+  /// at `sync_window_ms` barriers. Results are a function of (seed,
+  /// num_shards) only — NEVER of `threads`.
+  int num_shards = 16;
+
+  /// Worker threads for the sharded loop: 1 = serial, 0 = one per hardware
+  /// thread. Bitwise-identical results for any value.
+  int threads = 1;
+
+  /// Conservative-sync round length in virtual ms. Any value yields the
+  /// same result (shards are data-independent between barriers); shorter
+  /// windows just cost more barriers.
+  double sync_window_ms = 4096.0;
+};
+
+/// Aggregate outcome of a hot-path run, merged across shards in shard-id
+/// order (thread-count independent).
+struct HotPathResult {
+  int64_t writes_started = 0;
+  int64_t writes_committed = 0;
+  int64_t writes_timed_out = 0;
+  int64_t reads = 0;
+  int64_t consistent_reads = 0;  // probe saw the stream's just-written version
+  int64_t events = 0;            // kTick + kResolve events processed
+
+  double mean_write_latency_ms = 0.0;  // mean commit latency
+  double mean_read_latency_ms = 0.0;   // mean probe-read latency
+
+  /// Order-sensitive FNV digest over every event (kind, stream, time bits,
+  /// outcome bits), folded across shards in shard order. Two runs are
+  /// bitwise identical iff their digests match — the determinism pins
+  /// compare this across thread counts.
+  uint64_t digest = 0;
+
+  /// P(consistent) at the probe offset — the t-visibility estimate.
+  double consistency() const {
+    return reads == 0
+               ? 1.0
+               : static_cast<double>(consistent_reads) /
+                     static_cast<double>(reads);
+  }
+
+  /// Total client-visible operations (committed writes + probe reads): the
+  /// numerator of the ops/s headline.
+  int64_t total_ops() const { return writes_committed + reads; }
+};
+
+/// Runs the compiled hot path to completion. Steady state performs no heap
+/// allocation (all pools are sized during setup).
+HotPathResult RunHotPath(const HotPathOptions& options);
+
+}  // namespace kvs
+}  // namespace pbs
+
+#endif  // PBS_KVS_HOTPATH_H_

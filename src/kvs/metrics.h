@@ -17,6 +17,10 @@ class LatencyRecorder {
  public:
   void Record(double latency_ms) { samples_.push_back(latency_ms); }
   size_t count() const { return samples_.size(); }
+
+  /// Pre-sizes the sample buffer; benchmarks and allocation-audit tests use
+  /// this so steady-state Record calls never grow the vector.
+  void Reserve(size_t n) { samples_.reserve(n); }
   const std::vector<double>& samples() const { return samples_; }
 
   /// Sorted percentile view; requires at least one sample.

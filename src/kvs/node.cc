@@ -17,7 +17,110 @@ Node::Node(Cluster* cluster, NodeId id, bool is_replica, uint64_t seed)
 }
 
 // ---------------------------------------------------------------------------
-// Coordinator: writes
+// Pooled operation slots
+//
+// Per-op coordinator state lives in deque slabs recycled through free lists;
+// a FlatMap64 maps request id -> slot. Slots keep their vector/string
+// capacity across reuse, so once the pools are warm the coordinator paths
+// acquire and retire operations without touching the heap. Request ids are
+// never reused, so a message that outlives its operation (duplicate
+// delivery, late ack) simply fails the index lookup.
+
+Node::PendingWrite* Node::FindWrite(uint64_t request_id) {
+  const uint32_t* slot = write_index_.Find(request_id);
+  return slot == nullptr ? nullptr : &write_pool_[*slot];
+}
+
+Node::PendingRead* Node::FindRead(uint64_t request_id) {
+  const uint32_t* slot = read_index_.Find(request_id);
+  return slot == nullptr ? nullptr : &read_pool_[*slot];
+}
+
+Node::PendingWrite& Node::AcquireWrite(uint64_t request_id) {
+  uint32_t slot;
+  if (!write_free_.empty()) {
+    slot = write_free_.back();
+    write_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(write_pool_.size());
+    write_pool_.emplace_back();
+  }
+  PendingWrite& pending = write_pool_[slot];
+  pending.request_id = request_id;
+  pending.slot = slot;
+  pending.key = 0;
+  pending.replicas.clear();
+  pending.acked_mask = 0;
+  pending.acks = 0;
+  pending.required = 1;
+  pending.handoff_retries = 0;
+  pending.start_time = 0.0;
+  pending.pass = WritePass::kCollect;
+  pending.committed = false;
+  pending.timed_out = false;
+  pending.trace_id = 0;
+  pending.shard = 0;
+  pending.timer = TimerHandle();
+  write_index_.Put(request_id, slot);
+  return pending;
+}
+
+Node::PendingRead& Node::AcquireRead(uint64_t request_id) {
+  uint32_t slot;
+  if (!read_free_.empty()) {
+    slot = read_free_.back();
+    read_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(read_pool_.size());
+    read_pool_.emplace_back();
+  }
+  PendingRead& pending = read_pool_[slot];
+  pending.request_id = request_id;
+  pending.slot = slot;
+  pending.key = 0;
+  pending.replicas.clear();
+  pending.untried.clear();
+  pending.hedge_only.clear();
+  pending.responses = 0;
+  pending.required = 1;
+  pending.pass = ReadPass::kCollect;
+  pending.start_time = 0.0;
+  pending.has_best = false;
+  pending.has_best_all = false;
+  // `all` entries beyond `responses` are stale but retained: their value
+  // buffers are reused in place by the next operation in this slot.
+  pending.late_sequences.clear();
+  pending.trace_id = 0;
+  pending.shard = 0;
+  pending.timeout_timer = TimerHandle();
+  pending.hedge_timer = TimerHandle();
+  read_index_.Put(request_id, slot);
+  return pending;
+}
+
+void Node::RetireWrite(PendingWrite& pending) {
+  // The timer may already have fired (retire from within the timeout /
+  // handoff chain) — Cancel is a detected no-op then.
+  cluster_->sim().CancelTimer(pending.timer);
+  pending.timer = TimerHandle();
+  pending.value.Reset();
+  pending.done = nullptr;
+  write_index_.Erase(pending.request_id);
+  write_free_.push_back(pending.slot);
+}
+
+void Node::RetireRead(PendingRead& pending) {
+  cluster_->sim().CancelTimer(pending.timeout_timer);
+  cluster_->sim().CancelTimer(pending.hedge_timer);
+  pending.timeout_timer = TimerHandle();
+  pending.hedge_timer = TimerHandle();
+  pending.done = nullptr;
+  read_index_.Erase(pending.request_id);
+  read_free_.push_back(pending.slot);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator: write passes
 
 void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
                            double timeout_override_ms, uint64_t trace_id,
@@ -32,13 +135,16 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
     ++cluster_->metrics().stale_routes_forwarded;
   }
 
-  PendingWrite pending;
+  PendingWrite& pending = AcquireWrite(request_id);
   pending.key = key;
-  pending.value = std::move(value);
+  // The payload is copied once into a pooled arena slot; every message
+  // closure below carries a 16-byte handle instead of its own copy.
+  pending.value = cluster_->version_arena().Acquire(value);
   // Union of old- and new-epoch replica sets while a rebalance drains; the
   // current-ring preference list is always the prefix, so [0] is the key's
   // shard primary.
-  pending.replicas = cluster_->RoutingReplicasFor(key);
+  cluster_->RoutingReplicasForInto(key, &pending.replicas);
+  assert(pending.replicas.size() <= 64);  // ack bookkeeping is a bitmask
   // Pad W by the number of extra (old-epoch) targets: W + (U - N) acks out
   // of U union targets intersect every R-of-U read quorum whenever
   // R + W > N, which is what makes acknowledged writes durable across the
@@ -55,31 +161,30 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
   // Sloppy quorums (Dynamo): replace suspected home replicas with the next
   // healthy nodes from the extended preference list; substitutes hold the
   // write as a hint for the home replica.
-  std::vector<NodeId> hint_homes(pending.replicas.size(), kNoHint);
+  hint_homes_.assign(pending.replicas.size(), kNoHint);
   const FailureDetector* detector = cluster_->failure_detector();
   if (config.sloppy_quorums && detector != nullptr) {
-    const std::vector<NodeId> extended = cluster_->ExtendedReplicasFor(key);
+    cluster_->ExtendedReplicasForInto(key, &extended_scratch_);
     size_t next_substitute = pending.replicas.size();
     for (size_t i = 0; i < pending.replicas.size(); ++i) {
       if (!detector->IsSuspected(pending.replicas[i])) continue;
-      while (next_substitute < extended.size() &&
-             detector->IsSuspected(extended[next_substitute])) {
+      while (next_substitute < extended_scratch_.size() &&
+             detector->IsSuspected(extended_scratch_[next_substitute])) {
         ++next_substitute;
       }
-      if (next_substitute >= extended.size()) break;  // nobody left to sub
+      if (next_substitute >= extended_scratch_.size()) break;  // nobody left
       ++cluster_->metrics().sloppy_substitutions;
-      hint_homes[i] = pending.replicas[i];
-      pending.replicas[i] = extended[next_substitute++];
+      hint_homes_[i] = pending.replicas[i];
+      pending.replicas[i] = extended_scratch_[next_substitute++];
     }
   }
 
-  pending.acked.assign(pending.replicas.size(), false);
   // Fan out to all N targets (Figure 1); each request leg draws its own W
   // delay.
   const double now = pending.start_time;
   for (size_t i = 0; i < pending.replicas.size(); ++i) {
     const NodeId replica = pending.replicas[i];
-    const NodeId hint_home = hint_homes[i];
+    const NodeId hint_home = hint_homes_[i];
     // A coordinator that is itself the target serves the request locally
     // (Section 4.2 "Proxying operations").
     const double delay =
@@ -89,15 +194,14 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
                                        delay);
     }
     Node* target = &cluster_->node(replica);
-    const VersionedValue& payload = pending.value;
     // A dropped request leaves the timeout armed; hinted handoff (if on)
     // re-delivers from there.
     double effective_delay = delay;
     const bool delivered = cluster_->network().SendWithDelay(
         id_, replica, delay,
-        [target, key, payload, coordinator = id_, request_id, hint_home,
-         trace_id]() {
-          target->HandleWriteRequest(key, payload, coordinator, request_id,
+        [target, key, ref = pending.value, coordinator = id_, request_id,
+         hint_home, trace_id]() {
+          target->HandleWriteRequest(key, *ref, coordinator, request_id,
                                      /*is_repair=*/false, hint_home, trace_id);
         },
         &effective_delay);
@@ -111,31 +215,29 @@ void Node::CoordinateWrite(Key key, VersionedValue value, WriteCallback done,
           .dst = replica,
           .t_start = now,
           .t_end = delivered ? now + effective_delay : now,
-          .a = pending.value.sequence});
+          .a = pending.value->sequence});
     }
   }
-  pending_writes_.emplace(request_id, std::move(pending));
   const double timeout = timeout_override_ms > 0.0 ? timeout_override_ms
                                                    : config.request_timeout_ms;
-  cluster_->sim().Schedule(timeout,
-                           [this, request_id]() {
-                             OnWriteTimeout(request_id);
-                           });
+  pending.timer = cluster_->sim().ScheduleTimer(
+      timeout, [this, request_id]() { OnWriteTimeout(request_id); });
 }
 
 void Node::OnWriteAck(uint64_t request_id, NodeId replica) {
-  const auto it = pending_writes_.find(request_id);
-  if (it == pending_writes_.end()) return;  // already cleaned up
-  PendingWrite& pending = it->second;
+  PendingWrite* slot = FindWrite(request_id);
+  if (slot == nullptr) return;  // already retired
+  PendingWrite& pending = *slot;
   for (size_t i = 0; i < pending.replicas.size(); ++i) {
     if (pending.replicas[i] != replica) continue;
-    if (pending.acked[i]) {
+    const uint64_t bit = uint64_t{1} << i;
+    if ((pending.acked_mask & bit) != 0) {
       // Duplicate delivery (network duplication or a handoff re-send that
       // raced the original): never count the same replica toward W twice.
       ++cluster_->metrics().duplicate_acks_suppressed;
       return;
     }
-    pending.acked[i] = true;
+    pending.acked_mask |= bit;
     ++pending.acks;
     break;
   }
@@ -152,12 +254,13 @@ void Node::OnWriteAck(uint64_t request_id, NodeId replica) {
         .a = pending.acks});
   }
   if (!pending.committed && pending.acks >= pending.required) {
+    // Commit pass: the W-th distinct ack arrived before the timeout.
     pending.committed = true;
     WriteResult result;
     result.ok = true;
     result.status = Status::Ok();
     result.trace_id = pending.trace_id;
-    result.sequence = pending.value.sequence;
+    result.sequence = pending.value->sequence;
     result.commit_time = now;
     result.latency_ms = result.commit_time - pending.start_time;
     result.ring_version = cluster_->ring_version();
@@ -179,14 +282,14 @@ void Node::OnWriteAck(uint64_t request_id, NodeId replica) {
     if (pending.done) pending.done(result);
   }
   if (pending.acks == static_cast<int>(pending.replicas.size())) {
-    pending_writes_.erase(it);
+    RetireWrite(pending);
   }
 }
 
 void Node::OnWriteTimeout(uint64_t request_id) {
-  const auto it = pending_writes_.find(request_id);
-  if (it == pending_writes_.end()) return;  // fully acknowledged already
-  PendingWrite& pending = it->second;
+  PendingWrite* slot = FindWrite(request_id);
+  if (slot == nullptr) return;  // fully acknowledged already
+  PendingWrite& pending = *slot;
   if (!pending.committed && !pending.timed_out) {
     pending.timed_out = true;
     ++cluster_->metrics().writes_failed;
@@ -205,21 +308,23 @@ void Node::OnWriteTimeout(uint64_t request_id) {
     WriteResult failed;
     failed.status = Status::TimedOut("write: no W acks before the timeout");
     failed.trace_id = pending.trace_id;
-    failed.sequence = pending.value.sequence;
+    failed.sequence = pending.value->sequence;
     failed.ring_version = cluster_->ring_version();
     if (pending.done) pending.done(failed);
   }
   if (cluster_->config().hinted_handoff) {
+    pending.pass = WritePass::kHandoff;
     ResendUnacked(request_id);
   } else {
-    pending_writes_.erase(it);
+    RetireWrite(pending);
   }
 }
 
 void Node::ResendUnacked(uint64_t request_id) {
-  const auto it = pending_writes_.find(request_id);
-  if (it == pending_writes_.end()) return;
-  PendingWrite& pending = it->second;
+  PendingWrite* slot = FindWrite(request_id);
+  if (slot == nullptr) return;
+  PendingWrite& pending = *slot;
+  assert(pending.pass == WritePass::kHandoff);
   const KvsConfig& config = cluster_->config();
 
   // Hinted handoff (Section 6 "recovery semantics"): keep re-delivering the
@@ -228,20 +333,19 @@ void Node::ResendUnacked(uint64_t request_id) {
   bool any_unacked = false;
   const double now = cluster_->sim().now();
   for (size_t i = 0; i < pending.replicas.size(); ++i) {
-    if (pending.acked[i]) continue;
+    if ((pending.acked_mask >> i) & 1) continue;
     any_unacked = true;
     const NodeId replica = pending.replicas[i];
     const double delay = config.legs.w->Sample(rng_);
     Node* target = &cluster_->node(replica);
     const Key key = pending.key;
-    const VersionedValue& payload = pending.value;
     ++cluster_->metrics().hinted_handoffs_sent;
     double effective_delay = delay;
     const bool delivered = cluster_->network().SendWithDelay(
         id_, replica, delay,
-        [target, key, payload, coordinator = id_, request_id,
+        [target, key, ref = pending.value, coordinator = id_, request_id,
          trace_id = pending.trace_id]() {
-          target->HandleWriteRequest(key, payload, coordinator, request_id,
+          target->HandleWriteRequest(key, *ref, coordinator, request_id,
                                      /*is_repair=*/false, Node::kNoHint,
                                      trace_id);
         },
@@ -256,11 +360,11 @@ void Node::ResendUnacked(uint64_t request_id) {
           .dst = replica,
           .t_start = now,
           .t_end = delivered ? now + effective_delay : now,
-          .a = payload.sequence});
+          .a = pending.value->sequence});
     }
   }
   if (!any_unacked) {
-    pending_writes_.erase(it);
+    RetireWrite(pending);
     return;
   }
   // Capped exponential backoff with deterministic jitter in [0.5, 1): the
@@ -268,7 +372,7 @@ void Node::ResendUnacked(uint64_t request_id) {
   // long outage costs O(log) retries instead of a fixed-rate storm.
   const int retries = pending.handoff_retries;
   if (++pending.handoff_retries >= config.hinted_handoff_max_retries) {
-    pending_writes_.erase(it);
+    RetireWrite(pending);
     return;
   }
   const double backoff =
@@ -276,14 +380,12 @@ void Node::ResendUnacked(uint64_t request_id) {
                config.hinted_handoff_backoff_base_ms *
                    std::pow(2.0, static_cast<double>(retries)));
   const double jitter = 0.5 + 0.5 * rng_.NextDouble();
-  cluster_->sim().Schedule(backoff * jitter,
-                           [this, request_id]() {
-                             ResendUnacked(request_id);
-                           });
+  pending.timer = cluster_->sim().ScheduleTimer(
+      backoff * jitter, [this, request_id]() { ResendUnacked(request_id); });
 }
 
 // ---------------------------------------------------------------------------
-// Coordinator: reads
+// Coordinator: read passes
 
 void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
                           double timeout_override_ms, uint64_t trace_id,
@@ -296,10 +398,10 @@ void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
     ++cluster_->metrics().stale_routes_forwarded;
   }
 
-  PendingRead pending;
+  PendingRead& pending = AcquireRead(request_id);
   pending.key = key;
   // Union routing during rebalance; current-ring prefix, [0] = primary.
-  pending.replicas = cluster_->RoutingReplicasFor(key);
+  cluster_->RoutingReplicasForInto(key, &pending.replicas);
   pending.shard = pending.replicas.empty() ? 0 : pending.replicas.front();
   ++cluster_->metrics().shards[pending.shard].reads;
   pending.required =
@@ -325,11 +427,10 @@ void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
   for (NodeId replica : pending.replicas) {
     SendReadRequest(key, replica, request_id, trace_id, /*is_hedge=*/false);
   }
-  pending_reads_.emplace(request_id, std::move(pending));
   const double timeout = timeout_override_ms > 0.0 ? timeout_override_ms
                                                    : config.request_timeout_ms;
-  cluster_->sim().Schedule(timeout,
-                           [this, request_id]() { OnReadTimeout(request_id); });
+  pending.timeout_timer = cluster_->sim().ScheduleTimer(
+      timeout, [this, request_id]() { OnReadTimeout(request_id); });
   if (config.hedge.enabled) {
     // Rapid read protection: if R responses have not assembled by the
     // hedging delay, re-issue the read (see OnHedgeDeadline). The delay is
@@ -340,7 +441,7 @@ void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
                     config.legs.s->Quantile(config.hedge.quantile);
     }
     if (hedge_delay < timeout) {
-      cluster_->sim().Schedule(
+      pending.hedge_timer = cluster_->sim().ScheduleTimer(
           hedge_delay, [this, request_id]() { OnHedgeDeadline(request_id); });
     }
   }
@@ -378,10 +479,10 @@ void Node::SendReadRequest(Key key, NodeId replica, uint64_t request_id,
 }
 
 void Node::OnHedgeDeadline(uint64_t request_id) {
-  const auto it = pending_reads_.find(request_id);
-  if (it == pending_reads_.end()) return;  // collection already finished
-  PendingRead& pending = it->second;
-  if (pending.returned) return;  // R assembled in time: nothing to protect
+  PendingRead* slot = FindRead(request_id);
+  if (slot == nullptr) return;  // collection already finished
+  PendingRead& pending = *slot;
+  if (pending.returned()) return;  // R assembled in time: nothing to protect
   const KvsConfig& config = cluster_->config();
   const double now = cluster_->sim().now();
   int budget = std::max(1, config.hedge.max_per_read);
@@ -414,8 +515,8 @@ void Node::OnHedgeDeadline(uint64_t request_id) {
   for (size_t i = 0; budget > 0 && i < pending.replicas.size(); ++i) {
     const NodeId replica = pending.replicas[i];
     bool responded = false;
-    for (const auto& [r, value] : pending.all) {
-      if (r == replica) {
+    for (int r = 0; r < pending.responses; ++r) {
+      if (pending.all[r].replica == replica) {
         responded = true;
         break;
       }
@@ -445,21 +546,32 @@ void Node::OnHedgeDeadline(uint64_t request_id) {
 
 void Node::OnReadResponse(uint64_t request_id, NodeId replica,
                           std::optional<VersionedValue> value) {
-  const auto it = pending_reads_.find(request_id);
-  if (it == pending_reads_.end()) return;
-  PendingRead& pending = it->second;
+  OnReadResponseValue(request_id, replica,
+                      value.has_value() ? &*value : nullptr);
+}
+
+void Node::OnReadResponseValue(uint64_t request_id, NodeId replica,
+                               const VersionedValue* value) {
+  PendingRead* slot = FindRead(request_id);
+  if (slot == nullptr) return;
+  PendingRead& pending = *slot;
   // Dedup by replica: a hedge re-issue or a network-duplicated message can
   // make the same replica answer twice, and a second response must never
   // count toward R (or be double-counted by read repair / the staleness
   // detector).
-  for (const auto& entry : pending.all) {
-    if (entry.first == replica) {
+  for (int i = 0; i < pending.responses; ++i) {
+    if (pending.all[i].replica == replica) {
       ++cluster_->metrics().duplicate_responses_suppressed;
       return;
     }
   }
-  ++pending.responses;
-  pending.all.emplace_back(replica, value);
+  if (pending.responses == static_cast<int>(pending.all.size())) {
+    pending.all.emplace_back();
+  }
+  ReadResponse& entry = pending.all[pending.responses++];
+  entry.replica = replica;
+  entry.has_value = value != nullptr;
+  if (value != nullptr) entry.value = *value;  // buffers reused in place
 
   if (pending.trace_id != 0) {
     const double now = cluster_->sim().now();
@@ -471,74 +583,84 @@ void Node::OnReadResponse(uint64_t request_id, NodeId replica,
         .dst = id_,
         .t_start = now,
         .t_end = now,
-        .a = value.has_value() ? value->sequence : 0,
-        .b = value.has_value() ? 1 : 0});
+        .a = value != nullptr ? value->sequence : 0,
+        .b = value != nullptr ? 1 : 0});
   }
 
-  if (value.has_value()) {
-    if (!pending.best_all.has_value() ||
-        value->NewerThan(*pending.best_all)) {
-      pending.best_all = value;
+  if (value != nullptr) {
+    if (!pending.has_best_all || value->NewerThan(pending.best_all)) {
+      pending.best_all = *value;
+      pending.has_best_all = true;
     }
   }
 
-  if (!pending.returned) {
+  if (!pending.returned()) {
     // Still assembling the first R responses.
-    if (value.has_value() &&
-        (!pending.best.has_value() || value->NewerThan(*pending.best))) {
-      pending.best = value;
+    if (value != nullptr &&
+        (!pending.has_best || value->NewerThan(pending.best))) {
+      pending.best = *value;
+      pending.has_best = true;
     }
     if (pending.responses >= pending.required) {
-      pending.returned = true;
-      if (std::find(pending.hedge_only.begin(), pending.hedge_only.end(),
-                    replica) != pending.hedge_only.end()) {
-        // The response that completed R came from a replica only a hedge
-        // contacted: the hedge saved this read's latency.
-        ++cluster_->metrics().hedged_reads_won;
-      }
-      ReadResult result;
-      result.ok = true;
-      result.status = Status::Ok();
-      result.trace_id = pending.trace_id;
-      result.start_time = pending.start_time;
-      result.latency_ms = cluster_->sim().now() - pending.start_time;
-      result.value = pending.best;
-      result.required = pending.required;
-      result.ring_version = cluster_->ring_version();
-      cluster_->metrics().read_latency.Record(result.latency_ms);
-      cluster_->metrics().shards[pending.shard].read_latency.Record(
-          result.latency_ms);
-      if (pending.trace_id != 0) {
-        const double now = cluster_->sim().now();
-        cluster_->tracer().Record(obs::TraceEvent{
-            .trace_id = pending.trace_id,
-            .kind = obs::TraceEventKind::kReturn,
-            .leg = obs::WarsLeg::kS,
-            .src = replica,
-            .dst = id_,
-            .t_start = now,
-            .t_end = now,
-            .a = pending.best.has_value() ? pending.best->sequence : 0,
-            .b = pending.required});
-      }
-      if (pending.done) pending.done(result);
+      ReturnRead(pending, replica);
     }
   } else {
     // A late response (after the client already got its answer).
-    pending.late_sequences.push_back(value ? value->sequence : 0);
+    pending.late_sequences.push_back(value != nullptr ? value->sequence : 0);
   }
 
-  MaybeFinishReadCollection(request_id, pending);
+  MaybeFinishReadCollection(pending);
 }
 
-void Node::MaybeFinishReadCollection(uint64_t request_id,
-                                     PendingRead& pending) {
+void Node::ReturnRead(PendingRead& pending, NodeId replica) {
+  // Return pass: hand the freshest of the first R responses to the client
+  // and switch the op to late collection.
+  pending.pass = ReadPass::kLateCollect;
+  if (std::find(pending.hedge_only.begin(), pending.hedge_only.end(),
+                replica) != pending.hedge_only.end()) {
+    // The response that completed R came from a replica only a hedge
+    // contacted: the hedge saved this read's latency.
+    ++cluster_->metrics().hedged_reads_won;
+  }
+  ReadResult result;
+  result.ok = true;
+  result.status = Status::Ok();
+  result.trace_id = pending.trace_id;
+  result.start_time = pending.start_time;
+  result.latency_ms = cluster_->sim().now() - pending.start_time;
+  if (pending.has_best) result.value = pending.best;
+  result.required = pending.required;
+  result.ring_version = cluster_->ring_version();
+  cluster_->metrics().read_latency.Record(result.latency_ms);
+  cluster_->metrics().shards[pending.shard].read_latency.Record(
+      result.latency_ms);
+  if (pending.trace_id != 0) {
+    const double now = cluster_->sim().now();
+    cluster_->tracer().Record(obs::TraceEvent{
+        .trace_id = pending.trace_id,
+        .kind = obs::TraceEventKind::kReturn,
+        .leg = obs::WarsLeg::kS,
+        .src = replica,
+        .dst = id_,
+        .t_start = now,
+        .t_end = now,
+        .a = pending.has_best ? pending.best.sequence : 0,
+        .b = pending.required});
+  }
+  if (pending.done) pending.done(result);
+}
+
+void Node::MaybeFinishReadCollection(PendingRead& pending) {
   if (pending.responses < static_cast<int>(pending.replicas.size())) return;
-  // Every replica has answered: fire the detector hook and read repair.
+  CloseReadCollection(pending);
+}
+
+void Node::CloseReadCollection(PendingRead& pending) {
+  // Close pass: every replica answered (or the timeout sealed the window) —
+  // fire the detector hook, repair stale replicas, retire the slot.
   if (cluster_->late_read_hook()) {
     LateReadInfo info;
-    info.returned_sequence =
-        pending.best.has_value() ? pending.best->sequence : 0;
+    info.returned_sequence = pending.has_best ? pending.best.sequence : 0;
     info.read_start_time = pending.start_time;
     info.late_response_sequences = pending.late_sequences;
     info.key = pending.key;
@@ -546,18 +668,22 @@ void Node::MaybeFinishReadCollection(uint64_t request_id,
     cluster_->late_read_hook()(info);
   }
   if (cluster_->config().read_repair) SendReadRepairs(pending);
-  pending_reads_.erase(request_id);
+  RetireRead(pending);
 }
 
 void Node::SendReadRepairs(const PendingRead& pending) {
-  if (!pending.best_all.has_value()) return;
+  if (!pending.has_best_all) return;
   const KvsConfig& config = cluster_->config();
-  const VersionedValue& freshest = *pending.best_all;
+  const VersionedValue& freshest = pending.best_all;
+  // One arena slot shared by every repair leg of this read.
+  const VersionRef freshest_ref = cluster_->version_arena().Acquire(freshest);
   const double now = cluster_->sim().now();
-  for (const auto& [replica, value] : pending.all) {
+  for (int i = 0; i < pending.responses; ++i) {
+    const ReadResponse& entry = pending.all[i];
     const bool stale =
-        !value.has_value() || freshest.NewerThan(*value);
+        !entry.has_value || freshest.NewerThan(entry.value);
     if (!stale) continue;
+    const NodeId replica = entry.replica;
     const double delay = config.legs.w->Sample(rng_);
     Node* target = &cluster_->node(replica);
     const Key key = pending.key;
@@ -566,9 +692,9 @@ void Node::SendReadRepairs(const PendingRead& pending) {
     double effective_delay = delay;
     const bool delivered = cluster_->network().SendWithDelay(
         id_, replica, delay,
-        [target, key, freshest, coordinator = id_,
+        [target, key, ref = freshest_ref, coordinator = id_,
          trace_id = pending.trace_id]() {
-          target->HandleWriteRequest(key, freshest, coordinator,
+          target->HandleWriteRequest(key, *ref, coordinator,
                                      /*request_id=*/0, /*is_repair=*/true,
                                      Node::kNoHint, trace_id);
         },
@@ -584,7 +710,7 @@ void Node::SendReadRepairs(const PendingRead& pending) {
           .t_start = now,
           .t_end = now,
           .a = freshest.sequence,
-          .b = value.has_value() ? value->sequence : 0});
+          .b = entry.has_value ? entry.value.sequence : 0});
       tracer.Record(obs::TraceEvent{
           .trace_id = pending.trace_id,
           .kind = delivered ? obs::TraceEventKind::kLegSend
@@ -601,11 +727,12 @@ void Node::SendReadRepairs(const PendingRead& pending) {
 }
 
 void Node::OnReadTimeout(uint64_t request_id) {
-  const auto it = pending_reads_.find(request_id);
-  if (it == pending_reads_.end()) return;
-  PendingRead& pending = it->second;
-  if (!pending.returned) {
-    pending.returned = true;
+  PendingRead* slot = FindRead(request_id);
+  if (slot == nullptr) return;
+  PendingRead& pending = *slot;
+  if (!pending.returned()) {
+    // Timeout pass: fewer than R distinct responses before the deadline.
+    pending.pass = ReadPass::kLateCollect;
     ++cluster_->metrics().reads_failed;
     if (pending.trace_id != 0) {
       const double now = cluster_->sim().now();
@@ -630,18 +757,7 @@ void Node::OnReadTimeout(uint64_t request_id) {
     if (pending.done) pending.done(result);
   }
   // Close the collection window with whatever arrived.
-  if (cluster_->late_read_hook()) {
-    LateReadInfo info;
-    info.returned_sequence =
-        pending.best.has_value() ? pending.best->sequence : 0;
-    info.read_start_time = pending.start_time;
-    info.late_response_sequences = pending.late_sequences;
-    info.key = pending.key;
-    info.shard = pending.shard;
-    cluster_->late_read_hook()(info);
-  }
-  if (cluster_->config().read_repair) SendReadRepairs(pending);
-  pending_reads_.erase(it);
+  CloseReadCollection(pending);
 }
 
 // ---------------------------------------------------------------------------
@@ -707,8 +823,9 @@ void Node::StoreHint(Key key, NodeId home, const VersionedValue& value) {
   ++cluster_->metrics().hints_stored;
   if (!hint_task_scheduled_) {
     hint_task_scheduled_ = true;
-    cluster_->sim().Schedule(cluster_->config().hint_delivery_interval_ms,
-                             [this]() { DeliverHints(); });
+    (void)cluster_->sim().ScheduleTimer(
+        cluster_->config().hint_delivery_interval_ms,
+        [this]() { DeliverHints(); });
   }
 }
 
@@ -718,16 +835,21 @@ void Node::DeliverHints() {
     // A crashed substitute retries once it recovers and the task refires.
     if (!hints_.empty()) {
       hint_task_scheduled_ = true;
-      cluster_->sim().Schedule(cluster_->config().hint_delivery_interval_ms,
-                               [this]() { DeliverHints(); });
+      (void)cluster_->sim().ScheduleTimer(
+          cluster_->config().hint_delivery_interval_ms,
+          [this]() { DeliverHints(); });
     }
     return;
   }
   const FailureDetector* detector = cluster_->failure_detector();
-  std::vector<Hint> remaining;
-  for (Hint& hint : hints_) {
+  // In-place compaction: undeliverable hints slide forward (order
+  // preserved), delivered ones are forwarded and dropped.
+  size_t kept = 0;
+  for (size_t i = 0; i < hints_.size(); ++i) {
+    Hint& hint = hints_[i];
     if (detector != nullptr && detector->IsSuspected(hint.home)) {
-      remaining.push_back(std::move(hint));
+      if (kept != i) hints_[kept] = std::move(hint);
+      ++kept;
       continue;
     }
     // Forward to the home replica as a fire-and-forget replication write.
@@ -737,17 +859,19 @@ void Node::DeliverHints() {
     // Fire-and-forget: an undelivered hint stays queued until the next pass.
     (void)cluster_->network().SendWithDelay(
         id_, hint.home, delay,
-        [target, key = hint.key, value = std::move(hint.value),
+        [target, key = hint.key,
+         ref = cluster_->version_arena().Acquire(hint.value),
          from = id_]() {
-          target->HandleWriteRequest(key, value, from, /*request_id=*/0,
+          target->HandleWriteRequest(key, *ref, from, /*request_id=*/0,
                                      /*is_repair=*/true);
         });
   }
-  hints_ = std::move(remaining);
+  hints_.resize(kept);
   if (!hints_.empty()) {
     hint_task_scheduled_ = true;
-    cluster_->sim().Schedule(cluster_->config().hint_delivery_interval_ms,
-                             [this]() { DeliverHints(); });
+    (void)cluster_->sim().ScheduleTimer(
+        cluster_->config().hint_delivery_interval_ms,
+        [this]() { DeliverHints(); });
   }
 }
 
@@ -755,20 +879,23 @@ void Node::HandleReadRequest(Key key, NodeId coordinator, uint64_t request_id,
                              uint64_t trace_id) {
   if (!alive_) return;
   assert(is_replica_);
-  std::optional<VersionedValue> value = storage_.Get(key);
-  const int64_t held_sequence = value.has_value() ? value->sequence : 0;
+  const VersionedValue* stored = storage_.Find(key);
+  const int64_t held_sequence = stored != nullptr ? stored->sequence : 0;
   const double delay =
       coordinator == id_ ? 0.0 : cluster_->config().legs.s->Sample(rng_);
   if (cluster_->leg_profiler() != nullptr && coordinator != id_) {
     cluster_->leg_profiler()->Record(LegProfiler::Leg::kReadResponse, delay);
   }
   Node* target = &cluster_->node(coordinator);
+  VersionRef ref;
+  if (stored != nullptr) ref = cluster_->version_arena().Acquire(*stored);
   // A dropped response leaves the coordinator's hedge/timeout timers armed.
   double effective_delay = delay;
   const bool delivered = cluster_->network().SendWithDelay(
       id_, coordinator, delay,
-      [target, request_id, replica = id_, value = std::move(value)]() {
-        target->OnReadResponse(request_id, replica, value);
+      [target, request_id, replica = id_, ref = std::move(ref)]() {
+        target->OnReadResponseValue(request_id, replica,
+                                    ref ? &*ref : nullptr);
       },
       &effective_delay);
   if (trace_id != 0) {

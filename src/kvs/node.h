@@ -2,16 +2,20 @@
 #define PBS_KVS_NODE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "kvs/ring.h"
 #include "kvs/storage.h"
 #include "kvs/version.h"
+#include "kvs/version_arena.h"
 #include "sim/network.h"
+#include "sim/timer_wheel.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
+#include "util/small_vector.h"
 #include "util/status.h"
 
 namespace pbs {
@@ -73,6 +77,14 @@ using LateReadHook = std::function<void(const LateReadInfo&)>;
 /// non-replica coordinators model Dynamo's proxying front-ends and keep the
 /// event-driven cluster aligned with the WARS assumption that the
 /// coordinator is not itself one of the N replicas.
+///
+/// Hot-path structure (see DESIGN.md §10): per-operation coordinator state
+/// lives in pooled slots (deque slab + free list, indexed by a FlatMap64
+/// from request id), operations move through explicit passes recorded in
+/// the slot, message closures carry 16-byte VersionRef handles into the
+/// cluster's VersionArena instead of value copies, and timeouts/hedges/
+/// backoffs are cancellable timer-wheel entries. Steady state, the whole
+/// read/write path performs no heap allocation.
 class Node {
  public:
   Node(Cluster* cluster, NodeId id, bool is_replica, uint64_t seed);
@@ -148,38 +160,72 @@ class Node {
                       std::optional<VersionedValue> value);
 
  private:
+  /// Write-op passes. kCollect counts acks against the padded W; the
+  /// request-timeout pass moves the op to kHandoff (hinted handoff
+  /// re-delivery under backoff) when enabled, otherwise retires it.
+  /// `committed` / `timed_out` are outcome flags orthogonal to the pass (a
+  /// write can time out, report failure, and still commit late during the
+  /// handoff drain).
+  enum class WritePass : uint8_t { kCollect, kHandoff };
+
+  /// Read-op passes. kCollect assembles the first R responses; the return
+  /// pass hands the client its answer and moves the op to kLateCollect,
+  /// where remaining responses feed read repair and the staleness detector
+  /// until the close pass retires the slot.
+  enum class ReadPass : uint8_t { kCollect, kLateCollect };
+
   struct PendingWrite {
+    uint64_t request_id = 0;
+    uint32_t slot = 0;  // own pool index (for free-list recycling)
     Key key = 0;
-    VersionedValue value;
-    std::vector<NodeId> replicas;
-    std::vector<bool> acked;
+    VersionRef value;               // payload slot in the cluster arena
+    std::vector<NodeId> replicas;   // capacity survives slot reuse
+    uint64_t acked_mask = 0;        // bit i set <=> replicas[i] acked
     int acks = 0;
     int required = 1;  // W captured at start (survives live reconfiguration)
     int handoff_retries = 0;
     double start_time = 0.0;
+    WritePass pass = WritePass::kCollect;
     bool committed = false;
     bool timed_out = false;
     uint64_t trace_id = 0;  // 0 = op not sampled, tracing a no-op
     NodeId shard = 0;       // primary owner at start (per-shard metrics)
+    TimerHandle timer;      // request timeout, then the handoff backoff
     WriteCallback done;
   };
 
+  struct ReadResponse {
+    NodeId replica = 0;
+    bool has_value = false;
+    VersionedValue value;
+  };
+
   struct PendingRead {
+    uint64_t request_id = 0;
+    uint32_t slot = 0;              // own pool index
     Key key = 0;
     std::vector<NodeId> replicas;   // contacted replicas (grows on hedges)
     std::vector<NodeId> untried;    // preference-list replicas never tried
     std::vector<NodeId> hedge_only; // replicas first contacted by a hedge
     int responses = 0;  // distinct replicas heard from (duplicates dropped)
     int required = 1;  // R captured at start (survives live reconfiguration)
-    bool returned = false;
+    ReadPass pass = ReadPass::kCollect;
     double start_time = 0.0;
-    std::optional<VersionedValue> best;       // freshest among first R
-    std::optional<VersionedValue> best_all;   // freshest among all responses
-    std::vector<std::pair<NodeId, std::optional<VersionedValue>>> all;
+    bool has_best = false;      // freshest among first R, when any arrived
+    VersionedValue best;
+    bool has_best_all = false;  // freshest among all responses
+    VersionedValue best_all;
+    // First `responses` entries are live; entries (and their value buffers)
+    // are reused in place across slot recycling instead of cleared.
+    std::vector<ReadResponse> all;
     std::vector<int64_t> late_sequences;
     uint64_t trace_id = 0;  // 0 = op not sampled, tracing a no-op
     NodeId shard = 0;       // primary owner at start (per-shard metrics)
+    TimerHandle timeout_timer;
+    TimerHandle hedge_timer;
     ReadCallback done;
+
+    bool returned() const { return pass != ReadPass::kCollect; }
   };
 
   struct Hint {
@@ -188,14 +234,33 @@ class Node {
     VersionedValue value;
   };
 
+  // Pooled-slot plumbing: request id -> slot via FlatMap64, slots recycled
+  // through free lists. Deques give reference stability (a pass may hold a
+  // slot reference across a `done` callback that starts a new operation).
+  PendingWrite* FindWrite(uint64_t request_id);
+  PendingRead* FindRead(uint64_t request_id);
+  PendingWrite& AcquireWrite(uint64_t request_id);
+  PendingRead& AcquireRead(uint64_t request_id);
+  void RetireWrite(PendingWrite& pending);
+  void RetireRead(PendingRead& pending);
+
+  // Write passes.
   void OnWriteTimeout(uint64_t request_id);
+  void ResendUnacked(uint64_t request_id);
+
+  // Read passes.
   void OnReadTimeout(uint64_t request_id);
   void OnHedgeDeadline(uint64_t request_id);
+  void OnReadResponseValue(uint64_t request_id, NodeId replica,
+                           const VersionedValue* value);
+  void ReturnRead(PendingRead& pending, NodeId replica);
+  void MaybeFinishReadCollection(PendingRead& pending);
+  void CloseReadCollection(PendingRead& pending);
+  void SendReadRepairs(const PendingRead& pending);
   void SendReadRequest(Key key, NodeId replica, uint64_t request_id,
                        uint64_t trace_id, bool is_hedge);
-  void MaybeFinishReadCollection(uint64_t request_id, PendingRead& pending);
-  void SendReadRepairs(const PendingRead& pending);
-  void ResendUnacked(uint64_t request_id);
+
+  // Sloppy-quorum hints.
   void StoreHint(Key key, NodeId home, const VersionedValue& value);
   void DeliverHints();
 
@@ -205,8 +270,20 @@ class Node {
   bool alive_ = true;
   Rng rng_;
   ReplicaStorage storage_;
-  std::unordered_map<uint64_t, PendingWrite> pending_writes_;
-  std::unordered_map<uint64_t, PendingRead> pending_reads_;
+
+  std::deque<PendingWrite> write_pool_;
+  std::vector<uint32_t> write_free_;
+  FlatMap64 write_index_;
+  std::deque<PendingRead> read_pool_;
+  std::vector<uint32_t> read_free_;
+  FlatMap64 read_index_;
+
+  // CoordinateWrite scratch, reused per call: sloppy-quorum hint targets
+  // (parallel to the pending op's replica list) and the extended
+  // preference list substitutes are drawn from.
+  SmallVector<NodeId, 8> hint_homes_;
+  std::vector<NodeId> extended_scratch_;
+
   std::vector<Hint> hints_;
   bool hint_task_scheduled_ = false;
 };

@@ -26,6 +26,11 @@ std::optional<VersionedValue> ReplicaStorage::Get(Key key) const {
   return it->second;
 }
 
+const VersionedValue* ReplicaStorage::Find(Key key) const {
+  const auto it = data_.find(key);
+  return it == data_.end() ? nullptr : &it->second;
+}
+
 void ReplicaStorage::ForEach(
     const std::function<void(Key, const VersionedValue&)>& fn) const {
   for (const auto& [key, value] : data_) fn(key, value);

@@ -26,6 +26,11 @@ class ReplicaStorage {
   /// The stored version, if any.
   std::optional<VersionedValue> Get(Key key) const;
 
+  /// Borrowed pointer to the stored version (nullptr when absent). The hot
+  /// read path uses this to avoid copying the value before the network send
+  /// captures it; the pointer is invalidated by the next Put.
+  const VersionedValue* Find(Key key) const;
+
   size_t num_keys() const { return data_.size(); }
 
   /// Iterates all (key, version) pairs; used by anti-entropy exchange.

@@ -1,13 +1,39 @@
 #include "kvs/version.h"
 
+#include <algorithm>
+
 namespace pbs {
 namespace kvs {
 
-void VectorClock::Increment(int node_id) { ++entries_[node_id]; }
+namespace {
+
+/// First entry with node >= node_id (entries are sorted by node).
+template <typename Vec>
+auto LowerBound(Vec& entries, int32_t node_id) {
+  return std::lower_bound(entries.begin(), entries.end(), node_id,
+                          [](const auto& entry, int32_t node) {
+                            return entry.node < node;
+                          });
+}
+
+}  // namespace
+
+void VectorClock::Increment(int node_id) {
+  auto it = LowerBound(entries_, node_id);
+  if (it != entries_.end() && it->node == node_id) {
+    ++it->count;
+    return;
+  }
+  const size_t at = static_cast<size_t>(it - entries_.begin());
+  entries_.emplace_back();
+  std::move_backward(entries_.begin() + at, entries_.end() - 1,
+                     entries_.end());
+  entries_[at] = Entry{node_id, 1};
+}
 
 int64_t VectorClock::EntryFor(int node_id) const {
-  const auto it = entries_.find(node_id);
-  return it == entries_.end() ? 0 : it->second;
+  const auto it = LowerBound(entries_, node_id);
+  return it != entries_.end() && it->node == node_id ? it->count : 0;
 }
 
 CausalOrder VectorClock::Compare(const VectorClock& other) const {
@@ -19,15 +45,15 @@ CausalOrder VectorClock::Compare(const VectorClock& other) const {
     int64_t va = 0;
     int64_t vb = 0;
     if (b == other.entries_.end() ||
-        (a != entries_.end() && a->first < b->first)) {
-      va = a->second;
+        (a != entries_.end() && a->node < b->node)) {
+      va = a->count;
       ++a;
-    } else if (a == entries_.end() || b->first < a->first) {
-      vb = b->second;
+    } else if (a == entries_.end() || b->node < a->node) {
+      vb = b->count;
       ++b;
     } else {
-      va = a->second;
-      vb = b->second;
+      va = a->count;
+      vb = b->count;
       ++a;
       ++b;
     }
@@ -41,10 +67,23 @@ CausalOrder VectorClock::Compare(const VectorClock& other) const {
 }
 
 VectorClock VectorClock::Merge(const VectorClock& a, const VectorClock& b) {
-  VectorClock merged = a;
-  for (const auto& [node, count] : b.entries_) {
-    auto& slot = merged.entries_[node];
-    if (count > slot) slot = count;
+  // Sorted two-pointer merge keeping the pointwise maximum.
+  VectorClock merged;
+  merged.entries_.reserve(a.entries_.size() + b.entries_.size());
+  auto ia = a.entries_.begin();
+  auto ib = b.entries_.begin();
+  while (ia != a.entries_.end() || ib != b.entries_.end()) {
+    if (ib == b.entries_.end() ||
+        (ia != a.entries_.end() && ia->node < ib->node)) {
+      merged.entries_.push_back(*ia++);
+    } else if (ia == a.entries_.end() || ib->node < ia->node) {
+      merged.entries_.push_back(*ib++);
+    } else {
+      merged.entries_.push_back(Entry{ia->node, std::max(ia->count,
+                                                         ib->count)});
+      ++ia;
+      ++ib;
+    }
   }
   return merged;
 }
@@ -52,10 +91,10 @@ VectorClock VectorClock::Merge(const VectorClock& a, const VectorClock& b) {
 std::string VectorClock::ToString() const {
   std::string out = "{";
   bool first = true;
-  for (const auto& [node, count] : entries_) {
+  for (const Entry& entry : entries_) {
     if (!first) out += ", ";
     first = false;
-    out += std::to_string(node) + ":" + std::to_string(count);
+    out += std::to_string(entry.node) + ":" + std::to_string(entry.count);
   }
   return out + "}";
 }

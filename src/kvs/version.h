@@ -2,8 +2,9 @@
 #define PBS_KVS_VERSION_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+
+#include "util/small_vector.h"
 
 namespace pbs {
 namespace kvs {
@@ -15,8 +16,23 @@ enum class CausalOrder { kEqual, kBefore, kAfter, kConcurrent };
 /// paper's footnote 2 cites for establishing a total ordering of versions
 /// (combined with a commutative merge). Dynamo attaches one of these to each
 /// object version.
+///
+/// Entries live in a node-id-sorted SmallVector: real clocks carry one or
+/// two writer entries (a session writes through one coordinator), so the
+/// previous std::map paid a heap node per entry on every version copy the
+/// replication fan-out made. Inline entries make VersionedValue copies
+/// allocation-free on the hot path.
 class VectorClock {
  public:
+  struct Entry {
+    int32_t node = 0;
+    int64_t count = 0;
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.node == b.node && a.count == b.count;
+    }
+  };
+
   /// Advances this clock's entry for `node_id` by one.
   void Increment(int node_id);
 
@@ -38,7 +54,7 @@ class VectorClock {
   }
 
  private:
-  std::map<int, int64_t> entries_;
+  SmallVector<Entry, 2> entries_;  // sorted by node id
 };
 
 /// Last-writer-wins stamp providing the *total* order the quorum read path

@@ -38,6 +38,11 @@ double EventQueue::NextTime() const {
   return pool_[heap_[0]].time;
 }
 
+uint64_t EventQueue::HeadSequence() const {
+  assert(!heap_.empty());
+  return pool_[heap_[0]].sequence;
+}
+
 EventCallback EventQueue::Pop(double* time) {
   assert(!heap_.empty());
   const uint32_t slot = heap_[0];

@@ -37,6 +37,17 @@ class EventQueue {
   /// Virtual time of the next event; queue must be non-empty.
   double NextTime() const;
 
+  /// Scheduling sequence of the next event; queue must be non-empty. The
+  /// simulator compares this against the timer wheel's earliest staged
+  /// timer so queue events and timers interleave in exact creation order.
+  uint64_t HeadSequence() const;
+
+  /// Issues the next value of the queue's sequence counter without pushing
+  /// an event. The timer wheel draws from this shared counter, which is
+  /// what makes (time, sequence) a single total order across both
+  /// structures — a timer fires exactly where the equivalent Push would.
+  uint64_t TakeSequence() { return next_sequence_++; }
+
   /// Removes and returns the next event's callback (earliest time, FIFO
   /// among ties); queue must be non-empty. The fire time is written to
   /// `*time` if non-null.

@@ -151,18 +151,41 @@ bool Network::SendWithDelay(NodeId src, NodeId dst, double delay,
   ++messages_sent_;
   if (effective_delay != nullptr) *effective_delay = delay;
   if (duplicate) {
-    // EventCallback is move-only; share one callback between the original
-    // and the lagged copy. Receivers see the same message twice and must
-    // deduplicate (the quorum read/write paths count distinct replicas).
+    // The original and the lagged copy share one pooled callback slot
+    // (EventCallback is move-only). Receivers see the same message twice and
+    // must deduplicate (the quorum read/write paths count distinct
+    // replicas).
     ++messages_duplicated_;
     ++link_stats_[{src, dst}].duplicated;
-    auto shared = std::make_shared<EventCallback>(std::move(deliver));
-    sim_->Schedule(delay, [shared]() { (*shared)(); });
-    sim_->Schedule(delay + duplicate_lag, [shared]() { (*shared)(); });
+    uint32_t slot;
+    if (!duplicate_free_.empty()) {
+      slot = duplicate_free_.back();
+      duplicate_free_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(duplicate_pool_.size());
+      duplicate_pool_.emplace_back();
+    }
+    DuplicateSlot& record = duplicate_pool_[slot];
+    record.callback = std::move(deliver);
+    record.remaining = 2;
+    sim_->Schedule(delay, [this, slot]() { FireDuplicate(slot); });
+    sim_->Schedule(delay + duplicate_lag,
+                   [this, slot]() { FireDuplicate(slot); });
   } else {
     sim_->Schedule(delay, std::move(deliver));
   }
   return true;
+}
+
+void Network::FireDuplicate(uint32_t index) {
+  DuplicateSlot& slot = duplicate_pool_[index];
+  slot.callback();
+  // Re-index: the callback may have duplicated further messages and grown
+  // the pool (deque keeps references valid, but stay explicit about it).
+  if (--duplicate_pool_[index].remaining == 0) {
+    duplicate_pool_[index].callback = nullptr;
+    duplicate_free_.push_back(index);
+  }
 }
 
 bool Network::Send(NodeId src, NodeId dst, EventCallback deliver) {

@@ -2,8 +2,10 @@
 #define PBS_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <set>
+#include <vector>
 #include <utility>
 
 #include "dist/distribution.h"
@@ -148,6 +150,10 @@ class Network {
   bool ApplyFault(FaultState& state, NodeId src, NodeId dst, double* delay,
                   bool* duplicate, double* duplicate_lag);
 
+  /// Fires the callback parked in duplicate slot `index`; releases the slot
+  /// after its second (final) invocation.
+  void FireDuplicate(uint32_t index);
+
   Simulator* sim_;
   Rng rng_;
   DistributionPtr default_latency_;
@@ -157,6 +163,16 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, FaultState> link_faults_;  // directed
   std::map<NodeId, FaultState> node_faults_;  // keyed by src
   std::map<std::pair<NodeId, NodeId>, LinkFaultStats> link_stats_;
+  // Duplicate-delivery slots: the original and lagged copy of a duplicated
+  // message share one pooled callback instead of a shared_ptr heap
+  // allocation per duplication. Deque for reference stability (a firing
+  // callback may send — and duplicate — further messages).
+  struct DuplicateSlot {
+    EventCallback callback;
+    int remaining = 0;
+  };
+  std::deque<DuplicateSlot> duplicate_pool_;
+  std::vector<uint32_t> duplicate_free_;
   double drop_probability_ = 0.0;
   int64_t messages_sent_ = 0;
   int64_t messages_dropped_ = 0;

@@ -16,13 +16,56 @@ void Simulator::At(double time, EventCallback callback) {
   NoteQueueDepth();
 }
 
+TimerHandle Simulator::ScheduleTimer(double delay, EventCallback callback) {
+  assert(delay >= 0.0);
+  // The sequence is drawn from the queue's counter: timers and events form
+  // one creation-ordered stream, so FIFO ties resolve identically whether a
+  // deadline lives here or in the queue.
+  return timers_.Add(now_ + delay, queue_.TakeSequence(),
+                     std::move(callback));
+}
+
+bool Simulator::CancelTimer(TimerHandle handle) {
+  return timers_.Cancel(handle);
+}
+
+bool Simulator::FireNext(double limit) {
+  const bool have_queue = !queue_.empty();
+  const double queue_time = have_queue ? queue_.NextTime() : 0.0;
+  // Stage every timer due at or before the queue head so the pick below
+  // compares complete information. With an empty queue, PeekReady advances
+  // the wheel itself.
+  if (have_queue) timers_.ExpireUpTo(queue_time);
+  double timer_time = 0.0;
+  uint64_t timer_sequence = 0;
+  const bool have_timer = timers_.PeekReady(&timer_time, &timer_sequence);
+
+  bool pick_timer;
+  if (have_queue && have_timer) {
+    pick_timer = timer_time < queue_time ||
+                 (timer_time == queue_time &&
+                  timer_sequence < queue_.HeadSequence());
+  } else if (have_timer) {
+    pick_timer = true;
+  } else if (have_queue) {
+    pick_timer = false;
+  } else {
+    return false;
+  }
+
+  if ((pick_timer ? timer_time : queue_time) > limit) return false;
+  double time = 0.0;
+  EventCallback callback =
+      pick_timer ? timers_.PopReady(&time) : queue_.Pop(&time);
+  now_ = time;
+  callback();
+  return true;
+}
+
 size_t Simulator::Run(size_t max_events) {
   size_t processed = 0;
-  while (!queue_.empty() && processed < max_events) {
-    double time = 0.0;
-    EventCallback callback = queue_.Pop(&time);
-    now_ = time;
-    callback();
+  while (processed < max_events &&
+         FireNext(std::numeric_limits<double>::infinity())) {
     ++processed;
   }
   events_processed_ += processed;
@@ -32,13 +75,7 @@ size_t Simulator::Run(size_t max_events) {
 size_t Simulator::RunUntil(double end_time) {
   assert(end_time >= now_);
   size_t processed = 0;
-  while (!queue_.empty() && queue_.NextTime() <= end_time) {
-    double time = 0.0;
-    EventCallback callback = queue_.Pop(&time);
-    now_ = time;
-    callback();
-    ++processed;
-  }
+  while (FireNext(end_time)) ++processed;
   now_ = end_time;
   events_processed_ += processed;
   return processed;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "sim/event_queue.h"
+#include "sim/timer_wheel.h"
 
 namespace pbs {
 
@@ -15,6 +16,18 @@ namespace pbs {
 /// network) are plain objects that capture `this` in scheduled callbacks.
 /// Determinism: callbacks fire in (time, scheduling-order) order and all
 /// randomness comes from explicitly seeded Rng streams.
+///
+/// Two scheduling surfaces share one (time, sequence) total order:
+///   - Schedule()/At() — the event queue, for messages and one-shot work.
+///   - ScheduleTimer()/CancelTimer() — the hierarchical timer wheel, for
+///     the timeout/hedge/retry/heartbeat population where most timers are
+///     cancelled before firing. Cancellation is O(1) and a cancelled timer
+///     never fires (not even as a no-op), keeping the hot loop free of
+///     dead timeout events.
+/// Because both draw sequence numbers from one shared counter and the wheel
+/// stages timers by exact fire time, replacing a Schedule with a
+/// ScheduleTimer is bitwise behavior-preserving (same firing order, same
+/// FIFO tie-breaks).
 class Simulator {
  public:
   /// Current virtual time.
@@ -26,6 +39,13 @@ class Simulator {
   /// Schedules `callback` at absolute time `time` >= now().
   void At(double time, EventCallback callback);
 
+  /// Schedules a cancellable timer firing `delay` >= 0 after now().
+  TimerHandle ScheduleTimer(double delay, EventCallback callback);
+
+  /// Cancels a pending timer; returns false if it already fired (or was
+  /// already cancelled). The callback's captures are released immediately.
+  bool CancelTimer(TimerHandle handle);
+
   /// Runs events until the queue is empty or `max_events` fired.
   /// Returns the number of events processed.
   size_t Run(size_t max_events = std::numeric_limits<size_t>::max());
@@ -35,19 +55,32 @@ class Simulator {
   size_t RunUntil(double end_time);
 
   size_t events_processed() const { return events_processed_; }
-  bool HasPendingEvents() const { return !queue_.empty(); }
+  bool HasPendingEvents() const {
+    return !queue_.empty() || timers_.pending() > 0;
+  }
+
+  /// Pending (not fired, not cancelled) timer-wheel entries.
+  size_t pending_timers() const { return timers_.pending(); }
 
   /// High-water mark of the event queue over the simulator's lifetime — an
   /// observability instrument (exported as "sim/max_queue_depth"): retry
   /// storms and hedge floods show up here before they show up in latency.
+  /// Counts the event queue only; timer-wheel residency has its own
+  /// high-water mark in max_pending_timers().
   size_t max_queue_depth() const { return max_queue_depth_; }
+  size_t max_pending_timers() const { return timers_.max_pending(); }
 
  private:
   void NoteQueueDepth() {
     if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   }
 
+  /// Fires the earliest of (queue head, staged timer) if its time is
+  /// <= `limit`; returns whether anything fired.
+  bool FireNext(double limit);
+
   EventQueue queue_;
+  TimerWheel timers_;
   double now_ = 0.0;
   size_t events_processed_ = 0;
   size_t max_queue_depth_ = 0;

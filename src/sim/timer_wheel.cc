@@ -1,0 +1,293 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pbs {
+
+namespace {
+constexpr size_t kReadyArity = 4;
+
+int CountTrailingZeros(uint64_t v) {
+  assert(v != 0);
+  return __builtin_ctzll(v);
+}
+}  // namespace
+
+TimerWheel::TimerWheel(double resolution_ms)
+    : resolution_ms_(resolution_ms), inv_resolution_(1.0 / resolution_ms) {
+  assert(resolution_ms > 0.0);
+  for (uint32_t& head : buckets_) head = kNil;
+}
+
+uint32_t TimerWheel::AllocSlot() {
+  if (!free_.empty()) {
+    const uint32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  slab_.emplace_back();
+  return static_cast<uint32_t>(slab_.size() - 1);
+}
+
+void TimerWheel::FreeSlot(uint32_t index) {
+  Timer& timer = slab_[index];
+  timer.callback = nullptr;
+  timer.state = State::kFree;
+  timer.cancelled = false;
+  ++timer.generation;  // invalidate outstanding handles
+  free_.push_back(index);
+}
+
+void TimerWheel::LinkIntoBucket(uint32_t index, int64_t tick) {
+  Timer& timer = slab_[index];
+  if (tick < current_tick_) {
+    // Already due relative to the wheel position (a zero-delay timer, or a
+    // re-cascade after a long drain): stage directly — the ready heap
+    // carries exact (time, sequence), so ordering is unaffected.
+    StageReady(index);
+    return;
+  }
+  const int64_t delta = tick - current_tick_;
+  int level = 0;
+  while (level < kLevels - 1 &&
+         delta >= (int64_t{1} << (kSlotBits * (level + 1)))) {
+    ++level;
+  }
+  int64_t slot_tick = tick;
+  if (delta >= (int64_t{1} << (kSlotBits * kLevels))) {
+    // Beyond the top level's span: park in the furthest top-level slot and
+    // let it re-cascade when the wheel comes around.
+    slot_tick = current_tick_ + (int64_t{1} << (kSlotBits * kLevels)) - 1;
+  }
+  const uint64_t slot =
+      static_cast<uint64_t>(slot_tick >> (kSlotBits * level)) & (kSlots - 1);
+  const uint16_t bucket = static_cast<uint16_t>(level * kSlots + slot);
+
+  timer.state = State::kBucket;
+  timer.bucket = bucket;
+  timer.prev = kNil;
+  timer.next = buckets_[bucket];
+  if (timer.next != kNil) slab_[timer.next].prev = index;
+  buckets_[bucket] = index;
+  occupancy_[level] |= uint64_t{1} << slot;
+  ++in_buckets_;
+}
+
+void TimerWheel::UnlinkFromBucket(uint32_t index) {
+  Timer& timer = slab_[index];
+  assert(timer.state == State::kBucket);
+  if (timer.prev != kNil) {
+    slab_[timer.prev].next = timer.next;
+  } else {
+    buckets_[timer.bucket] = timer.next;
+  }
+  if (timer.next != kNil) slab_[timer.next].prev = timer.prev;
+  if (buckets_[timer.bucket] == kNil) {
+    occupancy_[timer.bucket / kSlots] &=
+        ~(uint64_t{1} << (timer.bucket % kSlots));
+  }
+  --in_buckets_;
+}
+
+void TimerWheel::StageReady(uint32_t index) {
+  Timer& timer = slab_[index];
+  timer.state = State::kReady;
+  ready_.push_back(Ready{timer.time, timer.sequence, index});
+  ReadySiftUp(ready_.size() - 1);
+}
+
+TimerHandle TimerWheel::Add(double time, uint64_t sequence,
+                            EventCallback callback) {
+  assert(callback);
+  const uint32_t index = AllocSlot();
+  Timer& timer = slab_[index];
+  timer.time = time;
+  timer.sequence = sequence;
+  timer.cancelled = false;
+  timer.callback = std::move(callback);
+  LinkIntoBucket(index, TickOf(time));
+  ++pending_;
+  if (pending_ > max_pending_) max_pending_ = pending_;
+  return TimerHandle{index, timer.generation};
+}
+
+bool TimerWheel::Cancel(TimerHandle handle) {
+  if (!handle.valid() || handle.index >= slab_.size()) return false;
+  Timer& timer = slab_[handle.index];
+  if (timer.generation != handle.generation ||
+      timer.state == State::kFree || timer.cancelled) {
+    return false;
+  }
+  --pending_;
+  if (timer.state == State::kBucket) {
+    UnlinkFromBucket(handle.index);
+    FreeSlot(handle.index);
+  } else {
+    // Staged in the ready heap: drop the captures now, skip the heap entry
+    // lazily when it reaches the top.
+    timer.cancelled = true;
+    timer.callback = nullptr;
+  }
+  return true;
+}
+
+void TimerWheel::Cascade(int level, uint64_t slot) {
+  const uint16_t bucket = static_cast<uint16_t>(level * kSlots + slot);
+  uint32_t index = buckets_[bucket];
+  buckets_[bucket] = kNil;
+  occupancy_[level] &= ~(uint64_t{1} << slot);
+  while (index != kNil) {
+    const uint32_t next = slab_[index].next;
+    --in_buckets_;
+    LinkIntoBucket(index, TickOf(slab_[index].time));
+    index = next;
+  }
+}
+
+void TimerWheel::ExpireUpTo(double time) {
+  int64_t target;
+  if (std::isfinite(time) &&
+      time * inv_resolution_ <
+          static_cast<double>(std::numeric_limits<int64_t>::max() / 2)) {
+    target = TickOf(time);
+  } else {
+    target = std::numeric_limits<int64_t>::max() / 2;
+  }
+  ExpireTicksUpTo(target);
+}
+
+void TimerWheel::ExpireTicksUpTo(int64_t target) {
+  if (target < current_tick_) return;
+  if (in_buckets_ == 0) {
+    // Nothing resident: advance the position without touching buckets. Never
+    // run past the last expired tick plus the targeted range boundary —
+    // future Adds compute deltas against this position.
+    current_tick_ = target + 1;
+    return;
+  }
+  while (current_tick_ <= target && in_buckets_ > 0) {
+    if ((current_tick_ & (kSlots - 1)) == 0) {
+      // Window boundary: cascade the covering bucket of every level whose
+      // boundary this is, coarsest first so re-filed timers land in the
+      // finer buckets before those are consumed.
+      for (int level = kLevels - 1; level >= 1; --level) {
+        const int64_t span = int64_t{1} << (kSlotBits * level);
+        if ((current_tick_ & (span - 1)) == 0) {
+          Cascade(level,
+                  static_cast<uint64_t>(current_tick_ >> (kSlotBits * level)) &
+                      (kSlots - 1));
+        }
+      }
+    }
+    const int64_t window_last = current_tick_ | (kSlots - 1);
+    const int64_t stop = std::min(target, window_last);  // inclusive
+    int64_t tick = current_tick_;
+    while (tick <= stop) {
+      const int base_slot = static_cast<int>(tick & (kSlots - 1));
+      const uint64_t rest = occupancy_[0] >> base_slot;
+      if (rest == 0) break;  // no occupied level-0 slot left in this window
+      const int64_t occupied =
+          (tick & ~static_cast<int64_t>(kSlots - 1)) + base_slot +
+          CountTrailingZeros(rest);
+      if (occupied > stop) break;
+      const uint64_t slot = static_cast<uint64_t>(occupied) & (kSlots - 1);
+      uint32_t index = buckets_[slot];
+      buckets_[slot] = kNil;
+      occupancy_[0] &= ~(uint64_t{1} << slot);
+      while (index != kNil) {
+        const uint32_t next = slab_[index].next;
+        --in_buckets_;
+        StageReady(index);
+        index = next;
+      }
+      tick = occupied + 1;
+    }
+    current_tick_ = stop + 1;
+  }
+  if (in_buckets_ == 0 && current_tick_ <= target) current_tick_ = target + 1;
+}
+
+void TimerWheel::DropCancelledReadyHead() {
+  while (!ready_.empty() && slab_[ready_.front().index].cancelled) {
+    const uint32_t index = ready_.front().index;
+    ready_.front() = ready_.back();
+    ready_.pop_back();
+    if (!ready_.empty()) ReadySiftDown(0);
+    FreeSlot(index);
+  }
+}
+
+bool TimerWheel::PeekReady(double* time, uint64_t* sequence) {
+  DropCancelledReadyHead();
+  while (ready_.empty()) {
+    if (in_buckets_ == 0) return false;
+    // Advance window by window until something stages (used when the main
+    // event queue is empty and the wheel must supply the next event).
+    ExpireTicksUpTo(current_tick_ | (kSlots - 1));
+    DropCancelledReadyHead();
+  }
+  *time = ready_.front().time;
+  *sequence = ready_.front().sequence;
+  return true;
+}
+
+EventCallback TimerWheel::PopReady(double* time) {
+  DropCancelledReadyHead();
+  assert(!ready_.empty());
+  const uint32_t index = ready_.front().index;
+  Timer& timer = slab_[index];
+  if (time != nullptr) *time = timer.time;
+  EventCallback callback = std::move(timer.callback);
+  ready_.front() = ready_.back();
+  ready_.pop_back();
+  if (!ready_.empty()) ReadySiftDown(0);
+  FreeSlot(index);
+  --pending_;
+  return callback;
+}
+
+void TimerWheel::ReadySiftUp(size_t hole) {
+  const Ready moving = ready_[hole];
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / kReadyArity;
+    const Ready& p = ready_[parent];
+    if (p.time < moving.time ||
+        (p.time == moving.time && p.sequence < moving.sequence)) {
+      break;
+    }
+    ready_[hole] = p;
+    hole = parent;
+  }
+  ready_[hole] = moving;
+}
+
+void TimerWheel::ReadySiftDown(size_t hole) {
+  const Ready moving = ready_[hole];
+  const size_t count = ready_.size();
+  for (;;) {
+    const size_t first = kReadyArity * hole + 1;
+    if (first >= count) break;
+    const size_t last = std::min(first + kReadyArity, count);
+    size_t best = first;
+    for (size_t c = first + 1; c < last; ++c) {
+      const Ready& a = ready_[c];
+      const Ready& b = ready_[best];
+      if (a.time < b.time || (a.time == b.time && a.sequence < b.sequence)) {
+        best = c;
+      }
+    }
+    const Ready& winner = ready_[best];
+    if (!(winner.time < moving.time ||
+          (winner.time == moving.time && winner.sequence < moving.sequence))) {
+      break;
+    }
+    ready_[hole] = winner;
+    hole = best;
+  }
+  ready_[hole] = moving;
+}
+
+}  // namespace pbs

@@ -1,0 +1,136 @@
+#ifndef PBS_SIM_TIMER_WHEEL_H_
+#define PBS_SIM_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/function.h"
+
+namespace pbs {
+
+using EventCallback = UniqueFunction<void()>;
+
+/// Handle to a scheduled timer. The (index, generation) pair makes
+/// cancellation safe against slot reuse: cancelling an already-fired timer
+/// whose slot was recycled is a detected no-op, not a corruption.
+struct TimerHandle {
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+  uint32_t index = kInvalid;
+  uint32_t generation = 0;
+
+  bool valid() const { return index != kInvalid; }
+};
+
+/// Hierarchical batched timer wheel for the discrete-event simulator's
+/// timer population: request timeouts, hedge deadlines, retry backoffs,
+/// heartbeats. These timers are overwhelmingly *cancelled* (a healthy
+/// operation commits long before its timeout), so they want O(1) insert and
+/// O(1) cancel rather than the O(log n) heap traffic the main event queue
+/// pays — and cancelled timers must vanish instead of firing as no-op
+/// events.
+///
+/// Structure: kLevels levels of kSlots buckets; level l buckets span
+/// 64^l ticks of `resolution_ms`. A timer lands in the coarsest bucket
+/// whose span still distinguishes it from "now" and cascades toward level 0
+/// as the wheel turns. Buckets are intrusive doubly-linked lists over a
+/// slab of timer records (cancel unlinks in O(1) and recycles the slot;
+/// steady state allocates nothing). Per-level occupancy bitmasks let the
+/// wheel skip empty regions, so advancing virtual time far with few timers
+/// is cheap.
+///
+/// Determinism contract: the wheel is an *indexing* structure only. Every
+/// record keeps its exact fire time and the globally shared scheduling
+/// sequence number, and expiry stages records into a (time, sequence)
+/// min-heap the simulator merges with the main event queue — so a timer
+/// fires at exactly the (time, sequence) position a plain Schedule() call
+/// would have, bit for bit, including FIFO tie order.
+class TimerWheel {
+ public:
+  explicit TimerWheel(double resolution_ms = 0.5);
+
+  /// Registers a timer firing at absolute time `time` with scheduling
+  /// sequence `sequence` (issued by the shared simulator counter).
+  TimerHandle Add(double time, uint64_t sequence, EventCallback callback);
+
+  /// Cancels the timer if it has not fired; returns whether it was live.
+  /// The callback is destroyed immediately (dropping its captures).
+  bool Cancel(TimerHandle handle);
+
+  /// Live timers (scheduled and not yet fired or cancelled).
+  size_t pending() const { return pending_; }
+
+  /// Advances the wheel, staging every timer with fire time <= `time` into
+  /// the ready heap. Pass +infinity to drain all pending timers.
+  void ExpireUpTo(double time);
+
+  /// Earliest staged timer, ordered by (time, sequence). PeekReady returns
+  /// false when nothing is staged (after skipping cancelled entries).
+  bool PeekReady(double* time, uint64_t* sequence);
+
+  /// Pops the earliest staged timer's callback; PeekReady must have
+  /// returned true. Writes the fire time to `*time` if non-null.
+  EventCallback PopReady(double* time = nullptr);
+
+  /// High-water mark of timers resident in the wheel.
+  size_t max_pending() const { return max_pending_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 6;
+  static constexpr uint64_t kSlots = 1ull << kSlotBits;  // 64 per level
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  enum class State : uint8_t { kFree, kBucket, kReady };
+
+  struct Timer {
+    double time = 0.0;
+    uint64_t sequence = 0;
+    uint32_t generation = 0;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+    uint16_t bucket = 0;  // level * kSlots + slot while State::kBucket
+    State state = State::kFree;
+    bool cancelled = false;
+    EventCallback callback;
+  };
+
+  struct Ready {
+    double time;
+    uint64_t sequence;
+    uint32_t index;
+  };
+
+  int64_t TickOf(double time) const {
+    return static_cast<int64_t>(time * inv_resolution_);
+  }
+
+  uint32_t AllocSlot();
+  void ExpireTicksUpTo(int64_t target);
+  void FreeSlot(uint32_t index);
+  void LinkIntoBucket(uint32_t index, int64_t tick);
+  void UnlinkFromBucket(uint32_t index);
+  void StageReady(uint32_t index);
+  void Cascade(int level, uint64_t slot);
+  void ReadySiftUp(size_t hole);
+  void ReadySiftDown(size_t hole);
+  void DropCancelledReadyHead();
+
+  double resolution_ms_;
+  double inv_resolution_;
+  int64_t current_tick_ = 0;  // buckets strictly before this tick are empty
+
+  std::vector<Timer> slab_;
+  std::vector<uint32_t> free_;
+  uint32_t buckets_[kLevels * kSlots];
+  uint64_t occupancy_[kLevels] = {0, 0, 0, 0};
+  size_t in_buckets_ = 0;
+
+  std::vector<Ready> ready_;  // 4-ary min-heap by (time, sequence)
+  size_t pending_ = 0;
+  size_t max_pending_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_SIM_TIMER_WHEEL_H_

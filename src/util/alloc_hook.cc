@@ -1,0 +1,79 @@
+#include "util/alloc_hook.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed is enough: the tests read the counters from the same thread that
+// performed the allocations, and cross-thread reads only need eventual
+// counts, not ordering.
+std::atomic<int64_t> g_allocations{0};
+std::atomic<int64_t> g_bytes{0};
+
+void* CountedAlloc(size_t size, size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<int64_t>(size), std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = alignment > alignof(std::max_align_t)
+                ? std::aligned_alloc(alignment,
+                                     (size + alignment - 1) / alignment *
+                                         alignment)
+                : std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+namespace pbs {
+namespace alloc_hook {
+
+int64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+int64_t AllocatedBytes() { return g_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace alloc_hook
+}  // namespace pbs
+
+// Global replacements: every flavor funnels into CountedAlloc/free so the
+// counters see placement-independent totals.
+void* operator new(size_t size) { return CountedAlloc(size, 0); }
+void* operator new[](size_t size) { return CountedAlloc(size, 0); }
+void* operator new(size_t size, std::align_val_t al) {
+  return CountedAlloc(size, static_cast<size_t>(al));
+}
+void* operator new[](size_t size, std::align_val_t al) {
+  return CountedAlloc(size, static_cast<size_t>(al));
+}
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<int64_t>(size), std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<int64_t>(size), std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,30 @@
+#ifndef PBS_UTIL_ALLOC_HOOK_H_
+#define PBS_UTIL_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace pbs {
+
+/// Counting allocator hook for the zero-allocation tests. Linking the
+/// `pbs_alloc_hook` library into a test binary replaces the global
+/// operator new/delete with counting versions; production targets never
+/// link it, so the hook costs nothing outside the tests that assert on it.
+///
+/// Usage:
+///   const int64_t before = AllocationCount();
+///   ... steady-state work that must not allocate ...
+///   EXPECT_EQ(AllocationCount() - before, 0);
+namespace alloc_hook {
+
+/// Total number of global operator new calls in this process so far.
+/// Monotonic — frees are not subtracted, so a "reallocate per op" pattern
+/// cannot hide behind a matching delete.
+int64_t AllocationCount();
+
+/// Total bytes requested from global operator new so far.
+int64_t AllocatedBytes();
+
+}  // namespace alloc_hook
+}  // namespace pbs
+
+#endif  // PBS_UTIL_ALLOC_HOOK_H_

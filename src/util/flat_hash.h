@@ -1,0 +1,143 @@
+#ifndef PBS_UTIL_FLAT_HASH_H_
+#define PBS_UTIL_FLAT_HASH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs {
+
+/// Open-addressed uint64 -> uint32 hash map for the coordinator's pending-op
+/// tables. `std::unordered_map` allocates a node per insert and frees it per
+/// erase, which alone put two heap round-trips on every simulated operation;
+/// this map stores entries flat in one slab, so steady-state insert/erase
+/// touches no allocator at all (the table only reallocates when it grows
+/// past its high-water mark).
+///
+/// Keys are request ids (never 0 — the cluster counter starts at 1), so 0 is
+/// the empty sentinel. Deletion uses backward-shift compaction instead of
+/// tombstones: probe sequences stay short forever under the
+/// insert-heavy/erase-heavy churn of the op tables.
+class FlatMap64 {
+ public:
+  static constexpr uint64_t kEmpty = 0;
+
+  FlatMap64() { Rehash(16); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Reserve(size_t entries) {
+    size_t wanted = 16;
+    while (wanted * 3 < entries * 4) wanted *= 2;  // keep load factor < 0.75
+    if (wanted > slots_.size()) Rehash(wanted);
+  }
+
+  /// Inserts or overwrites. `key` must be non-zero.
+  void Put(uint64_t key, uint32_t value) {
+    assert(key != kEmpty);
+    if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+    size_t i = Index(key);
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.key == kEmpty) {
+        slot.key = key;
+        slot.value = value;
+        ++size_;
+        return;
+      }
+      if (slot.key == key) {
+        slot.value = value;
+        return;
+      }
+      i = Next(i);
+    }
+  }
+
+  /// Returns a pointer to the mapped value, or nullptr if absent. The
+  /// pointer is invalidated by any mutation.
+  uint32_t* Find(uint64_t key) {
+    assert(key != kEmpty);
+    size_t i = Index(key);
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.key == kEmpty) return nullptr;
+      if (slot.key == key) return &slot.value;
+      i = Next(i);
+    }
+  }
+
+  const uint32_t* Find(uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->Find(key);
+  }
+
+  /// Removes `key` if present; returns whether it was.
+  bool Erase(uint64_t key) {
+    assert(key != kEmpty);
+    size_t i = Index(key);
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.key == kEmpty) return false;
+      if (slot.key == key) break;
+      i = Next(i);
+    }
+    // Backward-shift: pull displaced entries into the hole until hitting an
+    // empty slot or an entry already sitting at its home index.
+    size_t hole = i;
+    size_t probe = Next(i);
+    for (;;) {
+      Slot& candidate = slots_[probe];
+      if (candidate.key == kEmpty) break;
+      const size_t home = Index(candidate.key);
+      // The candidate may move into the hole only if the hole lies on the
+      // probe path from its home slot (cyclic interval test).
+      const bool movable = hole <= probe
+                               ? home <= hole || home > probe
+                               : home <= hole && home > probe;
+      if (movable) {
+        slots_[hole] = candidate;
+        hole = probe;
+      }
+      probe = Next(probe);
+    }
+    slots_[hole].key = kEmpty;
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    for (Slot& slot : slots_) slot.key = kEmpty;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = kEmpty;
+    uint32_t value = 0;
+  };
+
+  size_t Index(uint64_t key) const {
+    // Fibonacci hashing: multiplicative spread, then mask to the table.
+    return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) & mask_;
+  }
+  size_t Next(size_t i) const { return (i + 1) & mask_; }
+
+  void Rehash(size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    mask_ = new_slots - 1;
+    size_ = 0;
+    for (const Slot& slot : old) {
+      if (slot.key != kEmpty) Put(slot.key, slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_FLAT_HASH_H_

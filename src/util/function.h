@@ -29,8 +29,10 @@ class UniqueFunction<R(Args...)> {
  public:
   /// Captures up to this many bytes live inline in the UniqueFunction itself
   /// (sized for a handful of pointers plus a double or two — the shape of
-  /// every callback the simulator schedules).
-  static constexpr size_t kInlineSize = 48;
+  /// every callback the simulator schedules; 64 fits the KVS message
+  /// closures that carry an arena version handle plus routing metadata, so
+  /// the protocol hot path schedules without heap fallback).
+  static constexpr size_t kInlineSize = 64;
 
   UniqueFunction() noexcept = default;
   UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,215 @@
+#ifndef PBS_UTIL_SMALL_VECTOR_H_
+#define PBS_UTIL_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pbs {
+
+/// Vector with `N` elements of inline storage — the allocation-sweep
+/// workhorse of the KVS hot path. Replica preference lists, hint-home maps
+/// and vector-clock entries are all tiny (N <= 8 in every shipped config),
+/// so storing them inline removes the per-operation heap churn the
+/// coordinator paid for each `std::vector` it built, while still spilling
+/// to the heap for oversized cases instead of imposing a hard cap.
+///
+/// Deliberately minimal: the simulator only needs the std::vector surface
+/// the KVS layer actually uses (push/emplace/erase/resize/assign/compare).
+/// Elements must be movable; moves of the container relocate inline
+/// elements one by one (cheap at these sizes) and steal heap buffers.
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+  SmallVector() = default;
+  SmallVector(size_t count, const T& value) { assign(count, value); }
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) push_back(other.data()[i]);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (size_t i = 0; i < other.size_; ++i) push_back(other.data()[i]);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Deallocate();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { Deallocate(); }
+
+  T* data() { return heap_ != nullptr ? heap_ : InlinePtr(); }
+  const T* data() const {
+    return heap_ != nullptr ? heap_ : InlinePtr();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return heap_ != nullptr ? capacity_ : N; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() {
+    std::destroy_n(data(), size_);
+    size_ = 0;
+  }
+
+  void reserve(size_t wanted) {
+    if (wanted <= capacity()) return;
+    Grow(wanted);
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity()) Grow(capacity() * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    std::destroy_at(data() + size_);
+  }
+
+  /// Erases the element at `pos`, shifting the tail left (std::vector
+  /// semantics: stable order, returns the iterator after the erased slot).
+  T* erase(T* pos) {
+    assert(pos >= begin() && pos < end());
+    std::move(pos + 1, end(), pos);
+    pop_back();
+    return pos;
+  }
+
+  void resize(size_t count) {
+    while (size_ > count) pop_back();
+    reserve(count);
+    while (size_ < count) emplace_back();
+  }
+
+  void assign(size_t count, const T& value) {
+    clear();
+    reserve(count);
+    for (size_t i = 0; i < count; ++i) push_back(value);
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* InlinePtr() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* InlinePtr() const {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void Grow(size_t wanted) {
+    const size_t new_capacity = std::max(wanted, size_t{2} * capacity());
+    T* fresh = static_cast<T*>(
+        ::operator new(new_capacity * sizeof(T), std::align_val_t{alignof(T)}));
+    T* old = data();
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      std::destroy_at(old + i);
+    }
+    FreeHeap();
+    heap_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void MoveFrom(SmallVector& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = 0;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      size_ = other.size_;
+      for (size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(InlinePtr() + i))
+            T(std::move(other.InlinePtr()[i]));
+      }
+      other.clear();
+    }
+  }
+
+  void FreeHeap() {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t{alignof(T)});
+      heap_ = nullptr;
+      capacity_ = 0;
+    }
+  }
+
+  void Deallocate() {
+    clear();
+    FreeHeap();
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  size_t capacity_ = 0;  // heap capacity; inline capacity is N
+  size_t size_ = 0;
+};
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_SMALL_VECTOR_H_

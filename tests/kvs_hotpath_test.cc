@@ -1,0 +1,139 @@
+// The compiled quorum hot path (kvs/hotpath.h): determinism pins —
+// bitwise thread-count invariance of the sharded event loop — plus
+// statistical parity with the per-message KVS engine it replaces on the
+// micro_perf headline.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/production.h"
+#include "kvs/experiment.h"
+#include "kvs/hotpath.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+HotPathOptions SmallRun() {
+  HotPathOptions options;
+  options.num_streams = 48;
+  options.writes_per_stream = 400;
+  options.seed = 21;
+  return options;
+}
+
+TEST(HotPathTest, ThreadCountIsBitwiseIrrelevant) {
+  // The acceptance pin: identical digests (an order-sensitive hash over
+  // every event) at 1, 4 and 8 threads, plus the hardware default.
+  const HotPathResult serial = RunHotPath(SmallRun());
+  EXPECT_GT(serial.total_ops(), 0);
+  for (int threads : {4, 8, 0, 3}) {
+    HotPathOptions options = SmallRun();
+    options.threads = threads;
+    const HotPathResult parallel = RunHotPath(options);
+    EXPECT_EQ(parallel.digest, serial.digest) << threads << " threads";
+    EXPECT_EQ(parallel.writes_committed, serial.writes_committed);
+    EXPECT_EQ(parallel.reads, serial.reads);
+    EXPECT_EQ(parallel.consistent_reads, serial.consistent_reads);
+    EXPECT_EQ(parallel.events, serial.events);
+    EXPECT_EQ(parallel.mean_write_latency_ms, serial.mean_write_latency_ms);
+    EXPECT_EQ(parallel.mean_read_latency_ms, serial.mean_read_latency_ms);
+  }
+}
+
+TEST(HotPathTest, SyncWindowIsBitwiseIrrelevant) {
+  // Shards are data-independent between barriers, so the barrier spacing
+  // may only change wall-clock cost — never the result.
+  const HotPathResult coarse = RunHotPath(SmallRun());
+  for (double window : {16.0, 128.0, 1e9}) {
+    HotPathOptions options = SmallRun();
+    options.sync_window_ms = window;
+    options.threads = 4;
+    EXPECT_EQ(RunHotPath(options).digest, coarse.digest) << window;
+  }
+}
+
+TEST(HotPathTest, RerunsAreDeterministicAndSeedsDiffer) {
+  EXPECT_EQ(RunHotPath(SmallRun()).digest, RunHotPath(SmallRun()).digest);
+  HotPathOptions reseeded = SmallRun();
+  reseeded.seed = 22;
+  EXPECT_NE(RunHotPath(reseeded).digest, RunHotPath(SmallRun()).digest);
+}
+
+TEST(HotPathTest, OperationAccountingIsConserved) {
+  HotPathOptions options = SmallRun();
+  const HotPathResult result = RunHotPath(options);
+  EXPECT_EQ(result.writes_started,
+            options.num_streams * options.writes_per_stream);
+  EXPECT_EQ(result.writes_committed + result.writes_timed_out,
+            result.writes_started);
+  // One probe read per committed write; one kTick + one kResolve per pair.
+  EXPECT_EQ(result.reads, result.writes_committed);
+  EXPECT_EQ(result.events, result.writes_started + result.reads);
+  EXPECT_GT(result.mean_write_latency_ms, 0.0);
+}
+
+TEST(HotPathTest, StrongerReadQuorumsAreMoreConsistent) {
+  // PBS Figure 2 monotonicity: raising R cannot lower P(consistent at t).
+  double previous = -1.0;
+  for (int r : {1, 2, 3}) {
+    HotPathOptions options = SmallRun();
+    options.r = r;
+    const double p = RunHotPath(options).consistency();
+    EXPECT_GE(p, previous) << "r=" << r;
+    previous = p;
+  }
+  EXPECT_DOUBLE_EQ(previous, 1.0);  // R == N reads the freshest replica
+}
+
+TEST(HotPathTest, MatchesPerMessageEngineStatistically) {
+  // Same quorum, same LNKD-SSD legs, same probe offset: the pass-structured
+  // engine must reproduce the per-message engine's t-visibility and commit
+  // latency within Monte Carlo noise (it replaces that engine on the
+  // kvs_cluster_ops headline, so parity is the whole point).
+  HotPathOptions hot;
+  hot.num_streams = 64;
+  hot.writes_per_stream = 1500;
+  hot.seed = 5;
+  const HotPathResult compiled = RunHotPath(hot);
+
+  StalenessExperimentOptions legacy;
+  legacy.cluster.quorum = {3, 1, 1};
+  legacy.cluster.legs = LnkdSsd();
+  legacy.cluster.request_timeout_ms = 100.0;
+  legacy.writes = 12000;
+  legacy.write_spacing_ms = 10.0;
+  legacy.read_offsets_ms = {1.0};
+  legacy.seed = 5;
+  const StalenessExperimentResult reference =
+      RunStalenessExperiment(legacy);
+  ASSERT_EQ(reference.t_visibility.size(), 1u);
+  const double p_reference = reference.t_visibility[0].ProbConsistent();
+
+  EXPECT_NEAR(compiled.consistency(), p_reference, 0.01)
+      << "t-visibility diverged from the per-message engine";
+
+  double latency_sum = 0.0;
+  for (double w : reference.write_latencies) latency_sum += w;
+  const double mean_reference =
+      latency_sum / static_cast<double>(reference.write_latencies.size());
+  EXPECT_NEAR(compiled.mean_write_latency_ms, mean_reference,
+              0.05 * mean_reference)
+      << "commit latency diverged from the per-message engine";
+}
+
+TEST(HotPathTest, QuorumKnobsClampToValidRanges) {
+  HotPathOptions options = SmallRun();
+  options.n = 99;   // clamped to the fixed-array cap
+  options.r = 99;   // clamped to n
+  options.w = -5;   // clamped to 1
+  const HotPathResult result = RunHotPath(options);
+  EXPECT_GT(result.total_ops(), 0);
+  EXPECT_DOUBLE_EQ(result.consistency(), 1.0);  // clamped r == n
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,6 +18,7 @@
 #include "dist/primitives.h"
 #include "dist/production.h"
 #include "kvs/experiment.h"
+#include "kvs/hotpath.h"
 #include "kvs/rebalance_experiment.h"
 #include "util/parallel.h"
 
@@ -232,6 +234,81 @@ TEST(ParallelDeterminismTest, RebalanceTrialsInvariant) {
     const kvs::RebalanceCampaignResult parallel =
         kvs::RunRebalanceTrials(options, Exec(threads));
     EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, ShardedHotPathLoopInvariant) {
+  // The sharded KVS hot-path event loop (kvs/hotpath.h): logical shards are
+  // fixed by (seed, num_shards) and synchronize conservatively, so the
+  // run's event digest must be bitwise identical at 1, 4 and 8 threads.
+  kvs::HotPathOptions options;
+  options.num_streams = 96;
+  options.writes_per_stream = 300;
+  options.seed = 606;
+
+  const kvs::HotPathResult serial = kvs::RunHotPath(options);
+  EXPECT_GT(serial.total_ops(), 0);
+  for (int threads : {4, 8}) {
+    options.threads = threads;
+    const kvs::HotPathResult parallel = kvs::RunHotPath(options);
+    EXPECT_EQ(parallel.digest, serial.digest) << threads << " threads";
+    EXPECT_EQ(parallel.consistent_reads, serial.consistent_reads);
+    EXPECT_EQ(parallel.mean_write_latency_ms, serial.mean_write_latency_ms);
+  }
+}
+
+TEST(ParallelDeterminismTest, ConcurrentChaosAndRebalanceCampaignsInvariant) {
+  // Stress composition: a gray-fault chaos campaign and an elastic
+  // rebalance campaign running *at the same time* on the shared worker
+  // pool, each parallelized. Interleaving on the pool must not leak into
+  // either campaign's results — both stay bitwise equal to their serial
+  // baselines at every thread count.
+  kvs::ChaosTrialOptions chaos;
+  chaos.trials = 3;
+  chaos.seed = 707;
+  chaos.experiment.writes = 200;
+  chaos.experiment.write_spacing_ms = 50.0;
+  chaos.experiment.read_offsets_ms = {1.0, 10.0};
+  chaos.experiment.cluster.quorum = {3, 2, 2};
+  chaos.experiment.cluster.legs = LnkdSsd();
+  chaos.experiment.cluster.request_timeout_ms = 200.0;
+  chaos.experiment.cluster.hedge.enabled = true;
+  chaos.fault_mean_interarrival_ms = 2000.0;
+  chaos.fault_mean_duration_ms = 800.0;
+
+  kvs::RebalanceTrialOptions rebalance;
+  rebalance.trials = 2;
+  rebalance.seed = 717;
+  rebalance.run.cluster.quorum = {3, 2, 2};
+  rebalance.run.cluster.legs = LnkdSsd();
+  rebalance.run.cluster.num_storage_nodes = 8;
+  rebalance.run.cluster.vnodes_per_node = 16;
+  rebalance.run.cluster.request_timeout_ms = 200.0;
+  rebalance.run.keys = 24;
+  rebalance.run.writes = 120;
+  rebalance.run.write_spacing_ms = 5.0;
+  rebalance.run.join_nodes = 1;
+  rebalance.run.remove_nodes = 1;
+
+  const kvs::ChaosCampaignResult chaos_serial =
+      kvs::RunChaosTrials(chaos, Exec(1));
+  const kvs::RebalanceCampaignResult rebalance_serial =
+      kvs::RunRebalanceTrials(rebalance, Exec(1));
+  EXPECT_EQ(rebalance_serial.lost_acked_writes, 0);
+
+  for (int threads : {1, 4, 8}) {
+    kvs::ChaosCampaignResult chaos_result;
+    kvs::RebalanceCampaignResult rebalance_result;
+    std::thread chaos_thread([&]() {
+      chaos_result = kvs::RunChaosTrials(chaos, Exec(threads));
+    });
+    std::thread rebalance_thread([&]() {
+      rebalance_result = kvs::RunRebalanceTrials(rebalance, Exec(threads));
+    });
+    chaos_thread.join();
+    rebalance_thread.join();
+    EXPECT_EQ(chaos_result, chaos_serial) << threads << " threads";
+    EXPECT_EQ(rebalance_result, rebalance_serial) << threads << " threads";
   }
 }
 

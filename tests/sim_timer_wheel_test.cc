@@ -1,0 +1,242 @@
+// The timer wheel's contract: O(1) cancellable timers that, when they do
+// fire, fire at exactly the (time, sequence) position a plain Schedule()
+// would have given them — the property that made the node/client/failure-
+// detector conversion to ScheduleTimer bitwise behavior-preserving.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/timer_wheel.h"
+#include "util/rng.h"
+
+namespace pbs {
+namespace {
+
+// Drains every staged-ready timer, appending fire times to `out`.
+void DrainReady(TimerWheel* wheel, std::vector<double>* out) {
+  double time;
+  uint64_t sequence;
+  while (wheel->PeekReady(&time, &sequence)) {
+    EventCallback cb = wheel->PopReady();
+    cb();
+    out->push_back(time);
+  }
+}
+
+// Bounded drain: pops only timers due at or before `horizon`. PeekReady
+// advances the wheel until *something* stages (its contract — the wheel
+// must be able to supply the simulator's next event), so an unbounded
+// drain would run every resident timer, not just the expired ones.
+void DrainReadyUpTo(TimerWheel* wheel, double horizon,
+                    std::vector<double>* out) {
+  double time;
+  uint64_t sequence;
+  while (wheel->PeekReady(&time, &sequence) && time <= horizon) {
+    EventCallback cb = wheel->PopReady();
+    cb();
+    out->push_back(time);
+  }
+}
+
+TEST(TimerWheelTest, FiresInTimeOrderAcrossLevels) {
+  // Spread across all hierarchy levels (sub-tick to thousands of ticks) so
+  // the cascade path runs, not just level 0.
+  TimerWheel wheel(/*resolution_ms=*/0.5);
+  std::vector<double> fired;
+  std::vector<double> times = {0.1,  0.6,   3.0,     40.0,   41.0,
+                               700.0, 2500.0, 30000.0, 31000.0};
+  Rng rng(7);
+  std::vector<double> shuffled = times;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBounded(i)]);
+  }
+  uint64_t seq = 0;
+  for (double t : shuffled) {
+    wheel.Add(t, seq++, [t, &fired]() { fired.push_back(t); });
+  }
+  EXPECT_EQ(wheel.pending(), times.size());
+
+  wheel.ExpireUpTo(std::numeric_limits<double>::infinity());
+  std::vector<double> order;
+  DrainReady(&wheel, &order);
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(order, times);
+  EXPECT_EQ(fired, times);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, SameTimeTiesFireInSequenceOrder) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  // Insert same-time timers with out-of-order sequence numbers; FIFO order
+  // must follow the sequence, not insertion order.
+  wheel.Add(5.0, /*sequence=*/30, [&]() { fired.push_back(2); });
+  wheel.Add(5.0, /*sequence=*/10, [&]() { fired.push_back(0); });
+  wheel.Add(5.0, /*sequence=*/20, [&]() { fired.push_back(1); });
+  wheel.ExpireUpTo(10.0);
+  std::vector<double> times;
+  DrainReady(&wheel, &times);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TimerWheelTest, ExpireIsPartialAndResumable) {
+  TimerWheel wheel(1.0);
+  std::vector<double> fired;
+  for (double t : {2.0, 4.0, 8.0, 16.0, 150.0}) {
+    wheel.Add(t, static_cast<uint64_t>(t), [t, &fired]() {
+      fired.push_back(t);
+    });
+  }
+  wheel.ExpireUpTo(8.0);
+  std::vector<double> times;
+  DrainReadyUpTo(&wheel, 8.0, &times);
+  EXPECT_EQ(fired, (std::vector<double>{2.0, 4.0, 8.0}));
+  EXPECT_EQ(wheel.pending(), 2u);
+  wheel.ExpireUpTo(1000.0);
+  DrainReadyUpTo(&wheel, 1000.0, &times);
+  EXPECT_EQ(fired, (std::vector<double>{2.0, 4.0, 8.0, 16.0, 150.0}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CancelPreventsFiringAndReleasesCaptures) {
+  TimerWheel wheel;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  bool fired = false;
+  TimerHandle handle = wheel.Add(10.0, 1, [token, &fired]() { fired = true; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // the pending callback keeps it alive
+
+  EXPECT_TRUE(wheel.Cancel(handle));
+  EXPECT_TRUE(watch.expired());  // cancellation drops captures immediately
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_FALSE(wheel.Cancel(handle)) << "double-cancel must be a no-op";
+
+  wheel.ExpireUpTo(std::numeric_limits<double>::infinity());
+  double time;
+  uint64_t sequence;
+  EXPECT_FALSE(wheel.PeekReady(&time, &sequence));
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerWheelTest, StaleHandleCannotCancelARecycledSlot) {
+  TimerWheel wheel;
+  TimerHandle first = wheel.Add(1.0, 1, []() {});
+  ASSERT_TRUE(wheel.Cancel(first));  // frees the slot
+  bool second_fired = false;
+  TimerHandle second = wheel.Add(2.0, 2, [&]() { second_fired = true; });
+  // The recycled slot has a new generation; the stale handle must not reach
+  // the new timer.
+  EXPECT_EQ(first.index, second.index);
+  EXPECT_FALSE(wheel.Cancel(first));
+  EXPECT_EQ(wheel.pending(), 1u);
+  wheel.ExpireUpTo(5.0);
+  std::vector<double> times;
+  DrainReady(&wheel, &times);
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(TimerWheelTest, CancelAfterFireReturnsFalse) {
+  TimerWheel wheel;
+  TimerHandle handle = wheel.Add(1.0, 1, []() {});
+  wheel.ExpireUpTo(2.0);
+  std::vector<double> times;
+  DrainReady(&wheel, &times);
+  EXPECT_FALSE(wheel.Cancel(handle));
+}
+
+TEST(TimerWheelTest, RandomizedAgainstSortedReference) {
+  // 20k timers at random times with random cancellations; surviving timers
+  // must drain in exact (time, sequence) order.
+  TimerWheel wheel(0.5);
+  Rng rng(99);
+  struct Expected {
+    double time;
+    uint64_t sequence;
+  };
+  std::vector<Expected> expected;
+  std::vector<TimerHandle> handles;
+  std::vector<double> times_by_id;
+  for (uint64_t s = 0; s < 20000; ++s) {
+    const double t = rng.NextDouble() * 5e4;
+    handles.push_back(wheel.Add(t, s, []() {}));
+    times_by_id.push_back(t);
+  }
+  std::vector<bool> cancelled(handles.size(), false);
+  for (size_t i = 0; i < handles.size(); ++i) {
+    if (rng.NextDouble() < 0.6) {  // most timers are cancelled, like prod
+      EXPECT_TRUE(wheel.Cancel(handles[i]));
+      cancelled[i] = true;
+    } else {
+      expected.push_back({times_by_id[i], i});
+    }
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const Expected& a, const Expected& b) {
+              return a.time != b.time ? a.time < b.time
+                                      : a.sequence < b.sequence;
+            });
+  EXPECT_EQ(wheel.pending(), expected.size());
+
+  wheel.ExpireUpTo(std::numeric_limits<double>::infinity());
+  size_t i = 0;
+  double time;
+  uint64_t sequence;
+  while (wheel.PeekReady(&time, &sequence)) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(time, expected[i].time);
+    EXPECT_EQ(sequence, expected[i].sequence);
+    wheel.PopReady();
+    ++i;
+  }
+  EXPECT_EQ(i, expected.size());
+}
+
+TEST(SimulatorTimerTest, ScheduleTimerIsBitwiseEquivalentToSchedule) {
+  // The conversion guarantee, end to end: an interleaved Schedule /
+  // ScheduleTimer program produces exactly the firing order of the same
+  // program written with Schedule only — including same-time FIFO ties.
+  const auto run = [](bool use_wheel) {
+    Simulator sim;
+    std::vector<std::string> order;
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      // Quantized delays so cross-surface ties actually happen.
+      const double delay = 1.0 * rng.NextBounded(20);
+      const std::string label = std::to_string(i);
+      if (use_wheel && i % 2 == 0) {
+        (void)sim.ScheduleTimer(delay, [label, &order]() {
+          order.push_back(label);
+        });
+      } else {
+        sim.Schedule(delay, [label, &order]() { order.push_back(label); });
+      }
+    }
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(SimulatorTimerTest, CancelledTimerNeverFiresNotEvenAsNoop) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle handle = sim.ScheduleTimer(5.0, [&]() { ++fired; });
+  sim.Schedule(1.0, [&]() { EXPECT_TRUE(sim.CancelTimer(handle)); });
+  const size_t events = sim.Run();
+  EXPECT_EQ(fired, 0);
+  // Only the cancelling event fired; the dead timer did not consume an
+  // event slot (the old Schedule-based no-op pattern would have).
+  EXPECT_EQ(events, 1u);
+  EXPECT_EQ(sim.pending_timers(), 0u);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,190 @@
+// SmallVector and FlatMap64 — the hot-path containers behind the
+// coordinator's pending-op tables and replica lists. Functional coverage
+// here; the zero-allocation claims are asserted in kvs_alloc_test (which
+// links the counting allocator hook).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flat_hash.h"
+#include "util/rng.h"
+#include "util/small_vector.h"
+
+namespace pbs {
+namespace {
+
+// Instrumented element: counts live instances so every test can assert the
+// container never leaks or double-destroys across spills, moves and erases.
+struct Counted {
+  static int live;
+  int value = 0;
+
+  Counted() { ++live; }
+  explicit Counted(int v) : value(v) { ++live; }
+  Counted(const Counted& other) : value(other.value) { ++live; }
+  Counted(Counted&& other) noexcept : value(other.value) { ++live; }
+  Counted& operator=(const Counted&) = default;
+  Counted& operator=(Counted&&) = default;
+  ~Counted() { --live; }
+};
+int Counted::live = 0;
+
+TEST(SmallVectorTest, GrowsFromInlineToHeapPreservingContents) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 20u);
+  EXPECT_GE(v.capacity(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 19);
+}
+
+TEST(SmallVectorTest, EraseShiftsTailAndKeepsOrder) {
+  SmallVector<int, 8> v{0, 1, 2, 3, 4};
+  int* it = v.erase(v.begin() + 1);
+  EXPECT_EQ(*it, 2);
+  EXPECT_EQ(v, (SmallVector<int, 8>{0, 2, 3, 4}));
+  v.erase(v.end() - 1);
+  EXPECT_EQ(v, (SmallVector<int, 8>{0, 2, 3}));
+}
+
+TEST(SmallVectorTest, ResizeAndAssignMatchVectorSemantics) {
+  SmallVector<int, 2> v;
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 0);
+  v.assign(size_t{3}, 7);
+  EXPECT_EQ(v, (SmallVector<int, 2>{7, 7, 7}));
+  const std::vector<int> source = {1, 2, 3, 4};
+  v.assign(source.begin(), source.end());
+  EXPECT_EQ(v, (SmallVector<int, 2>{1, 2, 3, 4}));
+  v.resize(1);
+  EXPECT_EQ(v, (SmallVector<int, 2>{1}));
+}
+
+TEST(SmallVectorTest, CopyAndMoveAcrossInlineAndHeapStates) {
+  {
+    SmallVector<Counted, 4> inline_v;
+    for (int i = 0; i < 3; ++i) inline_v.emplace_back(i);
+    SmallVector<Counted, 4> heap_v;
+    for (int i = 0; i < 12; ++i) heap_v.emplace_back(i);
+
+    SmallVector<Counted, 4> copy = inline_v;
+    EXPECT_EQ(copy.size(), 3u);
+    EXPECT_EQ(copy[2].value, 2);
+
+    SmallVector<Counted, 4> moved_heap = std::move(heap_v);
+    EXPECT_EQ(moved_heap.size(), 12u);
+    EXPECT_EQ(moved_heap[11].value, 11);
+    EXPECT_TRUE(heap_v.empty());  // heap buffer was stolen
+
+    SmallVector<Counted, 4> moved_inline = std::move(inline_v);
+    EXPECT_EQ(moved_inline.size(), 3u);
+
+    copy = moved_heap;  // inline state overwritten by heap-sized copy
+    EXPECT_EQ(copy.size(), 12u);
+    EXPECT_EQ(copy[7].value, 7);
+  }
+  EXPECT_EQ(Counted::live, 0) << "element lifetime imbalance";
+}
+
+TEST(SmallVectorTest, StringsSurviveSpill) {
+  SmallVector<std::string, 2> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back("value-" + std::to_string(i) +
+                "-long-enough-to-defeat-sso-buffers");
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(v[i], "value-" + std::to_string(i) +
+                        "-long-enough-to-defeat-sso-buffers");
+  }
+}
+
+TEST(FlatMap64Test, PutFindEraseBasics) {
+  FlatMap64 map;
+  EXPECT_TRUE(map.empty());
+  map.Put(42, 7);
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 7u);
+  map.Put(42, 9);  // overwrite, no size change
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(42), 9u);
+  EXPECT_EQ(map.Find(43), nullptr);
+  EXPECT_TRUE(map.Erase(42));
+  EXPECT_FALSE(map.Erase(42));
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap64Test, GrowsAcrossRehashKeepingEveryEntry) {
+  FlatMap64 map;
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    map.Put(k, static_cast<uint32_t>(k * 3));
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    const uint32_t* v = map.Find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, static_cast<uint32_t>(k * 3));
+  }
+}
+
+TEST(FlatMap64Test, BackwardShiftEraseAgainstReferenceModel) {
+  // The op tables churn insert/erase forever with monotonically growing
+  // request ids; backward-shift deletion must keep lookups exact. Fuzz
+  // against unordered_map as the oracle.
+  FlatMap64 map;
+  std::unordered_map<uint64_t, uint32_t> reference;
+  Rng rng(2024);
+  uint64_t next_key = 1;
+  std::vector<uint64_t> live_keys;
+  for (int step = 0; step < 200000; ++step) {
+    const bool insert = live_keys.empty() || rng.NextDouble() < 0.55;
+    if (insert) {
+      const uint64_t key = next_key++;
+      const uint32_t value = static_cast<uint32_t>(rng.Next());
+      map.Put(key, value);
+      reference[key] = value;
+      live_keys.push_back(key);
+    } else {
+      const size_t pick = rng.NextBounded(live_keys.size());
+      const uint64_t key = live_keys[pick];
+      live_keys[pick] = live_keys.back();
+      live_keys.pop_back();
+      EXPECT_TRUE(map.Erase(key));
+      reference.erase(key);
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    const uint32_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << key;
+    EXPECT_EQ(*found, value) << key;
+  }
+  // Spot-check misses: recently deleted keys must be absent.
+  for (uint64_t k = next_key; k < next_key + 100; ++k) {
+    EXPECT_EQ(map.Find(k), nullptr);
+  }
+}
+
+TEST(FlatMap64Test, ReserveAndClear) {
+  FlatMap64 map;
+  map.Reserve(5000);
+  for (uint64_t k = 1; k <= 5000; ++k) map.Put(k, 1);
+  EXPECT_EQ(map.size(), 5000u);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+  map.Put(1, 2);  // usable after Clear
+  EXPECT_EQ(*map.Find(1), 2u);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare a micro_perf result file against the committed baseline.
+
+Usage:
+  bench_regress.py --baseline bench/baselines/micro_perf.json \
+                   --current bench_results/BENCH_micro_perf.json \
+                   [--threshold-pct 10] [--headline name ...]
+
+Exits non-zero when any headline metric's items_per_second regresses by
+more than the threshold relative to the baseline. Non-headline benchmarks
+are reported but never gate: shared CI runners are too noisy to gate every
+microbenchmark, so the gate covers only the throughput numbers the project
+tracks as deliverables. Benchmarks present on one side only are reported
+and skipped (renames and additions should update the baseline in the same
+change).
+"""
+
+import argparse
+import json
+import sys
+
+# Throughput numbers tracked as deliverables (README / ISSUE acceptance):
+# the WARS Monte Carlo headline, the compiled KVS hot path and its
+# per-message baseline, and the event-queue churn floor.
+DEFAULT_HEADLINES = [
+    "wars_trials_n5",
+    "kvs_cluster_ops",
+    "kvs_cluster_ops_legacy",
+    "sim_event_churn",
+]
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("mode") != "full":
+        print(f"warning: {path} was produced in '{doc.get('mode')}' mode; "
+              "only full-mode numbers are comparable", file=sys.stderr)
+    return {r["name"]: r for r in doc["results"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold-pct", type=float, default=10.0)
+    parser.add_argument("--headline", nargs="*", default=DEFAULT_HEADLINES)
+    args = parser.parse_args()
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+
+    failures = []
+    print(f"{'benchmark':<34} {'baseline/s':>12} {'current/s':>12} "
+          f"{'delta':>8}  gated")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"{name:<34} {'-':>12} "
+                  f"{current[name]['items_per_second']:>12.3e} "
+                  f"{'new':>8}  no")
+            continue
+        if name not in current:
+            print(f"{name:<34} {baseline[name]['items_per_second']:>12.3e} "
+                  f"{'-':>12} {'gone':>8}  no")
+            continue
+        base = baseline[name]["items_per_second"]
+        cur = current[name]["items_per_second"]
+        delta_pct = 100.0 * (cur / base - 1.0)
+        gated = name in args.headline
+        print(f"{name:<34} {base:>12.3e} {cur:>12.3e} {delta_pct:>+7.1f}%  "
+              f"{'yes' if gated else 'no'}")
+        if gated and delta_pct < -args.threshold_pct:
+            failures.append((name, delta_pct))
+
+    if failures:
+        for name, delta_pct in failures:
+            print(f"FAIL: {name} regressed {delta_pct:+.1f}% "
+                  f"(threshold -{args.threshold_pct:.0f}%)", file=sys.stderr)
+        return 1
+    print(f"ok: no headline metric regressed more than "
+          f"{args.threshold_pct:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
