@@ -40,6 +40,14 @@ Status KvsConfig::Validate() const {
   if (!retry_status.ok()) return retry_status;
   const Status rebalance_status = rebalance.Validate();
   if (!rebalance_status.ok()) return rebalance_status;
+  const Status sla_status = sla.Validate();
+  if (!sla_status.ok()) return sla_status;
+  const Status controller_status = controller.Validate();
+  if (!controller_status.ok()) return controller_status;
+  if (controller.enabled && !sla.enabled()) {
+    return Status::InvalidArgument(
+        "controller.enabled requires a declared sla (fresh_probability > 0)");
+  }
   return obs.Validate();
 }
 
@@ -51,6 +59,7 @@ Cluster::Cluster(const KvsConfig& config)
       ring_(num_storage_nodes_, config.vnodes_per_node,
             config.seed ^ 0x9E37),
       anti_entropy_rng_(config.seed ^ 0xAE0AE0),
+      mix_rng_(config.seed ^ 0x3C0F1B),
       membership_rng_(config.seed ^ 0xE1A57C) {
   assert(config_.quorum.IsValid());
   assert(num_storage_nodes_ >= config_.quorum.n);
@@ -59,6 +68,22 @@ Cluster::Cluster(const KvsConfig& config)
          config_.legs.s);
 
   tracer_.Configure(config_.obs);
+  read_mix_.n = config_.quorum.n;
+  read_mix_.r_lo = config_.quorum.r;
+  read_mix_.r_hi = config_.quorum.r;
+  read_mix_.w = config_.quorum.w;
+  read_mix_.mix = 0.0;
+  freshness_enabled_ = config_.controller.enabled && config_.sla.enabled();
+  if (freshness_enabled_) {
+    const int classes = config_.controller.num_key_classes;
+    commit_rings_.assign(classes, {});
+    for (auto& ring : commit_rings_) {
+      ring.assign(config_.controller.freshness_window, CommitRecord{});
+    }
+    commit_ring_next_.assign(classes, 0);
+    fresh_by_class_.assign(classes, 0);
+    stale_by_class_.assign(classes, 0);
+  }
   Rng master(config_.seed);
   network_ = std::make_unique<Network>(&sim_, master.Next());
   const int total = num_replicas() + num_coordinators();
@@ -230,6 +255,94 @@ void Cluster::UpdateLegs(const WarsDistributions& legs) {
   config_.legs = legs;
 }
 
+Status Cluster::UpdateReadMix(int r_lo, int r_hi, double probability) {
+  if (r_lo < 1 || r_hi < r_lo || r_hi > config_.quorum.n) {
+    return Status::InvalidArgument(
+        "read mix: need 1 <= r_lo <= r_hi <= n, got r_lo=" +
+        std::to_string(r_lo) + " r_hi=" + std::to_string(r_hi));
+  }
+  if (probability < 0.0 || probability > 1.0) {
+    return Status::InvalidArgument("read mix: probability must be in [0, 1]");
+  }
+  read_mix_.n = config_.quorum.n;
+  read_mix_.r_lo = r_lo;
+  read_mix_.r_hi = r_hi;
+  read_mix_.w = config_.quorum.w;
+  read_mix_.mix = probability;
+  mixing_active_ = read_mix_.mixing();
+  if (!mixing_active_) {
+    // Degenerate mix: collapse to the fixed quorum so the read path stays
+    // draw-free. probability == 1 pins r_lo, anything else pins r_hi
+    // (r_lo == r_hi makes the two identical).
+    const int fixed_r = probability >= 1.0 ? r_lo : r_hi;
+    return UpdateQuorum(fixed_r, config_.quorum.w);
+  }
+  return Status::Ok();
+}
+
+Status Cluster::UpdateHedge(const HedgeOptions& hedge) {
+  const Status valid = hedge.Validate();
+  if (!valid.ok()) return valid;
+  config_.hedge = hedge;
+  return Status::Ok();
+}
+
+Status Cluster::UpdateRetry(const RetryOptions& retry) {
+  const Status valid = retry.Validate();
+  if (!valid.ok()) return valid;
+  config_.retry = retry;
+  return Status::Ok();
+}
+
+int Cluster::EffectiveReadQuorumFor(Key key) {
+  (void)key;  // mixing is cluster-wide; classes only scope measurement
+  if (!mixing_active_) return config_.quorum.r;
+  if (mix_rng_.NextDouble() < read_mix_.mix) {
+    ++metrics_.mixed_reads_lo;
+    return read_mix_.r_lo;
+  }
+  ++metrics_.mixed_reads_hi;
+  return read_mix_.r_hi;
+}
+
+void Cluster::RecordCommit(Key key, int64_t sequence, double commit_time) {
+  if (!freshness_enabled_) return;
+  const int cls =
+      static_cast<int>(key % static_cast<Key>(commit_rings_.size()));
+  auto& ring = commit_rings_[cls];
+  int& next = commit_ring_next_[cls];
+  ring[next] = CommitRecord{key, sequence, commit_time};
+  next = (next + 1) % static_cast<int>(ring.size());
+}
+
+void Cluster::RecordReadOutcome(Key key, int64_t returned_sequence,
+                                double read_start_time) {
+  if (!freshness_enabled_) return;
+  const int cls =
+      static_cast<int>(key % static_cast<Key>(commit_rings_.size()));
+  // Stale beyond the SLA bound t iff some version of `key` newer than the
+  // returned one committed at least t before the read started — i.e. a
+  // read issued t after that commit still missed it. Bounded by the ring
+  // depth: honest for the harness's hot-key probe stream, a documented
+  // approximation for long-tailed key spaces.
+  const double cutoff = read_start_time - config_.sla.staleness_bound_ms;
+  bool stale = false;
+  for (const CommitRecord& rec : commit_rings_[cls]) {
+    if (rec.sequence == 0 || rec.key != key) continue;
+    if (rec.sequence > returned_sequence && rec.commit_time <= cutoff) {
+      stale = true;
+      break;
+    }
+  }
+  if (stale) {
+    ++stale_by_class_[cls];
+    ++metrics_.reads_stale_measured;
+  } else {
+    ++fresh_by_class_[cls];
+    ++metrics_.reads_fresh_measured;
+  }
+}
+
 void Cluster::StartFailureDetector() {
   if (failure_detector_ != nullptr) return;
   if (config_.failure_detector == KvsConfig::FailureDetectorKind::kPhiAccrual) {
@@ -238,6 +351,7 @@ void Cluster::StartFailureDetector() {
     options.threshold = config_.phi_threshold;
     options.window_size = config_.phi_window_size;
     options.min_std_ms = config_.phi_min_std_ms;
+    options.max_silence_intervals = config_.phi_max_silence_intervals;
     failure_detector_ = std::make_unique<PhiAccrualFailureDetector>(
         this, options, config_.seed ^ 0xFDFDFD);
   } else {
@@ -293,6 +407,14 @@ void Cluster::ExportMetrics(obs::Registry* out) const {
       {"kvs/migration_transfers_dropped", m.migration_transfers_dropped},
       {"kvs/migration_transfer_retries", m.migration_transfer_retries},
       {"kvs/stale_routes_forwarded", m.stale_routes_forwarded},
+      {"kvs/controller_epochs", m.controller_epochs},
+      {"kvs/controller_steps", m.controller_steps},
+      {"kvs/controller_rollbacks", m.controller_rollbacks},
+      {"kvs/controller_holds", m.controller_holds},
+      {"kvs/reads_fresh_measured", m.reads_fresh_measured},
+      {"kvs/reads_stale_measured", m.reads_stale_measured},
+      {"kvs/mixed_reads_lo", m.mixed_reads_lo},
+      {"kvs/mixed_reads_hi", m.mixed_reads_hi},
       {"kvs/ring_version", static_cast<int64_t>(ring_.version())},
       {"kvs/storage_members", static_cast<int64_t>(ring_.num_nodes())},
       {"net/messages_sent", network_->messages_sent()},

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/adaptive.h"
 #include "core/quorum_config.h"
 #include "core/wars.h"
 #include "dist/production.h"
@@ -122,6 +123,19 @@ struct KvsConfig {
   double phi_threshold = 8.0;          // kPhiAccrual: suspect at φ >= this
   int phi_window_size = 128;
   double phi_min_std_ms = 2.0;
+  // kPhiAccrual silence backstop in heartbeat intervals (<= 0 disables);
+  // bounds detection of nodes silent from t = 0 or after a poisoned window.
+  double phi_max_silence_intervals = 25.0;
+
+  /// Declared consistency/latency SLA the closed-loop controller steers
+  /// toward (pbs::SlaTarget; disabled by default). Freshness measurement
+  /// and the controller both key off this.
+  SlaTarget sla;
+
+  /// Closed-loop consistency controller policy (pbs::ControllerOptions;
+  /// disabled by default). When enabled the experiment harness runs a
+  /// kvs::ConsistencyController inside the cluster.
+  ControllerOptions controller;
 
   uint64_t seed = 42;
 
@@ -281,6 +295,50 @@ class Cluster {
   /// adaptive-controller loop.
   void UpdateLegs(const WarsDistributions& legs);
 
+  // -- Closed-loop controller actuation (ROADMAP item 3) --------------------
+
+  /// McKenzie-style fractional read quorums: reads started after this call
+  /// use R = `r_lo` with probability `probability`, else R = `r_hi`
+  /// (in-flight reads keep theirs). Degenerate calls (r_lo == r_hi, or
+  /// probability 0/1) collapse to a fixed R and consume no RNG draws on the
+  /// read path — preserving the RNG-consumption contract for runs that
+  /// never actually mix. Returns InvalidArgument for out-of-range sizes.
+  Status UpdateReadMix(int r_lo, int r_hi, double probability);
+
+  /// Current mixed-quorum state (n/w mirror the live config).
+  const MixedQuorum& read_mix() const { return read_mix_; }
+
+  /// Live hedge-policy change: reads started after this call derive their
+  /// hedge delay from the new options.
+  Status UpdateHedge(const HedgeOptions& hedge);
+
+  /// Live retry-policy change: client attempts started after this call
+  /// consume the new budget (ClientSession reads the policy per attempt).
+  Status UpdateRetry(const RetryOptions& retry);
+
+  /// The R requirement for a read of `key` starting now: the configured
+  /// quorum.r, or a mix draw when fractional mixing is active. Counted in
+  /// metrics as mixed_reads_lo/hi while mixing.
+  int EffectiveReadQuorumFor(Key key);
+
+  /// Freshness measurement for the controller (active only when
+  /// config.controller.enabled and config.sla is set; otherwise free).
+  /// RecordCommit logs (key, sequence, commit time) into the key class's
+  /// fixed commit ring; RecordReadOutcome classifies a finished read as
+  /// fresh/stale within the SLA's staleness bound against that ring.
+  void RecordCommit(Key key, int64_t sequence, double commit_time);
+  void RecordReadOutcome(Key key, int64_t returned_sequence,
+                         double read_start_time);
+
+  /// Measured fresh/stale read counts per key class (cumulative; the
+  /// controller differences them per epoch).
+  int64_t FreshReads(int key_class) const {
+    return fresh_by_class_[key_class];
+  }
+  int64_t StaleReads(int key_class) const {
+    return stale_by_class_[key_class];
+  }
+
   /// Monotonically increasing request identifier.
   uint64_t NextRequestId() { return next_request_id_++; }
 
@@ -354,6 +412,23 @@ class Cluster {
   std::unordered_map<Key, int64_t> sequence_counters_;
   std::unordered_map<Key, RateEstimator> write_rates_;
   Rng anti_entropy_rng_;
+
+  // Closed-loop controller state. The mix RNG is a dedicated salted stream
+  // consumed only while fractional mixing is active, so controller-off (and
+  // mix-inactive) runs reproduce the feature-absent draw sequences bitwise.
+  MixedQuorum read_mix_;
+  bool mixing_active_ = false;
+  Rng mix_rng_;
+  struct CommitRecord {
+    Key key = 0;
+    int64_t sequence = 0;
+    double commit_time = 0.0;
+  };
+  std::vector<std::vector<CommitRecord>> commit_rings_;  // per key class
+  std::vector<int> commit_ring_next_;
+  std::vector<int64_t> fresh_by_class_;
+  std::vector<int64_t> stale_by_class_;
+  bool freshness_enabled_ = false;
 
   // Elastic membership state. `previous_rings_` holds the pre-change
   // snapshot of every membership change whose migration is still draining

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 #include "core/staleness_detector.h"
 #include "kvs/client.h"
@@ -35,6 +36,11 @@ StalenessExperimentResult RunStalenessExperimentImpl(
   Cluster cluster(config);
   LegProfiler leg_profiler;
   if (options.profile_legs) cluster.set_leg_profiler(&leg_profiler);
+  std::unique_ptr<ConsistencyController> controller;
+  if (config.controller.enabled) {
+    controller = std::make_unique<ConsistencyController>(&cluster);
+    controller->Start();
+  }
   cluster.StartAntiEntropy();
   if (config.sloppy_quorums) cluster.StartFailureDetector();
   if (failures != nullptr) failures->InstallOn(&cluster);
@@ -128,6 +134,11 @@ StalenessExperimentResult RunStalenessExperimentImpl(
   result.network_messages_duplicated = cluster.network().messages_duplicated();
   cluster.ExportMetrics(&result.registry);
   if (cluster.tracer().enabled()) result.trace = cluster.tracer().Snapshot();
+  if (controller != nullptr) {
+    result.controller_decisions = controller->decisions();
+    result.controller_history = controller->config_history();
+    result.controller_digest = controller->DecisionDigest();
+  }
   return result;
 }
 
@@ -312,6 +323,135 @@ ChaosCampaignResult RunChaosTrials(const ChaosTrialOptions& options,
     result.trials.push_back(std::move(out.summary));
   }
   result.metrics_jsonl = obs::MetricsJsonl(campaign_registry);
+  std::sort(read_pool.begin(), read_pool.end());
+  std::sort(write_pool.begin(), write_pool.end());
+  if (!read_pool.empty()) {
+    pooled.read_p50 = QuantileSorted(read_pool, 0.50);
+    pooled.read_p99 = QuantileSorted(read_pool, 0.99);
+    pooled.read_p999 = QuantileSorted(read_pool, 0.999);
+    pooled.read_max = read_pool.back();
+  }
+  if (!write_pool.empty()) {
+    pooled.write_p50 = QuantileSorted(write_pool, 0.50);
+    pooled.write_p99 = QuantileSorted(write_pool, 0.99);
+    pooled.write_p999 = QuantileSorted(write_pool, 0.999);
+  }
+  return result;
+}
+
+ControllerCampaignResult RunControllerTrials(
+    const ControllerTrialOptions& options, const PbsExecutionOptions& exec) {
+  assert(options.trials >= 1);
+  const int64_t trials = options.trials;
+  const int64_t num_chunks = NumChunks(trials, exec);
+  std::vector<Rng> streams = MakeJumpStreams(Rng(options.seed), num_chunks);
+
+  const double max_offset =
+      *std::max_element(options.experiment.read_offsets_ms.begin(),
+                        options.experiment.read_offsets_ms.end());
+  const double horizon =
+      static_cast<double>(options.experiment.writes + 1) *
+          options.experiment.write_spacing_ms +
+      max_offset + 3.0 * options.experiment.cluster.request_timeout_ms;
+
+  struct TrialOutput {
+    ControllerCampaignSummary summary;
+    std::vector<double> read_latencies;
+    std::vector<double> write_latencies;
+  };
+  std::vector<TrialOutput> outputs(trials);
+
+  ParallelFor(trials, exec,
+              [&](int64_t chunk_index, int64_t begin, int64_t end) {
+                Rng& stream = streams[chunk_index];
+                for (int64_t t = begin; t < end; ++t) {
+                  // Same two sequential draws per trial as RunChaosTrials
+                  // (workload then fault seed), whether or not a fault
+                  // factory is installed — the draw count per trial is
+                  // fixed.
+                  const uint64_t workload_seed = stream.Next();
+                  const uint64_t fault_seed = stream.Next();
+                  StalenessExperimentOptions experiment = options.experiment;
+                  experiment.seed = workload_seed;
+                  StalenessExperimentResult run;
+                  if (options.faults) {
+                    const FaultSchedule faults =
+                        options.faults(horizon, fault_seed);
+                    run = RunStalenessExperimentWithFaults(experiment, faults);
+                  } else {
+                    run = RunStalenessExperiment(experiment);
+                  }
+                  TrialOutput& out = outputs[t];
+                  out.summary.chaos = Summarize(experiment, run,
+                                                &out.read_latencies,
+                                                &out.write_latencies);
+                  out.summary.decision_digest = run.controller_digest;
+                  out.summary.decisions =
+                      static_cast<int64_t>(run.controller_decisions.size());
+                  out.summary.steps = run.final_metrics.controller_steps;
+                  out.summary.rollbacks =
+                      run.final_metrics.controller_rollbacks;
+                  out.summary.reads_fresh_measured =
+                      run.final_metrics.reads_fresh_measured;
+                  out.summary.reads_stale_measured =
+                      run.final_metrics.reads_stale_measured;
+                  if (!run.controller_history.empty()) {
+                    const obs::AdaptationRecord& last =
+                        run.controller_history.back();
+                    out.summary.final_r_lo = last.r_lo;
+                    out.summary.final_r_hi = last.r_hi;
+                    out.summary.final_w = last.w;
+                    out.summary.final_mix = last.mix;
+                    out.summary.final_hedge = last.hedge_enabled;
+                    out.summary.final_hedge_quantile = last.hedge_quantile;
+                    out.summary.final_retry_attempts =
+                        last.retry_max_attempts;
+                  }
+                }
+              });
+
+  ControllerCampaignResult result;
+  result.trials.reserve(trials);
+  std::vector<double> read_pool;
+  std::vector<double> write_pool;
+  ChaosSummary& pooled = result.pooled;
+  pooled.probe_offsets_ms = options.experiment.read_offsets_ms;
+  pooled.probe_trials.assign(pooled.probe_offsets_ms.size(), 0);
+  pooled.probe_consistent.assign(pooled.probe_offsets_ms.size(), 0);
+  uint64_t digest = 14695981039346656037ULL;
+  for (TrialOutput& out : outputs) {  // trial order: deterministic merge
+    const ChaosSummary& s = out.summary.chaos;
+    pooled.reads_started += s.reads_started;
+    pooled.reads_failed += s.reads_failed;
+    pooled.writes_started += s.writes_started;
+    pooled.writes_failed += s.writes_failed;
+    pooled.hedged_reads_sent += s.hedged_reads_sent;
+    pooled.hedged_reads_won += s.hedged_reads_won;
+    pooled.duplicate_responses_suppressed += s.duplicate_responses_suppressed;
+    pooled.duplicate_acks_suppressed += s.duplicate_acks_suppressed;
+    pooled.client_read_retries += s.client_read_retries;
+    pooled.client_write_retries += s.client_write_retries;
+    pooled.client_deadline_misses += s.client_deadline_misses;
+    pooled.consistency_downgrades += s.consistency_downgrades;
+    pooled.monotonic_read_violations += s.monotonic_read_violations;
+    pooled.messages_dropped += s.messages_dropped;
+    pooled.messages_duplicated += s.messages_duplicated;
+    pooled.fault_activations += s.fault_activations;
+    for (size_t i = 0; i < pooled.probe_offsets_ms.size(); ++i) {
+      pooled.probe_trials[i] += s.probe_trials[i];
+      pooled.probe_consistent[i] += s.probe_consistent[i];
+    }
+    read_pool.insert(read_pool.end(), out.read_latencies.begin(),
+                     out.read_latencies.end());
+    write_pool.insert(write_pool.end(), out.write_latencies.begin(),
+                      out.write_latencies.end());
+    for (int bit = 0; bit < 64; bit += 8) {
+      digest ^= (out.summary.decision_digest >> bit) & 0xFF;
+      digest *= 1099511628211ULL;
+    }
+    result.trials.push_back(std::move(out.summary));
+  }
+  result.pooled_digest = digest;
   std::sort(read_pool.begin(), read_pool.end());
   std::sort(write_pool.begin(), write_pool.end());
   if (!read_pool.empty()) {

@@ -2,10 +2,12 @@
 #define PBS_KVS_EXPERIMENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "kvs/cluster.h"
+#include "kvs/controller.h"
 #include "kvs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -80,6 +82,14 @@ struct StalenessExperimentResult {
   /// Retained trace events when options.cluster.obs.trace_enabled — feed to
   /// ChromeTraceJson() / StalenessAuditJsonl(). Empty when tracing is off.
   std::vector<obs::TraceEvent> trace;
+
+  /// Closed-loop controller outputs, populated when
+  /// options.cluster.controller.enabled: the decision stream, the
+  /// audit-joinable configuration history (pass to the 4-argument
+  /// WriteStalenessAudit), and the FNV decision digest.
+  std::vector<ConsistencyController::Decision> controller_decisions;
+  std::vector<obs::AdaptationRecord> controller_history;
+  uint64_t controller_digest = 0;
 
   /// P(consistent | t) for a probed offset (asserts the offset was probed).
   double ProbConsistentAt(double t) const;
@@ -190,6 +200,64 @@ struct ChaosCampaignResult {
 
 ChaosCampaignResult RunChaosTrials(const ChaosTrialOptions& options,
                                    const PbsExecutionOptions& exec);
+
+/// A closed-loop controller campaign: like RunChaosTrials, but each trial
+/// runs the staleness harness with the ConsistencyController active
+/// (options.experiment.cluster.controller.enabled) under a caller-supplied
+/// FaultSchedule factory — the deterministic hook bench/pcap and the
+/// determinism tests use to pin named chaos scenarios (10x slow replica,
+/// flapping node) instead of RandomGrayFailures. With the controller
+/// disabled the same runner (same per-trial seeding) yields the paired
+/// static-configuration baseline; decision fields then stay zero.
+struct ControllerTrialOptions {
+  StalenessExperimentOptions experiment;  // per-trial seed is overridden
+  int trials = 4;
+
+  /// Builds the trial's gray-fault schedule from the run horizon and the
+  /// trial's fault seed; null runs fault-free. Must be a pure function of
+  /// its arguments (it is called from worker threads).
+  std::function<FaultSchedule(double horizon_ms, uint64_t seed)> faults;
+
+  uint64_t seed = 202;
+};
+
+/// Per-trial digest of a controller campaign run: the chaos scalars plus
+/// the decision stream digest, decision/step/rollback counts, the final
+/// knob state and the measured freshness counters. Fully ==-comparable for
+/// the thread-count determinism pins.
+struct ControllerCampaignSummary {
+  ChaosSummary chaos;
+  uint64_t decision_digest = 0;
+  int64_t decisions = 0;
+  int64_t steps = 0;
+  int64_t rollbacks = 0;
+  int final_r_lo = 0;
+  int final_r_hi = 0;
+  int final_w = 0;
+  double final_mix = 0.0;
+  bool final_hedge = false;
+  double final_hedge_quantile = 0.0;
+  int final_retry_attempts = 1;
+  int64_t reads_fresh_measured = 0;
+  int64_t reads_stale_measured = 0;
+
+  friend bool operator==(const ControllerCampaignSummary&,
+                         const ControllerCampaignSummary&) = default;
+};
+
+struct ControllerCampaignResult {
+  std::vector<ControllerCampaignSummary> trials;  // trial order
+  ChaosSummary pooled;
+  /// FNV-1a over the per-trial decision digests in trial order — one
+  /// number that pins the whole campaign's decision history bitwise.
+  uint64_t pooled_digest = 0;
+
+  friend bool operator==(const ControllerCampaignResult&,
+                         const ControllerCampaignResult&) = default;
+};
+
+ControllerCampaignResult RunControllerTrials(
+    const ControllerTrialOptions& options, const PbsExecutionOptions& exec);
 
 }  // namespace kvs
 }  // namespace pbs

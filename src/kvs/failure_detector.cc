@@ -179,7 +179,21 @@ double PhiAccrualFailureDetector::Phi(NodeId node) const {
 }
 
 bool PhiAccrualFailureDetector::IsSuspected(NodeId node) const {
-  return Phi(node) >= options_.threshold;
+  if (Phi(node) >= options_.threshold) return true;
+  // Silence backstop: the windowed φ can be desensitized by a poisoned
+  // inter-arrival window (e.g. reordering-inflated variance on a node slow
+  // from t = 0) and then never cross the threshold after the node dies.
+  // Prolonged total silence is suspicious regardless of history.
+  if (options_.max_silence_intervals > 0.0 &&
+      node >= 0 && static_cast<size_t>(node) < states_.size()) {
+    const double since =
+        cluster_->sim().now() - states_[node].last_arrival;
+    if (since >
+        options_.max_silence_intervals * options_.heartbeat_interval_ms) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace kvs

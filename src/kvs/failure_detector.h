@@ -105,6 +105,17 @@ class PhiAccrualFailureDetector : public FailureDetector {
     double threshold = 8.0;        // suspect at P(gap) < 1e-8
     int window_size = 128;         // inter-arrival samples kept per node
     double min_std_ms = 2.0;       // variance floor (deterministic links)
+
+    /// Cold-start / poisoned-window backstop: regardless of the windowed φ,
+    /// a node silent for longer than `max_silence_intervals` heartbeat
+    /// intervals is suspected. The windowed estimate alone can stay below
+    /// `threshold` indefinitely when the inter-arrival window was inflated
+    /// before the failure — e.g. a node slow or lossy from t = 0 whose
+    /// reordered pongs produce a huge sample variance — leaving a dead node
+    /// trusted forever. The backstop bounds detection at roughly
+    /// interval * (1 + max_silence_intervals) no matter what the window
+    /// learned. <= 0 disables it.
+    double max_silence_intervals = 25.0;
   };
 
   PhiAccrualFailureDetector(Cluster* cluster, const Options& options,

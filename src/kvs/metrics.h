@@ -149,6 +149,16 @@ struct ClusterMetrics {
   int64_t migration_transfer_retries = 0;
   int64_t stale_routes_forwarded = 0;  // ops carrying an old ring version
 
+  // Closed-loop consistency controller (ROADMAP item 3).
+  int64_t controller_epochs = 0;     // control ticks executed
+  int64_t controller_steps = 0;      // knob changes actuated
+  int64_t controller_rollbacks = 0;  // steps reverted on measured violation
+  int64_t controller_holds = 0;      // epochs that kept the incumbent
+  int64_t reads_fresh_measured = 0;  // reads within the SLA staleness bound
+  int64_t reads_stale_measured = 0;  // reads beyond it
+  int64_t mixed_reads_lo = 0;        // fractional-mix reads drawn at r_lo
+  int64_t mixed_reads_hi = 0;        // fractional-mix reads drawn at r_hi
+
   // Per-shard attribution, keyed by primary owner node id (ordered map so
   // exports and merges are deterministic).
   std::map<NodeId, ShardMetrics> shards;

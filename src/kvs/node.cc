@@ -267,6 +267,7 @@ void Node::OnWriteAck(uint64_t request_id, NodeId replica) {
     cluster_->metrics().write_latency.Record(result.latency_ms);
     cluster_->metrics().shards[pending.shard].write_latency.Record(
         result.latency_ms);
+    cluster_->RecordCommit(pending.key, result.sequence, now);
     if (pending.trace_id != 0) {
       cluster_->tracer().Record(obs::TraceEvent{
           .trace_id = pending.trace_id,
@@ -408,7 +409,7 @@ void Node::CoordinateRead(Key key, ReadCallback done, int required_override,
       required_override > 0
           ? std::min(required_override,
                      static_cast<int>(pending.replicas.size()))
-          : config.quorum.r;
+          : cluster_->EffectiveReadQuorumFor(key);
   if (config.read_fanout == ReadFanout::kQuorumOnly) {
     // Voldemort-style: contact only a uniformly random R-subset. The
     // uncontacted remainder becomes the hedge pool.
@@ -634,6 +635,9 @@ void Node::ReturnRead(PendingRead& pending, NodeId replica) {
   cluster_->metrics().read_latency.Record(result.latency_ms);
   cluster_->metrics().shards[pending.shard].read_latency.Record(
       result.latency_ms);
+  cluster_->RecordReadOutcome(pending.key,
+                              pending.has_best ? pending.best.sequence : 0,
+                              pending.start_time);
   if (pending.trace_id != 0) {
     const double now = cluster_->sim().now();
     cluster_->tracer().Record(obs::TraceEvent{

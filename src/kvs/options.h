@@ -109,6 +109,100 @@ struct RebalanceOptions {
   }
 };
 
+/// Closed-loop consistency controller (PCAP-style, see DESIGN.md §11): an
+/// in-cluster control task that, every `epoch_ms`, re-fits the per-leg
+/// latency distributions from observed samples, re-runs the WARS predictor
+/// against the declared SlaTarget, and actuates at most one guarded knob
+/// step (read-quorum mix probability, r_lo/r_hi/W lattice moves, hedge
+/// quantile, retry budget) on the live cluster — with measurement-driven
+/// rollback when the predictor's promise is not borne out.
+struct ControllerOptions {
+  bool enabled = false;
+
+  /// Control epoch: sense + predict + actuate once per this many sim-ms.
+  double epoch_ms = 2000.0;
+
+  /// Key classes (key % num_key_classes) tracked separately for freshness
+  /// accounting. Quorum actuation is currently cluster-wide; classes keep
+  /// the measurement honest for skewed workloads.
+  int num_key_classes = 1;
+
+  /// Observed leg samples required before the controller trusts an
+  /// empirical re-fit; below this it predicts from the configured legs.
+  int min_leg_samples = 64;
+
+  /// WARS Monte Carlo budget per candidate per epoch (controller
+  /// evaluations run serially inside the cluster for determinism, so this
+  /// is deliberately far below AdaptiveControllerOptions::trials_per_eval).
+  int trials_per_eval = 1200;
+
+  /// Hysteresis, as in AdaptiveControllerOptions: a challenger must beat
+  /// the incumbent's predicted read p99 by this factor when both meet the
+  /// SLA.
+  double switch_improvement_factor = 0.9;
+
+  /// Mix-probability step per epoch (McKenzie fractional quorums).
+  double mix_step = 0.25;
+
+  /// Hedge-quantile step per epoch when latency needs tightening.
+  double hedge_quantile_step = 0.04;
+
+  /// Commit-ring depth per key class for freshness measurement.
+  int freshness_window = 8;
+
+  /// Measured-vs-predicted disagreement tolerance before rolling back the
+  /// previous step (fractional: 0.1 = measured may be 10% worse than the
+  /// SLA bound the predictor promised).
+  double rollback_tolerance = 0.1;
+
+  /// Epochs to hold after a rollback before trying another step.
+  int cooldown_epochs = 2;
+
+  Status Validate() const {
+    if (epoch_ms <= 0.0) {
+      return Status::InvalidArgument("controller.epoch_ms must be > 0");
+    }
+    if (num_key_classes < 1) {
+      return Status::InvalidArgument(
+          "controller.num_key_classes must be >= 1");
+    }
+    if (min_leg_samples < 2) {
+      return Status::InvalidArgument(
+          "controller.min_leg_samples must be >= 2");
+    }
+    if (trials_per_eval < 1) {
+      return Status::InvalidArgument(
+          "controller.trials_per_eval must be >= 1");
+    }
+    if (switch_improvement_factor <= 0.0 ||
+        switch_improvement_factor > 1.0) {
+      return Status::InvalidArgument(
+          "controller.switch_improvement_factor must be in (0, 1]");
+    }
+    if (mix_step <= 0.0 || mix_step > 1.0) {
+      return Status::InvalidArgument(
+          "controller.mix_step must be in (0, 1]");
+    }
+    if (hedge_quantile_step <= 0.0 || hedge_quantile_step >= 1.0) {
+      return Status::InvalidArgument(
+          "controller.hedge_quantile_step must be in (0, 1)");
+    }
+    if (freshness_window < 1) {
+      return Status::InvalidArgument(
+          "controller.freshness_window must be >= 1");
+    }
+    if (rollback_tolerance < 0.0) {
+      return Status::InvalidArgument(
+          "controller.rollback_tolerance must be >= 0");
+    }
+    if (cooldown_epochs < 0) {
+      return Status::InvalidArgument(
+          "controller.cooldown_epochs must be >= 0");
+    }
+    return Status::Ok();
+  }
+};
+
 }  // namespace pbs
 
 #endif  // PBS_KVS_OPTIONS_H_

@@ -238,6 +238,20 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
 
 void WriteStalenessAudit(const std::vector<TraceEvent>& events,
                          std::ostream& out, bool stale_only) {
+  WriteStalenessAudit(events, /*history=*/{}, out, stale_only);
+}
+
+void WriteStalenessAudit(const std::vector<TraceEvent>& events,
+                         const std::vector<AdaptationRecord>& history,
+                         std::ostream& out, bool stale_only) {
+  // Active configuration at time t: the last history entry in force by t.
+  // History is sorted by valid_from_ms, so a backwards scan finds it.
+  const auto active_at = [&history](double t) -> const AdaptationRecord* {
+    for (auto it = history.rbegin(); it != history.rend(); ++it) {
+      if (it->valid_from_ms <= t) return &*it;
+    }
+    return nullptr;
+  };
   std::map<uint64_t, std::vector<const TraceEvent*>> by_trace;
   for (const TraceEvent& event : events) {
     if (event.trace_id != 0) by_trace[event.trace_id].push_back(&event);
@@ -249,6 +263,7 @@ void WriteStalenessAudit(const std::vector<TraceEvent>& events,
     int64_t attempts = 1;
     int64_t hedges = 0;
     int64_t timeouts = 0;
+    int64_t downgraded_required = 0;
     for (const TraceEvent* event : trace) {
       switch (event->kind) {
         case TraceEventKind::kOpBegin: begin = event; break;
@@ -256,6 +271,7 @@ void WriteStalenessAudit(const std::vector<TraceEvent>& events,
         case TraceEventKind::kReturn: winner = event; break;
         case TraceEventKind::kAttempt:
           attempts = std::max(attempts, event->a);
+          if (event->b > 0) downgraded_required = event->b;
           break;
         case TraceEventKind::kHedge: ++hedges; break;
         case TraceEventKind::kTimeout: ++timeouts; break;
@@ -286,6 +302,24 @@ void WriteStalenessAudit(const std::vector<TraceEvent>& events,
     }
     out << ",\"attempts\":" << attempts << ",\"hedges\":" << hedges
         << ",\"timeouts\":" << timeouts;
+    if (const AdaptationRecord* active = active_at(begin->t_start)) {
+      out << ",\"controller\":{\"decision_id\":" << active->decision_id
+          << ",\"epoch\":" << active->epoch << ",\"r_lo\":" << active->r_lo
+          << ",\"r_hi\":" << active->r_hi
+          << ",\"mix\":" << JsonNumber(active->mix) << ",\"w\":" << active->w
+          << ",\"hedge\":" << (active->hedge_enabled ? "true" : "false")
+          << ",\"hedge_quantile\":" << JsonNumber(active->hedge_quantile)
+          << ",\"retry_attempts\":" << active->retry_max_attempts
+          << ",\"retry_deadline_ms\":" << JsonNumber(active->retry_deadline_ms)
+          << "}";
+      const AdaptationRecord* at_end = active_at(end->t_end);
+      if (at_end != nullptr && at_end->decision_id != active->decision_id) {
+        out << ",\"config_changed_midflight\":true";
+      }
+      if (downgraded_required > 0) {
+        out << ",\"downgraded_required\":" << downgraded_required;
+      }
+    }
     out << ",\"legs\":[";
     bool first = true;
     for (const TraceEvent* event : trace) {
@@ -324,6 +358,14 @@ std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
                                 bool stale_only) {
   std::ostringstream out;
   WriteStalenessAudit(events, out, stale_only);
+  return out.str();
+}
+
+std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
+                                const std::vector<AdaptationRecord>& history,
+                                bool stale_only) {
+  std::ostringstream out;
+  WriteStalenessAudit(events, history, out, stale_only);
   return out.str();
 }
 

@@ -37,6 +37,39 @@ void WriteStalenessAudit(const std::vector<TraceEvent>& events,
 std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
                                 bool stale_only = true);
 
+/// One entry of the consistency controller's configuration history: the
+/// knob state actuated by decision `decision_id`, in force from
+/// `valid_from_ms` until the next entry. The kvs layer produces these (the
+/// obs layer cannot see kvs types); the audit exporter joins them to traced
+/// reads by start time.
+struct AdaptationRecord {
+  int64_t decision_id = 0;
+  int64_t epoch = 0;
+  double valid_from_ms = 0.0;
+  int r_lo = 0;          // mixed-quorum lower R (== r_hi when not mixing)
+  int r_hi = 0;
+  double mix = 0.0;      // P(read uses r_lo)
+  int w = 0;
+  bool hedge_enabled = false;
+  double hedge_quantile = 0.0;
+  int retry_max_attempts = 1;
+  double retry_deadline_ms = 0.0;
+};
+
+/// Staleness audit with controller context: as above, plus each line gains
+/// a "controller" object holding the AdaptationRecord active when the read
+/// started (history must be sorted by valid_from_ms), a
+/// "config_changed_midflight" flag when a decision landed between the
+/// read's start and end, and "downgraded_required" when a retry attempt
+/// lowered the response requirement mid-op. With an empty history the
+/// output is byte-identical to the 3-argument overload.
+void WriteStalenessAudit(const std::vector<TraceEvent>& events,
+                         const std::vector<AdaptationRecord>& history,
+                         std::ostream& out, bool stale_only = true);
+std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
+                                const std::vector<AdaptationRecord>& history,
+                                bool stale_only = true);
+
 }  // namespace obs
 }  // namespace pbs
 

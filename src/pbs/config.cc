@@ -171,6 +171,15 @@ Status Config::Validate() const {
     return Status::InvalidArgument(
         "cluster.num_nodes must be 0 (= N) or >= quorum.n");
   }
+  status = sla.Validate();
+  if (!status.ok()) return status;
+  status = controller.Validate();
+  if (!status.ok()) return status;
+  if (controller.enabled && !sla.enabled()) {
+    return Status::InvalidArgument(
+        "controller.enabled requires a declared sla (use WithSla / "
+        "WithControlLoop)");
+  }
   return obs.Validate();
 }
 
@@ -201,6 +210,8 @@ StatusOr<kvs::KvsConfig> Config::BuildKvsConfig() const {
   config.vnodes_per_node = cluster.vnodes;
   config.rebalance = cluster.rebalance;
   config.seed = seed;
+  config.sla = sla;
+  config.controller = controller;
   if (phi_detector) {
     config.failure_detector = kvs::KvsConfig::FailureDetectorKind::kPhiAccrual;
   }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/adaptive.h"
 #include "core/quorum_config.h"
 #include "core/wars.h"
 #include "dist/production.h"
@@ -152,6 +153,11 @@ struct Config {
   double request_timeout_ms = 1000.0;
   bool phi_detector = false;
 
+  /// Declared staleness/latency SLA and the closed-loop controller policy
+  /// steering toward it (KvsConfig passthroughs; see kvs/controller.h).
+  SlaTarget sla;
+  ControllerOptions controller;
+
   // -- Builder-style setters (each returns *this for chaining) --------------
 
   Config& WithSeed(uint64_t s) {
@@ -204,6 +210,20 @@ struct Config {
   }
   Config& WithRebalance(const RebalanceOptions& options) {
     cluster.rebalance = options;
+    return *this;
+  }
+  Config& WithSla(const SlaTarget& target) {
+    sla = target;
+    return *this;
+  }
+  Config& WithController(const ControllerOptions& options) {
+    controller = options;
+    return *this;
+  }
+  /// Shorthand: declare the SLA and switch the closed loop on in one call.
+  Config& WithControlLoop(const SlaTarget& target) {
+    sla = target;
+    controller.enabled = true;
     return *this;
   }
 

@@ -129,6 +129,90 @@ TEST(PhiAccrualTest, ConsistentlySlowReplicaIsNotSuspected) {
   EXPECT_LT(detector->Phi(2), 8.0);
 }
 
+TEST(PhiAccrualTest, SilentFromStartIsSuspectedWithinBoundedWindow) {
+  // Cold-start regression: a node that is dead before the detector sends
+  // its first ping never contributes a pong inter-arrival, so the φ window
+  // for it stays in the bootstrap regime. Suspicion must still arrive
+  // within the bounded silence window (max_silence_intervals heartbeat
+  // intervals), not "whenever the bootstrap φ happens to cross".
+  Cluster cluster(PhiConfig({3, 2, 2}));
+  cluster.replica(2).Crash();
+  cluster.StartFailureDetector();
+  const auto* detector = PhiDetector(cluster);
+  ASSERT_NE(detector, nullptr);
+  // 25 intervals x 10ms = 250ms bound; 400ms leaves slack for ping pacing.
+  cluster.sim().RunUntil(400.0);
+  EXPECT_TRUE(detector->IsSuspected(2));
+  EXPECT_FALSE(detector->IsSuspected(0));
+  EXPECT_FALSE(detector->IsSuspected(1));
+}
+
+WarsDistributions JitteryLegs() {
+  WarsDistributions legs;
+  legs.name = "jittery";
+  legs.w = Exponential(0.2);  // mean 5ms: pongs overtake and reorder
+  legs.a = Exponential(0.2);
+  legs.r = Exponential(0.2);
+  legs.s = Exponential(0.2);
+  return legs;
+}
+
+TEST(PhiAccrualTest, PoisonedWindowIsBoundedByTheSilenceBackstop) {
+  // Desensitization regression: heavy-tailed, reordering pong delays from a
+  // very slow node inflate the window's inter-arrival variance, so after a
+  // subsequent crash φ needs silence proportional to that inflated σ to
+  // cross the threshold — potentially thousands of intervals. The silence
+  // backstop bounds detection time regardless of the window contents.
+  //
+  // Twin clusters, identical seeds (the backstop consumes no randomness, so
+  // both realize the same pong history): one with the backstop, one opted
+  // out. At the instant the backstop fires, the opted-out detector's
+  // poisoned window must still call the dead node healthy — the exact
+  // failure mode the backstop exists for.
+  KvsConfig config = PhiConfig({3, 2, 2});
+  config.legs = JitteryLegs();
+  // 80% pong loss makes inter-arrivals geometric multiples of the ping
+  // interval: mean ~50ms, σ ~45ms. φ then needs ~300ms of silence to cross
+  // the threshold, so the 15-interval (150ms) backstop observes the window
+  // mid-desensitization.
+  config.phi_max_silence_intervals = 15.0;
+  KvsConfig no_backstop = config;
+  no_backstop.phi_max_silence_intervals = 0.0;
+  Cluster bounded(config);
+  Cluster unbounded(no_backstop);
+  bounded.StartFailureDetector();
+  unbounded.StartFailureDetector();
+  FaultProfile lossy;
+  lossy.p_good_to_bad = 1.0;  // permanently "bad": steady 80% loss
+  lossy.p_bad_to_good = 0.0;
+  lossy.loss_bad = 0.8;
+  bounded.network().SetNodeFault(2, lossy);
+  unbounded.network().SetNodeFault(2, lossy);
+  bounded.sim().RunUntil(1500.0);  // poison both windows
+  unbounded.sim().RunUntil(1500.0);
+  bounded.replica(2).Crash();
+  unbounded.replica(2).Crash();
+
+  const auto* bounded_detector = PhiDetector(bounded);
+  const auto* unbounded_detector = PhiDetector(unbounded);
+  ASSERT_NE(bounded_detector, nullptr);
+  ASSERT_NE(unbounded_detector, nullptr);
+  double suspected_at = -1.0;
+  for (double t = 1510.0; t <= 6000.0 && suspected_at < 0.0; t += 10.0) {
+    bounded.sim().RunUntil(t);
+    unbounded.sim().RunUntil(t);
+    if (bounded_detector->IsSuspected(2)) {
+      suspected_at = t;
+      // Same history, same instant: the poisoned window alone says healthy.
+      EXPECT_LT(unbounded_detector->Phi(2), 8.0);
+      EXPECT_FALSE(unbounded_detector->IsSuspected(2));
+    }
+  }
+  // Backstop detection is bounded: in-flight straggler pongs can stretch
+  // the silence start, but not past the straggler tail + 250ms.
+  EXPECT_GT(suspected_at, 0.0);
+}
+
 TEST(PhiAccrualTest, SloppyQuorumsRouteAroundPhiSuspectedReplica) {
   // The sloppy-quorum machinery consumes only IsSuspected(), so swapping in
   // the φ detector keeps hinted writes working: a crashed home replica is

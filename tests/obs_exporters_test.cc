@@ -144,6 +144,85 @@ TEST(StalenessAuditTest, TimedOutReadsAreNotCalledStale) {
   EXPECT_NE(line.find("\"timeouts\":1"), std::string::npos);
 }
 
+TEST(StalenessAuditTest, EmptyHistoryIsByteIdenticalToTheThreeArgForm) {
+  // The 4-argument controller-join overload with no history must not
+  // perturb the audit output at all — existing golden consumers keep
+  // working whether or not a run carried a controller.
+  const std::vector<TraceEvent> events = StaleReadTrace();
+  EXPECT_EQ(StalenessAuditJsonl(events, /*history=*/{}, /*stale_only=*/true),
+            StalenessAuditJsonl(events, /*stale_only=*/true));
+  EXPECT_EQ(StalenessAuditJsonl(events, /*history=*/{}, /*stale_only=*/false),
+            StalenessAuditJsonl(events, /*stale_only=*/false));
+}
+
+AdaptationRecord Record(int64_t id, double valid_from, int r_lo, int r_hi,
+                        double mix, int w) {
+  AdaptationRecord record;
+  record.decision_id = id;
+  record.epoch = id;
+  record.valid_from_ms = valid_from;
+  record.r_lo = r_lo;
+  record.r_hi = r_hi;
+  record.mix = mix;
+  record.w = w;
+  record.hedge_enabled = id > 0;
+  record.hedge_quantile = 0.95;
+  record.retry_max_attempts = 2;
+  record.retry_deadline_ms = 600.0;
+  return record;
+}
+
+TEST(StalenessAuditTest, ControllerJoinPicksTheRecordActiveAtReadStart) {
+  // History: initial config from t=0, then a decision at t=5 (before the
+  // read starts at t=10) and another at t=100 (after it ends). The line
+  // must join against decision 1 — active when the read *started* — and
+  // carry its full knob state.
+  const std::vector<AdaptationRecord> history = {
+      Record(0, 0.0, 2, 2, 0.0, 2),
+      Record(1, 5.0, 1, 2, 0.25, 2),
+      Record(2, 100.0, 1, 1, 0.0, 3),
+  };
+  const std::string line =
+      StalenessAuditJsonl(StaleReadTrace(), history, /*stale_only=*/true);
+  EXPECT_NE(line.find("\"controller\":{\"decision_id\":1,\"epoch\":1,"
+                      "\"r_lo\":1,\"r_hi\":2,\"mix\":0.25,\"w\":2,"
+                      "\"hedge\":true,\"hedge_quantile\":0.95,"
+                      "\"retry_attempts\":2,\"retry_deadline_ms\":600"),
+            std::string::npos)
+      << line;
+  // No decision landed between t_start=10 and t_end=11.5.
+  EXPECT_EQ(line.find("config_changed_midflight"), std::string::npos);
+}
+
+TEST(StalenessAuditTest, MidflightReconfigurationIsFlagged) {
+  // A decision at t=11 lands inside the read's [10, 11.5] flight window:
+  // the joined record is still the start-time one, and the line gains the
+  // midflight flag so staleness analysis can exclude (or study) reads that
+  // straddled an actuation.
+  const std::vector<AdaptationRecord> history = {
+      Record(0, 0.0, 2, 2, 0.0, 2),
+      Record(1, 11.0, 1, 2, 0.5, 2),
+  };
+  const std::string line =
+      StalenessAuditJsonl(StaleReadTrace(), history, /*stale_only=*/true);
+  EXPECT_NE(line.find("\"controller\":{\"decision_id\":0"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"config_changed_midflight\":true"),
+            std::string::npos);
+}
+
+TEST(StalenessAuditTest, ReadsBeforeAnyRecordCarryNoControllerObject) {
+  // A history whose first record post-dates the read start: nothing was
+  // "active" yet, so the line must stay controller-free (same shape as the
+  // no-history form).
+  const std::vector<AdaptationRecord> history = {Record(0, 50.0, 2, 2, 0.0, 2)};
+  const std::string line =
+      StalenessAuditJsonl(StaleReadTrace(), history, /*stale_only=*/true);
+  EXPECT_EQ(line.find("\"controller\""), std::string::npos);
+  EXPECT_EQ(line, StalenessAuditJsonl(StaleReadTrace(), /*stale_only=*/true));
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace pbs

@@ -18,6 +18,7 @@
 #include "dist/primitives.h"
 #include "dist/production.h"
 #include "kvs/experiment.h"
+#include "kvs/failure.h"
 #include "kvs/hotpath.h"
 #include "kvs/rebalance_experiment.h"
 #include "util/parallel.h"
@@ -309,6 +310,60 @@ TEST(ParallelDeterminismTest, ConcurrentChaosAndRebalanceCampaignsInvariant) {
     rebalance_thread.join();
     EXPECT_EQ(chaos_result, chaos_serial) << threads << " threads";
     EXPECT_EQ(rebalance_result, rebalance_serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, ControllerCampaignInvariant) {
+  // The full closed control loop under chaos: every trial runs the
+  // ConsistencyController inside the cluster — sensing measured legs,
+  // re-running the WARS predictor, actuating quorum/hedge/retry steps,
+  // rolling back on measured violations — while a deterministic
+  // FaultSchedule degrades one replica and flaps another. The *decision
+  // stream itself* is part of the contract: per-trial decision digests,
+  // step/rollback counts, final knob states and the pooled campaign digest
+  // must be bitwise identical at 1, 4 and 8 threads.
+  kvs::ControllerTrialOptions options;
+  options.trials = 3;
+  options.seed = 808;
+  options.experiment.writes = 300;
+  options.experiment.write_spacing_ms = 50.0;
+  options.experiment.read_offsets_ms = {1.0, 10.0};
+  options.experiment.cluster.quorum = {3, 1, 2};
+  options.experiment.cluster.legs = LnkdDisk();
+  options.experiment.cluster.request_timeout_ms = 200.0;
+  options.experiment.cluster.read_fanout = ReadFanout::kQuorumOnly;
+  options.experiment.cluster.sla =
+      SlaTarget::Parse("p=0.9,t=10,p99<=8").value();
+  options.experiment.cluster.controller.enabled = true;
+  options.experiment.cluster.controller.epoch_ms = 500.0;
+  options.experiment.cluster.controller.trials_per_eval = 300;
+  options.experiment.cluster.controller.min_leg_samples = 48;
+  options.faults = [](double horizon_ms, uint64_t seed) {
+    kvs::FaultSchedule faults;
+    // Chaos mix: a 20x slow replica for the whole run plus a flapping
+    // node, phased by the trial's fault seed so trials differ.
+    faults.AddSlowNode(0.0, horizon_ms, /*node=*/0, /*delay_mult=*/20.0);
+    faults.AddFlappingNode(100.0 + static_cast<double>(seed % 7) * 50.0,
+                           horizon_ms, /*node=*/1, /*up_ms=*/300.0,
+                           /*down_ms=*/200.0);
+    return faults;
+  };
+
+  const kvs::ControllerCampaignResult serial =
+      kvs::RunControllerTrials(options, Exec(1));
+  ASSERT_EQ(serial.trials.size(), 3u);
+  EXPECT_NE(serial.pooled_digest, 0u);
+  EXPECT_GT(serial.pooled.reads_started, 0);
+  int64_t decisions = 0;
+  for (const kvs::ControllerCampaignSummary& trial : serial.trials) {
+    decisions += trial.decisions;
+    EXPECT_NE(trial.decision_digest, 0u);
+  }
+  EXPECT_GT(decisions, 0);
+  for (int threads : {4, 8}) {
+    const kvs::ControllerCampaignResult parallel =
+        kvs::RunControllerTrials(options, Exec(threads));
+    EXPECT_EQ(parallel, serial) << threads << " threads";
   }
 }
 

@@ -243,5 +243,57 @@ TEST(ConfigTest, WithSettersChain) {
   EXPECT_TRUE(config.Validate().ok());
 }
 
+TEST(ConfigTest, WithControlLoopLowersSlaAndControllerIntoTheKvsConfig) {
+  const auto sla = SlaTarget::Parse("p=0.99,t=10,p99<=15");
+  ASSERT_TRUE(sla.ok());
+  Config config = Config{}.WithControlLoop(sla.value());
+  config.controller.epoch_ms = 750.0;
+  EXPECT_TRUE(config.sla.enabled());
+  EXPECT_TRUE(config.controller.enabled);
+  ASSERT_TRUE(config.Validate().ok());
+  const auto built = config.BuildKvsConfig();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().sla, sla.value());
+  EXPECT_TRUE(built.value().controller.enabled);
+  EXPECT_DOUBLE_EQ(built.value().controller.epoch_ms, 750.0);
+}
+
+TEST(ConfigTest, WithSlaAloneDeclaresWithoutEnablingTheController) {
+  const Config config =
+      Config{}.WithSla(SlaTarget::Parse("p=0.9,t=5,p99<=20").value());
+  EXPECT_TRUE(config.sla.enabled());
+  EXPECT_FALSE(config.controller.enabled);
+  ASSERT_TRUE(config.Validate().ok());
+  const auto built = config.BuildKvsConfig();
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built.value().sla.enabled());
+  EXPECT_FALSE(built.value().controller.enabled);
+}
+
+TEST(ConfigTest, ControllerWithoutSlaFailsValidation) {
+  Config config;
+  config.controller.enabled = true;
+  const Status status = config.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("requires a declared sla"),
+            std::string::npos);
+  EXPECT_FALSE(config.BuildKvsConfig().ok());
+  // Declaring the SLA (the WithControlLoop path) cures it.
+  config.sla = SlaTarget::Parse("p=0.9,t=5,p99<=20").value();
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigTest, InvalidSlaAndControllerOptionsAreCaughtByValidate) {
+  Config config;
+  config.sla.fresh_probability = 1.5;  // out of (0, 1)
+  config.sla.read_p99_ms = 10.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.sla = SlaTarget::Parse("p=0.9,t=5,p99<=20").value();
+  config.controller.enabled = true;
+  config.controller.epoch_ms = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
 }  // namespace
 }  // namespace pbs

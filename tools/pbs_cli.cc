@@ -10,6 +10,8 @@
 //                [--fanout=all|quorum] [--phi-detector]
 //                [--hedge] [--hedge-quantile=0.99] [--hedge-delay-ms=0]
 //                [--deadline-ms=0] [--retries=1] [--downgrade-on-retry]
+//                [--sla="p=0.999,t=10,p99<=15"] [--controller]
+//                [--controller-epoch-ms=2000]
 //                [--fault=SPEC[;SPEC...]]
 //                [--trace[=trace.json]] [--audit[=audit.jsonl]]
 //                [--metrics-out[=metrics.jsonl]] [--trace-sample-every=1]
@@ -24,6 +26,12 @@
 //   oneway:src=0,dst=4                 one-way partition (src->dst dropped)
 //   gray:seed=7[,interarrival=4000,duration=1500]   seeded random mix
 // Example: --fault=slow:node=2,factor=10 --hedge --hedge-quantile=0.99
+//
+// Closed-loop control (simulate): --sla declares "fraction p of reads fresher
+// than t ms at read p99 <= L ms"; --controller switches on the in-cluster
+// consistency controller that tunes R/W mixing, hedging and retries toward
+// it (kvs/controller.h). Audit output then carries the active config and
+// decision id per read.
 //
 // Observability (simulate): --trace writes a Chrome trace_event file
 // (load via chrome://tracing or ui.perfetto.dev), --audit a per-stale-read
@@ -290,6 +298,26 @@ int CmdSimulate(const Args& args) {
   config.retry.downgrade_reads = args.GetBool("downgrade-on-retry");
   config.faults.specs = args.GetString("fault", "");
 
+  // --sla="p=0.999,t=10,p99<=15" declares the staleness/latency target;
+  // --controller switches the closed loop on against it (see kvs/controller.h).
+  const std::string sla_spec = args.GetString("sla", "");
+  if (!sla_spec.empty()) {
+    const StatusOr<SlaTarget> target = SlaTarget::Parse(sla_spec);
+    if (!target.ok()) {
+      std::cerr << target.status().message() << "\n";
+      return 1;
+    }
+    config.WithSla(target.value());
+  }
+  if (args.GetBool("controller")) {
+    if (sla_spec.empty()) {
+      std::cerr << "--controller requires --sla=\"p=...,t=...,p99<=...\"\n";
+      return 1;
+    }
+    config.controller.enabled = true;
+    config.controller.epoch_ms = args.GetDouble("controller-epoch-ms", 2000.0);
+  }
+
   const std::string trace_out = PathFlag(args, "trace", "pbs_trace.json");
   const std::string audit_out = PathFlag(args, "audit", "pbs_audit.jsonl");
   const std::string metrics_out =
@@ -348,6 +376,27 @@ int CmdSimulate(const Args& args) {
         static_cast<long long>(result.network_messages_duplicated),
         static_cast<long long>(metrics.monotonic_read_violations));
   }
+  if (config.controller.enabled) {
+    std::printf(
+        "controller: epochs=%lld steps=%lld rollbacks=%lld holds=%lld "
+        "fresh=%lld stale=%lld digest=%016llx\n",
+        static_cast<long long>(metrics.controller_epochs),
+        static_cast<long long>(metrics.controller_steps),
+        static_cast<long long>(metrics.controller_rollbacks),
+        static_cast<long long>(metrics.controller_holds),
+        static_cast<long long>(metrics.reads_fresh_measured),
+        static_cast<long long>(metrics.reads_stale_measured),
+        static_cast<unsigned long long>(result.controller_digest));
+    if (!result.controller_history.empty()) {
+      const obs::AdaptationRecord& last = result.controller_history.back();
+      std::printf(
+          "controller final config: R=[%d..%d] mix=%.2f W=%d hedge=%s@%.2f "
+          "retries=%d\n",
+          last.r_lo, last.r_hi, last.mix, last.w,
+          last.hedge_enabled ? "on" : "off", last.hedge_quantile,
+          last.retry_max_attempts);
+    }
+  }
 
   bool exported_ok = true;
   if (!metrics_out.empty()) {
@@ -360,7 +409,9 @@ int CmdSimulate(const Args& args) {
   }
   if (!audit_out.empty()) {
     exported_ok &= WriteArtifact(
-        audit_out, obs::StalenessAuditJsonl(result.trace, /*stale_only=*/true),
+        audit_out,
+        obs::StalenessAuditJsonl(result.trace, result.controller_history,
+                                 /*stale_only=*/true),
         "staleness audit (jsonl)");
   }
   return exported_ok ? 0 : 1;
