@@ -4,10 +4,18 @@
 // consistency/latency design space to CSV and prints the Pareto frontier
 // (configurations not dominated on [t-visibility, read p99.9, write
 // p99.9]) — what an operator browses when picking a configuration.
+//
+// A second pass re-walks the identical lattice through the analytic grid
+// backend (one shared AnalyticScenario per scenario, per-point cost in
+// microseconds) into design_space_atlas_analytic.csv — the "interactive
+// demo speed" the kAnalytic backend buys. The Monte Carlo CSV is
+// byte-identical to what it was before the analytic arm existed.
 
+#include <chrono>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "core/analytic.h"
 #include "core/latency.h"
 #include "core/tvisibility.h"
 #include "util/csv.h"
@@ -118,6 +126,63 @@ void Run() {
                "partial-quorum middle the paper argues for; everything "
                "else — oversized quorums at small N, lopsided strict "
                "combos — is dominated.\n";
+
+  // Analytic arm: the same lattice through the grid backend. One scenario
+  // build amortizes the FFT convolutions over every (N, R, W) cell; each
+  // cell is then two order statistics plus three curve queries.
+  std::cout << "\n=== Analytic pass (grid backend, per-point cost) ===\n\n";
+  CsvWriter acsv(std::string(bench::kResultsDir) +
+                 "/design_space_atlas_analytic.csv");
+  acsv.WriteHeader({"scenario", "n", "r", "w", "strict", "t999_ms",
+                    "read_p999_ms", "write_p999_ms", "p_consistent_t0",
+                    "point_us"});
+  TextTable atable({"scenario", "cells", "build (ms)", "per cell (us)"});
+  for (const auto& fit : AllIidProductionFits()) {
+    const auto build_start = std::chrono::steady_clock::now();
+    auto scenario = MakeAnalyticScenario(fit, AnalyticGridOptions{});
+    if (!scenario.ok()) {
+      std::cout << fit.name << ": " << scenario.status().message() << "\n";
+      continue;
+    }
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - build_start)
+            .count();
+    int cells = 0;
+    double total_us = 0.0;
+    for (int n : ns) {
+      for (int r = 1; r <= n; ++r) {
+        for (int w = 1; w <= n; ++w) {
+          const QuorumConfig config{n, r, w};
+          const auto start = std::chrono::steady_clock::now();
+          const AnalyticWars analytic(config, scenario.value());
+          const double t999 = analytic.ApproxTimeForConsistency(0.999);
+          const double read_p999 = analytic.ReadLatencyQuantile(0.999);
+          const double write_p999 = analytic.WriteLatencyQuantile(0.999);
+          const double p0 = analytic.ApproxProbConsistent(0.0);
+          const double point_us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          acsv.WriteRow(fit.name,
+                        {static_cast<double>(n), static_cast<double>(r),
+                         static_cast<double>(w),
+                         config.IsStrict() ? 1.0 : 0.0, t999, read_p999,
+                         write_p999, p0, point_us});
+          total_us += point_us;
+          ++cells;
+        }
+      }
+    }
+    atable.AddRow({fit.name, std::to_string(cells), FormatDouble(build_ms, 1),
+                   FormatDouble(total_us / cells, 1)});
+  }
+  atable.Print(std::cout);
+  std::cout << "\nReading: after one ~100 ms grid build per scenario, every "
+               "design point costs well under a millisecond — the whole "
+               "138-cell atlas re-evaluates in the time one Monte Carlo "
+               "cell takes, which is what makes interactive what-if "
+               "exploration (and per-epoch controller sweeps) practical.\n";
 }
 
 }  // namespace

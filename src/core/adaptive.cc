@@ -5,9 +5,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <memory>
+#include <sstream>
+#include <utility>
 
+#include "core/analytic.h"
 #include "core/latency.h"
 #include "core/tvisibility.h"
+#include "util/math.h"
 #include "util/stats.h"
 
 namespace pbs {
@@ -184,6 +189,121 @@ MixedQuorumEvaluation EvaluateMixedQuorum(const MixedQuorum& quorum,
   return eval;
 }
 
+MixedQuorumEvaluation EvaluateMixedQuorumAnalytic(
+    const MixedQuorum& quorum, const SlaTarget& sla,
+    const AnalyticScenarioPtr& scenario, ReadFanout read_fanout) {
+  assert(quorum.IsValid());
+  assert(scenario != nullptr);
+  // Same arm-weight convention as the Monte Carlo path above.
+  const double mix_lo = quorum.r_lo == quorum.r_hi ? 0.0 : quorum.mix;
+  const double mix_hi = 1.0 - mix_lo;
+
+  MixedQuorumEvaluation eval;
+  std::unique_ptr<AnalyticWars> lo, hi;
+  double fresh = 0.0;
+  if (mix_hi > 0.0 || mix_lo <= 0.0) {
+    hi = std::make_unique<AnalyticWars>(
+        QuorumConfig{quorum.n, quorum.r_hi, quorum.w}, scenario, read_fanout);
+    fresh += mix_hi * hi->ApproxProbConsistent(sla.staleness_bound_ms);
+  }
+  if (mix_lo > 0.0) {
+    lo = std::make_unique<AnalyticWars>(
+        QuorumConfig{quorum.n, quorum.r_lo, quorum.w}, scenario, read_fanout);
+    fresh += mix_lo * lo->ApproxProbConsistent(sla.staleness_bound_ms);
+  }
+  eval.fresh_probability = ClampProbability(fresh);
+  if (lo != nullptr && hi != nullptr) {
+    // Exact mixture of the two read order-statistic CDFs on the shared grid.
+    eval.read_p99_ms = DiscretizedDistribution::Mixture(
+                           lo->read_latency(), mix_lo, hi->read_latency(),
+                           mix_hi)
+                           .Quantile(0.99);
+  } else {
+    const AnalyticWars& arm = hi != nullptr ? *hi : *lo;
+    eval.read_p99_ms = arm.ReadLatencyQuantile(0.99);
+  }
+  // Write latency is R-independent (the W-th order statistic of w + a), so
+  // the arms agree; take whichever was built.
+  eval.write_p99_ms = (hi != nullptr ? *hi : *lo).WriteLatencyQuantile(0.99);
+  eval.feasible = eval.fresh_probability >= sla.fresh_probability &&
+                  eval.read_p99_ms <= sla.read_p99_ms;
+  return eval;
+}
+
+MixedQuorumPredictor::MixedQuorumPredictor(const SlaTarget& sla,
+                                           ReplicaLatencyModelPtr model,
+                                           const MixedQuorum& probe,
+                                           const Options& options)
+    : sla_(sla), model_(std::move(model)), options_(options) {
+  assert(model_ != nullptr && model_->num_replicas() == probe.n);
+  assert(probe.IsValid());
+  assert(options_.trials > 0);
+  if (options_.backend == PredictorBackend::kMonteCarlo) {
+    resolved_ = PredictorBackend::kMonteCarlo;
+    return;
+  }
+  const WarsDistributions* legs = model_->IidLegs();
+  if (legs == nullptr) {
+    assert(options_.backend != PredictorBackend::kAnalytic &&
+           "backend=analytic requires an IID latency model");
+    note_ = PredictorBackendName(options_.backend) + std::string(": ") +
+            model_->Describe() +
+            " is not IID across replicas; using Monte Carlo";
+    resolved_ = PredictorBackend::kMonteCarlo;
+    return;
+  }
+  auto scenario = MakeAnalyticScenario(*legs, options_.grid);
+  if (!scenario.ok()) {
+    assert(options_.backend != PredictorBackend::kAnalytic &&
+           "invalid analytic grid options");
+    note_ = PredictorBackendName(options_.backend) + std::string(": ") +
+            scenario.status().message() + "; using Monte Carlo";
+    resolved_ = PredictorBackend::kMonteCarlo;
+    return;
+  }
+  scenario_ = std::move(scenario.value());
+  if (options_.backend == PredictorBackend::kAuto) {
+    // Spot-check the probe quorum: the analytic evaluation must match a
+    // small Monte Carlo run on the two quantities decisions hinge on.
+    const MixedQuorumEvaluation analytic = EvaluateMixedQuorumAnalytic(
+        probe, sla_, scenario_, options_.read_fanout);
+    const MixedQuorumEvaluation mc = EvaluateMixedQuorum(
+        probe, sla_, model_, options_.validation.trials,
+        options_.validation_seed, options_.read_fanout, options_.exec);
+    const auto& tol = options_.validation;
+    std::ostringstream why;
+    if (std::abs(analytic.fresh_probability - mc.fresh_probability) >
+        tol.consistency_tol) {
+      why << "fresh probability " << analytic.fresh_probability << " vs mc "
+          << mc.fresh_probability;
+    } else if (std::abs(analytic.read_p99_ms - mc.read_p99_ms) >
+               tol.latency_rel_tol * mc.read_p99_ms + tol.latency_abs_tol_ms) {
+      why << "read p99 " << analytic.read_p99_ms << " vs mc " << mc.read_p99_ms
+          << " ms";
+    }
+    if (why.tellp() != 0) {
+      note_ = "auto: analytic failed the MC spot-check (" + why.str() +
+              "); using Monte Carlo";
+      resolved_ = PredictorBackend::kMonteCarlo;
+      scenario_.reset();
+      return;
+    }
+  }
+  resolved_ = PredictorBackend::kAnalytic;
+}
+
+MixedQuorumPredictor::~MixedQuorumPredictor() = default;
+
+MixedQuorumEvaluation MixedQuorumPredictor::Evaluate(const MixedQuorum& quorum,
+                                                     uint64_t seed) const {
+  if (resolved_ == PredictorBackend::kAnalytic) {
+    return EvaluateMixedQuorumAnalytic(quorum, sla_, scenario_,
+                                       options_.read_fanout);
+  }
+  return EvaluateMixedQuorum(quorum, sla_, model_, options_.trials, seed,
+                             options_.read_fanout, options_.exec);
+}
+
 AdaptiveConfigController::AdaptiveConfigController(
     QuorumConfig initial, const AdaptiveControllerOptions& options)
     : current_(initial), options_(options) {
@@ -195,7 +315,19 @@ AdaptiveConfigController::AdaptiveConfigController(
 
 AdaptiveConfigController::Evaluation AdaptiveConfigController::Evaluate(
     const QuorumConfig& config, const ReplicaLatencyModelPtr& model,
-    uint64_t seed) const {
+    uint64_t seed, const AnalyticScenarioPtr& scenario) const {
+  Evaluation eval;
+  if (scenario != nullptr) {
+    const AnalyticWars wars(config, scenario);
+    eval.t_visibility_ms =
+        wars.ApproxTimeForConsistency(options_.consistency_probability);
+    const double p = options_.latency_percentile / 100.0;
+    eval.objective_ms =
+        options_.read_weight * wars.ReadLatencyQuantile(p) +
+        options_.write_weight * wars.WriteLatencyQuantile(p);
+    eval.feasible = eval.t_visibility_ms <= options_.max_t_visibility_ms;
+    return eval;
+  }
   WarsTrialSet set =
       RunWarsTrials(config, model, options_.trials_per_eval, seed,
                     /*want_propagation=*/false, ReadFanout::kAllN,
@@ -203,7 +335,6 @@ AdaptiveConfigController::Evaluation AdaptiveConfigController::Evaluate(
   const TVisibilityCurve curve(std::move(set.staleness_thresholds));
   const LatencyProfile reads(std::move(set.read_latencies));
   const LatencyProfile writes(std::move(set.write_latencies));
-  Evaluation eval;
   eval.t_visibility_ms =
       curve.TimeForConsistency(options_.consistency_probability);
   eval.objective_ms =
@@ -219,9 +350,45 @@ QuorumConfig AdaptiveConfigController::Update(
   assert(model->num_replicas() == current_.n);
   ++epoch_;
 
-  // Evaluate the incumbent and every challenger under the current model.
+  // Resolve the evaluation engine for this epoch (the model may change
+  // between epochs, so kAuto re-checks every time). A null scenario means
+  // Monte Carlo; the default-kMonteCarlo path below is byte-for-byte the
+  // historical one, so decision streams and their digests are unchanged.
   const uint64_t base_seed = options_.seed + epoch_ * 1000003ULL;
-  Evaluation incumbent = Evaluate(current_, model, base_seed);
+  AnalyticScenarioPtr scenario;
+  if (options_.backend != PredictorBackend::kMonteCarlo) {
+    const WarsDistributions* legs = model->IidLegs();
+    assert((legs != nullptr ||
+            options_.backend != PredictorBackend::kAnalytic) &&
+           "backend=analytic requires an IID latency model");
+    if (legs != nullptr) {
+      auto made = MakeAnalyticScenario(*legs, options_.grid);
+      assert(made.ok() && "invalid AdaptiveControllerOptions::grid");
+      if (made.ok()) scenario = std::move(made.value());
+    }
+    if (scenario != nullptr &&
+        options_.backend == PredictorBackend::kAuto) {
+      // Spot-check on the incumbent: its Monte Carlo evaluation is needed
+      // anyway when the check fails, and under agreement the analytic
+      // engine re-evaluates it below for a consistent candidate ranking.
+      const Evaluation mc = Evaluate(current_, model, base_seed, nullptr);
+      const Evaluation an = Evaluate(current_, model, base_seed, scenario);
+      const auto& tol = options_.validation;
+      const auto close = [&tol](double a, double m) {
+        return std::abs(a - m) <= tol.latency_rel_tol * std::abs(m) +
+                                      tol.latency_abs_tol_ms;
+      };
+      if (!close(an.objective_ms, mc.objective_ms) ||
+          !close(an.t_visibility_ms, mc.t_visibility_ms)) {
+        scenario.reset();
+      }
+    }
+  }
+  last_backend_ = scenario != nullptr ? PredictorBackend::kAnalytic
+                                      : PredictorBackend::kMonteCarlo;
+
+  // Evaluate the incumbent and every challenger under the current model.
+  Evaluation incumbent = Evaluate(current_, model, base_seed, scenario);
 
   QuorumConfig best = current_;
   Evaluation best_eval = incumbent;
@@ -230,7 +397,8 @@ QuorumConfig AdaptiveConfigController::Update(
     for (int w = 1; w <= current_.n; ++w) {
       const QuorumConfig candidate{current_.n, r, w};
       if (candidate == current_) continue;
-      const Evaluation eval = Evaluate(candidate, model, base_seed + salt++);
+      const Evaluation eval =
+          Evaluate(candidate, model, base_seed + salt++, scenario);
       const bool better =
           (eval.feasible && !best_eval.feasible) ||
           (eval.feasible == best_eval.feasible &&

@@ -2,14 +2,19 @@
 #define PBS_CORE_ADAPTIVE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/backend.h"
 #include "core/quorum_config.h"
 #include "core/wars.h"
 #include "util/status.h"
 
 namespace pbs {
+
+class AnalyticScenario;  // core/analytic.h
+using AnalyticScenarioPtr = std::shared_ptr<const AnalyticScenario>;
 
 /// A declared consistency/latency SLA in the PCAP style (Rahman et al.,
 /// arXiv:1509.02464): "at least `fresh_probability` of reads return data no
@@ -85,6 +90,70 @@ MixedQuorumEvaluation EvaluateMixedQuorum(const MixedQuorum& quorum,
                                           ReadFanout read_fanout,
                                           const PbsExecutionOptions& exec = {});
 
+/// Analytic counterpart of EvaluateMixedQuorum on a pre-built scenario: the
+/// r_lo / r_hi arms are exact order-statistic CDFs of the scenario's r+s
+/// grid, combined by DiscretizedDistribution::Mixture with the same arm
+/// weights as the Monte Carlo path; freshness comes from AnalyticWars's
+/// approximate t-visibility at the SLA's staleness bound. Deterministic
+/// (no RNG at all) and microseconds per call after the scenario is built —
+/// this is the controller's cheap per-epoch evaluator.
+MixedQuorumEvaluation EvaluateMixedQuorumAnalytic(
+    const MixedQuorum& quorum, const SlaTarget& sla,
+    const AnalyticScenarioPtr& scenario,
+    ReadFanout read_fanout = ReadFanout::kAllN);
+
+/// Backend-dispatched mixed-quorum evaluation: one object bound to an SLA
+/// and a latency model, answering Evaluate(quorum, seed) through whichever
+/// engine its options select — the Monte Carlo arms (exactly
+/// EvaluateMixedQuorum), or the analytic scenario (EvaluateMixedQuorumAnalytic,
+/// ignoring `seed`). kAuto resolves at construction: non-IID models fall
+/// back to Monte Carlo outright; IID models keep the analytic engine only
+/// when its evaluation of the `probe` quorum agrees with a small Monte
+/// Carlo run within the validation tolerances. The consistency controller
+/// builds one of these per control epoch.
+class MixedQuorumPredictor {
+ public:
+  struct Options {
+    PredictorBackend backend = PredictorBackend::kMonteCarlo;
+    /// Monte Carlo trial budget per Evaluate (kMonteCarlo and fallback).
+    int trials = 1200;
+    ReadFanout read_fanout = ReadFanout::kAllN;
+    PbsExecutionOptions exec;
+    /// Analytic grid shape (kAnalytic / kAuto).
+    AnalyticGridOptions grid{2000.0, 8000};
+    /// kAuto's spot-check tolerances and budget.
+    AutoValidationOptions validation;
+    /// Seed of the kAuto spot-check's Monte Carlo run (independent of the
+    /// per-Evaluate seeds so the guard never perturbs decision streams).
+    uint64_t validation_seed = 0x5EED5EEDULL;
+  };
+
+  /// Infallible by design (the controller cannot surface a Status mid-epoch):
+  /// analytic construction problems — non-IID model under kAnalytic, a bad
+  /// grid — fall back to Monte Carlo and record why in note(). Debug builds
+  /// assert on kAnalytic misuse.
+  MixedQuorumPredictor(const SlaTarget& sla, ReplicaLatencyModelPtr model,
+                       const MixedQuorum& probe, const Options& options);
+  ~MixedQuorumPredictor();
+
+  MixedQuorumEvaluation Evaluate(const MixedQuorum& quorum,
+                                 uint64_t seed) const;
+
+  /// The engine actually answering (kAuto resolved; never kAuto itself).
+  PredictorBackend backend() const { return resolved_; }
+  /// Why kAuto / kAnalytic resolved to Monte Carlo (empty when analytic
+  /// stuck, or when Monte Carlo was asked for directly).
+  const std::string& note() const { return note_; }
+
+ private:
+  SlaTarget sla_;
+  ReplicaLatencyModelPtr model_;
+  Options options_;
+  PredictorBackend resolved_ = PredictorBackend::kMonteCarlo;
+  AnalyticScenarioPtr scenario_;
+  std::string note_;
+};
+
 /// Section 6 "Variable configurations": periodically re-pick R and W (N is
 /// fixed by durability/placement) as the environment's latency
 /// distributions drift, keeping a staleness SLA while minimizing latency.
@@ -113,6 +182,21 @@ struct AdaptiveControllerOptions {
   /// Thread count and chunking for each candidate evaluation; results do
   /// not depend on the thread count.
   PbsExecutionOptions exec;
+
+  /// Which engine evaluates candidates (DESIGN.md §12). kMonteCarlo keeps
+  /// the historical per-epoch trial runs; kAnalytic evaluates the whole
+  /// (R, W) lattice off one scenario grid (O(bins log bins) to build, then
+  /// O(bins * n) per candidate — orders of magnitude cheaper per epoch);
+  /// kAuto spot-checks the analytic engine against the incumbent's Monte
+  /// Carlo evaluation each Update and falls back when they disagree.
+  PredictorBackend backend = PredictorBackend::kMonteCarlo;
+  /// Analytic grid shape. Coarser than the predictor default: the
+  /// controller compares candidates, so grid bias common to all of them
+  /// cancels, and epochs should stay cheap.
+  AnalyticGridOptions grid{2000.0, 8000};
+  /// kAuto's per-Update agreement tolerances (trials is unused here — the
+  /// spot-check reuses the incumbent's trials_per_eval evaluation).
+  AutoValidationOptions validation;
 };
 
 /// Online controller. Feed it the latest latency model (measured online or
@@ -134,11 +218,17 @@ class AdaptiveConfigController {
   /// Re-evaluates all (R, W) pairs for the fixed N under `model` and
   /// returns the recommended configuration. The current configuration is
   /// retained unless it became infeasible or a challenger beats it by the
-  /// hysteresis margin.
+  /// hysteresis margin. The options' backend picks the evaluator per call
+  /// (the model may change between epochs): under kAnalytic every candidate
+  /// shares one scenario grid; under kAuto the analytic engine must first
+  /// agree with the incumbent's Monte Carlo evaluation within the
+  /// validation tolerances, else this epoch runs on Monte Carlo.
   QuorumConfig Update(const ReplicaLatencyModelPtr& model);
 
   const QuorumConfig& current() const { return current_; }
   const std::vector<Decision>& history() const { return history_; }
+  /// Engine used by the most recent Update (kAuto resolved per epoch).
+  PredictorBackend last_backend() const { return last_backend_; }
 
  private:
   struct Evaluation {
@@ -146,13 +236,16 @@ class AdaptiveConfigController {
     double t_visibility_ms = 0.0;
     bool feasible = false;
   };
+  /// Monte Carlo when `scenario` is null, analytic (seed unused) otherwise.
   Evaluation Evaluate(const QuorumConfig& config,
-                      const ReplicaLatencyModelPtr& model, uint64_t seed) const;
+                      const ReplicaLatencyModelPtr& model, uint64_t seed,
+                      const AnalyticScenarioPtr& scenario) const;
 
   QuorumConfig current_;
   AdaptiveControllerOptions options_;
   uint64_t epoch_ = 0;
   std::vector<Decision> history_;
+  PredictorBackend last_backend_ = PredictorBackend::kMonteCarlo;
 };
 
 }  // namespace pbs

@@ -1,0 +1,24 @@
+#include "core/backend.h"
+
+namespace pbs {
+
+const char* PredictorBackendName(PredictorBackend backend) {
+  switch (backend) {
+    case PredictorBackend::kMonteCarlo: return "mc";
+    case PredictorBackend::kAnalytic: return "analytic";
+    case PredictorBackend::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
+StatusOr<PredictorBackend> ParsePredictorBackend(const std::string& text) {
+  if (text == "mc" || text == "montecarlo" || text == "monte-carlo") {
+    return PredictorBackend::kMonteCarlo;
+  }
+  if (text == "analytic") return PredictorBackend::kAnalytic;
+  if (text == "auto") return PredictorBackend::kAuto;
+  return Status::InvalidArgument("unknown predictor backend '" + text +
+                                 "' (want mc | analytic | auto)");
+}
+
+}  // namespace pbs

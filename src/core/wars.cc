@@ -42,6 +42,8 @@ class IidReplicaLatencyModel final : public ReplicaLatencyModel {
     plan_.SampleLegs(rng, n_ * trials, legs);
   }
 
+  const WarsDistributions* IidLegs() const override { return &dists_; }
+
   std::string Describe() const override { return dists_.name + " (IID)"; }
 
  private:

@@ -70,6 +70,14 @@ class ReplicaLatencyModel {
   /// loops (allocates scratch on first use per call).
   void SampleTrial(Rng& rng, std::vector<ReplicaLegSample>* out) const;
 
+  /// The shared per-leg distributions when this model is IID across
+  /// replicas, nullptr otherwise (WAN, heterogeneous, local-coordinator).
+  /// The analytic backend keys its independence assumptions on this: a
+  /// non-null result is the license to solve over the four leg
+  /// distributions; null forces the Monte Carlo fallback. The pointer is
+  /// owned by the model and valid for its lifetime.
+  virtual const WarsDistributions* IidLegs() const { return nullptr; }
+
   virtual std::string Describe() const = 0;
 };
 

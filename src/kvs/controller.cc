@@ -135,21 +135,31 @@ ReplicaLatencyModelPtr ConsistencyController::SenseModel() const {
   return MakeIidModel(config.legs, config.quorum.n);
 }
 
-MixedQuorumEvaluation ConsistencyController::Predict(
-    const MixedQuorum& quorum, const ReplicaLatencyModelPtr& model,
-    uint64_t salt) const {
+MixedQuorumPredictor ConsistencyController::MakeEpochPredictor(
+    const ReplicaLatencyModelPtr& model, const MixedQuorum& current) const {
   const KvsConfig& config = cluster_->config();
+  MixedQuorumPredictor::Options options;
+  options.backend = config.controller.backend;
+  options.trials = config.controller.trials_per_eval;
+  options.read_fanout = config.read_fanout;
   // Serial inner evaluation: the controller already runs inside a (possibly
   // campaign-parallel) trial, and a serial WARS run is trivially
   // deterministic regardless of the outer thread count.
-  PbsExecutionOptions exec;
-  exec.threads = 1;
+  options.exec.threads = 1;
+  options.grid = AnalyticGridOptions{config.controller.grid_max_ms,
+                                     config.controller.grid_bins,
+                                     config.controller.grid_auto_max};
+  return MixedQuorumPredictor(sla_, model, current, options);
+}
+
+MixedQuorumEvaluation ConsistencyController::Predict(
+    const MixedQuorum& quorum, const MixedQuorumPredictor& predictor,
+    uint64_t salt) const {
+  const KvsConfig& config = cluster_->config();
   const uint64_t seed = (config.seed ^ 0xADA947ULL) +
                         static_cast<uint64_t>(epoch_) * 1000003ULL +
                         salt * 10007ULL;
-  return EvaluateMixedQuorum(quorum, sla_, model,
-                             config.controller.trials_per_eval, seed,
-                             config.read_fanout, exec);
+  return predictor.Evaluate(quorum, seed);
 }
 
 void ConsistencyController::Actuate(const KnobState& next) {
@@ -332,8 +342,10 @@ void ConsistencyController::Tick() {
   // 6. Quorum predictor: re-fit legs, re-run WARS on the incumbent and its
   // one-knob-step neighbors, and switch under hysteresis.
   const ReplicaLatencyModelPtr model = SenseModel();
-  const MixedQuorumEvaluation incumbent_eval = Predict(current.quorum, model,
-                                                       /*salt=*/0);
+  const MixedQuorumPredictor predictor =
+      MakeEpochPredictor(model, current.quorum);
+  const MixedQuorumEvaluation incumbent_eval =
+      Predict(current.quorum, predictor, /*salt=*/0);
   decision.predicted_fresh = incumbent_eval.fresh_probability;
   decision.predicted_p99_ms = incumbent_eval.read_p99_ms;
   decision.predicted_feasible = incumbent_eval.feasible;
@@ -391,7 +403,7 @@ void ConsistencyController::Tick() {
   for (const Candidate& candidate : candidates) {
     if (candidate.quorum == q) continue;
     const MixedQuorumEvaluation eval =
-        Predict(candidate.quorum, model, salt++);
+        Predict(candidate.quorum, predictor, salt++);
     bool better;
     if (eval.feasible != best_eval.feasible) {
       better = eval.feasible;

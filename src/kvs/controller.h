@@ -131,8 +131,14 @@ class ConsistencyController {
   /// Leg re-fit: empirical WARS model from profiler samples, or the
   /// configured legs while any leg is starved.
   ReplicaLatencyModelPtr SenseModel() const;
+  /// Builds the epoch's evaluation engine over the sensed model, probing
+  /// `current` (controller.backend selects MC / analytic / auto; under the
+  /// default kMonteCarlo this is a plain pass-through to
+  /// EvaluateMixedQuorum, keeping decision streams bitwise unchanged).
+  MixedQuorumPredictor MakeEpochPredictor(const ReplicaLatencyModelPtr& model,
+                                          const MixedQuorum& current) const;
   MixedQuorumEvaluation Predict(const MixedQuorum& quorum,
-                                const ReplicaLatencyModelPtr& model,
+                                const MixedQuorumPredictor& predictor,
                                 uint64_t salt) const;
   /// Applies `next` to the live cluster (only the knobs that differ).
   void Actuate(const KnobState& next);

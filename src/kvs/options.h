@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/backend.h"
 #include "util/status.h"
 
 namespace pbs {
@@ -158,6 +159,25 @@ struct ControllerOptions {
   /// Epochs to hold after a rollback before trying another step.
   int cooldown_epochs = 2;
 
+  /// Engine behind the per-epoch quorum predictor (DESIGN.md §12).
+  /// kMonteCarlo (default) keeps the historical WARS trial runs — decision
+  /// streams and their digests are bitwise unchanged. kAnalytic evaluates
+  /// candidates on one scenario grid built from the sensed legs each epoch
+  /// (no RNG, so runs are trivially thread-count deterministic). kAuto
+  /// spot-checks analytic-vs-MC on the incumbent each epoch and falls back
+  /// when the sensed distributions break the independence assumptions.
+  PredictorBackend backend = PredictorBackend::kMonteCarlo;
+
+  /// Analytic grid shape (kAnalytic / kAuto): uniform bins over
+  /// [0, grid_max_ms). Coarse by design — the controller compares
+  /// candidates, so grid bias common to all of them cancels. With
+  /// grid_auto_max (the default) grid_max_ms is only a cap: the grid
+  /// shrinks to the sensed legs' tail scale (AnalyticGridOptions::auto_max)
+  /// so fast fleets get proportionally finer resolution.
+  double grid_max_ms = 2000.0;
+  int grid_bins = 8000;
+  bool grid_auto_max = true;
+
   Status Validate() const {
     if (epoch_ms <= 0.0) {
       return Status::InvalidArgument("controller.epoch_ms must be > 0");
@@ -198,6 +218,11 @@ struct ControllerOptions {
     if (cooldown_epochs < 0) {
       return Status::InvalidArgument(
           "controller.cooldown_epochs must be >= 0");
+    }
+    const Status grid =
+        AnalyticGridOptions{grid_max_ms, grid_bins, grid_auto_max}.Validate();
+    if (!grid.ok()) {
+      return Status::InvalidArgument("controller." + grid.message());
     }
     return Status::Ok();
   }

@@ -220,6 +220,22 @@ struct Config {
     controller = options;
     return *this;
   }
+  /// Engine behind the controller's per-epoch quorum predictor
+  /// (kvs/options.h: ControllerOptions::backend). The default kMonteCarlo
+  /// preserves historical decision streams bit-for-bit.
+  Config& WithPredictorBackend(PredictorBackend backend) {
+    controller.backend = backend;
+    return *this;
+  }
+  /// Explicit analytic grid shape for the kAnalytic / kAuto controller
+  /// backends (disables the default tail-aware auto-scaling of the bound;
+  /// see AnalyticGridOptions::auto_max).
+  Config& WithPredictorGrid(double max_ms, int bins) {
+    controller.grid_max_ms = max_ms;
+    controller.grid_bins = bins;
+    controller.grid_auto_max = false;
+    return *this;
+  }
   /// Shorthand: declare the SLA and switch the closed loop on in one call.
   Config& WithControlLoop(const SlaTarget& target) {
     sla = target;

@@ -1,0 +1,90 @@
+#include "util/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <utility>
+
+namespace pbs {
+
+namespace {
+
+/// In-place iterative radix-2 Cooley-Tukey. `data.size()` must be a power of
+/// two. `invert` runs the inverse transform (including the 1/m scaling).
+void Fft(std::vector<std::complex<double>>& data, bool invert) {
+  const std::size_t m = data.size();
+  assert((m & (m - 1)) == 0 && m > 0);
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < m; ++i) {
+    std::size_t bit = m >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= m; len <<= 1) {
+    const double angle = (invert ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < m; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (invert) {
+    const double scale = 1.0 / static_cast<double>(m);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+}  // namespace
+
+std::vector<double> ConvolveRealDirect(const std::vector<double>& a,
+                                       const std::vector<double>& b) {
+  assert(!a.empty() && !b.empty());
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConvolveReal(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  assert(!a.empty() && !b.empty());
+  if (a.size() * b.size() < kFftConvolutionThreshold) {
+    return ConvolveRealDirect(a, b);
+  }
+  const std::size_t out_size = a.size() + b.size() - 1;
+  std::size_t m = 1;
+  while (m < out_size) m <<= 1;
+  // Pack both real inputs into one complex transform: FFT(a + i*b), then
+  // split using conjugate symmetry — halves the forward-transform work.
+  std::vector<std::complex<double>> packed(m, {0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) packed[i].real(a[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) packed[i].imag(b[i]);
+  Fft(packed, /*invert=*/false);
+  std::vector<std::complex<double>> product(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::complex<double> x = packed[k];
+    const std::complex<double> y = std::conj(packed[(m - k) & (m - 1)]);
+    const std::complex<double> fa = 0.5 * (x + y);
+    const std::complex<double> fb = std::complex<double>(0.0, -0.5) * (x - y);
+    product[k] = fa * fb;
+  }
+  Fft(product, /*invert=*/true);
+  std::vector<double> out(out_size);
+  for (std::size_t k = 0; k < out_size; ++k) out[k] = product[k].real();
+  return out;
+}
+
+}  // namespace pbs

@@ -1,0 +1,30 @@
+#ifndef PBS_UTIL_FFT_H_
+#define PBS_UTIL_FFT_H_
+
+#include <vector>
+
+namespace pbs {
+
+/// Linear convolution of two non-negative real sequences,
+/// out[k] = sum_j a[j] * b[k - j], length a.size() + b.size() - 1.
+///
+/// Large inputs go through a radix-2 complex FFT (O(m log m) at the padded
+/// power-of-two size m); small ones use the direct O(|a|*|b|) loop, which is
+/// both faster at that scale and exact. FFT results carry rounding noise of
+/// order 1e-15 * sum(a) * sum(b) per coefficient and may dip microscopically
+/// negative; callers convolving probability masses should clamp at zero
+/// (DiscretizedDistribution renormalizes after clamping).
+std::vector<double> ConvolveReal(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// The crossover above which ConvolveReal switches to the FFT path, as a
+/// bound on |a| * |b|. Exposed so tests can pin both paths explicitly.
+inline constexpr std::size_t kFftConvolutionThreshold = std::size_t{1} << 18;
+
+/// Direct-path convolution regardless of size (test/reference use).
+std::vector<double> ConvolveRealDirect(const std::vector<double>& a,
+                                       const std::vector<double>& b);
+
+}  // namespace pbs
+
+#endif  // PBS_UTIL_FFT_H_

@@ -1,14 +1,17 @@
 #include "core/analytic.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
 
+#include "core/closed_form.h"
 #include "core/latency.h"
 #include "core/tvisibility.h"
 #include "core/wars.h"
 #include "dist/primitives.h"
 #include "dist/production.h"
+#include "util/math.h"
 
 namespace pbs {
 namespace {
@@ -98,6 +101,87 @@ TEST(DiscretizedDistributionTest, OrderStatisticMaximum) {
   }
 }
 
+TEST(DiscretizedDistributionTest, SingleBinGridIsAPointMass) {
+  // The documented degenerate grid: one bin carries all the mass at its
+  // center, step/2.
+  const auto grid =
+      DiscretizedDistribution::FromDistribution(*Exponential(1.0), 10.0, 1);
+  EXPECT_EQ(grid.bins(), 1);
+  EXPECT_DOUBLE_EQ(grid.mass(0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(grid.CdfAtEdge(0), 1.0);
+  EXPECT_GE(grid.Quantile(0.5), 0.0);
+  EXPECT_LE(grid.Quantile(0.99), 10.0);
+  // Order statistics of a point mass are the point mass.
+  const auto order = DiscretizedDistribution::OrderStatistic(grid, 5, 3);
+  EXPECT_DOUBLE_EQ(order.mass(0), 1.0);
+}
+
+TEST(DiscretizedDistributionTest, OrderStatisticExtremesBracketTheMiddle) {
+  // k = 1 (min) and k = n (max) are the exact R = 1 / R = N arms of the
+  // solver; any middle k must sit between them pointwise in the CDF.
+  const auto e = DiscretizedDistribution::FromDistribution(
+      *Exponential(0.5), 60.0, 3000);
+  const auto lo = DiscretizedDistribution::OrderStatistic(e, 5, 1);
+  const auto mid = DiscretizedDistribution::OrderStatistic(e, 5, 3);
+  const auto hi = DiscretizedDistribution::OrderStatistic(e, 5, 5);
+  for (double x : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_GE(lo.Cdf(x) + 1e-12, mid.Cdf(x)) << "x=" << x;
+    EXPECT_GE(mid.Cdf(x) + 1e-12, hi.Cdf(x)) << "x=" << x;
+    // Max of n iid: CDF = F^n exactly.
+    EXPECT_NEAR(hi.Cdf(x), std::pow(e.Cdf(x), 5.0), 0.005) << "x=" << x;
+  }
+}
+
+TEST(DiscretizedDistributionTest, MixtureIsTheWeightedCdf) {
+  const auto a = DiscretizedDistribution::FromDistribution(
+      *Exponential(1.0), 50.0, 2000);
+  const auto b = DiscretizedDistribution::FromDistribution(
+      *Exponential(0.2), 50.0, 2000);
+  const auto mixed = DiscretizedDistribution::Mixture(a, 0.3, b, 0.7);
+  for (double x : {0.5, 2.0, 5.0, 20.0}) {
+    EXPECT_NEAR(mixed.Cdf(x), 0.3 * a.Cdf(x) + 0.7 * b.Cdf(x), 1e-12)
+        << "x=" << x;
+  }
+  EXPECT_NEAR(mixed.Mean(), 0.3 * a.Mean() + 0.7 * b.Mean(), 1e-9);
+}
+
+TEST(AnalyticGridTest, AutoMaxTracksTheLegScaleUnderTheCap) {
+  // LNKD-SSD's legs live at sub-millisecond scale with a Pareto tail: the
+  // auto-scaled bound lands far below the 4000 ms default cap, buying a
+  // proportionally finer step from the same bin budget.
+  const AnalyticGridOptions defaults;
+  ASSERT_TRUE(defaults.auto_max);
+  const double resolved = ResolveGridMaxMs(LnkdSsd(), defaults);
+  EXPECT_LT(resolved, defaults.max_ms);
+  EXPECT_DOUBLE_EQ(resolved, AutoGridMaxMs(LnkdSsd()));
+  EXPECT_GT(resolved, 0.0);
+
+  // Explicit grids opt out: max_ms is literal.
+  AnalyticGridOptions pinned = defaults;
+  pinned.auto_max = false;
+  EXPECT_DOUBLE_EQ(ResolveGridMaxMs(LnkdSsd(), pinned), pinned.max_ms);
+
+  // Degenerate legs cannot collapse the grid below one step's width.
+  WarsDistributions tiny;
+  tiny.name = "tiny";
+  tiny.w = PointMass(1e-6);
+  tiny.a = PointMass(1e-6);
+  tiny.r = PointMass(1e-6);
+  tiny.s = PointMass(1e-6);
+  EXPECT_DOUBLE_EQ(ResolveGridMaxMs(tiny, defaults),
+                   defaults.max_ms / defaults.bins);
+}
+
+TEST(AnalyticGridTest, ScenarioConstructionHonorsTheResolvedBound) {
+  const AnalyticGridOptions defaults;
+  const auto scenario = MakeAnalyticScenario(LnkdSsd(), defaults);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_NEAR(scenario.value()->max_ms(),
+              ResolveGridMaxMs(LnkdSsd(), defaults), 1e-9);
+  EXPECT_EQ(scenario.value()->bins(), defaults.bins);
+}
+
 TEST(AnalyticWarsTest, LatencyQuantilesMatchMonteCarloExactly) {
   // Operation latencies are pure order statistics: the analytic solver and
   // the sampler must agree to grid + sampling resolution.
@@ -165,6 +249,91 @@ TEST(AnalyticWarsTest, TimeForConsistencyInvertsTheCurve) {
   const double t = analytic.ApproxTimeForConsistency(0.99);
   EXPECT_GE(analytic.ApproxProbConsistent(t), 0.99);
   EXPECT_GT(t, 0.0);
+  // Binary search returns the *smallest* grid point meeting p: one step
+  // earlier must miss it.
+  const double step = analytic.scenario()->step();
+  if (t >= step) {
+    EXPECT_LT(analytic.ApproxProbConsistent(t - step), 0.99);
+  }
+}
+
+TEST(AnalyticWarsTest, QuorumOnlyFanoutReadsTheMaxOfR) {
+  // kQuorumOnly sends exactly R probes, so read latency is the max of R
+  // iid (r + s) — the R-of-R order statistic on the shared grid.
+  const auto scenario = MakeAnalyticScenario(LnkdDisk(), AnalyticGridOptions{});
+  ASSERT_TRUE(scenario.ok());
+  const QuorumConfig config{3, 2, 2};
+  const AnalyticWars all_n(config, scenario.value(), ReadFanout::kAllN);
+  const AnalyticWars quorum_only(config, scenario.value(),
+                                 ReadFanout::kQuorumOnly);
+  const auto expected = DiscretizedDistribution::OrderStatistic(
+      scenario.value()->read_response(), 2, 2);
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(quorum_only.ReadLatencyQuantile(p), expected.Quantile(p),
+                1e-9)
+        << "p=" << p;
+    // R-of-N (N > R helpers racing) is never slower than R-of-R.
+    EXPECT_LE(all_n.ReadLatencyQuantile(p),
+              quorum_only.ReadLatencyQuantile(p) + 1e-9)
+        << "p=" << p;
+  }
+  // Write latency does not depend on the read fan-out.
+  EXPECT_DOUBLE_EQ(all_n.WriteLatencyQuantile(0.99),
+                   quorum_only.WriteLatencyQuantile(0.99));
+}
+
+TEST(AnalyticWarsTest, HoistedCurveMatchesTheDirectFormula) {
+  // Regression for the shifted-dot-product evaluation: stale(t) must equal
+  // the direct per-commit-bin sum
+  //   sum_i m_i * ps * (q(wt_i + t) / S_wa(wt_i))^R
+  // evaluated straight off the scenario accessors.
+  const auto scenario = MakeAnalyticScenario(LnkdDisk(), AnalyticGridOptions{});
+  ASSERT_TRUE(scenario.ok());
+  const QuorumConfig config{3, 1, 2};
+  const AnalyticWars analytic(config, scenario.value());
+  const double step = scenario.value()->step();
+  const int bins = scenario.value()->bins();
+  const double ps =
+      BinomialRatio(config.n - config.w, config.n, config.r);
+  const auto& commit = analytic.commit_time();
+  const auto& wa = scenario.value()->write_ack();
+  for (double t : {0.0, 3.0 * step, 17.0 * step, 100.0 * step}) {
+    const int k = static_cast<int>(t / step + 0.5);
+    double stale = 0.0;
+    for (int i = 0; i + k < bins; ++i) {
+      const double mass = commit.mass(i);
+      if (mass == 0.0) continue;
+      const double s_wa =
+          std::max(1.0 - wa.Cdf(commit.value(i)), 1e-12);
+      double term = 1.0;
+      for (int j = 0; j < config.r; ++j) {
+        term *= scenario.value()->q(i + k) / s_wa;
+      }
+      stale += ps * mass * term;
+    }
+    EXPECT_NEAR(analytic.ApproxProbConsistent(t), 1.0 - stale, 1e-12)
+        << "t=" << t;
+  }
+}
+
+TEST(AnalyticWarsTest, SlowPropagationDegeneratesToClosedFormPs) {
+  // When writes propagate far slower than everything else, almost no
+  // non-ack replica holds the version at t = 0 and P(stale | 0) collapses
+  // to the Equation 1 combinatorial floor ps = C(N-W, R)/C(N, R) — which
+  // is also KStalenessProbability(config, 1).
+  WarsDistributions slow;
+  slow.name = "slow-propagation";
+  slow.w = Exponential(0.001);  // mean 1000 ms
+  slow.a = PointMass(0.1);
+  slow.r = PointMass(0.1);
+  slow.s = PointMass(0.1);
+  for (const QuorumConfig config :
+       {QuorumConfig{3, 1, 1}, QuorumConfig{5, 2, 2}}) {
+    const AnalyticWars analytic(config, slow, 20000.0, 20000);
+    const double ps = KStalenessProbability(config, 1);
+    EXPECT_NEAR(1.0 - analytic.ApproxProbConsistent(0.0), ps, 0.01)
+        << config.ToString();
+  }
 }
 
 }  // namespace

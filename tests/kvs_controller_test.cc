@@ -362,6 +362,79 @@ TEST(ControllerCampaignTest, FaultFactoryDoesNotPerturbTheWorkloadStream) {
   EXPECT_EQ(without, with_empty);
 }
 
+// ------------------------------------------------------- predictor backends
+
+TEST(ControllerBackendTest, ExplicitMonteCarloMatchesTheDefault) {
+  // The backend knob defaults to kMonteCarlo; spelling it out — and moving
+  // the (unused) analytic grid knobs — must not perturb decision streams
+  // or digests. This is the compatibility half of the DESIGN.md §12
+  // contract.
+  const StalenessExperimentResult baseline =
+      RunStalenessExperiment(ControllerExperiment());
+  StalenessExperimentOptions options = ControllerExperiment();
+  options.cluster.controller.backend = PredictorBackend::kMonteCarlo;
+  options.cluster.controller.grid_bins = 2000;
+  options.cluster.controller.grid_max_ms = 700.0;
+  options.cluster.controller.grid_auto_max = false;
+  const StalenessExperimentResult explicit_mc = RunStalenessExperiment(options);
+  ASSERT_EQ(explicit_mc.controller_decisions.size(),
+            baseline.controller_decisions.size());
+  for (size_t i = 0; i < baseline.controller_decisions.size(); ++i) {
+    EXPECT_EQ(explicit_mc.controller_decisions[i],
+              baseline.controller_decisions[i])
+        << i;
+  }
+  EXPECT_EQ(explicit_mc.controller_digest, baseline.controller_digest);
+}
+
+TEST(ControllerBackendTest, AnalyticRunsAreBitwiseReproducible) {
+  StalenessExperimentOptions options = ControllerExperiment();
+  options.cluster.controller.backend = PredictorBackend::kAnalytic;
+  const StalenessExperimentResult a = RunStalenessExperiment(options);
+  const StalenessExperimentResult b = RunStalenessExperiment(options);
+  EXPECT_GT(a.final_metrics.controller_epochs, 5);
+  ASSERT_FALSE(a.controller_decisions.empty());
+  ASSERT_EQ(a.controller_decisions.size(), b.controller_decisions.size());
+  for (size_t i = 0; i < a.controller_decisions.size(); ++i) {
+    EXPECT_EQ(a.controller_decisions[i], b.controller_decisions[i]) << i;
+  }
+  EXPECT_EQ(a.controller_digest, b.controller_digest);
+}
+
+TEST(ControllerBackendTest, AutoBackendRunsTheEpochLoop) {
+  StalenessExperimentOptions options = ControllerExperiment();
+  options.cluster.controller.backend = PredictorBackend::kAuto;
+  const StalenessExperimentResult result = RunStalenessExperiment(options);
+  EXPECT_GT(result.final_metrics.controller_epochs, 5);
+  EXPECT_FALSE(result.controller_decisions.empty());
+  EXPECT_NE(result.controller_digest, 0u);
+}
+
+TEST(ControllerBackendTest, AnalyticCampaignIsThreadCountDeterministic) {
+  // The acceptance pin: kAnalytic controller campaigns (no RNG in the
+  // per-epoch evaluator at all) reproduce bitwise at 1, 4 and 8 threads,
+  // exactly like the Monte Carlo pin in parallel_determinism_test.
+  ControllerTrialOptions options;
+  options.experiment = ControllerExperiment();
+  options.experiment.writes = 150;
+  options.experiment.cluster.controller.backend = PredictorBackend::kAnalytic;
+  options.trials = 3;
+  options.seed = 606;
+  PbsExecutionOptions serial_exec;
+  serial_exec.threads = 1;
+  const ControllerCampaignResult serial =
+      RunControllerTrials(options, serial_exec);
+  ASSERT_EQ(serial.trials.size(), 3u);
+  EXPECT_NE(serial.pooled_digest, 0u);
+  for (int threads : {4, 8}) {
+    PbsExecutionOptions exec;
+    exec.threads = threads;
+    const ControllerCampaignResult parallel =
+        RunControllerTrials(options, exec);
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
 }  // namespace
 }  // namespace kvs
 }  // namespace pbs

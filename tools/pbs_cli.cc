@@ -1,6 +1,8 @@
 // pbs — command-line front end to the PBS library.
 //
 //   pbs predict  --n=3 --r=1 --w=1 [--scenario=lnkd-disk] [--trials=200000]
+//                [--backend=mc|analytic|auto] [--grid-bins=20000]
+//                [--grid-max-ms=4000]
 //   pbs sla      --max-t=15 --prob=0.999 [--min-w=1] [--max-n=5]
 //                [--read-fraction=0.8] [--scenario=...]
 //   pbs levels   --n=3 --read=one --write=quorum [--scenario=...]
@@ -12,6 +14,8 @@
 //                [--deadline-ms=0] [--retries=1] [--downgrade-on-retry]
 //                [--sla="p=0.999,t=10,p99<=15"] [--controller]
 //                [--controller-epoch-ms=2000]
+//                [--backend=mc|analytic|auto] [--grid-bins=8000]
+//                [--grid-max-ms=2000]
 //                [--fault=SPEC[;SPEC...]]
 //                [--trace[=trace.json]] [--audit[=audit.jsonl]]
 //                [--metrics-out[=metrics.jsonl]] [--trace-sample-every=1]
@@ -137,13 +141,42 @@ StatusOr<kvs::ConsistencyLevel> ParseLevel(const std::string& text) {
   return Status::InvalidArgument("unknown consistency level: " + text);
 }
 
-void PrintPrediction(const QuorumConfig& config,
-                     const ReplicaLatencyModelPtr& model, int trials) {
-  PredictorOptions options;
-  options.trials = trials;
-  PbsPredictor predictor(config, model, options);
-  std::printf("%s (%s)\n", config.ToString().c_str(),
-              config.IsStrict() ? "strict" : "partial");
+/// Parses the engine-selection flags shared by predict / levels /
+/// predict-trace into `options`. False (with a message) on a bad value.
+bool ParseBackendFlags(const Args& args, PredictorOptions* options) {
+  const std::string backend = args.GetString("backend", "mc");
+  const StatusOr<PredictorBackend> parsed = ParsePredictorBackend(backend);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().message() << "\n";
+    return false;
+  }
+  options->backend = parsed.value();
+  options->grid.bins = args.GetInt("grid-bins", options->grid.bins);
+  const double max_ms = args.GetDouble("grid-max-ms", -1.0);
+  if (max_ms >= 0.0) {
+    // An explicit bound is used literally (no tail-aware auto-scaling).
+    options->grid.max_ms = max_ms;
+    options->grid.auto_max = false;
+  }
+  return true;
+}
+
+int PrintPrediction(const QuorumConfig& config,
+                    const ReplicaLatencyModelPtr& model,
+                    PredictorOptions options) {
+  const StatusOr<PbsPredictor> created =
+      PbsPredictor::Create(config, model, options);
+  if (!created.ok()) {
+    std::cerr << created.status().message() << "\n";
+    return 1;
+  }
+  const PbsPredictor& predictor = created.value();
+  std::printf("%s (%s), backend=%s\n", config.ToString().c_str(),
+              config.IsStrict() ? "strict" : "partial",
+              PredictorBackendName(predictor.backend()));
+  if (!predictor.backend_note().empty()) {
+    std::printf("  %s\n", predictor.backend_note().c_str());
+  }
   TextTable table({"metric", "value"});
   table.AddRow({"P(consistent, t=0)",
                 FormatDouble(predictor.ProbConsistent(0.0), 4)});
@@ -158,6 +191,7 @@ void PrintPrediction(const QuorumConfig& config,
   table.AddRow({"write latency p99.9 (ms)",
                 FormatDouble(predictor.WriteLatencyPercentile(99.9), 2)});
   table.Print(std::cout);
+  return 0;
 }
 
 int CmdPredict(const Args& args) {
@@ -169,9 +203,11 @@ int CmdPredict(const Args& args) {
     return 1;
   }
   const std::string scenario = args.GetString("scenario", "lnkd-disk");
-  PrintPrediction(config, ScenarioModelOrDefault(scenario, config.n),
-                  args.GetInt("trials", 200000));
-  return 0;
+  PredictorOptions options;
+  options.trials = args.GetInt("trials", 200000);
+  if (!ParseBackendFlags(args, &options)) return 1;
+  return PrintPrediction(config, ScenarioModelOrDefault(scenario, config.n),
+                         options);
 }
 
 int CmdSla(const Args& args) {
@@ -225,9 +261,11 @@ int CmdLevels(const Args& args) {
   std::printf("consistency levels %s/%s at N=%d =>\n",
               kvs::ToString(read_level.value()).c_str(),
               kvs::ToString(write_level.value()).c_str(), n);
-  PrintPrediction(config.value(), ScenarioModelOrDefault(scenario, n),
-                  args.GetInt("trials", 200000));
-  return 0;
+  PredictorOptions options;
+  options.trials = args.GetInt("trials", 200000);
+  if (!ParseBackendFlags(args, &options)) return 1;
+  return PrintPrediction(config.value(), ScenarioModelOrDefault(scenario, n),
+                         options);
 }
 
 int CmdFit(const Args& args) {
@@ -316,6 +354,24 @@ int CmdSimulate(const Args& args) {
     }
     config.controller.enabled = true;
     config.controller.epoch_ms = args.GetDouble("controller-epoch-ms", 2000.0);
+    // --backend steers the controller's per-epoch predictor (mc keeps the
+    // historical bitwise-deterministic decision streams; analytic/auto run
+    // the grid solver over the sensed legs).
+    const StatusOr<PredictorBackend> backend =
+        ParsePredictorBackend(args.GetString("backend", "mc"));
+    if (!backend.ok()) {
+      std::cerr << backend.status().message() << "\n";
+      return 1;
+    }
+    config.WithPredictorBackend(backend.value());
+    config.controller.grid_bins =
+        args.GetInt("grid-bins", config.controller.grid_bins);
+    const double grid_max = args.GetDouble("grid-max-ms", -1.0);
+    if (grid_max >= 0.0) {
+      // WithPredictorGrid pins the bound literally; the default keeps the
+      // tail-aware auto-scaled grid.
+      config.WithPredictorGrid(grid_max, config.controller.grid_bins);
+    }
   }
 
   const std::string trace_out = PathFlag(args, "trace", "pbs_trace.json");
@@ -486,9 +542,10 @@ int CmdPredictTrace(const Args& args) {
     std::cerr << valid.message() << "\n";
     return 1;
   }
-  PrintPrediction(config, MakeIidModel(legs, config.n),
-                  args.GetInt("trials", 200000));
-  return 0;
+  PredictorOptions options;
+  options.trials = args.GetInt("trials", 200000);
+  if (!ParseBackendFlags(args, &options)) return 1;
+  return PrintPrediction(config, MakeIidModel(legs, config.n), options);
 }
 
 void Usage() {
