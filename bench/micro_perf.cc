@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/adaptive.h"
 #include "core/wars.h"
 #include "dist/mixture.h"
 #include "dist/primitives.h"
@@ -202,18 +203,45 @@ BenchResult BenchKvsHotPath(int64_t ops) {
   });
 }
 
+kvs::StalenessExperimentOptions KvsBenchOptions(int64_t ops) {
+  kvs::StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 1, 1};
+  options.cluster.legs = LnkdSsd();
+  options.cluster.request_timeout_ms = 100.0;
+  options.writes = static_cast<int>(ops / 2);
+  options.write_spacing_ms = 10.0;
+  options.read_offsets_ms = {1.0};
+  return options;
+}
+
 BenchResult BenchKvsLegacy(int64_t ops) {
   // End-to-end cost per operation in the general per-message KVS engine
   // (one op = one write or one read; each write issues one read at +1 ms).
   // Kept as the baseline the hot path is measured against.
   return RunBench("kvs_cluster_ops_legacy", "op", ops, [&](int64_t n) {
-    kvs::StalenessExperimentOptions options;
-    options.cluster.quorum = {3, 1, 1};
-    options.cluster.legs = LnkdSsd();
-    options.cluster.request_timeout_ms = 100.0;
-    options.writes = static_cast<int>(n / 2);
-    options.write_spacing_ms = 10.0;
-    options.read_offsets_ms = {1.0};
+    const auto result = kvs::RunStalenessExperiment(KvsBenchOptions(n));
+    g_sink = result.read_latencies.empty() ? 0.0
+                                           : result.read_latencies[0];
+  });
+}
+
+BenchResult BenchKvsTelemetry(int64_t ops) {
+  // The same workload with streaming telemetry fully on: windowed registry
+  // deltas plus the live drift monitor (which forces per-read freshness
+  // classification and an owned leg profiler). Per-window costs (two dense
+  // window histograms, counter diff, serialization) amortize over the ops
+  // that land in the window, so the budget is stated against a window that
+  // carries ~1000 ops — the sim workload runs ~200 op/s of sim time, far
+  // below any production cadence, and a 1 s window here would model a
+  // near-idle cluster rather than a hot one. Paired against
+  // kvs_cluster_ops_legacy for the <3% monitoring budget.
+  return RunBench("kvs_cluster_ops_telemetry", "op", ops, [&](int64_t n) {
+    kvs::StalenessExperimentOptions options = KvsBenchOptions(n);
+    options.cluster.sla =
+        SlaTarget{/*fresh_probability=*/0.99, /*staleness_bound_ms=*/10.0,
+                  /*read_p99_ms=*/50.0};
+    options.cluster.obs.telemetry_window_ms = 5000.0;
+    options.cluster.obs.monitor_enabled = true;
     const auto result = kvs::RunStalenessExperiment(options);
     g_sink = result.read_latencies.empty() ? 0.0
                                            : result.read_latencies[0];
@@ -357,7 +385,27 @@ int Main(int argc, char** argv) {
   results.push_back(BenchEventChurn(kEvents));
   const BenchResult kvs_hot = BenchKvsHotPath(kHotOps);
   results.push_back(kvs_hot);
-  results.push_back(BenchKvsLegacy(kOps));
+  const BenchResult kvs_legacy = BenchKvsLegacy(kOps);
+  results.push_back(kvs_legacy);
+
+  // Streaming-telemetry overhead, paired in-process against the same KVS
+  // workload: windowed time-series + drift monitor must cost < 3% per op
+  // (telemetry-off is bitwise identical to the pre-telemetry engine, so
+  // only the enabled path needs a budget).
+  const BenchResult kvs_telemetry = BenchKvsTelemetry(kOps);
+  results.push_back(kvs_telemetry);
+  const double telemetry_overhead_pct =
+      100.0 * (kvs_telemetry.NsPerItem() / kvs_legacy.NsPerItem() - 1.0);
+  std::printf("streaming-telemetry overhead on kvs_cluster_ops_legacy: "
+              "%+.2f%% (budget: +3%%)\n",
+              telemetry_overhead_pct);
+  if (!small && telemetry_overhead_pct > 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: streaming-telemetry overhead %+.2f%% exceeds the "
+                 "3%% budget\n",
+                 telemetry_overhead_pct);
+    overhead_ok = false;
+  }
 
   // Throughput gate: the compiled hot path must sustain >= 5M simulated
   // ops/s in full mode (the "close the 70x gap" target; the legacy

@@ -2,14 +2,53 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 
+#include "core/backend.h"
+#include "dist/empirical.h"
 #include "kvs/anti_entropy.h"
 #include "kvs/migration.h"
+#include "util/stats.h"
 
 namespace pbs {
 namespace kvs {
+namespace {
+
+// Monitor fit bounds (see Cluster::RefreshMonitorPrediction): the fit
+// stabilizes on a doubling schedule until every leg holds
+// min_leg_samples * kMonitorFitStabilizeFactor samples, then freezes; each
+// refit sorts at most kMonitorFitSampleCap samples per leg.
+constexpr size_t kMonitorFitStabilizeFactor = 16;
+constexpr size_t kMonitorFitSampleCap = 8192;
+
+// Per-leg ring capacity for the telemetry-owned LegProfiler. Comfortably
+// above kMonitorFitSampleCap (fits only read the newest samples) while
+// keeping recording O(1) with bounded memory on long runs.
+constexpr size_t kMonitorProfilerSampleCap = 16384;
+
+// Type-7 interpolated quantile via selection — same arithmetic as
+// util/stats.h QuantileSorted on the same data (bitwise identical result),
+// but O(n) instead of the full sort the telemetry tick would otherwise pay
+// per window. Scrambles `v`.
+double QuantileSelect(std::vector<double>& v, double q) {
+  const size_t n = v.size();
+  if (q <= 0.0) return *std::min_element(v.begin(), v.end());
+  if (q >= 1.0) return *std::max_element(v.begin(), v.end());
+  const double pos = q * static_cast<double>(n - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(lo), v.end());
+  const double at_lo = v[lo];
+  if (frac == 0.0 || lo + 1 >= n) return at_lo;
+  const double at_hi =
+      *std::min_element(v.begin() + static_cast<ptrdiff_t>(lo) + 1, v.end());
+  return at_lo + frac * (at_hi - at_lo);
+}
+
+}  // namespace
 
 Status KvsConfig::Validate() const {
   const Status quorum_status = ValidateQuorumConfig(quorum);
@@ -48,6 +87,11 @@ Status KvsConfig::Validate() const {
     return Status::InvalidArgument(
         "controller.enabled requires a declared sla (fresh_probability > 0)");
   }
+  if (obs.monitor_enabled && !sla.enabled()) {
+    return Status::InvalidArgument(
+        "obs.monitor_enabled requires a declared sla (fresh_probability > 0) "
+        "to measure freshness against");
+  }
   return obs.Validate();
 }
 
@@ -73,7 +117,14 @@ Cluster::Cluster(const KvsConfig& config)
   read_mix_.r_hi = config_.quorum.r;
   read_mix_.w = config_.quorum.w;
   read_mix_.mix = 0.0;
-  freshness_enabled_ = config_.controller.enabled && config_.sla.enabled();
+  // Freshness classification runs for the controller and/or the drift
+  // monitor; both require a declared SLA (Validate enforces this for the
+  // pbs::Config path). The commit rings size off ControllerOptions, whose
+  // defaults hold even when only the monitor wants measurement.
+  freshness_enabled_ =
+      (config_.controller.enabled ||
+       (config_.obs.monitor_enabled && config_.obs.telemetry_window_ms > 0.0)) &&
+      config_.sla.enabled();
   if (freshness_enabled_) {
     const int classes = config_.controller.num_key_classes;
     commit_rings_.assign(classes, {});
@@ -364,8 +415,8 @@ void Cluster::StartFailureDetector() {
   failure_detector_->Start();
 }
 
-void Cluster::ExportMetrics(obs::Registry* out) const {
-  assert(out != nullptr);
+template <typename Fn>
+void Cluster::ForEachCounter(Fn&& fn) const {
   const ClusterMetrics& m = metrics_;
   const struct {
     const char* name;
@@ -429,20 +480,36 @@ void Cluster::ExportMetrics(obs::Registry* out) const {
        static_cast<int64_t>(tracer_.events_overwritten())},
   };
   for (const auto& counter : counters) {
-    out->counter(counter.name).Add(counter.value);
+    fn(std::string_view(counter.name), counter.value);
   }
+  // Per-shard attribution, keyed by primary owner: "kvs/shard/<id>/...".
+  // m.shards is an ordered map, so visit order is deterministic.
+  for (const auto& [shard, sm] : m.shards) {
+    const std::string prefix = "kvs/shard/" + std::to_string(shard) + "/";
+    fn(std::string_view(prefix + "reads"), sm.reads);
+    fn(std::string_view(prefix + "writes"), sm.writes);
+    fn(std::string_view(prefix + "migration_keys_received"),
+       sm.migration_keys_received);
+  }
+}
+
+void Cluster::ExportCounters(obs::Registry* out) const {
+  assert(out != nullptr);
+  ForEachCounter([out](std::string_view name, int64_t value) {
+    out->counter(std::string(name)).Add(value);
+  });
+}
+
+void Cluster::ExportMetrics(obs::Registry* out) const {
+  assert(out != nullptr);
+  ExportCounters(out);
+  const ClusterMetrics& m = metrics_;
   obs::LogHistogram& reads = out->histogram("kvs/read_latency_ms");
   for (double sample : m.read_latency.samples()) reads.Record(sample);
   obs::LogHistogram& writes = out->histogram("kvs/write_latency_ms");
   for (double sample : m.write_latency.samples()) writes.Record(sample);
-  // Per-shard attribution, keyed by primary owner: "kvs/shard/<id>/...".
-  // m.shards is an ordered map, so export order is deterministic.
   for (const auto& [shard, sm] : m.shards) {
     const std::string prefix = "kvs/shard/" + std::to_string(shard) + "/";
-    out->counter(prefix + "reads").Add(sm.reads);
-    out->counter(prefix + "writes").Add(sm.writes);
-    out->counter(prefix + "migration_keys_received")
-        .Add(sm.migration_keys_received);
     obs::LogHistogram& shard_reads = out->histogram(prefix + "read_latency_ms");
     for (double sample : sm.read_latency.samples()) shard_reads.Record(sample);
     obs::LogHistogram& shard_writes =
@@ -451,7 +518,249 @@ void Cluster::ExportMetrics(obs::Registry* out) const {
       shard_writes.Record(sample);
     }
   }
+  if (monitor_ != nullptr) monitor_->ExportTo(out);
   if (leg_profiler_ != nullptr) leg_profiler_->ExportTo(out);
+}
+
+obs::MetricsSnapshotHeader Cluster::MetricsHeader() const {
+  obs::MetricsSnapshotHeader header;
+  header.predictor_backend = predictor_backend_;
+  header.predictor_note = predictor_note_;
+  header.active_decision_id = active_decision_id_;
+  header.snapshot_time_ms = sim_.now();
+  return header;
+}
+
+void Cluster::StartTelemetry() {
+  if (telemetry_started_ || config_.obs.telemetry_window_ms <= 0.0) return;
+  telemetry_started_ = true;
+  timeseries_ =
+      std::make_unique<obs::TimeSeries>(config_.obs.timeseries_capacity);
+  if (config_.obs.monitor_enabled) {
+    // The kvs layer owns the SLA; the monitor gets its clauses as plain
+    // numbers (obs sits below core and cannot see SlaTarget).
+    obs::MonitorOptions options = config_.obs.monitor;
+    options.sla_fresh_probability = config_.sla.fresh_probability;
+    options.sla_read_p99_ms = config_.sla.read_p99_ms;
+    monitor_ = std::make_unique<obs::ConsistencyMonitor>(options);
+    if (leg_profiler_ == nullptr) {
+      // Ring-capped: the monitor's fits only read the newest samples, so
+      // the owned profiler never needs unbounded history (an externally
+      // attached profiler keeps whatever policy its owner chose).
+      telemetry_profiler_ =
+          std::make_unique<LegProfiler>(kMonitorProfilerSampleCap);
+      leg_profiler_ = telemetry_profiler_.get();
+    }
+  }
+  sim_.ScheduleTimer(config_.obs.telemetry_window_ms,
+                     [this]() { TelemetryTick(); });
+}
+
+void Cluster::RefreshMonitorPrediction() {
+  const LegProfiler* profiler = leg_profiler_;
+  if (profiler == nullptr) return;
+  using Leg = LegProfiler::Leg;
+  const std::array<size_t, LegProfiler::kNumLegs> counts = {
+      profiler->count(Leg::kWriteRequest), profiler->count(Leg::kWriteAck),
+      profiler->count(Leg::kReadRequest), profiler->count(Leg::kReadResponse)};
+  const int64_t min_samples = config_.obs.monitor.min_leg_samples;
+  for (size_t count : counts) {
+    if (static_cast<int64_t>(count) < min_samples) return;  // keep last fit
+  }
+  const MixedQuorum active =
+      mixing_active_ ? read_mix_
+                     : MixedQuorum{config_.quorum.n, config_.quorum.r,
+                                   config_.quorum.r, config_.quorum.w, 0.0};
+  bool stale_fit =
+      !monitor_prediction_valid_ || !(active == monitor_fit_quorum_);
+  if (!stale_fit) {
+    // Refit on a doubling schedule while the fit is still stabilizing, then
+    // FREEZE it (until the active quorum changes): the frozen pre-fault fit
+    // is the stable reference mid-run drift is scored against, and the
+    // whole run pays O(log) refits instead of one per window.
+    const size_t stabilize_cap =
+        static_cast<size_t>(min_samples) * kMonitorFitStabilizeFactor;
+    for (int leg = 0; leg < LegProfiler::kNumLegs; ++leg) {
+      if (monitor_fit_counts_[leg] < stabilize_cap &&
+          counts[leg] >= 2 * monitor_fit_counts_[leg]) {
+        stale_fit = true;
+        break;
+      }
+    }
+  }
+  if (!stale_fit) return;
+
+  // Fit on the newest samples only (bounded sort cost per refit; the legs
+  // are stationary pre-fault, which is the only regime refits run in).
+  const auto fit_leg = [profiler](Leg leg) {
+    const std::vector<double>& all = profiler->samples(leg);
+    const size_t take = std::min(all.size(), kMonitorFitSampleCap);
+    return Empirical(std::vector<double>(all.end() - take, all.end()));
+  };
+  WarsDistributions fitted;
+  fitted.name = "monitor-fit";
+  fitted.w = fit_leg(Leg::kWriteRequest);
+  fitted.a = fit_leg(Leg::kWriteAck);
+  fitted.r = fit_leg(Leg::kReadRequest);
+  fitted.s = fit_leg(Leg::kReadResponse);
+  MixedQuorumPredictor::Options options;
+  // Always the analytic backend: RNG-free, so the monitor never perturbs
+  // seeded runs. The grid is deliberately coarse — drift tolerances are
+  // 15% freshness / 75% relative p99, far wider than a 1024-bin
+  // auto-scaled grid's error — keeping a refit well under a millisecond.
+  options.backend = PredictorBackend::kAnalytic;
+  options.read_fanout = config_.read_fanout;
+  options.exec.threads = 1;
+  options.grid = AnalyticGridOptions{/*max_ms=*/2000.0, /*bins=*/1024,
+                                     /*auto_max=*/true};
+  const MixedQuorumPredictor predictor(
+      config_.sla, MakeIidModel(fitted, config_.quorum.n), active, options);
+  monitor_prediction_ = predictor.Evaluate(active, /*seed=*/0);
+  monitor_prediction_valid_ = true;
+  monitor_fit_quorum_ = active;
+  monitor_fit_counts_ = counts;
+  if (predictor_backend_.empty() || active_decision_id_ < 0) {
+    // Provenance: the controller's epoch predictor wins when one runs;
+    // otherwise the monitor's fit is the run's predictor of record.
+    predictor_backend_ = PredictorBackendName(predictor.backend());
+    predictor_note_ = predictor.note();
+  }
+}
+
+void Cluster::TelemetryTick() {
+  const double window_ms = config_.obs.telemetry_window_ms;
+  const int64_t window_id = telemetry_window_index_++;
+  const double start_ms = static_cast<double>(window_id) * window_ms;
+  const double end_ms = sim_.now();
+
+  // Consume the window's new latency samples exactly once: record them
+  // straight into the window's delta histograms (exact min/max, no dense
+  // cumulative rebuild) and keep the slice bounds for the monitor's
+  // quantiles. Empty slices record nothing, matching RegistryDelta's
+  // drop-quiet-instruments semantics.
+  const auto& read_samples = metrics_.read_latency.samples();
+  const auto& write_samples = metrics_.write_latency.samples();
+  const size_t read_begin = telemetry_read_seen_;
+  const size_t write_begin = telemetry_write_seen_;
+  telemetry_read_seen_ = read_samples.size();
+  telemetry_write_seen_ = write_samples.size();
+
+  obs::Registry delta;
+  if (read_samples.size() > read_begin) {
+    obs::LogHistogram& hist = delta.histogram("kvs/read_latency_ms");
+    for (size_t i = read_begin; i < read_samples.size(); ++i) {
+      hist.Record(read_samples[i]);
+    }
+  }
+  if (write_samples.size() > write_begin) {
+    obs::LogHistogram& hist = delta.histogram("kvs/write_latency_ms");
+    for (size_t i = write_begin; i < write_samples.size(); ++i) {
+      hist.Record(write_samples[i]);
+    }
+  }
+
+  if (monitor_ != nullptr) {
+    obs::WindowSample sample;
+    sample.window_id = window_id;
+    sample.start_ms = start_ms;
+    sample.end_ms = end_ms;
+    sample.reads = static_cast<int64_t>(read_samples.size() - read_begin);
+    if (sample.reads > 0) {
+      std::vector<double> window(read_samples.begin() + read_begin,
+                                 read_samples.end());
+      sample.read_p50_ms = QuantileSelect(window, 0.50);
+      sample.read_p99_ms = QuantileSelect(window, 0.99);
+    }
+    sample.fresh = metrics_.reads_fresh_measured - telemetry_fresh_seen_;
+    sample.stale = metrics_.reads_stale_measured - telemetry_stale_seen_;
+    sample.failed = metrics_.reads_failed - telemetry_failed_seen_;
+    sample.hedges = metrics_.hedged_reads_sent - telemetry_hedges_seen_;
+    sample.retries = metrics_.client_read_retries - telemetry_retries_seen_;
+    telemetry_fresh_seen_ = metrics_.reads_fresh_measured;
+    telemetry_stale_seen_ = metrics_.reads_stale_measured;
+    telemetry_failed_seen_ = metrics_.reads_failed;
+    telemetry_hedges_seen_ = metrics_.hedged_reads_sent;
+    telemetry_retries_seen_ = metrics_.client_read_retries;
+    RefreshMonitorPrediction();
+    if (monitor_prediction_valid_) {
+      sample.predicted_valid = true;
+      sample.predicted_fresh = monitor_prediction_.fresh_probability;
+      sample.predicted_p99_ms = monitor_prediction_.read_p99_ms;
+    }
+    monitor_->ObserveWindow(sample);
+    // Monitor counter deltas by hand (ObserveWindow appended exactly one
+    // window sample and possibly new alerts), mirroring what
+    // ConsistencyMonitor::ExportTo would contribute to a cumulative diff.
+    // Counted after ObserveWindow so an alert raised in window k lands in
+    // window k's delta.
+    delta.counter("obs/monitor_windows").value = 1;
+    const auto& alerts = monitor_->alerts();
+    if (alerts.size() > telemetry_alerts_seen_) {
+      delta.counter("obs/monitor_alerts").value =
+          static_cast<int64_t>(alerts.size() - telemetry_alerts_seen_);
+      for (size_t i = telemetry_alerts_seen_; i < alerts.size(); ++i) {
+        delta
+            .counter(std::string("obs/alerts/") +
+                     obs::AlertKindName(alerts[i].kind))
+            .value += 1;
+      }
+      telemetry_alerts_seen_ = alerts.size();
+    }
+  }
+
+  // Counters: diff a flat value snapshot against the previous tick. The
+  // steady state (registry shape unchanged) is one string compare plus one
+  // integer compare per row with zero allocations for unmoved counters;
+  // shape churn (a shard appearing mid-run) drops into a by-name recovery
+  // pass for the tail. Per-shard and per-leg *histograms* deliberately stay
+  // out of the windowed series (DESIGN.md §13).
+  {
+    std::vector<std::string>& names = telemetry_counter_names_;
+    std::vector<int64_t>& prev = telemetry_counter_prev_;
+    std::vector<std::string> fresh_names;
+    std::vector<int64_t> fresh_values;
+    size_t row = 0;
+    bool aligned = true;
+    ForEachCounter([&](std::string_view name, int64_t value) {
+      if (aligned && row < names.size() && names[row] == name) {
+        if (value != prev[row]) {
+          delta.counter(names[row]).value = value - prev[row];
+          prev[row] = value;
+        }
+        ++row;
+        return;
+      }
+      aligned = false;
+      fresh_names.emplace_back(name);
+      fresh_values.push_back(value);
+    });
+    if (!aligned) {
+      // The rows beyond the matched prefix re-key by name: vanished names
+      // are forgotten, new names baseline at 0.
+      std::map<std::string_view, int64_t> old;
+      for (size_t i = row; i < names.size(); ++i) old.emplace(names[i], prev[i]);
+      for (size_t i = 0; i < fresh_names.size(); ++i) {
+        const auto it = old.find(fresh_names[i]);
+        const int64_t before = it != old.end() ? it->second : 0;
+        if (fresh_values[i] != before) {
+          delta.counter(fresh_names[i]).value = fresh_values[i] - before;
+        }
+      }
+      names.resize(row);
+      prev.resize(row);
+      for (size_t i = 0; i < fresh_names.size(); ++i) {
+        names.push_back(std::move(fresh_names[i]));
+        prev.push_back(fresh_values[i]);
+      }
+    } else if (row < names.size()) {
+      names.resize(row);
+      prev.resize(row);
+    }
+  }
+
+  timeseries_->AdvanceDelta(window_id, start_ms, end_ms, std::move(delta));
+
+  sim_.ScheduleTimer(window_ms, [this]() { TelemetryTick(); });
 }
 
 void Cluster::StartAntiEntropy() {

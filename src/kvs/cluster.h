@@ -1,9 +1,11 @@
 #ifndef PBS_KVS_CLUSTER_H_
 #define PBS_KVS_CLUSTER_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -19,8 +21,11 @@
 #include "kvs/rates.h"
 #include "kvs/ring.h"
 #include "kvs/version_arena.h"
+#include "obs/exporters.h"
+#include "obs/monitor.h"
 #include "obs/options.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -386,7 +391,54 @@ class Cluster {
   /// Deterministic given a deterministic run.
   void ExportMetrics(obs::Registry* out) const;
 
+  // -- Streaming telemetry (DESIGN.md §13) ----------------------------------
+
+  /// Starts the windowed time-series cut (and, when obs.monitor_enabled,
+  /// the live predictor-drift monitor). No-op when obs.telemetry_window_ms
+  /// is 0; idempotent otherwise. The tick reschedules itself forever, is
+  /// driven off the timer wheel, reads only counters (never the RNG), and
+  /// costs O(new samples in the window) — so telemetry-on runs produce the
+  /// same operation outcomes as telemetry-off runs.
+  void StartTelemetry();
+
+  /// The telemetry ring / monitor; null until StartTelemetry ran on a
+  /// config that enables them.
+  const obs::TimeSeries* timeseries() const { return timeseries_.get(); }
+  /// Mutable access for end-of-run harvesting (the experiment harness moves
+  /// the series out instead of deep-copying dense-histogram windows).
+  obs::TimeSeries* mutable_timeseries() { return timeseries_.get(); }
+  const obs::ConsistencyMonitor* monitor() const { return monitor_.get(); }
+
+  /// Snapshot provenance: the controller (or the monitor's analytic fit)
+  /// records which predictor backend answered last and which decision is in
+  /// force; MetricsHeader composes them for the metrics-JSONL "meta" line.
+  void set_active_decision_id(int64_t id) { active_decision_id_ = id; }
+  int64_t active_decision_id() const { return active_decision_id_; }
+  void set_predictor_provenance(const std::string& backend,
+                                const std::string& note) {
+    predictor_backend_ = backend;
+    predictor_note_ = note;
+  }
+  obs::MetricsSnapshotHeader MetricsHeader() const;
+
  private:
+  /// Visits every exported counter in a fixed order (the static cluster
+  /// table, then per-shard rows in shard order) as fn(name, value). The
+  /// single source of truth behind both ExportCounters and the telemetry
+  /// tick's flat snapshot diff. Instantiated only in cluster.cc.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const;
+
+  /// The counter subset of ExportMetrics (cluster, per-shard, network,
+  /// simulator, tracer). The expensive histogram rebuilds stay in
+  /// ExportMetrics.
+  void ExportCounters(obs::Registry* out) const;
+
+  /// One telemetry window: measure the monitor sample from counter deltas,
+  /// refresh the cached analytic prediction if the fit went stale, cut a
+  /// cumulative-registry delta into the time-series ring, reschedule.
+  void TelemetryTick();
+  void RefreshMonitorPrediction();
   /// Appends `state` for `node` to the membership log and fires the hook.
   void LogMembership(NodeId node, NodeState state);
 
@@ -443,6 +495,43 @@ class Cluster {
   std::vector<MembershipEvent> membership_log_;
   MembershipHook membership_hook_;
   Rng membership_rng_;
+
+  // Streaming telemetry state (DESIGN.md §13). A tick is O(samples in the
+  // window): counters diff as flat value snapshots against the previous cut
+  // (one integer compare per row in the steady state), and the window's op
+  // histograms are recorded directly from the window's latency slices.
+  // Per-shard and per-leg histograms are deliberately excluded from the
+  // windowed series.
+  bool telemetry_started_ = false;
+  std::unique_ptr<obs::TimeSeries> timeseries_;
+  std::unique_ptr<obs::ConsistencyMonitor> monitor_;
+  std::unique_ptr<LegProfiler> telemetry_profiler_;  // owned fallback source
+  int64_t telemetry_window_index_ = 0;
+  size_t telemetry_read_seen_ = 0;
+  size_t telemetry_write_seen_ = 0;
+  int64_t telemetry_fresh_seen_ = 0;
+  int64_t telemetry_stale_seen_ = 0;
+  int64_t telemetry_failed_seen_ = 0;
+  int64_t telemetry_hedges_seen_ = 0;
+  int64_t telemetry_retries_seen_ = 0;
+  size_t telemetry_alerts_seen_ = 0;
+  std::vector<std::string> telemetry_counter_names_;  // flat snapshot rows
+  std::vector<int64_t> telemetry_counter_prev_;       // parallel values
+
+  // Cached analytic prediction for the monitor: refit only when the active
+  // quorum changed or any leg's sample count grew >= 25% past the last fit,
+  // so a mid-run fault moves the measured side immediately while the
+  // prediction keeps reflecting the pre-fault fit — which is exactly what
+  // makes drift detectable.
+  bool monitor_prediction_valid_ = false;
+  MixedQuorumEvaluation monitor_prediction_;
+  MixedQuorum monitor_fit_quorum_;
+  std::array<size_t, LegProfiler::kNumLegs> monitor_fit_counts_{};
+
+  // Snapshot provenance (MetricsHeader).
+  std::string predictor_backend_;
+  std::string predictor_note_;
+  int64_t active_decision_id_ = -1;
 };
 
 }  // namespace kvs

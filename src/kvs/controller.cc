@@ -4,9 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <sstream>
 
+#include "core/backend.h"
 #include "dist/empirical.h"
 #include "kvs/cluster.h"
+#include "obs/json.h"
 #include "util/stats.h"
 
 namespace pbs {
@@ -63,6 +66,7 @@ void ConsistencyController::Start() {
   initial.retry_attempts = knobs.retry_attempts;
   initial.retry_deadline_ms = knobs.retry_deadline_ms;
   AppendHistory(initial);
+  cluster_->set_active_decision_id(0);
   cluster_->sim().ScheduleTimer(cluster_->config().controller.epoch_ms,
                                 [this]() { Tick(); });
 }
@@ -216,6 +220,16 @@ void ConsistencyController::Tick() {
   ++cluster_->metrics().controller_epochs;
   const Measurement m = MeasureWindow();
 
+  // The window just measured is the one the previous decision's chosen arm
+  // governed: backfill its outcome so the candidate audit pairs every
+  // prediction with what actually happened.
+  if (!decisions_.empty()) {
+    Decision& previous = decisions_.back();
+    previous.outcome_fresh = m.fresh_fraction;
+    previous.outcome_p99_ms = m.read_p99_ms;
+    previous.outcome_reads = m.reads;
+  }
+
   Decision decision;
   decision.id = static_cast<int64_t>(decisions_.size()) + 1;
   decision.epoch = epoch_;
@@ -237,6 +251,7 @@ void ConsistencyController::Tick() {
     decision.retry_attempts = state.retry_attempts;
     decision.retry_deadline_ms = state.retry_deadline_ms;
     decisions_.push_back(decision);
+    cluster_->set_active_decision_id(decision.id);
     cluster_->sim().ScheduleTimer(opts.epoch_ms, [this]() { Tick(); });
   };
   const auto actuate_step = [&](const KnobState& next,
@@ -349,6 +364,17 @@ void ConsistencyController::Tick() {
   decision.predicted_fresh = incumbent_eval.fresh_probability;
   decision.predicted_p99_ms = incumbent_eval.read_p99_ms;
   decision.predicted_feasible = incumbent_eval.feasible;
+  cluster_->set_predictor_provenance(
+      PredictorBackendName(predictor.backend()), predictor.note());
+  {
+    Decision::CandidateOutcome incumbent;
+    incumbent.action = "incumbent";
+    incumbent.quorum = current.quorum;
+    incumbent.predicted_fresh = incumbent_eval.fresh_probability;
+    incumbent.predicted_p99_ms = incumbent_eval.read_p99_ms;
+    incumbent.predicted_feasible = incumbent_eval.feasible;
+    decision.candidates.push_back(std::move(incumbent));
+  }
 
   struct Candidate {
     const char* action;
@@ -399,11 +425,21 @@ void ConsistencyController::Tick() {
   const char* best_action = nullptr;
   MixedQuorum best_quorum = q;
   MixedQuorumEvaluation best_eval = incumbent_eval;
+  size_t best_index = 0;  // into decision.candidates; 0 = incumbent
   uint64_t salt = 1;
   for (const Candidate& candidate : candidates) {
     if (candidate.quorum == q) continue;
     const MixedQuorumEvaluation eval =
         Predict(candidate.quorum, predictor, salt++);
+    {
+      Decision::CandidateOutcome arm;
+      arm.action = candidate.action;
+      arm.quorum = candidate.quorum;
+      arm.predicted_fresh = eval.fresh_probability;
+      arm.predicted_p99_ms = eval.read_p99_ms;
+      arm.predicted_feasible = eval.feasible;
+      decision.candidates.push_back(std::move(arm));
+    }
     bool better;
     if (eval.feasible != best_eval.feasible) {
       better = eval.feasible;
@@ -420,6 +456,7 @@ void ConsistencyController::Tick() {
       best_action = candidate.action;
       best_quorum = candidate.quorum;
       best_eval = eval;
+      best_index = decision.candidates.size() - 1;
     }
   }
 
@@ -446,6 +483,7 @@ void ConsistencyController::Tick() {
     decision.predicted_fresh = best_eval.fresh_probability;
     decision.predicted_p99_ms = best_eval.read_p99_ms;
     decision.predicted_feasible = best_eval.feasible;
+    decision.candidates[best_index].chosen = true;
     KnobState next = current;
     next.quorum = best_quorum;
     actuate_step(next, best_action);
@@ -453,6 +491,7 @@ void ConsistencyController::Tick() {
   }
 
   ++cluster_->metrics().controller_holds;
+  decision.candidates[0].chosen = true;  // hold: the incumbent arm won
   decision.action = "hold";
   finalize(current);
 }
@@ -481,6 +520,48 @@ uint64_t ConsistencyController::DecisionDigest() const {
     hash = FnvInt(hash, d.measured_reads);
   }
   return hash;
+}
+
+std::string DecisionsJsonl(
+    const std::vector<ConsistencyController::Decision>& decisions) {
+  std::ostringstream out;
+  for (const ConsistencyController::Decision& d : decisions) {
+    out << "{\"type\":\"decision\",\"id\":" << d.id << ",\"epoch\":" << d.epoch
+        << ",\"time_ms\":" << obs::JsonNumber(d.time_ms)
+        << ",\"action\":" << obs::JsonString(d.action)
+        << ",\"r_lo\":" << d.quorum.r_lo << ",\"r_hi\":" << d.quorum.r_hi
+        << ",\"mix\":" << obs::JsonNumber(d.quorum.mix)
+        << ",\"w\":" << d.quorum.w
+        << ",\"hedge_enabled\":" << (d.hedge_enabled ? "true" : "false")
+        << ",\"hedge_quantile\":" << obs::JsonNumber(d.hedge_quantile)
+        << ",\"retry_attempts\":" << d.retry_attempts
+        << ",\"predicted_fresh\":" << obs::JsonNumber(d.predicted_fresh)
+        << ",\"predicted_p99_ms\":" << obs::JsonNumber(d.predicted_p99_ms)
+        << ",\"predicted_feasible\":"
+        << (d.predicted_feasible ? "true" : "false")
+        << ",\"measured_fresh\":" << obs::JsonNumber(d.measured_fresh)
+        << ",\"measured_p99_ms\":" << obs::JsonNumber(d.measured_p99_ms)
+        << ",\"measured_reads\":" << d.measured_reads
+        << ",\"outcome_fresh\":" << obs::JsonNumber(d.outcome_fresh)
+        << ",\"outcome_p99_ms\":" << obs::JsonNumber(d.outcome_p99_ms)
+        << ",\"outcome_reads\":" << d.outcome_reads << ",\"candidates\":[";
+    for (size_t i = 0; i < d.candidates.size(); ++i) {
+      const ConsistencyController::Decision::CandidateOutcome& c =
+          d.candidates[i];
+      if (i > 0) out << ",";
+      out << "{\"action\":" << obs::JsonString(c.action)
+          << ",\"r_lo\":" << c.quorum.r_lo << ",\"r_hi\":" << c.quorum.r_hi
+          << ",\"mix\":" << obs::JsonNumber(c.quorum.mix)
+          << ",\"w\":" << c.quorum.w
+          << ",\"predicted_fresh\":" << obs::JsonNumber(c.predicted_fresh)
+          << ",\"predicted_p99_ms\":" << obs::JsonNumber(c.predicted_p99_ms)
+          << ",\"predicted_feasible\":"
+          << (c.predicted_feasible ? "true" : "false")
+          << ",\"chosen\":" << (c.chosen ? "true" : "false") << "}";
+    }
+    out << "]}\n";
+  }
+  return out.str();
 }
 
 }  // namespace kvs

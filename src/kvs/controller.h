@@ -85,6 +85,31 @@ class ConsistencyController {
     double measured_p99_ms = 0.0;
     int64_t measured_reads = 0;
 
+    /// One arm of the per-epoch candidate audit (explainability): the
+    /// incumbent plus every one-knob neighbor the predictor evaluated, with
+    /// its predicted clauses and whether it was the arm actuated. Empty for
+    /// epochs that skipped prediction (cooldown and relief-ladder steps).
+    struct CandidateOutcome {
+      std::string action;  // "incumbent" or the knob-step name
+      MixedQuorum quorum;
+      double predicted_fresh = 0.0;
+      double predicted_p99_ms = 0.0;
+      bool predicted_feasible = false;
+      bool chosen = false;
+
+      friend bool operator==(const CandidateOutcome&,
+                             const CandidateOutcome&) = default;
+    };
+    std::vector<CandidateOutcome> candidates;
+
+    // Measured outcome of the chosen arm over the FOLLOWING epoch window,
+    // backfilled by the next Tick (-1 fresh fraction until then, or when no
+    // reads landed). Candidates and outcomes are audit-only: DecisionDigest
+    // deliberately excludes them so existing determinism pins stay valid.
+    double outcome_fresh = -1.0;
+    double outcome_p99_ms = 0.0;
+    int64_t outcome_reads = 0;
+
     friend bool operator==(const Decision&, const Decision&) = default;
   };
 
@@ -167,6 +192,14 @@ class ConsistencyController {
   std::vector<Decision> decisions_;
   std::vector<obs::AdaptationRecord> config_history_;
 };
+
+/// Serializes a decision stream as JSONL "decision" typed lines, each with
+/// its inline "candidates" array — appendable after the time-series and
+/// monitor exports so one telemetry artifact carries the controller's
+/// per-epoch candidate audit (consumed by obs::RenderDashboardHtml and
+/// tools/pbs_report.py). Byte-deterministic.
+std::string DecisionsJsonl(
+    const std::vector<ConsistencyController::Decision>& decisions);
 
 }  // namespace kvs
 }  // namespace pbs

@@ -10,6 +10,8 @@
 #include "kvs/failure.h"
 #include "kvs/profiler.h"
 #include "obs/exporters.h"
+#include "obs/monitor.h"
+#include "obs/timeseries.h"
 
 namespace pbs {
 namespace kvs {
@@ -41,6 +43,11 @@ StalenessExperimentResult RunStalenessExperimentImpl(
     controller = std::make_unique<ConsistencyController>(&cluster);
     controller->Start();
   }
+  // Telemetry tick is read-only (registry deltas off the timer wheel), so
+  // starting it cannot change the run's operation outcomes; off, it is a
+  // strict no-op and the event stream is bitwise identical to pre-telemetry
+  // builds.
+  cluster.StartTelemetry();
   cluster.StartAntiEntropy();
   if (config.sloppy_quorums) cluster.StartFailureDetector();
   if (failures != nullptr) failures->InstallOn(&cluster);
@@ -133,11 +140,28 @@ StalenessExperimentResult RunStalenessExperimentImpl(
   result.network_messages_dropped = cluster.network().messages_dropped();
   result.network_messages_duplicated = cluster.network().messages_duplicated();
   cluster.ExportMetrics(&result.registry);
+  result.metrics_header = cluster.MetricsHeader();
   if (cluster.tracer().enabled()) result.trace = cluster.tracer().Snapshot();
   if (controller != nullptr) {
     result.controller_decisions = controller->decisions();
     result.controller_history = controller->config_history();
     result.controller_digest = controller->DecisionDigest();
+  }
+  if (cluster.timeseries() != nullptr) {
+    // Move, not copy: the cluster is torn down right after this block, and
+    // a full-capacity series of dense-histogram windows is tens of MB.
+    result.timeseries = std::move(*cluster.mutable_timeseries());
+    std::string telemetry = obs::TimeSeriesJsonl(
+        result.timeseries, config.obs.telemetry_window_ms);
+    if (cluster.monitor() != nullptr) {
+      result.monitor_samples = cluster.monitor()->samples();
+      result.monitor_alerts = cluster.monitor()->alerts();
+      telemetry += obs::MonitorJsonl(*cluster.monitor());
+    }
+    if (controller != nullptr) {
+      telemetry += DecisionsJsonl(result.controller_decisions);
+    }
+    result.telemetry_jsonl = std::move(telemetry);
   }
   return result;
 }
@@ -395,6 +419,18 @@ ControllerCampaignResult RunControllerTrials(
                       run.final_metrics.reads_fresh_measured;
                   out.summary.reads_stale_measured =
                       run.final_metrics.reads_stale_measured;
+                  out.summary.monitor_windows =
+                      static_cast<int64_t>(run.monitor_samples.size());
+                  out.summary.monitor_alerts =
+                      static_cast<int64_t>(run.monitor_alerts.size());
+                  if (!run.telemetry_jsonl.empty()) {
+                    uint64_t hash = 14695981039346656037ULL;
+                    for (const char ch : run.telemetry_jsonl) {
+                      hash ^= static_cast<unsigned char>(ch);
+                      hash *= 1099511628211ULL;
+                    }
+                    out.summary.telemetry_digest = hash;
+                  }
                   if (!run.controller_history.empty()) {
                     const obs::AdaptationRecord& last =
                         run.controller_history.back();
@@ -419,6 +455,7 @@ ControllerCampaignResult RunControllerTrials(
   pooled.probe_trials.assign(pooled.probe_offsets_ms.size(), 0);
   pooled.probe_consistent.assign(pooled.probe_offsets_ms.size(), 0);
   uint64_t digest = 14695981039346656037ULL;
+  uint64_t telemetry_digest = 14695981039346656037ULL;
   for (TrialOutput& out : outputs) {  // trial order: deterministic merge
     const ChaosSummary& s = out.summary.chaos;
     pooled.reads_started += s.reads_started;
@@ -449,9 +486,14 @@ ControllerCampaignResult RunControllerTrials(
       digest ^= (out.summary.decision_digest >> bit) & 0xFF;
       digest *= 1099511628211ULL;
     }
+    for (int bit = 0; bit < 64; bit += 8) {
+      telemetry_digest ^= (out.summary.telemetry_digest >> bit) & 0xFF;
+      telemetry_digest *= 1099511628211ULL;
+    }
     result.trials.push_back(std::move(out.summary));
   }
   result.pooled_digest = digest;
+  result.pooled_telemetry_digest = telemetry_digest;
   std::sort(read_pool.begin(), read_pool.end());
   std::sort(write_pool.begin(), write_pool.end());
   if (!read_pool.empty()) {

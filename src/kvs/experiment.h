@@ -91,6 +91,24 @@ struct StalenessExperimentResult {
   std::vector<obs::AdaptationRecord> controller_history;
   uint64_t controller_digest = 0;
 
+  /// Streaming telemetry (DESIGN.md §13), populated when
+  /// options.cluster.obs.telemetry_window_ms > 0: the windowed registry
+  /// ring, the monitor's scored samples and raised alerts (monitor_enabled
+  /// only), and the composed JSONL artifact — time-series windows, monitor
+  /// samples/alerts and controller decisions as typed lines, ready for
+  /// `pbs report` / obs::RenderDashboardHtml. Empty when telemetry is off.
+  obs::TimeSeries timeseries;
+  std::vector<obs::WindowSample> monitor_samples;
+  std::vector<obs::Alert> monitor_alerts;
+  std::string telemetry_jsonl;
+
+  /// Snapshot provenance for the metrics artifact: the predictor of record
+  /// (controller epoch predictor, else the monitor fit), its note, and the
+  /// controller decision active at the end of the run. Pass to the header
+  /// overload of obs::WriteMetricsJsonl so `pbs simulate --metrics-out`
+  /// artifacts carry their own provenance line.
+  obs::MetricsSnapshotHeader metrics_header;
+
   /// P(consistent | t) for a probed offset (asserts the offset was probed).
   double ProbConsistentAt(double t) const;
 };
@@ -241,6 +259,13 @@ struct ControllerCampaignSummary {
   int64_t reads_fresh_measured = 0;
   int64_t reads_stale_measured = 0;
 
+  /// Streaming-telemetry pins (0 when the trial ran telemetry-off, so
+  /// pre-telemetry campaign pins are unaffected): FNV-1a over the trial's
+  /// composed telemetry JSONL, plus the monitor's window/alert counts.
+  uint64_t telemetry_digest = 0;
+  int64_t monitor_windows = 0;
+  int64_t monitor_alerts = 0;
+
   friend bool operator==(const ControllerCampaignSummary&,
                          const ControllerCampaignSummary&) = default;
 };
@@ -251,6 +276,10 @@ struct ControllerCampaignResult {
   /// FNV-1a over the per-trial decision digests in trial order — one
   /// number that pins the whole campaign's decision history bitwise.
   uint64_t pooled_digest = 0;
+  /// FNV-1a over the per-trial telemetry digests in trial order (offset
+  /// basis when every trial ran telemetry-off) — pins windowed registries,
+  /// monitor streams and decision exports across thread counts.
+  uint64_t pooled_telemetry_digest = 0;
 
   friend bool operator==(const ControllerCampaignResult&,
                          const ControllerCampaignResult&) = default;

@@ -6,7 +6,15 @@ namespace pbs {
 namespace kvs {
 
 void LegProfiler::Record(Leg leg, double delay_ms) {
-  samples_[static_cast<int>(leg)].push_back(delay_ms);
+  const int i = static_cast<int>(leg);
+  ++observed_[i];
+  std::vector<double>& samples = samples_[i];
+  if (cap_ == 0 || samples.size() < cap_) {
+    samples.push_back(delay_ms);
+    return;
+  }
+  samples[write_[i]] = delay_ms;
+  if (++write_[i] == cap_) write_[i] = 0;
 }
 
 StatusOr<WarsDistributions> LegProfiler::ToWarsDistributions(
@@ -35,7 +43,7 @@ void LegProfiler::ExportTo(obs::Registry* out) const {
     obs::LogHistogram& histogram = out->histogram(kHistogramNames[leg]);
     for (double sample : samples_[leg]) histogram.Record(sample);
     out->counter(kCounterNames[leg])
-        .Add(static_cast<int64_t>(samples_[leg].size()));
+        .Add(static_cast<int64_t>(observed_[leg]));
   }
 }
 

@@ -29,11 +29,20 @@ class LegProfiler {
   };
   static constexpr int kNumLegs = 4;
 
+  /// `max_samples_per_leg` == 0 (the default) retains every sample — the
+  /// historical behavior the controller's fits and their determinism pins
+  /// rely on. A positive cap turns each leg into a ring of the newest
+  /// samples: recording becomes an O(1) overwrite with bounded memory (the
+  /// telemetry monitor's owned profiler uses this; its fits only ever read
+  /// the newest few thousand samples anyway). samples() order is then
+  /// rotated, which no consumer cares about (fits sort).
+  explicit LegProfiler(size_t max_samples_per_leg = 0)
+      : cap_(max_samples_per_leg) {}
+
   void Record(Leg leg, double delay_ms);
 
-  size_t count(Leg leg) const {
-    return samples_[static_cast<int>(leg)].size();
-  }
+  /// Total samples *observed* on the leg (== stored when uncapped).
+  size_t count(Leg leg) const { return observed_[static_cast<int>(leg)]; }
   const std::vector<double>& samples(Leg leg) const {
     return samples_[static_cast<int>(leg)];
   }
@@ -49,7 +58,10 @@ class LegProfiler {
   void ExportTo(obs::Registry* out) const;
 
  private:
+  size_t cap_ = 0;  // 0: unbounded
   std::array<std::vector<double>, kNumLegs> samples_;
+  std::array<size_t, kNumLegs> observed_{};  // totals, beyond the cap
+  std::array<size_t, kNumLegs> write_{};     // ring cursor when capped
 };
 
 }  // namespace kvs

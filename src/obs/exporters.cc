@@ -5,40 +5,11 @@
 #include <map>
 #include <sstream>
 
+#include "obs/json.h"
 #include "util/status.h"
 
 namespace pbs {
 namespace obs {
-
-namespace {
-
-/// Shortest round-trippable-enough representation, deterministic across
-/// runs in one build (all exports compare byte-for-byte in tests).
-std::string JsonNumber(double value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
-  return buffer;
-}
-
-std::string JsonString(const std::string& text) {
-  std::string out = "\"";
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buffer[8];
-      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-      out += buffer;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
 
 void WriteMetricsJsonl(const Registry& registry, std::ostream& out) {
   for (const auto& [name, counter] : registry.counters()) {
@@ -74,6 +45,27 @@ void WriteMetricsJsonl(const Registry& registry, std::ostream& out) {
 std::string MetricsJsonl(const Registry& registry) {
   std::ostringstream out;
   WriteMetricsJsonl(registry, out);
+  return out.str();
+}
+
+void WriteMetricsJsonl(const Registry& registry,
+                       const MetricsSnapshotHeader& header,
+                       std::ostream& out) {
+  out << "{\"instrument\":\"meta\",\"predictor_backend\":"
+      << JsonString(header.predictor_backend);
+  if (!header.predictor_note.empty()) {
+    out << ",\"predictor_note\":" << JsonString(header.predictor_note);
+  }
+  out << ",\"active_decision_id\":" << header.active_decision_id
+      << ",\"snapshot_time_ms\":" << JsonNumber(header.snapshot_time_ms)
+      << "}\n";
+  WriteMetricsJsonl(registry, out);
+}
+
+std::string MetricsJsonl(const Registry& registry,
+                         const MetricsSnapshotHeader& header) {
+  std::ostringstream out;
+  WriteMetricsJsonl(registry, header, out);
   return out.str();
 }
 
@@ -243,7 +235,8 @@ void WriteStalenessAudit(const std::vector<TraceEvent>& events,
 
 void WriteStalenessAudit(const std::vector<TraceEvent>& events,
                          const std::vector<AdaptationRecord>& history,
-                         std::ostream& out, bool stale_only) {
+                         std::ostream& out, bool stale_only,
+                         double window_id_ms) {
   // Active configuration at time t: the last history entry in force by t.
   // History is sorted by valid_from_ms, so a backwards scan finds it.
   const auto active_at = [&history](double t) -> const AdaptationRecord* {
@@ -291,7 +284,12 @@ void WriteStalenessAudit(const std::vector<TraceEvent>& events,
     if (stale_only && !stale) continue;
     out << "{\"trace_id\":" << trace_id << ",\"key\":" << begin->b
         << ",\"t_start\":" << JsonNumber(begin->t_start)
-        << ",\"t_end\":" << JsonNumber(end->t_end)
+        << ",\"t_end\":" << JsonNumber(end->t_end);
+    if (window_id_ms > 0.0) {
+      out << ",\"window_id\":"
+          << static_cast<int64_t>(begin->t_start / window_id_ms);
+    }
+    out
         << ",\"status\":" << JsonString(StatusCodeName(status))
         << ",\"stale\":" << (stale ? "true" : "false")
         << ",\"returned_seq\":" << returned_seq
@@ -363,9 +361,9 @@ std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
 
 std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
                                 const std::vector<AdaptationRecord>& history,
-                                bool stale_only) {
+                                bool stale_only, double window_id_ms) {
   std::ostringstream out;
-  WriteStalenessAudit(events, history, out, stale_only);
+  WriteStalenessAudit(events, history, out, stale_only, window_id_ms);
   return out.str();
 }
 

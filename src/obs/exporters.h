@@ -18,6 +18,25 @@ namespace obs {
 void WriteMetricsJsonl(const Registry& registry, std::ostream& out);
 std::string MetricsJsonl(const Registry& registry);
 
+/// Provenance header for a metrics snapshot: which predictor backend the
+/// run resolved to (and why, when kAuto fell back) and the controller
+/// decision in force when the snapshot was taken — enough to join a
+/// metrics artifact with the staleness audit without replaying the run.
+struct MetricsSnapshotHeader {
+  std::string predictor_backend;  // "mc" | "analytic" | "" (no predictor)
+  std::string predictor_note;     // kAuto fallback reason, usually empty
+  int64_t active_decision_id = -1;  // -1: no controller ran
+  double snapshot_time_ms = 0.0;
+};
+
+/// Metrics export preceded by one "meta" line carrying the snapshot
+/// header. The instrument lines that follow are byte-identical to the
+/// header-less overload.
+void WriteMetricsJsonl(const Registry& registry,
+                       const MetricsSnapshotHeader& header, std::ostream& out);
+std::string MetricsJsonl(const Registry& registry,
+                         const MetricsSnapshotHeader& header);
+
 /// Chrome trace_event export (load via chrome://tracing or
 /// https://ui.perfetto.dev): each trace id becomes a process group, node
 /// ids become threads, message legs become complete ("X") spans on the
@@ -63,12 +82,20 @@ struct AdaptationRecord {
 /// read's start and end, and "downgraded_required" when a retry attempt
 /// lowered the response requirement mid-op. With an empty history the
 /// output is byte-identical to the 3-argument overload.
+///
+/// `window_id_ms` > 0 adds a monotone "window_id" field — the telemetry
+/// window containing the read's start, floor(t_start / window_id_ms) —
+/// so offline drift computations join audit rows to time-series windows
+/// exactly; 0 (the default) omits the field and preserves the historical
+/// bytes.
 void WriteStalenessAudit(const std::vector<TraceEvent>& events,
                          const std::vector<AdaptationRecord>& history,
-                         std::ostream& out, bool stale_only = true);
+                         std::ostream& out, bool stale_only = true,
+                         double window_id_ms = 0.0);
 std::string StalenessAuditJsonl(const std::vector<TraceEvent>& events,
                                 const std::vector<AdaptationRecord>& history,
-                                bool stale_only = true);
+                                bool stale_only = true,
+                                double window_id_ms = 0.0);
 
 }  // namespace obs
 }  // namespace pbs

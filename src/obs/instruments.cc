@@ -42,7 +42,10 @@ double LogHistogram::BucketHigh(int index) {
 void LogHistogram::RecordN(double value, int64_t n) {
   if (n <= 0) return;
   if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
-  buckets_[BucketIndex(value)] += n;
+  const int index = BucketIndex(value);
+  buckets_[index] += n;
+  lo_ = std::min(lo_, index);
+  hi_ = std::max(hi_, index);
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -57,9 +60,11 @@ void LogHistogram::RecordN(double value, int64_t n) {
 void LogHistogram::Merge(const LogHistogram& other) {
   if (other.count_ == 0) return;
   if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
-  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+  for (int i = other.lo_; i <= other.hi_; ++i) {
     buckets_[i] += other.buckets_[i];
   }
+  lo_ = std::min(lo_, other.lo_);
+  hi_ = std::max(hi_, other.hi_);
   if (count_ == 0) {
     min_ = other.min_;
     max_ = other.max_;
@@ -71,15 +76,46 @@ void LogHistogram::Merge(const LogHistogram& other) {
   sum_ += other.sum_;
 }
 
+LogHistogram LogHistogram::DeltaSince(const LogHistogram& earlier) const {
+  LogHistogram delta;
+  if (count_ <= earlier.count_) return delta;  // empty window
+  if (earlier.count_ == 0) return *this;       // first window: exact
+  delta.buckets_.assign(kNumBuckets, 0);
+  int first = -1;
+  int last = -1;
+  for (int i = lo_; i <= hi_; ++i) {
+    const int64_t before =
+        static_cast<size_t>(i) < earlier.buckets_.size() ? earlier.buckets_[i]
+                                                         : 0;
+    const int64_t d = buckets_[i] - before;
+    if (d <= 0) continue;
+    delta.buckets_[i] = d;
+    if (first < 0) first = i;
+    last = i;
+  }
+  if (first >= 0) {
+    delta.lo_ = first;
+    delta.hi_ = last;
+  }
+  delta.count_ = count_ - earlier.count_;
+  delta.sum_ = sum_ - earlier.sum_;
+  // Bucket-bound min/max (see header). Bucket 0 holds zero/negative values,
+  // whose bounds are pinned at 0.
+  delta.min_ = first >= 0 ? BucketLow(first) : 0.0;
+  delta.max_ = last >= 0 ? BucketHigh(last) : 0.0;
+  if (delta.min_ > delta.max_) delta.min_ = delta.max_;
+  return delta;
+}
+
 double LogHistogram::OrderStatistic(int64_t i) const {
   i = std::clamp<int64_t>(i, 0, count_ - 1);
   int64_t cumulative = 0;
-  for (size_t b = 0; b < buckets_.size(); ++b) {
+  for (int b = lo_; b <= hi_; ++b) {
     const int64_t in_bucket = buckets_[b];
     if (in_bucket == 0) continue;
     if (i < cumulative + in_bucket) {
-      const double low = BucketLow(static_cast<int>(b));
-      const double high = BucketHigh(static_cast<int>(b));
+      const double low = BucketLow(b);
+      const double high = BucketHigh(b);
       const double position =
           (static_cast<double>(i - cumulative) + 0.5) /
           static_cast<double>(in_bucket);

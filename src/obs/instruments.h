@@ -49,6 +49,16 @@ class LogHistogram {
   /// running `sum` is a floating-point accumulation.
   void Merge(const LogHistogram& other);
 
+  /// Windowed delta: this histogram minus an `earlier` cumulative snapshot
+  /// of the same series (elementwise bucket subtraction, count/sum
+  /// subtraction). The exact per-window min/max are unrecoverable from two
+  /// cumulative snapshots, so the delta approximates them by the bounds of
+  /// its first/last non-empty bucket — within one sub-bucket (~1.6%) of the
+  /// true extremes, the histogram's native resolution. Requires `earlier`
+  /// to be a prefix of this series (every earlier bucket count <= ours);
+  /// quantiles of the delta are exact at bucket resolution.
+  LogHistogram DeltaSince(const LogHistogram& earlier) const;
+
   int64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }
@@ -66,10 +76,9 @@ class LogHistogram {
   /// in ascending value order. Deterministic iteration for exporters.
   template <typename Fn>
   void ForEachNonEmptyBucket(Fn&& fn) const {
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    for (int i = lo_; i <= hi_; ++i) {
       if (buckets_[i] == 0) continue;
-      fn(BucketLow(static_cast<int>(i)), BucketHigh(static_cast<int>(i)),
-         buckets_[i]);
+      fn(BucketLow(i), BucketHigh(i), buckets_[i]);
     }
   }
 
@@ -85,6 +94,13 @@ class LogHistogram {
   double OrderStatistic(int64_t i) const;
 
   std::vector<int64_t> buckets_;  // sized kNumBuckets on first record
+  // Non-empty bucket range [lo_, hi_] (empty when lo_ > hi_). Derived
+  // state, maintained exactly by every mutation, so defaulted equality
+  // stays consistent; bounds the walks in OrderStatistic / DeltaSince /
+  // ForEachNonEmptyBucket, which matters when latency data spanning a few
+  // octaves sits in a ~21-decade bucket space.
+  int lo_ = kNumBuckets;
+  int hi_ = -1;
   int64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;

@@ -1,0 +1,40 @@
+#ifndef PBS_OBS_JSON_H_
+#define PBS_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace pbs {
+namespace obs {
+
+/// Shortest round-trippable-enough representation, deterministic across
+/// runs in one build (all exports compare byte-for-byte in tests). Shared
+/// by every obs exporter so one artifact never mixes number formats.
+inline std::string JsonNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+inline std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pbs
+
+#endif  // PBS_OBS_JSON_H_

@@ -1,0 +1,174 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace pbs {
+namespace obs {
+
+const char* AlertKindName(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kPredictionDrift: return "prediction_drift";
+    case AlertKind::kSlaBurnRate: return "sla_burn_rate";
+    case AlertKind::kHedgeStorm: return "hedge_storm";
+    case AlertKind::kRetryStorm: return "retry_storm";
+  }
+  return "unknown";
+}
+
+Status MonitorOptions::Validate() const {
+  if (warmup_windows < 0) {
+    return Status::InvalidArgument("monitor.warmup_windows must be >= 0");
+  }
+  if (min_reads_per_window < 0) {
+    return Status::InvalidArgument(
+        "monitor.min_reads_per_window must be >= 0");
+  }
+  if (drift_fresh_tolerance <= 0.0 || drift_p99_relative_tolerance <= 0.0) {
+    return Status::InvalidArgument(
+        "monitor drift tolerances must be positive");
+  }
+  if (drift_windows < 1 || burn_windows < 1 || storm_windows < 1) {
+    return Status::InvalidArgument(
+        "monitor streak lengths must be >= 1 window");
+  }
+  if (burn_rate_factor <= 0.0 || storm_fraction <= 0.0) {
+    return Status::InvalidArgument(
+        "monitor burn_rate_factor and storm_fraction must be positive");
+  }
+  if (sla_fresh_probability < 0.0 || sla_fresh_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "monitor.sla_fresh_probability must be in [0, 1)");
+  }
+  if (min_leg_samples < 1) {
+    return Status::InvalidArgument("monitor.min_leg_samples must be >= 1");
+  }
+  return Status::Ok();
+}
+
+void ConsistencyMonitor::RaiseOnStreak(const WindowSample& sample,
+                                       AlertKind kind, int* streak,
+                                       bool crossing, int required,
+                                       double value, double threshold,
+                                       const std::string& detail) {
+  if (!crossing) {
+    *streak = 0;
+    return;
+  }
+  ++*streak;
+  if (*streak != required) return;  // raise once per streak, at onset
+  Alert alert;
+  alert.kind = kind;
+  alert.window_id = sample.window_id;
+  alert.time_ms = sample.end_ms;
+  alert.value = value;
+  alert.threshold = threshold;
+  alert.detail = detail;
+  alerts_.push_back(std::move(alert));
+}
+
+const WindowSample& ConsistencyMonitor::ObserveWindow(WindowSample sample) {
+  ++observed_;
+  const bool warm = observed_ > options_.warmup_windows;
+  const bool thick =
+      sample.reads > 0 && sample.reads >= options_.min_reads_per_window;
+
+  // Drift score is computed (and exported) even for windows that cannot
+  // alert, so dashboards show the full trajectory.
+  double drift = 0.0;
+  if (sample.predicted_valid && thick) {
+    const double fresh_gap =
+        std::abs(sample.MeasuredFresh() - sample.predicted_fresh);
+    drift = fresh_gap / options_.drift_fresh_tolerance;
+    if (sample.predicted_p99_ms > 0.0) {
+      const double p99_over =
+          std::max(0.0, sample.read_p99_ms / sample.predicted_p99_ms - 1.0);
+      drift = std::max(drift, p99_over / options_.drift_p99_relative_tolerance);
+    }
+  }
+  sample.drift_score = drift;
+  samples_.push_back(sample);
+  const WindowSample& stored = samples_.back();
+
+  // Thin or warmup windows carry no signal: streaks freeze (neither
+  // advance nor reset) so a quiet window between two storming ones does
+  // not mask a sustained problem.
+  if (!warm || !thick) return stored;
+
+  RaiseOnStreak(stored, AlertKind::kPredictionDrift, &drift_streak_,
+                stored.predicted_valid && drift >= 1.0,
+                options_.drift_windows, drift, 1.0,
+                "measured freshness/latency left the predicted band");
+
+  if (options_.sla_fresh_probability > 0.0) {
+    const double budget = 1.0 - options_.sla_fresh_probability;
+    const double stale_fraction = 1.0 - stored.MeasuredFresh();
+    const double burn = stale_fraction / budget;
+    RaiseOnStreak(stored, AlertKind::kSlaBurnRate, &burn_streak_,
+                  burn >= options_.burn_rate_factor, options_.burn_windows,
+                  burn, options_.burn_rate_factor,
+                  "stale reads burning the SLA error budget");
+  }
+
+  const double reads = static_cast<double>(stored.reads);
+  const double hedge_fraction = static_cast<double>(stored.hedges) / reads;
+  RaiseOnStreak(stored, AlertKind::kHedgeStorm, &hedge_streak_,
+                hedge_fraction >= options_.storm_fraction,
+                options_.storm_windows, hedge_fraction,
+                options_.storm_fraction, "hedge legs per read");
+  const double retry_fraction = static_cast<double>(stored.retries) / reads;
+  RaiseOnStreak(stored, AlertKind::kRetryStorm, &retry_streak_,
+                retry_fraction >= options_.storm_fraction,
+                options_.storm_windows, retry_fraction,
+                options_.storm_fraction, "client retries per read");
+  return stored;
+}
+
+void ConsistencyMonitor::ExportTo(Registry* out) const {
+  out->counter("obs/monitor_windows")
+      .Add(static_cast<int64_t>(samples_.size()));
+  out->counter("obs/monitor_alerts").Add(static_cast<int64_t>(alerts_.size()));
+  for (const Alert& alert : alerts_) {
+    out->counter(std::string("obs/alerts/") + AlertKindName(alert.kind))
+        .Add(1);
+  }
+}
+
+void WriteMonitorJsonl(const ConsistencyMonitor& monitor, std::ostream& out) {
+  for (const WindowSample& s : monitor.samples()) {
+    out << "{\"type\":\"sample\",\"window_id\":" << s.window_id
+        << ",\"start_ms\":" << JsonNumber(s.start_ms)
+        << ",\"end_ms\":" << JsonNumber(s.end_ms) << ",\"reads\":" << s.reads
+        << ",\"fresh\":" << s.fresh << ",\"stale\":" << s.stale
+        << ",\"failed\":" << s.failed << ",\"hedges\":" << s.hedges
+        << ",\"retries\":" << s.retries
+        << ",\"measured_fresh\":" << JsonNumber(s.MeasuredFresh())
+        << ",\"read_p50_ms\":" << JsonNumber(s.read_p50_ms)
+        << ",\"read_p99_ms\":" << JsonNumber(s.read_p99_ms);
+    if (s.predicted_valid) {
+      out << ",\"predicted_fresh\":" << JsonNumber(s.predicted_fresh)
+          << ",\"predicted_p99_ms\":" << JsonNumber(s.predicted_p99_ms);
+    }
+    out << ",\"drift_score\":" << JsonNumber(s.drift_score) << "}\n";
+  }
+  for (const Alert& a : monitor.alerts()) {
+    out << "{\"type\":\"alert\",\"kind\":\"" << AlertKindName(a.kind)
+        << "\",\"window_id\":" << a.window_id
+        << ",\"time_ms\":" << JsonNumber(a.time_ms)
+        << ",\"value\":" << JsonNumber(a.value)
+        << ",\"threshold\":" << JsonNumber(a.threshold)
+        << ",\"detail\":" << JsonString(a.detail) << "}\n";
+  }
+}
+
+std::string MonitorJsonl(const ConsistencyMonitor& monitor) {
+  std::ostringstream out;
+  WriteMonitorJsonl(monitor, out);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace pbs

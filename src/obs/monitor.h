@@ -1,0 +1,176 @@
+#ifndef PBS_OBS_MONITOR_H_
+#define PBS_OBS_MONITOR_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/status.h"
+
+namespace pbs {
+namespace obs {
+
+/// Typed alert taxonomy (DESIGN.md §13). Kept as a small closed enum so
+/// alert streams digest deterministically and dashboards can color-code
+/// without string matching.
+enum class AlertKind : int {
+  kPredictionDrift = 0,  // measured freshness/latency left the predicted band
+  kSlaBurnRate = 1,      // stale fraction burning the SLA error budget
+  kHedgeStorm = 2,       // hedge legs per read above the storm fraction
+  kRetryStorm = 3,       // client retries per read above the storm fraction
+};
+const char* AlertKindName(AlertKind kind);
+
+/// One raised alert. `value` is the offending statistic, `threshold` the
+/// configured bound it crossed; `window_id`/`time_ms` locate it on the
+/// simulator clock for joins against the staleness audit and time series.
+struct Alert {
+  AlertKind kind = AlertKind::kPredictionDrift;
+  int64_t window_id = 0;
+  double time_ms = 0.0;
+  double value = 0.0;
+  double threshold = 0.0;
+  std::string detail;
+
+  friend bool operator==(const Alert&, const Alert&) = default;
+};
+
+/// Thresholds for the live predictor-drift monitor. The monitor is a pure
+/// stream function over per-window numbers: it never touches the RNG, the
+/// clock, or any kvs type (the cluster feeds it WindowSamples), so
+/// enabling it cannot perturb a seeded run.
+struct MonitorOptions {
+  /// Windows ignored at the start of a run while pipelines fill and the
+  /// first leg fits stabilize.
+  int warmup_windows = 2;
+  /// Thin windows (fewer completed reads than this) carry no signal and
+  /// never advance or reset alert streaks.
+  int64_t min_reads_per_window = 16;
+
+  /// Prediction drift: a window drifts when its drift score (see
+  /// ConsistencyMonitor) reaches 1.0 — i.e. the freshness gap reaches
+  /// `drift_fresh_tolerance` or measured read p99 exceeds predicted by
+  /// `drift_p99_relative_tolerance`. An alert fires after
+  /// `drift_windows` consecutive drifting windows.
+  double drift_fresh_tolerance = 0.15;
+  double drift_p99_relative_tolerance = 0.75;
+  int drift_windows = 2;
+
+  /// SLA burn rate: stale fraction divided by the SLA's error budget
+  /// (1 - fresh_probability); >= `burn_rate_factor` for `burn_windows`
+  /// consecutive windows raises kSlaBurnRate.
+  double burn_rate_factor = 2.0;
+  int burn_windows = 2;
+
+  /// Mitigation storms: hedges (retries) per completed read at or above
+  /// this fraction for `storm_windows` consecutive windows.
+  double storm_fraction = 0.5;
+  int storm_windows = 2;
+
+  /// SLA clauses the burn-rate and drift checks measure against (plain
+  /// numbers — obs sits below core and cannot see SlaTarget).
+  double sla_fresh_probability = 0.0;  // 0 disables burn-rate alerts
+  double sla_read_p99_ms = 0.0;
+
+  /// Minimum per-leg profiler samples before the producer fits WARS legs
+  /// and marks predictions valid (consumed by the kvs telemetry tick; the
+  /// monitor itself only sees the resulting predicted_valid flag).
+  int64_t min_leg_samples = 64;
+
+  Status Validate() const;
+};
+
+/// One window of measured-vs-predicted evidence. The producer (the kvs
+/// cluster's telemetry tick) fills the measured fields from registry
+/// deltas and the predicted fields from the analytic backend's evaluation
+/// of the active quorum config; `predicted_valid` is false while the leg
+/// profiler has too few samples to fit.
+struct WindowSample {
+  int64_t window_id = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+
+  int64_t reads = 0;    // completed reads in the window
+  int64_t fresh = 0;    // reads within the SLA staleness bound
+  int64_t stale = 0;    // reads beyond it
+  int64_t failed = 0;   // reads failed/timed out
+  int64_t hedges = 0;   // hedge legs dispatched
+  int64_t retries = 0;  // client read retries
+  double read_p50_ms = 0.0;
+  double read_p99_ms = 0.0;
+
+  bool predicted_valid = false;
+  double predicted_fresh = 0.0;
+  double predicted_p99_ms = 0.0;
+
+  /// Filled by ObserveWindow: normalized drift score (>= 1 means the
+  /// window drifted) and whether it counted toward a drift streak.
+  double drift_score = 0.0;
+
+  double MeasuredFresh() const {
+    const int64_t classified = fresh + stale;
+    return classified == 0
+               ? 1.0
+               : static_cast<double>(fresh) / static_cast<double>(classified);
+  }
+
+  friend bool operator==(const WindowSample&, const WindowSample&) = default;
+};
+
+/// Live predictor-drift monitor: consumes one WindowSample per telemetry
+/// window, scores measured freshness/latency against the analytic
+/// prediction for the active configuration, and raises typed alerts on
+/// consecutive-window threshold crossings. Drift score of a window:
+///
+///   drift = max(|measured_fresh - predicted_fresh| / drift_fresh_tolerance,
+///               max(0, p99_meas / p99_pred - 1) / drift_p99_rel_tolerance)
+///
+/// so 1.0 marks either tolerance exactly; the score is exported per window
+/// for dashboards even when no alert fires.
+class ConsistencyMonitor {
+ public:
+  explicit ConsistencyMonitor(const MonitorOptions& options = {})
+      : options_(options) {}
+
+  /// Scores `sample`, appends it to samples(), advances the alert state
+  /// machines, and returns the stored (scored) sample.
+  const WindowSample& ObserveWindow(WindowSample sample);
+
+  const MonitorOptions& options() const { return options_; }
+  const std::vector<WindowSample>& samples() const { return samples_; }
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+  /// Registry export: "obs/monitor_windows", "obs/monitor_alerts" and one
+  /// "obs/alerts/<kind>" counter per kind that fired.
+  void ExportTo(Registry* out) const;
+
+  friend bool operator==(const ConsistencyMonitor&,
+                         const ConsistencyMonitor&) = default;
+
+ private:
+  void RaiseOnStreak(const WindowSample& sample, AlertKind kind, int* streak,
+                     bool crossing, int required, double value,
+                     double threshold, const std::string& detail);
+
+  MonitorOptions options_;
+  std::vector<WindowSample> samples_;
+  std::vector<Alert> alerts_;
+  int64_t observed_ = 0;  // includes thin windows that were skipped
+  int drift_streak_ = 0;
+  int burn_streak_ = 0;
+  int hedge_streak_ = 0;
+  int retry_streak_ = 0;
+};
+
+/// Serializes the monitor's sample and alert streams as JSONL ("sample"
+/// and "alert" typed lines), appendable after WriteTimeSeriesJsonl so one
+/// artifact carries the whole telemetry story. Byte-deterministic.
+void WriteMonitorJsonl(const ConsistencyMonitor& monitor, std::ostream& out);
+std::string MonitorJsonl(const ConsistencyMonitor& monitor);
+
+}  // namespace obs
+}  // namespace pbs
+
+#endif  // PBS_OBS_MONITOR_H_

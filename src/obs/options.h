@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/monitor.h"
 #include "util/status.h"
 
 namespace pbs {
@@ -28,6 +29,24 @@ struct ObsOptions {
   /// kept; older events are overwritten (allocation-free steady state).
   size_t trace_ring_capacity = 1 << 16;
 
+  /// Windowed time-series telemetry (DESIGN.md §13): every
+  /// `telemetry_window_ms` of simulator time the cluster cuts a registry
+  /// delta into a TimeSeries ring. 0 (the default) disables telemetry
+  /// entirely — the run is then bitwise identical to a build without it.
+  /// Driven off the timer wheel, never the RNG, like tracing.
+  double telemetry_window_ms = 0.0;
+
+  /// Newest windows retained by the telemetry ring (oldest roll off).
+  size_t timeseries_capacity = 512;
+
+  /// Live predictor-drift monitor: each window, compare measured freshness
+  /// and read-latency quantiles against the analytic backend's prediction
+  /// for the active quorum config. Requires telemetry (a window cadence)
+  /// and — checked at the kvs/config layer, where the SLA lives — a
+  /// declared SLA target to measure freshness against.
+  bool monitor_enabled = false;
+  obs::MonitorOptions monitor;
+
   Status Validate() const {
     if (trace_sample_every < 1) {
       return Status::InvalidArgument(
@@ -36,6 +55,21 @@ struct ObsOptions {
     if (trace_enabled && trace_ring_capacity < 1) {
       return Status::InvalidArgument(
           "obs.trace_ring_capacity must be >= 1 when tracing is enabled");
+    }
+    if (telemetry_window_ms < 0.0) {
+      return Status::InvalidArgument(
+          "obs.telemetry_window_ms must be >= 0 (0 disables telemetry)");
+    }
+    if (telemetry_window_ms > 0.0 && timeseries_capacity < 1) {
+      return Status::InvalidArgument(
+          "obs.timeseries_capacity must be >= 1 when telemetry is enabled");
+    }
+    if (monitor_enabled && telemetry_window_ms <= 0.0) {
+      return Status::InvalidArgument(
+          "obs.monitor_enabled requires obs.telemetry_window_ms > 0");
+    }
+    if (monitor_enabled) {
+      if (Status status = monitor.Validate(); !status.ok()) return status;
     }
     return Status::Ok();
   }

@@ -180,6 +180,11 @@ Status Config::Validate() const {
         "controller.enabled requires a declared sla (use WithSla / "
         "WithControlLoop)");
   }
+  if (obs.monitor_enabled && !sla.enabled()) {
+    return Status::InvalidArgument(
+        "obs.monitor_enabled requires a declared sla (use WithSla / "
+        "WithControlLoop before WithMonitor)");
+  }
   return obs.Validate();
 }
 

@@ -242,6 +242,22 @@ struct Config {
     controller.enabled = true;
     return *this;
   }
+  /// Windowed time-series telemetry (DESIGN.md §13): cut a registry delta
+  /// into the telemetry ring every `window_ms` of simulator time.
+  /// `capacity` windows are retained (oldest roll off); 0 window disables.
+  Config& WithTelemetry(double window_ms, size_t capacity = 512) {
+    obs.telemetry_window_ms = window_ms;
+    obs.timeseries_capacity = capacity;
+    return *this;
+  }
+  /// Live predictor-drift monitor on top of telemetry. Requires a window
+  /// cadence (WithTelemetry) and a declared SLA (WithSla/WithControlLoop);
+  /// Validate enforces both.
+  Config& WithMonitor(const obs::MonitorOptions& options = {}) {
+    obs.monitor_enabled = true;
+    obs.monitor = options;
+    return *this;
+  }
 
   // -- Validation and lowering ----------------------------------------------
 

@@ -1,0 +1,207 @@
+// Streaming telemetry through the kvs cluster (DESIGN.md §13): the
+// telemetry tick's RNG neutrality, window deltas reconciling with final
+// totals, the monitor catching an injected mid-run slow replica within
+// three windows (and staying silent fault-free), artifact provenance, the
+// audit/window join, and the capped leg-profiler ring.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "dist/production.h"
+#include "kvs/cluster.h"
+#include "kvs/experiment.h"
+#include "kvs/failure.h"
+#include "kvs/options.h"
+#include "kvs/profiler.h"
+#include "obs/exporters.h"
+#include "obs/monitor.h"
+#include "obs/timeseries.h"
+
+namespace pbs {
+namespace kvs {
+namespace {
+
+// A small R=1 cluster under kQuorumOnly: the fan-out policy that actually
+// exposes a slow replica (kAllN masks it behind the fastest responders).
+StalenessExperimentOptions TelemetryExperiment() {
+  StalenessExperimentOptions options;
+  options.cluster.quorum = {3, 1, 1};
+  options.cluster.legs = LnkdSsd();
+  options.cluster.read_fanout = ReadFanout::kQuorumOnly;
+  options.cluster.request_timeout_ms = 200.0;
+  options.cluster.sla = SlaTarget::Parse("p=0.99,t=10,p99<=5").value();
+  options.cluster.obs.telemetry_window_ms = 500.0;
+  options.cluster.obs.monitor_enabled = true;
+  options.writes = 400;
+  options.write_spacing_ms = 50.0;
+  options.seed = 7;
+  return options;
+}
+
+TEST(KvsTelemetryTest, OffByDefaultAndArtifactsStayEmpty) {
+  StalenessExperimentOptions options = TelemetryExperiment();
+  options.cluster.obs.telemetry_window_ms = 0.0;
+  options.cluster.obs.monitor_enabled = false;
+  options.writes = 50;
+  const StalenessExperimentResult result = RunStalenessExperiment(options);
+  EXPECT_TRUE(result.timeseries.windows().empty());
+  EXPECT_EQ(result.timeseries.windows_cut(), 0);
+  EXPECT_TRUE(result.monitor_samples.empty());
+  EXPECT_TRUE(result.monitor_alerts.empty());
+  EXPECT_TRUE(result.telemetry_jsonl.empty());
+}
+
+TEST(KvsTelemetryTest, MonitorRequiresAnSla) {
+  KvsConfig config;
+  config.legs = LnkdSsd();
+  config.obs.telemetry_window_ms = 500.0;
+  config.obs.monitor_enabled = true;
+  EXPECT_FALSE(config.Validate().ok());
+  config.sla = SlaTarget::Parse("p=0.99,t=10,p99<=5").value();
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(KvsTelemetryTest, TelemetryIsRngNeutral) {
+  // Enabling the whole telemetry stack (windows + monitor) must not
+  // perturb a seeded run: the tick is timer-wheel driven and the monitor
+  // fit uses the RNG-free analytic backend.
+  StalenessExperimentOptions on = TelemetryExperiment();
+  on.writes = 120;
+  StalenessExperimentOptions off = on;
+  off.cluster.obs.telemetry_window_ms = 0.0;
+  off.cluster.obs.monitor_enabled = false;
+
+  const StalenessExperimentResult with_telemetry = RunStalenessExperiment(on);
+  const StalenessExperimentResult without = RunStalenessExperiment(off);
+
+  EXPECT_EQ(with_telemetry.read_latencies, without.read_latencies);
+  EXPECT_EQ(with_telemetry.write_latencies, without.write_latencies);
+  EXPECT_EQ(with_telemetry.network_messages, without.network_messages);
+  ASSERT_EQ(with_telemetry.t_visibility.size(), without.t_visibility.size());
+  for (size_t i = 0; i < without.t_visibility.size(); ++i) {
+    EXPECT_EQ(with_telemetry.t_visibility[i].consistent,
+              without.t_visibility[i].consistent)
+        << "offset index " << i;
+  }
+  EXPECT_FALSE(with_telemetry.timeseries.windows().empty());
+}
+
+TEST(KvsTelemetryTest, WindowDeltasReconcileWithFinalTotals) {
+  StalenessExperimentOptions options = TelemetryExperiment();
+  options.writes = 120;
+  const StalenessExperimentResult result = RunStalenessExperiment(options);
+
+  // No rollover at this run length, so summing every window's delta of a
+  // counter must reproduce the cumulative total in the final registry.
+  ASSERT_EQ(result.timeseries.windows_dropped(), 0);
+  int64_t windowed_reads = 0;
+  for (const obs::WindowSnapshot& window : result.timeseries.windows()) {
+    const obs::Counter* moved = window.delta.FindCounter("kvs/reads_started");
+    if (moved != nullptr) windowed_reads += moved->value;
+  }
+  const obs::Counter* total =
+      result.registry.FindCounter("kvs/reads_started");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(windowed_reads, total->value);
+  EXPECT_GT(windowed_reads, 0);
+}
+
+TEST(KvsTelemetryTest, DriftAlertWithinThreeWindowsOfSlowReplica) {
+  // The CI-gated chaos acceptance (ISSUE 10): a replica turns 10x slow
+  // mid-run at t=10s (window 20 at the 500 ms cadence); the monitor must
+  // raise prediction_drift within three windows of the onset.
+  const StalenessExperimentOptions options = TelemetryExperiment();
+  FaultSchedule faults;
+  faults.AddSlowNode(/*start=*/10000.0, /*end=*/21000.0, /*node=*/2,
+                     /*delay_mult=*/10.0);
+  const StalenessExperimentResult faulted =
+      RunStalenessExperimentWithFaults(options, faults);
+
+  const int64_t fault_window = static_cast<int64_t>(10000.0 / 500.0);
+  int64_t first_drift = -1;
+  for (const obs::Alert& alert : faulted.monitor_alerts) {
+    if (alert.kind == obs::AlertKind::kPredictionDrift) {
+      first_drift = alert.window_id;
+      break;
+    }
+  }
+  ASSERT_NE(first_drift, -1) << "no prediction_drift alert raised";
+  EXPECT_GE(first_drift, fault_window);
+  EXPECT_LE(first_drift, fault_window + 3);
+
+  // The same run without the fault raises nothing at all.
+  const StalenessExperimentResult control = RunStalenessExperiment(options);
+  EXPECT_TRUE(control.monitor_alerts.empty());
+  EXPECT_FALSE(control.monitor_samples.empty());
+}
+
+TEST(KvsTelemetryTest, ArtifactCarriesMetaSamplesAndProvenance) {
+  StalenessExperimentOptions options = TelemetryExperiment();
+  options.writes = 120;
+  const StalenessExperimentResult result = RunStalenessExperiment(options);
+
+  // Composed JSONL: time-series meta + windows, then monitor samples.
+  EXPECT_NE(result.telemetry_jsonl.find("\"type\":\"meta\""),
+            std::string::npos);
+  EXPECT_NE(result.telemetry_jsonl.find("\"type\":\"window\""),
+            std::string::npos);
+  EXPECT_NE(result.telemetry_jsonl.find("\"type\":\"sample\""),
+            std::string::npos);
+
+  // No controller ran, so the monitor's analytic fit is the predictor of
+  // record and no decision is active.
+  EXPECT_EQ(result.metrics_header.predictor_backend, "analytic");
+  EXPECT_EQ(result.metrics_header.active_decision_id, -1);
+  EXPECT_GT(result.metrics_header.snapshot_time_ms, 0.0);
+
+  // The scored stream made it out of the cluster before teardown.
+  EXPECT_EQ(result.monitor_samples.size(),
+            static_cast<size_t>(result.timeseries.windows_cut()));
+}
+
+TEST(KvsTelemetryTest, AuditRowsJoinTimeseriesWindowsById) {
+  StalenessExperimentOptions options = TelemetryExperiment();
+  options.writes = 120;
+  options.cluster.obs.trace_enabled = true;
+  const StalenessExperimentResult result = RunStalenessExperiment(options);
+  ASSERT_FALSE(result.trace.empty());
+
+  const std::string audit = obs::StalenessAuditJsonl(
+      result.trace, result.controller_history, /*stale_only=*/false,
+      /*window_id_ms=*/options.cluster.obs.telemetry_window_ms);
+  // Every audit row carries the window id of the telemetry cadence, so
+  // offline joins against the window lines need no side channel.
+  EXPECT_NE(audit.find("\"window_id\":"), std::string::npos);
+  const std::string unwindowed = obs::StalenessAuditJsonl(
+      result.trace, result.controller_history, /*stale_only=*/false);
+  EXPECT_EQ(unwindowed.find("\"window_id\":"), std::string::npos);
+}
+
+TEST(KvsTelemetryTest, LegProfilerRingCapBoundsStorageNotCounts) {
+  LegProfiler capped(/*max_samples_per_leg=*/4);
+  for (int i = 0; i < 10; ++i) {
+    capped.Record(LegProfiler::Leg::kReadResponse, static_cast<double>(i));
+  }
+  EXPECT_EQ(capped.count(LegProfiler::Leg::kReadResponse), 10u);
+  ASSERT_EQ(capped.samples(LegProfiler::Leg::kReadResponse).size(), 4u);
+  // The ring keeps the newest samples (order rotated, consumers sort).
+  double newest_sum = 0.0;
+  for (double s : capped.samples(LegProfiler::Leg::kReadResponse)) {
+    newest_sum += s;
+  }
+  EXPECT_DOUBLE_EQ(newest_sum, 6.0 + 7.0 + 8.0 + 9.0);
+
+  LegProfiler unbounded;
+  for (int i = 0; i < 10; ++i) {
+    unbounded.Record(LegProfiler::Leg::kWriteAck, 1.0);
+  }
+  EXPECT_EQ(unbounded.samples(LegProfiler::Leg::kWriteAck).size(), 10u);
+}
+
+}  // namespace
+}  // namespace kvs
+}  // namespace pbs

@@ -1,0 +1,319 @@
+// Live predictor-drift monitor (DESIGN.md §13): drift scoring, the
+// streak state machines (onset-only alerts, thin/warmup freezing), burn
+// rate and mitigation storms, registry export, and the JSONL bytes.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/monitor.h"
+#include "obs/registry.h"
+
+namespace pbs {
+namespace obs {
+namespace {
+
+// A thick, healthy window: measured matches prediction exactly.
+WindowSample Healthy(int64_t id) {
+  WindowSample s;
+  s.window_id = id;
+  s.start_ms = static_cast<double>(id) * 500.0;
+  s.end_ms = s.start_ms + 500.0;
+  s.reads = 100;
+  s.fresh = 100;
+  s.read_p50_ms = 1.0;
+  s.read_p99_ms = 2.0;
+  s.predicted_valid = true;
+  s.predicted_fresh = 1.0;
+  s.predicted_p99_ms = 4.0;
+  return s;
+}
+
+// Same window, but half the reads went stale: with the default 0.15
+// freshness tolerance the gap of 0.5 scores well past 1.0.
+WindowSample Drifting(int64_t id) {
+  WindowSample s = Healthy(id);
+  s.fresh = 50;
+  s.stale = 50;
+  return s;
+}
+
+MonitorOptions FastOptions() {
+  MonitorOptions options;
+  options.warmup_windows = 0;
+  options.min_reads_per_window = 1;
+  options.drift_windows = 2;
+  return options;
+}
+
+TEST(MonitorOptionsTest, ValidateRejectsOutOfRangeFields) {
+  EXPECT_TRUE(MonitorOptions{}.Validate().ok());
+  {
+    MonitorOptions o;
+    o.warmup_windows = -1;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    MonitorOptions o;
+    o.min_reads_per_window = -1;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    MonitorOptions o;
+    o.drift_fresh_tolerance = 0.0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    MonitorOptions o;
+    o.drift_p99_relative_tolerance = -0.5;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    MonitorOptions o;
+    o.drift_windows = 0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    MonitorOptions o;
+    o.burn_rate_factor = 0.0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    MonitorOptions o;
+    o.storm_fraction = 0.0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    MonitorOptions o;
+    o.sla_fresh_probability = 1.0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    MonitorOptions o;
+    o.min_leg_samples = 0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+}
+
+TEST(MonitorTest, AlertKindNamesAreStable) {
+  EXPECT_STREQ(AlertKindName(AlertKind::kPredictionDrift),
+               "prediction_drift");
+  EXPECT_STREQ(AlertKindName(AlertKind::kSlaBurnRate), "sla_burn_rate");
+  EXPECT_STREQ(AlertKindName(AlertKind::kHedgeStorm), "hedge_storm");
+  EXPECT_STREQ(AlertKindName(AlertKind::kRetryStorm), "retry_storm");
+}
+
+TEST(MonitorTest, DriftAlertFiresOnceAtStreakOnset) {
+  ConsistencyMonitor monitor(FastOptions());
+  monitor.ObserveWindow(Healthy(0));
+  EXPECT_TRUE(monitor.alerts().empty());
+
+  monitor.ObserveWindow(Drifting(1));  // streak 1
+  EXPECT_TRUE(monitor.alerts().empty());
+  monitor.ObserveWindow(Drifting(2));  // streak 2 == drift_windows: onset
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].kind, AlertKind::kPredictionDrift);
+  EXPECT_EQ(monitor.alerts()[0].window_id, 2);
+  EXPECT_DOUBLE_EQ(monitor.alerts()[0].threshold, 1.0);
+
+  // Continued drift does not re-alert...
+  monitor.ObserveWindow(Drifting(3));
+  monitor.ObserveWindow(Drifting(4));
+  EXPECT_EQ(monitor.alerts().size(), 1u);
+
+  // ...but recovery resets the streak, and a new streak alerts again.
+  monitor.ObserveWindow(Healthy(5));
+  monitor.ObserveWindow(Drifting(6));
+  monitor.ObserveWindow(Drifting(7));
+  ASSERT_EQ(monitor.alerts().size(), 2u);
+  EXPECT_EQ(monitor.alerts()[1].window_id, 7);
+}
+
+TEST(MonitorTest, DriftScoreExportedEvenWhenNoAlertFires) {
+  ConsistencyMonitor monitor(FastOptions());
+  const WindowSample& scored = monitor.ObserveWindow(Drifting(0));
+  // Gap 0.5 over the default 0.15 tolerance.
+  EXPECT_NEAR(scored.drift_score, 0.5 / 0.15, 1e-12);
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(MonitorTest, ThinWindowsFreezeStreaksInsteadOfResetting) {
+  MonitorOptions options = FastOptions();
+  options.min_reads_per_window = 50;
+  ConsistencyMonitor monitor(options);
+
+  monitor.ObserveWindow(Drifting(0));  // streak 1
+  WindowSample thin = Drifting(1);
+  thin.reads = 10;  // below min_reads_per_window: no signal
+  thin.fresh = 5;
+  thin.stale = 5;
+  monitor.ObserveWindow(thin);
+  EXPECT_TRUE(monitor.alerts().empty());
+  // The thin window neither advanced nor reset the streak: the next
+  // drifting window completes it.
+  monitor.ObserveWindow(Drifting(2));
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].window_id, 2);
+}
+
+TEST(MonitorTest, WarmupWindowsAreScoredButNeverAlert) {
+  MonitorOptions options = FastOptions();
+  options.warmup_windows = 2;
+  options.drift_windows = 1;
+  ConsistencyMonitor monitor(options);
+
+  monitor.ObserveWindow(Drifting(0));
+  monitor.ObserveWindow(Drifting(1));
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_GT(monitor.samples()[0].drift_score, 1.0);  // scored regardless
+  monitor.ObserveWindow(Drifting(2));  // first post-warmup window
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].window_id, 2);
+}
+
+TEST(MonitorTest, LatencyDriftAlertsThroughTheP99Leg) {
+  MonitorOptions options = FastOptions();
+  options.drift_windows = 1;
+  ConsistencyMonitor monitor(options);
+
+  WindowSample slow = Healthy(0);  // freshness matches prediction exactly
+  slow.read_p99_ms = 2.0 * slow.predicted_p99_ms;
+  const WindowSample& scored = monitor.ObserveWindow(slow);
+  // p99 overshoot of 1.0 against the default 0.75 relative tolerance.
+  EXPECT_NEAR(scored.drift_score, 1.0 / 0.75, 1e-12);
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].kind, AlertKind::kPredictionDrift);
+}
+
+TEST(MonitorTest, InvalidPredictionNeverCountsAsDrift) {
+  MonitorOptions options = FastOptions();
+  options.drift_windows = 1;
+  ConsistencyMonitor monitor(options);
+
+  WindowSample s = Drifting(0);
+  s.predicted_valid = false;
+  const WindowSample& scored = monitor.ObserveWindow(s);
+  EXPECT_DOUBLE_EQ(scored.drift_score, 0.0);
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(MonitorTest, BurnRateAlertMeasuresAgainstErrorBudget) {
+  MonitorOptions options = FastOptions();
+  options.sla_fresh_probability = 0.9;  // error budget 0.1
+  options.burn_windows = 2;
+  ConsistencyMonitor monitor(options);
+
+  // 25% stale = burn rate 2.5 against the default factor 2.0. Predictions
+  // invalid so the drift machine stays out of the way.
+  WindowSample burning = Healthy(0);
+  burning.predicted_valid = false;
+  burning.fresh = 75;
+  burning.stale = 25;
+  monitor.ObserveWindow(burning);
+  EXPECT_TRUE(monitor.alerts().empty());
+  burning.window_id = 1;
+  monitor.ObserveWindow(burning);
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].kind, AlertKind::kSlaBurnRate);
+  EXPECT_DOUBLE_EQ(monitor.alerts()[0].value, 2.5);
+  EXPECT_DOUBLE_EQ(monitor.alerts()[0].threshold, 2.0);
+}
+
+TEST(MonitorTest, BurnRateDisabledWithoutSlaClause) {
+  MonitorOptions options = FastOptions();  // sla_fresh_probability == 0
+  ConsistencyMonitor monitor(options);
+  WindowSample all_stale = Healthy(0);
+  all_stale.predicted_valid = false;
+  all_stale.fresh = 0;
+  all_stale.stale = 100;
+  for (int64_t id = 0; id < 4; ++id) {
+    all_stale.window_id = id;
+    monitor.ObserveWindow(all_stale);
+  }
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(MonitorTest, HedgeAndRetryStormsFireIndependently) {
+  MonitorOptions options = FastOptions();
+  options.storm_windows = 1;
+  ConsistencyMonitor monitor(options);
+
+  WindowSample stormy = Healthy(0);
+  stormy.hedges = 60;   // 0.6 of reads >= default 0.5 fraction
+  stormy.retries = 50;  // exactly at the fraction: inclusive crossing
+  monitor.ObserveWindow(stormy);
+  ASSERT_EQ(monitor.alerts().size(), 2u);
+  EXPECT_EQ(monitor.alerts()[0].kind, AlertKind::kHedgeStorm);
+  EXPECT_DOUBLE_EQ(monitor.alerts()[0].value, 0.6);
+  EXPECT_EQ(monitor.alerts()[1].kind, AlertKind::kRetryStorm);
+  EXPECT_DOUBLE_EQ(monitor.alerts()[1].value, 0.5);
+}
+
+TEST(MonitorTest, ExportToEmitsWindowAlertAndPerKindCounters) {
+  MonitorOptions options = FastOptions();
+  ConsistencyMonitor monitor(options);
+  monitor.ObserveWindow(Healthy(0));
+  monitor.ObserveWindow(Drifting(1));
+  monitor.ObserveWindow(Drifting(2));
+
+  Registry registry;
+  monitor.ExportTo(&registry);
+  ASSERT_NE(registry.FindCounter("obs/monitor_windows"), nullptr);
+  EXPECT_EQ(registry.FindCounter("obs/monitor_windows")->value, 3);
+  ASSERT_NE(registry.FindCounter("obs/monitor_alerts"), nullptr);
+  EXPECT_EQ(registry.FindCounter("obs/monitor_alerts")->value, 1);
+  ASSERT_NE(registry.FindCounter("obs/alerts/prediction_drift"), nullptr);
+  EXPECT_EQ(registry.FindCounter("obs/alerts/prediction_drift")->value, 1);
+  EXPECT_EQ(registry.FindCounter("obs/alerts/hedge_storm"), nullptr);
+}
+
+TEST(MonitorJsonlTest, GoldenBytes) {
+  MonitorOptions options;
+  options.warmup_windows = 0;
+  options.min_reads_per_window = 1;
+  options.drift_windows = 1;
+  options.drift_fresh_tolerance = 0.25;
+  ConsistencyMonitor monitor(options);
+
+  WindowSample plain;  // no prediction yet: predicted fields omitted
+  plain.window_id = 0;
+  plain.end_ms = 500.0;
+  plain.reads = 4;
+  plain.fresh = 4;
+  plain.read_p50_ms = 1.0;
+  plain.read_p99_ms = 2.0;
+  monitor.ObserveWindow(plain);
+
+  WindowSample drifted;
+  drifted.window_id = 1;
+  drifted.start_ms = 500.0;
+  drifted.end_ms = 1000.0;
+  drifted.reads = 4;
+  drifted.fresh = 2;
+  drifted.stale = 2;
+  drifted.read_p50_ms = 1.0;
+  drifted.read_p99_ms = 2.0;
+  drifted.predicted_valid = true;
+  drifted.predicted_fresh = 1.0;
+  drifted.predicted_p99_ms = 4.0;
+  monitor.ObserveWindow(drifted);  // gap 0.5 / tolerance 0.25 = drift 2
+
+  const std::string expected =
+      "{\"type\":\"sample\",\"window_id\":0,\"start_ms\":0,\"end_ms\":500,"
+      "\"reads\":4,\"fresh\":4,\"stale\":0,\"failed\":0,\"hedges\":0,"
+      "\"retries\":0,\"measured_fresh\":1,\"read_p50_ms\":1,"
+      "\"read_p99_ms\":2,\"drift_score\":0}\n"
+      "{\"type\":\"sample\",\"window_id\":1,\"start_ms\":500,"
+      "\"end_ms\":1000,\"reads\":4,\"fresh\":2,\"stale\":2,\"failed\":0,"
+      "\"hedges\":0,\"retries\":0,\"measured_fresh\":0.5,"
+      "\"read_p50_ms\":1,\"read_p99_ms\":2,\"predicted_fresh\":1,"
+      "\"predicted_p99_ms\":4,\"drift_score\":2}\n"
+      "{\"type\":\"alert\",\"kind\":\"prediction_drift\",\"window_id\":1,"
+      "\"time_ms\":1000,\"value\":2,\"threshold\":1,\"detail\":\"measured "
+      "freshness/latency left the predicted band\"}\n";
+  EXPECT_EQ(MonitorJsonl(monitor), expected);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pbs

@@ -367,6 +367,58 @@ TEST(ParallelDeterminismTest, ControllerCampaignInvariant) {
   }
 }
 
+TEST(ParallelDeterminismTest, TelemetryCampaignInvariant) {
+  // Streaming telemetry riding the controller campaign: every trial cuts
+  // windowed registry deltas off the timer wheel and runs the live drift
+  // monitor (analytic refits included). The composed telemetry JSONL is
+  // digested per trial and pooled; both digests — and the monitor's
+  // window/alert counts — must be bitwise identical at 1, 4 and 8 threads.
+  kvs::ControllerTrialOptions options;
+  options.trials = 3;
+  options.seed = 909;
+  options.experiment.writes = 300;
+  options.experiment.write_spacing_ms = 50.0;
+  options.experiment.read_offsets_ms = {1.0, 10.0};
+  options.experiment.cluster.quorum = {3, 1, 2};
+  options.experiment.cluster.legs = LnkdDisk();
+  options.experiment.cluster.request_timeout_ms = 200.0;
+  options.experiment.cluster.read_fanout = ReadFanout::kQuorumOnly;
+  options.experiment.cluster.sla =
+      SlaTarget::Parse("p=0.9,t=10,p99<=8").value();
+  options.experiment.cluster.controller.enabled = true;
+  options.experiment.cluster.controller.epoch_ms = 500.0;
+  options.experiment.cluster.controller.trials_per_eval = 300;
+  options.experiment.cluster.controller.min_leg_samples = 48;
+  options.experiment.cluster.obs.telemetry_window_ms = 500.0;
+  options.experiment.cluster.obs.monitor_enabled = true;
+  options.faults = [](double horizon_ms, uint64_t seed) {
+    kvs::FaultSchedule faults;
+    faults.AddSlowNode(horizon_ms * 0.5, horizon_ms, /*node=*/0,
+                       /*delay_mult=*/10.0);
+    (void)seed;
+    return faults;
+  };
+
+  const kvs::ControllerCampaignResult serial =
+      kvs::RunControllerTrials(options, Exec(1));
+  ASSERT_EQ(serial.trials.size(), 3u);
+  EXPECT_NE(serial.pooled_telemetry_digest, 0u);
+  int64_t windows = 0;
+  for (const kvs::ControllerCampaignSummary& trial : serial.trials) {
+    EXPECT_NE(trial.telemetry_digest, 0u);
+    windows += trial.monitor_windows;
+  }
+  EXPECT_GT(windows, 0);
+  for (int threads : {4, 8}) {
+    const kvs::ControllerCampaignResult parallel =
+        kvs::RunControllerTrials(options, Exec(threads));
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+    EXPECT_EQ(parallel.pooled_telemetry_digest,
+              serial.pooled_telemetry_digest)
+        << threads << " threads";
+  }
+}
+
 TEST(ParallelDeterminismTest, DefaultThreadsMatchesSerial) {
   // threads = 0 (all hardware threads) must also reproduce the serial run —
   // this is the configuration every caller gets by default.

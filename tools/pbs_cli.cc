@@ -19,6 +19,11 @@
 //                [--fault=SPEC[;SPEC...]]
 //                [--trace[=trace.json]] [--audit[=audit.jsonl]]
 //                [--metrics-out[=metrics.jsonl]] [--trace-sample-every=1]
+//                [--window-ms=500] [--monitor]
+//                [--timeseries-out[=telemetry.jsonl]]
+//                [--dashboard-out[=dashboard.html]]
+//   pbs report   --telemetry=pbs_telemetry.jsonl [--out=pbs_report.html]
+//                [--title=...]      (render the dashboard from an artifact)
 //   pbs predict-trace --w=w.txt --a=a.txt --rr=r.txt --s=s.txt --n=3 --r=1
 //                --w-quorum=1       (predict from measured leg traces)
 //
@@ -42,6 +47,13 @@
 // JSONL explanation, --metrics-out the run's instrument registry as JSONL.
 // Bare flags pick default file names; --flag=path overrides.
 //
+// Streaming telemetry (simulate; DESIGN.md §13): --window-ms cuts the
+// instrument registry into fixed windows on the sim clock; --monitor adds
+// the live predictor-drift monitor (requires --sla); --timeseries-out
+// writes the composed telemetry JSONL (windows + monitor samples/alerts +
+// controller decisions); --dashboard-out renders the same artifact as a
+// self-contained HTML dashboard. `pbs report` re-renders a saved artifact.
+//
 // Scenarios: lnkd-ssd | lnkd-disk | ymmr | wan (Table 3 fits of the paper).
 
 #include <algorithm>
@@ -50,6 +62,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -62,7 +75,9 @@
 #include "kvs/consistency_level.h"
 #include "kvs/experiment.h"
 #include "kvs/failure.h"
+#include "obs/dashboard.h"
 #include "obs/exporters.h"
+#include "obs/monitor.h"
 #include "pbs/config.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -381,6 +396,24 @@ int CmdSimulate(const Args& args) {
   config.obs.trace_enabled = !trace_out.empty() || !audit_out.empty();
   config.obs.trace_sample_every = args.GetInt("trace-sample-every", 1);
 
+  // Streaming telemetry: --window-ms switches the windowed time-series on;
+  // --monitor layers the drift monitor on top (Validate enforces --sla).
+  // Asking for a telemetry artifact without a cadence implies the default.
+  const std::string timeseries_out =
+      PathFlag(args, "timeseries-out", "pbs_telemetry.jsonl");
+  const std::string dashboard_out =
+      PathFlag(args, "dashboard-out", "pbs_dashboard.html");
+  double window_ms = args.GetDouble("window-ms", 0.0);
+  if (window_ms <= 0.0 && (!timeseries_out.empty() || !dashboard_out.empty() ||
+                           args.GetBool("monitor"))) {
+    window_ms = 500.0;
+  }
+  if (window_ms > 0.0) {
+    config.WithTelemetry(window_ms,
+                         static_cast<size_t>(args.GetInt("windows", 512)));
+  }
+  if (args.GetBool("monitor")) config.WithMonitor();
+
   const Status valid = config.Validate();
   if (!valid.ok()) {
     std::cerr << valid.message() << "\n";
@@ -454,10 +487,22 @@ int CmdSimulate(const Args& args) {
     }
   }
 
+  if (config.obs.monitor_enabled) {
+    std::printf("monitor: windows=%zu alerts=%zu\n",
+                result.monitor_samples.size(), result.monitor_alerts.size());
+    for (const obs::Alert& alert : result.monitor_alerts) {
+      std::printf("  [%s] window=%lld t=%.0fms %s\n",
+                  obs::AlertKindName(alert.kind),
+                  static_cast<long long>(alert.window_id), alert.time_ms,
+                  alert.detail.c_str());
+    }
+  }
+
   bool exported_ok = true;
   if (!metrics_out.empty()) {
-    exported_ok &= WriteArtifact(metrics_out, obs::MetricsJsonl(result.registry),
-                                 "metrics (jsonl)");
+    exported_ok &= WriteArtifact(
+        metrics_out, obs::MetricsJsonl(result.registry, result.metrics_header),
+        "metrics (jsonl)");
   }
   if (!trace_out.empty()) {
     exported_ok &= WriteArtifact(trace_out, obs::ChromeTraceJson(result.trace),
@@ -467,10 +512,41 @@ int CmdSimulate(const Args& args) {
     exported_ok &= WriteArtifact(
         audit_out,
         obs::StalenessAuditJsonl(result.trace, result.controller_history,
-                                 /*stale_only=*/true),
+                                 /*stale_only=*/true,
+                                 config.obs.telemetry_window_ms),
         "staleness audit (jsonl)");
   }
+  if (window_ms > 0.0 && !timeseries_out.empty()) {
+    exported_ok &= WriteArtifact(timeseries_out, result.telemetry_jsonl,
+                                 "telemetry time-series (jsonl)");
+  }
+  if (window_ms > 0.0 && !dashboard_out.empty()) {
+    exported_ok &= WriteArtifact(
+        dashboard_out,
+        obs::RenderDashboardHtml(result.telemetry_jsonl,
+                                 "pbs simulate — " +
+                                     options.cluster.quorum.ToString()),
+        "consistency dashboard (html)");
+  }
   return exported_ok ? 0 : 1;
+}
+
+int CmdReport(const Args& args) {
+  const std::string in_path = args.GetString("telemetry", "pbs_telemetry.jsonl");
+  const std::string out_path = args.GetString("out", "pbs_report.html");
+  std::ifstream in(in_path);
+  if (!in) {
+    std::cerr << "cannot open " << in_path
+              << " (run `pbs simulate --timeseries-out=...` first)\n";
+    return 1;
+  }
+  std::string telemetry((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  const std::string title = args.GetString("title", "PBS consistency report");
+  return WriteArtifact(out_path, obs::RenderDashboardHtml(telemetry, title),
+                       "consistency dashboard (html)")
+             ? 0
+             : 1;
 }
 
 int CmdAnalytic(const Args& args) {
@@ -558,6 +634,7 @@ void Usage() {
       "  levels         predictions for Cassandra-style consistency levels\n"
       "  fit            fit a Pareto+Exp mixture to a latency trace file\n"
       "  simulate       run the event-driven Dynamo-style cluster\n"
+      "  report         render the HTML dashboard from a telemetry artifact\n"
       "  predict-trace  predictions from measured W/A/R/S leg traces\n"
       "run a command with no flags to use paper defaults; see the header\n"
       "comment of tools/pbs_cli.cc for the full flag list.\n";
@@ -579,6 +656,7 @@ int main(int argc, char** argv) {
   if (command == "levels") return CmdLevels(args);
   if (command == "fit") return CmdFit(args);
   if (command == "simulate") return CmdSimulate(args);
+  if (command == "report") return CmdReport(args);
   if (command == "predict-trace") return CmdPredictTrace(args);
   Usage();
   return command == "help" || command == "--help" ? 0 : 1;

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Render a PBS telemetry JSONL artifact as a self-contained HTML dashboard.
+
+Usage:
+  pbs_report.py --telemetry pbs_telemetry.jsonl [--out pbs_report.html]
+                [--title "PBS consistency report"]
+
+Offline twin of `pbs report` (src/obs/dashboard.cc): consumes the artifact
+`pbs simulate --timeseries-out=...` writes — "meta" / "window" lines from
+WriteTimeSeriesJsonl, "sample" / "alert" lines from WriteMonitorJsonl, and
+"decision" lines from WriteDecisionsJsonl — and emits a single HTML file
+with inline SVG charts. Standard library only, so it runs anywhere the CI
+artifacts land without a toolchain or a pip install.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+WIDTH, HEIGHT = 860.0, 220.0
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 56.0, 12.0, 26.0, 22.0
+
+STYLE = """
+body{font:14px/1.45 system-ui,sans-serif;margin:24px;background:#fafafa;color:#222}
+h1{font-size:20px}h2{font-size:14px;margin:0 0 4px}
+.card{background:#fff;border:1px solid #ddd;border-radius:6px;padding:12px;margin:0 0 16px;max-width:900px}
+svg{width:100%;height:auto}
+.grid{stroke:#eee}.tick{font-size:10px;fill:#888;text-anchor:end}.legend{font-size:11px}
+.alertmark{stroke:#d73027;stroke-width:1.2;stroke-dasharray:2 3}
+table{border-collapse:collapse;width:100%;font-size:12px}
+th,td{border:1px solid #ddd;padding:3px 8px;text-align:left}
+th{background:#f4f4f4}
+.chosen{background:#e6f4e6}.alert{color:#b2182b;font-weight:600}
+"""
+
+
+def fmt(value):
+    return f"{value:.4g}"
+
+
+def parse_artifact(path):
+    """Splits the JSONL stream into typed line groups; malformed lines and
+    unknown types are skipped (the artifact may be a concatenation)."""
+    groups = {"meta": [], "window": [], "sample": [], "alert": [],
+              "decision": []}
+    with open(path) as artifact:
+        for line in artifact:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and record.get("type") in groups:
+                groups[record["type"]].append(record)
+    return groups
+
+
+def render_chart(title, series, marks=()):
+    """One fixed-size SVG line chart: (label, color, dashed, points) tuples
+    over a shared frame, four horizontal gridlines, alert marks as dashed
+    verticals. Mirrors obs::RenderChart."""
+    points = [p for _, _, _, pts in series for p in pts]
+    if points:
+        x_min = min(p[0] for p in points)
+        x_max = max(p[0] for p in points)
+        y_min = min(0.0, min(p[1] for p in points))
+        y_max = max(p[1] for p in points)
+    else:
+        x_min, x_max, y_min, y_max = 0.0, 1.0, 0.0, 1.0
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    def sx(x):
+        return MARGIN_L + (x - x_min) / (x_max - x_min) * (
+            WIDTH - MARGIN_L - MARGIN_R)
+
+    def sy(y):
+        return HEIGHT - MARGIN_B - (y - y_min) / (y_max - y_min) * (
+            HEIGHT - MARGIN_T - MARGIN_B)
+
+    out = [f'<div class="card"><h2>{html.escape(title)}</h2>'
+           f'<svg viewBox="0 0 {fmt(WIDTH)} {fmt(HEIGHT)}" role="img">']
+    for g in range(5):
+        y = y_min + (y_max - y_min) * g / 4.0
+        out.append(
+            f'<line x1="{fmt(MARGIN_L)}" y1="{fmt(sy(y))}" '
+            f'x2="{fmt(WIDTH - MARGIN_R)}" y2="{fmt(sy(y))}" class="grid"/>'
+            f'<text x="{fmt(MARGIN_L - 6)}" y="{fmt(sy(y) + 4)}" '
+            f'class="tick">{fmt(y)}</text>')
+    for mark in marks:
+        if x_min <= mark <= x_max:
+            out.append(
+                f'<line x1="{fmt(sx(mark))}" y1="{fmt(MARGIN_T)}" '
+                f'x2="{fmt(sx(mark))}" y2="{fmt(HEIGHT - MARGIN_B)}" '
+                f'class="alertmark"/>')
+    legend_x = MARGIN_L
+    for label, color, dashed, pts in series:
+        if not pts:
+            continue
+        dash = ' stroke-dasharray="6 4"' if dashed else ""
+        path = " ".join(f"{fmt(sx(x))},{fmt(sy(y))}" for x, y in pts)
+        out.append(f'<polyline fill="none" stroke="{color}" '
+                   f'stroke-width="1.8"{dash} points="{path}"/>')
+        out.append(f'<text x="{fmt(legend_x)}" y="{fmt(MARGIN_T - 10)}" '
+                   f'fill="{color}" class="legend">{html.escape(label)}'
+                   f'</text>')
+        legend_x += 10.0 * (len(label) + 2)
+    out.append(
+        f'<text x="{fmt(MARGIN_L)}" y="{fmt(HEIGHT - 6)}" class="tick">'
+        f'{fmt(x_min)} ms</text>'
+        f'<text x="{fmt(WIDTH - MARGIN_R)}" y="{fmt(HEIGHT - 6)}" '
+        f'class="tick" text-anchor="end">{fmt(x_max)} ms</text>'
+        f'</svg></div>\n')
+    return "".join(out)
+
+
+def sample_series(samples, key, predicate=None):
+    return [(s.get("end_ms", 0.0), s.get(key, 0.0)) for s in samples
+            if predicate is None or predicate(s)]
+
+
+def render(groups, title):
+    samples = groups["sample"]
+    alerts = groups["alert"]
+    decisions = groups["decision"]
+    meta = groups["meta"][0] if groups["meta"] else {}
+    marks = [a.get("time_ms", 0.0) for a in alerts]
+
+    has_pred = lambda s: "predicted_fresh" in s
+    charts = [
+        render_chart("Freshness: measured vs. predicted", [
+            ("measured fresh", "#1b7837", False,
+             sample_series(samples, "measured_fresh")),
+            ("predicted fresh", "#542788", True,
+             sample_series(samples, "predicted_fresh", has_pred)),
+        ], marks),
+        render_chart("Read latency (ms): measured quantiles vs. prediction", [
+            ("p50", "#2166ac", False, sample_series(samples, "read_p50_ms")),
+            ("p99", "#b2182b", False, sample_series(samples, "read_p99_ms")),
+            ("predicted p99", "#542788", True,
+             sample_series(samples, "predicted_p99_ms",
+                           lambda s: "predicted_p99_ms" in s)),
+        ], marks),
+        render_chart("Drift score (1.0 = tolerance)", [
+            ("drift score", "#e08214", False,
+             sample_series(samples, "drift_score")),
+        ], marks),
+        render_chart("Mitigation traffic per window", [
+            ("hedges", "#8073ac", False, sample_series(samples, "hedges")),
+            ("retries", "#d6604d", False, sample_series(samples, "retries")),
+            ("stale reads", "#b2182b", False,
+             sample_series(samples, "stale")),
+        ], marks),
+    ]
+
+    out = [f'<!DOCTYPE html>\n<html><head><meta charset="utf-8">\n'
+           f'<title>{html.escape(title)}</title>\n<style>{STYLE}</style>'
+           f'</head><body>\n<h1>{html.escape(title)}</h1>\n']
+    summary = (f"{len(samples)} monitor windows · "
+               f"{len(groups['window'])} time-series windows · "
+               f"{len(alerts)} alerts · "
+               f"{len(decisions)} controller decisions")
+    if meta.get("window_ms", 0.0) > 0.0:
+        summary += f" · window {fmt(meta['window_ms'])} ms"
+    out.append(f"<p>{summary}</p>\n")
+    out.extend(charts)
+
+    out.append('<div class="card"><h2>Alerts</h2>')
+    if not alerts:
+        out.append("<p>No alerts raised.</p>")
+    else:
+        out.append("<table><tr><th>kind</th><th>window</th><th>t (ms)</th>"
+                   "<th>value</th><th>threshold</th><th>detail</th></tr>")
+        for a in alerts:
+            out.append(
+                f'<tr><td class="alert">{html.escape(a.get("kind", ""))}'
+                f'</td><td>{fmt(a.get("window_id", 0))}</td>'
+                f'<td>{fmt(a.get("time_ms", 0.0))}</td>'
+                f'<td>{fmt(a.get("value", 0.0))}</td>'
+                f'<td>{fmt(a.get("threshold", 0.0))}</td>'
+                f'<td>{html.escape(a.get("detail", ""))}</td></tr>')
+        out.append("</table>")
+    out.append("</div>\n")
+
+    out.append('<div class="card"><h2>Controller decisions</h2>')
+    if not decisions:
+        out.append("<p>No controller ran.</p>")
+    else:
+        out.append("<table><tr><th>id</th><th>t (ms)</th><th>action</th>"
+                   "<th>quorum</th><th>pred fresh</th><th>pred p99</th>"
+                   "<th>meas fresh</th><th>meas p99</th><th>candidates "
+                   "(rejected in gray)</th></tr>")
+        for d in decisions:
+            measured = d.get("measured_fresh", -1.0)
+            cells = []
+            for c in d.get("candidates", []):
+                klass = (' class="chosen"' if c.get("chosen")
+                         else ' style="color:#999"')
+                cells.append(
+                    f'<span{klass}>{html.escape(c.get("action", ""))} '
+                    f'(p={fmt(c.get("predicted_fresh", 0.0))}, '
+                    f'p99={fmt(c.get("predicted_p99_ms", 0.0))})</span>')
+            out.append(
+                f'<tr><td>{fmt(d.get("id", 0))}</td>'
+                f'<td>{fmt(d.get("time_ms", 0.0))}</td>'
+                f'<td>{html.escape(d.get("action", ""))}</td>'
+                f'<td>R∈[{fmt(d.get("r_lo", 0))},{fmt(d.get("r_hi", 0))}] '
+                f'mix {fmt(d.get("mix", 0.0))} W={fmt(d.get("w", 0))}</td>'
+                f'<td>{fmt(d.get("predicted_fresh", 0.0))}</td>'
+                f'<td>{fmt(d.get("predicted_p99_ms", 0.0))}</td>'
+                f'<td>{fmt(measured) if measured >= 0.0 else "—"}</td>'
+                f'<td>{fmt(d.get("measured_p99_ms", 0.0))}</td>'
+                f'<td>{" ".join(cells)}</td></tr>')
+        out.append("</table>")
+    out.append("</div>\n</body></html>\n")
+    return "".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--telemetry", default="pbs_telemetry.jsonl")
+    parser.add_argument("--out", default="pbs_report.html")
+    parser.add_argument("--title", default="PBS consistency report")
+    args = parser.parse_args()
+
+    try:
+        groups = parse_artifact(args.telemetry)
+    except OSError as error:
+        print(f"cannot open {args.telemetry}: {error} "
+              "(run `pbs simulate --timeseries-out=...` first)",
+              file=sys.stderr)
+        return 1
+    if not any(groups.values()):
+        print(f"warning: {args.telemetry} contained no telemetry lines",
+              file=sys.stderr)
+    with open(args.out, "w") as out:
+        out.write(render(groups, args.title))
+    n_lines = sum(len(g) for g in groups.values())
+    print(f"wrote {args.out} ({n_lines} telemetry lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
